@@ -1,0 +1,63 @@
+// Copyright 2026 MixQ-GNN Authors
+// Ablation: range-observer choice (min-max vs EMA vs percentile) at INT4 on
+// the Cora analogue — the design choice DQ's percentile clipping motivates.
+#include "bench/bench_util.h"
+#include "common/stats.h"
+#include "train/metrics.h"
+
+using namespace mixq;
+using namespace mixq::bench;
+
+int main() {
+  PrintHeader("Ablation — observer choice at INT4 (GCN, Cora analogue)");
+  const int runs = Runs(2, 10);
+  auto make = [](uint64_t seed) { return QuickCitation("cora", seed); };
+
+  struct Row {
+    const char* label;
+    ObserverKind kind;
+  };
+  const Row rows[] = {
+      {"min-max", ObserverKind::kMinMax},
+      {"EMA", ObserverKind::kEma},
+      {"percentile (99.9)", ObserverKind::kPercentile},
+  };
+
+  TablePrinter table({"Observer", "Accuracy", "Bits"});
+  for (const Row& row : rows) {
+    // Reuse the node pipeline with a custom fixed scheme via QAT options:
+    // implemented by running UniformQat through the kFixed path is not
+    // exposed, so run the experiment manually per observer.
+    NodeExperimentConfig cfg = StandardNodeConfig(NodeModelKind::kGcn);
+    std::vector<double> accs;
+    for (int r = 0; r < runs; ++r) {
+      NodeDataset ds = make(1 + static_cast<uint64_t>(r));
+      const Graph& g = ds.graph;
+      auto op = MakeOperator(GcnNormalize(g.Adjacency()));
+      Rng rng(7 + static_cast<uint64_t>(r)), drop(8);
+      GcnNet net({g.feature_dim(), cfg.hidden, g.num_classes, 2, 0.5f}, &rng);
+      QatOptions opts;
+      opts.activation_observer = row.kind;
+      UniformQatScheme scheme(4, opts);
+      auto forward = [&](Rng* drng) {
+        return net.Forward(g.features, op, &scheme, drng);
+      };
+      TrainResult tr = RunTrainingLoop(
+          cfg.train, &net, &scheme, forward,
+          [&](const Tensor& logits) {
+            return CrossEntropyMasked(logits, g.labels, g.train_mask);
+          },
+          [&](const Tensor& logits, bool is_test) {
+            return Accuracy(logits, g.labels, is_test ? g.test_mask : g.val_mask);
+          });
+      accs.push_back(tr.test_at_best_val);
+    }
+    table.AddRow({row.label, FormatMeanStd(Mean(accs) * 100.0, StdDev(accs) * 100.0),
+                  "4"});
+  }
+  table.Print();
+  std::cout << "\nExpected shape: EMA/percentile observers match or beat raw "
+               "min-max at low widths — outlier aggregates otherwise inflate "
+               "the scale (DQ's motivation).\n";
+  return 0;
+}

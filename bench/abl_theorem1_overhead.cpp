@@ -1,0 +1,78 @@
+// Copyright 2026 MixQ-GNN Authors
+// Ablation: Theorem-1 fused integer message passing vs the naive
+// dequantize-then-float path — exactness plus wall-clock comparison.
+#include <chrono>
+
+#include "bench/bench_util.h"
+#include "quant/fused_mp.h"
+
+using namespace mixq;
+using namespace mixq::bench;
+
+int main() {
+  PrintHeader("Ablation — Theorem-1 fused path vs dequantize-then-float");
+  Rng rng(1);
+  const int64_t n = FullProfile() ? 8000 : 3000;
+  const int64_t f = 64;
+  const int iters = 5;
+
+  std::vector<CooEntry> entries;
+  for (int64_t e = 0; e < n * 5; ++e) {
+    entries.push_back({rng.UniformInt(0, n - 1), rng.UniformInt(0, n - 1),
+                       rng.Uniform(0.0f, 1.0f)});
+  }
+  CsrMatrix a = CsrMatrix::FromCoo(n, n, entries);
+  Tensor x = Tensor::RandomUniform(Shape(n, f), &rng, -1.0f, 1.0f);
+  QuantParams pa = ParamsFromRange(0.0f, 1.0f, 8, true);
+  QuantParams px = ParamsFromRange(-1.0f, 1.0f, 8, true);
+  QuantParams py = ParamsFromRange(-16.0f, 16.0f, 16, true);
+  QuantizedSparse qa = QuantizeCsr(a, pa);
+  QuantizedDense qx = QuantizeDense(x, px);
+
+  auto time_it = [&](const std::function<void()>& fn) {
+    fn();
+    auto t0 = std::chrono::steady_clock::now();
+    for (int i = 0; i < iters; ++i) fn();
+    auto t1 = std::chrono::steady_clock::now();
+    return std::chrono::duration<double>(t1 - t0).count() / iters * 1e3;
+  };
+
+  QuantizedDense fused_out;
+  const double t_fused =
+      time_it([&] { fused_out = FusedQuantizedSpmm(a, qa, qx, py); });
+
+  // Naive: dequantize both operands to float, SpMM in float, requantize.
+  QuantizedDense naive_out;
+  const double t_naive = time_it([&] {
+    std::vector<float> af(qa.q.size());
+    for (size_t i = 0; i < af.size(); ++i) af[i] = DequantizeValue(qa.q[i], pa);
+    QuantizedDense xtmp = qx;
+    auto xf = xtmp.Dequantize();
+    std::vector<float> y(static_cast<size_t>(n * f));
+    SpmmPattern(a, af.data(), xf.data(), f, y.data());
+    naive_out.rows = n;
+    naive_out.cols = f;
+    naive_out.params = py;
+    naive_out.q.resize(y.size());
+    for (size_t i = 0; i < y.size(); ++i) {
+      naive_out.q[i] = QuantizeValue(y[i], py);
+    }
+  });
+
+  int64_t mismatches = 0;
+  for (size_t i = 0; i < fused_out.q.size(); ++i) {
+    if (std::abs(fused_out.q[i] - naive_out.q[i]) > 1) ++mismatches;
+  }
+
+  TablePrinter table({"Path", "Time (ms)", "Output"});
+  table.AddRow({"Theorem-1 fused (integer)", FormatFloat(t_fused, 2),
+                "reference"});
+  table.AddRow({"Dequantize-then-float", FormatFloat(t_naive, 2),
+                mismatches == 0 ? "equal (<=1 ulp ties)"
+                                : std::to_string(mismatches) + " mismatches"});
+  table.Print();
+  std::cout << "\nExpected shape: identical outputs (Theorem 1's numerical "
+               "equality); the fused path avoids materializing float copies "
+               "of both operands.\n";
+  return mismatches == 0 ? 0 : 1;
+}

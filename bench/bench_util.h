@@ -1,0 +1,115 @@
+// Copyright 2026 MixQ-GNN Authors
+// Shared helpers for the benchmark harnesses. Every bench binary runs with no
+// arguments and prints a "paper vs measured" table. Two profiles:
+//   * default (quick): scaled-down datasets / fewer runs so the whole bench
+//     suite finishes in minutes on a laptop;
+//   * MIXQ_FULL=1: full analogue sizes and the paper's run counts.
+// MIXQ_RUNS / MIXQ_EPOCHS override run counts / epochs explicitly.
+#pragma once
+
+#include <cstdlib>
+#include <iostream>
+#include <string>
+
+#include "common/table_printer.h"
+#include "core/pipelines.h"
+
+namespace mixq {
+namespace bench {
+
+inline bool FullProfile() {
+  const char* env = std::getenv("MIXQ_FULL");
+  return env != nullptr && std::atoi(env) != 0;
+}
+
+inline int EnvInt(const char* name, int fallback) {
+  const char* env = std::getenv(name);
+  return env != nullptr ? std::atoi(env) : fallback;
+}
+
+inline int Runs(int quick_default, int full_default) {
+  return EnvInt("MIXQ_RUNS", FullProfile() ? full_default : quick_default);
+}
+
+inline int Epochs(int quick_default, int full_default) {
+  return EnvInt("MIXQ_EPOCHS", FullProfile() ? full_default : quick_default);
+}
+
+/// Citation analogues, scaled down in the quick profile. The scale affects
+/// node counts and feature dims but not class counts or split protocol.
+inline NodeDataset QuickCitation(const std::string& which, uint64_t seed) {
+  const bool full = FullProfile();
+  CitationConfig c;
+  if (which == "cora") {
+    c.name = full ? "cora-like" : "cora-like(quick)";
+    c.num_nodes = full ? 2708 : 1000;
+    c.avg_degree = 1.95;
+    c.num_classes = 7;
+    c.feature_dim = full ? 256 : 96;
+    c.homophily = 0.81;
+    c.val_count = full ? 500 : 200;
+    c.test_count = full ? 1000 : 400;
+  } else if (which == "citeseer") {
+    c.name = full ? "citeseer-like" : "citeseer-like(quick)";
+    c.num_nodes = full ? 3327 : 1100;
+    c.avg_degree = 1.37;
+    c.num_classes = 6;
+    c.feature_dim = full ? 256 : 96;
+    c.homophily = 0.74;
+    c.val_count = full ? 500 : 200;
+    c.test_count = full ? 1000 : 400;
+  } else if (which == "pubmed") {
+    c.name = full ? "pubmed-like" : "pubmed-like(quick)";
+    c.num_nodes = full ? 8000 : 2000;
+    c.avg_degree = 2.25;
+    c.num_classes = 3;
+    c.feature_dim = full ? 128 : 64;
+    c.homophily = 0.8;
+    c.val_count = full ? 500 : 200;
+    c.test_count = full ? 1000 : 400;
+  } else if (which == "arxiv") {
+    c.name = full ? "ogb-arxiv-like" : "ogb-arxiv-like(quick)";
+    c.num_nodes = full ? 12000 : 3000;
+    c.avg_degree = 3.44;
+    c.num_classes = 40;
+    c.feature_dim = full ? 128 : 64;
+    c.homophily = 0.65;
+    c.train_per_class = 40;
+    c.val_count = full ? 2000 : 600;
+    c.test_count = full ? 4000 : 1200;
+  } else {
+    MIXQ_CHECK(false) << "unknown dataset " << which;
+  }
+  c.seed = seed;
+  return GenerateCitation(c);
+}
+
+/// Standard node-experiment configuration (GCN hidden 64 per the paper).
+inline NodeExperimentConfig StandardNodeConfig(NodeModelKind model,
+                                               int quick_epochs = 40,
+                                               int full_epochs = 120) {
+  NodeExperimentConfig cfg;
+  cfg.model = model;
+  cfg.hidden = 64;
+  cfg.num_layers = 2;
+  cfg.dropout = 0.5f;
+  cfg.train.epochs = Epochs(quick_epochs, full_epochs);
+  cfg.train.lr = 0.01f;
+  cfg.train.weight_decay = 5e-4f;
+  return cfg;
+}
+
+/// Prints a section header identifying the experiment and profile.
+inline void PrintHeader(const std::string& title) {
+  std::cout << "\n=== " << title << " ===\n";
+  std::cout << "profile: " << (FullProfile() ? "FULL (MIXQ_FULL=1)" : "quick")
+            << " — synthetic analogues replace the paper's datasets"
+            << " (DESIGN.md §1); compare *shape*, not absolute numbers.\n\n";
+}
+
+inline std::string Pct(double fraction, int precision = 1) {
+  return FormatFloat(fraction * 100.0, precision) + "%";
+}
+
+}  // namespace bench
+}  // namespace mixq

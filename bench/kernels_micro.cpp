@@ -1,0 +1,122 @@
+// Copyright 2026 MixQ-GNN Authors
+// Google-Benchmark micro suite for the compute kernels underlying every
+// experiment: dense GEMM (float and int32), sparse SpMM (float and int),
+// fake quantization, and the Theorem-1 fused quantized SpMM.
+#include <benchmark/benchmark.h>
+
+#include "common/rng.h"
+#include "quant/fake_quant.h"
+#include "quant/fused_mp.h"
+#include "sparse/csr.h"
+#include "tensor/gemm.h"
+#include "tensor/tensor.h"
+
+namespace mixq {
+namespace {
+
+CsrMatrix RandomGraph(int64_t n, int64_t avg_degree, uint64_t seed) {
+  Rng rng(seed);
+  std::vector<CooEntry> entries;
+  for (int64_t e = 0; e < n * avg_degree; ++e) {
+    entries.push_back({rng.UniformInt(0, n - 1), rng.UniformInt(0, n - 1),
+                       rng.Uniform(-1.0f, 1.0f)});
+  }
+  return CsrMatrix::FromCoo(n, n, entries);
+}
+
+void BM_GemmNN(benchmark::State& state) {
+  const int64_t n = state.range(0);
+  Rng rng(1);
+  Tensor a = Tensor::RandomUniform(Shape(n, n), &rng, -1.0f, 1.0f);
+  Tensor b = Tensor::RandomUniform(Shape(n, n), &rng, -1.0f, 1.0f);
+  std::vector<float> c(static_cast<size_t>(n * n));
+  for (auto _ : state) {
+    GemmNN(a.data().data(), b.data().data(), c.data(), n, n, n);
+    benchmark::DoNotOptimize(c.data());
+  }
+  state.SetItemsProcessed(state.iterations() * n * n * n);
+}
+BENCHMARK(BM_GemmNN)->Arg(64)->Arg(128)->Arg(256);
+
+void BM_GemmInt32(benchmark::State& state) {
+  const int64_t n = state.range(0);
+  Rng rng(2);
+  std::vector<int32_t> a(static_cast<size_t>(n * n)), b(static_cast<size_t>(n * n));
+  for (auto& v : a) v = static_cast<int32_t>(rng.UniformInt(-127, 127));
+  for (auto& v : b) v = static_cast<int32_t>(rng.UniformInt(-127, 127));
+  std::vector<int64_t> c(static_cast<size_t>(n * n));
+  for (auto _ : state) {
+    GemmInt32(a.data(), b.data(), c.data(), n, n, n);
+    benchmark::DoNotOptimize(c.data());
+  }
+  state.SetItemsProcessed(state.iterations() * n * n * n);
+}
+BENCHMARK(BM_GemmInt32)->Arg(64)->Arg(128)->Arg(256);
+
+void BM_SpmmFloat(benchmark::State& state) {
+  const int64_t n = state.range(0);
+  CsrMatrix a = RandomGraph(n, 8, 3);
+  Rng rng(4);
+  Tensor x = Tensor::RandomUniform(Shape(n, 64), &rng, -1.0f, 1.0f);
+  std::vector<float> y(static_cast<size_t>(n * 64));
+  for (auto _ : state) {
+    SpmmRaw(a, x.data().data(), 64, y.data());
+    benchmark::DoNotOptimize(y.data());
+  }
+  state.SetItemsProcessed(state.iterations() * a.nnz() * 64);
+}
+BENCHMARK(BM_SpmmFloat)->Arg(1000)->Arg(4000)->Arg(16000);
+
+void BM_SpmmInt(benchmark::State& state) {
+  const int64_t n = state.range(0);
+  CsrMatrix a = RandomGraph(n, 8, 5);
+  Rng rng(6);
+  std::vector<int32_t> aq(static_cast<size_t>(a.nnz()));
+  for (auto& v : aq) v = static_cast<int32_t>(rng.UniformInt(-127, 127));
+  std::vector<int32_t> x(static_cast<size_t>(n * 64));
+  for (auto& v : x) v = static_cast<int32_t>(rng.UniformInt(-127, 127));
+  std::vector<int64_t> y(static_cast<size_t>(n * 64));
+  for (auto _ : state) {
+    SpmmInt(a, aq.data(), x.data(), 64, y.data());
+    benchmark::DoNotOptimize(y.data());
+  }
+  state.SetItemsProcessed(state.iterations() * a.nnz() * 64);
+}
+BENCHMARK(BM_SpmmInt)->Arg(1000)->Arg(4000)->Arg(16000);
+
+void BM_FusedQuantizedSpmm(benchmark::State& state) {
+  const int64_t n = state.range(0);
+  CsrMatrix a = RandomGraph(n, 8, 7);
+  Rng rng(8);
+  Tensor x = Tensor::RandomUniform(Shape(n, 64), &rng, -1.0f, 1.0f);
+  QuantParams pa = ParamsFromRange(-1.0f, 1.0f, 8, true);
+  QuantParams px = ParamsFromRange(-1.0f, 1.0f, 8, true);
+  QuantParams py;
+  py.bits = 32;
+  QuantizedSparse qa = QuantizeCsr(a, pa);
+  QuantizedDense qx = QuantizeDense(x, px);
+  for (auto _ : state) {
+    auto out = FusedQuantizedSpmm(a, qa, qx, py);
+    benchmark::DoNotOptimize(out.q.data());
+  }
+  state.SetItemsProcessed(state.iterations() * a.nnz() * 64);
+}
+BENCHMARK(BM_FusedQuantizedSpmm)->Arg(1000)->Arg(4000)->Arg(16000);
+
+void BM_FakeQuant(benchmark::State& state) {
+  const int64_t numel = state.range(0);
+  Rng rng(9);
+  Tensor x = Tensor::RandomUniform(Shape(numel), &rng, -1.0f, 1.0f);
+  QuantParams p = ParamsFromRange(-1.0f, 1.0f, 8, true);
+  for (auto _ : state) {
+    Tensor y = FakeQuantOp(x, p);
+    benchmark::DoNotOptimize(y.data().data());
+  }
+  state.SetItemsProcessed(state.iterations() * numel);
+}
+BENCHMARK(BM_FakeQuant)->Arg(1 << 14)->Arg(1 << 18);
+
+}  // namespace
+}  // namespace mixq
+
+BENCHMARK_MAIN();

@@ -1,0 +1,56 @@
+// Copyright 2026 MixQ-GNN Authors
+// Table 10 (additive ablation): Random bit assignment vs Random+INT8 output
+// vs MixQ(λ=1), 2-layer GCN.
+#include "bench/bench_util.h"
+
+using namespace mixq;
+using namespace mixq::bench;
+
+int main() {
+  PrintHeader("Table 10 — Random assignment ablation");
+  const int runs = Runs(3, 30);
+  NodeExperimentConfig cfg = StandardNodeConfig(NodeModelKind::kGcn);
+
+  struct Row {
+    const char* dataset;
+    const char* paper_random;
+    const char* paper_random8;
+    const char* paper_mixq;
+  };
+  const Row rows[] = {
+      {"cora", "36.9 ±19.5 (4.56b)", "57.4 ±21.4 (4.97b)", "68.7 ±2.7 (3.84b)"},
+      {"citeseer", "46.1 ±15.6 (4.86b)", "54.2 ±14.9 (4.96b)", "60.9 ±8.7 (3.44b)"},
+      {"pubmed", "45.5 ±21.9 (4.60b)", "50.8 ±21.0 (4.79b)", "71.0 ±1.8 (4.09b)"},
+  };
+
+  TablePrinter table({"Dataset", "Method", "Paper Acc (Bits)", "Measured Acc",
+                      "Bits", "GBitOPs"});
+  for (const Row& row : rows) {
+    auto make = [&](uint64_t seed) { return QuickCitation(row.dataset, seed); };
+    SchemeSpec random;
+    random.kind = SchemeSpec::Kind::kRandom;
+    SchemeSpec random8;
+    random8.kind = SchemeSpec::Kind::kRandomInt8;
+    SchemeSpec mixq = SchemeSpec::MixQ(1.0);
+    mixq.search_epochs = cfg.train.epochs;
+    struct M {
+      const char* label;
+      SchemeSpec spec;
+      const char* paper;
+    };
+    const M methods[] = {{"Random", random, row.paper_random},
+                         {"Random+INT8", random8, row.paper_random8},
+                         {"MixQ(l=1)", mixq, row.paper_mixq}};
+    for (const M& m : methods) {
+      RepeatedResult r = RepeatNodeExperiment(make, cfg, m.spec, runs);
+      table.AddRow({row.dataset, m.label, m.paper,
+                    FormatMeanStd(r.mean_metric * 100.0, r.std_metric * 100.0),
+                    FormatFloat(r.mean_bits, 2), FormatFloat(r.mean_gbitops, 2)});
+    }
+    table.AddSeparator();
+  }
+  table.Print();
+  std::cout << "\nExpected shape: Random << Random+INT8 << MixQ in accuracy, "
+               "with Random's huge variance; MixQ wins at fewer bits.\n";
+  return 0;
+}

@@ -1,0 +1,46 @@
+// Copyright 2026 MixQ-GNN Authors
+// Table 4: native quantizer vs DQ quantizer under MixQ-selected bit-widths
+// (2-layer GCN, Cora analogue).
+#include "bench/bench_util.h"
+
+using namespace mixq;
+using namespace mixq::bench;
+
+int main() {
+  PrintHeader("Table 4 — MixQ vs MixQ+DQ (GCN, Cora analogue)");
+  const int runs = Runs(2, 10);
+  NodeExperimentConfig cfg = StandardNodeConfig(NodeModelKind::kGcn);
+  auto make = [](uint64_t seed) { return QuickCitation("cora", seed); };
+
+  struct Row {
+    const char* label;
+    double lambda;
+    bool dq;
+    const char* paper_acc;
+    const char* paper_bits;
+  };
+  const Row rows[] = {
+      {"MixQ(l=-e)", -1e-8, false, "81.6 ±0.7", "7.69"},
+      {"MixQ(l=-e)+DQ", -1e-8, true, "81.8 ±0.3", "7.69"},
+      {"MixQ(l=0.1)", 0.05, false, "77.7 ±2.8", "5.82"},
+      {"MixQ(l=0.1)+DQ", 0.05, true, "79.9 ±0.6", "6.02"},
+      {"MixQ(l=1)", 1.0, false, "68.7 ±2.7", "3.84"},
+      {"MixQ(l=1)+DQ", 1.0, true, "72.3 ±1.2", "3.69"},
+  };
+
+  TablePrinter table({"Method", "Paper Acc", "Paper Bits", "Measured Acc", "Bits",
+                      "GBitOPs"});
+  for (const Row& row : rows) {
+    SchemeSpec spec =
+        row.dq ? SchemeSpec::MixQDq(row.lambda) : SchemeSpec::MixQ(row.lambda);
+    spec.search_epochs = cfg.train.epochs;
+    RepeatedResult r = RepeatNodeExperiment(make, cfg, spec, runs);
+    table.AddRow({row.label, row.paper_acc, row.paper_bits,
+                  FormatMeanStd(r.mean_metric * 100.0, r.std_metric * 100.0),
+                  FormatFloat(r.mean_bits, 2), FormatFloat(r.mean_gbitops, 2)});
+  }
+  table.Print();
+  std::cout << "\nExpected shape: +DQ rows match or beat the native-quantizer "
+               "rows, most visibly at aggressive lambda.\n";
+  return 0;
+}

@@ -1,0 +1,46 @@
+// Copyright 2026 MixQ-GNN Authors
+// Table 5: MixQ+DQ vs A2Q — both methods exploit graph structure.
+#include "bench/bench_util.h"
+
+using namespace mixq;
+using namespace mixq::bench;
+
+int main() {
+  PrintHeader("Table 5 — MixQ+DQ vs A2Q");
+  const int runs = Runs(2, 10);
+  NodeExperimentConfig cfg = StandardNodeConfig(NodeModelKind::kGcn);
+
+  struct Row {
+    const char* dataset;
+    const char* paper_a2q_acc;
+    const char* paper_a2q_g;
+    const char* paper_mixq_acc;
+    const char* paper_mixq_g;
+  };
+  const Row rows[] = {
+      {"cora", "80.9 ±0.6", "8.94", "81.8 ±0.3", "4.01"},
+      {"citeseer", "70.6 ±1.1", "8.96", "66.2 ±1.2", "6.01"},
+      {"pubmed", "77.5 ±0.1", "8.94", "77.6 ±0.3", "6.88"},
+  };
+
+  TablePrinter table({"Dataset", "Method", "Paper Acc", "Paper GBitOPs",
+                      "Measured Acc", "GBitOPs"});
+  for (const Row& row : rows) {
+    auto make = [&](uint64_t seed) { return QuickCitation(row.dataset, seed); };
+    RepeatedResult a2q = RepeatNodeExperiment(make, cfg, SchemeSpec::A2q(), runs);
+    SchemeSpec mixq_dq = SchemeSpec::MixQDq(-1e-8);
+    mixq_dq.search_epochs = cfg.train.epochs;
+    RepeatedResult mq = RepeatNodeExperiment(make, cfg, mixq_dq, runs);
+    table.AddRow({row.dataset, "A2Q", row.paper_a2q_acc, row.paper_a2q_g,
+                  FormatMeanStd(a2q.mean_metric * 100.0, a2q.std_metric * 100.0),
+                  FormatFloat(a2q.mean_gbitops, 2)});
+    table.AddRow({row.dataset, "MixQ+DQ", row.paper_mixq_acc, row.paper_mixq_g,
+                  FormatMeanStd(mq.mean_metric * 100.0, mq.std_metric * 100.0),
+                  FormatFloat(mq.mean_gbitops, 2)});
+    table.AddSeparator();
+  }
+  table.Print();
+  std::cout << "\nExpected shape: comparable accuracy with roughly half the "
+               "BitOPs for MixQ+DQ on cora/pubmed analogues.\n";
+  return 0;
+}

@@ -1,0 +1,55 @@
+// Copyright 2026 MixQ-GNN Authors
+// Table 6: GraphSAGE + MixQ standalone (no advanced quantizers), with
+// neighbour sampling bounding in-degrees (paper §5.3.2).
+#include "bench/bench_util.h"
+
+using namespace mixq;
+using namespace mixq::bench;
+
+int main() {
+  PrintHeader("Table 6 — GraphSAGE node classification");
+  const int runs = Runs(2, 10);
+  NodeExperimentConfig cfg = StandardNodeConfig(NodeModelKind::kSage);
+  cfg.sample_max_degree = 25;
+
+  struct Row {
+    const char* dataset;
+    const char* method;
+    double lambda;  // NaN-proxy: lambda < -1 means FP32
+    const char* paper_acc;
+    const char* paper_bits;
+    const char* paper_g;
+  };
+  const Row rows[] = {
+      {"cora", "FP32", -2.0, "76.7 ±0.3", "32", "7.8"},
+      {"cora", "MixQ(l=0.1)", 0.05, "78.1 ±0.3", "6.9", "1.94"},
+      {"cora", "MixQ(l=1)", 1.0, "75.4 ±0.7", "4.9", "0.9"},
+      {"citeseer", "FP32", -2.0, "65.6 ±0.7", "32", "19.5"},
+      {"citeseer", "MixQ(l=0.1)", 0.05, "65.8 ±0.6", "6.3", "4.2"},
+      {"citeseer", "MixQ(l=1)", 1.0, "66.6 ±0.9", "4.7", "2.1"},
+      {"pubmed", "FP32", -2.0, "77.9 ±0.2", "32", "5.6"},
+      {"pubmed", "MixQ(l=0.1)", 0.05, "77.8 ±0.2", "6.9", "1.2"},
+      {"pubmed", "MixQ(l=1)", 1.0, "77.9 ±0.1", "5.4", "0.7"},
+  };
+
+  TablePrinter table({"Dataset", "Method", "Paper Acc", "Paper Bits", "Paper G",
+                      "Measured Acc", "Bits", "GBitOPs"});
+  std::string last_ds;
+  for (const Row& row : rows) {
+    auto make = [&](uint64_t seed) { return QuickCitation(row.dataset, seed); };
+    SchemeSpec spec =
+        row.lambda < -1.0 ? SchemeSpec::Fp32() : SchemeSpec::MixQ(row.lambda);
+    spec.search_epochs = cfg.train.epochs;
+    RepeatedResult r = RepeatNodeExperiment(make, cfg, spec, runs);
+    if (!last_ds.empty() && last_ds != row.dataset) table.AddSeparator();
+    last_ds = row.dataset;
+    table.AddRow({row.dataset, row.method, row.paper_acc, row.paper_bits,
+                  row.paper_g,
+                  FormatMeanStd(r.mean_metric * 100.0, r.std_metric * 100.0),
+                  FormatFloat(r.mean_bits, 2), FormatFloat(r.mean_gbitops, 2)});
+  }
+  table.Print();
+  std::cout << "\nExpected shape: MixQ on sampled-neighbourhood SAGE keeps "
+               "accuracy within noise of FP32 at ~4-8x fewer BitOPs.\n";
+  return 0;
+}

@@ -1,0 +1,70 @@
+// Copyright 2026 MixQ-GNN Authors
+// Driving the relaxed search directly: build a RelaxedMixQScheme, train it
+// together with a GraphSAGE model, inspect the per-component softmax(α)
+// weights as they converge, and extract the bit-width sequence S — the
+// low-level API behind RunNodeExperiment's MixQ mode.
+//
+//   ./examples/custom_search_space
+#include <cstdio>
+
+#include "core/relaxed_scheme.h"
+#include "graph/generators.h"
+#include "nn/models.h"
+#include "train/metrics.h"
+#include "train/trainer.h"
+
+using namespace mixq;
+
+int main() {
+  CitationConfig config;
+  config.num_nodes = 600;
+  config.num_classes = 4;
+  config.feature_dim = 48;
+  config.avg_degree = 3.0;
+  config.val_count = 120;
+  config.test_count = 240;
+  config.seed = 11;
+  NodeDataset dataset = GenerateCitation(config);
+  Graph graph = SampleNeighbors(dataset.graph, /*max_degree=*/10, /*seed=*/5);
+  auto op = MakeOperator(RowNormalize(graph.Adjacency()));
+
+  // A custom, asymmetric search space: INT3 / INT6 / INT8.
+  RelaxedOptions options;
+  options.bit_options = {3, 6, 8};
+  options.lambda = 0.05;
+  RelaxedMixQScheme scheme(options);
+
+  Rng rng(1);
+  SageNet net({graph.feature_dim(), 32, graph.num_classes, 2, 0.3f}, &rng);
+
+  TrainLoopConfig loop;
+  loop.epochs = 60;
+  loop.lr = 0.02f;
+  TrainResult result = RunTrainingLoop(
+      loop, &net, &scheme,
+      [&](Rng* drop) { return net.Forward(graph.features, op, &scheme, drop); },
+      [&](const Tensor& logits) {
+        return CrossEntropyMasked(logits, graph.labels, graph.train_mask);
+      },
+      [&](const Tensor& logits, bool is_test) {
+        return Accuracy(logits, graph.labels,
+                        is_test ? graph.test_mask : graph.val_mask);
+      });
+
+  std::printf("relaxed search finished: val %.1f%%, test %.1f%%\n\n",
+              result.best_val_metric * 100.0, result.test_at_best_val * 100.0);
+  std::printf("%-20s %8s %8s %8s   selected\n", "component", "w(3b)", "w(6b)",
+              "w(8b)");
+  auto selected = scheme.SelectedBits();
+  for (const std::string& id : scheme.ComponentIds()) {
+    auto w = scheme.AlphaWeights(id);
+    std::printf("%-20s %8.3f %8.3f %8.3f   INT%d\n", id.c_str(), w[0], w[1], w[2],
+                selected.at(id));
+  }
+
+  // The sequence S then instantiates a fixed quantized architecture:
+  PerComponentScheme fixed(selected, /*default_bits=*/8);
+  std::printf("\ninstantiated PerComponentScheme with %zu searched components.\n",
+              fixed.assignment().size());
+  return 0;
+}

@@ -1,0 +1,52 @@
+// Copyright 2026 MixQ-GNN Authors
+// Graph classification with a 5-layer quantized GIN: 3-fold cross-validation
+// on a social-network-style dataset (IMDB-B analogue), comparing FP32,
+// Degree-Quant INT4, and MixQ — the paper's Table-8 workload in miniature.
+//
+//   ./examples/graph_classification
+#include <cstdio>
+
+#include "core/pipelines.h"
+
+using namespace mixq;
+
+int main() {
+  // A structural graph-classification dataset: the class is planted via edge
+  // density and clustering (degree one-hot features, as the paper does for
+  // featureless TU datasets).
+  GraphDataset dataset = ImdbBLike(/*seed=*/3, /*scale=*/0.08);
+  std::printf("dataset: %s — %zu graphs, avg %.1f nodes / %.1f edges, %lld classes\n",
+              dataset.name.c_str(), dataset.graphs.size(), dataset.AverageNodes(),
+              dataset.AverageEdges(), static_cast<long long>(dataset.num_classes));
+
+  GraphExperimentConfig config;
+  config.hidden = 32;
+  config.num_layers = 4;
+  config.folds = 3;
+  config.train.epochs = 35;
+  config.train.lr = 0.01f;
+  config.train.weight_decay = 0.0f;
+
+  struct Entry {
+    const char* label;
+    SchemeSpec spec;
+  };
+  SchemeSpec mixq = SchemeSpec::MixQ(/*lambda=*/0.05, {4, 8});
+  mixq.search_epochs = 20;
+  const Entry entries[] = {
+      {"FP32", SchemeSpec::Fp32()},
+      {"DQ-INT4", SchemeSpec::Dq(4)},
+      {"MixQ {4,8}", mixq},
+  };
+
+  std::printf("\n%-12s %-16s %-10s %-10s\n", "method", "accuracy", "bits",
+              "GBitOPs");
+  for (const Entry& e : entries) {
+    GraphExperimentResult r = RunGraphExperiment(dataset, config, e.spec);
+    std::printf("%-12s %5.1f%% +- %4.1f%%  %-10.2f %-10.3f\n", e.label,
+                r.mean * 100.0, r.stddev * 100.0, r.avg_bits, r.gbitops);
+  }
+  std::printf("\nGlobal max pooling keeps quantized aggregates in range (the "
+              "paper's overflow-safe readout choice).\n");
+  return 0;
+}

@@ -1,0 +1,65 @@
+// Copyright 2026 MixQ-GNN Authors
+// Invariant-checking macros (abort-on-violation, Arrow/RocksDB CHECK idiom).
+//
+// These macros guard against *programmer errors* (shape mismatches, index
+// out of range, broken invariants). User-facing fallible operations return
+// mixq::Status / mixq::Result instead (see status.h).
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+#include <string>
+
+namespace mixq {
+namespace internal {
+
+/// Aborts the process after printing a fatal-check message to stderr.
+[[noreturn]] inline void CheckFailed(const char* file, int line, const char* expr,
+                                     const std::string& message) {
+  std::fprintf(stderr, "[MIXQ FATAL] %s:%d: check failed: %s%s%s\n", file, line, expr,
+               message.empty() ? "" : " — ", message.c_str());
+  std::abort();
+}
+
+/// Stream-capture helper so MIXQ_CHECK(x) << "detail" works lazily.
+class CheckMessageBuilder {
+ public:
+  CheckMessageBuilder(const char* file, int line, const char* expr)
+      : file_(file), line_(line), expr_(expr) {}
+
+  template <typename T>
+  CheckMessageBuilder& operator<<(const T& value) {
+    stream_ << value;
+    return *this;
+  }
+
+  [[noreturn]] ~CheckMessageBuilder() { CheckFailed(file_, line_, expr_, stream_.str()); }
+
+ private:
+  const char* file_;
+  int line_;
+  const char* expr_;
+  std::ostringstream stream_;
+};
+
+}  // namespace internal
+}  // namespace mixq
+
+/// Aborts with a diagnostic if `condition` is false. Streams extra detail:
+///   MIXQ_CHECK(a == b) << "a=" << a << " b=" << b;
+#define MIXQ_CHECK(condition)                                                      \
+  if (condition) {                                                                \
+  } else                                                                          \
+    ::mixq::internal::CheckMessageBuilder(__FILE__, __LINE__, #condition)
+
+#define MIXQ_CHECK_EQ(a, b) MIXQ_CHECK((a) == (b)) << "lhs=" << (a) << " rhs=" << (b) << " "
+#define MIXQ_CHECK_NE(a, b) MIXQ_CHECK((a) != (b)) << "lhs=" << (a) << " rhs=" << (b) << " "
+#define MIXQ_CHECK_LT(a, b) MIXQ_CHECK((a) < (b)) << "lhs=" << (a) << " rhs=" << (b) << " "
+#define MIXQ_CHECK_LE(a, b) MIXQ_CHECK((a) <= (b)) << "lhs=" << (a) << " rhs=" << (b) << " "
+#define MIXQ_CHECK_GT(a, b) MIXQ_CHECK((a) > (b)) << "lhs=" << (a) << " rhs=" << (b) << " "
+#define MIXQ_CHECK_GE(a, b) MIXQ_CHECK((a) >= (b)) << "lhs=" << (a) << " rhs=" << (b) << " "
+
+/// Unconditional failure (unreachable code paths).
+#define MIXQ_UNREACHABLE() \
+  ::mixq::internal::CheckFailed(__FILE__, __LINE__, "unreachable", "")

@@ -1,0 +1,55 @@
+// Copyright 2026 MixQ-GNN Authors
+// Tiny leveled logger for library diagnostics. Benches print their own tables;
+// this is for warnings/progress. Level via MIXQ_LOG_LEVEL (0=off..3=debug).
+#pragma once
+
+#include <cstdlib>
+#include <iostream>
+#include <sstream>
+
+namespace mixq {
+
+enum class LogLevel : int { kOff = 0, kWarn = 1, kInfo = 2, kDebug = 3 };
+
+/// Current log level (read once from MIXQ_LOG_LEVEL, default kWarn).
+inline LogLevel CurrentLogLevel() {
+  static const LogLevel kLevel = [] {
+    if (const char* env = std::getenv("MIXQ_LOG_LEVEL")) {
+      int v = std::atoi(env);
+      if (v < 0) v = 0;
+      if (v > 3) v = 3;
+      return static_cast<LogLevel>(v);
+    }
+    return LogLevel::kWarn;
+  }();
+  return kLevel;
+}
+
+namespace internal {
+
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* tag) : enabled_(level <= CurrentLogLevel()) {
+    if (enabled_) stream_ << "[MIXQ " << tag << "] ";
+  }
+  template <typename T>
+  LogMessage& operator<<(const T& v) {
+    if (enabled_) stream_ << v;
+    return *this;
+  }
+  ~LogMessage() {
+    if (enabled_) std::cerr << stream_.str() << std::endl;
+  }
+
+ private:
+  bool enabled_;
+  std::ostringstream stream_;
+};
+
+}  // namespace internal
+
+#define MIXQ_LOG_WARN() ::mixq::internal::LogMessage(::mixq::LogLevel::kWarn, "WARN")
+#define MIXQ_LOG_INFO() ::mixq::internal::LogMessage(::mixq::LogLevel::kInfo, "INFO")
+#define MIXQ_LOG_DEBUG() ::mixq::internal::LogMessage(::mixq::LogLevel::kDebug, "DEBUG")
+
+}  // namespace mixq

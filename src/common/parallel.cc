@@ -1,0 +1,46 @@
+// Copyright 2026 MixQ-GNN Authors
+#include "common/parallel.h"
+
+#include <algorithm>
+#include <cstdlib>
+#include <thread>
+#include <vector>
+
+namespace mixq {
+
+int NumThreads() {
+  static const int kThreads = [] {
+    if (const char* env = std::getenv("MIXQ_THREADS")) {
+      int v = std::atoi(env);
+      if (v <= 1) return 1;
+      return std::min(v, 64);
+    }
+    unsigned hc = std::thread::hardware_concurrency();
+    if (hc == 0) hc = 4;
+    return static_cast<int>(std::min<unsigned>(hc, 16));
+  }();
+  return kThreads;
+}
+
+void ParallelFor(int64_t n, const std::function<void(int64_t, int64_t)>& fn,
+                 int64_t grain) {
+  if (n <= 0) return;
+  const int threads = NumThreads();
+  if (threads <= 1 || n < 2 * grain) {
+    fn(0, n);
+    return;
+  }
+  const int64_t num_chunks = std::min<int64_t>(threads, (n + grain - 1) / grain);
+  const int64_t chunk = (n + num_chunks - 1) / num_chunks;
+  std::vector<std::thread> workers;
+  workers.reserve(static_cast<size_t>(num_chunks));
+  for (int64_t c = 0; c < num_chunks; ++c) {
+    const int64_t begin = c * chunk;
+    const int64_t end = std::min(n, begin + chunk);
+    if (begin >= end) break;
+    workers.emplace_back([&fn, begin, end] { fn(begin, end); });
+  }
+  for (auto& w : workers) w.join();
+}
+
+}  // namespace mixq

@@ -1,0 +1,23 @@
+// Copyright 2026 MixQ-GNN Authors
+// Minimal data-parallel loop utility. The dense GEMM and sparse SpMM kernels
+// dominate training cost; chunked std::thread parallelism keeps them tractable
+// on CPU without external dependencies.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+
+namespace mixq {
+
+/// Number of worker threads used by ParallelFor. Defaults to
+/// std::thread::hardware_concurrency(), clamped to [1, 16]. Override with the
+/// MIXQ_THREADS environment variable (0/1 disables parallelism).
+int NumThreads();
+
+/// Runs fn(begin, end) over disjoint chunks of [0, n) on worker threads.
+/// Falls back to a serial call when n is small or NumThreads() == 1.
+/// `grain` is the minimum chunk size worth spawning a thread for.
+void ParallelFor(int64_t n, const std::function<void(int64_t, int64_t)>& fn,
+                 int64_t grain = 1024);
+
+}  // namespace mixq

@@ -1,0 +1,99 @@
+// Copyright 2026 MixQ-GNN Authors
+// Deterministic random-number utilities shared by generators, initializers,
+// and stochastic quantizers. All experiment entry points seed explicitly so
+// every table/figure in bench/ is reproducible run-to-run.
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <random>
+#include <vector>
+
+#include "common/check.h"
+
+namespace mixq {
+
+/// Deterministic RNG wrapper around std::mt19937_64 with convenience draws.
+class Rng {
+ public:
+  explicit Rng(uint64_t seed = 0x9E3779B97F4A7C15ull) : engine_(seed) {}
+
+  /// Uniform real in [lo, hi).
+  float Uniform(float lo = 0.0f, float hi = 1.0f) {
+    std::uniform_real_distribution<float> dist(lo, hi);
+    return dist(engine_);
+  }
+
+  /// Standard normal (mean 0, stddev 1) scaled/shifted.
+  float Normal(float mean = 0.0f, float stddev = 1.0f) {
+    std::normal_distribution<float> dist(mean, stddev);
+    return dist(engine_);
+  }
+
+  /// Uniform integer in [lo, hi] inclusive.
+  int64_t UniformInt(int64_t lo, int64_t hi) {
+    MIXQ_CHECK_LE(lo, hi);
+    std::uniform_int_distribution<int64_t> dist(lo, hi);
+    return dist(engine_);
+  }
+
+  /// Bernoulli draw with success probability p.
+  bool Bernoulli(double p) {
+    std::bernoulli_distribution dist(p);
+    return dist(engine_);
+  }
+
+  /// Draws an index in [0, weights.size()) with probability ∝ weights[i].
+  size_t Categorical(const std::vector<double>& weights) {
+    MIXQ_CHECK(!weights.empty());
+    std::discrete_distribution<size_t> dist(weights.begin(), weights.end());
+    return dist(engine_);
+  }
+
+  /// Geometric-like power-law degree sample in [1, max_value]:
+  /// P(k) ∝ k^{-alpha}. Sampled by inverse-CDF on a precomputed table-free
+  /// rejection loop (cheap for the graph sizes used here).
+  int64_t PowerLaw(double alpha, int64_t max_value) {
+    MIXQ_CHECK_GE(max_value, 1);
+    // Inverse transform for continuous Pareto, then clamp & round.
+    double u = std::uniform_real_distribution<double>(0.0, 1.0)(engine_);
+    double x = std::pow(1.0 - u, -1.0 / (alpha - 1.0));
+    int64_t k = static_cast<int64_t>(x);
+    if (k < 1) k = 1;
+    if (k > max_value) k = max_value;
+    return k;
+  }
+
+  /// Fisher-Yates shuffle.
+  template <typename T>
+  void Shuffle(std::vector<T>* values) {
+    std::shuffle(values->begin(), values->end(), engine_);
+  }
+
+  /// Samples k distinct indices from [0, n) (k <= n), order randomized.
+  std::vector<int64_t> SampleWithoutReplacement(int64_t n, int64_t k) {
+    MIXQ_CHECK_LE(k, n);
+    std::vector<int64_t> all(n);
+    for (int64_t i = 0; i < n; ++i) all[i] = i;
+    Shuffle(&all);
+    all.resize(k);
+    return all;
+  }
+
+  std::mt19937_64& engine() { return engine_; }
+
+ private:
+  std::mt19937_64 engine_;
+};
+
+/// SplitMix64 — used to derive independent child seeds from a master seed so
+/// parallel workloads stay deterministic regardless of scheduling.
+inline uint64_t SplitMix64(uint64_t* state) {
+  uint64_t z = (*state += 0x9E3779B97F4A7C15ull);
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+  return z ^ (z >> 31);
+}
+
+}  // namespace mixq

@@ -1,0 +1,114 @@
+// Copyright 2026 MixQ-GNN Authors
+// Small statistics helpers shared by benches and evaluation code: mean/std,
+// Pearson and Spearman correlation (used for Fig. 1 and Fig. 8), percentiles
+// (used by Degree-Quant range observers), and Pareto-front extraction
+// (used by Fig. 2/3).
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <numeric>
+#include <vector>
+
+#include "common/check.h"
+
+namespace mixq {
+
+/// Arithmetic mean; 0 for empty input.
+inline double Mean(const std::vector<double>& xs) {
+  if (xs.empty()) return 0.0;
+  return std::accumulate(xs.begin(), xs.end(), 0.0) / static_cast<double>(xs.size());
+}
+
+/// Sample standard deviation (n-1 denominator); 0 for size < 2.
+inline double StdDev(const std::vector<double>& xs) {
+  if (xs.size() < 2) return 0.0;
+  double m = Mean(xs);
+  double ss = 0.0;
+  for (double x : xs) ss += (x - m) * (x - m);
+  return std::sqrt(ss / static_cast<double>(xs.size() - 1));
+}
+
+/// Pearson correlation coefficient; 0 when either vector is constant.
+inline double PearsonCorrelation(const std::vector<double>& xs,
+                                 const std::vector<double>& ys) {
+  MIXQ_CHECK_EQ(xs.size(), ys.size());
+  if (xs.size() < 2) return 0.0;
+  double mx = Mean(xs), my = Mean(ys);
+  double sxy = 0.0, sxx = 0.0, syy = 0.0;
+  for (size_t i = 0; i < xs.size(); ++i) {
+    sxy += (xs[i] - mx) * (ys[i] - my);
+    sxx += (xs[i] - mx) * (xs[i] - mx);
+    syy += (ys[i] - my) * (ys[i] - my);
+  }
+  if (sxx <= 0.0 || syy <= 0.0) return 0.0;
+  return sxy / std::sqrt(sxx * syy);
+}
+
+/// Fractional ranks with ties averaged (for Spearman).
+inline std::vector<double> Ranks(const std::vector<double>& xs) {
+  const size_t n = xs.size();
+  std::vector<size_t> order(n);
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(),
+            [&](size_t a, size_t b) { return xs[a] < xs[b]; });
+  std::vector<double> rank(n, 0.0);
+  size_t i = 0;
+  while (i < n) {
+    size_t j = i;
+    while (j + 1 < n && xs[order[j + 1]] == xs[order[i]]) ++j;
+    double avg = 0.5 * (static_cast<double>(i) + static_cast<double>(j)) + 1.0;
+    for (size_t k = i; k <= j; ++k) rank[order[k]] = avg;
+    i = j + 1;
+  }
+  return rank;
+}
+
+/// Spearman rank correlation (Fig. 1 reports 0.64 on the paper's data).
+inline double SpearmanCorrelation(const std::vector<double>& xs,
+                                  const std::vector<double>& ys) {
+  return PearsonCorrelation(Ranks(xs), Ranks(ys));
+}
+
+/// Linear-interpolated percentile, p in [0, 100].
+inline double Percentile(std::vector<double> xs, double p) {
+  MIXQ_CHECK(!xs.empty());
+  MIXQ_CHECK_GE(p, 0.0);
+  MIXQ_CHECK_LE(p, 100.0);
+  std::sort(xs.begin(), xs.end());
+  if (xs.size() == 1) return xs[0];
+  double idx = p / 100.0 * static_cast<double>(xs.size() - 1);
+  size_t lo = static_cast<size_t>(idx);
+  size_t hi = std::min(lo + 1, xs.size() - 1);
+  double frac = idx - static_cast<double>(lo);
+  return xs[lo] * (1.0 - frac) + xs[hi] * frac;
+}
+
+/// A 2-D point for Pareto-front extraction: minimize `cost`, maximize `gain`.
+struct ParetoPoint {
+  double cost = 0.0;   ///< e.g. average bit-width
+  double gain = 0.0;   ///< e.g. accuracy
+  int64_t tag = -1;    ///< caller payload (e.g. combination index)
+};
+
+/// Returns the subset of points not dominated by any other point
+/// (lower cost AND higher-or-equal gain, or equal cost and strictly higher
+/// gain, dominates). Output sorted by cost ascending.
+inline std::vector<ParetoPoint> ParetoFront(std::vector<ParetoPoint> points) {
+  std::sort(points.begin(), points.end(), [](const ParetoPoint& a, const ParetoPoint& b) {
+    if (a.cost != b.cost) return a.cost < b.cost;
+    return a.gain > b.gain;
+  });
+  std::vector<ParetoPoint> front;
+  double best_gain = -1e300;
+  for (const auto& p : points) {
+    if (p.gain > best_gain) {
+      front.push_back(p);
+      best_gain = p.gain;
+    }
+  }
+  return front;
+}
+
+}  // namespace mixq

@@ -1,0 +1,122 @@
+// Copyright 2026 MixQ-GNN Authors
+// Status / Result error-handling primitives (Arrow / RocksDB idiom).
+#pragma once
+
+#include <string>
+#include <utility>
+#include <variant>
+
+#include "common/check.h"
+
+namespace mixq {
+
+/// Error categories for fallible operations.
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,
+  kOutOfRange,
+  kNotImplemented,
+  kInternal,
+  kNotFound,
+};
+
+/// Returns a short human-readable name for a StatusCode.
+inline const char* StatusCodeName(StatusCode code) {
+  switch (code) {
+    case StatusCode::kOk: return "OK";
+    case StatusCode::kInvalidArgument: return "InvalidArgument";
+    case StatusCode::kOutOfRange: return "OutOfRange";
+    case StatusCode::kNotImplemented: return "NotImplemented";
+    case StatusCode::kInternal: return "Internal";
+    case StatusCode::kNotFound: return "NotFound";
+  }
+  return "Unknown";
+}
+
+/// Lightweight status object for fallible operations. Cheap to copy when OK.
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() : code_(StatusCode::kOk) {}
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string m) {
+    return Status(StatusCode::kInvalidArgument, std::move(m));
+  }
+  static Status OutOfRange(std::string m) {
+    return Status(StatusCode::kOutOfRange, std::move(m));
+  }
+  static Status NotImplemented(std::string m) {
+    return Status(StatusCode::kNotImplemented, std::move(m));
+  }
+  static Status Internal(std::string m) {
+    return Status(StatusCode::kInternal, std::move(m));
+  }
+  static Status NotFound(std::string m) {
+    return Status(StatusCode::kNotFound, std::move(m));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// Renders "Code: message" for logs and test failures.
+  std::string ToString() const {
+    if (ok()) return "OK";
+    return std::string(StatusCodeName(code_)) + ": " + message_;
+  }
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+/// Result<T>: either a value or an error Status (Arrow's arrow::Result idiom).
+template <typename T>
+class Result {
+ public:
+  /// Implicit from value.
+  Result(T value) : payload_(std::move(value)) {}
+  /// Implicit from error status. Must not be OK.
+  Result(Status status) : payload_(std::move(status)) {
+    MIXQ_CHECK(!std::get<Status>(payload_).ok()) << "Result constructed from OK status";
+  }
+
+  bool ok() const { return std::holds_alternative<T>(payload_); }
+
+  const Status& status() const {
+    static const Status kOk = Status::OK();
+    if (ok()) return kOk;
+    return std::get<Status>(payload_);
+  }
+
+  /// Returns the value; aborts if this holds an error.
+  const T& ValueOrDie() const {
+    MIXQ_CHECK(ok()) << status().ToString();
+    return std::get<T>(payload_);
+  }
+  T& ValueOrDie() {
+    MIXQ_CHECK(ok()) << status().ToString();
+    return std::get<T>(payload_);
+  }
+
+  /// Moves the value out; aborts if this holds an error.
+  T MoveValueOrDie() {
+    MIXQ_CHECK(ok()) << status().ToString();
+    return std::move(std::get<T>(payload_));
+  }
+
+ private:
+  std::variant<T, Status> payload_;
+};
+
+/// Propagates a non-OK Status from an expression.
+#define MIXQ_RETURN_NOT_OK(expr)             \
+  do {                                       \
+    ::mixq::Status _st = (expr);             \
+    if (!_st.ok()) return _st;               \
+  } while (false)
+
+}  // namespace mixq

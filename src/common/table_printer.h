@@ -1,0 +1,81 @@
+// Copyright 2026 MixQ-GNN Authors
+// ASCII table printer used by the bench harnesses to render the paper's
+// tables ("paper vs measured") with aligned columns.
+#pragma once
+
+#include <iostream>
+#include <string>
+#include <vector>
+
+namespace mixq {
+
+/// Accumulates rows of string cells and prints an aligned ASCII table.
+class TablePrinter {
+ public:
+  explicit TablePrinter(std::vector<std::string> header) : header_(std::move(header)) {}
+
+  /// Adds one row; must have the same arity as the header.
+  void AddRow(std::vector<std::string> row) { rows_.push_back(std::move(row)); }
+
+  /// Inserts a horizontal separator before the next row.
+  void AddSeparator() { separators_.push_back(rows_.size()); }
+
+  /// Renders to `os` with 2-space padding and +---+ rules.
+  void Print(std::ostream& os = std::cout) const {
+    std::vector<size_t> width(header_.size(), 0);
+    for (size_t c = 0; c < header_.size(); ++c) width[c] = header_[c].size();
+    for (const auto& row : rows_) {
+      for (size_t c = 0; c < row.size() && c < width.size(); ++c) {
+        width[c] = std::max(width[c], row[c].size());
+      }
+    }
+    auto rule = [&] {
+      os << '+';
+      for (size_t c = 0; c < width.size(); ++c) {
+        os << std::string(width[c] + 2, '-') << '+';
+      }
+      os << '\n';
+    };
+    auto print_row = [&](const std::vector<std::string>& row) {
+      os << '|';
+      for (size_t c = 0; c < width.size(); ++c) {
+        const std::string& cell = c < row.size() ? row[c] : std::string();
+        os << ' ' << cell << std::string(width[c] - cell.size() + 1, ' ') << '|';
+      }
+      os << '\n';
+    };
+    rule();
+    print_row(header_);
+    rule();
+    size_t sep_idx = 0;
+    for (size_t r = 0; r < rows_.size(); ++r) {
+      while (sep_idx < separators_.size() && separators_[sep_idx] == r) {
+        rule();
+        ++sep_idx;
+      }
+      print_row(rows_[r]);
+    }
+    rule();
+  }
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+  std::vector<size_t> separators_;
+};
+
+/// Formats a float with fixed precision (bench table cells).
+inline std::string FormatFloat(double v, int precision = 2) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", precision, v);
+  return std::string(buf);
+}
+
+/// Formats "mean ± std" as used throughout the paper's tables.
+inline std::string FormatMeanStd(double mean, double stddev, int precision = 1) {
+  char buf[96];
+  std::snprintf(buf, sizeof(buf), "%.*f ±%.*f", precision, mean, precision, stddev);
+  return std::string(buf);
+}
+
+}  // namespace mixq

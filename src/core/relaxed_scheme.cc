@@ -1,0 +1,127 @@
+// Copyright 2026 MixQ-GNN Authors
+#include "core/relaxed_scheme.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "tensor/ops.h"
+
+namespace mixq {
+
+RelaxedMixQScheme::RelaxedMixQScheme(RelaxedOptions options)
+    : options_(std::move(options)) {
+  MIXQ_CHECK(!options_.bit_options.empty());
+  for (int b : options_.bit_options) {
+    MIXQ_CHECK_GE(b, 1);
+    MIXQ_CHECK_LE(b, 32);
+  }
+  std::vector<float> bits(options_.bit_options.size());
+  for (size_t i = 0; i < bits.size(); ++i) {
+    bits[i] = static_cast<float>(options_.bit_options[i]);
+  }
+  bits_const_ =
+      Tensor::FromVector(Shape(static_cast<int64_t>(bits.size())), bits);
+}
+
+RelaxedMixQScheme::Component& RelaxedMixQScheme::GetOrCreate(const std::string& id,
+                                                             ComponentKind kind) {
+  auto it = components_.find(id);
+  if (it != components_.end()) return it->second;
+  Component c;
+  const int64_t k = static_cast<int64_t>(options_.bit_options.size());
+  c.alpha = Tensor::Full(Shape(k), options_.alpha_init, /*requires_grad=*/true);
+  QatOptions qat;
+  qat.activation_observer = options_.activation_observer;
+  for (int b : options_.bit_options) {
+    c.quantizers.push_back(
+        std::make_unique<FakeQuantizer>(MakeComponentConfig(kind, b, qat)));
+  }
+  ids_.push_back(id);
+  return components_.emplace(id, std::move(c)).first->second;
+}
+
+Tensor RelaxedMixQScheme::Quantize(const std::string& id, const Tensor& x,
+                                   ComponentKind kind, bool training) {
+  Component& c = GetOrCreate(id, kind);
+  Tensor weights = Softmax1D(c.alpha);  // [k]
+
+  // Eq. (6): mixture of the candidate fake quantizations.
+  Tensor out;
+  for (size_t i = 0; i < c.quantizers.size(); ++i) {
+    Tensor qi = c.quantizers[i]->Apply(x, training);
+    Tensor weighted = ScaleByElement(qi, weights, static_cast<int64_t>(i));
+    out = out.defined() ? Add(out, weighted) : weighted;
+  }
+
+  // Eq. (8): C(T) = Σ_i b_i·softmax(α)_i · |T| / (1024·8)  [MB]. Collected
+  // during training forwards only; the trainer adds λ·ΣC to the loss.
+  if (training) {
+    const float mb = static_cast<float>(x.numel()) / (1024.0f * 8.0f);
+    Tensor c_term = Scale(Dot(weights, bits_const_), mb);
+    step_penalties_.push_back(c_term);
+    step_elements_ += static_cast<double>(x.numel());
+  }
+  return out;
+}
+
+std::vector<Tensor> RelaxedMixQScheme::SchemeParameters() {
+  std::vector<Tensor> params;
+  for (const std::string& id : ids_) params.push_back(components_.at(id).alpha);
+  return params;
+}
+
+Tensor RelaxedMixQScheme::PenaltyLoss() {
+  if (step_penalties_.empty() || options_.lambda == 0.0) return Tensor();
+  Tensor total = step_penalties_[0];
+  for (size_t i = 1; i < step_penalties_.size(); ++i) {
+    total = Add(total, step_penalties_[i]);
+  }
+  // Normalize ΣC back from MB-units to the element-weighted mean bit-width,
+  // then apply λ (see class comment).
+  const double norm = 1024.0 * 8.0 / std::max(step_elements_, 1.0);
+  return Scale(total, static_cast<float>(options_.lambda * norm));
+}
+
+void RelaxedMixQScheme::BeginStep(bool /*training*/) {
+  step_penalties_.clear();
+  step_elements_ = 0.0;
+}
+
+double RelaxedMixQScheme::EffectiveBits(const std::string& id, double fallback) const {
+  auto it = components_.find(id);
+  if (it == components_.end()) return fallback;
+  const auto w = AlphaWeights(id);
+  double bits = 0.0;
+  for (size_t i = 0; i < w.size(); ++i) {
+    bits += w[i] * static_cast<double>(options_.bit_options[i]);
+  }
+  return bits;
+}
+
+std::map<std::string, int> RelaxedMixQScheme::SelectedBits() const {
+  std::map<std::string, int> selected;
+  for (const auto& [id, c] : components_) {
+    const auto& a = c.alpha.data();
+    size_t best = 0;
+    for (size_t i = 1; i < a.size(); ++i) {
+      if (a[i] > a[best]) best = i;
+    }
+    selected[id] = options_.bit_options[best];
+  }
+  return selected;
+}
+
+std::vector<double> RelaxedMixQScheme::AlphaWeights(const std::string& id) const {
+  const auto& a = components_.at(id).alpha.data();
+  double mx = *std::max_element(a.begin(), a.end());
+  std::vector<double> w(a.size());
+  double denom = 0.0;
+  for (size_t i = 0; i < a.size(); ++i) {
+    w[i] = std::exp(static_cast<double>(a[i]) - mx);
+    denom += w[i];
+  }
+  for (auto& v : w) v /= denom;
+  return w;
+}
+
+}  // namespace mixq

@@ -1,0 +1,87 @@
+// Copyright 2026 MixQ-GNN Authors
+// RelaxedMixQScheme — the heart of MixQ-GNN (paper §4.1, §4.2).
+//
+// Every component gets k = |B| candidate fake quantizers (one per bit-width
+// b_i ∈ B) and a learnable relaxation vector α ∈ R^k. The component's output
+// during the search is the Eq. (6) mixture
+//     Σ_i softmax(α)_i · Q^f_{b_i}(x),
+// and each component contributes the Eq. (8) memory term
+//     C(T) = Σ_i b_i·softmax(α)_i · |T| / (1024·8)      [MB]
+// to the λ-weighted penalty added to the task loss (Eq. (7) Lagrangian).
+// The accumulated ΣC is additionally normalized by the total element count of
+// the step, making the penalty the element-weighted *average* bit-width (in
+// bits). This keeps the meaning of λ independent of dataset size — the paper
+// tunes λ per dataset implicitly; one normalized λ scale replaces that
+// (DESIGN.md §5 records the substitution).
+// After training, SelectedBits() returns argmax_α per component — the
+// bit-width sequence S of Algorithm 1.
+#pragma once
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "quant/scheme.h"
+
+namespace mixq {
+
+struct RelaxedOptions {
+  /// Candidate bit-widths B (e.g. {2,4,8}; {4,8} for OGB-Arxiv).
+  std::vector<int> bit_options = {2, 4, 8};
+  /// Lagrange multiplier λ. Negative values (λ = −ε) reward wider widths.
+  double lambda = 0.1;
+  ObserverKind activation_observer = ObserverKind::kEma;
+  /// Initial α (uniform). Softmax is shift-invariant, so 0 is canonical.
+  float alpha_init = 0.0f;
+};
+
+/// The relaxed differentiable quantization scheme (Algorithm 1's
+/// "Build Relaxed Architecture" + penalty machinery).
+class RelaxedMixQScheme : public QuantScheme {
+ public:
+  explicit RelaxedMixQScheme(RelaxedOptions options);
+
+  Tensor Quantize(const std::string& id, const Tensor& x, ComponentKind kind,
+                  bool training) override;
+
+  /// All α vectors (handed to the optimizer together with Θ; the paper's
+  /// single-loop update).
+  std::vector<Tensor> SchemeParameters() override;
+
+  /// λ · Σ_i C(T_i) accumulated over the current step's forward pass.
+  Tensor PenaltyLoss() override;
+
+  /// Expected bit-width under softmax(α) while searching; after selection
+  /// callers should instantiate a PerComponentScheme from SelectedBits().
+  double EffectiveBits(const std::string& id, double fallback) const override;
+
+  void BeginStep(bool training) override;
+
+  std::vector<std::string> ComponentIds() const override { return ids_; }
+
+  /// Algorithm 1 line 25-26: bit-width of the max-α candidate per component.
+  std::map<std::string, int> SelectedBits() const;
+
+  /// softmax(α) for one component (diagnostics / tests).
+  std::vector<double> AlphaWeights(const std::string& id) const;
+
+  const RelaxedOptions& options() const { return options_; }
+
+ private:
+  struct Component {
+    Tensor alpha;  // [k], learnable
+    std::vector<std::unique_ptr<FakeQuantizer>> quantizers;  // one per b_i
+  };
+
+  Component& GetOrCreate(const std::string& id, ComponentKind kind);
+
+  RelaxedOptions options_;
+  Tensor bits_const_;  // [k] constant tensor of bit values
+  std::map<std::string, Component> components_;
+  std::vector<std::string> ids_;
+  std::vector<Tensor> step_penalties_;  // C(T) terms gathered this step
+  double step_elements_ = 0.0;          // Σ|T| this step (normalizer)
+};
+
+}  // namespace mixq

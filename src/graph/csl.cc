@@ -1,0 +1,63 @@
+// Copyright 2026 MixQ-GNN Authors
+#include "graph/csl.h"
+
+#include <set>
+
+#include "common/rng.h"
+#include "graph/laplacian_pe.h"
+
+namespace mixq {
+
+Graph MakeCslGraph(int64_t num_nodes, int64_t skip, int64_t label, uint64_t seed) {
+  MIXQ_CHECK_GE(num_nodes, 3);
+  MIXQ_CHECK_GE(skip, 2);
+  MIXQ_CHECK_LT(skip, num_nodes);
+  Rng rng(seed);
+  std::vector<int64_t> perm(static_cast<size_t>(num_nodes));
+  for (int64_t i = 0; i < num_nodes; ++i) perm[static_cast<size_t>(i)] = i;
+  rng.Shuffle(&perm);
+
+  Graph g;
+  g.num_nodes = num_nodes;
+  g.graph_label = label;
+  std::set<std::pair<int64_t, int64_t>> seen;
+  auto add_edge = [&](int64_t a, int64_t b) {
+    a = perm[static_cast<size_t>(a)];
+    b = perm[static_cast<size_t>(b)];
+    if (a == b) return;
+    auto key = std::minmax(a, b);
+    if (!seen.insert({key.first, key.second}).second) return;
+    g.edges.push_back({a, b, 1.0f});
+    g.edges.push_back({b, a, 1.0f});
+  };
+  for (int64_t i = 0; i < num_nodes; ++i) {
+    add_edge(i, (i + 1) % num_nodes);
+    add_edge(i, (i + skip) % num_nodes);
+  }
+  return g;
+}
+
+GraphDataset MakeCslDataset(int64_t pe_dim, uint64_t seed) {
+  // The canonical CSL configuration from [68] as used by Benchmarking GNNs [71].
+  const int64_t kNumNodes = 41;
+  const int64_t kSkips[] = {2, 3, 4, 5, 6, 9, 11, 12, 13, 16};
+  const int64_t kPerClass = 15;
+
+  GraphDataset ds;
+  ds.name = "csl";
+  ds.num_classes = 10;
+  ds.feature_dim = pe_dim;
+  Rng pe_rng(seed + 999);
+  uint64_t graph_seed = seed;
+  for (int64_t c = 0; c < 10; ++c) {
+    for (int64_t r = 0; r < kPerClass; ++r) {
+      Graph g = MakeCslGraph(kNumNodes, kSkips[c], c, graph_seed++);
+      g.num_classes = 10;
+      SetLaplacianPositionalEncoding(&g, pe_dim, &pe_rng);
+      ds.graphs.push_back(std::move(g));
+    }
+  }
+  return ds;
+}
+
+}  // namespace mixq

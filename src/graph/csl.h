@@ -1,0 +1,24 @@
+// Copyright 2026 MixQ-GNN Authors
+// Circular Skip Link (CSL) synthetic dataset [68] — implemented exactly, not
+// approximated: R_{n,k} is an n-node cycle plus skip links of length k; the
+// class is the (isomorphism type of the) skip length. The paper uses n = 41,
+// 10 skip classes, 150 graphs, with 50-dim Laplacian positional encodings.
+#pragma once
+
+#include <cstdint>
+
+#include "graph/graph.h"
+
+namespace mixq {
+
+/// Builds one R_{n,k} graph: nodes 0..n−1 on a cycle, plus edges {i, i+k mod n}.
+/// Node ids are then relabelled by a random permutation (seeded) so copies of
+/// a class are distinct-but-isomorphic instances.
+Graph MakeCslGraph(int64_t num_nodes, int64_t skip, int64_t label, uint64_t seed);
+
+/// The standard CSL benchmark: 150 graphs on 41 nodes, skip lengths
+/// {2,3,4,5,6,9,11,12,13,16} (10 classes, 15 instances each), node features
+/// set to `pe_dim`-dimensional Laplacian positional encodings (paper: 50).
+GraphDataset MakeCslDataset(int64_t pe_dim = 50, uint64_t seed = 1);
+
+}  // namespace mixq

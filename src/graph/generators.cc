@@ -1,0 +1,475 @@
+// Copyright 2026 MixQ-GNN Authors
+#include "graph/generators.h"
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+#include <unordered_set>
+
+#include "common/logging.h"
+#include "common/rng.h"
+
+namespace mixq {
+
+namespace {
+
+// Draws per-node stub counts with a power-law tail, rescaled so the sample
+// mean matches `target_mean`.
+std::vector<int64_t> DrawDegrees(int64_t n, double target_mean, double alpha,
+                                 int64_t max_degree, Rng* rng) {
+  std::vector<double> raw(static_cast<size_t>(n));
+  double sum = 0.0;
+  for (auto& d : raw) {
+    d = static_cast<double>(rng->PowerLaw(alpha, max_degree));
+    sum += d;
+  }
+  const double scale = target_mean * static_cast<double>(n) / std::max(sum, 1.0);
+  std::vector<int64_t> out(static_cast<size_t>(n));
+  for (int64_t i = 0; i < n; ++i) {
+    const double want = raw[static_cast<size_t>(i)] * scale;
+    int64_t k = static_cast<int64_t>(want);
+    if (rng->Uniform() < want - static_cast<double>(k)) ++k;
+    out[static_cast<size_t>(i)] = std::min<int64_t>(std::max<int64_t>(k, 0), max_degree);
+  }
+  return out;
+}
+
+// Builds class-correlated sparse binary features, then row-normalizes
+// (the standard Planetoid preprocessing).
+Tensor MakeClassFeatures(const std::vector<int64_t>& classes, int64_t num_classes,
+                         int64_t feature_dim, double signal, double noise, Rng* rng) {
+  const int64_t n = static_cast<int64_t>(classes.size());
+  // Prototype: each class owns a contiguous block of "words" plus a shared
+  // overlap region, mimicking bag-of-words topical clustering.
+  const int64_t block = std::max<int64_t>(feature_dim / std::max<int64_t>(num_classes, 1), 1);
+  Tensor x = Tensor::Zeros(Shape(n, feature_dim));
+  for (int64_t i = 0; i < n; ++i) {
+    const int64_t c = classes[static_cast<size_t>(i)];
+    const int64_t lo = std::min(c * block, feature_dim - block);
+    for (int64_t j = 0; j < feature_dim; ++j) {
+      const bool in_proto = j >= lo && j < lo + block;
+      const double p = in_proto ? signal : noise;
+      if (rng->Bernoulli(p)) x.at(i, j) = 1.0f;
+    }
+    // Row-normalize.
+    double s = 0.0;
+    for (int64_t j = 0; j < feature_dim; ++j) s += x.at(i, j);
+    if (s > 0.0) {
+      const float inv = static_cast<float>(1.0 / s);
+      for (int64_t j = 0; j < feature_dim; ++j) x.at(i, j) *= inv;
+    }
+  }
+  return x;
+}
+
+// Stub-matching edge construction with homophily. Produces undirected edges
+// (both directions), no self loops, duplicates merged downstream by FromCoo.
+std::vector<CooEntry> MakeHomophilousEdges(const std::vector<int64_t>& classes,
+                                           int64_t num_classes,
+                                           const std::vector<int64_t>& stubs,
+                                           double homophily, Rng* rng) {
+  const int64_t n = static_cast<int64_t>(classes.size());
+  std::vector<std::vector<int64_t>> by_class(static_cast<size_t>(num_classes));
+  for (int64_t i = 0; i < n; ++i) {
+    by_class[static_cast<size_t>(classes[static_cast<size_t>(i)])].push_back(i);
+  }
+  std::vector<CooEntry> edges;
+  std::set<std::pair<int64_t, int64_t>> seen;
+  for (int64_t i = 0; i < n; ++i) {
+    const int64_t c = classes[static_cast<size_t>(i)];
+    for (int64_t s = 0; s < stubs[static_cast<size_t>(i)]; ++s) {
+      int64_t j = -1;
+      for (int attempt = 0; attempt < 8 && j < 0; ++attempt) {
+        int64_t cand;
+        if (rng->Bernoulli(homophily) && by_class[static_cast<size_t>(c)].size() > 1) {
+          const auto& pool = by_class[static_cast<size_t>(c)];
+          cand = pool[static_cast<size_t>(
+              rng->UniformInt(0, static_cast<int64_t>(pool.size()) - 1))];
+        } else {
+          cand = rng->UniformInt(0, n - 1);
+        }
+        if (cand == i) continue;
+        auto key = std::minmax(i, cand);
+        if (seen.count({key.first, key.second})) continue;
+        j = cand;
+        seen.insert({key.first, key.second});
+      }
+      if (j < 0) continue;
+      edges.push_back({i, j, 1.0f});
+      edges.push_back({j, i, 1.0f});
+    }
+  }
+  return edges;
+}
+
+void AssignPlanetoidSplit(Graph* g, int64_t train_per_class, int64_t val_count,
+                          int64_t test_count, Rng* rng) {
+  const int64_t n = g->num_nodes;
+  g->train_mask.assign(static_cast<size_t>(n), 0);
+  g->val_mask.assign(static_cast<size_t>(n), 0);
+  g->test_mask.assign(static_cast<size_t>(n), 0);
+  std::vector<int64_t> order(static_cast<size_t>(n));
+  for (int64_t i = 0; i < n; ++i) order[static_cast<size_t>(i)] = i;
+  rng->Shuffle(&order);
+  std::vector<int64_t> taken_per_class(static_cast<size_t>(g->num_classes), 0);
+  std::vector<int64_t> rest;
+  for (int64_t i : order) {
+    const int64_t c = g->labels[static_cast<size_t>(i)];
+    if (c >= 0 && taken_per_class[static_cast<size_t>(c)] < train_per_class) {
+      g->train_mask[static_cast<size_t>(i)] = 1;
+      taken_per_class[static_cast<size_t>(c)]++;
+    } else {
+      rest.push_back(i);
+    }
+  }
+  int64_t vi = 0;
+  for (; vi < std::min<int64_t>(val_count, static_cast<int64_t>(rest.size())); ++vi) {
+    g->val_mask[static_cast<size_t>(rest[static_cast<size_t>(vi)])] = 1;
+  }
+  for (int64_t ti = 0;
+       ti < test_count && vi + ti < static_cast<int64_t>(rest.size()); ++ti) {
+    g->test_mask[static_cast<size_t>(rest[static_cast<size_t>(vi + ti)])] = 1;
+  }
+}
+
+}  // namespace
+
+NodeDataset GenerateCitation(const CitationConfig& config) {
+  Rng rng(config.seed);
+  const int64_t n = config.num_nodes;
+  MIXQ_CHECK_GT(n, 0);
+  MIXQ_CHECK_GT(config.num_classes, 0);
+
+  Graph g;
+  g.num_nodes = n;
+  g.num_classes = config.num_classes;
+  g.labels.resize(static_cast<size_t>(n));
+  for (auto& c : g.labels) c = rng.UniformInt(0, config.num_classes - 1);
+
+  auto stubs = DrawDegrees(n, config.avg_degree, config.power_law_alpha,
+                           config.max_degree, &rng);
+  g.edges = MakeHomophilousEdges(g.labels, config.num_classes, stubs,
+                                 config.homophily, &rng);
+  g.features = MakeClassFeatures(g.labels, config.num_classes, config.feature_dim,
+                                 config.feature_signal, config.feature_noise, &rng);
+  AssignPlanetoidSplit(&g, config.train_per_class, config.val_count,
+                       config.test_count, &rng);
+
+  NodeDataset ds;
+  ds.name = config.name;
+  ds.graph = std::move(g);
+  return ds;
+}
+
+NodeDataset GenerateMultiLabelCitation(CitationConfig config, int64_t num_tasks) {
+  NodeDataset ds = GenerateCitation(config);
+  Graph& g = ds.graph;
+  Rng rng(config.seed + 77);
+  // Class-task affinity matrix: each latent class switches each task on with
+  // a class-specific probability, so ROC-AUC rewards structure-aware models.
+  std::vector<double> affinity(
+      static_cast<size_t>(config.num_classes * num_tasks));
+  for (auto& a : affinity) a = rng.Uniform(0.05, 0.95);
+  g.label_matrix = Tensor::Zeros(Shape(g.num_nodes, num_tasks));
+  for (int64_t i = 0; i < g.num_nodes; ++i) {
+    const int64_t c = g.labels[static_cast<size_t>(i)];
+    for (int64_t t = 0; t < num_tasks; ++t) {
+      const double p = affinity[static_cast<size_t>(c * num_tasks + t)];
+      if (rng.Bernoulli(p)) g.label_matrix.at(i, t) = 1.0f;
+    }
+  }
+  ds.metric = "rocauc";
+  return ds;
+}
+
+NodeDataset CoraLike(uint64_t seed) {
+  CitationConfig c;
+  c.name = "cora-like";
+  c.num_nodes = 2708;
+  c.avg_degree = 10556.0 / (2.0 * 2708.0);
+  c.num_classes = 7;
+  c.feature_dim = 256;  // original 1433, reduced for CPU budget (DESIGN.md §1)
+  c.homophily = 0.81;
+  c.seed = seed;
+  return GenerateCitation(c);
+}
+
+NodeDataset CiteSeerLike(uint64_t seed) {
+  CitationConfig c;
+  c.name = "citeseer-like";
+  c.num_nodes = 3327;
+  c.avg_degree = 9104.0 / (2.0 * 3327.0);
+  c.num_classes = 6;
+  c.feature_dim = 256;  // original 3703
+  c.homophily = 0.74;
+  c.seed = seed;
+  return GenerateCitation(c);
+}
+
+NodeDataset PubMedLike(uint64_t seed) {
+  CitationConfig c;
+  c.name = "pubmed-like";
+  c.num_nodes = 8000;  // original 19717, scaled (DESIGN.md §1)
+  c.avg_degree = 88648.0 / (2.0 * 19717.0);
+  c.num_classes = 3;
+  c.feature_dim = 128;  // original 500
+  c.homophily = 0.80;
+  c.seed = seed;
+  return GenerateCitation(c);
+}
+
+NodeDataset ArxivLike(uint64_t seed) {
+  CitationConfig c;
+  c.name = "ogb-arxiv-like";
+  c.num_nodes = 12000;  // original 169343, scaled
+  c.avg_degree = 1166243.0 / (2.0 * 169343.0);
+  c.num_classes = 40;
+  c.feature_dim = 128;
+  c.homophily = 0.65;
+  c.train_per_class = 60;
+  c.val_count = 2000;
+  c.test_count = 4000;
+  c.seed = seed;
+  return GenerateCitation(c);
+}
+
+NodeDataset RedditLike(uint64_t seed) {
+  CitationConfig c;
+  c.name = "reddit-like";
+  c.num_nodes = 8000;  // original 232965, scaled
+  c.avg_degree = 25.0;  // original ~246 avg degree, capped for CPU budget
+  c.num_classes = 41;
+  c.feature_dim = 128;  // original 602
+  c.homophily = 0.75;
+  c.train_per_class = 40;
+  c.val_count = 1500;
+  c.test_count = 3000;
+  c.seed = seed;
+  return GenerateCitation(c);
+}
+
+NodeDataset ProductsLike(uint64_t seed) {
+  CitationConfig c;
+  c.name = "ogb-products-like";
+  c.num_nodes = 10000;  // original 2449029, scaled
+  c.avg_degree = 12.0;
+  c.num_classes = 47;
+  c.feature_dim = 100;
+  c.homophily = 0.7;
+  c.train_per_class = 40;
+  c.val_count = 1500;
+  c.test_count = 3000;
+  c.seed = seed;
+  return GenerateCitation(c);
+}
+
+NodeDataset IgbLike(uint64_t seed) {
+  CitationConfig c;
+  c.name = "igb-like";
+  c.num_nodes = 10000;  // original 1000000, scaled
+  c.avg_degree = 12070502.0 / (2.0 * 1000000.0);
+  c.num_classes = 19;
+  c.feature_dim = 128;  // original 1024
+  c.homophily = 0.7;
+  c.train_per_class = 60;
+  c.val_count = 1500;
+  c.test_count = 3000;
+  c.seed = seed;
+  return GenerateCitation(c);
+}
+
+NodeDataset OgbProteinsLike(uint64_t seed) {
+  CitationConfig c;
+  c.name = "ogb-proteins-like";
+  c.num_nodes = 8000;  // original 132534, scaled
+  c.avg_degree = 30.0;  // original ~298, capped
+  c.num_classes = 8;    // latent classes driving the multi-label affinities
+  c.feature_dim = 112;
+  c.homophily = 0.7;
+  c.train_per_class = 100;
+  c.val_count = 1500;
+  c.test_count = 3000;
+  c.seed = seed;
+  return GenerateMultiLabelCitation(c, /*num_tasks=*/32);  // original 112 tasks
+}
+
+namespace {
+
+// One synthetic TU-style graph: ER-like with degree target and triangle
+// closure proportion controlled by the class.
+Graph MakeTuGraph(int64_t num_nodes, double avg_degree, double clustering,
+                  int64_t label, Rng* rng) {
+  Graph g;
+  g.num_nodes = num_nodes;
+  g.graph_label = label;
+  std::set<std::pair<int64_t, int64_t>> seen;
+  auto add_edge = [&](int64_t a, int64_t b) {
+    if (a == b) return;
+    auto key = std::minmax(a, b);
+    if (!seen.insert({key.first, key.second}).second) return;
+    g.edges.push_back({a, b, 1.0f});
+    g.edges.push_back({b, a, 1.0f});
+  };
+  // Ring backbone keeps every graph connected (max pooling requires no
+  // isolated empty graphs; also mirrors the small-world flavour of the
+  // social TU datasets).
+  for (int64_t i = 0; i < num_nodes; ++i) add_edge(i, (i + 1) % num_nodes);
+  const int64_t extra =
+      std::max<int64_t>(0, static_cast<int64_t>(avg_degree * num_nodes / 2.0) - num_nodes);
+  for (int64_t e = 0; e < extra; ++e) {
+    const int64_t a = rng->UniformInt(0, num_nodes - 1);
+    if (rng->Bernoulli(clustering) && !g.edges.empty()) {
+      // Close a triangle: pick one of a's current neighbours' neighbours.
+      const auto& pick = g.edges[static_cast<size_t>(
+          rng->UniformInt(0, static_cast<int64_t>(g.edges.size()) - 1))];
+      add_edge(a, pick.col);
+    } else {
+      add_edge(a, rng->UniformInt(0, num_nodes - 1));
+    }
+  }
+  return g;
+}
+
+}  // namespace
+
+void SetDegreeOneHotFeatures(Graph* graph, int64_t cap) {
+  MIXQ_CHECK(graph != nullptr);
+  MIXQ_CHECK_GT(cap, 0);
+  auto deg = graph->InDegrees();
+  graph->features = Tensor::Zeros(Shape(graph->num_nodes, cap));
+  for (int64_t i = 0; i < graph->num_nodes; ++i) {
+    const int64_t d = std::min<int64_t>(deg[static_cast<size_t>(i)], cap - 1);
+    graph->features.at(i, d) = 1.0f;
+  }
+}
+
+GraphDataset GenerateTu(const TuConfig& config) {
+  Rng rng(config.seed);
+  GraphDataset ds;
+  ds.name = config.name;
+  ds.num_classes = config.num_classes;
+  for (int64_t i = 0; i < config.num_graphs; ++i) {
+    const int64_t label = i % config.num_classes;  // balanced classes
+    const double jitter =
+        std::max(5.0, static_cast<double>(rng.Normal(
+                          static_cast<float>(config.avg_nodes),
+                          static_cast<float>(config.avg_nodes / 3.0))));
+    const int64_t n = static_cast<int64_t>(jitter);
+    const double deg = config.base_degree * (1.0 + config.degree_step * label);
+    const double clus = config.base_clustering + config.clustering_step * label;
+    Graph g = MakeTuGraph(n, deg, std::min(clus, 0.9), label, &rng);
+    g.num_classes = config.num_classes;
+    if (config.feature_dim == 0) {
+      SetDegreeOneHotFeatures(&g, config.degree_onehot_cap);
+    } else {
+      // Weakly class-correlated categorical one-hot features.
+      g.features = Tensor::Zeros(Shape(g.num_nodes, config.feature_dim));
+      for (int64_t v = 0; v < g.num_nodes; ++v) {
+        int64_t cat;
+        if (rng.Bernoulli(0.3)) {
+          cat = label % config.feature_dim;  // class-indicative category
+        } else {
+          cat = rng.UniformInt(0, config.feature_dim - 1);
+        }
+        g.features.at(v, cat) = 1.0f;
+      }
+    }
+    ds.graphs.push_back(std::move(g));
+  }
+  ds.feature_dim =
+      config.feature_dim == 0 ? config.degree_onehot_cap : config.feature_dim;
+  return ds;
+}
+
+namespace {
+int64_t Scaled(int64_t count, double scale) {
+  return std::max<int64_t>(20, static_cast<int64_t>(count * scale));
+}
+}  // namespace
+
+GraphDataset ImdbBLike(uint64_t seed, double scale) {
+  TuConfig c;
+  c.name = "imdb-b-like";
+  c.num_graphs = Scaled(1000, scale);
+  c.avg_nodes = 19.8;
+  c.num_classes = 2;
+  c.base_degree = 9.7 / 1.6;  // yields ~193 directed edges/graph at class avg
+  c.degree_step = 0.6;
+  c.seed = seed;
+  return GenerateTu(c);
+}
+
+GraphDataset ProteinsLike(uint64_t seed, double scale) {
+  TuConfig c;
+  c.name = "proteins-like";
+  c.num_graphs = Scaled(1113, scale);
+  c.avg_nodes = 39.1;
+  c.num_classes = 2;
+  c.base_degree = 3.7 / 1.3;
+  c.degree_step = 0.5;
+  c.feature_dim = 3;
+  c.seed = seed;
+  return GenerateTu(c);
+}
+
+GraphDataset DdLike(uint64_t seed, double scale) {
+  TuConfig c;
+  c.name = "dd-like";
+  c.num_graphs = Scaled(1178, scale);
+  c.avg_nodes = 120.0;  // original 284.3, scaled for CPU budget
+  c.num_classes = 2;
+  c.base_degree = 2.5 / 1.3;
+  c.degree_step = 0.5;
+  c.feature_dim = 89;
+  c.seed = seed;
+  return GenerateTu(c);
+}
+
+GraphDataset RedditBLike(uint64_t seed, double scale) {
+  TuConfig c;
+  c.name = "reddit-b-like";
+  c.num_graphs = Scaled(2000, scale);
+  c.avg_nodes = 120.0;  // original 429.6, scaled
+  c.num_classes = 2;
+  c.base_degree = 1.2;
+  c.degree_step = 0.8;
+  c.degree_onehot_cap = 64;
+  c.seed = seed;
+  return GenerateTu(c);
+}
+
+GraphDataset RedditMLike(uint64_t seed, double scale) {
+  TuConfig c;
+  c.name = "reddit-m-like";
+  c.num_graphs = Scaled(4999, scale);
+  c.avg_nodes = 120.0;  // original 508.8, scaled
+  c.num_classes = 5;
+  c.base_degree = 1.1;
+  c.degree_step = 0.35;
+  c.degree_onehot_cap = 64;
+  c.seed = seed;
+  return GenerateTu(c);
+}
+
+Graph SampleNeighbors(const Graph& graph, int64_t max_degree, uint64_t seed) {
+  MIXQ_CHECK_GT(max_degree, 0);
+  Rng rng(seed);
+  // Group directed edges by target row, then subsample each group.
+  std::vector<std::vector<size_t>> by_row(static_cast<size_t>(graph.num_nodes));
+  for (size_t k = 0; k < graph.edges.size(); ++k) {
+    by_row[static_cast<size_t>(graph.edges[k].row)].push_back(k);
+  }
+  Graph out = graph;
+  out.edges.clear();
+  for (int64_t r = 0; r < graph.num_nodes; ++r) {
+    auto& bucket = by_row[static_cast<size_t>(r)];
+    if (static_cast<int64_t>(bucket.size()) > max_degree) {
+      rng.Shuffle(&bucket);
+      bucket.resize(static_cast<size_t>(max_degree));
+    }
+    for (size_t k : bucket) out.edges.push_back(graph.edges[k]);
+  }
+  return out;
+}
+
+}  // namespace mixq

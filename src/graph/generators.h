@@ -1,0 +1,108 @@
+// Copyright 2026 MixQ-GNN Authors
+// Synthetic dataset generators standing in for the paper's public benchmarks
+// (offline substitution; see DESIGN.md §1). Each named factory matches the
+// corresponding dataset's key statistics: node/edge counts (scaled where CPU
+// budgets require — the scale is recorded in the returned name), class count,
+// homophily, degree skew, and split protocol.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "graph/graph.h"
+
+namespace mixq {
+
+/// Parameters of the citation-network-like generator (planted partition with
+/// power-law degree skew and class-correlated sparse binary features).
+struct CitationConfig {
+  std::string name = "citation";
+  int64_t num_nodes = 1000;
+  /// Mean number of undirected edge stubs per node (|E|_directed ≈ 2·n·deg).
+  double avg_degree = 2.0;
+  int64_t num_classes = 5;
+  int64_t feature_dim = 64;
+  /// Fraction of edges that connect same-class endpoints.
+  double homophily = 0.8;
+  /// Degree power-law exponent; lower = heavier tail (more hub nodes, the
+  /// regime where quantized aggregation hurts most — DQ's motivation).
+  double power_law_alpha = 2.3;
+  int64_t max_degree = 200;
+  /// Probability that a non-prototype feature word is active (noise).
+  double feature_noise = 0.02;
+  /// Probability that a prototype word of the node's class is active.
+  double feature_signal = 0.5;
+  /// Planetoid split sizes. train_per_class*num_classes + val + test <= n.
+  int64_t train_per_class = 20;
+  int64_t val_count = 500;
+  int64_t test_count = 1000;
+  uint64_t seed = 1;
+};
+
+/// Generates a node-classification dataset from `config`.
+NodeDataset GenerateCitation(const CitationConfig& config);
+
+/// Multi-label variant (OGB-Proteins-like): labels become a [n, num_tasks]
+/// 0/1 matrix with class-task affinities; metric is ROC-AUC.
+NodeDataset GenerateMultiLabelCitation(CitationConfig config, int64_t num_tasks);
+
+// ---- Named node-classification analogues (Table 2 statistics) ---------------
+// Feature dims are reduced vs the originals (CPU budget); all methods see the
+// same inputs so relative comparisons are preserved.
+
+NodeDataset CoraLike(uint64_t seed = 1);       ///< 2708 nodes, 7 classes
+NodeDataset CiteSeerLike(uint64_t seed = 1);   ///< 3327 nodes, 6 classes
+NodeDataset PubMedLike(uint64_t seed = 1);     ///< scaled to 8000 nodes, 3 classes
+NodeDataset ArxivLike(uint64_t seed = 1);      ///< scaled to 12000 nodes, 40 classes
+NodeDataset RedditLike(uint64_t seed = 1);     ///< scaled to 8000 nodes, 41 classes
+NodeDataset ProductsLike(uint64_t seed = 1);   ///< scaled to 10000 nodes, 47 classes
+NodeDataset IgbLike(uint64_t seed = 1);        ///< scaled to 10000 nodes, 19 classes
+NodeDataset OgbProteinsLike(uint64_t seed = 1);///< scaled, multi-label ROC-AUC
+
+// ---- Graph-classification (TUDataset-like) -----------------------------------
+
+/// Parameters of the structural graph-classification generator. The class
+/// signal is planted via density and clustering differences, learnable by a
+/// GIN with degree-based features (the paper's protocol for featureless TU
+/// datasets).
+struct TuConfig {
+  std::string name = "tu";
+  int64_t num_graphs = 200;
+  double avg_nodes = 30.0;
+  int64_t num_classes = 2;
+  /// Average degree of class 0; class c gets base_degree * (1 + degree_step*c).
+  double base_degree = 3.0;
+  double degree_step = 0.6;
+  /// Fraction of edges rewired to close triangles (clustering signal),
+  /// per class: base_clustering + clustering_step * c.
+  double base_clustering = 0.05;
+  double clustering_step = 0.15;
+  /// 0 => degree one-hot features (capped); >0 => categorical one-hot with a
+  /// weak class-dependent distribution (PROTEINS/D&D-like).
+  int64_t feature_dim = 0;
+  int64_t degree_onehot_cap = 32;
+  uint64_t seed = 1;
+};
+
+/// Generates a graph-classification dataset from `config`.
+GraphDataset GenerateTu(const TuConfig& config);
+
+// Named TU analogues (Table 2 statistics; graph counts scaled via `scale`
+// in (0,1] to shrink CV cost — stats per graph stay faithful).
+GraphDataset ImdbBLike(uint64_t seed = 1, double scale = 1.0);
+GraphDataset ProteinsLike(uint64_t seed = 1, double scale = 1.0);
+GraphDataset DdLike(uint64_t seed = 1, double scale = 1.0);
+GraphDataset RedditBLike(uint64_t seed = 1, double scale = 1.0);
+GraphDataset RedditMLike(uint64_t seed = 1, double scale = 1.0);
+
+// ---- Utilities ----------------------------------------------------------------
+
+/// Replaces features with a one-hot encoding of (capped) node degree.
+void SetDegreeOneHotFeatures(Graph* graph, int64_t cap);
+
+/// GraphSAGE-style static neighbour sampling: keeps at most `max_degree`
+/// in-edges per node (uniformly sampled). Reduces in-degree and hence
+/// aggregation quantization error (paper §5.3.2).
+Graph SampleNeighbors(const Graph& graph, int64_t max_degree, uint64_t seed);
+
+}  // namespace mixq

@@ -1,0 +1,44 @@
+// Copyright 2026 MixQ-GNN Authors
+#include "graph/graph.h"
+
+namespace mixq {
+
+GraphBatch MakeBatch(const GraphDataset& dataset, const std::vector<int64_t>& indices) {
+  GraphBatch out;
+  out.num_graphs = static_cast<int64_t>(indices.size());
+  int64_t total_nodes = 0;
+  int64_t total_edges = 0;
+  for (int64_t idx : indices) {
+    MIXQ_CHECK_GE(idx, 0);
+    MIXQ_CHECK_LT(idx, static_cast<int64_t>(dataset.graphs.size()));
+    total_nodes += dataset.graphs[static_cast<size_t>(idx)].num_nodes;
+    total_edges += dataset.graphs[static_cast<size_t>(idx)].num_edges();
+  }
+  const int64_t f = dataset.feature_dim;
+  out.merged.num_nodes = total_nodes;
+  out.merged.num_classes = dataset.num_classes;
+  out.merged.edges.reserve(static_cast<size_t>(total_edges));
+  out.batch.resize(static_cast<size_t>(total_nodes));
+  out.merged.features = Tensor::Zeros(Shape(total_nodes, f));
+
+  int64_t offset = 0;
+  int64_t graph_pos = 0;
+  for (int64_t idx : indices) {
+    const Graph& g = dataset.graphs[static_cast<size_t>(idx)];
+    MIXQ_CHECK_EQ(g.feature_dim(), f) << "inconsistent feature dim in dataset";
+    for (const auto& e : g.edges) {
+      out.merged.edges.push_back({e.row + offset, e.col + offset, e.value});
+    }
+    std::copy(g.features.data().begin(), g.features.data().end(),
+              out.merged.features.data().begin() + offset * f);
+    for (int64_t i = 0; i < g.num_nodes; ++i) {
+      out.batch[static_cast<size_t>(offset + i)] = graph_pos;
+    }
+    out.graph_labels.push_back(g.graph_label);
+    offset += g.num_nodes;
+    ++graph_pos;
+  }
+  return out;
+}
+
+}  // namespace mixq

@@ -1,0 +1,94 @@
+// Copyright 2026 MixQ-GNN Authors
+// Graph container shared by node- and graph-level tasks.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "sparse/csr.h"
+#include "sparse/spmm.h"
+#include "tensor/tensor.h"
+
+namespace mixq {
+
+/// A graph G = (V, E, X, W) following the paper's notation. Edges are stored
+/// directed (undirected graphs store both directions); `value` is the edge
+/// weight w_ij. Node features live in `features` [n, f].
+struct Graph {
+  int64_t num_nodes = 0;
+  std::vector<CooEntry> edges;
+
+  /// Node features X [num_nodes, f]. Always defined for usable graphs.
+  Tensor features;
+
+  /// Node labels for node-level tasks (-1 = unlabeled); empty for graph tasks.
+  std::vector<int64_t> labels;
+  /// Multi-label targets [num_nodes, num_tasks] (OGB-Proteins-like); optional.
+  Tensor label_matrix;
+
+  /// Node masks for semi-supervised node classification.
+  std::vector<uint8_t> train_mask, val_mask, test_mask;
+
+  int64_t num_classes = 0;
+  /// Graph-level label for graph classification datasets; -1 otherwise.
+  int64_t graph_label = -1;
+
+  int64_t num_edges() const { return static_cast<int64_t>(edges.size()); }
+  int64_t feature_dim() const { return features.defined() ? features.cols() : 0; }
+
+  /// Raw adjacency A as CSR: row = target, col = source, so A·X aggregates
+  /// messages from in-neighbours (Eq. (2)).
+  CsrMatrix Adjacency() const { return CsrMatrix::FromCoo(num_nodes, num_nodes, edges); }
+
+  /// In-degree (unweighted) per node — drives Degree-Quant's protection mask.
+  std::vector<int64_t> InDegrees() const {
+    std::vector<int64_t> deg(static_cast<size_t>(num_nodes), 0);
+    for (const auto& e : edges) deg[static_cast<size_t>(e.row)]++;
+    return deg;
+  }
+};
+
+/// A node-classification dataset: one graph plus bookkeeping.
+struct NodeDataset {
+  std::string name;
+  Graph graph;
+  /// Metric: "accuracy" or "rocauc" (multi-label).
+  std::string metric = "accuracy";
+};
+
+/// A graph-classification dataset: many small graphs.
+struct GraphDataset {
+  std::string name;
+  std::vector<Graph> graphs;
+  int64_t num_classes = 0;
+  int64_t feature_dim = 0;
+
+  /// Dataset-level statistics used by the Table 2 bench.
+  double AverageNodes() const {
+    if (graphs.empty()) return 0.0;
+    double s = 0.0;
+    for (const auto& g : graphs) s += static_cast<double>(g.num_nodes);
+    return s / static_cast<double>(graphs.size());
+  }
+  double AverageEdges() const {
+    if (graphs.empty()) return 0.0;
+    double s = 0.0;
+    for (const auto& g : graphs) s += static_cast<double>(g.num_edges());
+    return s / static_cast<double>(graphs.size());
+  }
+};
+
+/// Disjoint union of a set of graphs into one block-diagonal graph for
+/// batched graph classification. `batch[i]` maps node i to its source graph.
+struct GraphBatch {
+  Graph merged;
+  std::vector<int64_t> batch;       ///< node -> graph index
+  std::vector<int64_t> graph_labels;
+  int64_t num_graphs = 0;
+};
+
+/// Builds a GraphBatch from dataset graphs selected by `indices`.
+GraphBatch MakeBatch(const GraphDataset& dataset, const std::vector<int64_t>& indices);
+
+}  // namespace mixq

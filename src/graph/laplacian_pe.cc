@@ -1,0 +1,123 @@
+// Copyright 2026 MixQ-GNN Authors
+#include "graph/laplacian_pe.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+namespace mixq {
+
+EigenDecomposition JacobiEigenSymmetric(std::vector<double> a, int64_t n,
+                                        int max_sweeps, double tol) {
+  MIXQ_CHECK_EQ(static_cast<int64_t>(a.size()), n * n);
+  EigenDecomposition out;
+  out.n = n;
+  out.eigenvectors.assign(static_cast<size_t>(n * n), 0.0);
+  for (int64_t i = 0; i < n; ++i) out.eigenvectors[static_cast<size_t>(i * n + i)] = 1.0;
+
+  auto at = [&](std::vector<double>& m, int64_t r, int64_t c) -> double& {
+    return m[static_cast<size_t>(r * n + c)];
+  };
+
+  for (int sweep = 0; sweep < max_sweeps; ++sweep) {
+    // Off-diagonal Frobenius norm for convergence.
+    double off = 0.0;
+    for (int64_t p = 0; p < n; ++p) {
+      for (int64_t q = p + 1; q < n; ++q) off += at(a, p, q) * at(a, p, q);
+    }
+    if (off < tol) break;
+    for (int64_t p = 0; p < n; ++p) {
+      for (int64_t q = p + 1; q < n; ++q) {
+        const double apq = at(a, p, q);
+        if (std::fabs(apq) < 1e-300) continue;
+        const double app = at(a, p, p), aqq = at(a, q, q);
+        const double theta = (aqq - app) / (2.0 * apq);
+        const double t = (theta >= 0 ? 1.0 : -1.0) /
+                         (std::fabs(theta) + std::sqrt(theta * theta + 1.0));
+        const double c = 1.0 / std::sqrt(t * t + 1.0);
+        const double s = t * c;
+        // Rotate rows/cols p and q of A.
+        for (int64_t k = 0; k < n; ++k) {
+          const double akp = at(a, k, p), akq = at(a, k, q);
+          at(a, k, p) = c * akp - s * akq;
+          at(a, k, q) = s * akp + c * akq;
+        }
+        for (int64_t k = 0; k < n; ++k) {
+          const double apk = at(a, p, k), aqk = at(a, q, k);
+          at(a, p, k) = c * apk - s * aqk;
+          at(a, q, k) = s * apk + c * aqk;
+        }
+        // Accumulate eigenvectors.
+        for (int64_t k = 0; k < n; ++k) {
+          const double vkp = out.eigenvectors[static_cast<size_t>(k * n + p)];
+          const double vkq = out.eigenvectors[static_cast<size_t>(k * n + q)];
+          out.eigenvectors[static_cast<size_t>(k * n + p)] = c * vkp - s * vkq;
+          out.eigenvectors[static_cast<size_t>(k * n + q)] = s * vkp + c * vkq;
+        }
+      }
+    }
+  }
+
+  // Collect eigenvalues and sort ascending, permuting eigenvector columns.
+  std::vector<double> values(static_cast<size_t>(n));
+  for (int64_t i = 0; i < n; ++i) values[static_cast<size_t>(i)] = at(a, i, i);
+  std::vector<int64_t> order(static_cast<size_t>(n));
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(),
+            [&](int64_t x, int64_t y) { return values[static_cast<size_t>(x)] < values[static_cast<size_t>(y)]; });
+  out.eigenvalues.resize(static_cast<size_t>(n));
+  std::vector<double> sorted_vecs(static_cast<size_t>(n * n));
+  for (int64_t i = 0; i < n; ++i) {
+    out.eigenvalues[static_cast<size_t>(i)] = values[static_cast<size_t>(order[static_cast<size_t>(i)])];
+    for (int64_t k = 0; k < n; ++k) {
+      sorted_vecs[static_cast<size_t>(k * n + i)] =
+          out.eigenvectors[static_cast<size_t>(k * n + order[static_cast<size_t>(i)])];
+    }
+  }
+  out.eigenvectors = std::move(sorted_vecs);
+  return out;
+}
+
+std::vector<double> NormalizedLaplacianDense(const Graph& graph) {
+  const int64_t n = graph.num_nodes;
+  std::vector<double> adj(static_cast<size_t>(n * n), 0.0);
+  std::vector<double> deg(static_cast<size_t>(n), 0.0);
+  for (const auto& e : graph.edges) {
+    if (adj[static_cast<size_t>(e.row * n + e.col)] == 0.0) {
+      adj[static_cast<size_t>(e.row * n + e.col)] = 1.0;
+      deg[static_cast<size_t>(e.row)] += 1.0;
+    }
+  }
+  std::vector<double> lap(static_cast<size_t>(n * n), 0.0);
+  for (int64_t i = 0; i < n; ++i) {
+    lap[static_cast<size_t>(i * n + i)] = deg[static_cast<size_t>(i)] > 0 ? 1.0 : 0.0;
+    for (int64_t j = 0; j < n; ++j) {
+      if (adj[static_cast<size_t>(i * n + j)] > 0.0 && deg[static_cast<size_t>(i)] > 0 &&
+          deg[static_cast<size_t>(j)] > 0) {
+        lap[static_cast<size_t>(i * n + j)] -=
+            1.0 / std::sqrt(deg[static_cast<size_t>(i)] * deg[static_cast<size_t>(j)]);
+      }
+    }
+  }
+  return lap;
+}
+
+void SetLaplacianPositionalEncoding(Graph* graph, int64_t dim, Rng* rng) {
+  MIXQ_CHECK(graph != nullptr);
+  MIXQ_CHECK(rng != nullptr);
+  const int64_t n = graph->num_nodes;
+  auto lap = NormalizedLaplacianDense(*graph);
+  auto eig = JacobiEigenSymmetric(std::move(lap), n);
+  graph->features = Tensor::Zeros(Shape(n, dim));
+  // Skip the trivial (near-zero eigenvalue) first eigenvector.
+  const int64_t available = std::min<int64_t>(dim, n - 1);
+  for (int64_t j = 0; j < available; ++j) {
+    const double sign = rng->Bernoulli(0.5) ? -1.0 : 1.0;
+    for (int64_t i = 0; i < n; ++i) {
+      graph->features.at(i, j) = static_cast<float>(
+          sign * eig.eigenvectors[static_cast<size_t>(i * n + (j + 1))]);
+    }
+  }
+}
+
+}  // namespace mixq

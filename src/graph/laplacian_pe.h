@@ -1,0 +1,37 @@
+// Copyright 2026 MixQ-GNN Authors
+// Laplacian positional encodings [71] used by the CSL experiment (Table 9),
+// plus the dense symmetric eigensolver they require.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.h"
+#include "graph/graph.h"
+
+namespace mixq {
+
+/// Dense symmetric eigendecomposition via cyclic Jacobi rotations.
+/// `matrix` is row-major n×n and must be symmetric. On return, eigenvalues
+/// are sorted ascending and eigenvectors[:, i] (column i of the row-major
+/// `eigenvectors` buffer) corresponds to eigenvalues[i].
+struct EigenDecomposition {
+  std::vector<double> eigenvalues;
+  std::vector<double> eigenvectors;  // row-major n×n, columns are vectors
+  int64_t n = 0;
+};
+
+EigenDecomposition JacobiEigenSymmetric(std::vector<double> matrix, int64_t n,
+                                        int max_sweeps = 64, double tol = 1e-12);
+
+/// Computes the symmetric normalized Laplacian L = I − D^{-1/2} A D^{-1/2}
+/// of `graph` (unweighted view of its edges) as a dense row-major matrix.
+std::vector<double> NormalizedLaplacianDense(const Graph& graph);
+
+/// Sets graph->features to the first `dim` non-trivial Laplacian eigenvectors
+/// (ascending eigenvalue order), zero-padded when dim > n−1. Signs are
+/// randomized per instance (the standard augmentation — eigenvectors are only
+/// defined up to sign).
+void SetLaplacianPositionalEncoding(Graph* graph, int64_t dim, Rng* rng);
+
+}  // namespace mixq

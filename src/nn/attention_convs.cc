@@ -1,0 +1,78 @@
+// Copyright 2026 MixQ-GNN Authors
+#include "nn/attention_convs.h"
+
+#include <cmath>
+
+namespace mixq {
+
+GatConv::GatConv(int64_t in_features, int64_t out_features, const std::string& id,
+                 Rng* rng)
+    : id_(id) {
+  weight_ = Tensor::GlorotUniform(in_features, out_features, rng);
+  a_src_ = Tensor::GlorotUniform(out_features, 1, rng);
+  a_dst_ = Tensor::GlorotUniform(out_features, 1, rng);
+}
+
+Tensor GatConv::Forward(const Tensor& x, const SparseOperatorPtr& op) {
+  Tensor z = MatMul(x, weight_);           // [n, out]
+  Tensor s = Flatten(MatMul(z, a_src_));   // [n]
+  Tensor t = Flatten(MatMul(z, a_dst_));   // [n]
+  return GatAggregate(op, s, t, z);
+}
+
+std::vector<Tensor> GatConv::Parameters() { return {weight_, a_src_, a_dst_}; }
+
+TransformerConv::TransformerConv(int64_t in_features, int64_t out_features,
+                                 const std::string& id, Rng* rng)
+    : id_(id) {
+  wq_ = Tensor::GlorotUniform(in_features, out_features, rng);
+  wk_ = Tensor::GlorotUniform(in_features, out_features, rng);
+  wv_ = Tensor::GlorotUniform(in_features, out_features, rng);
+}
+
+Tensor TransformerConv::Forward(const Tensor& x, const SparseOperatorPtr& op) {
+  Tensor q = MatMul(x, wq_);
+  Tensor k = MatMul(x, wk_);
+  Tensor v = MatMul(x, wv_);
+  const float scale = 1.0f / std::sqrt(static_cast<float>(q.cols()));
+  return DotAttentionAggregate(op, q, k, v, scale);
+}
+
+std::vector<Tensor> TransformerConv::Parameters() { return {wq_, wk_, wv_}; }
+
+SuperGatConv::SuperGatConv(int64_t in_features, int64_t out_features,
+                           const std::string& id, Rng* rng)
+    : id_(id) {
+  weight_ = Tensor::GlorotUniform(in_features, out_features, rng);
+}
+
+Tensor SuperGatConv::Forward(const Tensor& x, const SparseOperatorPtr& op) {
+  Tensor z = MatMul(x, weight_);
+  const float scale = 1.0f / std::sqrt(static_cast<float>(z.cols()));
+  return DotAttentionAggregate(op, z, z, z, scale);
+}
+
+std::vector<Tensor> SuperGatConv::Parameters() { return {weight_}; }
+
+TagConv::TagConv(int64_t in_features, int64_t out_features, int hops,
+                 const std::string& id, Rng* rng)
+    : id_(id), hops_(hops) {
+  MIXQ_CHECK_GE(hops, 0);
+  for (int h = 0; h <= hops; ++h) {
+    weights_.push_back(Tensor::GlorotUniform(in_features, out_features, rng));
+  }
+}
+
+Tensor TagConv::Forward(const Tensor& x, const SparseOperatorPtr& op) {
+  Tensor hop = x;
+  Tensor out = MatMul(hop, weights_[0]);
+  for (int h = 1; h <= hops_; ++h) {
+    hop = Spmm(op, hop);
+    out = Add(out, MatMul(hop, weights_[static_cast<size_t>(h)]));
+  }
+  return out;
+}
+
+std::vector<Tensor> TagConv::Parameters() { return weights_; }
+
+}  // namespace mixq

@@ -1,0 +1,73 @@
+// Copyright 2026 MixQ-GNN Authors
+// FP32 attention-based GNN layers for the Figure-1 architecture sweep:
+// GATConv [18], TransformerConv [20], SuperGATConv [22] (scaled-dot variant).
+#pragma once
+
+#include <string>
+
+#include "nn/attention_ops.h"
+#include "nn/module.h"
+#include "tensor/ops.h"
+
+namespace mixq {
+
+/// Single-head Graph Attention layer: h_i = Σ_j α_ij W x_j with
+/// α from LeakyReLU(a_src·Wx_i + a_dst·Wx_j).
+class GatConv : public Module {
+ public:
+  GatConv(int64_t in_features, int64_t out_features, const std::string& id, Rng* rng);
+  Tensor Forward(const Tensor& x, const SparseOperatorPtr& op);
+  std::vector<Tensor> Parameters() override;
+
+ private:
+  std::string id_;
+  Tensor weight_;  // [in, out]
+  Tensor a_src_;   // [out, 1]
+  Tensor a_dst_;   // [out, 1]
+};
+
+/// Single-head graph transformer layer: scaled dot-product attention with
+/// separate query/key/value projections.
+class TransformerConv : public Module {
+ public:
+  TransformerConv(int64_t in_features, int64_t out_features, const std::string& id,
+                  Rng* rng);
+  Tensor Forward(const Tensor& x, const SparseOperatorPtr& op);
+  std::vector<Tensor> Parameters() override;
+
+ private:
+  std::string id_;
+  Tensor wq_, wk_, wv_;
+};
+
+/// SuperGAT, scaled-dot (SD) attention variant: one shared projection W, with
+/// attention logits ⟨Wx_i, Wx_j⟩/√d. (The self-supervised edge loss of the
+/// full method is omitted — Figure 1 only measures supervised accuracy.)
+class SuperGatConv : public Module {
+ public:
+  SuperGatConv(int64_t in_features, int64_t out_features, const std::string& id,
+               Rng* rng);
+  Tensor Forward(const Tensor& x, const SparseOperatorPtr& op);
+  std::vector<Tensor> Parameters() override;
+
+ private:
+  std::string id_;
+  Tensor weight_;
+};
+
+/// Topology-Adaptive GCN [21]: H' = Σ_{k=0..K} Â^k H Θ_k.
+class TagConv : public Module {
+ public:
+  TagConv(int64_t in_features, int64_t out_features, int hops, const std::string& id,
+          Rng* rng);
+  Tensor Forward(const Tensor& x, const SparseOperatorPtr& op);
+  std::vector<Tensor> Parameters() override;
+  int hops() const { return hops_; }
+
+ private:
+  std::string id_;
+  int hops_;
+  std::vector<Tensor> weights_;  // K+1 matrices [in, out]
+};
+
+}  // namespace mixq

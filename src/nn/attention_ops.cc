@@ -1,0 +1,208 @@
+// Copyright 2026 MixQ-GNN Authors
+#include "nn/attention_ops.h"
+
+#include <cmath>
+#include <limits>
+
+#include "tensor/op_utils.h"
+
+namespace mixq {
+
+using internal::MakeOpResult;
+using internal::NeedsGrad;
+
+Tensor GatAggregate(const SparseOperatorPtr& op, const Tensor& s, const Tensor& t,
+                    const Tensor& z, float negative_slope) {
+  MIXQ_CHECK(op != nullptr);
+  const int64_t n = op->rows(), f = z.cols();
+  MIXQ_CHECK_EQ(s.numel(), n);
+  MIXQ_CHECK_EQ(t.numel(), op->cols());
+  MIXQ_CHECK_EQ(z.rows(), op->cols());
+
+  const CsrMatrix& a = op->matrix();
+  auto alpha = std::make_shared<std::vector<float>>(static_cast<size_t>(a.nnz()));
+  auto pre_positive =
+      std::make_shared<std::vector<uint8_t>>(static_cast<size_t>(a.nnz()));
+  std::vector<float> out(static_cast<size_t>(n * f), 0.0f);
+
+  for (int64_t i = 0; i < n; ++i) {
+    const int64_t begin = a.row_ptr()[static_cast<size_t>(i)];
+    const int64_t end = a.row_ptr()[static_cast<size_t>(i + 1)];
+    if (begin == end) continue;
+    // Row softmax over LeakyReLU(s_i + t_j) with max-subtraction.
+    float mx = -std::numeric_limits<float>::infinity();
+    for (int64_t k = begin; k < end; ++k) {
+      const float pre =
+          s.data()[static_cast<size_t>(i)] +
+          t.data()[static_cast<size_t>(a.col_idx()[static_cast<size_t>(k)])];
+      (*pre_positive)[static_cast<size_t>(k)] = pre > 0.0f ? 1 : 0;
+      const float e = pre > 0.0f ? pre : negative_slope * pre;
+      (*alpha)[static_cast<size_t>(k)] = e;  // reuse storage for logits first
+      mx = std::max(mx, e);
+    }
+    double denom = 0.0;
+    for (int64_t k = begin; k < end; ++k) {
+      const float ex = std::exp((*alpha)[static_cast<size_t>(k)] - mx);
+      (*alpha)[static_cast<size_t>(k)] = ex;
+      denom += ex;
+    }
+    const float inv = static_cast<float>(1.0 / denom);
+    for (int64_t k = begin; k < end; ++k) {
+      (*alpha)[static_cast<size_t>(k)] *= inv;
+      const float w = (*alpha)[static_cast<size_t>(k)];
+      const float* zr =
+          z.data().data() + a.col_idx()[static_cast<size_t>(k)] * f;
+      float* yr = out.data() + i * f;
+      for (int64_t j = 0; j < f; ++j) yr[j] += w * zr[j];
+    }
+  }
+
+  auto si = s.impl_ptr();
+  auto ti = t.impl_ptr();
+  auto zi = z.impl_ptr();
+  return MakeOpResult(
+      Shape(n, f), std::move(out), {s, t, z},
+      [op, si, ti, zi, alpha, pre_positive, negative_slope, n, f](TensorImpl& self) {
+        const CsrMatrix& a = op->matrix();
+        const bool need_s = NeedsGrad(*si), need_t = NeedsGrad(*ti),
+                   need_z = NeedsGrad(*zi);
+        if (need_s) si->EnsureGrad();
+        if (need_t) ti->EnsureGrad();
+        if (need_z) zi->EnsureGrad();
+        for (int64_t i = 0; i < n; ++i) {
+          const int64_t begin = a.row_ptr()[static_cast<size_t>(i)];
+          const int64_t end = a.row_ptr()[static_cast<size_t>(i + 1)];
+          if (begin == end) continue;
+          const float* gy = self.grad.data() + i * f;
+          // dα_k = <dH_i, z_ck>; dz_ck += α_k dH_i.
+          std::vector<double> dalpha(static_cast<size_t>(end - begin), 0.0);
+          double srow = 0.0;
+          for (int64_t k = begin; k < end; ++k) {
+            const int64_t c = a.col_idx()[static_cast<size_t>(k)];
+            const float* zr = zi->data.data() + c * f;
+            double acc = 0.0;
+            const float w = (*alpha)[static_cast<size_t>(k)];
+            for (int64_t j = 0; j < f; ++j) {
+              acc += static_cast<double>(gy[j]) * zr[j];
+              if (need_z) zi->grad[static_cast<size_t>(c * f + j)] += w * gy[j];
+            }
+            dalpha[static_cast<size_t>(k - begin)] = acc;
+            srow += static_cast<double>(w) * acc;
+          }
+          // Softmax backward, then LeakyReLU backward into s and t.
+          for (int64_t k = begin; k < end; ++k) {
+            const float w = (*alpha)[static_cast<size_t>(k)];
+            const double de =
+                static_cast<double>(w) * (dalpha[static_cast<size_t>(k - begin)] - srow);
+            const double dpre =
+                de * ((*pre_positive)[static_cast<size_t>(k)] ? 1.0 : negative_slope);
+            if (need_s) si->grad[static_cast<size_t>(i)] += static_cast<float>(dpre);
+            if (need_t) {
+              ti->grad[static_cast<size_t>(a.col_idx()[static_cast<size_t>(k)])] +=
+                  static_cast<float>(dpre);
+            }
+          }
+        }
+      });
+}
+
+Tensor DotAttentionAggregate(const SparseOperatorPtr& op, const Tensor& q,
+                             const Tensor& k, const Tensor& v, float scale) {
+  MIXQ_CHECK(op != nullptr);
+  const int64_t n = op->rows(), d = q.cols(), f = v.cols();
+  MIXQ_CHECK_EQ(q.rows(), n);
+  MIXQ_CHECK_EQ(k.rows(), op->cols());
+  MIXQ_CHECK_EQ(k.cols(), d);
+  MIXQ_CHECK_EQ(v.rows(), op->cols());
+
+  const CsrMatrix& a = op->matrix();
+  auto alpha = std::make_shared<std::vector<float>>(static_cast<size_t>(a.nnz()));
+  std::vector<float> out(static_cast<size_t>(n * f), 0.0f);
+
+  for (int64_t i = 0; i < n; ++i) {
+    const int64_t begin = a.row_ptr()[static_cast<size_t>(i)];
+    const int64_t end = a.row_ptr()[static_cast<size_t>(i + 1)];
+    if (begin == end) continue;
+    const float* qi = q.data().data() + i * d;
+    float mx = -std::numeric_limits<float>::infinity();
+    for (int64_t e = begin; e < end; ++e) {
+      const float* kr =
+          k.data().data() + a.col_idx()[static_cast<size_t>(e)] * d;
+      double dot = 0.0;
+      for (int64_t j = 0; j < d; ++j) dot += static_cast<double>(qi[j]) * kr[j];
+      const float logit = scale * static_cast<float>(dot);
+      (*alpha)[static_cast<size_t>(e)] = logit;
+      mx = std::max(mx, logit);
+    }
+    double denom = 0.0;
+    for (int64_t e = begin; e < end; ++e) {
+      const float ex = std::exp((*alpha)[static_cast<size_t>(e)] - mx);
+      (*alpha)[static_cast<size_t>(e)] = ex;
+      denom += ex;
+    }
+    const float inv = static_cast<float>(1.0 / denom);
+    for (int64_t e = begin; e < end; ++e) {
+      (*alpha)[static_cast<size_t>(e)] *= inv;
+      const float w = (*alpha)[static_cast<size_t>(e)];
+      const float* vr =
+          v.data().data() + a.col_idx()[static_cast<size_t>(e)] * f;
+      float* yr = out.data() + i * f;
+      for (int64_t j = 0; j < f; ++j) yr[j] += w * vr[j];
+    }
+  }
+
+  auto qi_ = q.impl_ptr();
+  auto ki_ = k.impl_ptr();
+  auto vi_ = v.impl_ptr();
+  return MakeOpResult(
+      Shape(n, f), std::move(out), {q, k, v},
+      [op, qi_, ki_, vi_, alpha, scale, n, d, f](TensorImpl& self) {
+        const CsrMatrix& a = op->matrix();
+        const bool need_q = NeedsGrad(*qi_), need_k = NeedsGrad(*ki_),
+                   need_v = NeedsGrad(*vi_);
+        if (need_q) qi_->EnsureGrad();
+        if (need_k) ki_->EnsureGrad();
+        if (need_v) vi_->EnsureGrad();
+        for (int64_t i = 0; i < n; ++i) {
+          const int64_t begin = a.row_ptr()[static_cast<size_t>(i)];
+          const int64_t end = a.row_ptr()[static_cast<size_t>(i + 1)];
+          if (begin == end) continue;
+          const float* gy = self.grad.data() + i * f;
+          std::vector<double> dalpha(static_cast<size_t>(end - begin), 0.0);
+          double srow = 0.0;
+          for (int64_t e = begin; e < end; ++e) {
+            const int64_t c = a.col_idx()[static_cast<size_t>(e)];
+            const float* vr = vi_->data.data() + c * f;
+            const float w = (*alpha)[static_cast<size_t>(e)];
+            double acc = 0.0;
+            for (int64_t j = 0; j < f; ++j) {
+              acc += static_cast<double>(gy[j]) * vr[j];
+              if (need_v) vi_->grad[static_cast<size_t>(c * f + j)] += w * gy[j];
+            }
+            dalpha[static_cast<size_t>(e - begin)] = acc;
+            srow += static_cast<double>(w) * acc;
+          }
+          const float* qrow = qi_->data.data() + i * d;
+          for (int64_t e = begin; e < end; ++e) {
+            const int64_t c = a.col_idx()[static_cast<size_t>(e)];
+            const float w = (*alpha)[static_cast<size_t>(e)];
+            const double de =
+                static_cast<double>(w) * (dalpha[static_cast<size_t>(e - begin)] - srow);
+            const double dlogit = de * scale;
+            const float* krow = ki_->data.data() + c * d;
+            for (int64_t j = 0; j < d; ++j) {
+              if (need_q) {
+                qi_->grad[static_cast<size_t>(i * d + j)] +=
+                    static_cast<float>(dlogit * krow[j]);
+              }
+              if (need_k) {
+                ki_->grad[static_cast<size_t>(c * d + j)] +=
+                    static_cast<float>(dlogit * qrow[j]);
+              }
+            }
+          }
+        }
+      });
+}
+
+}  // namespace mixq

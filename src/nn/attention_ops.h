@@ -1,0 +1,27 @@
+// Copyright 2026 MixQ-GNN Authors
+// Custom autograd ops for attention-based message passing (GAT [18],
+// TransformerConv [20], SuperGAT [22]). These layers are used FP32-only in
+// this repo (Figure 1's architecture sweep); quantization applies to
+// GCN/GIN/SAGE per the paper's evaluation.
+#pragma once
+
+#include "sparse/spmm.h"
+#include "tensor/tensor.h"
+
+namespace mixq {
+
+/// GAT-style aggregation over `op`'s edges (row = target i, col = source j):
+///   e_ij = LeakyReLU(s_i + t_j),  α_i· = softmax over i's in-edges,
+///   h_i  = Σ_j α_ij · z_j.
+/// s, t are rank-1 [n] score vectors; z is [n, f]. Rows without in-edges
+/// produce zeros. Gradients flow into s, t, and z.
+Tensor GatAggregate(const SparseOperatorPtr& op, const Tensor& s, const Tensor& t,
+                    const Tensor& z, float negative_slope = 0.2f);
+
+/// Scaled-dot-product attention aggregation (TransformerConv / SuperGAT-SD):
+///   e_ij = scale · ⟨q_i, k_j⟩,  α softmax per target row,  h_i = Σ α_ij v_j.
+/// q, k are [n, d]; v is [n, f]. Gradients flow into q, k, and v.
+Tensor DotAttentionAggregate(const SparseOperatorPtr& op, const Tensor& q,
+                             const Tensor& k, const Tensor& v, float scale);
+
+}  // namespace mixq

@@ -1,0 +1,51 @@
+// Copyright 2026 MixQ-GNN Authors
+// BitOPs accounting (paper §5.1). BitOPs of a function = (scalar operations
+// it executes) × (the bit-width it operates at); a MAC counts as 2 scalar
+// ops. The architecture total is the sum over every function executed in one
+// forward pass; the "Bits" column is the ops-weighted average bit-width.
+// (Definitions reverse-engineered from the paper's own FP32 GBitOPs numbers;
+// see DESIGN.md §2.)
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace mixq {
+
+/// One executed function and its cost.
+struct BitOpsEntry {
+  std::string function;  ///< e.g. "gcn0/matmul"
+  double ops = 0.0;      ///< scalar operations (MAC = 2)
+  double bits = 32.0;    ///< operating bit-width
+};
+
+/// Aggregated BitOPs ledger for one forward pass.
+struct BitOpsReport {
+  std::vector<BitOpsEntry> entries;
+
+  void Add(std::string function, double ops, double bits) {
+    entries.push_back({std::move(function), ops, bits});
+  }
+  void Merge(const BitOpsReport& other) {
+    entries.insert(entries.end(), other.entries.begin(), other.entries.end());
+  }
+
+  double TotalOps() const {
+    double s = 0.0;
+    for (const auto& e : entries) s += e.ops;
+    return s;
+  }
+  double TotalBitOps() const {
+    double s = 0.0;
+    for (const auto& e : entries) s += e.ops * e.bits;
+    return s;
+  }
+  /// Ops-weighted average bit-width (the paper's "Bits" column).
+  double AverageBits() const {
+    const double ops = TotalOps();
+    return ops > 0.0 ? TotalBitOps() / ops : 32.0;
+  }
+  double GigaBitOps() const { return TotalBitOps() / 1e9; }
+};
+
+}  // namespace mixq

@@ -1,0 +1,36 @@
+// Copyright 2026 MixQ-GNN Authors
+#include "nn/gcn_conv.h"
+
+namespace mixq {
+
+GcnConv::GcnConv(int64_t in_features, int64_t out_features, const std::string& id,
+                 Rng* rng)
+    : in_features_(in_features), out_features_(out_features), id_(id) {
+  weight_ = Tensor::GlorotUniform(in_features, out_features, rng);
+}
+
+Tensor GcnConv::Forward(const Tensor& x, const SparseOperatorPtr& op,
+                        QuantScheme* scheme) {
+  MIXQ_CHECK(scheme != nullptr);
+  MIXQ_CHECK_EQ(x.cols(), in_features_);
+  Tensor w =
+      scheme->Quantize(id_ + "/weight", weight_, ComponentKind::kWeight, training_);
+  Tensor xw = MatMul(x, w);
+  xw = scheme->Quantize(id_ + "/linear_out", xw, ComponentKind::kLinearOut, training_);
+
+  // Adjacency values are constants; the scheme may fake-quantize or mix them.
+  Tensor adj_values = Tensor::FromVector(Shape(op->nnz()), op->matrix().values());
+  Tensor adj_q =
+      scheme->Quantize(id_ + "/adj", adj_values, ComponentKind::kAdjacency, training_);
+  Tensor y;
+  if (adj_q.impl_ptr() == adj_values.impl_ptr()) {
+    y = Spmm(op, xw);  // FP32 fast path: pattern values are untouched
+  } else {
+    y = SpmmValues(op, adj_q, xw);
+  }
+  return scheme->Quantize(id_ + "/agg", y, ComponentKind::kAggregate, training_);
+}
+
+std::vector<Tensor> GcnConv::Parameters() { return {weight_}; }
+
+}  // namespace mixq

@@ -1,0 +1,40 @@
+// Copyright 2026 MixQ-GNN Authors
+// Graph Convolutional Network layer [17]: H' = Â (H Θ), with Â the
+// renormalized adjacency (GcnNormalize). Every paper component of the layer
+// is exposed to the QuantScheme:
+//   <id>/weight      — Θ
+//   <id>/linear_out  — HΘ
+//   <id>/adj         — Â's edge weights
+//   <id>/agg         — Â(HΘ)  (the layer output pre-activation)
+#pragma once
+
+#include <string>
+
+#include "nn/module.h"
+#include "quant/scheme.h"
+#include "sparse/spmm.h"
+#include "tensor/ops.h"
+
+namespace mixq {
+
+class GcnConv : public Module {
+ public:
+  GcnConv(int64_t in_features, int64_t out_features, const std::string& id, Rng* rng);
+
+  /// `op` must already be GCN-normalized. Returns the pre-activation output.
+  Tensor Forward(const Tensor& x, const SparseOperatorPtr& op, QuantScheme* scheme);
+
+  std::vector<Tensor> Parameters() override;
+
+  int64_t in_features() const { return in_features_; }
+  int64_t out_features() const { return out_features_; }
+  const std::string& id() const { return id_; }
+
+ private:
+  int64_t in_features_;
+  int64_t out_features_;
+  std::string id_;
+  Tensor weight_;
+};
+
+}  // namespace mixq

@@ -1,0 +1,47 @@
+// Copyright 2026 MixQ-GNN Authors
+#include "nn/gin_conv.h"
+
+#include "tensor/ops.h"
+
+namespace mixq {
+
+GinConv::GinConv(int64_t in_features, int64_t hidden, int64_t out_features,
+                 const std::string& id, Rng* rng, bool batch_norm)
+    : id_(id), mlp_(in_features, hidden, out_features, id + "/mlp", rng, batch_norm) {
+  eps_ = Tensor::Scalar(0.0f, /*requires_grad=*/true);
+}
+
+Tensor GinConv::Forward(const Tensor& x, const SparseOperatorPtr& op,
+                        QuantScheme* scheme) {
+  MIXQ_CHECK(scheme != nullptr);
+  Tensor adj_values = Tensor::FromVector(Shape(op->nnz()), op->matrix().values());
+  Tensor adj_q =
+      scheme->Quantize(id_ + "/adj", adj_values, ComponentKind::kAdjacency, training_);
+  Tensor agg;
+  if (adj_q.impl_ptr() == adj_values.impl_ptr()) {
+    agg = Spmm(op, x);
+  } else {
+    agg = SpmmValues(op, adj_q, x);
+  }
+  agg = scheme->Quantize(id_ + "/agg", agg, ComponentKind::kAggregate, training_);
+
+  // (1 + ε)·x + A·x. ε is a scalar tensor; ScaleByElement keeps it learnable.
+  Tensor self_term = Add(x, ScaleByElement(x, eps_, 0));
+  Tensor combined = Add(self_term, agg);
+  combined = scheme->Quantize(id_ + "/combined", combined, ComponentKind::kAggregate,
+                              training_);
+  return mlp_.Forward(combined, scheme);
+}
+
+std::vector<Tensor> GinConv::Parameters() {
+  std::vector<Tensor> params{eps_};
+  AppendParameters(&params, mlp_.Parameters());
+  return params;
+}
+
+void GinConv::SetTraining(bool training) {
+  Module::SetTraining(training);
+  mlp_.SetTraining(training);
+}
+
+}  // namespace mixq

@@ -1,0 +1,38 @@
+// Copyright 2026 MixQ-GNN Authors
+// Graph Isomorphism Network layer [19]:
+//   H' = MLP( (1 + ε) H + A H ),  A unweighted, ε learnable.
+// Scheme components: <id>/adj, <id>/agg (A·H), <id>/combined ((1+ε)H + AH),
+// plus the MLP's weight/out components.
+#pragma once
+
+#include <string>
+
+#include "nn/linear.h"
+#include "nn/module.h"
+#include "quant/scheme.h"
+#include "sparse/spmm.h"
+
+namespace mixq {
+
+class GinConv : public Module {
+ public:
+  GinConv(int64_t in_features, int64_t hidden, int64_t out_features,
+          const std::string& id, Rng* rng, bool batch_norm = true);
+
+  /// `op` is the raw (unweighted) adjacency.
+  Tensor Forward(const Tensor& x, const SparseOperatorPtr& op, QuantScheme* scheme);
+
+  std::vector<Tensor> Parameters() override;
+  void SetTraining(bool training) override;
+
+  const std::string& id() const { return id_; }
+  const Mlp& mlp() const { return mlp_; }
+  float epsilon() const { return eps_.item(); }
+
+ private:
+  std::string id_;
+  Tensor eps_;  // scalar learnable ε
+  Mlp mlp_;
+};
+
+}  // namespace mixq

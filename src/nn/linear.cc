@@ -1,0 +1,72 @@
+// Copyright 2026 MixQ-GNN Authors
+#include "nn/linear.h"
+
+namespace mixq {
+
+Linear::Linear(int64_t in_features, int64_t out_features, const std::string& id,
+               Rng* rng, bool bias)
+    : in_features_(in_features), out_features_(out_features), id_(id) {
+  MIXQ_CHECK_GT(in_features, 0);
+  MIXQ_CHECK_GT(out_features, 0);
+  weight_ = Tensor::GlorotUniform(in_features, out_features, rng);
+  if (bias) bias_ = Tensor::Zeros(Shape(out_features), /*requires_grad=*/true);
+}
+
+Tensor Linear::Forward(const Tensor& x, QuantScheme* scheme, bool quantize_out) {
+  MIXQ_CHECK(scheme != nullptr);
+  Tensor w = scheme->Quantize(weight_component(), weight_, ComponentKind::kWeight,
+                              training_);
+  Tensor y = MatMul(x, w);
+  if (bias_.defined()) y = AddRowBroadcast(y, bias_);
+  if (quantize_out) {
+    y = scheme->Quantize(out_component(), y, ComponentKind::kLinearOut, training_);
+  }
+  return y;
+}
+
+std::vector<Tensor> Linear::Parameters() {
+  std::vector<Tensor> params{weight_};
+  if (bias_.defined()) params.push_back(bias_);
+  return params;
+}
+
+Mlp::Mlp(int64_t in_features, int64_t hidden, int64_t out_features,
+         const std::string& id, Rng* rng, bool batch_norm)
+    : fc1_(in_features, hidden, id + "/fc1", rng),
+      fc2_(hidden, out_features, id + "/fc2", rng),
+      batch_norm_(batch_norm) {
+  if (batch_norm_) {
+    gamma_ = Tensor::Ones(Shape(hidden), /*requires_grad=*/true);
+    beta_ = Tensor::Zeros(Shape(hidden), /*requires_grad=*/true);
+    running_mean_.assign(static_cast<size_t>(hidden), 0.0f);
+    running_var_.assign(static_cast<size_t>(hidden), 1.0f);
+  }
+}
+
+Tensor Mlp::Forward(const Tensor& x, QuantScheme* scheme) {
+  Tensor h = fc1_.Forward(x, scheme);
+  if (batch_norm_) {
+    h = BatchNormRows(h, gamma_, beta_, &running_mean_, &running_var_, training_);
+  }
+  h = Relu(h);
+  return fc2_.Forward(h, scheme);
+}
+
+std::vector<Tensor> Mlp::Parameters() {
+  std::vector<Tensor> params;
+  AppendParameters(&params, fc1_.Parameters());
+  AppendParameters(&params, fc2_.Parameters());
+  if (batch_norm_) {
+    params.push_back(gamma_);
+    params.push_back(beta_);
+  }
+  return params;
+}
+
+void Mlp::SetTraining(bool training) {
+  Module::SetTraining(training);
+  fc1_.SetTraining(training);
+  fc2_.SetTraining(training);
+}
+
+}  // namespace mixq

@@ -1,0 +1,63 @@
+// Copyright 2026 MixQ-GNN Authors
+// Scheme-aware linear layer and the small MLP used inside GIN.
+#pragma once
+
+#include <string>
+
+#include "nn/module.h"
+#include "quant/scheme.h"
+#include "tensor/ops.h"
+
+namespace mixq {
+
+/// y = x·Θ (+ b). The weight and the product are quantization components
+/// ("<id>/weight", "<id>/out") handed to the active QuantScheme.
+class Linear : public Module {
+ public:
+  Linear(int64_t in_features, int64_t out_features, const std::string& id, Rng* rng,
+         bool bias = true);
+
+  /// Forward. `quantize_out` lets callers skip the output quantizer when the
+  /// next operation re-quantizes anyway (the paper's multi-hop advice).
+  Tensor Forward(const Tensor& x, QuantScheme* scheme, bool quantize_out = true);
+
+  std::vector<Tensor> Parameters() override;
+
+  int64_t in_features() const { return in_features_; }
+  int64_t out_features() const { return out_features_; }
+  const std::string& id() const { return id_; }
+  /// Component ids for BitOPs accounting.
+  std::string weight_component() const { return id_ + "/weight"; }
+  std::string out_component() const { return id_ + "/out"; }
+
+ private:
+  int64_t in_features_;
+  int64_t out_features_;
+  std::string id_;
+  Tensor weight_;  // [in, out]
+  Tensor bias_;    // [out] or undefined
+};
+
+/// Two-layer MLP with batch norm + ReLU between, as used inside GIN layers
+/// (paper §5.4: "five layers of GIN with MLP of two linear layers").
+class Mlp : public Module {
+ public:
+  Mlp(int64_t in_features, int64_t hidden, int64_t out_features, const std::string& id,
+      Rng* rng, bool batch_norm = true);
+
+  Tensor Forward(const Tensor& x, QuantScheme* scheme);
+  std::vector<Tensor> Parameters() override;
+  void SetTraining(bool training) override;
+
+  const Linear& fc1() const { return fc1_; }
+  const Linear& fc2() const { return fc2_; }
+
+ private:
+  Linear fc1_;
+  Linear fc2_;
+  bool batch_norm_;
+  Tensor gamma_, beta_;
+  std::vector<float> running_mean_, running_var_;
+};
+
+}  // namespace mixq

@@ -1,0 +1,510 @@
+// Copyright 2026 MixQ-GNN Authors
+#include "nn/models.h"
+
+#include <algorithm>
+
+#include "tensor/ops.h"
+
+namespace mixq {
+
+namespace {
+constexpr double kFp32Bits = 32.0;
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// GcnNet
+// ---------------------------------------------------------------------------
+
+GcnNet::GcnNet(const Config& config, Rng* rng) : config_(config) {
+  MIXQ_CHECK_GT(config.in_features, 0);
+  MIXQ_CHECK_GT(config.num_classes, 0);
+  MIXQ_CHECK_GE(config.num_layers, 1);
+  for (int l = 0; l < config.num_layers; ++l) {
+    const int64_t in = l == 0 ? config.in_features : config.hidden;
+    const int64_t out = l == config.num_layers - 1 ? config.num_classes : config.hidden;
+    layers_.push_back(
+        std::make_unique<GcnConv>(in, out, "gcn" + std::to_string(l), rng));
+  }
+}
+
+Tensor GcnNet::Forward(const Tensor& x, const SparseOperatorPtr& op,
+                       QuantScheme* scheme, Rng* dropout_rng) {
+  Tensor h = scheme->Quantize("model/x", x, ComponentKind::kInput, training_);
+  for (size_t l = 0; l < layers_.size(); ++l) {
+    h = layers_[l]->Forward(h, op, scheme);
+    if (l + 1 < layers_.size()) {
+      h = Relu(h);
+      if (config_.dropout > 0.0f) {
+        h = Dropout(h, config_.dropout, training_, dropout_rng);
+      }
+    }
+  }
+  return h;
+}
+
+std::vector<Tensor> GcnNet::Parameters() {
+  std::vector<Tensor> params;
+  for (auto& l : layers_) AppendParameters(&params, l->Parameters());
+  return params;
+}
+
+void GcnNet::SetTraining(bool training) {
+  Module::SetTraining(training);
+  for (auto& l : layers_) l->SetTraining(training);
+}
+
+std::vector<std::string> GcnNet::ComponentIds() const {
+  std::vector<std::string> ids{"model/x"};
+  for (size_t l = 0; l < layers_.size(); ++l) {
+    const std::string p = "gcn" + std::to_string(l);
+    ids.push_back(p + "/weight");
+    ids.push_back(p + "/linear_out");
+    ids.push_back(p + "/adj");
+    ids.push_back(p + "/agg");
+  }
+  return ids;
+}
+
+BitOpsReport GcnNet::ComputeBitOps(int64_t num_nodes, int64_t nnz,
+                                   const QuantScheme& scheme) const {
+  BitOpsReport report;
+  const double n = static_cast<double>(num_nodes);
+  const double m = static_cast<double>(nnz);
+  double cur = scheme.EffectiveBits("model/x", kFp32Bits);
+  for (int l = 0; l < config_.num_layers; ++l) {
+    const std::string p = "gcn" + std::to_string(l);
+    const double in = l == 0 ? static_cast<double>(config_.in_features)
+                             : static_cast<double>(config_.hidden);
+    const double out = l == config_.num_layers - 1
+                           ? static_cast<double>(config_.num_classes)
+                           : static_cast<double>(config_.hidden);
+    const double wb = scheme.EffectiveBits(p + "/weight", kFp32Bits);
+    report.Add(p + "/matmul", 2.0 * n * in * out, std::max(cur, wb));
+    const double lin = scheme.EffectiveBits(p + "/linear_out", kFp32Bits);
+    const double ab = scheme.EffectiveBits(p + "/adj", kFp32Bits);
+    report.Add(p + "/spmm", 2.0 * m * out, std::max(lin, ab));
+    cur = scheme.EffectiveBits(p + "/agg", kFp32Bits);
+    if (l + 1 < config_.num_layers) {
+      report.Add(p + "/relu", n * out, cur);
+    }
+  }
+  return report;
+}
+
+// ---------------------------------------------------------------------------
+// SageNet
+// ---------------------------------------------------------------------------
+
+SageNet::SageNet(const Config& config, Rng* rng) : config_(config) {
+  MIXQ_CHECK_GT(config.in_features, 0);
+  MIXQ_CHECK_GT(config.num_classes, 0);
+  for (int l = 0; l < config.num_layers; ++l) {
+    const int64_t in = l == 0 ? config.in_features : config.hidden;
+    const int64_t out = l == config.num_layers - 1 ? config.num_classes : config.hidden;
+    layers_.push_back(
+        std::make_unique<SageConv>(in, out, "sage" + std::to_string(l), rng));
+  }
+}
+
+Tensor SageNet::Forward(const Tensor& x, const SparseOperatorPtr& op,
+                        QuantScheme* scheme, Rng* dropout_rng) {
+  Tensor h = scheme->Quantize("model/x", x, ComponentKind::kInput, training_);
+  for (size_t l = 0; l < layers_.size(); ++l) {
+    h = layers_[l]->Forward(h, op, scheme);
+    if (l + 1 < layers_.size()) {
+      h = Relu(h);
+      if (config_.dropout > 0.0f) {
+        h = Dropout(h, config_.dropout, training_, dropout_rng);
+      }
+    }
+  }
+  return h;
+}
+
+std::vector<Tensor> SageNet::Parameters() {
+  std::vector<Tensor> params;
+  for (auto& l : layers_) AppendParameters(&params, l->Parameters());
+  return params;
+}
+
+void SageNet::SetTraining(bool training) {
+  Module::SetTraining(training);
+  for (auto& l : layers_) l->SetTraining(training);
+}
+
+std::vector<std::string> SageNet::ComponentIds() const {
+  std::vector<std::string> ids{"model/x"};
+  for (size_t l = 0; l < layers_.size(); ++l) {
+    const std::string p = "sage" + std::to_string(l);
+    ids.push_back(p + "/adj");
+    ids.push_back(p + "/agg");
+    ids.push_back(p + "/root/weight");
+    ids.push_back(p + "/root/out");
+    ids.push_back(p + "/neigh/weight");
+    ids.push_back(p + "/neigh/out");
+    ids.push_back(p + "/out");
+  }
+  return ids;
+}
+
+BitOpsReport SageNet::ComputeBitOps(int64_t num_nodes, int64_t nnz,
+                                    const QuantScheme& scheme) const {
+  BitOpsReport report;
+  const double n = static_cast<double>(num_nodes);
+  const double m = static_cast<double>(nnz);
+  double cur = scheme.EffectiveBits("model/x", kFp32Bits);
+  for (int l = 0; l < config_.num_layers; ++l) {
+    const std::string p = "sage" + std::to_string(l);
+    const double in = l == 0 ? static_cast<double>(config_.in_features)
+                             : static_cast<double>(config_.hidden);
+    const double out = l == config_.num_layers - 1
+                           ? static_cast<double>(config_.num_classes)
+                           : static_cast<double>(config_.hidden);
+    const double ab = scheme.EffectiveBits(p + "/adj", kFp32Bits);
+    report.Add(p + "/spmm", 2.0 * m * in, std::max(cur, ab));
+    const double agg = scheme.EffectiveBits(p + "/agg", kFp32Bits);
+    const double w1 = scheme.EffectiveBits(p + "/root/weight", kFp32Bits);
+    report.Add(p + "/root_matmul", 2.0 * n * in * out, std::max(cur, w1));
+    const double w2 = scheme.EffectiveBits(p + "/neigh/weight", kFp32Bits);
+    report.Add(p + "/neigh_matmul", 2.0 * n * in * out, std::max(agg, w2));
+    const double o1 = scheme.EffectiveBits(p + "/root/out", kFp32Bits);
+    const double o2 = scheme.EffectiveBits(p + "/neigh/out", kFp32Bits);
+    report.Add(p + "/sum", n * out, std::max(o1, o2));
+    cur = scheme.EffectiveBits(p + "/out", kFp32Bits);
+    if (l + 1 < config_.num_layers) {
+      report.Add(p + "/relu", n * out, cur);
+    }
+  }
+  return report;
+}
+
+// ---------------------------------------------------------------------------
+// GinGraphNet
+// ---------------------------------------------------------------------------
+
+GinGraphNet::GinGraphNet(const Config& config, Rng* rng) : config_(config) {
+  MIXQ_CHECK_GT(config.in_features, 0);
+  MIXQ_CHECK_GT(config.num_classes, 0);
+  for (int l = 0; l < config.num_layers; ++l) {
+    const int64_t in = l == 0 ? config.in_features : config.hidden;
+    layers_.push_back(std::make_unique<GinConv>(in, config.hidden, config.hidden,
+                                                "gin" + std::to_string(l), rng,
+                                                config.batch_norm));
+  }
+  head1_ = std::make_unique<Linear>(config.hidden, config.hidden, "head/fc1", rng);
+  head2_ = std::make_unique<Linear>(config.hidden, config.num_classes, "head/fc2", rng);
+}
+
+Tensor GinGraphNet::Forward(const Tensor& x, const SparseOperatorPtr& op,
+                            const std::vector<int64_t>& batch, int64_t num_graphs,
+                            QuantScheme* scheme) {
+  Tensor h = scheme->Quantize("model/x", x, ComponentKind::kInput, training_);
+  for (auto& layer : layers_) {
+    h = layer->Forward(h, op, scheme);
+    h = Relu(h);
+  }
+  // Global max pooling: overflow-safe under quantization (paper §5.4).
+  Tensor pooled = GlobalPool(h, batch, num_graphs, PoolMode::kMax);
+  pooled =
+      scheme->Quantize("model/pool", pooled, ComponentKind::kAggregate, training_);
+  Tensor z = Relu(head1_->Forward(pooled, scheme));
+  return head2_->Forward(z, scheme);
+}
+
+std::vector<Tensor> GinGraphNet::Parameters() {
+  std::vector<Tensor> params;
+  for (auto& l : layers_) AppendParameters(&params, l->Parameters());
+  AppendParameters(&params, head1_->Parameters());
+  AppendParameters(&params, head2_->Parameters());
+  return params;
+}
+
+void GinGraphNet::SetTraining(bool training) {
+  Module::SetTraining(training);
+  for (auto& l : layers_) l->SetTraining(training);
+  head1_->SetTraining(training);
+  head2_->SetTraining(training);
+}
+
+std::vector<std::string> GinGraphNet::ComponentIds() const {
+  std::vector<std::string> ids{"model/x"};
+  for (int l = 0; l < config_.num_layers; ++l) {
+    const std::string p = "gin" + std::to_string(l);
+    ids.push_back(p + "/adj");
+    ids.push_back(p + "/agg");
+    ids.push_back(p + "/combined");
+    ids.push_back(p + "/mlp/fc1/weight");
+    ids.push_back(p + "/mlp/fc1/out");
+    ids.push_back(p + "/mlp/fc2/weight");
+    ids.push_back(p + "/mlp/fc2/out");
+  }
+  ids.push_back("model/pool");
+  ids.push_back("head/fc1/weight");
+  ids.push_back("head/fc1/out");
+  ids.push_back("head/fc2/weight");
+  ids.push_back("head/fc2/out");
+  return ids;
+}
+
+BitOpsReport GinGraphNet::ComputeBitOps(int64_t num_nodes, int64_t nnz,
+                                        int64_t num_graphs,
+                                        const QuantScheme& scheme) const {
+  BitOpsReport report;
+  const double n = static_cast<double>(num_nodes);
+  const double m = static_cast<double>(nnz);
+  const double g = static_cast<double>(num_graphs);
+  const double h = static_cast<double>(config_.hidden);
+  double cur = scheme.EffectiveBits("model/x", kFp32Bits);
+  for (int l = 0; l < config_.num_layers; ++l) {
+    const std::string p = "gin" + std::to_string(l);
+    const double in = l == 0 ? static_cast<double>(config_.in_features) : h;
+    const double ab = scheme.EffectiveBits(p + "/adj", kFp32Bits);
+    report.Add(p + "/spmm", 2.0 * m * in, std::max(cur, ab));
+    const double agg = scheme.EffectiveBits(p + "/agg", kFp32Bits);
+    report.Add(p + "/combine", 3.0 * n * in, std::max(cur, agg));
+    const double comb = scheme.EffectiveBits(p + "/combined", kFp32Bits);
+    const double w1 = scheme.EffectiveBits(p + "/mlp/fc1/weight", kFp32Bits);
+    report.Add(p + "/mlp_fc1", 2.0 * n * in * h, std::max(comb, w1));
+    const double f1 = scheme.EffectiveBits(p + "/mlp/fc1/out", kFp32Bits);
+    if (config_.batch_norm) report.Add(p + "/bn", 4.0 * n * h, f1);
+    report.Add(p + "/mlp_relu", n * h, f1);
+    const double w2 = scheme.EffectiveBits(p + "/mlp/fc2/weight", kFp32Bits);
+    report.Add(p + "/mlp_fc2", 2.0 * n * h * h, std::max(f1, w2));
+    cur = scheme.EffectiveBits(p + "/mlp/fc2/out", kFp32Bits);
+    report.Add(p + "/relu", n * h, cur);
+  }
+  report.Add("model/pool_max", n * h, cur);
+  const double pb = scheme.EffectiveBits("model/pool", kFp32Bits);
+  const double hw1 = scheme.EffectiveBits("head/fc1/weight", kFp32Bits);
+  report.Add("head/fc1", 2.0 * g * h * h, std::max(pb, hw1));
+  const double h1 = scheme.EffectiveBits("head/fc1/out", kFp32Bits);
+  report.Add("head/relu", g * h, h1);
+  const double hw2 = scheme.EffectiveBits("head/fc2/weight", kFp32Bits);
+  report.Add("head/fc2", 2.0 * g * h * static_cast<double>(config_.num_classes),
+             std::max(h1, hw2));
+  return report;
+}
+
+// ---------------------------------------------------------------------------
+// GcnGraphNet (CSL, Table 9)
+// ---------------------------------------------------------------------------
+
+GcnGraphNet::GcnGraphNet(const Config& config, Rng* rng) : config_(config) {
+  MIXQ_CHECK_GT(config.in_features, 0);
+  MIXQ_CHECK_GT(config.num_classes, 0);
+  for (int l = 0; l < config.num_layers; ++l) {
+    const int64_t in = l == 0 ? config.in_features : config.hidden;
+    layers_.push_back(std::make_unique<GcnConv>(in, config.hidden,
+                                                "gcn" + std::to_string(l), rng));
+  }
+  head_ = std::make_unique<Linear>(config.hidden, config.num_classes, "head", rng);
+}
+
+Tensor GcnGraphNet::Forward(const Tensor& x, const SparseOperatorPtr& op,
+                            const std::vector<int64_t>& batch, int64_t num_graphs,
+                            QuantScheme* scheme) {
+  Tensor h = scheme->Quantize("model/x", x, ComponentKind::kInput, training_);
+  for (auto& layer : layers_) {
+    h = Relu(layer->Forward(h, op, scheme));
+  }
+  Tensor pooled = GlobalPool(h, batch, num_graphs, PoolMode::kMax);
+  pooled =
+      scheme->Quantize("model/pool", pooled, ComponentKind::kAggregate, training_);
+  return head_->Forward(pooled, scheme);
+}
+
+std::vector<Tensor> GcnGraphNet::Parameters() {
+  std::vector<Tensor> params;
+  for (auto& l : layers_) AppendParameters(&params, l->Parameters());
+  AppendParameters(&params, head_->Parameters());
+  return params;
+}
+
+void GcnGraphNet::SetTraining(bool training) {
+  Module::SetTraining(training);
+  for (auto& l : layers_) l->SetTraining(training);
+  head_->SetTraining(training);
+}
+
+std::vector<std::string> GcnGraphNet::ComponentIds() const {
+  std::vector<std::string> ids{"model/x"};
+  for (int l = 0; l < config_.num_layers; ++l) {
+    const std::string p = "gcn" + std::to_string(l);
+    ids.push_back(p + "/weight");
+    ids.push_back(p + "/linear_out");
+    ids.push_back(p + "/adj");
+    ids.push_back(p + "/agg");
+  }
+  ids.push_back("model/pool");
+  ids.push_back("head/weight");
+  ids.push_back("head/out");
+  return ids;
+}
+
+BitOpsReport GcnGraphNet::ComputeBitOps(int64_t num_nodes, int64_t nnz,
+                                        int64_t num_graphs,
+                                        const QuantScheme& scheme) const {
+  BitOpsReport report;
+  const double n = static_cast<double>(num_nodes);
+  const double m = static_cast<double>(nnz);
+  const double g = static_cast<double>(num_graphs);
+  const double h = static_cast<double>(config_.hidden);
+  double cur = scheme.EffectiveBits("model/x", kFp32Bits);
+  for (int l = 0; l < config_.num_layers; ++l) {
+    const std::string p = "gcn" + std::to_string(l);
+    const double in = l == 0 ? static_cast<double>(config_.in_features) : h;
+    const double wb = scheme.EffectiveBits(p + "/weight", kFp32Bits);
+    report.Add(p + "/matmul", 2.0 * n * in * h, std::max(cur, wb));
+    const double lin = scheme.EffectiveBits(p + "/linear_out", kFp32Bits);
+    const double ab = scheme.EffectiveBits(p + "/adj", kFp32Bits);
+    report.Add(p + "/spmm", 2.0 * m * h, std::max(lin, ab));
+    cur = scheme.EffectiveBits(p + "/agg", kFp32Bits);
+    report.Add(p + "/relu", n * h, cur);
+  }
+  report.Add("model/pool_max", n * h, cur);
+  const double pb = scheme.EffectiveBits("model/pool", kFp32Bits);
+  const double hw = scheme.EffectiveBits("head/weight", kFp32Bits);
+  report.Add("head/matmul", 2.0 * g * h * static_cast<double>(config_.num_classes),
+             std::max(pb, hw));
+  return report;
+}
+
+// ---------------------------------------------------------------------------
+// Fp32StackNet (Figure 1)
+// ---------------------------------------------------------------------------
+
+const char* Fp32StackNet::LayerTypeName(LayerType type) {
+  switch (type) {
+    case LayerType::kGcn: return "GCN";
+    case LayerType::kGat: return "GAT";
+    case LayerType::kGin: return "GIN";
+    case LayerType::kTransformer: return "Transformer";
+    case LayerType::kTag: return "TAG";
+    case LayerType::kSuperGat: return "SuperGAT";
+  }
+  return "?";
+}
+
+Fp32StackNet::Fp32StackNet(LayerType type, int64_t in_features, int64_t hidden,
+                           int64_t num_classes, int num_layers, Rng* rng)
+    : type_(type),
+      num_layers_(num_layers),
+      in_features_(in_features),
+      hidden_(hidden),
+      num_classes_(num_classes),
+      fp32_(std::make_shared<NoQuantScheme>()) {
+  MIXQ_CHECK_GE(num_layers, 1);
+  for (int l = 0; l < num_layers; ++l) {
+    const int64_t in = l == 0 ? in_features : hidden;
+    const std::string id = "stack" + std::to_string(l);
+    switch (type) {
+      case LayerType::kGcn:
+        layers_.push_back(std::make_unique<GcnConv>(in, hidden, id, rng));
+        break;
+      case LayerType::kGat:
+        layers_.push_back(std::make_unique<GatConv>(in, hidden, id, rng));
+        break;
+      case LayerType::kGin:
+        layers_.push_back(std::make_unique<GinConv>(in, hidden, hidden, id, rng,
+                                                    /*batch_norm=*/false));
+        break;
+      case LayerType::kTransformer:
+        layers_.push_back(std::make_unique<TransformerConv>(in, hidden, id, rng));
+        break;
+      case LayerType::kTag:
+        layers_.push_back(std::make_unique<TagConv>(in, hidden, /*hops=*/2, id, rng));
+        break;
+      case LayerType::kSuperGat:
+        layers_.push_back(std::make_unique<SuperGatConv>(in, hidden, id, rng));
+        break;
+    }
+  }
+  Rng head_rng(rng->UniformInt(1, 1 << 30));
+  head_ = std::make_unique<Linear>(hidden, num_classes, "stack_head", &head_rng);
+}
+
+Tensor Fp32StackNet::Forward(const Tensor& x, const SparseOperatorPtr& gcn_op,
+                             const SparseOperatorPtr& raw_op, Rng* dropout_rng) {
+  Tensor h = x;
+  for (int l = 0; l < num_layers_; ++l) {
+    Module* layer = layers_[static_cast<size_t>(l)].get();
+    switch (type_) {
+      case LayerType::kGcn:
+        h = static_cast<GcnConv*>(layer)->Forward(h, gcn_op, fp32_.get());
+        break;
+      case LayerType::kGat:
+        h = static_cast<GatConv*>(layer)->Forward(h, raw_op);
+        break;
+      case LayerType::kGin:
+        h = static_cast<GinConv*>(layer)->Forward(h, raw_op, fp32_.get());
+        break;
+      case LayerType::kTransformer:
+        h = static_cast<TransformerConv*>(layer)->Forward(h, raw_op);
+        break;
+      case LayerType::kTag:
+        h = static_cast<TagConv*>(layer)->Forward(h, gcn_op);
+        break;
+      case LayerType::kSuperGat:
+        h = static_cast<SuperGatConv*>(layer)->Forward(h, raw_op);
+        break;
+    }
+    h = Relu(h);
+    h = Dropout(h, 0.5f, training_, dropout_rng);
+  }
+  return head_->Forward(h, fp32_.get());
+}
+
+std::vector<Tensor> Fp32StackNet::Parameters() {
+  std::vector<Tensor> params;
+  for (auto& l : layers_) AppendParameters(&params, l->Parameters());
+  AppendParameters(&params, head_->Parameters());
+  return params;
+}
+
+void Fp32StackNet::SetTraining(bool training) {
+  Module::SetTraining(training);
+  for (auto& l : layers_) l->SetTraining(training);
+  head_->SetTraining(training);
+}
+
+double Fp32StackNet::CountOps(int64_t num_nodes, int64_t nnz) const {
+  const double n = static_cast<double>(num_nodes);
+  const double m = static_cast<double>(nnz);
+  const double h = static_cast<double>(hidden_);
+  double total = 0.0;
+  for (int l = 0; l < num_layers_; ++l) {
+    const double in = l == 0 ? static_cast<double>(in_features_) : h;
+    switch (type_) {
+      case LayerType::kGcn:
+        total += 2.0 * n * in * h + 2.0 * m * h;
+        break;
+      case LayerType::kGat:
+        total += 2.0 * n * in * h + 4.0 * n * h + 6.0 * m + 2.0 * m * h;
+        break;
+      case LayerType::kGin:
+        total += 2.0 * m * in + 3.0 * n * in + 2.0 * n * in * h + n * h +
+                 2.0 * n * h * h;
+        break;
+      case LayerType::kTransformer:
+        total += 6.0 * n * in * h + 2.0 * m * h + 3.0 * m + 2.0 * m * h;
+        break;
+      case LayerType::kTag:
+        total += 3.0 * 2.0 * n * in * h + 2.0 * 2.0 * m * in;
+        break;
+      case LayerType::kSuperGat:
+        total += 2.0 * n * in * h + 2.0 * m * h + 3.0 * m + 2.0 * m * h;
+        break;
+    }
+    total += 2.0 * n * h;  // relu + dropout
+  }
+  total += 2.0 * n * h * static_cast<double>(num_classes_);
+  return total;
+}
+
+int64_t Fp32StackNet::ParameterCount() {
+  int64_t total = 0;
+  for (auto& p : Parameters()) total += p.numel();
+  return total;
+}
+
+}  // namespace mixq

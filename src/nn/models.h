@@ -1,0 +1,186 @@
+// Copyright 2026 MixQ-GNN Authors
+// Complete network architectures used across the paper's experiments.
+// Every network is scheme-aware: pass NoQuantScheme for FP32,
+// UniformQatScheme for DQ/QAT baselines, PerComponentScheme for a selected
+// MixQ sequence, RelaxedMixQScheme (src/core) during the bit-width search,
+// or A2qScheme for the A2Q baseline.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "graph/graph.h"
+#include "nn/attention_convs.h"
+#include "nn/bitops.h"
+#include "nn/gcn_conv.h"
+#include "nn/gin_conv.h"
+#include "nn/linear.h"
+#include "nn/sage_conv.h"
+#include "quant/scheme.h"
+
+namespace mixq {
+
+/// Multi-layer GCN for node classification (Tables 3/4/5/9, Figures 2/3/9).
+class GcnNet : public Module {
+ public:
+  struct Config {
+    int64_t in_features = 0;
+    int64_t hidden = 64;
+    int64_t num_classes = 0;
+    int num_layers = 2;
+    float dropout = 0.5f;
+  };
+
+  GcnNet(const Config& config, Rng* rng);
+
+  /// Returns logits [n, classes]. `op` must be GCN-normalized.
+  Tensor Forward(const Tensor& x, const SparseOperatorPtr& op, QuantScheme* scheme,
+                 Rng* dropout_rng);
+
+  std::vector<Tensor> Parameters() override;
+  void SetTraining(bool training) override;
+
+  /// Analytic BitOPs for one full-graph forward under `scheme`'s bit
+  /// assignment (n nodes, nnz stored adjacency entries).
+  BitOpsReport ComputeBitOps(int64_t num_nodes, int64_t nnz,
+                             const QuantScheme& scheme) const;
+
+  /// All quantizable component ids, in execution order (the 1 + 4L
+  /// components; 9 for a 2-layer GCN as in the paper's Fig. 2 example).
+  std::vector<std::string> ComponentIds() const;
+
+  const Config& config() const { return config_; }
+
+ private:
+  Config config_;
+  std::vector<std::unique_ptr<GcnConv>> layers_;
+};
+
+/// Multi-layer GraphSAGE for node classification (Tables 6/7).
+class SageNet : public Module {
+ public:
+  struct Config {
+    int64_t in_features = 0;
+    int64_t hidden = 64;
+    int64_t num_classes = 0;
+    int num_layers = 2;
+    float dropout = 0.5f;
+  };
+
+  SageNet(const Config& config, Rng* rng);
+
+  /// `op` must be row-normalized (mean aggregator).
+  Tensor Forward(const Tensor& x, const SparseOperatorPtr& op, QuantScheme* scheme,
+                 Rng* dropout_rng);
+  std::vector<Tensor> Parameters() override;
+  void SetTraining(bool training) override;
+  BitOpsReport ComputeBitOps(int64_t num_nodes, int64_t nnz,
+                             const QuantScheme& scheme) const;
+  std::vector<std::string> ComponentIds() const;
+  const Config& config() const { return config_; }
+
+ private:
+  Config config_;
+  std::vector<std::unique_ptr<SageConv>> layers_;
+};
+
+/// 5-layer GIN + global max pooling + 2-layer head for graph classification
+/// (Table 8) and the 4-layer-GCN-equivalent CSL protocol reuses GcnNet.
+class GinGraphNet : public Module {
+ public:
+  struct Config {
+    int64_t in_features = 0;
+    int64_t hidden = 64;
+    int64_t num_classes = 0;
+    int num_layers = 5;
+    bool batch_norm = true;
+  };
+
+  GinGraphNet(const Config& config, Rng* rng);
+
+  /// `op` is the raw batched adjacency; `batch` maps nodes to graphs.
+  /// Returns logits [num_graphs, classes]. Pooling is global max (the
+  /// paper's overflow-safe choice for quantized GIN).
+  Tensor Forward(const Tensor& x, const SparseOperatorPtr& op,
+                 const std::vector<int64_t>& batch, int64_t num_graphs,
+                 QuantScheme* scheme);
+
+  std::vector<Tensor> Parameters() override;
+  void SetTraining(bool training) override;
+  BitOpsReport ComputeBitOps(int64_t num_nodes, int64_t nnz, int64_t num_graphs,
+                             const QuantScheme& scheme) const;
+  std::vector<std::string> ComponentIds() const;
+  const Config& config() const { return config_; }
+
+ private:
+  Config config_;
+  std::vector<std::unique_ptr<GinConv>> layers_;
+  std::unique_ptr<Linear> head1_;
+  std::unique_ptr<Linear> head2_;
+};
+
+/// Multi-layer GCN + global max pooling + linear head for graph-level tasks
+/// (the Table 9 CSL protocol: 4 GCN layers on Laplacian PE features).
+class GcnGraphNet : public Module {
+ public:
+  struct Config {
+    int64_t in_features = 0;
+    int64_t hidden = 64;
+    int64_t num_classes = 0;
+    int num_layers = 4;
+  };
+
+  GcnGraphNet(const Config& config, Rng* rng);
+
+  /// `op` must be GCN-normalized (batched); returns logits [num_graphs, c].
+  Tensor Forward(const Tensor& x, const SparseOperatorPtr& op,
+                 const std::vector<int64_t>& batch, int64_t num_graphs,
+                 QuantScheme* scheme);
+  std::vector<Tensor> Parameters() override;
+  void SetTraining(bool training) override;
+  BitOpsReport ComputeBitOps(int64_t num_nodes, int64_t nnz, int64_t num_graphs,
+                             const QuantScheme& scheme) const;
+  std::vector<std::string> ComponentIds() const;
+  const Config& config() const { return config_; }
+
+ private:
+  Config config_;
+  std::vector<std::unique_ptr<GcnConv>> layers_;
+  std::unique_ptr<Linear> head_;
+};
+
+/// FP32 architecture sweep for Figure 1: a stack of 1–5 identical layers of
+/// one of the six layer types, evaluated on node classification.
+class Fp32StackNet : public Module {
+ public:
+  enum class LayerType { kGcn, kGat, kGin, kTransformer, kTag, kSuperGat };
+
+  static const char* LayerTypeName(LayerType type);
+
+  Fp32StackNet(LayerType type, int64_t in_features, int64_t hidden,
+               int64_t num_classes, int num_layers, Rng* rng);
+
+  /// `gcn_op` is the GCN-normalized operator (used by GCN/TAG); `raw_op` the
+  /// raw adjacency with self loops (attention layers and GIN).
+  Tensor Forward(const Tensor& x, const SparseOperatorPtr& gcn_op,
+                 const SparseOperatorPtr& raw_op, Rng* dropout_rng);
+
+  std::vector<Tensor> Parameters() override;
+  void SetTraining(bool training) override;
+
+  /// Scalar operation count of one forward pass (Figure 1's x-axis).
+  double CountOps(int64_t num_nodes, int64_t nnz) const;
+  /// Number of learnable scalars (Figure 1's circle radius).
+  int64_t ParameterCount();
+
+ private:
+  LayerType type_;
+  int num_layers_;
+  int64_t in_features_, hidden_, num_classes_;
+  std::vector<std::unique_ptr<Module>> layers_;
+  std::unique_ptr<Linear> head_;         // hidden -> classes (FP32)
+  std::shared_ptr<NoQuantScheme> fp32_;  // for scheme-aware sublayers
+};
+
+}  // namespace mixq

@@ -1,0 +1,35 @@
+// Copyright 2026 MixQ-GNN Authors
+// Module base class: parameter collection and train/eval mode.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "tensor/tensor.h"
+
+namespace mixq {
+
+/// Base class for layers and models. Parameters() returns the leaf tensors an
+/// optimizer should update; SetTraining toggles dropout/batch-norm/observer
+/// behaviour.
+class Module {
+ public:
+  virtual ~Module() = default;
+
+  /// Leaf parameter tensors (shared handles; optimizers mutate in place).
+  virtual std::vector<Tensor> Parameters() = 0;
+
+  virtual void SetTraining(bool training) { training_ = training; }
+  bool training() const { return training_; }
+
+ protected:
+  bool training_ = true;
+};
+
+/// Concatenates parameter lists (helper for composite modules).
+inline void AppendParameters(std::vector<Tensor>* dst, std::vector<Tensor> src) {
+  for (auto& t : src) dst->push_back(std::move(t));
+}
+
+}  // namespace mixq

@@ -1,0 +1,47 @@
+// Copyright 2026 MixQ-GNN Authors
+#include "nn/sage_conv.h"
+
+#include "tensor/ops.h"
+
+namespace mixq {
+
+SageConv::SageConv(int64_t in_features, int64_t out_features, const std::string& id,
+                   Rng* rng)
+    : id_(id),
+      root_(in_features, out_features, id + "/root", rng, /*bias=*/true),
+      neighbor_(in_features, out_features, id + "/neigh", rng, /*bias=*/false) {}
+
+Tensor SageConv::Forward(const Tensor& x, const SparseOperatorPtr& op,
+                         QuantScheme* scheme) {
+  MIXQ_CHECK(scheme != nullptr);
+  Tensor adj_values = Tensor::FromVector(Shape(op->nnz()), op->matrix().values());
+  Tensor adj_q =
+      scheme->Quantize(id_ + "/adj", adj_values, ComponentKind::kAdjacency, training_);
+  Tensor agg;
+  if (adj_q.impl_ptr() == adj_values.impl_ptr()) {
+    agg = Spmm(op, x);
+  } else {
+    agg = SpmmValues(op, adj_q, x);
+  }
+  agg = scheme->Quantize(id_ + "/agg", agg, ComponentKind::kAggregate, training_);
+
+  Tensor self_part = root_.Forward(x, scheme);
+  Tensor neigh_part = neighbor_.Forward(agg, scheme);
+  Tensor out = Add(self_part, neigh_part);
+  return scheme->Quantize(id_ + "/out", out, ComponentKind::kLinearOut, training_);
+}
+
+std::vector<Tensor> SageConv::Parameters() {
+  std::vector<Tensor> params;
+  AppendParameters(&params, root_.Parameters());
+  AppendParameters(&params, neighbor_.Parameters());
+  return params;
+}
+
+void SageConv::SetTraining(bool training) {
+  Module::SetTraining(training);
+  root_.SetTraining(training);
+  neighbor_.SetTraining(training);
+}
+
+}  // namespace mixq

@@ -1,0 +1,38 @@
+// Copyright 2026 MixQ-GNN Authors
+// GraphSAGE layer [28]: H' = H Θ1 + (A_mean H) Θ2, with A_mean the
+// row-normalized adjacency (mean aggregator). The paper evaluates MixQ with
+// GraphSAGE on Tables 6/7, using neighbour sampling to bound in-degrees.
+// Scheme components: the two Linear sub-components, <id>/adj, <id>/agg,
+// <id>/out (the summed output).
+#pragma once
+
+#include <string>
+
+#include "nn/linear.h"
+#include "nn/module.h"
+#include "quant/scheme.h"
+#include "sparse/spmm.h"
+
+namespace mixq {
+
+class SageConv : public Module {
+ public:
+  SageConv(int64_t in_features, int64_t out_features, const std::string& id, Rng* rng);
+
+  /// `op` must be row-normalized (mean aggregator).
+  Tensor Forward(const Tensor& x, const SparseOperatorPtr& op, QuantScheme* scheme);
+
+  std::vector<Tensor> Parameters() override;
+  void SetTraining(bool training) override;
+
+  const std::string& id() const { return id_; }
+  const Linear& root_linear() const { return root_; }
+  const Linear& neighbor_linear() const { return neighbor_; }
+
+ private:
+  std::string id_;
+  Linear root_;      // Θ1
+  Linear neighbor_;  // Θ2
+};
+
+}  // namespace mixq

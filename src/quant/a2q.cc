@@ -1,0 +1,206 @@
+// Copyright 2026 MixQ-GNN Authors
+#include "quant/a2q.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "tensor/op_utils.h"
+#include "tensor/ops.h"
+
+namespace mixq {
+
+using internal::MakeOpResult;
+using internal::NeedsGrad;
+
+namespace {
+
+inline double SigmoidD(double v) { return 1.0 / (1.0 + std::exp(-v)); }
+
+// Continuous bits from the logit, and its rounded/clamped integer width.
+inline double ContinuousBits(double beta) { return 1.0 + 7.0 * SigmoidD(beta); }
+inline int RoundedBits(double beta) {
+  int b = static_cast<int>(std::lround(ContinuousBits(beta)));
+  return std::clamp(b, 1, 8);
+}
+inline int64_t QmaxForBits(int b) {
+  return std::max<int64_t>(1, (int64_t{1} << (b - 1)) - 1);
+}
+
+}  // namespace
+
+Tensor A2qFakeQuantRows(const Tensor& x, const Tensor& log_scale, const Tensor& beta) {
+  MIXQ_CHECK_EQ(x.shape().rank(), 2);
+  const int64_t n = x.rows(), f = x.cols();
+  MIXQ_CHECK_EQ(log_scale.numel(), n);
+  MIXQ_CHECK_EQ(beta.numel(), n);
+
+  std::vector<float> out(x.data().size());
+  // Per-element records needed by backward: the clipped integer q and whether
+  // the pre-clip value was in range.
+  auto q_store = std::make_shared<std::vector<int32_t>>(x.data().size());
+  auto in_range = std::make_shared<std::vector<uint8_t>>(x.data().size());
+  for (int64_t i = 0; i < n; ++i) {
+    const double s = std::exp(static_cast<double>(log_scale.data()[static_cast<size_t>(i)]));
+    const int b = RoundedBits(beta.data()[static_cast<size_t>(i)]);
+    const int64_t qmax = QmaxForBits(b);
+    for (int64_t j = 0; j < f; ++j) {
+      const size_t k = static_cast<size_t>(i * f + j);
+      const long q0 = std::lround(static_cast<double>(x.data()[k]) / s);
+      const bool ok = q0 >= -qmax && q0 <= qmax;
+      const long q = ok ? q0 : (q0 < -qmax ? -qmax : qmax);
+      (*q_store)[k] = static_cast<int32_t>(q);
+      (*in_range)[k] = ok ? 1 : 0;
+      out[k] = static_cast<float>(static_cast<double>(q) * s);
+    }
+  }
+
+  auto xi = x.impl_ptr();
+  auto si = log_scale.impl_ptr();
+  auto bi = beta.impl_ptr();
+  return MakeOpResult(
+      x.shape(), std::move(out), {x, log_scale, beta},
+      [xi, si, bi, q_store, in_range, n, f](TensorImpl& self) {
+        if (NeedsGrad(*xi)) xi->EnsureGrad();
+        if (NeedsGrad(*si)) si->EnsureGrad();
+        if (NeedsGrad(*bi)) bi->EnsureGrad();
+        for (int64_t i = 0; i < n; ++i) {
+          const double s = std::exp(static_cast<double>(si->data[static_cast<size_t>(i)]));
+          const double beta_v = bi->data[static_cast<size_t>(i)];
+          const int b = RoundedBits(beta_v);
+          const int64_t qmax = QmaxForBits(b);
+          double d_log_scale = 0.0;
+          double d_beta = 0.0;
+          const double sig = SigmoidD(beta_v);
+          // d qmax / d beta (STE through the bit rounding):
+          // qmax = 2^{b−1}−1, db/dbeta = 7σ(1−σ).
+          const double dqmax_dbeta =
+              std::log(2.0) * std::pow(2.0, static_cast<double>(b) - 1.0) * 7.0 * sig *
+              (1.0 - sig);
+          for (int64_t j = 0; j < f; ++j) {
+            const size_t k = static_cast<size_t>(i * f + j);
+            const float g = self.grad[k];
+            if (g == 0.0f) continue;
+            const double q = (*q_store)[k];
+            if ((*in_range)[k]) {
+              // out = round(x/s)·s: STE for x; LSQ for the scale:
+              // d out/d s = q − x/s.
+              if (NeedsGrad(*xi)) xi->grad[k] += g;
+              d_log_scale += static_cast<double>(g) * (q - xi->data[k] / s) * s;
+            } else {
+              // out = ±qmax·s: no x gradient; scale and bit gradients via the
+              // clip boundary.
+              d_log_scale += static_cast<double>(g) * q * s;
+              const double sign = q >= 0 ? 1.0 : -1.0;
+              d_beta += static_cast<double>(g) * sign * s * dqmax_dbeta;
+            }
+          }
+          if (NeedsGrad(*si)) {
+            si->grad[static_cast<size_t>(i)] += static_cast<float>(d_log_scale);
+          }
+          if (NeedsGrad(*bi)) {
+            bi->grad[static_cast<size_t>(i)] += static_cast<float>(d_beta);
+          }
+        }
+      });
+}
+
+A2qScheme::A2qScheme(int64_t num_nodes, A2qOptions options)
+    : num_nodes_(num_nodes), options_(options), rng_(options.seed) {
+  MIXQ_CHECK_GT(num_nodes_, 0);
+}
+
+Tensor A2qScheme::Quantize(const std::string& id, const Tensor& x, ComponentKind kind,
+                           bool training) {
+  const bool per_node = IsNodeFeatureKind(kind) && x.shape().rank() == 2 &&
+                        x.rows() == num_nodes_;
+  if (std::find(ids_.begin(), ids_.end(), id) == ids_.end()) ids_.push_back(id);
+  if (!per_node) {
+    auto it = fallback_quantizers_.find(id);
+    if (it == fallback_quantizers_.end()) {
+      QatOptions qat;
+      auto q = std::make_unique<FakeQuantizer>(
+          MakeComponentConfig(kind, options_.weight_bits, qat));
+      it = fallback_quantizers_.emplace(id, std::move(q)).first;
+    }
+    return it->second->Apply(x, training);
+  }
+
+  auto it = node_quantizers_.find(id);
+  if (it == node_quantizers_.end()) {
+    A2qNodeQuantizer nq;
+    nq.feature_dim = x.cols();
+    // Data-dependent init: per-row max-abs scaled by the initial qmax.
+    const int b0 = std::clamp(static_cast<int>(std::lround(options_.initial_bits)), 1, 8);
+    const double qmax0 = static_cast<double>(QmaxForBits(b0));
+    nq.log_scale = Tensor::Zeros(Shape(num_nodes_), /*requires_grad=*/true);
+    for (int64_t i = 0; i < num_nodes_; ++i) {
+      double mx = 1e-4;
+      for (int64_t j = 0; j < x.cols(); ++j) {
+        mx = std::max(mx, std::fabs(static_cast<double>(x.at(i, j))));
+      }
+      nq.log_scale.data()[static_cast<size_t>(i)] =
+          static_cast<float>(std::log(mx / qmax0 + 1e-12));
+    }
+    // β init so that 1 + 7σ(β) = initial_bits.
+    const double target = std::clamp((options_.initial_bits - 1.0) / 7.0, 0.05, 0.95);
+    const float beta0 = static_cast<float>(std::log(target / (1.0 - target)));
+    nq.beta = Tensor::Full(Shape(num_nodes_), beta0, /*requires_grad=*/true);
+    it = node_quantizers_.emplace(id, std::move(nq)).first;
+  }
+  return A2qFakeQuantRows(x, it->second.log_scale, it->second.beta);
+}
+
+std::vector<Tensor> A2qScheme::SchemeParameters() {
+  std::vector<Tensor> params;
+  for (auto& [id, nq] : node_quantizers_) {
+    params.push_back(nq.log_scale);
+    params.push_back(nq.beta);
+  }
+  return params;
+}
+
+Tensor A2qScheme::PenaltyLoss() {
+  // Memory penalty: λ_m · Σ_components Σ_v b_v(β)·f_v  (in MB, like Eq. (8)).
+  Tensor total;
+  for (auto& [id, nq] : node_quantizers_) {
+    Tensor bits = AddScalar(Scale(Sigmoid(nq.beta), 7.0f), 1.0f);  // [n]
+    Tensor mem = Scale(Sum(bits),
+                       static_cast<float>(options_.memory_lambda *
+                                          static_cast<double>(nq.feature_dim) /
+                                          (1024.0 * 8.0)));
+    total = total.defined() ? Add(total, mem) : mem;
+  }
+  return total;
+}
+
+double A2qScheme::EffectiveBits(const std::string& id, double fallback) const {
+  auto it = node_quantizers_.find(id);
+  if (it != node_quantizers_.end()) {
+    double s = 0.0;
+    for (int64_t i = 0; i < num_nodes_; ++i) {
+      s += RoundedBits(it->second.beta.data()[static_cast<size_t>(i)]);
+    }
+    return s / static_cast<double>(num_nodes_);
+  }
+  if (fallback_quantizers_.count(id)) return options_.weight_bits;
+  return fallback;
+}
+
+double A2qScheme::AverageNodeBits() const {
+  if (node_quantizers_.empty()) return 32.0;
+  double s = 0.0;
+  int64_t count = 0;
+  for (const auto& [id, nq] : node_quantizers_) {
+    for (int64_t i = 0; i < num_nodes_; ++i) {
+      s += RoundedBits(nq.beta.data()[static_cast<size_t>(i)]);
+      ++count;
+    }
+  }
+  return s / static_cast<double>(count);
+}
+
+int64_t A2qScheme::QuantizationParameterCount() const {
+  return static_cast<int64_t>(node_quantizers_.size()) * 2 * num_nodes_;
+}
+
+}  // namespace mixq

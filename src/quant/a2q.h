@@ -1,0 +1,80 @@
+// Copyright 2026 MixQ-GNN Authors
+// A2Q-style baseline [16]: Aggregation-Aware Quantization with *per-node*
+// learnable quantization scales and bit-widths, plus a memory-size penalty.
+//
+// Faithful to the reference design in the respects the paper's comparison
+// relies on: (i) per-node parameters make the method's parameter count grow
+// with the graph (Table 1's O(n·l) space overhead — what MixQ criticizes),
+// (ii) bit-widths are learned via gradients with an STE through rounding,
+// (iii) the memory penalty drives average bits low (A2Q reports ~1.7–2.7
+// average bits on Planetoid). Weight/adjacency components fall back to
+// standard 8-bit QAT, mirroring A2Q's focus on node-feature aggregation.
+#pragma once
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "quant/scheme.h"
+#include "tensor/tensor.h"
+
+namespace mixq {
+
+/// Differentiable per-row quantization with learnable log-scales and
+/// bit-width logits:
+///   b_i  = 1 + 7·σ(beta_i)          (continuous, rounded with an STE)
+///   s_i  = exp(log_scale_i)
+///   out  = clip(⌊x_i/s_i⌉, −qmax_i, qmax_i) · s_i,  qmax_i = 2^{b̂_i−1}−1
+/// Gradients: STE for x, LSQ-style for log_scale, clip-boundary for beta.
+Tensor A2qFakeQuantRows(const Tensor& x, const Tensor& log_scale, const Tensor& beta);
+
+/// One per-node quantizer (per component).
+struct A2qNodeQuantizer {
+  Tensor log_scale;  ///< [n], learnable
+  Tensor beta;       ///< [n], learnable bit logits
+  int64_t feature_dim = 0;
+};
+
+struct A2qOptions {
+  /// Initial bit-width (sets beta's init via σ⁻¹((b0−1)/7)).
+  double initial_bits = 4.0;
+  /// Weight/adjacency fallback bit-width.
+  int weight_bits = 8;
+  /// Memory penalty coefficient (the analogue of A2Q's λ_m).
+  double memory_lambda = 5e-4;
+  uint64_t seed = 11;
+};
+
+/// QuantScheme implementation of the A2Q baseline.
+class A2qScheme : public QuantScheme {
+ public:
+  /// `num_nodes` fixes the size of per-node parameter vectors; node-feature
+  /// components with a different row count fall back to plain QAT.
+  A2qScheme(int64_t num_nodes, A2qOptions options = {});
+
+  Tensor Quantize(const std::string& id, const Tensor& x, ComponentKind kind,
+                  bool training) override;
+  std::vector<Tensor> SchemeParameters() override;
+  Tensor PenaltyLoss() override;
+  double EffectiveBits(const std::string& id, double fallback) const override;
+  std::vector<std::string> ComponentIds() const override { return ids_; }
+
+  /// Mean rounded bit-width across all per-node quantizers (the "Bits"
+  /// column for A2Q rows in Tables 3/8).
+  double AverageNodeBits() const;
+
+  /// Number of learnable FP32 quantization parameters this scheme adds —
+  /// 2·n per node component (Table 1's A2Q space overhead).
+  int64_t QuantizationParameterCount() const;
+
+ private:
+  int64_t num_nodes_;
+  A2qOptions options_;
+  std::map<std::string, A2qNodeQuantizer> node_quantizers_;
+  std::map<std::string, std::unique_ptr<FakeQuantizer>> fallback_quantizers_;
+  std::vector<std::string> ids_;
+  Rng rng_;
+};
+
+}  // namespace mixq

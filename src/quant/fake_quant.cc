@@ -1,0 +1,73 @@
+// Copyright 2026 MixQ-GNN Authors
+#include "quant/fake_quant.h"
+
+#include <cmath>
+
+#include "tensor/op_utils.h"
+
+namespace mixq {
+
+using internal::MakeOpResult;
+using internal::NeedsGrad;
+
+Tensor FakeQuantOp(const Tensor& x, const QuantParams& params) {
+  std::vector<float> out(x.data().size());
+  // Clip mask: 1 where the STE passes the gradient (pre-clip value in range).
+  auto pass = std::make_shared<std::vector<uint8_t>>(x.data().size());
+  const double inv_scale = 1.0 / params.scale;
+  const int64_t qmin = params.qmin(), qmax = params.qmax();
+  for (size_t i = 0; i < out.size(); ++i) {
+    const long q =
+        std::lround(static_cast<double>(x.data()[i]) * inv_scale) + params.zero_point;
+    const bool in_range = q >= qmin && q <= qmax;
+    (*pass)[i] = in_range ? 1 : 0;
+    const long qc = in_range ? q : (q < qmin ? qmin : qmax);
+    out[i] = static_cast<float>(qc - params.zero_point) * params.scale;
+  }
+  auto xi = x.impl_ptr();
+  return MakeOpResult(x.shape(), std::move(out), {x}, [xi, pass](TensorImpl& self) {
+    if (!NeedsGrad(*xi)) return;
+    xi->EnsureGrad();
+    for (size_t i = 0; i < xi->grad.size(); ++i) {
+      if ((*pass)[i]) xi->grad[i] += self.grad[i];
+    }
+  });
+}
+
+Tensor FakeQuantRowsMasked(const Tensor& x, const QuantParams& params,
+                           const std::vector<uint8_t>& protect_mask) {
+  MIXQ_CHECK_EQ(x.shape().rank(), 2);
+  MIXQ_CHECK_EQ(static_cast<int64_t>(protect_mask.size()), x.rows());
+  const int64_t n = x.rows(), f = x.cols();
+  std::vector<float> out(x.data().size());
+  auto pass = std::make_shared<std::vector<uint8_t>>(x.data().size());
+  const double inv_scale = 1.0 / params.scale;
+  const int64_t qmin = params.qmin(), qmax = params.qmax();
+  for (int64_t i = 0; i < n; ++i) {
+    const bool protect = protect_mask[static_cast<size_t>(i)] != 0;
+    for (int64_t j = 0; j < f; ++j) {
+      const size_t k = static_cast<size_t>(i * f + j);
+      if (protect) {
+        out[k] = x.data()[k];
+        (*pass)[k] = 1;
+        continue;
+      }
+      const long q =
+          std::lround(static_cast<double>(x.data()[k]) * inv_scale) + params.zero_point;
+      const bool in_range = q >= qmin && q <= qmax;
+      (*pass)[k] = in_range ? 1 : 0;
+      const long qc = in_range ? q : (q < qmin ? qmin : qmax);
+      out[k] = static_cast<float>(qc - params.zero_point) * params.scale;
+    }
+  }
+  auto xi = x.impl_ptr();
+  return MakeOpResult(x.shape(), std::move(out), {x}, [xi, pass](TensorImpl& self) {
+    if (!NeedsGrad(*xi)) return;
+    xi->EnsureGrad();
+    for (size_t i = 0; i < xi->grad.size(); ++i) {
+      if ((*pass)[i]) xi->grad[i] += self.grad[i];
+    }
+  });
+}
+
+}  // namespace mixq

@@ -1,0 +1,68 @@
+// Copyright 2026 MixQ-GNN Authors
+// Simulated (fake) quantization for QAT: Qf(x) = Q⁻¹(Q(x)) in the forward
+// pass, Straight-Through Estimator [29] in the backward pass.
+#pragma once
+
+#include <vector>
+
+#include "quant/observer.h"
+#include "quant/quant_params.h"
+#include "tensor/tensor.h"
+
+namespace mixq {
+
+/// Differentiable fake quantization of every element of x under `params`.
+/// Backward: STE with range clipping — gradients pass through unchanged for
+/// elements whose pre-clip integer fell inside [qmin, qmax], else zero.
+Tensor FakeQuantOp(const Tensor& x, const QuantParams& params);
+
+/// Degree-Quant variant: rows with protect_mask[i] != 0 bypass quantization
+/// entirely (identity forward and backward). The mask is resampled per step
+/// from a Bernoulli whose rate grows with in-degree (DQ [8]).
+Tensor FakeQuantRowsMasked(const Tensor& x, const QuantParams& params,
+                           const std::vector<uint8_t>& protect_mask);
+
+/// Configuration of a trainable fake quantizer.
+struct FakeQuantizerConfig {
+  int bits = 8;
+  bool symmetric = true;
+  ObserverKind observer = ObserverKind::kEma;
+  float ema_momentum = 0.9f;
+  float percentile = 99.9f;
+};
+
+/// A stateful QAT quantizer: observes ranges while training, freezes them for
+/// evaluation, and emits fake-quantized tensors. One per component-bit pair.
+class FakeQuantizer {
+ public:
+  explicit FakeQuantizer(FakeQuantizerConfig config)
+      : config_(config),
+        observer_(config.observer, config.ema_momentum, config.percentile) {}
+
+  /// Applies fake quantization. In training mode first folds x's range into
+  /// the observer (so parameters track the data distribution, Eq. (3)).
+  Tensor Apply(const Tensor& x, bool training) {
+    if (training || !observer_.initialized()) observer_.Observe(x.data());
+    return FakeQuantOp(x, params());
+  }
+
+  /// Degree-protected application (DQ integration).
+  Tensor ApplyMasked(const Tensor& x, bool training,
+                     const std::vector<uint8_t>& protect_mask) {
+    if (training || !observer_.initialized()) observer_.Observe(x.data());
+    return FakeQuantRowsMasked(x, params(), protect_mask);
+  }
+
+  QuantParams params() const {
+    return observer_.MakeParams(config_.bits, config_.symmetric);
+  }
+  int bits() const { return config_.bits; }
+  const FakeQuantizerConfig& config() const { return config_; }
+  RangeObserver& observer() { return observer_; }
+
+ private:
+  FakeQuantizerConfig config_;
+  RangeObserver observer_;
+};
+
+}  // namespace mixq

@@ -1,0 +1,187 @@
+// Copyright 2026 MixQ-GNN Authors
+#include "quant/fused_mp.h"
+
+#include <cmath>
+
+#include "common/parallel.h"
+#include "tensor/gemm.h"
+
+namespace mixq {
+
+QuantizedDense QuantizeDense(const float* x, int64_t rows, int64_t cols,
+                             const QuantParams& params) {
+  QuantizedDense out;
+  out.rows = rows;
+  out.cols = cols;
+  out.params = params;
+  out.q.resize(static_cast<size_t>(rows * cols));
+  for (size_t i = 0; i < out.q.size(); ++i) out.q[i] = QuantizeValue(x[i], params);
+  return out;
+}
+
+QuantizedDense QuantizeDense(const Tensor& x, const QuantParams& params) {
+  MIXQ_CHECK_EQ(x.shape().rank(), 2);
+  return QuantizeDense(x.data().data(), x.rows(), x.cols(), params);
+}
+
+QuantizedSparse QuantizeCsr(const CsrMatrix& a, const QuantParams& params) {
+  QuantizedSparse out;
+  out.params = params;
+  out.q.resize(a.values().size());
+  for (size_t i = 0; i < out.q.size(); ++i) {
+    out.q[i] = QuantizeValue(a.values()[i], params);
+  }
+  return out;
+}
+
+namespace {
+
+// Requantize a double-precision real value into y_params' integer grid.
+int32_t Requantize(double y, const QuantParams& p) {
+  const long q = std::lround(y / p.scale) + p.zero_point;
+  const int64_t lo = p.qmin(), hi = p.qmax();
+  if (q < lo) return static_cast<int32_t>(lo);
+  if (q > hi) return static_cast<int32_t>(hi);
+  return static_cast<int32_t>(q);
+}
+
+}  // namespace
+
+QuantizedDense FusedQuantizedSpmm(const CsrMatrix& pattern, const QuantizedSparse& qa,
+                                  const QuantizedDense& qx,
+                                  const QuantParams& y_params) {
+  MIXQ_CHECK_EQ(pattern.cols(), qx.rows);
+  MIXQ_CHECK_EQ(static_cast<int64_t>(qa.q.size()), pattern.nnz());
+  const int64_t n = pattern.rows(), f = qx.cols;
+  const double sa = qa.params.scale, sx = qx.params.scale;
+  const int64_t za = qa.params.zero_point, zx = qx.params.zero_point;
+
+  QuantizedDense out;
+  out.rows = n;
+  out.cols = f;
+  out.params = y_params;
+  out.q.resize(static_cast<size_t>(n * f));
+
+  // Integer SpMM: P = Qa(A) · Qx(X), with per-row sums for the corrections.
+  // C1 = Sa, C2 = Sx ⊘ Sy; C3 folds the zero-point terms. Because implicit
+  // zeros of A quantize to Za, the k-sums in C3 reduce to sums over stored
+  // entries only (both Qa−Za and the matching Qx terms vanish elsewhere):
+  //   Y_ij = Sa·Sx · [ P_ij − Zx·R_i − Za·T_ij + nnz_i·Za·Zx ]
+  // where R_i = Σ_stored Qa_ik and T_ij = Σ_{k ∈ row i} Qx_kj. The T term is
+  // only needed for asymmetric adjacency quantization (Za ≠ 0).
+  const bool need_t = za != 0;
+  ParallelFor(
+      n,
+      [&](int64_t r0, int64_t r1) {
+        std::vector<int64_t> p_row(static_cast<size_t>(f));
+        std::vector<int64_t> t_row(static_cast<size_t>(f));
+        for (int64_t r = r0; r < r1; ++r) {
+          std::fill(p_row.begin(), p_row.end(), 0);
+          if (need_t) std::fill(t_row.begin(), t_row.end(), 0);
+          int64_t r_sum = 0;
+          const int64_t begin = pattern.row_ptr()[static_cast<size_t>(r)];
+          const int64_t end = pattern.row_ptr()[static_cast<size_t>(r + 1)];
+          for (int64_t k = begin; k < end; ++k) {
+            const int64_t aq = qa.q[static_cast<size_t>(k)];
+            r_sum += aq;
+            const int32_t* xq =
+                qx.q.data() + pattern.col_idx()[static_cast<size_t>(k)] * f;
+            for (int64_t j = 0; j < f; ++j) {
+              p_row[static_cast<size_t>(j)] += aq * static_cast<int64_t>(xq[j]);
+              if (need_t) t_row[static_cast<size_t>(j)] += xq[j];
+            }
+          }
+          const int64_t nnz_i = end - begin;
+          for (int64_t j = 0; j < f; ++j) {
+            int64_t acc = p_row[static_cast<size_t>(j)] - zx * r_sum;
+            if (need_t) {
+              acc += -za * t_row[static_cast<size_t>(j)] + nnz_i * za * zx;
+            }
+            const double y = sa * sx * static_cast<double>(acc);
+            out.q[static_cast<size_t>(r * f + j)] = Requantize(y, y_params);
+          }
+        }
+      },
+      /*grain=*/32);
+  return out;
+}
+
+QuantizedDense FusedQuantizedGemm(const QuantizedDense& qx, const QuantizedDense& qw,
+                                  const QuantParams& y_params) {
+  MIXQ_CHECK_EQ(qx.cols, qw.rows);
+  const int64_t m = qx.rows, k = qx.cols, n = qw.cols;
+  const double sx = qx.params.scale, sw = qw.params.scale;
+  const int64_t zx = qx.params.zero_point, zw = qw.params.zero_point;
+
+  QuantizedDense out;
+  out.rows = m;
+  out.cols = n;
+  out.params = y_params;
+  out.q.resize(static_cast<size_t>(m * n));
+
+  // Column sums of Qw and row sums of Qx for the zero-point corrections:
+  //   Y_ij = Sx·Sw · [ P_ij − Zw·RowSumX_i − Zx·ColSumW_j + k·Zx·Zw ]
+  std::vector<int64_t> col_sum_w(static_cast<size_t>(n), 0);
+  for (int64_t l = 0; l < k; ++l) {
+    for (int64_t j = 0; j < n; ++j) {
+      col_sum_w[static_cast<size_t>(j)] += qw.q[static_cast<size_t>(l * n + j)];
+    }
+  }
+  std::vector<int64_t> p(static_cast<size_t>(m * n));
+  GemmInt32(qx.q.data(), qw.q.data(), p.data(), m, k, n);
+  ParallelFor(
+      m,
+      [&](int64_t r0, int64_t r1) {
+        for (int64_t i = r0; i < r1; ++i) {
+          int64_t row_sum_x = 0;
+          for (int64_t l = 0; l < k; ++l) {
+            row_sum_x += qx.q[static_cast<size_t>(i * k + l)];
+          }
+          for (int64_t j = 0; j < n; ++j) {
+            const int64_t acc = p[static_cast<size_t>(i * n + j)] -
+                                zw * row_sum_x -
+                                zx * col_sum_w[static_cast<size_t>(j)] + k * zx * zw;
+            const double y = sx * sw * static_cast<double>(acc);
+            out.q[static_cast<size_t>(i * n + j)] = Requantize(y, y_params);
+          }
+        }
+      },
+      /*grain=*/32);
+  return out;
+}
+
+QuantizedDense ReferenceQuantizedSpmm(const CsrMatrix& pattern,
+                                      const QuantizedSparse& qa,
+                                      const QuantizedDense& qx,
+                                      const QuantParams& y_params) {
+  const int64_t n = pattern.rows(), f = qx.cols;
+  QuantizedDense out;
+  out.rows = n;
+  out.cols = f;
+  out.params = y_params;
+  out.q.resize(static_cast<size_t>(n * f));
+  // Double-precision fake-quantized operands, dense accumulation.
+  for (int64_t r = 0; r < n; ++r) {
+    std::vector<double> acc(static_cast<size_t>(f), 0.0);
+    for (int64_t k = pattern.row_ptr()[static_cast<size_t>(r)];
+         k < pattern.row_ptr()[static_cast<size_t>(r + 1)]; ++k) {
+      const double av =
+          static_cast<double>(qa.q[static_cast<size_t>(k)] - qa.params.zero_point) *
+          qa.params.scale;
+      const int64_t c = pattern.col_idx()[static_cast<size_t>(k)];
+      for (int64_t j = 0; j < f; ++j) {
+        const double xv = static_cast<double>(qx.q[static_cast<size_t>(c * f + j)] -
+                                              qx.params.zero_point) *
+                          qx.params.scale;
+        acc[static_cast<size_t>(j)] += av * xv;
+      }
+    }
+    for (int64_t j = 0; j < f; ++j) {
+      out.q[static_cast<size_t>(r * f + j)] =
+          Requantize(acc[static_cast<size_t>(j)], y_params);
+    }
+  }
+  return out;
+}
+
+}  // namespace mixq

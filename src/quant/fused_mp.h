@@ -1,0 +1,76 @@
+// Copyright 2026 MixQ-GNN Authors
+// Theorem 1: Quantized Message Passing Schema.
+//
+//   Qy(AX) = C1 ⊙ Qa(A)·Qx(X) ⊙ C2 + C3
+//
+// The aggregation A·X is executed entirely in integer arithmetic on the
+// quantized operands; the scale/zero-point corrections C1..C3 are cheap
+// vector post-processing. This file implements the fused path for both
+// sparse (adjacency) and dense (weight) left operands, plus the float
+// fake-quantization reference used to verify numerical equality
+// (tests/fused_mp_test.cpp — the analogue of the paper's
+// test_graph_conv_module.py / test_graph_iso_module.py).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "quant/quant_params.h"
+#include "sparse/csr.h"
+#include "tensor/tensor.h"
+
+namespace mixq {
+
+/// Dense matrix quantized to integers under per-tensor affine params.
+struct QuantizedDense {
+  std::vector<int32_t> q;
+  int64_t rows = 0;
+  int64_t cols = 0;
+  QuantParams params;
+
+  /// Dequantize to floats (Eq. (4)).
+  std::vector<float> Dequantize() const {
+    std::vector<float> out(q.size());
+    for (size_t i = 0; i < q.size(); ++i) out[i] = DequantizeValue(q[i], params);
+    return out;
+  }
+};
+
+/// Sparse matrix whose stored values are quantized integers; the sparsity
+/// pattern lives in the companion CsrMatrix.
+struct QuantizedSparse {
+  std::vector<int32_t> q;  ///< aligned with pattern.values()
+  QuantParams params;
+};
+
+/// Quantizes a dense row-major matrix (Eq. (3)).
+QuantizedDense QuantizeDense(const float* x, int64_t rows, int64_t cols,
+                             const QuantParams& params);
+QuantizedDense QuantizeDense(const Tensor& x, const QuantParams& params);
+
+/// Quantizes the stored values of a CSR matrix. Implicit zeros quantize to
+/// the zero point by construction (Q(0) = Z), which the fused kernel relies
+/// on when folding C3.
+QuantizedSparse QuantizeCsr(const CsrMatrix& a, const QuantParams& params);
+
+/// Theorem-1 fused quantized sparse·dense product. Integer SpMM on the
+/// quantized operands plus C1..C3 corrections; returns Qy(A·X) under
+/// `y_params`. Set y_params = {scale=1, zero_point=0, bits=32} for the
+/// multi-hop "no output quantization" mode the paper recommends.
+QuantizedDense FusedQuantizedSpmm(const CsrMatrix& pattern, const QuantizedSparse& qa,
+                                  const QuantizedDense& qx, const QuantParams& y_params);
+
+/// Theorem-1 fused quantized dense·dense product Qy(X·W) (the linear
+/// transformation components).
+QuantizedDense FusedQuantizedGemm(const QuantizedDense& qx, const QuantizedDense& qw,
+                                  const QuantParams& y_params);
+
+/// Float reference: Qy( Qf_a(A) · Qf_x(X) ) computed with double-precision
+/// fake-quantized operands. The fused integer path must match this exactly
+/// (up to rounding ties on the final requantization).
+QuantizedDense ReferenceQuantizedSpmm(const CsrMatrix& pattern,
+                                      const QuantizedSparse& qa,
+                                      const QuantizedDense& qx,
+                                      const QuantParams& y_params);
+
+}  // namespace mixq

@@ -1,0 +1,46 @@
+// Copyright 2026 MixQ-GNN Authors
+#include "quant/observer.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "common/stats.h"
+
+namespace mixq {
+
+void RangeObserver::Observe(const std::vector<float>& values) {
+  if (values.empty()) return;
+  float batch_lo = std::numeric_limits<float>::infinity();
+  float batch_hi = -std::numeric_limits<float>::infinity();
+  if (kind_ == ObserverKind::kPercentile) {
+    // Percentile clipping (DQ [8]): ignore extreme outliers so hub-node
+    // aggregation spikes do not blow up the scale for everyone else.
+    std::vector<double> vals(values.begin(), values.end());
+    batch_lo = static_cast<float>(Percentile(vals, 100.0 - percentile_));
+    batch_hi = static_cast<float>(Percentile(vals, percentile_));
+  } else {
+    for (float v : values) {
+      batch_lo = std::min(batch_lo, v);
+      batch_hi = std::max(batch_hi, v);
+    }
+  }
+  if (!initialized_) {
+    lo_ = batch_lo;
+    hi_ = batch_hi;
+    initialized_ = true;
+    return;
+  }
+  switch (kind_) {
+    case ObserverKind::kMinMax:
+      lo_ = std::min(lo_, batch_lo);
+      hi_ = std::max(hi_, batch_hi);
+      break;
+    case ObserverKind::kEma:
+    case ObserverKind::kPercentile:
+      lo_ = ema_momentum_ * lo_ + (1.0f - ema_momentum_) * batch_lo;
+      hi_ = ema_momentum_ * hi_ + (1.0f - ema_momentum_) * batch_hi;
+      break;
+  }
+}
+
+}  // namespace mixq

@@ -1,0 +1,55 @@
+// Copyright 2026 MixQ-GNN Authors
+// Range observers for quantization-aware training. An observer watches the
+// tensors flowing through a quantizer during training and yields the [lo, hi]
+// range from which QuantParams are derived.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "quant/quant_params.h"
+
+namespace mixq {
+
+/// Observer kinds supported by FakeQuantizer.
+enum class ObserverKind {
+  kMinMax,      ///< running min/max over everything seen
+  kEma,         ///< exponential moving average of per-batch min/max
+  kPercentile,  ///< per-batch percentile clipping (Degree-Quant's choice)
+};
+
+/// Watches value ranges during training. Not thread-safe (one per quantizer).
+class RangeObserver {
+ public:
+  explicit RangeObserver(ObserverKind kind, float ema_momentum = 0.9f,
+                         float percentile = 99.9f)
+      : kind_(kind), ema_momentum_(ema_momentum), percentile_(percentile) {}
+
+  /// Folds one batch of values into the running range estimate.
+  void Observe(const std::vector<float>& values);
+
+  /// Current range estimate. Valid after at least one Observe().
+  float lo() const { return lo_; }
+  float hi() const { return hi_; }
+  bool initialized() const { return initialized_; }
+
+  /// Derives QuantParams at the requested width from the current range.
+  QuantParams MakeParams(int bits, bool symmetric) const {
+    if (!initialized_) return ParamsFromRange(-1.0f, 1.0f, bits, symmetric);
+    return ParamsFromRange(lo_, hi_, bits, symmetric);
+  }
+
+  ObserverKind kind() const { return kind_; }
+
+ private:
+  ObserverKind kind_;
+  float ema_momentum_;
+  float percentile_;
+  float lo_ = 0.0f;
+  float hi_ = 0.0f;
+  bool initialized_ = false;
+};
+
+}  // namespace mixq

@@ -1,0 +1,89 @@
+// Copyright 2026 MixQ-GNN Authors
+// Affine quantization parameters and scalar quantize/dequantize helpers
+// implementing Eqs. (3)-(4): Q(x) = clip(⌊x ⊘ S⌉ + Z, a, b),
+// Q⁻¹(q) = (q − Z) ⊙ S.
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+
+#include "common/check.h"
+
+namespace mixq {
+
+/// Per-tensor affine quantization parameters for a given bit-width.
+struct QuantParams {
+  float scale = 1.0f;
+  int32_t zero_point = 0;
+  int bits = 8;
+  /// Symmetric (signed, zero_point == 0) vs asymmetric (affine).
+  bool symmetric = true;
+
+  int64_t qmin() const {
+    return symmetric ? -(int64_t{1} << (bits - 1)) + 1 : 0;
+  }
+  int64_t qmax() const {
+    return symmetric ? (int64_t{1} << (bits - 1)) - 1 : (int64_t{1} << bits) - 1;
+  }
+};
+
+/// Builds params covering [lo, hi] at `bits`. Symmetric mode centres on zero
+/// using max(|lo|, |hi|); asymmetric stretches the full range.
+inline QuantParams ParamsFromRange(float lo, float hi, int bits, bool symmetric) {
+  MIXQ_CHECK_GE(bits, 1);
+  MIXQ_CHECK_LE(bits, 32);
+  QuantParams p;
+  p.bits = bits;
+  p.symmetric = symmetric;
+  if (symmetric) {
+    // A constant (even single-valued) range is representable as long as the
+    // magnitude bound is positive — regular graphs produce exactly this for
+    // their normalized adjacency (all values identical), and zeroing them
+    // would erase the graph.
+    const float bound = std::max(std::fabs(lo), std::fabs(hi));
+    if (bound <= 0.0f) {  // all-zero tensor: any scale works
+      p.scale = 1.0f;
+      p.zero_point = 0;
+      return p;
+    }
+    p.scale = bound / static_cast<float>(p.qmax());
+    if (p.scale <= 0.0f) p.scale = 1e-8f;
+    p.zero_point = 0;
+  } else {
+    // Asymmetric: stretch a degenerate range to include zero so that both
+    // the constant value and implicit zeros stay representable.
+    float a = std::min(lo, 0.0f);
+    float b = std::max(hi, 0.0f);
+    if (!(b > a)) {
+      p.scale = 1.0f;
+      p.zero_point = 0;
+      return p;
+    }
+    p.scale = (b - a) / static_cast<float>(p.qmax() - p.qmin());
+    if (p.scale <= 0.0f) p.scale = 1e-8f;
+    p.zero_point =
+        static_cast<int32_t>(std::lround(static_cast<double>(p.qmin()) - a / p.scale));
+  }
+  return p;
+}
+
+/// Eq. (3): quantize one value.
+inline int32_t QuantizeValue(float x, const QuantParams& p) {
+  const long q = std::lround(static_cast<double>(x) / p.scale) + p.zero_point;
+  const int64_t lo = p.qmin(), hi = p.qmax();
+  if (q < lo) return static_cast<int32_t>(lo);
+  if (q > hi) return static_cast<int32_t>(hi);
+  return static_cast<int32_t>(q);
+}
+
+/// Eq. (4): dequantize one value.
+inline float DequantizeValue(int32_t q, const QuantParams& p) {
+  return static_cast<float>(q - p.zero_point) * p.scale;
+}
+
+/// Fake quantization of one value: Q⁻¹(Q(x)).
+inline float FakeQuantValue(float x, const QuantParams& p) {
+  return DequantizeValue(QuantizeValue(x, p), p);
+}
+
+}  // namespace mixq

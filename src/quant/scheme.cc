@@ -1,0 +1,172 @@
+// Copyright 2026 MixQ-GNN Authors
+#include "quant/scheme.h"
+
+#include <algorithm>
+#include <numeric>
+
+namespace mixq {
+
+const char* ComponentKindName(ComponentKind kind) {
+  switch (kind) {
+    case ComponentKind::kInput: return "input";
+    case ComponentKind::kWeight: return "weight";
+    case ComponentKind::kLinearOut: return "linear_out";
+    case ComponentKind::kAdjacency: return "adjacency";
+    case ComponentKind::kAggregate: return "aggregate";
+    case ComponentKind::kOutput: return "output";
+  }
+  return "unknown";
+}
+
+Tensor NoQuantScheme::Quantize(const std::string& id, const Tensor& x, ComponentKind,
+                               bool) {
+  if (std::find(ids_.begin(), ids_.end(), id) == ids_.end()) ids_.push_back(id);
+  return x;
+}
+
+FakeQuantizerConfig MakeComponentConfig(ComponentKind kind, int bits,
+                                        const QatOptions& options) {
+  FakeQuantizerConfig config;
+  config.bits = bits;
+  switch (kind) {
+    case ComponentKind::kWeight:
+      // Weights are static per step; exact min-max symmetric is standard.
+      config.symmetric = true;
+      config.observer = ObserverKind::kMinMax;
+      break;
+    case ComponentKind::kAdjacency:
+      // Symmetric keeps Za = 0, which makes the Theorem-1 C3 term cheap.
+      config.symmetric = true;
+      config.observer = ObserverKind::kMinMax;
+      break;
+    default:
+      config.symmetric = true;
+      config.observer = options.activation_observer;
+      config.percentile = options.percentile;
+      break;
+  }
+  return config;
+}
+
+std::vector<double> MakeDegreeProtectionProbs(const std::vector<int64_t>& in_degrees,
+                                              double p_min, double p_max) {
+  const size_t n = in_degrees.size();
+  std::vector<double> probs(n, p_min);
+  if (n == 0) return probs;
+  // Rank nodes by in-degree; highest rank gets p_max.
+  std::vector<size_t> order(n);
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(),
+            [&](size_t a, size_t b) { return in_degrees[a] < in_degrees[b]; });
+  for (size_t rank = 0; rank < n; ++rank) {
+    const double frac = n > 1 ? static_cast<double>(rank) / static_cast<double>(n - 1)
+                              : 1.0;
+    probs[order[rank]] = p_min + frac * (p_max - p_min);
+  }
+  return probs;
+}
+
+namespace {
+
+// Shared masked/unmasked application used by both fixed-width schemes.
+Tensor ApplyQuantizer(FakeQuantizer* q, const Tensor& x, ComponentKind kind,
+                      bool training, const QatOptions& options,
+                      const std::vector<uint8_t>& mask) {
+  const bool maskable = options.degree_protect && training &&
+                        IsNodeFeatureKind(kind) && x.shape().rank() == 2 &&
+                        x.rows() == static_cast<int64_t>(mask.size());
+  if (maskable) return q->ApplyMasked(x, training, mask);
+  return q->Apply(x, training);
+}
+
+void ResampleMask(const QatOptions& options, Rng* rng, std::vector<uint8_t>* mask) {
+  mask->resize(options.protect_probs.size());
+  for (size_t i = 0; i < mask->size(); ++i) {
+    (*mask)[i] = rng->Bernoulli(options.protect_probs[i]) ? 1 : 0;
+  }
+}
+
+}  // namespace
+
+UniformQatScheme::UniformQatScheme(int bits, QatOptions options)
+    : bits_(bits), options_(std::move(options)), mask_rng_(options_.mask_seed) {
+  MIXQ_CHECK_GE(bits_, 1);
+  MIXQ_CHECK_LE(bits_, 32);
+  if (options_.degree_protect) {
+    MIXQ_CHECK(!options_.protect_probs.empty())
+        << "degree_protect requires protect_probs";
+  }
+}
+
+void UniformQatScheme::BeginStep(bool training) {
+  if (options_.degree_protect && training) {
+    ResampleMask(options_, &mask_rng_, &current_mask_);
+    mask_valid_ = true;
+  }
+}
+
+Tensor UniformQatScheme::Quantize(const std::string& id, const Tensor& x,
+                                  ComponentKind kind, bool training) {
+  auto it = quantizers_.find(id);
+  if (it == quantizers_.end()) {
+    auto q = std::make_unique<FakeQuantizer>(MakeComponentConfig(kind, bits_, options_));
+    it = quantizers_.emplace(id, std::move(q)).first;
+    ids_.push_back(id);
+  }
+  if (options_.degree_protect && training && !mask_valid_) {
+    ResampleMask(options_, &mask_rng_, &current_mask_);
+    mask_valid_ = true;
+  }
+  return ApplyQuantizer(it->second.get(), x, kind, training, options_, current_mask_);
+}
+
+double UniformQatScheme::EffectiveBits(const std::string& id, double fallback) const {
+  return quantizers_.count(id) ? static_cast<double>(bits_) : fallback;
+}
+
+PerComponentScheme::PerComponentScheme(std::map<std::string, int> bits_by_component,
+                                       int default_bits, QatOptions options)
+    : bits_by_component_(std::move(bits_by_component)),
+      default_bits_(default_bits),
+      options_(std::move(options)),
+      mask_rng_(options_.mask_seed) {
+  MIXQ_CHECK_GE(default_bits_, 1);
+  if (options_.degree_protect) {
+    MIXQ_CHECK(!options_.protect_probs.empty())
+        << "degree_protect requires protect_probs";
+  }
+}
+
+int PerComponentScheme::BitsFor(const std::string& id) const {
+  auto it = bits_by_component_.find(id);
+  return it == bits_by_component_.end() ? default_bits_ : it->second;
+}
+
+void PerComponentScheme::BeginStep(bool training) {
+  if (options_.degree_protect && training) {
+    ResampleMask(options_, &mask_rng_, &current_mask_);
+    mask_valid_ = true;
+  }
+}
+
+Tensor PerComponentScheme::Quantize(const std::string& id, const Tensor& x,
+                                    ComponentKind kind, bool training) {
+  auto it = quantizers_.find(id);
+  if (it == quantizers_.end()) {
+    auto q = std::make_unique<FakeQuantizer>(
+        MakeComponentConfig(kind, BitsFor(id), options_));
+    it = quantizers_.emplace(id, std::move(q)).first;
+    ids_.push_back(id);
+  }
+  if (options_.degree_protect && training && !mask_valid_) {
+    ResampleMask(options_, &mask_rng_, &current_mask_);
+    mask_valid_ = true;
+  }
+  return ApplyQuantizer(it->second.get(), x, kind, training, options_, current_mask_);
+}
+
+double PerComponentScheme::EffectiveBits(const std::string& id, double fallback) const {
+  return quantizers_.count(id) ? static_cast<double>(BitsFor(id)) : fallback;
+}
+
+}  // namespace mixq

@@ -1,0 +1,198 @@
+// Copyright 2026 MixQ-GNN Authors
+#include "sparse/csr.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstring>
+
+#include "common/parallel.h"
+
+namespace mixq {
+
+CsrMatrix CsrMatrix::FromCoo(int64_t rows, int64_t cols, std::vector<CooEntry> entries) {
+  MIXQ_CHECK_GE(rows, 0);
+  MIXQ_CHECK_GE(cols, 0);
+  for (const auto& e : entries) {
+    MIXQ_CHECK_GE(e.row, 0);
+    MIXQ_CHECK_LT(e.row, rows);
+    MIXQ_CHECK_GE(e.col, 0);
+    MIXQ_CHECK_LT(e.col, cols);
+  }
+  std::sort(entries.begin(), entries.end(), [](const CooEntry& a, const CooEntry& b) {
+    if (a.row != b.row) return a.row < b.row;
+    return a.col < b.col;
+  });
+  CsrMatrix m;
+  m.rows_ = rows;
+  m.cols_ = cols;
+  m.row_ptr_.assign(static_cast<size_t>(rows + 1), 0);
+  m.col_idx_.reserve(entries.size());
+  m.values_.reserve(entries.size());
+  size_t i = 0;
+  while (i < entries.size()) {
+    // Merge duplicates by summing.
+    int64_t r = entries[i].row, c = entries[i].col;
+    float v = entries[i].value;
+    size_t j = i + 1;
+    while (j < entries.size() && entries[j].row == r && entries[j].col == c) {
+      v += entries[j].value;
+      ++j;
+    }
+    m.col_idx_.push_back(c);
+    m.values_.push_back(v);
+    m.row_ptr_[static_cast<size_t>(r + 1)]++;
+    i = j;
+  }
+  for (size_t r = 1; r < m.row_ptr_.size(); ++r) m.row_ptr_[r] += m.row_ptr_[r - 1];
+  return m;
+}
+
+CsrMatrix CsrMatrix::Identity(int64_t n) {
+  std::vector<CooEntry> entries;
+  entries.reserve(static_cast<size_t>(n));
+  for (int64_t i = 0; i < n; ++i) entries.push_back({i, i, 1.0f});
+  return FromCoo(n, n, std::move(entries));
+}
+
+CsrMatrix CsrMatrix::Transpose() const {
+  std::vector<CooEntry> entries;
+  entries.reserve(values_.size());
+  for (int64_t r = 0; r < rows_; ++r) {
+    for (int64_t k = row_ptr_[static_cast<size_t>(r)];
+         k < row_ptr_[static_cast<size_t>(r + 1)]; ++k) {
+      entries.push_back({col_idx_[static_cast<size_t>(k)], r,
+                         values_[static_cast<size_t>(k)]});
+    }
+  }
+  return FromCoo(cols_, rows_, std::move(entries));
+}
+
+CsrMatrix CsrMatrix::WithConstantValues(float value) const {
+  CsrMatrix copy = *this;
+  std::fill(copy.values_.begin(), copy.values_.end(), value);
+  return copy;
+}
+
+std::vector<float> CsrMatrix::ToDense() const {
+  std::vector<float> dense(static_cast<size_t>(rows_ * cols_), 0.0f);
+  for (int64_t r = 0; r < rows_; ++r) {
+    for (int64_t k = row_ptr_[static_cast<size_t>(r)];
+         k < row_ptr_[static_cast<size_t>(r + 1)]; ++k) {
+      dense[static_cast<size_t>(r * cols_ + col_idx_[static_cast<size_t>(k)])] +=
+          values_[static_cast<size_t>(k)];
+    }
+  }
+  return dense;
+}
+
+CsrMatrix GcnNormalize(const CsrMatrix& adjacency) {
+  MIXQ_CHECK_EQ(adjacency.rows(), adjacency.cols());
+  const int64_t n = adjacency.rows();
+  // d_v = 1 + sum of row v of A (the +1 accounts for the added self loop).
+  std::vector<double> degree(static_cast<size_t>(n), 1.0);
+  for (int64_t r = 0; r < n; ++r) {
+    for (int64_t k = adjacency.row_ptr()[static_cast<size_t>(r)];
+         k < adjacency.row_ptr()[static_cast<size_t>(r + 1)]; ++k) {
+      degree[static_cast<size_t>(r)] += adjacency.values()[static_cast<size_t>(k)];
+    }
+  }
+  std::vector<CooEntry> entries;
+  entries.reserve(static_cast<size_t>(adjacency.nnz() + n));
+  auto inv_sqrt = [&](int64_t v) {
+    return static_cast<float>(1.0 / std::sqrt(std::max(degree[static_cast<size_t>(v)], 1e-12)));
+  };
+  for (int64_t r = 0; r < n; ++r) {
+    entries.push_back({r, r, inv_sqrt(r) * inv_sqrt(r)});  // self loop of I + A
+    for (int64_t k = adjacency.row_ptr()[static_cast<size_t>(r)];
+         k < adjacency.row_ptr()[static_cast<size_t>(r + 1)]; ++k) {
+      const int64_t c = adjacency.col_idx()[static_cast<size_t>(k)];
+      const float w = adjacency.values()[static_cast<size_t>(k)];
+      entries.push_back({r, c, w * inv_sqrt(r) * inv_sqrt(c)});
+    }
+  }
+  return CsrMatrix::FromCoo(n, n, std::move(entries));
+}
+
+CsrMatrix RowNormalize(const CsrMatrix& adjacency) {
+  const int64_t n = adjacency.rows();
+  std::vector<CooEntry> entries;
+  entries.reserve(static_cast<size_t>(adjacency.nnz()));
+  for (int64_t r = 0; r < n; ++r) {
+    double deg = 0.0;
+    for (int64_t k = adjacency.row_ptr()[static_cast<size_t>(r)];
+         k < adjacency.row_ptr()[static_cast<size_t>(r + 1)]; ++k) {
+      deg += adjacency.values()[static_cast<size_t>(k)];
+    }
+    if (deg <= 0.0) continue;
+    const float inv = static_cast<float>(1.0 / deg);
+    for (int64_t k = adjacency.row_ptr()[static_cast<size_t>(r)];
+         k < adjacency.row_ptr()[static_cast<size_t>(r + 1)]; ++k) {
+      entries.push_back({r, adjacency.col_idx()[static_cast<size_t>(k)],
+                         adjacency.values()[static_cast<size_t>(k)] * inv});
+    }
+  }
+  return CsrMatrix::FromCoo(n, adjacency.cols(), std::move(entries));
+}
+
+void SpmmRaw(const CsrMatrix& a, const float* x, int64_t f, float* y, bool accumulate) {
+  const int64_t n = a.rows();
+  ParallelFor(
+      n,
+      [&a, x, f, y, accumulate](int64_t r0, int64_t r1) {
+        for (int64_t r = r0; r < r1; ++r) {
+          float* yr = y + r * f;
+          if (!accumulate) std::memset(yr, 0, sizeof(float) * static_cast<size_t>(f));
+          for (int64_t k = a.row_ptr()[static_cast<size_t>(r)];
+               k < a.row_ptr()[static_cast<size_t>(r + 1)]; ++k) {
+            const float w = a.values()[static_cast<size_t>(k)];
+            const float* xr = x + a.col_idx()[static_cast<size_t>(k)] * f;
+            for (int64_t j = 0; j < f; ++j) yr[j] += w * xr[j];
+          }
+        }
+      },
+      /*grain=*/64);
+}
+
+void SpmmPattern(const CsrMatrix& pattern, const float* values, const float* x,
+                 int64_t f, float* y, bool accumulate) {
+  const int64_t n = pattern.rows();
+  ParallelFor(
+      n,
+      [&pattern, values, x, f, y, accumulate](int64_t r0, int64_t r1) {
+        for (int64_t r = r0; r < r1; ++r) {
+          float* yr = y + r * f;
+          if (!accumulate) std::memset(yr, 0, sizeof(float) * static_cast<size_t>(f));
+          for (int64_t k = pattern.row_ptr()[static_cast<size_t>(r)];
+               k < pattern.row_ptr()[static_cast<size_t>(r + 1)]; ++k) {
+            const float w = values[k];
+            if (w == 0.0f) continue;
+            const float* xr = x + pattern.col_idx()[static_cast<size_t>(k)] * f;
+            for (int64_t j = 0; j < f; ++j) yr[j] += w * xr[j];
+          }
+        }
+      },
+      /*grain=*/64);
+}
+
+void SpmmInt(const CsrMatrix& a, const int32_t* a_q, const int32_t* x, int64_t f,
+             int64_t* y) {
+  const int64_t n = a.rows();
+  ParallelFor(
+      n,
+      [&a, a_q, x, f, y](int64_t r0, int64_t r1) {
+        for (int64_t r = r0; r < r1; ++r) {
+          int64_t* yr = y + r * f;
+          std::memset(yr, 0, sizeof(int64_t) * static_cast<size_t>(f));
+          for (int64_t k = a.row_ptr()[static_cast<size_t>(r)];
+               k < a.row_ptr()[static_cast<size_t>(r + 1)]; ++k) {
+            const int64_t w = a_q[k];
+            if (w == 0) continue;
+            const int32_t* xr = x + a.col_idx()[static_cast<size_t>(k)] * f;
+            for (int64_t j = 0; j < f; ++j) yr[j] += w * static_cast<int64_t>(xr[j]);
+          }
+        }
+      },
+      /*grain=*/64);
+}
+
+}  // namespace mixq

@@ -1,0 +1,89 @@
+// Copyright 2026 MixQ-GNN Authors
+// Compressed Sparse Row matrix. The adjacency operator of every GNN layer in
+// this repo is a CsrMatrix; SpMM against node-feature tensors is the dominant
+// message-passing kernel (Eq. (2) of the paper).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/check.h"
+
+namespace mixq {
+
+/// A single COO entry used when assembling matrices.
+struct CooEntry {
+  int64_t row = 0;
+  int64_t col = 0;
+  float value = 1.0f;
+};
+
+/// Immutable CSR sparse matrix (FP32 values).
+class CsrMatrix {
+ public:
+  CsrMatrix() = default;
+
+  /// Builds from COO entries. Duplicate (row, col) entries are summed.
+  static CsrMatrix FromCoo(int64_t rows, int64_t cols, std::vector<CooEntry> entries);
+
+  /// Identity matrix of size n.
+  static CsrMatrix Identity(int64_t n);
+
+  int64_t rows() const { return rows_; }
+  int64_t cols() const { return cols_; }
+  int64_t nnz() const { return static_cast<int64_t>(values_.size()); }
+
+  const std::vector<int64_t>& row_ptr() const { return row_ptr_; }
+  const std::vector<int64_t>& col_idx() const { return col_idx_; }
+  const std::vector<float>& values() const { return values_; }
+  std::vector<float>& mutable_values() { return values_; }
+
+  /// Number of stored entries in row r (the in-neighbourhood size when this
+  /// matrix maps messages from columns to rows).
+  int64_t RowNnz(int64_t r) const {
+    MIXQ_CHECK_GE(r, 0);
+    MIXQ_CHECK_LT(r, rows_);
+    return row_ptr_[static_cast<size_t>(r + 1)] - row_ptr_[static_cast<size_t>(r)];
+  }
+
+  /// Materialized transpose (CSR of A^T). Used for SpMM backward.
+  CsrMatrix Transpose() const;
+
+  /// Returns a copy with every stored value replaced by `value`.
+  CsrMatrix WithConstantValues(float value) const;
+
+  /// Dense row-major materialization (tests and small examples only).
+  std::vector<float> ToDense() const;
+
+ private:
+  int64_t rows_ = 0;
+  int64_t cols_ = 0;
+  std::vector<int64_t> row_ptr_;   // size rows_+1
+  std::vector<int64_t> col_idx_;   // size nnz
+  std::vector<float> values_;      // size nnz
+};
+
+/// GCN renormalization: Â = D^{-1/2} (I + A) D^{-1/2}, with
+/// d_v = 1 + Σ_u w_vu (paper §2). `adjacency` must be square.
+CsrMatrix GcnNormalize(const CsrMatrix& adjacency);
+
+/// Row-normalization: D^{-1} A (mean aggregator, used by GraphSAGE).
+CsrMatrix RowNormalize(const CsrMatrix& adjacency);
+
+/// Raw SpMM kernel: Y[n,f] (+)= A[n,m] * X[m,f], parallel over rows.
+void SpmmRaw(const CsrMatrix& a, const float* x, int64_t f, float* y,
+             bool accumulate = false);
+
+/// Integer SpMM with int64 accumulation: quantized adjacency values `a_q`
+/// (aligned with a.col_idx()) times quantized features. Implements the
+/// integer product Q_a(A)·Q_x(X) inside Theorem 1.
+void SpmmInt(const CsrMatrix& a, const int32_t* a_q, const int32_t* x, int64_t f,
+             int64_t* y);
+
+/// Pattern-level SpMM: Y[n,f] (+)= P·X where P shares `pattern`'s sparsity
+/// but takes its numeric values from `values` (size nnz). Lets callers swap
+/// values (e.g. fake-quantized adjacency mixtures) without rebuilding CSR.
+void SpmmPattern(const CsrMatrix& pattern, const float* values, const float* x,
+                 int64_t f, float* y, bool accumulate = false);
+
+}  // namespace mixq

@@ -1,0 +1,90 @@
+// Copyright 2026 MixQ-GNN Authors
+#include "tensor/gemm.h"
+
+#include <cstring>
+
+#include "common/parallel.h"
+
+namespace mixq {
+
+void GemmNN(const float* a, const float* b, float* c, int64_t m, int64_t k, int64_t n,
+            bool accumulate) {
+  ParallelFor(
+      m,
+      [=](int64_t r0, int64_t r1) {
+        for (int64_t i = r0; i < r1; ++i) {
+          float* ci = c + i * n;
+          if (!accumulate) std::memset(ci, 0, sizeof(float) * static_cast<size_t>(n));
+          const float* ai = a + i * k;
+          for (int64_t l = 0; l < k; ++l) {
+            const float av = ai[l];
+            if (av == 0.0f) continue;
+            const float* bl = b + l * n;
+            for (int64_t j = 0; j < n; ++j) ci[j] += av * bl[j];
+          }
+        }
+      },
+      /*grain=*/16);
+}
+
+void GemmNT(const float* a, const float* b, float* c, int64_t m, int64_t n, int64_t k,
+            bool accumulate) {
+  ParallelFor(
+      m,
+      [=](int64_t r0, int64_t r1) {
+        for (int64_t i = r0; i < r1; ++i) {
+          const float* ai = a + i * n;
+          float* ci = c + i * k;
+          for (int64_t j = 0; j < k; ++j) {
+            const float* bj = b + j * n;
+            float acc = accumulate ? ci[j] : 0.0f;
+            for (int64_t l = 0; l < n; ++l) acc += ai[l] * bj[l];
+            ci[j] = acc;
+          }
+        }
+      },
+      /*grain=*/16);
+}
+
+void GemmTN(const float* a, const float* b, float* c, int64_t m, int64_t k, int64_t n,
+            bool accumulate) {
+  // Parallelize over output rows (k of them); each output row i gathers
+  // column i of A against all rows of B.
+  ParallelFor(
+      k,
+      [=](int64_t r0, int64_t r1) {
+        for (int64_t i = r0; i < r1; ++i) {
+          float* ci = c + i * n;
+          if (!accumulate) std::memset(ci, 0, sizeof(float) * static_cast<size_t>(n));
+          for (int64_t l = 0; l < m; ++l) {
+            const float av = a[l * k + i];
+            if (av == 0.0f) continue;
+            const float* bl = b + l * n;
+            for (int64_t j = 0; j < n; ++j) ci[j] += av * bl[j];
+          }
+        }
+      },
+      /*grain=*/16);
+}
+
+void GemmInt32(const int32_t* a, const int32_t* b, int64_t* c, int64_t m, int64_t k,
+               int64_t n, bool accumulate) {
+  ParallelFor(
+      m,
+      [=](int64_t r0, int64_t r1) {
+        for (int64_t i = r0; i < r1; ++i) {
+          int64_t* ci = c + i * n;
+          if (!accumulate) std::memset(ci, 0, sizeof(int64_t) * static_cast<size_t>(n));
+          const int32_t* ai = a + i * k;
+          for (int64_t l = 0; l < k; ++l) {
+            const int64_t av = ai[l];
+            if (av == 0) continue;
+            const int32_t* bl = b + l * n;
+            for (int64_t j = 0; j < n; ++j) ci[j] += av * static_cast<int64_t>(bl[j]);
+          }
+        }
+      },
+      /*grain=*/16);
+}
+
+}  // namespace mixq

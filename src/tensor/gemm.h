@@ -1,0 +1,28 @@
+// Copyright 2026 MixQ-GNN Authors
+// Raw dense GEMM kernels (row-major, parallel over output rows). Shared by
+// the autograd matmul op and by the Fig. 8 / kernel micro-benchmarks.
+#pragma once
+
+#include <cstdint>
+
+namespace mixq {
+
+/// C[m,n] (+)= A[m,k] * B[k,n]. If accumulate is false, C is overwritten.
+void GemmNN(const float* a, const float* b, float* c, int64_t m, int64_t k, int64_t n,
+            bool accumulate = false);
+
+/// C[m,k] (+)= A[m,n] * B[k,n]^T  (i.e. C = A * B^T).
+void GemmNT(const float* a, const float* b, float* c, int64_t m, int64_t n, int64_t k,
+            bool accumulate = false);
+
+/// C[k,n] (+)= A[m,k]^T * B[m,n]  (i.e. C = A^T * B).
+void GemmTN(const float* a, const float* b, float* c, int64_t m, int64_t k, int64_t n,
+            bool accumulate = false);
+
+/// Integer GEMM with int32 accumulation: C[m,n] (+)= A[m,k] * B[k,n].
+/// Inputs are quantized values stored as int32 (restricted to their bit-width
+/// range by the quantizer); used by the Theorem-1 fused path and benches.
+void GemmInt32(const int32_t* a, const int32_t* b, int64_t* c, int64_t m, int64_t k,
+               int64_t n, bool accumulate = false);
+
+}  // namespace mixq

@@ -1,0 +1,57 @@
+// Copyright 2026 MixQ-GNN Authors
+// Finite-difference gradient checking. Used by unit tests to validate every
+// autograd op against a central-difference estimate.
+#pragma once
+
+#include <cmath>
+#include <functional>
+
+#include "tensor/tensor.h"
+
+namespace mixq {
+
+/// Result of a gradient check: max absolute and relative error over all
+/// checked coordinates.
+struct GradCheckResult {
+  double max_abs_error = 0.0;
+  double max_rel_error = 0.0;
+  bool ok(double tol = 2e-2) const {
+    return max_abs_error < tol || max_rel_error < tol;
+  }
+};
+
+/// Checks d(loss_fn())/d(input) against central differences. `loss_fn` must
+/// rebuild the graph from `input`'s *current data* and return a scalar.
+/// Checks at most `max_coords` coordinates (stride-sampled) to stay fast.
+inline GradCheckResult CheckGradient(Tensor input,
+                                     const std::function<Tensor()>& loss_fn,
+                                     double eps = 1e-3, int64_t max_coords = 64) {
+  input.SetRequiresGrad(true);
+  // Analytic gradient.
+  input.impl()->ZeroGrad();
+  Tensor loss = loss_fn();
+  loss.Backward();
+  std::vector<float> analytic = input.grad();
+  if (analytic.empty()) analytic.assign(input.data().size(), 0.0f);
+
+  GradCheckResult result;
+  const int64_t n = input.numel();
+  const int64_t stride = std::max<int64_t>(1, n / max_coords);
+  for (int64_t i = 0; i < n; i += stride) {
+    const float orig = input.data()[static_cast<size_t>(i)];
+    input.data()[static_cast<size_t>(i)] = orig + static_cast<float>(eps);
+    const double up = loss_fn().item();
+    input.data()[static_cast<size_t>(i)] = orig - static_cast<float>(eps);
+    const double down = loss_fn().item();
+    input.data()[static_cast<size_t>(i)] = orig;
+    const double numeric = (up - down) / (2.0 * eps);
+    const double abs_err = std::fabs(numeric - analytic[static_cast<size_t>(i)]);
+    const double denom =
+        std::max({std::fabs(numeric), std::fabs(double(analytic[static_cast<size_t>(i)])), 1e-8});
+    result.max_abs_error = std::max(result.max_abs_error, abs_err);
+    result.max_rel_error = std::max(result.max_rel_error, abs_err / denom);
+  }
+  return result;
+}
+
+}  // namespace mixq

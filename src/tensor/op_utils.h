@@ -1,0 +1,21 @@
+// Copyright 2026 MixQ-GNN Authors
+// Internal helpers shared by op implementations. Not part of the public API.
+#pragma once
+
+#include "tensor/tensor.h"
+
+namespace mixq {
+namespace internal {
+
+/// True if gradients must be accumulated into this node during backward.
+inline bool NeedsGrad(const TensorImplPtr& impl) {
+  return impl != nullptr && (impl->requires_grad || impl->backward_fn != nullptr);
+}
+
+/// Reference overload for closures holding the impl directly.
+inline bool NeedsGrad(const TensorImpl& impl) {
+  return impl.requires_grad || impl.backward_fn != nullptr;
+}
+
+}  // namespace internal
+}  // namespace mixq

@@ -1,0 +1,113 @@
+// Copyright 2026 MixQ-GNN Authors
+// Differentiable tensor operations. Every op returns a new Tensor wired into
+// the autograd DAG; gradients are validated against finite differences in
+// tests/tensor_ops_test.cpp.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.h"
+#include "tensor/tensor.h"
+
+namespace mixq {
+
+// ---- Linear algebra ---------------------------------------------------------
+
+/// Dense matrix product: [m,k] x [k,n] -> [m,n].
+Tensor MatMul(const Tensor& a, const Tensor& b);
+
+/// Transpose of a rank-2 tensor (materialized; not a view).
+Tensor Transpose(const Tensor& x);
+
+/// Dot product of two equally-sized rank-1 tensors -> scalar.
+Tensor Dot(const Tensor& a, const Tensor& b);
+
+// ---- Elementwise ------------------------------------------------------------
+
+/// Elementwise sum of equally-shaped tensors.
+Tensor Add(const Tensor& a, const Tensor& b);
+/// Elementwise difference a - b.
+Tensor Sub(const Tensor& a, const Tensor& b);
+/// Elementwise (Hadamard) product.
+Tensor Mul(const Tensor& a, const Tensor& b);
+/// x * c for a compile-time-known scalar c (c is not differentiated).
+Tensor Scale(const Tensor& x, float c);
+/// x + c elementwise (c not differentiated).
+Tensor AddScalar(const Tensor& x, float c);
+/// Adds a rank-1 bias b[f] to every row of x[n,f].
+Tensor AddRowBroadcast(const Tensor& x, const Tensor& b);
+/// Multiplies every element of x by the idx-th element of rank-1 tensor w.
+/// Gradients flow into both x and w[idx]; used by the relaxed (DARTS-style)
+/// quantizer mixture, Eq. (6).
+Tensor ScaleByElement(const Tensor& x, const Tensor& w, int64_t idx);
+/// Multiplies row i of x[n,f] by s[i] (rank-1, size n). Gradients flow into
+/// both; used by the A2Q-style per-node learnable scales.
+Tensor MulRowwise(const Tensor& x, const Tensor& s);
+
+// ---- Activations ------------------------------------------------------------
+
+Tensor Relu(const Tensor& x);
+Tensor LeakyRelu(const Tensor& x, float negative_slope = 0.01f);
+Tensor Sigmoid(const Tensor& x);
+Tensor Tanh(const Tensor& x);
+Tensor Exp(const Tensor& x);
+
+// ---- Reductions -------------------------------------------------------------
+
+/// Sum of all elements -> scalar.
+Tensor Sum(const Tensor& x);
+/// Mean of all elements -> scalar.
+Tensor MeanAll(const Tensor& x);
+
+// ---- Softmax / losses ---------------------------------------------------------
+
+/// Softmax over a rank-1 tensor (used for the relaxed alpha weights).
+Tensor Softmax1D(const Tensor& x);
+
+/// Row-wise log-softmax of logits [n, c].
+Tensor LogSoftmaxRows(const Tensor& x);
+
+/// Masked multiclass cross-entropy: mean over rows with mask!=0 of
+/// -log softmax(logits)[row, label]. Labels < 0 are ignored.
+Tensor CrossEntropyMasked(const Tensor& logits, const std::vector<int64_t>& labels,
+                          const std::vector<uint8_t>& mask);
+
+/// Masked binary cross-entropy with logits for multi-label tasks:
+/// mean over masked rows and all columns of BCE(sigmoid(logit), target).
+Tensor BceWithLogitsMasked(const Tensor& logits, const Tensor& targets,
+                           const std::vector<uint8_t>& mask);
+
+// ---- Regularization / structure ----------------------------------------------
+
+/// Inverted dropout. Identity when !training or p == 0.
+Tensor Dropout(const Tensor& x, float p, bool training, Rng* rng);
+
+/// Gathers rows of x by index (with repetition allowed); backward scatter-adds.
+Tensor GatherRows(const Tensor& x, const std::vector<int64_t>& indices);
+
+/// Concatenates two rank-2 tensors along columns: [n,f1] ++ [n,f2] -> [n,f1+f2].
+Tensor ConcatCols(const Tensor& a, const Tensor& b);
+
+/// Rank-1 copy of x's storage with gradient pass-through (reshape to [numel]).
+Tensor Flatten(const Tensor& x);
+
+/// Pooling mode for GlobalPool.
+enum class PoolMode { kMax, kMean, kSum };
+
+/// Graph-level readout: pools node features x[n,f] into [num_graphs, f]
+/// according to the graph-indicator `batch` (batch[i] in [0, num_graphs)).
+/// Max pooling is what the paper uses for quantized GIN (overflow-safe).
+Tensor GlobalPool(const Tensor& x, const std::vector<int64_t>& batch,
+                  int64_t num_graphs, PoolMode mode);
+
+// ---- Batch norm ---------------------------------------------------------------
+
+/// Differentiable 1-D batch normalization over rows of x[n,f] with learnable
+/// gamma/beta [f]. In training mode uses batch statistics and updates the
+/// running buffers in-place; in eval mode uses the running buffers.
+Tensor BatchNormRows(const Tensor& x, const Tensor& gamma, const Tensor& beta,
+                     std::vector<float>* running_mean, std::vector<float>* running_var,
+                     bool training, float momentum = 0.1f, float eps = 1e-5f);
+
+}  // namespace mixq

@@ -1,0 +1,369 @@
+// Copyright 2026 MixQ-GNN Authors
+// Linear algebra and elementwise autograd ops.
+#include <cmath>
+
+#include "tensor/gemm.h"
+#include "tensor/op_utils.h"
+#include "tensor/ops.h"
+
+namespace mixq {
+
+using internal::MakeOpResult;
+using internal::NeedsGrad;
+
+Tensor MatMul(const Tensor& a, const Tensor& b) {
+  MIXQ_CHECK_EQ(a.shape().rank(), 2);
+  MIXQ_CHECK_EQ(b.shape().rank(), 2);
+  MIXQ_CHECK_EQ(a.cols(), b.rows()) << "matmul inner dims " << a.shape().ToString()
+                                    << " x " << b.shape().ToString();
+  const int64_t m = a.rows(), k = a.cols(), n = b.cols();
+  std::vector<float> out(static_cast<size_t>(m * n));
+  GemmNN(a.data().data(), b.data().data(), out.data(), m, k, n);
+  auto ai = a.impl_ptr();
+  auto bi = b.impl_ptr();
+  return MakeOpResult(Shape(m, n), std::move(out), {a, b},
+                      [ai, bi, m, k, n](TensorImpl& self) {
+                        if (NeedsGrad(ai)) {
+                          ai->EnsureGrad();
+                          GemmNT(self.grad.data(), bi->data.data(), ai->grad.data(), m,
+                                 n, k, /*accumulate=*/true);
+                        }
+                        if (NeedsGrad(bi)) {
+                          bi->EnsureGrad();
+                          GemmTN(ai->data.data(), self.grad.data(), bi->grad.data(), m,
+                                 k, n, /*accumulate=*/true);
+                        }
+                      });
+}
+
+Tensor Transpose(const Tensor& x) {
+  MIXQ_CHECK_EQ(x.shape().rank(), 2);
+  const int64_t m = x.rows(), n = x.cols();
+  std::vector<float> out(static_cast<size_t>(m * n));
+  for (int64_t i = 0; i < m; ++i) {
+    for (int64_t j = 0; j < n; ++j) {
+      out[static_cast<size_t>(j * m + i)] = x.data()[static_cast<size_t>(i * n + j)];
+    }
+  }
+  auto xi = x.impl_ptr();
+  return MakeOpResult(Shape(n, m), std::move(out), {x}, [xi, m, n](TensorImpl& self) {
+    if (!NeedsGrad(xi)) return;
+    xi->EnsureGrad();
+    for (int64_t j = 0; j < n; ++j) {
+      for (int64_t i = 0; i < m; ++i) {
+        xi->grad[static_cast<size_t>(i * n + j)] +=
+            self.grad[static_cast<size_t>(j * m + i)];
+      }
+    }
+  });
+}
+
+Tensor Dot(const Tensor& a, const Tensor& b) {
+  MIXQ_CHECK_EQ(a.numel(), b.numel());
+  double acc = 0.0;
+  for (size_t i = 0; i < a.data().size(); ++i) {
+    acc += static_cast<double>(a.data()[i]) * b.data()[i];
+  }
+  auto ai = a.impl_ptr();
+  auto bi = b.impl_ptr();
+  return MakeOpResult(Shape(1), {static_cast<float>(acc)}, {a, b},
+                      [ai, bi](TensorImpl& self) {
+                        const float g = self.grad[0];
+                        if (NeedsGrad(ai)) {
+                          ai->EnsureGrad();
+                          for (size_t i = 0; i < ai->data.size(); ++i) {
+                            ai->grad[i] += g * bi->data[i];
+                          }
+                        }
+                        if (NeedsGrad(bi)) {
+                          bi->EnsureGrad();
+                          for (size_t i = 0; i < bi->data.size(); ++i) {
+                            bi->grad[i] += g * ai->data[i];
+                          }
+                        }
+                      });
+}
+
+namespace {
+
+// Generic same-shape binary elementwise op helper.
+template <typename FwdFn, typename BwdFn>
+Tensor BinaryElementwise(const Tensor& a, const Tensor& b, FwdFn fwd, BwdFn bwd) {
+  MIXQ_CHECK(a.shape() == b.shape())
+      << a.shape().ToString() << " vs " << b.shape().ToString();
+  std::vector<float> out(a.data().size());
+  for (size_t i = 0; i < out.size(); ++i) out[i] = fwd(a.data()[i], b.data()[i]);
+  auto ai = a.impl_ptr();
+  auto bi = b.impl_ptr();
+  return MakeOpResult(a.shape(), std::move(out), {a, b}, [ai, bi, bwd](TensorImpl& self) {
+    bwd(*ai, *bi, self);
+  });
+}
+
+}  // namespace
+
+Tensor Add(const Tensor& a, const Tensor& b) {
+  return BinaryElementwise(
+      a, b, [](float x, float y) { return x + y; },
+      [](TensorImpl& ai, TensorImpl& bi, TensorImpl& self) {
+        if (NeedsGrad(ai)) {
+          ai.EnsureGrad();
+          for (size_t i = 0; i < ai.grad.size(); ++i) ai.grad[i] += self.grad[i];
+        }
+        if (NeedsGrad(bi)) {
+          bi.EnsureGrad();
+          for (size_t i = 0; i < bi.grad.size(); ++i) bi.grad[i] += self.grad[i];
+        }
+      });
+}
+
+Tensor Sub(const Tensor& a, const Tensor& b) {
+  return BinaryElementwise(
+      a, b, [](float x, float y) { return x - y; },
+      [](TensorImpl& ai, TensorImpl& bi, TensorImpl& self) {
+        if (NeedsGrad(ai)) {
+          ai.EnsureGrad();
+          for (size_t i = 0; i < ai.grad.size(); ++i) ai.grad[i] += self.grad[i];
+        }
+        if (NeedsGrad(bi)) {
+          bi.EnsureGrad();
+          for (size_t i = 0; i < bi.grad.size(); ++i) bi.grad[i] -= self.grad[i];
+        }
+      });
+}
+
+Tensor Mul(const Tensor& a, const Tensor& b) {
+  return BinaryElementwise(
+      a, b, [](float x, float y) { return x * y; },
+      [](TensorImpl& ai, TensorImpl& bi, TensorImpl& self) {
+        if (NeedsGrad(ai)) {
+          ai.EnsureGrad();
+          for (size_t i = 0; i < ai.grad.size(); ++i) {
+            ai.grad[i] += self.grad[i] * bi.data[i];
+          }
+        }
+        if (NeedsGrad(bi)) {
+          bi.EnsureGrad();
+          for (size_t i = 0; i < bi.grad.size(); ++i) {
+            bi.grad[i] += self.grad[i] * ai.data[i];
+          }
+        }
+      });
+}
+
+Tensor Scale(const Tensor& x, float c) {
+  std::vector<float> out(x.data().size());
+  for (size_t i = 0; i < out.size(); ++i) out[i] = x.data()[i] * c;
+  auto xi = x.impl_ptr();
+  return MakeOpResult(x.shape(), std::move(out), {x}, [xi, c](TensorImpl& self) {
+    if (!NeedsGrad(xi)) return;
+    xi->EnsureGrad();
+    for (size_t i = 0; i < xi->grad.size(); ++i) xi->grad[i] += self.grad[i] * c;
+  });
+}
+
+Tensor AddScalar(const Tensor& x, float c) {
+  std::vector<float> out(x.data().size());
+  for (size_t i = 0; i < out.size(); ++i) out[i] = x.data()[i] + c;
+  auto xi = x.impl_ptr();
+  return MakeOpResult(x.shape(), std::move(out), {x}, [xi](TensorImpl& self) {
+    if (!NeedsGrad(xi)) return;
+    xi->EnsureGrad();
+    for (size_t i = 0; i < xi->grad.size(); ++i) xi->grad[i] += self.grad[i];
+  });
+}
+
+Tensor AddRowBroadcast(const Tensor& x, const Tensor& b) {
+  MIXQ_CHECK_EQ(x.shape().rank(), 2);
+  MIXQ_CHECK_EQ(b.shape().rank(), 1);
+  MIXQ_CHECK_EQ(x.cols(), b.numel());
+  const int64_t n = x.rows(), f = x.cols();
+  std::vector<float> out(x.data().size());
+  for (int64_t i = 0; i < n; ++i) {
+    for (int64_t j = 0; j < f; ++j) {
+      out[static_cast<size_t>(i * f + j)] =
+          x.data()[static_cast<size_t>(i * f + j)] + b.data()[static_cast<size_t>(j)];
+    }
+  }
+  auto xi = x.impl_ptr();
+  auto bi = b.impl_ptr();
+  return MakeOpResult(x.shape(), std::move(out), {x, b}, [xi, bi, n, f](TensorImpl& self) {
+    if (NeedsGrad(xi)) {
+      xi->EnsureGrad();
+      for (size_t i = 0; i < xi->grad.size(); ++i) xi->grad[i] += self.grad[i];
+    }
+    if (NeedsGrad(bi)) {
+      bi->EnsureGrad();
+      for (int64_t i = 0; i < n; ++i) {
+        for (int64_t j = 0; j < f; ++j) {
+          bi->grad[static_cast<size_t>(j)] += self.grad[static_cast<size_t>(i * f + j)];
+        }
+      }
+    }
+  });
+}
+
+Tensor ScaleByElement(const Tensor& x, const Tensor& w, int64_t idx) {
+  MIXQ_CHECK_GE(idx, 0);
+  MIXQ_CHECK_LT(idx, w.numel());
+  const float wv = w.data()[static_cast<size_t>(idx)];
+  std::vector<float> out(x.data().size());
+  for (size_t i = 0; i < out.size(); ++i) out[i] = x.data()[i] * wv;
+  auto xi = x.impl_ptr();
+  auto wi = w.impl_ptr();
+  return MakeOpResult(x.shape(), std::move(out), {x, w}, [xi, wi, idx](TensorImpl& self) {
+    const float wv = wi->data[static_cast<size_t>(idx)];
+    if (NeedsGrad(xi)) {
+      xi->EnsureGrad();
+      for (size_t i = 0; i < xi->grad.size(); ++i) xi->grad[i] += self.grad[i] * wv;
+    }
+    if (NeedsGrad(wi)) {
+      wi->EnsureGrad();
+      double acc = 0.0;
+      for (size_t i = 0; i < xi->data.size(); ++i) {
+        acc += static_cast<double>(self.grad[i]) * xi->data[i];
+      }
+      wi->grad[static_cast<size_t>(idx)] += static_cast<float>(acc);
+    }
+  });
+}
+
+Tensor MulRowwise(const Tensor& x, const Tensor& s) {
+  MIXQ_CHECK_EQ(x.shape().rank(), 2);
+  MIXQ_CHECK_EQ(s.numel(), x.rows());
+  const int64_t n = x.rows(), f = x.cols();
+  std::vector<float> out(x.data().size());
+  for (int64_t i = 0; i < n; ++i) {
+    const float sv = s.data()[static_cast<size_t>(i)];
+    for (int64_t j = 0; j < f; ++j) {
+      out[static_cast<size_t>(i * f + j)] =
+          x.data()[static_cast<size_t>(i * f + j)] * sv;
+    }
+  }
+  auto xi = x.impl_ptr();
+  auto si = s.impl_ptr();
+  return MakeOpResult(x.shape(), std::move(out), {x, s}, [xi, si, n, f](TensorImpl& self) {
+    if (NeedsGrad(xi)) {
+      xi->EnsureGrad();
+      for (int64_t i = 0; i < n; ++i) {
+        const float sv = si->data[static_cast<size_t>(i)];
+        for (int64_t j = 0; j < f; ++j) {
+          xi->grad[static_cast<size_t>(i * f + j)] +=
+              self.grad[static_cast<size_t>(i * f + j)] * sv;
+        }
+      }
+    }
+    if (NeedsGrad(si)) {
+      si->EnsureGrad();
+      for (int64_t i = 0; i < n; ++i) {
+        double acc = 0.0;
+        for (int64_t j = 0; j < f; ++j) {
+          acc += static_cast<double>(self.grad[static_cast<size_t>(i * f + j)]) *
+                 xi->data[static_cast<size_t>(i * f + j)];
+        }
+        si->grad[static_cast<size_t>(i)] += static_cast<float>(acc);
+      }
+    }
+  });
+}
+
+Tensor Sum(const Tensor& x) {
+  double acc = 0.0;
+  for (float v : x.data()) acc += v;
+  auto xi = x.impl_ptr();
+  return MakeOpResult(Shape(1), {static_cast<float>(acc)}, {x}, [xi](TensorImpl& self) {
+    if (!NeedsGrad(xi)) return;
+    xi->EnsureGrad();
+    const float g = self.grad[0];
+    for (size_t i = 0; i < xi->grad.size(); ++i) xi->grad[i] += g;
+  });
+}
+
+Tensor MeanAll(const Tensor& x) {
+  MIXQ_CHECK_GT(x.numel(), 0);
+  double acc = 0.0;
+  for (float v : x.data()) acc += v;
+  const float inv_n = 1.0f / static_cast<float>(x.numel());
+  auto xi = x.impl_ptr();
+  return MakeOpResult(Shape(1), {static_cast<float>(acc) * inv_n}, {x},
+                      [xi, inv_n](TensorImpl& self) {
+                        if (!NeedsGrad(xi)) return;
+                        xi->EnsureGrad();
+                        const float g = self.grad[0] * inv_n;
+                        for (size_t i = 0; i < xi->grad.size(); ++i) xi->grad[i] += g;
+                      });
+}
+
+Tensor GatherRows(const Tensor& x, const std::vector<int64_t>& indices) {
+  MIXQ_CHECK_EQ(x.shape().rank(), 2);
+  const int64_t f = x.cols();
+  std::vector<float> out(indices.size() * static_cast<size_t>(f));
+  for (size_t r = 0; r < indices.size(); ++r) {
+    const int64_t src = indices[r];
+    MIXQ_CHECK_GE(src, 0);
+    MIXQ_CHECK_LT(src, x.rows());
+    std::copy_n(x.data().begin() + src * f, f, out.begin() + static_cast<int64_t>(r) * f);
+  }
+  auto xi = x.impl_ptr();
+  auto idx = indices;  // captured copy
+  return MakeOpResult(Shape(static_cast<int64_t>(indices.size()), f), std::move(out),
+                      {x}, [xi, idx, f](TensorImpl& self) {
+                        if (!NeedsGrad(xi)) return;
+                        xi->EnsureGrad();
+                        for (size_t r = 0; r < idx.size(); ++r) {
+                          const int64_t dst = idx[r];
+                          for (int64_t j = 0; j < f; ++j) {
+                            xi->grad[static_cast<size_t>(dst * f + j)] +=
+                                self.grad[r * static_cast<size_t>(f) +
+                                          static_cast<size_t>(j)];
+                          }
+                        }
+                      });
+}
+
+Tensor ConcatCols(const Tensor& a, const Tensor& b) {
+  MIXQ_CHECK_EQ(a.shape().rank(), 2);
+  MIXQ_CHECK_EQ(b.shape().rank(), 2);
+  MIXQ_CHECK_EQ(a.rows(), b.rows());
+  const int64_t n = a.rows(), fa = a.cols(), fb = b.cols();
+  std::vector<float> out(static_cast<size_t>(n * (fa + fb)));
+  for (int64_t i = 0; i < n; ++i) {
+    std::copy_n(a.data().begin() + i * fa, fa, out.begin() + i * (fa + fb));
+    std::copy_n(b.data().begin() + i * fb, fb, out.begin() + i * (fa + fb) + fa);
+  }
+  auto ai = a.impl_ptr();
+  auto bi = b.impl_ptr();
+  return MakeOpResult(Shape(n, fa + fb), std::move(out), {a, b},
+                      [ai, bi, n, fa, fb](TensorImpl& self) {
+                        if (NeedsGrad(ai)) {
+                          ai->EnsureGrad();
+                          for (int64_t i = 0; i < n; ++i) {
+                            for (int64_t j = 0; j < fa; ++j) {
+                              ai->grad[static_cast<size_t>(i * fa + j)] +=
+                                  self.grad[static_cast<size_t>(i * (fa + fb) + j)];
+                            }
+                          }
+                        }
+                        if (NeedsGrad(bi)) {
+                          bi->EnsureGrad();
+                          for (int64_t i = 0; i < n; ++i) {
+                            for (int64_t j = 0; j < fb; ++j) {
+                              bi->grad[static_cast<size_t>(i * fb + j)] +=
+                                  self.grad[static_cast<size_t>(i * (fa + fb) + fa + j)];
+                            }
+                          }
+                        }
+                      });
+}
+
+Tensor Flatten(const Tensor& x) {
+  auto xi = x.impl_ptr();
+  std::vector<float> out = x.data();
+  return MakeOpResult(Shape(x.numel()), std::move(out), {x}, [xi](TensorImpl& self) {
+    if (!NeedsGrad(*xi)) return;
+    xi->EnsureGrad();
+    for (size_t i = 0; i < xi->grad.size(); ++i) xi->grad[i] += self.grad[i];
+  });
+}
+
+}  // namespace mixq

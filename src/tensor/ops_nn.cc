@@ -1,0 +1,452 @@
+// Copyright 2026 MixQ-GNN Authors
+// Neural-network autograd ops: activations, softmax, losses, dropout,
+// graph readout pooling, batch norm.
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "tensor/op_utils.h"
+#include "tensor/ops.h"
+
+namespace mixq {
+
+using internal::MakeOpResult;
+using internal::NeedsGrad;
+
+namespace {
+
+// Generic unary elementwise op: fwd(x) and dfdx given (x, y).
+template <typename FwdFn, typename DervFn>
+Tensor UnaryElementwise(const Tensor& x, FwdFn fwd, DervFn dfdx) {
+  std::vector<float> out(x.data().size());
+  for (size_t i = 0; i < out.size(); ++i) out[i] = fwd(x.data()[i]);
+  auto xi = x.impl_ptr();
+  return MakeOpResult(x.shape(), std::move(out), {x}, [xi, dfdx](TensorImpl& self) {
+    if (!NeedsGrad(*xi)) return;
+    xi->EnsureGrad();
+    for (size_t i = 0; i < xi->grad.size(); ++i) {
+      xi->grad[i] += self.grad[i] * dfdx(xi->data[i], self.data[i]);
+    }
+  });
+}
+
+}  // namespace
+
+Tensor Relu(const Tensor& x) {
+  return UnaryElementwise(
+      x, [](float v) { return v > 0.0f ? v : 0.0f; },
+      [](float v, float) { return v > 0.0f ? 1.0f : 0.0f; });
+}
+
+Tensor LeakyRelu(const Tensor& x, float negative_slope) {
+  return UnaryElementwise(
+      x, [negative_slope](float v) { return v > 0.0f ? v : negative_slope * v; },
+      [negative_slope](float v, float) { return v > 0.0f ? 1.0f : negative_slope; });
+}
+
+Tensor Sigmoid(const Tensor& x) {
+  return UnaryElementwise(
+      x, [](float v) { return 1.0f / (1.0f + std::exp(-v)); },
+      [](float, float y) { return y * (1.0f - y); });
+}
+
+Tensor Tanh(const Tensor& x) {
+  return UnaryElementwise(x, [](float v) { return std::tanh(v); },
+                          [](float, float y) { return 1.0f - y * y; });
+}
+
+Tensor Exp(const Tensor& x) {
+  return UnaryElementwise(x, [](float v) { return std::exp(v); },
+                          [](float, float y) { return y; });
+}
+
+Tensor Softmax1D(const Tensor& x) {
+  MIXQ_CHECK_GE(x.numel(), 1);
+  float mx = -std::numeric_limits<float>::infinity();
+  for (float v : x.data()) mx = std::max(mx, v);
+  std::vector<float> out(x.data().size());
+  double denom = 0.0;
+  for (size_t i = 0; i < out.size(); ++i) {
+    out[i] = std::exp(x.data()[i] - mx);
+    denom += out[i];
+  }
+  const float inv = static_cast<float>(1.0 / denom);
+  for (auto& v : out) v *= inv;
+  auto xi = x.impl_ptr();
+  return MakeOpResult(x.shape(), std::move(out), {x}, [xi](TensorImpl& self) {
+    if (!NeedsGrad(*xi)) return;
+    xi->EnsureGrad();
+    double dot = 0.0;
+    for (size_t i = 0; i < self.data.size(); ++i) {
+      dot += static_cast<double>(self.grad[i]) * self.data[i];
+    }
+    for (size_t i = 0; i < self.data.size(); ++i) {
+      xi->grad[i] += self.data[i] * (self.grad[i] - static_cast<float>(dot));
+    }
+  });
+}
+
+Tensor LogSoftmaxRows(const Tensor& x) {
+  MIXQ_CHECK_EQ(x.shape().rank(), 2);
+  const int64_t n = x.rows(), c = x.cols();
+  std::vector<float> out(x.data().size());
+  for (int64_t i = 0; i < n; ++i) {
+    const float* row = x.data().data() + i * c;
+    float mx = -std::numeric_limits<float>::infinity();
+    for (int64_t j = 0; j < c; ++j) mx = std::max(mx, row[j]);
+    double denom = 0.0;
+    for (int64_t j = 0; j < c; ++j) denom += std::exp(row[j] - mx);
+    const float lse = mx + static_cast<float>(std::log(denom));
+    for (int64_t j = 0; j < c; ++j) {
+      out[static_cast<size_t>(i * c + j)] = row[j] - lse;
+    }
+  }
+  auto xi = x.impl_ptr();
+  return MakeOpResult(x.shape(), std::move(out), {x}, [xi, n, c](TensorImpl& self) {
+    if (!NeedsGrad(*xi)) return;
+    xi->EnsureGrad();
+    for (int64_t i = 0; i < n; ++i) {
+      double gsum = 0.0;
+      for (int64_t j = 0; j < c; ++j) {
+        gsum += self.grad[static_cast<size_t>(i * c + j)];
+      }
+      for (int64_t j = 0; j < c; ++j) {
+        const size_t k = static_cast<size_t>(i * c + j);
+        const float softmax = std::exp(self.data[k]);
+        xi->grad[k] += self.grad[k] - softmax * static_cast<float>(gsum);
+      }
+    }
+  });
+}
+
+Tensor CrossEntropyMasked(const Tensor& logits, const std::vector<int64_t>& labels,
+                          const std::vector<uint8_t>& mask) {
+  MIXQ_CHECK_EQ(logits.shape().rank(), 2);
+  const int64_t n = logits.rows(), c = logits.cols();
+  MIXQ_CHECK_EQ(static_cast<int64_t>(labels.size()), n);
+  MIXQ_CHECK_EQ(static_cast<int64_t>(mask.size()), n);
+  // Fused log-softmax + NLL for numerical stability; store row softmax work
+  // implicitly by recomputing from logits in backward (cheap, avoids copies).
+  int64_t count = 0;
+  double loss = 0.0;
+  for (int64_t i = 0; i < n; ++i) {
+    if (!mask[static_cast<size_t>(i)] || labels[static_cast<size_t>(i)] < 0) continue;
+    ++count;
+    const float* row = logits.data().data() + i * c;
+    float mx = -std::numeric_limits<float>::infinity();
+    for (int64_t j = 0; j < c; ++j) mx = std::max(mx, row[j]);
+    double denom = 0.0;
+    for (int64_t j = 0; j < c; ++j) denom += std::exp(row[j] - mx);
+    const double lse = mx + std::log(denom);
+    loss -= row[labels[static_cast<size_t>(i)]] - lse;
+  }
+  MIXQ_CHECK_GT(count, 0) << "CrossEntropyMasked: empty mask";
+  const float value = static_cast<float>(loss / static_cast<double>(count));
+  auto li = logits.impl_ptr();
+  auto labels_copy = labels;
+  auto mask_copy = mask;
+  return MakeOpResult(
+      Shape(1), {value}, {logits},
+      [li, labels_copy, mask_copy, n, c, count](TensorImpl& self) {
+        if (!NeedsGrad(*li)) return;
+        li->EnsureGrad();
+        const float g = self.grad[0] / static_cast<float>(count);
+        for (int64_t i = 0; i < n; ++i) {
+          if (!mask_copy[static_cast<size_t>(i)] ||
+              labels_copy[static_cast<size_t>(i)] < 0) {
+            continue;
+          }
+          const float* row = li->data.data() + i * c;
+          float mx = -std::numeric_limits<float>::infinity();
+          for (int64_t j = 0; j < c; ++j) mx = std::max(mx, row[j]);
+          double denom = 0.0;
+          for (int64_t j = 0; j < c; ++j) denom += std::exp(row[j] - mx);
+          for (int64_t j = 0; j < c; ++j) {
+            const float p = static_cast<float>(std::exp(row[j] - mx) / denom);
+            const float onehot =
+                (j == labels_copy[static_cast<size_t>(i)]) ? 1.0f : 0.0f;
+            li->grad[static_cast<size_t>(i * c + j)] += g * (p - onehot);
+          }
+        }
+      });
+}
+
+Tensor BceWithLogitsMasked(const Tensor& logits, const Tensor& targets,
+                           const std::vector<uint8_t>& mask) {
+  MIXQ_CHECK(logits.shape() == targets.shape());
+  const int64_t n = logits.rows(), t = logits.cols();
+  MIXQ_CHECK_EQ(static_cast<int64_t>(mask.size()), n);
+  int64_t count = 0;
+  for (uint8_t m : mask) count += m ? 1 : 0;
+  MIXQ_CHECK_GT(count, 0) << "BceWithLogitsMasked: empty mask";
+  const double norm = 1.0 / (static_cast<double>(count) * static_cast<double>(t));
+  double loss = 0.0;
+  for (int64_t i = 0; i < n; ++i) {
+    if (!mask[static_cast<size_t>(i)]) continue;
+    for (int64_t j = 0; j < t; ++j) {
+      const double z = logits.data()[static_cast<size_t>(i * t + j)];
+      const double y = targets.data()[static_cast<size_t>(i * t + j)];
+      // max(z,0) - z*y + log(1 + exp(-|z|)): the numerically stable form.
+      loss += std::max(z, 0.0) - z * y + std::log1p(std::exp(-std::fabs(z)));
+    }
+  }
+  auto li = logits.impl_ptr();
+  auto ti = targets.impl_ptr();
+  auto mask_copy = mask;
+  return MakeOpResult(Shape(1), {static_cast<float>(loss * norm)}, {logits, targets},
+                      [li, ti, mask_copy, n, t, norm](TensorImpl& self) {
+                        if (!NeedsGrad(*li)) return;
+                        li->EnsureGrad();
+                        const float g = self.grad[0] * static_cast<float>(norm);
+                        for (int64_t i = 0; i < n; ++i) {
+                          if (!mask_copy[static_cast<size_t>(i)]) continue;
+                          for (int64_t j = 0; j < t; ++j) {
+                            const size_t k = static_cast<size_t>(i * t + j);
+                            const float z = li->data[k];
+                            const float y = ti->data[k];
+                            const float s = 1.0f / (1.0f + std::exp(-z));
+                            li->grad[k] += g * (s - y);
+                          }
+                        }
+                      });
+}
+
+Tensor Dropout(const Tensor& x, float p, bool training, Rng* rng) {
+  MIXQ_CHECK_GE(p, 0.0f);
+  MIXQ_CHECK_LT(p, 1.0f);
+  if (!training || p == 0.0f) return x;
+  MIXQ_CHECK(rng != nullptr);
+  const float scale = 1.0f / (1.0f - p);
+  auto mask = std::make_shared<std::vector<float>>(x.data().size());
+  std::vector<float> out(x.data().size());
+  for (size_t i = 0; i < out.size(); ++i) {
+    const float m = rng->Bernoulli(p) ? 0.0f : scale;
+    (*mask)[i] = m;
+    out[i] = x.data()[i] * m;
+  }
+  auto xi = x.impl_ptr();
+  return MakeOpResult(x.shape(), std::move(out), {x}, [xi, mask](TensorImpl& self) {
+    if (!NeedsGrad(*xi)) return;
+    xi->EnsureGrad();
+    for (size_t i = 0; i < xi->grad.size(); ++i) {
+      xi->grad[i] += self.grad[i] * (*mask)[i];
+    }
+  });
+}
+
+Tensor GlobalPool(const Tensor& x, const std::vector<int64_t>& batch,
+                  int64_t num_graphs, PoolMode mode) {
+  MIXQ_CHECK_EQ(x.shape().rank(), 2);
+  const int64_t n = x.rows(), f = x.cols();
+  MIXQ_CHECK_EQ(static_cast<int64_t>(batch.size()), n);
+  std::vector<float> out(static_cast<size_t>(num_graphs * f),
+                         mode == PoolMode::kMax
+                             ? -std::numeric_limits<float>::infinity()
+                             : 0.0f);
+  std::vector<int64_t> counts(static_cast<size_t>(num_graphs), 0);
+  // argmax[g*f + j] = node index whose feature j achieved the max (kMax only).
+  auto argmax = std::make_shared<std::vector<int64_t>>();
+  if (mode == PoolMode::kMax) {
+    argmax->assign(static_cast<size_t>(num_graphs * f), -1);
+  }
+  for (int64_t i = 0; i < n; ++i) {
+    const int64_t g = batch[static_cast<size_t>(i)];
+    MIXQ_CHECK_GE(g, 0);
+    MIXQ_CHECK_LT(g, num_graphs);
+    ++counts[static_cast<size_t>(g)];
+    for (int64_t j = 0; j < f; ++j) {
+      const size_t o = static_cast<size_t>(g * f + j);
+      const float v = x.data()[static_cast<size_t>(i * f + j)];
+      switch (mode) {
+        case PoolMode::kMax:
+          if (v > out[o]) {
+            out[o] = v;
+            (*argmax)[o] = i;
+          }
+          break;
+        case PoolMode::kMean:
+        case PoolMode::kSum:
+          out[o] += v;
+          break;
+      }
+    }
+  }
+  if (mode == PoolMode::kMean) {
+    for (int64_t g = 0; g < num_graphs; ++g) {
+      const float inv =
+          counts[static_cast<size_t>(g)] > 0
+              ? 1.0f / static_cast<float>(counts[static_cast<size_t>(g)])
+              : 0.0f;
+      for (int64_t j = 0; j < f; ++j) out[static_cast<size_t>(g * f + j)] *= inv;
+    }
+  }
+  // Empty graphs under max pooling would keep -inf; surface that loudly.
+  if (mode == PoolMode::kMax) {
+    for (int64_t g = 0; g < num_graphs; ++g) {
+      MIXQ_CHECK_GT(counts[static_cast<size_t>(g)], 0) << "empty graph " << g;
+    }
+  }
+  auto xi = x.impl_ptr();
+  auto batch_copy = batch;
+  auto counts_copy = counts;
+  return MakeOpResult(
+      Shape(num_graphs, f), std::move(out), {x},
+      [xi, batch_copy, counts_copy, argmax, num_graphs, f, mode](TensorImpl& self) {
+        if (!NeedsGrad(*xi)) return;
+        xi->EnsureGrad();
+        const int64_t n = static_cast<int64_t>(batch_copy.size());
+        switch (mode) {
+          case PoolMode::kMax:
+            for (int64_t g = 0; g < num_graphs; ++g) {
+              for (int64_t j = 0; j < f; ++j) {
+                const size_t o = static_cast<size_t>(g * f + j);
+                const int64_t src = (*argmax)[o];
+                if (src >= 0) {
+                  xi->grad[static_cast<size_t>(src * f + j)] += self.grad[o];
+                }
+              }
+            }
+            break;
+          case PoolMode::kSum:
+            for (int64_t i = 0; i < n; ++i) {
+              const int64_t g = batch_copy[static_cast<size_t>(i)];
+              for (int64_t j = 0; j < f; ++j) {
+                xi->grad[static_cast<size_t>(i * f + j)] +=
+                    self.grad[static_cast<size_t>(g * f + j)];
+              }
+            }
+            break;
+          case PoolMode::kMean:
+            for (int64_t i = 0; i < n; ++i) {
+              const int64_t g = batch_copy[static_cast<size_t>(i)];
+              const float inv =
+                  1.0f / static_cast<float>(counts_copy[static_cast<size_t>(g)]);
+              for (int64_t j = 0; j < f; ++j) {
+                xi->grad[static_cast<size_t>(i * f + j)] +=
+                    self.grad[static_cast<size_t>(g * f + j)] * inv;
+              }
+            }
+            break;
+        }
+      });
+}
+
+Tensor BatchNormRows(const Tensor& x, const Tensor& gamma, const Tensor& beta,
+                     std::vector<float>* running_mean, std::vector<float>* running_var,
+                     bool training, float momentum, float eps) {
+  MIXQ_CHECK_EQ(x.shape().rank(), 2);
+  const int64_t n = x.rows(), f = x.cols();
+  MIXQ_CHECK_EQ(gamma.numel(), f);
+  MIXQ_CHECK_EQ(beta.numel(), f);
+  MIXQ_CHECK(running_mean != nullptr && running_var != nullptr);
+  MIXQ_CHECK_EQ(static_cast<int64_t>(running_mean->size()), f);
+  MIXQ_CHECK_EQ(static_cast<int64_t>(running_var->size()), f);
+
+  auto mean = std::make_shared<std::vector<float>>(static_cast<size_t>(f), 0.0f);
+  auto inv_std = std::make_shared<std::vector<float>>(static_cast<size_t>(f), 0.0f);
+  if (training) {
+    MIXQ_CHECK_GT(n, 0);
+    for (int64_t j = 0; j < f; ++j) {
+      double s = 0.0;
+      for (int64_t i = 0; i < n; ++i) s += x.data()[static_cast<size_t>(i * f + j)];
+      (*mean)[static_cast<size_t>(j)] = static_cast<float>(s / n);
+    }
+    for (int64_t j = 0; j < f; ++j) {
+      double s = 0.0;
+      const float mu = (*mean)[static_cast<size_t>(j)];
+      for (int64_t i = 0; i < n; ++i) {
+        const float d = x.data()[static_cast<size_t>(i * f + j)] - mu;
+        s += static_cast<double>(d) * d;
+      }
+      const float var = static_cast<float>(s / n);
+      (*inv_std)[static_cast<size_t>(j)] = 1.0f / std::sqrt(var + eps);
+      (*running_mean)[static_cast<size_t>(j)] =
+          (1.0f - momentum) * (*running_mean)[static_cast<size_t>(j)] + momentum * mu;
+      (*running_var)[static_cast<size_t>(j)] =
+          (1.0f - momentum) * (*running_var)[static_cast<size_t>(j)] + momentum * var;
+    }
+  } else {
+    for (int64_t j = 0; j < f; ++j) {
+      (*mean)[static_cast<size_t>(j)] = (*running_mean)[static_cast<size_t>(j)];
+      (*inv_std)[static_cast<size_t>(j)] =
+          1.0f / std::sqrt((*running_var)[static_cast<size_t>(j)] + eps);
+    }
+  }
+
+  std::vector<float> out(x.data().size());
+  for (int64_t i = 0; i < n; ++i) {
+    for (int64_t j = 0; j < f; ++j) {
+      const size_t k = static_cast<size_t>(i * f + j);
+      const float xhat = (x.data()[k] - (*mean)[static_cast<size_t>(j)]) *
+                         (*inv_std)[static_cast<size_t>(j)];
+      out[k] = gamma.data()[static_cast<size_t>(j)] * xhat +
+               beta.data()[static_cast<size_t>(j)];
+    }
+  }
+
+  auto xi = x.impl_ptr();
+  auto gi = gamma.impl_ptr();
+  auto bi = beta.impl_ptr();
+  const bool use_batch_stats = training;
+  return MakeOpResult(
+      x.shape(), std::move(out), {x, gamma, beta},
+      [xi, gi, bi, mean, inv_std, n, f, use_batch_stats](TensorImpl& self) {
+        // Recompute xhat rows on the fly from saved mean/inv_std.
+        auto xhat_at = [&](int64_t i, int64_t j) {
+          return (xi->data[static_cast<size_t>(i * f + j)] -
+                  (*mean)[static_cast<size_t>(j)]) *
+                 (*inv_std)[static_cast<size_t>(j)];
+        };
+        if (NeedsGrad(*gi)) {
+          gi->EnsureGrad();
+          for (int64_t j = 0; j < f; ++j) {
+            double s = 0.0;
+            for (int64_t i = 0; i < n; ++i) {
+              s += static_cast<double>(self.grad[static_cast<size_t>(i * f + j)]) *
+                   xhat_at(i, j);
+            }
+            gi->grad[static_cast<size_t>(j)] += static_cast<float>(s);
+          }
+        }
+        if (NeedsGrad(*bi)) {
+          bi->EnsureGrad();
+          for (int64_t j = 0; j < f; ++j) {
+            double s = 0.0;
+            for (int64_t i = 0; i < n; ++i) {
+              s += self.grad[static_cast<size_t>(i * f + j)];
+            }
+            bi->grad[static_cast<size_t>(j)] += static_cast<float>(s);
+          }
+        }
+        if (NeedsGrad(*xi)) {
+          xi->EnsureGrad();
+          for (int64_t j = 0; j < f; ++j) {
+            const float gj = gi->data[static_cast<size_t>(j)];
+            const float is = (*inv_std)[static_cast<size_t>(j)];
+            if (use_batch_stats) {
+              double gsum = 0.0, gxhat = 0.0;
+              for (int64_t i = 0; i < n; ++i) {
+                const float g = self.grad[static_cast<size_t>(i * f + j)];
+                gsum += g;
+                gxhat += static_cast<double>(g) * xhat_at(i, j);
+              }
+              const float mean_g = static_cast<float>(gsum / n);
+              const float mean_gx = static_cast<float>(gxhat / n);
+              for (int64_t i = 0; i < n; ++i) {
+                const float g = self.grad[static_cast<size_t>(i * f + j)];
+                xi->grad[static_cast<size_t>(i * f + j)] +=
+                    gj * is * (g - mean_g - xhat_at(i, j) * mean_gx);
+              }
+            } else {
+              // Eval mode: running stats are constants.
+              for (int64_t i = 0; i < n; ++i) {
+                xi->grad[static_cast<size_t>(i * f + j)] +=
+                    gj * is * self.grad[static_cast<size_t>(i * f + j)];
+              }
+            }
+          }
+        }
+      });
+}
+
+}  // namespace mixq

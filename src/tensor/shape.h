@@ -1,0 +1,69 @@
+// Copyright 2026 MixQ-GNN Authors
+// Tensor shape: rank-1 or rank-2, row-major. GNN workloads here only need
+// matrices (node-feature / weight) and vectors (alpha, bias, labels).
+#pragma once
+
+#include <cstdint>
+#include <initializer_list>
+#include <string>
+#include <vector>
+
+#include "common/check.h"
+
+namespace mixq {
+
+/// Row-major shape of rank 1 or 2.
+class Shape {
+ public:
+  Shape() = default;
+  /// Rank-1 shape (n).
+  explicit Shape(int64_t n) : dims_{n} { MIXQ_CHECK_GE(n, 0); }
+  /// Rank-2 shape (rows, cols).
+  Shape(int64_t rows, int64_t cols) : dims_{rows, cols} {
+    MIXQ_CHECK_GE(rows, 0);
+    MIXQ_CHECK_GE(cols, 0);
+  }
+
+  int rank() const { return static_cast<int>(dims_.size()); }
+  int64_t numel() const {
+    int64_t n = 1;
+    for (int64_t d : dims_) n *= d;
+    return dims_.empty() ? 0 : n;
+  }
+
+  /// dims_[0] for rank>=1.
+  int64_t rows() const {
+    MIXQ_CHECK_GE(rank(), 1);
+    return dims_[0];
+  }
+  /// dims_[1] for rank-2; 1 for rank-1 (treating vectors as column-compatible).
+  int64_t cols() const {
+    if (rank() == 1) return 1;
+    MIXQ_CHECK_EQ(rank(), 2);
+    return dims_[1];
+  }
+
+  int64_t dim(int i) const {
+    MIXQ_CHECK_GE(i, 0);
+    MIXQ_CHECK_LT(i, rank());
+    return dims_[i];
+  }
+
+  bool operator==(const Shape& other) const { return dims_ == other.dims_; }
+  bool operator!=(const Shape& other) const { return !(*this == other); }
+
+  std::string ToString() const {
+    std::string s = "(";
+    for (size_t i = 0; i < dims_.size(); ++i) {
+      if (i) s += ", ";
+      s += std::to_string(dims_[i]);
+    }
+    s += ")";
+    return s;
+  }
+
+ private:
+  std::vector<int64_t> dims_;
+};
+
+}  // namespace mixq

@@ -1,0 +1,158 @@
+// Copyright 2026 MixQ-GNN Authors
+#include "tensor/tensor.h"
+
+#include <cmath>
+#include <sstream>
+#include <unordered_set>
+
+namespace mixq {
+
+Tensor Tensor::Zeros(const Shape& shape, bool requires_grad) {
+  auto impl = std::make_shared<TensorImpl>();
+  impl->shape = shape;
+  impl->data.assign(static_cast<size_t>(shape.numel()), 0.0f);
+  impl->requires_grad = requires_grad;
+  return Tensor(std::move(impl));
+}
+
+Tensor Tensor::Ones(const Shape& shape, bool requires_grad) {
+  return Full(shape, 1.0f, requires_grad);
+}
+
+Tensor Tensor::Full(const Shape& shape, float value, bool requires_grad) {
+  Tensor t = Zeros(shape, requires_grad);
+  std::fill(t.data().begin(), t.data().end(), value);
+  return t;
+}
+
+Tensor Tensor::FromVector(const Shape& shape, const std::vector<float>& values,
+                          bool requires_grad) {
+  MIXQ_CHECK_EQ(static_cast<int64_t>(values.size()), shape.numel());
+  Tensor t = Zeros(shape, requires_grad);
+  t.data() = values;
+  return t;
+}
+
+Tensor Tensor::Scalar(float value, bool requires_grad) {
+  return FromVector(Shape(1), {value}, requires_grad);
+}
+
+Tensor Tensor::RandomNormal(const Shape& shape, Rng* rng, float mean, float stddev,
+                            bool requires_grad) {
+  MIXQ_CHECK(rng != nullptr);
+  Tensor t = Zeros(shape, requires_grad);
+  for (auto& v : t.data()) v = rng->Normal(mean, stddev);
+  return t;
+}
+
+Tensor Tensor::RandomUniform(const Shape& shape, Rng* rng, float lo, float hi,
+                             bool requires_grad) {
+  MIXQ_CHECK(rng != nullptr);
+  Tensor t = Zeros(shape, requires_grad);
+  for (auto& v : t.data()) v = rng->Uniform(lo, hi);
+  return t;
+}
+
+Tensor Tensor::GlorotUniform(int64_t fan_in, int64_t fan_out, Rng* rng,
+                             bool requires_grad) {
+  float limit = std::sqrt(6.0f / static_cast<float>(fan_in + fan_out));
+  return RandomUniform(Shape(fan_in, fan_out), rng, -limit, limit, requires_grad);
+}
+
+Tensor Tensor::Detach() const {
+  auto impl = std::make_shared<TensorImpl>();
+  impl->shape = shape();
+  impl->data = data();
+  impl->requires_grad = false;
+  return Tensor(std::move(impl));
+}
+
+std::string Tensor::ToString(int64_t max_elems) const {
+  std::ostringstream os;
+  os << "Tensor" << shape().ToString() << " [";
+  int64_t n = std::min<int64_t>(numel(), max_elems);
+  for (int64_t i = 0; i < n; ++i) {
+    if (i) os << ", ";
+    os << data()[static_cast<size_t>(i)];
+  }
+  if (n < numel()) os << ", ...";
+  os << "]";
+  return os.str();
+}
+
+namespace {
+
+// Iterative post-order DFS building a topological order of the autograd DAG.
+void TopoSort(TensorImpl* root, std::vector<TensorImpl*>* order) {
+  std::unordered_set<TensorImpl*> visited;
+  struct Frame {
+    TensorImpl* node;
+    size_t next_child;
+  };
+  std::vector<Frame> stack;
+  stack.push_back({root, 0});
+  visited.insert(root);
+  while (!stack.empty()) {
+    Frame& f = stack.back();
+    if (f.next_child < f.node->parents.size()) {
+      TensorImpl* child = f.node->parents[f.next_child++].get();
+      if (child != nullptr && visited.insert(child).second) {
+        stack.push_back({child, 0});
+      }
+    } else {
+      order->push_back(f.node);
+      stack.pop_back();
+    }
+  }
+}
+
+}  // namespace
+
+void Tensor::Backward() const {
+  MIXQ_CHECK_EQ(numel(), 1) << "Backward() requires a scalar loss tensor";
+  std::vector<TensorImpl*> order;
+  TopoSort(impl(), &order);
+  impl()->EnsureGrad();
+  impl()->grad[0] = 1.0f;
+  // order is post-order (parents before children), so iterate in reverse to
+  // propagate from the loss towards the leaves.
+  for (auto it = order.rbegin(); it != order.rend(); ++it) {
+    TensorImpl* node = *it;
+    if (node->backward_fn) {
+      node->EnsureGrad();
+      node->backward_fn(*node);
+    }
+  }
+}
+
+namespace internal {
+
+bool AnyRequiresGrad(const std::vector<Tensor>& parents) {
+  for (const auto& p : parents) {
+    if (p.defined() &&
+        (p.impl()->requires_grad || p.impl()->backward_fn != nullptr)) {
+      return true;
+    }
+  }
+  return false;
+}
+
+Tensor MakeOpResult(Shape shape, std::vector<float> data, std::vector<Tensor> parents,
+                    std::function<void(TensorImpl&)> backward_fn) {
+  MIXQ_CHECK_EQ(static_cast<int64_t>(data.size()), shape.numel());
+  auto impl = std::make_shared<TensorImpl>();
+  impl->shape = shape;
+  impl->data = std::move(data);
+  impl->is_leaf = false;
+  if (AnyRequiresGrad(parents)) {
+    impl->requires_grad = true;
+    impl->parents.reserve(parents.size());
+    for (const auto& p : parents) impl->parents.push_back(p.impl_ptr());
+    impl->backward_fn = std::move(backward_fn);
+  }
+  return Tensor(std::move(impl));
+}
+
+}  // namespace internal
+
+}  // namespace mixq

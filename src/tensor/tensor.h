@@ -1,0 +1,157 @@
+// Copyright 2026 MixQ-GNN Authors
+// FP32 tensor with reverse-mode automatic differentiation.
+//
+// A Tensor is a cheap value-semantic handle to a shared TensorImpl node. Ops
+// (see ops.h) build a DAG: each produced node stores shared_ptr links to its
+// parents and a backward closure. Tensor::Backward() on a scalar runs a
+// topological sweep, accumulating gradients into every node with
+// requires_grad set (directly or transitively).
+//
+// This replaces the paper's use of PyTorch autograd [58]; correctness is
+// established by finite-difference gradient checks in tests/tensor_test.cpp.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/check.h"
+#include "common/rng.h"
+#include "tensor/shape.h"
+
+namespace mixq {
+
+struct TensorImpl;
+using TensorImplPtr = std::shared_ptr<TensorImpl>;
+
+/// Internal autograd node. Users interact through Tensor.
+struct TensorImpl {
+  std::vector<float> data;
+  std::vector<float> grad;  // allocated lazily by EnsureGrad()
+  Shape shape;
+  bool requires_grad = false;
+  /// True for leaf parameters (optimizer targets); intermediates are false.
+  bool is_leaf = true;
+  std::vector<TensorImplPtr> parents;
+  /// Accumulates this node's grad into parents' grads. Null for leaves.
+  std::function<void(TensorImpl&)> backward_fn;
+
+  void EnsureGrad() {
+    if (grad.size() != data.size()) grad.assign(data.size(), 0.0f);
+  }
+  void ZeroGrad() {
+    if (!grad.empty()) std::fill(grad.begin(), grad.end(), 0.0f);
+  }
+};
+
+/// Value-semantic handle to an autograd tensor node.
+class Tensor {
+ public:
+  /// Null tensor (no storage). Most APIs check defined().
+  Tensor() = default;
+  explicit Tensor(TensorImplPtr impl) : impl_(std::move(impl)) {}
+
+  // ---- Factories -----------------------------------------------------------
+
+  /// Uninitialized-to-zero tensor of the given shape.
+  static Tensor Zeros(const Shape& shape, bool requires_grad = false);
+  static Tensor Ones(const Shape& shape, bool requires_grad = false);
+  static Tensor Full(const Shape& shape, float value, bool requires_grad = false);
+  /// Copies `values` (size must equal shape.numel()).
+  static Tensor FromVector(const Shape& shape, const std::vector<float>& values,
+                           bool requires_grad = false);
+  /// Scalar (rank-1, size-1) tensor.
+  static Tensor Scalar(float value, bool requires_grad = false);
+  /// Gaussian init (mean, stddev) with explicit RNG for determinism.
+  static Tensor RandomNormal(const Shape& shape, Rng* rng, float mean = 0.0f,
+                             float stddev = 1.0f, bool requires_grad = false);
+  /// Uniform init in [lo, hi).
+  static Tensor RandomUniform(const Shape& shape, Rng* rng, float lo, float hi,
+                              bool requires_grad = false);
+  /// Glorot/Xavier uniform init for a (fan_in, fan_out) weight matrix.
+  static Tensor GlorotUniform(int64_t fan_in, int64_t fan_out, Rng* rng,
+                              bool requires_grad = true);
+
+  // ---- Introspection -------------------------------------------------------
+
+  bool defined() const { return impl_ != nullptr; }
+  const Shape& shape() const { return impl()->shape; }
+  int64_t numel() const { return impl()->shape.numel(); }
+  int64_t rows() const { return impl()->shape.rows(); }
+  int64_t cols() const { return impl()->shape.cols(); }
+  bool requires_grad() const { return impl()->requires_grad; }
+
+  /// Raw row-major storage.
+  std::vector<float>& data() { return impl()->data; }
+  const std::vector<float>& data() const { return impl()->data; }
+  /// Gradient storage (empty until backward touches this node).
+  std::vector<float>& grad() { return impl()->grad; }
+  const std::vector<float>& grad() const { return impl()->grad; }
+
+  /// Element access, rank-2.
+  float at(int64_t r, int64_t c) const {
+    MIXQ_CHECK_EQ(shape().rank(), 2);
+    MIXQ_CHECK_GE(r, 0);
+    MIXQ_CHECK_LT(r, rows());
+    MIXQ_CHECK_GE(c, 0);
+    MIXQ_CHECK_LT(c, cols());
+    return impl()->data[static_cast<size_t>(r * cols() + c)];
+  }
+  float& at(int64_t r, int64_t c) {
+    MIXQ_CHECK_EQ(shape().rank(), 2);
+    return impl()->data[static_cast<size_t>(r * cols() + c)];
+  }
+  /// Element access, flat index (any rank).
+  float item(int64_t i = 0) const {
+    MIXQ_CHECK_GE(i, 0);
+    MIXQ_CHECK_LT(i, numel());
+    return impl()->data[static_cast<size_t>(i)];
+  }
+
+  TensorImplPtr impl_ptr() const { return impl_; }
+  TensorImpl* impl() const {
+    MIXQ_CHECK(impl_ != nullptr) << "use of undefined Tensor";
+    return impl_.get();
+  }
+
+  // ---- Autograd ------------------------------------------------------------
+
+  /// Runs reverse-mode autodiff from this scalar node. Gradients accumulate
+  /// (callers zero parameter grads between steps via the optimizer).
+  void Backward() const;
+
+  /// Zeroes this node's grad buffer (if allocated).
+  void ZeroGrad() { impl()->ZeroGrad(); }
+
+  /// Detached copy: same data, no history, requires_grad=false.
+  Tensor Detach() const;
+
+  /// Marks as a leaf parameter for optimizers.
+  Tensor& SetRequiresGrad(bool value) {
+    impl()->requires_grad = value;
+    return *this;
+  }
+
+  std::string ToString(int64_t max_elems = 16) const;
+
+ private:
+  TensorImplPtr impl_;
+};
+
+namespace internal {
+
+/// Creates a non-leaf op result wired to its parents. The backward closure
+/// receives the result node (with grad populated) and must accumulate into
+/// each requires-grad parent's grad (calling EnsureGrad first).
+Tensor MakeOpResult(Shape shape, std::vector<float> data,
+                    std::vector<Tensor> parents,
+                    std::function<void(TensorImpl&)> backward_fn);
+
+/// True if any parent requires grad (transitively).
+bool AnyRequiresGrad(const std::vector<Tensor>& parents);
+
+}  // namespace internal
+
+}  // namespace mixq

@@ -1,0 +1,98 @@
+// Copyright 2026 MixQ-GNN Authors
+#include "train/metrics.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "common/check.h"
+#include "common/rng.h"
+
+namespace mixq {
+
+double Accuracy(const Tensor& logits, const std::vector<int64_t>& labels,
+                const std::vector<uint8_t>& mask) {
+  MIXQ_CHECK_EQ(logits.shape().rank(), 2);
+  const int64_t n = logits.rows(), c = logits.cols();
+  MIXQ_CHECK_EQ(static_cast<int64_t>(labels.size()), n);
+  MIXQ_CHECK_EQ(static_cast<int64_t>(mask.size()), n);
+  int64_t correct = 0, total = 0;
+  for (int64_t i = 0; i < n; ++i) {
+    if (!mask[static_cast<size_t>(i)] || labels[static_cast<size_t>(i)] < 0) continue;
+    int64_t argmax = 0;
+    float best = logits.at(i, 0);
+    for (int64_t j = 1; j < c; ++j) {
+      if (logits.at(i, j) > best) {
+        best = logits.at(i, j);
+        argmax = j;
+      }
+    }
+    correct += argmax == labels[static_cast<size_t>(i)] ? 1 : 0;
+    ++total;
+  }
+  return total > 0 ? static_cast<double>(correct) / static_cast<double>(total) : 0.0;
+}
+
+double RocAucMultiLabel(const Tensor& logits, const Tensor& targets,
+                        const std::vector<uint8_t>& mask) {
+  MIXQ_CHECK(logits.shape() == targets.shape());
+  const int64_t n = logits.rows(), t = logits.cols();
+  double auc_sum = 0.0;
+  int64_t valid_tasks = 0;
+  std::vector<std::pair<float, int>> scored;
+  for (int64_t task = 0; task < t; ++task) {
+    scored.clear();
+    int64_t pos = 0, neg = 0;
+    for (int64_t i = 0; i < n; ++i) {
+      if (!mask[static_cast<size_t>(i)]) continue;
+      const int y = targets.at(i, task) > 0.5f ? 1 : 0;
+      scored.push_back({logits.at(i, task), y});
+      (y ? pos : neg) += 1;
+    }
+    if (pos == 0 || neg == 0) continue;
+    // Rank-sum (Mann-Whitney) AUC with tie-averaged ranks.
+    std::sort(scored.begin(), scored.end(),
+              [](const auto& a, const auto& b) { return a.first < b.first; });
+    double rank_sum_pos = 0.0;
+    size_t i = 0;
+    while (i < scored.size()) {
+      size_t j = i;
+      while (j + 1 < scored.size() && scored[j + 1].first == scored[i].first) ++j;
+      const double avg_rank = 0.5 * (static_cast<double>(i) + static_cast<double>(j)) + 1.0;
+      for (size_t k = i; k <= j; ++k) {
+        if (scored[k].second) rank_sum_pos += avg_rank;
+      }
+      i = j + 1;
+    }
+    const double auc =
+        (rank_sum_pos - static_cast<double>(pos) * (static_cast<double>(pos) + 1.0) / 2.0) /
+        (static_cast<double>(pos) * static_cast<double>(neg));
+    auc_sum += auc;
+    ++valid_tasks;
+  }
+  return valid_tasks > 0 ? auc_sum / static_cast<double>(valid_tasks) : 0.5;
+}
+
+std::vector<Fold> KFoldSplits(int64_t n, int folds, uint64_t seed) {
+  MIXQ_CHECK_GE(folds, 2);
+  MIXQ_CHECK_GE(n, folds);
+  Rng rng(seed);
+  std::vector<int64_t> order(static_cast<size_t>(n));
+  std::iota(order.begin(), order.end(), 0);
+  rng.Shuffle(&order);
+  std::vector<Fold> out(static_cast<size_t>(folds));
+  for (int64_t i = 0; i < n; ++i) {
+    const int f = static_cast<int>(i % folds);
+    out[static_cast<size_t>(f)].test.push_back(order[static_cast<size_t>(i)]);
+  }
+  for (int f = 0; f < folds; ++f) {
+    for (int g = 0; g < folds; ++g) {
+      if (g == f) continue;
+      auto& src = out[static_cast<size_t>(g)].test;
+      out[static_cast<size_t>(f)].train.insert(out[static_cast<size_t>(f)].train.end(),
+                                               src.begin(), src.end());
+    }
+  }
+  return out;
+}
+
+}  // namespace mixq

@@ -1,0 +1,30 @@
+// Copyright 2026 MixQ-GNN Authors
+// Evaluation metrics: masked accuracy (node/graph classification) and
+// column-averaged ROC-AUC (OGB-Proteins-style multi-label tasks).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "tensor/tensor.h"
+
+namespace mixq {
+
+/// Fraction of masked rows whose argmax logit equals the label.
+double Accuracy(const Tensor& logits, const std::vector<int64_t>& labels,
+                const std::vector<uint8_t>& mask);
+
+/// Multi-label ROC-AUC: per-task rank AUC over masked rows, averaged over
+/// tasks that have both positive and negative examples (the OGB protocol).
+double RocAucMultiLabel(const Tensor& logits, const Tensor& targets,
+                        const std::vector<uint8_t>& mask);
+
+/// k-fold split of [0, n): fold f's test indices are the f-th contiguous
+/// chunk of a seeded shuffle; train is the rest.
+struct Fold {
+  std::vector<int64_t> train;
+  std::vector<int64_t> test;
+};
+std::vector<Fold> KFoldSplits(int64_t n, int folds, uint64_t seed);
+
+}  // namespace mixq

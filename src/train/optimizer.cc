@@ -1,0 +1,73 @@
+// Copyright 2026 MixQ-GNN Authors
+#include "train/optimizer.h"
+
+#include <cmath>
+
+namespace mixq {
+
+Sgd::Sgd(std::vector<Tensor> params, float lr, float momentum, float weight_decay)
+    : Optimizer(std::move(params)),
+      lr_(lr),
+      momentum_(momentum),
+      weight_decay_(weight_decay) {
+  velocity_.resize(params_.size());
+  for (size_t i = 0; i < params_.size(); ++i) {
+    velocity_[i].assign(params_[i].data().size(), 0.0f);
+  }
+}
+
+void Sgd::Step() {
+  for (size_t i = 0; i < params_.size(); ++i) {
+    auto& p = params_[i];
+    if (p.grad().empty()) continue;
+    auto& data = p.data();
+    const auto& grad = p.grad();
+    auto& vel = velocity_[i];
+    for (size_t k = 0; k < data.size(); ++k) {
+      float g = grad[k] + weight_decay_ * data[k];
+      if (momentum_ > 0.0f) {
+        vel[k] = momentum_ * vel[k] + g;
+        g = vel[k];
+      }
+      data[k] -= lr_ * g;
+    }
+  }
+}
+
+Adam::Adam(std::vector<Tensor> params, float lr, float beta1, float beta2, float eps,
+           float weight_decay)
+    : Optimizer(std::move(params)),
+      lr_(lr),
+      beta1_(beta1),
+      beta2_(beta2),
+      eps_(eps),
+      weight_decay_(weight_decay) {
+  m_.resize(params_.size());
+  v_.resize(params_.size());
+  for (size_t i = 0; i < params_.size(); ++i) {
+    m_[i].assign(params_[i].data().size(), 0.0f);
+    v_[i].assign(params_[i].data().size(), 0.0f);
+  }
+}
+
+void Adam::Step() {
+  ++t_;
+  const double bc1 = 1.0 - std::pow(static_cast<double>(beta1_), static_cast<double>(t_));
+  const double bc2 = 1.0 - std::pow(static_cast<double>(beta2_), static_cast<double>(t_));
+  for (size_t i = 0; i < params_.size(); ++i) {
+    auto& p = params_[i];
+    if (p.grad().empty()) continue;
+    auto& data = p.data();
+    const auto& grad = p.grad();
+    for (size_t k = 0; k < data.size(); ++k) {
+      const float g = grad[k] + weight_decay_ * data[k];
+      m_[i][k] = beta1_ * m_[i][k] + (1.0f - beta1_) * g;
+      v_[i][k] = beta2_ * v_[i][k] + (1.0f - beta2_) * g * g;
+      const double mhat = m_[i][k] / bc1;
+      const double vhat = v_[i][k] / bc2;
+      data[k] -= static_cast<float>(lr_ * mhat / (std::sqrt(vhat) + eps_));
+    }
+  }
+}
+
+}  // namespace mixq

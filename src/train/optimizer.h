@@ -1,0 +1,56 @@
+// Copyright 2026 MixQ-GNN Authors
+// Gradient-based optimizers operating on parameter tensors in place.
+#pragma once
+
+#include <vector>
+
+#include "tensor/tensor.h"
+
+namespace mixq {
+
+/// Optimizer interface: owns handles to the parameters it updates.
+class Optimizer {
+ public:
+  explicit Optimizer(std::vector<Tensor> params) : params_(std::move(params)) {}
+  virtual ~Optimizer() = default;
+
+  /// Applies one update from the gradients currently stored on the params.
+  virtual void Step() = 0;
+
+  /// Clears parameter gradients (call after Step, before the next backward).
+  void ZeroGrad() {
+    for (auto& p : params_) p.ZeroGrad();
+  }
+
+  const std::vector<Tensor>& params() const { return params_; }
+
+ protected:
+  std::vector<Tensor> params_;
+};
+
+/// SGD with optional momentum and decoupled weight decay.
+class Sgd : public Optimizer {
+ public:
+  Sgd(std::vector<Tensor> params, float lr, float momentum = 0.0f,
+      float weight_decay = 0.0f);
+  void Step() override;
+
+ private:
+  float lr_, momentum_, weight_decay_;
+  std::vector<std::vector<float>> velocity_;
+};
+
+/// Adam (Kingma & Ba) with bias correction and L2 weight decay.
+class Adam : public Optimizer {
+ public:
+  Adam(std::vector<Tensor> params, float lr, float beta1 = 0.9f, float beta2 = 0.999f,
+       float eps = 1e-8f, float weight_decay = 0.0f);
+  void Step() override;
+
+ private:
+  float lr_, beta1_, beta2_, eps_, weight_decay_;
+  int64_t t_ = 0;
+  std::vector<std::vector<float>> m_, v_;
+};
+
+}  // namespace mixq

@@ -1,0 +1,71 @@
+// Copyright 2026 MixQ-GNN Authors
+#include "train/trainer.h"
+
+#include "common/logging.h"
+#include "tensor/ops.h"
+
+namespace mixq {
+
+TrainResult RunTrainingLoop(const TrainLoopConfig& config, Module* model,
+                            QuantScheme* scheme,
+                            const std::function<Tensor(Rng*)>& forward,
+                            const std::function<Tensor(const Tensor&)>& train_loss,
+                            const std::function<double(const Tensor&, bool)>& eval_metric) {
+  MIXQ_CHECK(model != nullptr);
+  MIXQ_CHECK(scheme != nullptr);
+  Rng rng(config.seed);
+
+  // Warm-up forward: schemes create their learnable state (relaxation α's,
+  // A2Q per-node vectors) lazily on first use, so it must exist before the
+  // optimizer snapshots the parameter list.
+  model->SetTraining(true);
+  scheme->BeginStep(/*training=*/true);
+  (void)forward(&rng);
+
+  std::vector<Tensor> params = model->Parameters();
+  AppendParameters(&params, scheme->SchemeParameters());
+  for (auto& p : params) p.SetRequiresGrad(true);
+  Adam optimizer(params, config.lr, 0.9f, 0.999f, 1e-8f, config.weight_decay);
+
+  TrainResult result;
+  result.best_val_metric = -1.0;
+  int since_best = 0;
+
+  for (int epoch = 0; epoch < config.epochs; ++epoch) {
+    // ---- Train step --------------------------------------------------------
+    model->SetTraining(true);
+    scheme->BeginStep(/*training=*/true);
+    optimizer.ZeroGrad();
+    Tensor logits = forward(&rng);
+    Tensor loss = train_loss(logits);
+    Tensor penalty = scheme->PenaltyLoss();
+    if (penalty.defined()) loss = Add(loss, penalty);
+    loss.Backward();
+    optimizer.Step();
+    result.final_train_loss = loss.item();
+
+    // ---- Eval --------------------------------------------------------------
+    model->SetTraining(false);
+    scheme->BeginStep(/*training=*/false);
+    Tensor eval_logits = forward(&rng);
+    const double val = eval_metric(eval_logits, /*is_test=*/false);
+    if (val > result.best_val_metric) {
+      result.best_val_metric = val;
+      result.test_at_best_val = eval_metric(eval_logits, /*is_test=*/true);
+      since_best = 0;
+    } else {
+      ++since_best;
+    }
+    result.epochs_run = epoch + 1;
+    if (config.verbose) {
+      MIXQ_LOG_INFO() << "epoch " << epoch << " loss=" << result.final_train_loss
+                      << " val=" << val;
+    }
+    if (config.early_stop_patience > 0 && since_best >= config.early_stop_patience) {
+      break;
+    }
+  }
+  return result;
+}
+
+}  // namespace mixq

@@ -1,0 +1,46 @@
+// Copyright 2026 MixQ-GNN Authors
+// Generic training loop shared by every experiment. The model's forward and
+// the task loss/metric are injected as closures, so one loop serves node
+// classification, multi-label node tasks, graph classification, and the
+// relaxed MixQ search (whose penalty arrives through scheme->PenaltyLoss()).
+#pragma once
+
+#include <functional>
+
+#include "common/rng.h"
+#include "nn/module.h"
+#include "quant/scheme.h"
+#include "train/optimizer.h"
+
+namespace mixq {
+
+struct TrainLoopConfig {
+  int epochs = 100;
+  float lr = 0.01f;
+  float weight_decay = 5e-4f;
+  /// Stop after this many epochs without val improvement (0 = run all).
+  int early_stop_patience = 0;
+  /// Print per-epoch losses at MIXQ_LOG_LEVEL >= info.
+  bool verbose = false;
+  uint64_t seed = 1;
+};
+
+struct TrainResult {
+  double best_val_metric = 0.0;
+  double test_at_best_val = 0.0;   ///< the reported number (standard protocol)
+  double final_train_loss = 0.0;
+  int epochs_run = 0;
+};
+
+/// Runs the loop. `forward` must honour model->training() (the loop toggles
+/// it) and use `rng` for dropout. `train_loss` maps logits to a scalar loss
+/// over the training split. `eval_metric(logits, is_test)` returns the val
+/// (false) or test (true) metric. If the scheme yields a PenaltyLoss, it is
+/// added to the task loss each step (the λΣC(T) Lagrangian of Eq. (7)).
+TrainResult RunTrainingLoop(const TrainLoopConfig& config, Module* model,
+                            QuantScheme* scheme,
+                            const std::function<Tensor(Rng*)>& forward,
+                            const std::function<Tensor(const Tensor&)>& train_loss,
+                            const std::function<double(const Tensor&, bool)>& eval_metric);
+
+}  // namespace mixq

@@ -1,0 +1,131 @@
+// Copyright 2026 MixQ-GNN Authors
+// Tests for the A2Q-style baseline (per-node learnable scales/bit-widths).
+#include <gtest/gtest.h>
+
+#include "quant/a2q.h"
+#include "tensor/ops.h"
+#include "train/optimizer.h"
+
+namespace mixq {
+namespace {
+
+TEST(A2qOpTest, ForwardSnapsPerRow) {
+  Tensor x = Tensor::FromVector(Shape(2, 2), {0.5f, -0.25f, 0.5f, -0.25f});
+  // Row 0: scale e^0 = 1 (coarse); row 1: scale e^-3 ≈ 0.05 (fine).
+  Tensor ls = Tensor::FromVector(Shape(2), {0.0f, -3.0f});
+  Tensor beta = Tensor::Full(Shape(2), 0.0f);  // bits = 1 + 7*0.5 = 4.5 -> 4
+  Tensor y = A2qFakeQuantRows(x, ls, beta);
+  // Row 0 with scale 1: 0.5 rounds to 0 or 1 -> error >= 0.25.
+  EXPECT_GT(std::fabs(y.at(0, 0) - 0.5f), 0.2f);
+  // Row 1 with fine scale: near-exact.
+  EXPECT_NEAR(y.at(1, 0), 0.5f, 0.05f);
+  EXPECT_NEAR(y.at(1, 1), -0.25f, 0.05f);
+}
+
+TEST(A2qOpTest, SteGradientForX) {
+  Tensor x = Tensor::FromVector(Shape(1, 3), {0.1f, 0.2f, -0.1f}, true);
+  Tensor ls = Tensor::Full(Shape(1), -3.0f);
+  Tensor beta = Tensor::Full(Shape(1), 2.0f);  // ~7 bits, nothing clipped
+  Sum(A2qFakeQuantRows(x, ls, beta)).Backward();
+  for (float g : x.grad()) EXPECT_FLOAT_EQ(g, 1.0f);
+}
+
+TEST(A2qOpTest, ClippedValuesRouteGradToBits) {
+  // A clipped value passes no gradient to x but drives the bit logit and the
+  // scale (a second, in-range value avoids symmetric cancellation).
+  Tensor x = Tensor::FromVector(Shape(1, 2), {100.0f, 0.2f}, true);
+  Tensor ls = Tensor::Full(Shape(1), 0.0f, true);  // scale = 1
+  Tensor beta = Tensor::Full(Shape(1), 0.0f, true);
+  Sum(A2qFakeQuantRows(x, ls, beta)).Backward();
+  EXPECT_FLOAT_EQ(x.grad()[0], 0.0f);  // clipped: STE blocks
+  EXPECT_FLOAT_EQ(x.grad()[1], 1.0f);  // in range: STE passes
+  EXPECT_NE(beta.grad()[0], 0.0f);
+  EXPECT_NE(ls.grad()[0], 0.0f);
+}
+
+TEST(A2qSchemeTest, PerNodeQuantizersForNodeComponents) {
+  A2qScheme scheme(/*num_nodes=*/6);
+  Rng rng(1);
+  Tensor x = Tensor::RandomUniform(Shape(6, 4), &rng, -1.0f, 1.0f);
+  Tensor y = scheme.Quantize("agg", x, ComponentKind::kAggregate, true);
+  EXPECT_NE(y.impl_ptr(), x.impl_ptr());
+  // 2 learnable vectors of size n.
+  auto params = scheme.SchemeParameters();
+  ASSERT_EQ(params.size(), 2u);
+  EXPECT_EQ(params[0].numel(), 6);
+  EXPECT_EQ(scheme.QuantizationParameterCount(), 12);
+}
+
+TEST(A2qSchemeTest, WeightsFallBackToQat) {
+  A2qScheme scheme(6);
+  Rng rng(2);
+  Tensor w = Tensor::RandomUniform(Shape(4, 3), &rng, -1.0f, 1.0f);
+  scheme.Quantize("w", w, ComponentKind::kWeight, true);
+  EXPECT_DOUBLE_EQ(scheme.EffectiveBits("w", 32.0), 8.0);
+  EXPECT_EQ(scheme.SchemeParameters().size(), 0u);  // no per-node params added
+}
+
+TEST(A2qSchemeTest, PenaltyIsDifferentiableAndPositive) {
+  A2qScheme scheme(4);
+  Rng rng(3);
+  Tensor x = Tensor::RandomUniform(Shape(4, 8), &rng, -1.0f, 1.0f);
+  scheme.Quantize("agg", x, ComponentKind::kAggregate, true);
+  Tensor penalty = scheme.PenaltyLoss();
+  ASSERT_TRUE(penalty.defined());
+  EXPECT_GT(penalty.item(), 0.0f);
+  auto params = scheme.SchemeParameters();
+  for (auto& p : params) p.SetRequiresGrad(true);
+  penalty.Backward();
+  // Bits logits (beta) must receive gradient from the memory penalty.
+  bool beta_has_grad = false;
+  for (auto& p : params) {
+    if (!p.grad().empty()) {
+      for (float g : p.grad()) beta_has_grad |= g != 0.0f;
+    }
+  }
+  EXPECT_TRUE(beta_has_grad);
+}
+
+TEST(A2qSchemeTest, MemoryPenaltyDrivesBitsDown) {
+  // Optimizing only the penalty must reduce the average bit-width.
+  A2qOptions opts;
+  opts.memory_lambda = 10.0;  // strong compression pressure for a short test
+  A2qScheme scheme(8, opts);
+  Rng rng(4);
+  Tensor x = Tensor::RandomUniform(Shape(8, 16), &rng, -1.0f, 1.0f);
+  scheme.Quantize("agg", x, ComponentKind::kAggregate, true);
+  const double bits_before = scheme.AverageNodeBits();
+  auto params = scheme.SchemeParameters();
+  for (auto& p : params) p.SetRequiresGrad(true);
+  Sgd sgd(params, /*lr=*/5.0f);
+  for (int step = 0; step < 50; ++step) {
+    sgd.ZeroGrad();
+    scheme.Quantize("agg", x, ComponentKind::kAggregate, true);
+    Tensor penalty = scheme.PenaltyLoss();
+    penalty.Backward();
+    sgd.Step();
+  }
+  EXPECT_LT(scheme.AverageNodeBits(), bits_before);
+}
+
+TEST(A2qSchemeTest, InitialBitsRespected) {
+  A2qOptions opts;
+  opts.initial_bits = 6.0;
+  A2qScheme scheme(5, opts);
+  Rng rng(5);
+  Tensor x = Tensor::RandomUniform(Shape(5, 4), &rng, -1.0f, 1.0f);
+  scheme.Quantize("agg", x, ComponentKind::kAggregate, true);
+  EXPECT_NEAR(scheme.AverageNodeBits(), 6.0, 0.6);
+}
+
+TEST(A2qSchemeTest, DifferentRowCountFallsBack) {
+  A2qScheme scheme(10);
+  Rng rng(6);
+  // A [3, f] tensor (e.g. pooled graphs) is not per-node: QAT fallback.
+  Tensor x = Tensor::RandomUniform(Shape(3, 4), &rng, -1.0f, 1.0f);
+  scheme.Quantize("pool", x, ComponentKind::kAggregate, true);
+  EXPECT_EQ(scheme.QuantizationParameterCount(), 0);
+}
+
+}  // namespace
+}  // namespace mixq

@@ -1,0 +1,231 @@
+// Copyright 2026 MixQ-GNN Authors
+// Unit tests for src/common: Status/Result, RNG, statistics, parallelism.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <set>
+
+#include "common/parallel.h"
+#include "common/rng.h"
+#include "common/stats.h"
+#include "common/status.h"
+#include "common/table_printer.h"
+
+namespace mixq {
+namespace {
+
+TEST(StatusTest, OkByDefault) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kOk);
+  EXPECT_EQ(s.ToString(), "OK");
+}
+
+TEST(StatusTest, ErrorCarriesCodeAndMessage) {
+  Status s = Status::InvalidArgument("bad bits");
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(s.message(), "bad bits");
+  EXPECT_EQ(s.ToString(), "InvalidArgument: bad bits");
+}
+
+TEST(StatusTest, AllCodesHaveNames) {
+  EXPECT_STREQ(StatusCodeName(StatusCode::kOk), "OK");
+  EXPECT_STREQ(StatusCodeName(StatusCode::kOutOfRange), "OutOfRange");
+  EXPECT_STREQ(StatusCodeName(StatusCode::kNotImplemented), "NotImplemented");
+  EXPECT_STREQ(StatusCodeName(StatusCode::kInternal), "Internal");
+  EXPECT_STREQ(StatusCodeName(StatusCode::kNotFound), "NotFound");
+}
+
+TEST(ResultTest, HoldsValue) {
+  Result<int> r(42);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.ValueOrDie(), 42);
+}
+
+TEST(ResultTest, HoldsError) {
+  Result<int> r(Status::NotFound("nope"));
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kNotFound);
+}
+
+TEST(ResultTest, MoveValue) {
+  Result<std::string> r(std::string("payload"));
+  std::string v = r.MoveValueOrDie();
+  EXPECT_EQ(v, "payload");
+}
+
+TEST(RngTest, Deterministic) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.UniformInt(0, 1000000), b.UniformInt(0, 1000000));
+  }
+}
+
+TEST(RngTest, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.UniformInt(0, 1 << 30) == b.UniformInt(0, 1 << 30)) ++same;
+  }
+  EXPECT_LT(same, 5);
+}
+
+TEST(RngTest, UniformRange) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    const float v = rng.Uniform(-2.0f, 3.0f);
+    EXPECT_GE(v, -2.0f);
+    EXPECT_LT(v, 3.0f);
+  }
+}
+
+TEST(RngTest, BernoulliExtremes) {
+  Rng rng(7);
+  for (int i = 0; i < 50; ++i) {
+    EXPECT_FALSE(rng.Bernoulli(0.0));
+    EXPECT_TRUE(rng.Bernoulli(1.0));
+  }
+}
+
+TEST(RngTest, PowerLawBounds) {
+  Rng rng(9);
+  for (int i = 0; i < 2000; ++i) {
+    const int64_t k = rng.PowerLaw(2.5, 50);
+    EXPECT_GE(k, 1);
+    EXPECT_LE(k, 50);
+  }
+}
+
+TEST(RngTest, PowerLawIsHeavyTailed) {
+  Rng rng(9);
+  int64_t ones = 0, big = 0;
+  for (int i = 0; i < 5000; ++i) {
+    const int64_t k = rng.PowerLaw(2.2, 1000);
+    if (k == 1) ++ones;
+    if (k >= 10) ++big;
+  }
+  EXPECT_GT(ones, 2000);  // mass concentrated at small degrees
+  EXPECT_GT(big, 20);     // but a real tail exists
+}
+
+TEST(RngTest, SampleWithoutReplacementDistinct) {
+  Rng rng(3);
+  auto sample = rng.SampleWithoutReplacement(100, 40);
+  std::set<int64_t> unique(sample.begin(), sample.end());
+  EXPECT_EQ(unique.size(), 40u);
+  for (int64_t v : sample) {
+    EXPECT_GE(v, 0);
+    EXPECT_LT(v, 100);
+  }
+}
+
+TEST(RngTest, CategoricalRespectsWeights) {
+  Rng rng(5);
+  std::vector<double> w = {0.0, 1.0, 0.0};
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(rng.Categorical(w), 1u);
+}
+
+TEST(SplitMixTest, DeterministicSequence) {
+  uint64_t s1 = 42, s2 = 42;
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(SplitMix64(&s1), SplitMix64(&s2));
+}
+
+TEST(StatsTest, MeanAndStd) {
+  std::vector<double> xs = {1, 2, 3, 4, 5};
+  EXPECT_DOUBLE_EQ(Mean(xs), 3.0);
+  EXPECT_NEAR(StdDev(xs), std::sqrt(2.5), 1e-12);
+  EXPECT_DOUBLE_EQ(Mean({}), 0.0);
+  EXPECT_DOUBLE_EQ(StdDev({1.0}), 0.0);
+}
+
+TEST(StatsTest, PearsonPerfectCorrelation) {
+  std::vector<double> xs = {1, 2, 3, 4};
+  std::vector<double> ys = {2, 4, 6, 8};
+  EXPECT_NEAR(PearsonCorrelation(xs, ys), 1.0, 1e-12);
+  std::vector<double> yneg = {8, 6, 4, 2};
+  EXPECT_NEAR(PearsonCorrelation(xs, yneg), -1.0, 1e-12);
+}
+
+TEST(StatsTest, PearsonConstantIsZero) {
+  EXPECT_DOUBLE_EQ(PearsonCorrelation({1, 1, 1}, {1, 2, 3}), 0.0);
+}
+
+TEST(StatsTest, SpearmanMonotoneNonlinear) {
+  std::vector<double> xs = {1, 2, 3, 4, 5};
+  std::vector<double> ys = {1, 8, 27, 64, 125};  // monotone, nonlinear
+  EXPECT_NEAR(SpearmanCorrelation(xs, ys), 1.0, 1e-12);
+}
+
+TEST(StatsTest, RanksHandleTies) {
+  auto r = Ranks({10.0, 20.0, 20.0, 30.0});
+  EXPECT_DOUBLE_EQ(r[0], 1.0);
+  EXPECT_DOUBLE_EQ(r[1], 2.5);
+  EXPECT_DOUBLE_EQ(r[2], 2.5);
+  EXPECT_DOUBLE_EQ(r[3], 4.0);
+}
+
+TEST(StatsTest, PercentileEndpointsAndMedian) {
+  std::vector<double> xs = {5, 1, 3, 2, 4};
+  EXPECT_DOUBLE_EQ(Percentile(xs, 0), 1.0);
+  EXPECT_DOUBLE_EQ(Percentile(xs, 100), 5.0);
+  EXPECT_DOUBLE_EQ(Percentile(xs, 50), 3.0);
+}
+
+TEST(StatsTest, PercentileInterpolates) {
+  EXPECT_DOUBLE_EQ(Percentile({0.0, 10.0}, 25), 2.5);
+}
+
+TEST(StatsTest, ParetoFrontExtractsNonDominated) {
+  std::vector<ParetoPoint> pts = {
+      {1.0, 0.5, 0}, {2.0, 0.7, 1}, {2.0, 0.6, 2}, {3.0, 0.65, 3}, {4.0, 0.9, 4}};
+  auto front = ParetoFront(pts);
+  ASSERT_EQ(front.size(), 3u);
+  EXPECT_EQ(front[0].tag, 0);
+  EXPECT_EQ(front[1].tag, 1);
+  EXPECT_EQ(front[2].tag, 4);
+}
+
+TEST(StatsTest, ParetoFrontSingleton) {
+  auto front = ParetoFront({{1.0, 1.0, 7}});
+  ASSERT_EQ(front.size(), 1u);
+  EXPECT_EQ(front[0].tag, 7);
+}
+
+TEST(ParallelTest, CoversFullRange) {
+  std::vector<std::atomic<int>> hits(1000);
+  ParallelFor(1000, [&](int64_t b, int64_t e) {
+    for (int64_t i = b; i < e; ++i) hits[static_cast<size_t>(i)]++;
+  }, /*grain=*/16);
+  for (auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ParallelTest, EmptyAndSmallRanges) {
+  int calls = 0;
+  ParallelFor(0, [&](int64_t, int64_t) { ++calls; });
+  EXPECT_EQ(calls, 0);
+  std::atomic<int64_t> sum{0};
+  ParallelFor(5, [&](int64_t b, int64_t e) {
+    for (int64_t i = b; i < e; ++i) sum += i;
+  });
+  EXPECT_EQ(sum.load(), 10);
+}
+
+TEST(TablePrinterTest, RendersAlignedTable) {
+  TablePrinter t({"name", "value"});
+  t.AddRow({"alpha", "1"});
+  t.AddRow({"bb", "22"});
+  std::ostringstream os;
+  t.Print(os);
+  const std::string out = os.str();
+  EXPECT_NE(out.find("alpha"), std::string::npos);
+  EXPECT_NE(out.find("| name "), std::string::npos);
+}
+
+TEST(TablePrinterTest, FormatHelpers) {
+  EXPECT_EQ(FormatFloat(3.14159, 2), "3.14");
+  EXPECT_EQ(FormatMeanStd(81.53, 0.74, 1), "81.5 ±0.7");
+}
+
+}  // namespace
+}  // namespace mixq

@@ -1,0 +1,317 @@
+// Copyright 2026 MixQ-GNN Authors
+// Tests for the graph container, synthetic dataset generators, CSL, and
+// Laplacian positional encodings.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "graph/csl.h"
+#include "graph/generators.h"
+#include "graph/graph.h"
+#include "graph/laplacian_pe.h"
+
+namespace mixq {
+namespace {
+
+TEST(GraphTest, InDegrees) {
+  Graph g;
+  g.num_nodes = 3;
+  g.edges = {{0, 1, 1.0f}, {0, 2, 1.0f}, {1, 2, 1.0f}};
+  auto deg = g.InDegrees();
+  EXPECT_EQ(deg[0], 2);
+  EXPECT_EQ(deg[1], 1);
+  EXPECT_EQ(deg[2], 0);
+}
+
+TEST(CitationGeneratorTest, MatchesConfig) {
+  CitationConfig c;
+  c.num_nodes = 500;
+  c.num_classes = 4;
+  c.feature_dim = 32;
+  c.avg_degree = 3.0;
+  c.train_per_class = 10;
+  c.val_count = 50;
+  c.test_count = 100;
+  c.seed = 42;
+  NodeDataset ds = GenerateCitation(c);
+  const Graph& g = ds.graph;
+  EXPECT_EQ(g.num_nodes, 500);
+  EXPECT_EQ(g.num_classes, 4);
+  EXPECT_EQ(g.feature_dim(), 32);
+  for (int64_t label : g.labels) {
+    EXPECT_GE(label, 0);
+    EXPECT_LT(label, 4);
+  }
+  // Edge count near 2 * n * avg_degree (undirected stored both ways).
+  EXPECT_GT(g.num_edges(), 500 * 2 * 2);
+  EXPECT_LT(g.num_edges(), 500 * 2 * 5);
+}
+
+TEST(CitationGeneratorTest, SplitsAreDisjointAndSized) {
+  NodeDataset ds = CoraLike(7);
+  const Graph& g = ds.graph;
+  int64_t train = 0, val = 0, test = 0;
+  for (int64_t i = 0; i < g.num_nodes; ++i) {
+    const int m = g.train_mask[static_cast<size_t>(i)] +
+                  g.val_mask[static_cast<size_t>(i)] +
+                  g.test_mask[static_cast<size_t>(i)];
+    EXPECT_LE(m, 1) << "masks overlap at node " << i;
+    train += g.train_mask[static_cast<size_t>(i)];
+    val += g.val_mask[static_cast<size_t>(i)];
+    test += g.test_mask[static_cast<size_t>(i)];
+  }
+  EXPECT_EQ(train, 7 * 20);  // Planetoid: 20 per class
+  EXPECT_EQ(val, 500);
+  EXPECT_EQ(test, 1000);
+}
+
+TEST(CitationGeneratorTest, HomophilyIsPlanted) {
+  NodeDataset ds = CoraLike(3);
+  const Graph& g = ds.graph;
+  int64_t same = 0;
+  for (const auto& e : g.edges) {
+    if (g.labels[static_cast<size_t>(e.row)] == g.labels[static_cast<size_t>(e.col)]) {
+      ++same;
+    }
+  }
+  const double ratio = static_cast<double>(same) / static_cast<double>(g.num_edges());
+  EXPECT_GT(ratio, 0.6);  // config targets 0.81 minus collision losses
+}
+
+TEST(CitationGeneratorTest, EdgesAreSymmetricNoSelfLoops) {
+  NodeDataset ds = CiteSeerLike(5);
+  std::set<std::pair<int64_t, int64_t>> edges;
+  for (const auto& e : ds.graph.edges) {
+    EXPECT_NE(e.row, e.col);
+    edges.insert({e.row, e.col});
+  }
+  for (const auto& [a, b] : edges) {
+    EXPECT_TRUE(edges.count({b, a})) << "missing reverse edge " << b << "->" << a;
+  }
+}
+
+TEST(CitationGeneratorTest, DeterministicPerSeed) {
+  NodeDataset a = CoraLike(11), b = CoraLike(11), c = CoraLike(12);
+  EXPECT_EQ(a.graph.num_edges(), b.graph.num_edges());
+  EXPECT_EQ(a.graph.labels, b.graph.labels);
+  EXPECT_NE(a.graph.labels, c.graph.labels);
+}
+
+TEST(CitationGeneratorTest, FeaturesRowNormalized) {
+  NodeDataset ds = PubMedLike(1);
+  const Graph& g = ds.graph;
+  for (int64_t i = 0; i < std::min<int64_t>(g.num_nodes, 200); ++i) {
+    double s = 0.0;
+    for (int64_t j = 0; j < g.feature_dim(); ++j) s += g.features.at(i, j);
+    if (s > 0.0) EXPECT_NEAR(s, 1.0, 1e-4);
+  }
+}
+
+TEST(MultiLabelGeneratorTest, LabelMatrixDefined) {
+  NodeDataset ds = OgbProteinsLike(1);
+  EXPECT_EQ(ds.metric, "rocauc");
+  ASSERT_TRUE(ds.graph.label_matrix.defined());
+  EXPECT_EQ(ds.graph.label_matrix.rows(), ds.graph.num_nodes);
+  EXPECT_EQ(ds.graph.label_matrix.cols(), 32);
+  // Labels are 0/1.
+  for (float v : ds.graph.label_matrix.data()) {
+    EXPECT_TRUE(v == 0.0f || v == 1.0f);
+  }
+}
+
+TEST(TuGeneratorTest, BalancedClassesAndStats) {
+  TuConfig c;
+  c.num_graphs = 60;
+  c.num_classes = 3;
+  c.avg_nodes = 25.0;
+  c.seed = 2;
+  GraphDataset ds = GenerateTu(c);
+  EXPECT_EQ(ds.graphs.size(), 60u);
+  std::vector<int64_t> counts(3, 0);
+  for (const auto& g : ds.graphs) {
+    ASSERT_GE(g.graph_label, 0);
+    ASSERT_LT(g.graph_label, 3);
+    counts[static_cast<size_t>(g.graph_label)]++;
+    EXPECT_GE(g.num_nodes, 5);
+    EXPECT_TRUE(g.features.defined());
+  }
+  EXPECT_EQ(counts[0], 20);
+  EXPECT_EQ(counts[1], 20);
+  EXPECT_EQ(counts[2], 20);
+  EXPECT_NEAR(ds.AverageNodes(), 25.0, 6.0);
+}
+
+TEST(TuGeneratorTest, DensitySignalOrdersClasses) {
+  TuConfig c;
+  c.num_graphs = 100;
+  c.num_classes = 2;
+  c.avg_nodes = 30.0;
+  c.base_degree = 3.0;
+  c.degree_step = 0.8;
+  c.seed = 3;
+  GraphDataset ds = GenerateTu(c);
+  double deg0 = 0.0, deg1 = 0.0;
+  int64_t n0 = 0, n1 = 0;
+  for (const auto& g : ds.graphs) {
+    const double d = static_cast<double>(g.num_edges()) / g.num_nodes;
+    if (g.graph_label == 0) {
+      deg0 += d;
+      ++n0;
+    } else {
+      deg1 += d;
+      ++n1;
+    }
+  }
+  EXPECT_GT(deg1 / n1, deg0 / n0);  // class 1 denser by construction
+}
+
+TEST(DegreeOneHotTest, EncodesCappedDegree) {
+  Graph g;
+  g.num_nodes = 3;
+  g.edges = {{0, 1, 1.0f}, {0, 2, 1.0f}, {1, 0, 1.0f}};
+  SetDegreeOneHotFeatures(&g, 4);
+  EXPECT_EQ(g.feature_dim(), 4);
+  EXPECT_FLOAT_EQ(g.features.at(0, 2), 1.0f);  // in-degree 2
+  EXPECT_FLOAT_EQ(g.features.at(1, 1), 1.0f);  // in-degree 1
+  EXPECT_FLOAT_EQ(g.features.at(2, 0), 1.0f);  // in-degree 0
+}
+
+TEST(SampleNeighborsTest, CapsInDegree) {
+  NodeDataset ds = CoraLike(1);
+  Graph sampled = SampleNeighbors(ds.graph, 3, 99);
+  auto deg = sampled.InDegrees();
+  for (int64_t d : deg) EXPECT_LE(d, 3);
+  EXPECT_LE(sampled.num_edges(), ds.graph.num_edges());
+}
+
+TEST(BatchTest, DisjointUnion) {
+  TuConfig c;
+  c.num_graphs = 6;
+  c.avg_nodes = 10.0;
+  c.num_classes = 2;
+  c.seed = 1;
+  GraphDataset ds = GenerateTu(c);
+  GraphBatch b = MakeBatch(ds, {0, 2, 4});
+  EXPECT_EQ(b.num_graphs, 3);
+  int64_t expected_nodes = ds.graphs[0].num_nodes + ds.graphs[2].num_nodes +
+                           ds.graphs[4].num_nodes;
+  EXPECT_EQ(b.merged.num_nodes, expected_nodes);
+  EXPECT_EQ(static_cast<int64_t>(b.batch.size()), expected_nodes);
+  // No cross-graph edges.
+  for (const auto& e : b.merged.edges) {
+    EXPECT_EQ(b.batch[static_cast<size_t>(e.row)], b.batch[static_cast<size_t>(e.col)]);
+  }
+  // Labels preserved in order.
+  EXPECT_EQ(b.graph_labels[0], ds.graphs[0].graph_label);
+  EXPECT_EQ(b.graph_labels[2], ds.graphs[4].graph_label);
+}
+
+TEST(CslTest, GraphIsFourRegular) {
+  Graph g = MakeCslGraph(41, 5, 3, 123);
+  EXPECT_EQ(g.num_nodes, 41);
+  EXPECT_EQ(g.graph_label, 3);
+  auto deg = g.InDegrees();
+  for (int64_t d : deg) EXPECT_EQ(d, 4);  // cycle(2) + skip(2)
+  EXPECT_EQ(g.num_edges(), 41 * 4);
+}
+
+TEST(CslTest, DatasetHasCanonicalShape) {
+  GraphDataset ds = MakeCslDataset(/*pe_dim=*/50, /*seed=*/1);
+  EXPECT_EQ(ds.graphs.size(), 150u);
+  EXPECT_EQ(ds.num_classes, 10);
+  EXPECT_EQ(ds.feature_dim, 50);
+  std::vector<int64_t> per_class(10, 0);
+  for (const auto& g : ds.graphs) {
+    per_class[static_cast<size_t>(g.graph_label)]++;
+    EXPECT_EQ(g.num_nodes, 41);
+    EXPECT_EQ(g.feature_dim(), 50);
+  }
+  for (int64_t c : per_class) EXPECT_EQ(c, 15);
+}
+
+TEST(CslTest, IsomorphicCopiesDiffer) {
+  Graph a = MakeCslGraph(41, 2, 0, 1);
+  Graph b = MakeCslGraph(41, 2, 0, 2);
+  // Same degree sequence, different edge sets (node relabelling).
+  std::set<std::pair<int64_t, int64_t>> ea, eb;
+  for (const auto& e : a.edges) ea.insert({e.row, e.col});
+  for (const auto& e : b.edges) eb.insert({e.row, e.col});
+  EXPECT_EQ(ea.size(), eb.size());
+  EXPECT_NE(ea, eb);
+}
+
+TEST(JacobiTest, DiagonalizesKnownMatrix) {
+  // [[2,1],[1,2]] has eigenvalues 1 and 3.
+  auto eig = JacobiEigenSymmetric({2, 1, 1, 2}, 2);
+  EXPECT_NEAR(eig.eigenvalues[0], 1.0, 1e-9);
+  EXPECT_NEAR(eig.eigenvalues[1], 3.0, 1e-9);
+  // Eigenvector for λ=1 is ±(1,-1)/√2.
+  const double v0 = eig.eigenvectors[0], v1 = eig.eigenvectors[2];
+  EXPECT_NEAR(std::fabs(v0), 1.0 / std::sqrt(2.0), 1e-8);
+  EXPECT_NEAR(v0, -v1, 1e-8);
+}
+
+TEST(JacobiTest, ReconstructsRandomSymmetric) {
+  Rng rng(4);
+  const int64_t n = 8;
+  std::vector<double> m(static_cast<size_t>(n * n));
+  for (int64_t i = 0; i < n; ++i) {
+    for (int64_t j = i; j < n; ++j) {
+      const double v = rng.Uniform(-1.0f, 1.0f);
+      m[static_cast<size_t>(i * n + j)] = v;
+      m[static_cast<size_t>(j * n + i)] = v;
+    }
+  }
+  auto eig = JacobiEigenSymmetric(m, n);
+  // Check A v_k = λ_k v_k for every eigenpair.
+  for (int64_t k = 0; k < n; ++k) {
+    for (int64_t i = 0; i < n; ++i) {
+      double av = 0.0;
+      for (int64_t j = 0; j < n; ++j) {
+        av += m[static_cast<size_t>(i * n + j)] *
+              eig.eigenvectors[static_cast<size_t>(j * n + k)];
+      }
+      EXPECT_NEAR(av, eig.eigenvalues[static_cast<size_t>(k)] *
+                          eig.eigenvectors[static_cast<size_t>(i * n + k)],
+                  1e-7);
+    }
+  }
+}
+
+TEST(LaplacianPeTest, EncodingIsBoundedAndNonTrivial) {
+  Graph g = MakeCslGraph(41, 3, 1, 5);
+  Rng rng(6);
+  SetLaplacianPositionalEncoding(&g, 50, &rng);
+  EXPECT_EQ(g.feature_dim(), 50);
+  double norm = 0.0;
+  for (float v : g.features.data()) {
+    EXPECT_LE(std::fabs(v), 1.001f);  // eigenvector entries
+    norm += static_cast<double>(v) * v;
+  }
+  EXPECT_GT(norm, 1.0);  // 40 unit-norm eigenvectors present
+  // Columns beyond n-1 are zero padding.
+  for (int64_t i = 0; i < g.num_nodes; ++i) {
+    for (int64_t j = 40; j < 50; ++j) EXPECT_FLOAT_EQ(g.features.at(i, j), 0.0f);
+  }
+}
+
+TEST(LaplacianTest, NormalizedLaplacianDiagonalIsOne) {
+  Graph g = MakeCslGraph(11, 2, 0, 1);
+  auto lap = NormalizedLaplacianDense(g);
+  for (int64_t i = 0; i < g.num_nodes; ++i) {
+    EXPECT_NEAR(lap[static_cast<size_t>(i * g.num_nodes + i)], 1.0, 1e-9);
+  }
+}
+
+TEST(NamedDatasetsTest, Table2ShapesMatch) {
+  EXPECT_EQ(CoraLike(1).graph.num_nodes, 2708);
+  EXPECT_EQ(CoraLike(1).graph.num_classes, 7);
+  EXPECT_EQ(CiteSeerLike(1).graph.num_nodes, 3327);
+  EXPECT_EQ(CiteSeerLike(1).graph.num_classes, 6);
+  EXPECT_EQ(PubMedLike(1).graph.num_classes, 3);
+  EXPECT_EQ(ArxivLike(1).graph.num_classes, 40);
+  EXPECT_EQ(IgbLike(1).graph.num_classes, 19);
+}
+
+}  // namespace
+}  // namespace mixq

@@ -1,0 +1,167 @@
+// Copyright 2026 MixQ-GNN Authors
+// End-to-end node-classification integration tests: the full pipelines that
+// back Tables 3-7, on reduced-size datasets so they run in seconds.
+#include <gtest/gtest.h>
+
+#include "core/pipelines.h"
+
+namespace mixq {
+namespace {
+
+NodeDataset SmallCitation(uint64_t seed) {
+  CitationConfig c;
+  c.name = "small-citation";
+  c.num_nodes = 300;
+  c.num_classes = 4;
+  c.feature_dim = 32;
+  c.avg_degree = 3.0;
+  c.homophily = 0.85;
+  c.train_per_class = 15;
+  c.val_count = 60;
+  c.test_count = 120;
+  c.seed = seed;
+  return GenerateCitation(c);
+}
+
+NodeExperimentConfig SmallConfig(NodeModelKind model = NodeModelKind::kGcn) {
+  NodeExperimentConfig cfg;
+  cfg.model = model;
+  cfg.hidden = 16;
+  cfg.num_layers = 2;
+  cfg.dropout = 0.3f;
+  cfg.train.epochs = 60;
+  cfg.train.lr = 0.05f;
+  return cfg;
+}
+
+TEST(NodeIntegration, Fp32GcnLearnsHomophilousGraph) {
+  ExperimentResult res =
+      RunNodeExperiment(SmallCitation(1), SmallConfig(), SchemeSpec::Fp32());
+  EXPECT_GT(res.test_metric, 0.6) << "FP32 GCN failed to learn";
+  EXPECT_DOUBLE_EQ(res.avg_bits, 32.0);
+  EXPECT_GT(res.gbitops, 0.0);
+  EXPECT_GT(res.model_param_count, 0);
+}
+
+TEST(NodeIntegration, Int8QatTracksFp32) {
+  ExperimentResult fp32 =
+      RunNodeExperiment(SmallCitation(2), SmallConfig(), SchemeSpec::Fp32());
+  ExperimentResult int8 =
+      RunNodeExperiment(SmallCitation(2), SmallConfig(), SchemeSpec::Qat(8));
+  EXPECT_GT(int8.test_metric, fp32.test_metric - 0.12);
+  EXPECT_NEAR(int8.avg_bits, 8.0, 0.5);
+  EXPECT_LT(int8.gbitops, fp32.gbitops / 3.0);
+}
+
+TEST(NodeIntegration, DegreeQuantRuns) {
+  ExperimentResult dq =
+      RunNodeExperiment(SmallCitation(3), SmallConfig(), SchemeSpec::Dq(4));
+  EXPECT_GT(dq.test_metric, 0.3);
+  EXPECT_NEAR(dq.avg_bits, 4.0, 0.5);
+}
+
+TEST(NodeIntegration, A2qLearnsWithPerNodeBits) {
+  SchemeSpec spec = SchemeSpec::A2q();
+  spec.a2q_memory_lambda = 1e-3;
+  ExperimentResult a2q = RunNodeExperiment(SmallCitation(4), SmallConfig(), spec);
+  EXPECT_GT(a2q.test_metric, 0.4);
+  EXPECT_LT(a2q.avg_bits, 8.5);     // learnable bits moved below the max
+  EXPECT_GT(a2q.quant_param_count, 0);
+  // A2Q's overhead: 2 params per node per component (Table 1's criticism).
+  EXPECT_GE(a2q.quant_param_count, 2 * 300);
+}
+
+TEST(NodeIntegration, MixQSearchSelectsAndTrains) {
+  SchemeSpec spec = SchemeSpec::MixQ(/*lambda=*/0.1);
+  spec.search_epochs = 25;
+  ExperimentResult res = RunNodeExperiment(SmallCitation(5), SmallConfig(), spec);
+  // 2-layer GCN: 9 components, all assigned a searched width.
+  EXPECT_EQ(res.selected_bits.size(), 9u);
+  for (const auto& [id, b] : res.selected_bits) {
+    EXPECT_TRUE(b == 2 || b == 4 || b == 8) << id << "=" << b;
+  }
+  EXPECT_GT(res.test_metric, 0.4);
+  EXPECT_LT(res.avg_bits, 32.0);
+  EXPECT_GT(res.gbitops, 0.0);
+}
+
+TEST(NodeIntegration, MixQLambdaControlsBits) {
+  // Stronger penalty => fewer average bits (Fig. 9's monotone trend).
+  SchemeSpec gentle = SchemeSpec::MixQ(-1e-8);
+  gentle.search_epochs = 25;
+  SchemeSpec harsh = SchemeSpec::MixQ(5.0);
+  harsh.search_epochs = 25;
+  ExperimentResult g = RunNodeExperiment(SmallCitation(6), SmallConfig(), gentle);
+  ExperimentResult h = RunNodeExperiment(SmallCitation(6), SmallConfig(), harsh);
+  EXPECT_LE(h.avg_bits, g.avg_bits + 0.2);
+}
+
+TEST(NodeIntegration, MixQPlusDqIntegration) {
+  SchemeSpec spec = SchemeSpec::MixQDq(0.1);
+  spec.search_epochs = 20;
+  ExperimentResult res = RunNodeExperiment(SmallCitation(7), SmallConfig(), spec);
+  EXPECT_GT(res.test_metric, 0.4);
+  EXPECT_FALSE(res.selected_bits.empty());
+}
+
+TEST(NodeIntegration, RandomBaselineTracksAssignment) {
+  SchemeSpec spec;
+  spec.kind = SchemeSpec::Kind::kRandom;
+  spec.seed = 9;
+  ExperimentResult res = RunNodeExperiment(SmallCitation(8), SmallConfig(), spec);
+  EXPECT_EQ(res.selected_bits.size(), 9u);
+  SchemeSpec spec8 = spec;
+  spec8.kind = SchemeSpec::Kind::kRandomInt8;
+  ExperimentResult res8 = RunNodeExperiment(SmallCitation(8), SmallConfig(), spec8);
+  // Random+INT8 pins the prediction output (last component) to 8 bits.
+  EXPECT_EQ(res8.selected_bits.at("gcn1/agg"), 8);
+}
+
+TEST(NodeIntegration, SageBackboneWithSampling) {
+  NodeExperimentConfig cfg = SmallConfig(NodeModelKind::kSage);
+  cfg.sample_max_degree = 5;
+  ExperimentResult res =
+      RunNodeExperiment(SmallCitation(10), cfg, SchemeSpec::Fp32());
+  EXPECT_GT(res.test_metric, 0.5);
+  SchemeSpec mixq = SchemeSpec::MixQ(0.1);
+  mixq.search_epochs = 20;
+  ExperimentResult qres = RunNodeExperiment(SmallCitation(10), cfg, mixq);
+  EXPECT_EQ(qres.selected_bits.size(), 15u);  // 1 + 2*7 SAGE components
+}
+
+TEST(NodeIntegration, MultiLabelRocAucPath) {
+  CitationConfig c;
+  c.num_nodes = 250;
+  c.num_classes = 4;
+  c.feature_dim = 24;
+  c.avg_degree = 4.0;
+  c.train_per_class = 30;
+  c.val_count = 50;
+  c.test_count = 80;
+  c.seed = 12;
+  NodeDataset ds = GenerateMultiLabelCitation(c, /*num_tasks=*/8);
+  NodeExperimentConfig cfg = SmallConfig(NodeModelKind::kSage);
+  cfg.train.epochs = 40;
+  ExperimentResult res = RunNodeExperiment(ds, cfg, SchemeSpec::Fp32());
+  EXPECT_GT(res.test_metric, 0.55);  // ROC-AUC above chance
+}
+
+TEST(NodeIntegration, RepeatAggregatesStatistics) {
+  auto make = [](uint64_t seed) { return SmallCitation(seed); };
+  RepeatedResult agg =
+      RepeatNodeExperiment(make, SmallConfig(), SchemeSpec::Qat(8), /*repeats=*/3);
+  EXPECT_EQ(agg.runs.size(), 3u);
+  EXPECT_GT(agg.mean_metric, 0.4);
+  EXPECT_GE(agg.std_metric, 0.0);
+  EXPECT_NEAR(agg.mean_bits, 8.0, 0.5);
+}
+
+TEST(NodeIntegration, SchemeLabels) {
+  EXPECT_EQ(SchemeLabel(SchemeSpec::Fp32()), "FP32");
+  EXPECT_EQ(SchemeLabel(SchemeSpec::Dq(4)), "DQ-INT4");
+  EXPECT_EQ(SchemeLabel(SchemeSpec::A2q()), "A2Q");
+  EXPECT_EQ(SchemeLabel(SchemeSpec::MixQ(1.0)), "MixQ(l=1)");
+}
+
+}  // namespace
+}  // namespace mixq

@@ -1,0 +1,180 @@
+// Copyright 2026 MixQ-GNN Authors
+// Tests for the full network architectures and their BitOPs accounting.
+#include <gtest/gtest.h>
+
+#include "graph/csl.h"
+#include "graph/generators.h"
+#include "nn/models.h"
+#include "quant/scheme.h"
+#include "tensor/ops.h"
+
+namespace mixq {
+namespace {
+
+NodeDataset TinyCitation(uint64_t seed = 1) {
+  CitationConfig c;
+  c.num_nodes = 40;
+  c.num_classes = 3;
+  c.feature_dim = 8;
+  c.avg_degree = 2.0;
+  c.train_per_class = 5;
+  c.val_count = 10;
+  c.test_count = 10;
+  c.seed = seed;
+  return GenerateCitation(c);
+}
+
+TEST(GcnNetTest, PaperComponentCount) {
+  // A 2-layer GCN exposes exactly the paper's 9 components (Fig. 2).
+  Rng rng(1);
+  GcnNet net({8, 16, 3, 2, 0.0f}, &rng);
+  auto ids = net.ComponentIds();
+  EXPECT_EQ(ids.size(), 9u);
+  EXPECT_EQ(ids[0], "model/x");
+  EXPECT_EQ(ids[1], "gcn0/weight");
+  EXPECT_EQ(ids[4], "gcn0/agg");
+  EXPECT_EQ(ids[8], "gcn1/agg");
+}
+
+TEST(GcnNetTest, ForwardShapeAndBackward) {
+  NodeDataset ds = TinyCitation();
+  Rng rng(2), drop(3);
+  GcnNet net({ds.graph.feature_dim(), 16, ds.graph.num_classes, 2, 0.5f}, &rng);
+  auto op = MakeOperator(GcnNormalize(ds.graph.Adjacency()));
+  NoQuantScheme fp32;
+  Tensor logits = net.Forward(ds.graph.features, op, &fp32, &drop);
+  EXPECT_EQ(logits.shape(), Shape(40, 3));
+  Sum(logits).Backward();
+  for (auto& p : net.Parameters()) EXPECT_FALSE(p.grad().empty());
+}
+
+TEST(GcnNetTest, BitOpsClosedFormFp32) {
+  // 2-layer GCN, n nodes, m nnz, f->h->c: ops =
+  // 2nfh + 2mh + nh (relu) + 2nhc + 2mc, all at 32 bits.
+  Rng rng(3);
+  const int64_t n = 100, m = 500, f = 32, h = 64, c = 7;
+  GcnNet net({f, h, c, 2, 0.0f}, &rng);
+  NoQuantScheme fp32;
+  BitOpsReport report = net.ComputeBitOps(n, m, fp32);
+  const double expected_ops = 2.0 * n * f * h + 2.0 * m * h + n * h +
+                              2.0 * n * h * c + 2.0 * m * c;
+  EXPECT_DOUBLE_EQ(report.TotalOps(), expected_ops);
+  EXPECT_DOUBLE_EQ(report.AverageBits(), 32.0);
+  EXPECT_DOUBLE_EQ(report.TotalBitOps(), expected_ops * 32.0);
+}
+
+TEST(GcnNetTest, BitOpsScalesWithAssignedBits) {
+  Rng rng(4);
+  GcnNet net({32, 64, 7, 2, 0.0f}, &rng);
+  NoQuantScheme fp32;
+  // INT8-everywhere must be exactly 4x cheaper than FP32 (paper Table 3:
+  // DQ-INT8 = FP32 / 4).
+  UniformQatScheme int8(8);
+  // Touch every component so EffectiveBits resolves.
+  NodeDataset ds = TinyCitation();
+  auto op = MakeOperator(GcnNormalize(ds.graph.Adjacency()));
+  Rng rng2(5), drop(6);
+  GcnNet net2({ds.graph.feature_dim(), 64, ds.graph.num_classes, 2, 0.0f}, &rng2);
+  net2.Forward(ds.graph.features, op, &int8, &drop);
+  BitOpsReport r32 = net2.ComputeBitOps(100, 500, fp32);
+  BitOpsReport r8 = net2.ComputeBitOps(100, 500, int8);
+  EXPECT_NEAR(r32.TotalBitOps() / r8.TotalBitOps(), 4.0, 1e-9);
+}
+
+TEST(GcnNetTest, CoraScaleFp32MatchesPaperOrder) {
+  // Paper: 2-layer GCN on Cora (hidden 64) = 16.11 GBitOPs. With our reduced
+  // feature dim (256 vs 1433) the dominant term shrinks ~5.6x; check the
+  // formula reproduces the paper number when fed the original sizes.
+  Rng rng(5);
+  GcnNet net({1433, 64, 7, 2, 0.0f}, &rng);
+  NoQuantScheme fp32;
+  // Cora: 2708 nodes; Â has |E| + n = 10556 + 2708 = 13264 stored entries.
+  BitOpsReport report = net.ComputeBitOps(2708, 13264, fp32);
+  EXPECT_NEAR(report.GigaBitOps(), 16.11, 0.8);
+}
+
+TEST(SageNetTest, ComponentIdsAndForward) {
+  NodeDataset ds = TinyCitation(2);
+  Rng rng(6), drop(7);
+  SageNet net({ds.graph.feature_dim(), 16, ds.graph.num_classes, 2, 0.0f}, &rng);
+  EXPECT_EQ(net.ComponentIds().size(), 1u + 2u * 7u);
+  auto op = MakeOperator(RowNormalize(ds.graph.Adjacency()));
+  NoQuantScheme fp32;
+  Tensor logits = net.Forward(ds.graph.features, op, &fp32, &drop);
+  EXPECT_EQ(logits.shape(), Shape(40, 3));
+  BitOpsReport r = net.ComputeBitOps(40, op->nnz(), fp32);
+  EXPECT_GT(r.TotalOps(), 0.0);
+}
+
+TEST(GinGraphNetTest, ForwardOnBatch) {
+  TuConfig c;
+  c.num_graphs = 8;
+  c.avg_nodes = 12.0;
+  c.num_classes = 2;
+  c.seed = 3;
+  GraphDataset ds = GenerateTu(c);
+  GraphBatch batch = MakeBatch(ds, {0, 1, 2, 3});
+  Rng rng(8);
+  GinGraphNet net({ds.feature_dim, 16, 2, 3, true}, &rng);
+  auto op = MakeOperator(batch.merged.Adjacency());
+  NoQuantScheme fp32;
+  net.SetTraining(true);
+  Tensor logits =
+      net.Forward(batch.merged.features, op, batch.batch, batch.num_graphs, &fp32);
+  EXPECT_EQ(logits.shape(), Shape(4, 2));
+  Sum(logits).Backward();
+  int with_grad = 0;
+  for (auto& p : net.Parameters()) with_grad += p.grad().empty() ? 0 : 1;
+  EXPECT_GT(with_grad, 5);
+}
+
+TEST(GinGraphNetTest, ComponentIdsCoverLayersAndHead) {
+  Rng rng(9);
+  GinGraphNet net({8, 16, 2, 5, true}, &rng);
+  auto ids = net.ComponentIds();
+  // 1 (x) + 5*7 + 1 (pool) + 4 (head) = 41.
+  EXPECT_EQ(ids.size(), 41u);
+}
+
+TEST(GcnGraphNetTest, CslShapedForward) {
+  GraphDataset csl = MakeCslDataset(/*pe_dim=*/10, /*seed=*/1);
+  GraphBatch batch = MakeBatch(csl, {0, 15, 30});
+  Rng rng(10);
+  GcnGraphNet net({10, 16, 10, 4}, &rng);
+  auto op = MakeOperator(GcnNormalize(batch.merged.Adjacency()));
+  NoQuantScheme fp32;
+  Tensor logits =
+      net.Forward(batch.merged.features, op, batch.batch, batch.num_graphs, &fp32);
+  EXPECT_EQ(logits.shape(), Shape(3, 10));
+  BitOpsReport r = net.ComputeBitOps(batch.merged.num_nodes, op->nnz(), 3, fp32);
+  EXPECT_GT(r.GigaBitOps(), 0.0);
+}
+
+TEST(Fp32StackNetTest, AllSixTypesTrainable) {
+  NodeDataset ds = TinyCitation(3);
+  auto gcn_op = MakeOperator(GcnNormalize(ds.graph.Adjacency()));
+  auto raw_op = MakeOperator(ds.graph.Adjacency());
+  using LT = Fp32StackNet::LayerType;
+  for (LT type : {LT::kGcn, LT::kGat, LT::kGin, LT::kTransformer, LT::kTag,
+                  LT::kSuperGat}) {
+    Rng rng(20 + static_cast<int>(type)), drop(30);
+    Fp32StackNet net(type, ds.graph.feature_dim(), 8, ds.graph.num_classes, 2, &rng);
+    Tensor logits = net.Forward(ds.graph.features, gcn_op, raw_op, &drop);
+    EXPECT_EQ(logits.shape(), Shape(40, 3)) << Fp32StackNet::LayerTypeName(type);
+    Sum(logits).Backward();
+    EXPECT_GT(net.ParameterCount(), 0);
+    EXPECT_GT(net.CountOps(40, raw_op->nnz()), 0.0);
+  }
+}
+
+TEST(Fp32StackNetTest, OpsGrowWithDepth) {
+  Rng rng(11);
+  Fp32StackNet a(Fp32StackNet::LayerType::kGcn, 16, 8, 3, 1, &rng);
+  Rng rng2(11);
+  Fp32StackNet b(Fp32StackNet::LayerType::kGcn, 16, 8, 3, 4, &rng2);
+  EXPECT_GT(b.CountOps(100, 400), a.CountOps(100, 400));
+  EXPECT_GT(b.ParameterCount(), a.ParameterCount());
+}
+
+}  // namespace
+}  // namespace mixq

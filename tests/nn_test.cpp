@@ -1,0 +1,228 @@
+// Copyright 2026 MixQ-GNN Authors
+// Tests for layers: Linear/MLP, GCN/GIN/SAGE convs, attention ops & convs.
+#include <gtest/gtest.h>
+
+#include "graph/generators.h"
+#include "nn/attention_convs.h"
+#include "nn/gcn_conv.h"
+#include "nn/gin_conv.h"
+#include "nn/linear.h"
+#include "nn/sage_conv.h"
+#include "quant/scheme.h"
+#include "tensor/gradcheck.h"
+#include "tensor/ops.h"
+
+namespace mixq {
+namespace {
+
+SparseOperatorPtr SmallGraphOp(bool gcn_norm) {
+  // 4-node undirected cycle.
+  std::vector<CooEntry> edges;
+  for (int64_t i = 0; i < 4; ++i) {
+    edges.push_back({i, (i + 1) % 4, 1.0f});
+    edges.push_back({(i + 1) % 4, i, 1.0f});
+  }
+  CsrMatrix adj = CsrMatrix::FromCoo(4, 4, edges);
+  return MakeOperator(gcn_norm ? GcnNormalize(adj) : adj);
+}
+
+NoQuantScheme* Fp32() {
+  static NoQuantScheme scheme;
+  return &scheme;
+}
+
+TEST(LinearTest, ForwardShapeAndBias) {
+  Rng rng(1);
+  Linear lin(3, 5, "l", &rng, /*bias=*/true);
+  Tensor x = Tensor::RandomUniform(Shape(7, 3), &rng, -1.0f, 1.0f);
+  Tensor y = lin.Forward(x, Fp32());
+  EXPECT_EQ(y.shape(), Shape(7, 5));
+  EXPECT_EQ(lin.Parameters().size(), 2u);
+}
+
+TEST(LinearTest, GradientsFlowToWeightAndBias) {
+  Rng rng(2);
+  Linear lin(3, 2, "l", &rng);
+  Tensor x = Tensor::RandomUniform(Shape(4, 3), &rng, -1.0f, 1.0f);
+  Sum(lin.Forward(x, Fp32())).Backward();
+  for (auto& p : lin.Parameters()) {
+    ASSERT_FALSE(p.grad().empty());
+  }
+}
+
+TEST(LinearTest, QuantizedPathUsesScheme) {
+  Rng rng(3);
+  Linear lin(4, 4, "l", &rng, /*bias=*/false);
+  UniformQatScheme scheme(2);
+  Tensor x = Tensor::RandomUniform(Shape(4, 4), &rng, -1.0f, 1.0f);
+  lin.Forward(x, &scheme);
+  EXPECT_DOUBLE_EQ(scheme.EffectiveBits("l/weight", 32.0), 2.0);
+  EXPECT_DOUBLE_EQ(scheme.EffectiveBits("l/out", 32.0), 2.0);
+}
+
+TEST(MlpTest, TwoLayersWithBatchNorm) {
+  Rng rng(4);
+  Mlp mlp(3, 8, 2, "m", &rng, /*batch_norm=*/true);
+  Tensor x = Tensor::RandomUniform(Shape(10, 3), &rng, -1.0f, 1.0f);
+  mlp.SetTraining(true);
+  Tensor y = mlp.Forward(x, Fp32());
+  EXPECT_EQ(y.shape(), Shape(10, 2));
+  // fc1 (w+b), fc2 (w+b), gamma, beta.
+  EXPECT_EQ(mlp.Parameters().size(), 6u);
+  mlp.SetTraining(false);
+  Tensor ye = mlp.Forward(x, Fp32());
+  EXPECT_EQ(ye.shape(), Shape(10, 2));
+}
+
+TEST(GcnConvTest, ForwardShapeAndComponents) {
+  Rng rng(5);
+  GcnConv conv(3, 6, "g0", &rng);
+  auto op = SmallGraphOp(true);
+  Tensor x = Tensor::RandomUniform(Shape(4, 3), &rng, -1.0f, 1.0f);
+  UniformQatScheme scheme(8);
+  Tensor y = conv.Forward(x, op, &scheme);
+  EXPECT_EQ(y.shape(), Shape(4, 6));
+  auto ids = scheme.ComponentIds();
+  // weight, linear_out, adj, agg.
+  EXPECT_EQ(ids.size(), 4u);
+}
+
+TEST(GcnConvTest, Fp32FastPathKeepsExactSpmm) {
+  Rng rng(6);
+  GcnConv conv(3, 3, "g0", &rng);
+  auto op = SmallGraphOp(true);
+  Tensor x = Tensor::RandomUniform(Shape(4, 3), &rng, -1.0f, 1.0f);
+  Tensor y = conv.Forward(x, op, Fp32());
+  // Manual reference: Â (X Θ).
+  Tensor ref = Spmm(op, MatMul(x, conv.Parameters()[0]));
+  for (size_t i = 0; i < y.data().size(); ++i) {
+    EXPECT_NEAR(y.data()[i], ref.data()[i], 1e-5);
+  }
+}
+
+TEST(GcnConvTest, BackwardReachesWeights) {
+  Rng rng(7);
+  GcnConv conv(3, 2, "g0", &rng);
+  auto op = SmallGraphOp(true);
+  Tensor x = Tensor::RandomUniform(Shape(4, 3), &rng, -1.0f, 1.0f);
+  Sum(conv.Forward(x, op, Fp32())).Backward();
+  EXPECT_FALSE(conv.Parameters()[0].grad().empty());
+}
+
+TEST(GinConvTest, EpsilonCombinesSelfAndNeighbors) {
+  Rng rng(8);
+  GinConv conv(2, 4, 4, "gin0", &rng, /*batch_norm=*/false);
+  auto op = SmallGraphOp(false);
+  Tensor x = Tensor::RandomUniform(Shape(4, 2), &rng, -1.0f, 1.0f);
+  Tensor y = conv.Forward(x, op, Fp32());
+  EXPECT_EQ(y.shape(), Shape(4, 4));
+  EXPECT_FLOAT_EQ(conv.epsilon(), 0.0f);
+  Sum(y).Backward();
+  // ε is learnable: must receive gradient.
+  EXPECT_FALSE(conv.Parameters()[0].grad().empty());
+}
+
+TEST(SageConvTest, RootPlusNeighborDecomposition) {
+  Rng rng(9);
+  SageConv conv(3, 2, "s0", &rng);
+  std::vector<CooEntry> edges = {{0, 1, 1.0f}};  // node 0 has one in-neighbor
+  CsrMatrix adj = CsrMatrix::FromCoo(2, 2, edges);
+  auto op = MakeOperator(RowNormalize(adj));
+  Tensor x = Tensor::RandomUniform(Shape(2, 3), &rng, -1.0f, 1.0f);
+  Tensor y = conv.Forward(x, op, Fp32());
+  EXPECT_EQ(y.shape(), Shape(2, 2));
+  // Node 1 has no in-edges: output = root transform only (plus bias).
+  Sum(y).Backward();
+  EXPECT_FALSE(conv.Parameters()[0].grad().empty());
+}
+
+TEST(AttentionOpsTest, GatAggregateRowsAreConvexCombinations) {
+  auto op = SmallGraphOp(false);
+  Rng rng(10);
+  Tensor s = Tensor::Zeros(Shape(4));
+  Tensor t = Tensor::Zeros(Shape(4));
+  Tensor z = Tensor::RandomUniform(Shape(4, 3), &rng, 0.0f, 1.0f);
+  Tensor y = GatAggregate(op, s, t, z);
+  // Uniform attention (all logits equal): y_i = mean of neighbors.
+  for (int64_t i = 0; i < 4; ++i) {
+    for (int64_t j = 0; j < 3; ++j) {
+      const float expect =
+          0.5f * (z.at((i + 1) % 4, j) + z.at((i + 3) % 4, j));
+      EXPECT_NEAR(y.at(i, j), expect, 1e-5);
+    }
+  }
+}
+
+TEST(AttentionOpsTest, GatGradients) {
+  auto op = SmallGraphOp(false);
+  Rng rng(11);
+  Tensor s = Tensor::RandomUniform(Shape(4), &rng, -0.5f, 0.5f);
+  Tensor t = Tensor::RandomUniform(Shape(4), &rng, -0.5f, 0.5f);
+  Tensor z = Tensor::RandomUniform(Shape(4, 3), &rng, -1.0f, 1.0f);
+  s.SetRequiresGrad(true);
+  t.SetRequiresGrad(true);
+  auto loss = [&] { return Sum(Mul(GatAggregate(op, s, t, z),
+                                   GatAggregate(op, s, t, z))); };
+  EXPECT_TRUE(CheckGradient(z, loss).ok());
+  EXPECT_TRUE(CheckGradient(s, loss).ok());
+  EXPECT_TRUE(CheckGradient(t, loss).ok());
+}
+
+TEST(AttentionOpsTest, DotAttentionGradients) {
+  auto op = SmallGraphOp(false);
+  Rng rng(12);
+  Tensor q = Tensor::RandomUniform(Shape(4, 3), &rng, -1.0f, 1.0f);
+  Tensor k = Tensor::RandomUniform(Shape(4, 3), &rng, -1.0f, 1.0f);
+  Tensor v = Tensor::RandomUniform(Shape(4, 2), &rng, -1.0f, 1.0f);
+  k.SetRequiresGrad(true);
+  v.SetRequiresGrad(true);
+  auto loss = [&] {
+    Tensor y = DotAttentionAggregate(op, q, k, v, 0.57f);
+    return Sum(Mul(y, y));
+  };
+  EXPECT_TRUE(CheckGradient(q, loss).ok());
+  EXPECT_TRUE(CheckGradient(k, loss).ok());
+  EXPECT_TRUE(CheckGradient(v, loss).ok());
+}
+
+TEST(AttentionOpsTest, EmptyRowsYieldZeros) {
+  CsrMatrix adj = CsrMatrix::FromCoo(3, 3, {{0, 1, 1.0f}});  // rows 1,2 empty
+  auto op = MakeOperator(adj);
+  Rng rng(13);
+  Tensor s = Tensor::Zeros(Shape(3));
+  Tensor t = Tensor::Zeros(Shape(3));
+  Tensor z = Tensor::RandomUniform(Shape(3, 2), &rng, 1.0f, 2.0f);
+  Tensor y = GatAggregate(op, s, t, z);
+  EXPECT_FLOAT_EQ(y.at(1, 0), 0.0f);
+  EXPECT_FLOAT_EQ(y.at(2, 1), 0.0f);
+  EXPECT_GT(y.at(0, 0), 0.0f);
+}
+
+TEST(AttentionConvsTest, AllVariantsForwardAndBackward) {
+  Rng rng(14);
+  auto raw = SmallGraphOp(false);
+  auto gcn = SmallGraphOp(true);
+  Tensor x = Tensor::RandomUniform(Shape(4, 3), &rng, -1.0f, 1.0f);
+
+  GatConv gat(3, 5, "gat", &rng);
+  Sum(gat.Forward(x, raw)).Backward();
+  for (auto& p : gat.Parameters()) EXPECT_FALSE(p.grad().empty());
+
+  TransformerConv tf(3, 5, "tf", &rng);
+  Sum(tf.Forward(x, raw)).Backward();
+  for (auto& p : tf.Parameters()) EXPECT_FALSE(p.grad().empty());
+
+  SuperGatConv sg(3, 5, "sg", &rng);
+  Sum(sg.Forward(x, raw)).Backward();
+  for (auto& p : sg.Parameters()) EXPECT_FALSE(p.grad().empty());
+
+  TagConv tag(3, 5, 2, "tag", &rng);
+  Tensor y = tag.Forward(x, gcn);
+  EXPECT_EQ(y.shape(), Shape(4, 5));
+  EXPECT_EQ(tag.Parameters().size(), 3u);  // K+1 weights
+  Sum(y).Backward();
+  for (auto& p : tag.Parameters()) EXPECT_FALSE(p.grad().empty());
+}
+
+}  // namespace
+}  // namespace mixq

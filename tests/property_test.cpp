@@ -1,0 +1,182 @@
+// Copyright 2026 MixQ-GNN Authors
+// Property-based / parameterized sweeps over invariants that must hold for
+// every configuration: quantization error bounds, idempotence, Theorem-1
+// exactness across graph shapes, Pareto dominance, GCN operator spectra.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <tuple>
+
+#include "common/stats.h"
+#include "quant/fused_mp.h"
+#include "quant/quant_params.h"
+#include "sparse/csr.h"
+
+namespace mixq {
+namespace {
+
+// ---- Quantization invariants across (bits, symmetric, range) ----------------
+
+class QuantInvariantTest
+    : public ::testing::TestWithParam<std::tuple<int, bool, float>> {};
+
+TEST_P(QuantInvariantTest, ErrorBoundedIdempotentMonotone) {
+  const auto [bits, symmetric, range] = GetParam();
+  QuantParams p = ParamsFromRange(-range, range, bits, symmetric);
+  Rng rng(1000 + bits);
+  for (int i = 0; i < 300; ++i) {
+    const float x = rng.Uniform(-range, range);
+    const float q = FakeQuantValue(x, p);
+    // 1. Error bound within the representable range.
+    EXPECT_LE(std::fabs(q - x), p.scale * 0.5f + 1e-5f) << "bits=" << bits;
+    // 2. Idempotence: quantizing a grid point is exact.
+    EXPECT_NEAR(FakeQuantValue(q, p), q, 1e-6f);
+    // 3. Monotonicity: x1 <= x2 => Q(x1) <= Q(x2).
+    const float x2 = rng.Uniform(-range, range);
+    if (x <= x2) {
+      EXPECT_LE(FakeQuantValue(x, p), FakeQuantValue(x2, p) + 1e-6f);
+    }
+  }
+  // 4. Out-of-range values clamp to the representable extremes.
+  const float top = FakeQuantValue(10.0f * range, p);
+  const float bot = FakeQuantValue(-10.0f * range, p);
+  EXPECT_NEAR(top, static_cast<float>(p.qmax() - p.zero_point) * p.scale, 1e-5f);
+  EXPECT_NEAR(bot, static_cast<float>(p.qmin() - p.zero_point) * p.scale, 1e-5f);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, QuantInvariantTest,
+    ::testing::Combine(::testing::Values(2, 3, 4, 6, 8, 16),
+                       ::testing::Bool(),
+                       ::testing::Values(0.5f, 1.0f, 8.0f)),
+    [](const auto& info) {
+      return "b" + std::to_string(std::get<0>(info.param)) +
+             (std::get<1>(info.param) ? "sym" : "asym") + "r" +
+             std::to_string(static_cast<int>(std::get<2>(info.param) * 10));
+    });
+
+// ---- Theorem 1 across graph shapes and densities -----------------------------
+
+class FusedShapeTest
+    : public ::testing::TestWithParam<std::tuple<int64_t, int64_t, double>> {};
+
+TEST_P(FusedShapeTest, FusedEqualsReferenceEverywhere) {
+  const auto [n, f, density] = GetParam();
+  Rng rng(static_cast<uint64_t>(n * 131 + f));
+  std::vector<CooEntry> entries;
+  for (int64_t i = 0; i < n; ++i) {
+    for (int64_t j = 0; j < n; ++j) {
+      if (rng.Bernoulli(density)) entries.push_back({i, j, rng.Uniform(-1.0f, 1.0f)});
+    }
+  }
+  if (entries.empty()) entries.push_back({0, 0, 0.5f});
+  CsrMatrix a = CsrMatrix::FromCoo(n, n, entries);
+  Tensor x = Tensor::RandomUniform(Shape(n, f), &rng, -2.0f, 2.0f);
+  QuantParams pa = ParamsFromRange(-1.0f, 1.0f, 8, true);
+  QuantParams px = ParamsFromRange(-2.0f, 2.0f, 4, false);
+  QuantParams py = ParamsFromRange(-10.0f, 10.0f, 16, true);
+  QuantizedSparse qa = QuantizeCsr(a, pa);
+  QuantizedDense qx = QuantizeDense(x, px);
+  QuantizedDense fused = FusedQuantizedSpmm(a, qa, qx, py);
+  QuantizedDense ref = ReferenceQuantizedSpmm(a, qa, qx, py);
+  ASSERT_EQ(fused.q.size(), ref.q.size());
+  for (size_t i = 0; i < fused.q.size(); ++i) {
+    EXPECT_LE(std::abs(fused.q[i] - ref.q[i]), 1);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Shapes, FusedShapeTest,
+                         ::testing::Values(std::make_tuple<int64_t, int64_t>(1, 1, 1.0),
+                                           std::make_tuple<int64_t, int64_t>(5, 3, 0.5),
+                                           std::make_tuple<int64_t, int64_t>(17, 9, 0.2),
+                                           std::make_tuple<int64_t, int64_t>(40, 16, 0.05),
+                                           std::make_tuple<int64_t, int64_t>(64, 1, 0.1)));
+
+// ---- Pareto front dominance ---------------------------------------------------
+
+TEST(ParetoPropertyTest, NoFrontPointIsDominated) {
+  Rng rng(77);
+  std::vector<ParetoPoint> pts;
+  for (int i = 0; i < 500; ++i) {
+    pts.push_back({rng.Uniform(2.0f, 8.0f), rng.Uniform(0.2f, 0.9f), i});
+  }
+  auto front = ParetoFront(pts);
+  ASSERT_FALSE(front.empty());
+  for (const auto& fp : front) {
+    for (const auto& p : pts) {
+      const bool dominates =
+          (p.cost < fp.cost && p.gain >= fp.gain) ||
+          (p.cost <= fp.cost && p.gain > fp.gain);
+      EXPECT_FALSE(dominates) << "front point " << fp.tag << " dominated by "
+                              << p.tag;
+    }
+  }
+  // Front is sorted by cost and strictly increasing in gain.
+  for (size_t i = 1; i < front.size(); ++i) {
+    EXPECT_LE(front[i - 1].cost, front[i].cost);
+    EXPECT_LT(front[i - 1].gain, front[i].gain);
+  }
+}
+
+// ---- GCN normalization spectrum ----------------------------------------------
+
+TEST(GcnOperatorPropertyTest, SpectralRadiusAtMostOne) {
+  // For Â = D^{-1/2}(I+A)D^{-1/2} with the renormalization-trick degrees,
+  // the spectrum lies in [-1, 1]: aggregation cannot amplify feature norms.
+  // Verified by power iteration on random undirected graphs.
+  Rng rng(88);
+  for (int trial = 0; trial < 10; ++trial) {
+    const int64_t n = 20;
+    std::vector<CooEntry> entries;
+    for (int64_t i = 0; i < n; ++i) {
+      for (int64_t j = i + 1; j < n; ++j) {
+        if (rng.Bernoulli(0.2)) {
+          entries.push_back({i, j, 1.0f});
+          entries.push_back({j, i, 1.0f});
+        }
+      }
+    }
+    CsrMatrix norm = GcnNormalize(CsrMatrix::FromCoo(n, n, entries));
+    std::vector<float> v(static_cast<size_t>(n));
+    for (auto& x : v) x = rng.Uniform(-1.0f, 1.0f);
+    std::vector<float> w(static_cast<size_t>(n));
+    double lambda_est = 0.0;
+    for (int it = 0; it < 200; ++it) {
+      SpmmRaw(norm, v.data(), 1, w.data());
+      double nv = 0.0, nw = 0.0;
+      for (int64_t i = 0; i < n; ++i) {
+        nv += static_cast<double>(v[static_cast<size_t>(i)]) * v[static_cast<size_t>(i)];
+        nw += static_cast<double>(w[static_cast<size_t>(i)]) * w[static_cast<size_t>(i)];
+      }
+      lambda_est = std::sqrt(nw / std::max(nv, 1e-30));
+      const double inv = 1.0 / std::max(std::sqrt(nw), 1e-30);
+      for (int64_t i = 0; i < n; ++i) {
+        v[static_cast<size_t>(i)] = static_cast<float>(w[static_cast<size_t>(i)] * inv);
+      }
+    }
+    EXPECT_LE(lambda_est, 1.0 + 1e-3) << "trial " << trial;
+  }
+}
+
+// ---- Requantization chain property --------------------------------------------
+
+TEST(RequantChainTest, CoarserNeverMorePrecise) {
+  // Quantizing at b1 then measuring error must never beat direct error at a
+  // finer b2 > b1 by more than numerical noise, over many random draws.
+  Rng rng(99);
+  for (int trial = 0; trial < 50; ++trial) {
+    const float range = rng.Uniform(0.5f, 4.0f);
+    QuantParams p2 = ParamsFromRange(-range, range, 2, true);
+    QuantParams p8 = ParamsFromRange(-range, range, 8, true);
+    double e2 = 0.0, e8 = 0.0;
+    for (int i = 0; i < 100; ++i) {
+      const float x = rng.Uniform(-range, range);
+      e2 += std::fabs(FakeQuantValue(x, p2) - x);
+      e8 += std::fabs(FakeQuantValue(x, p8) - x);
+    }
+    EXPECT_GE(e2, e8);
+  }
+}
+
+}  // namespace
+}  // namespace mixq

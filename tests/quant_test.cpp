@@ -1,0 +1,208 @@
+// Copyright 2026 MixQ-GNN Authors
+// Tests for quantization parameters, observers, and fake quantization (STE).
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "quant/fake_quant.h"
+#include "quant/observer.h"
+#include "quant/quant_params.h"
+#include "tensor/gradcheck.h"
+#include "tensor/ops.h"
+
+namespace mixq {
+namespace {
+
+TEST(QuantParamsTest, SymmetricRanges) {
+  QuantParams p;
+  p.bits = 8;
+  p.symmetric = true;
+  EXPECT_EQ(p.qmin(), -127);
+  EXPECT_EQ(p.qmax(), 127);
+  p.bits = 4;
+  EXPECT_EQ(p.qmin(), -7);
+  EXPECT_EQ(p.qmax(), 7);
+  p.bits = 2;
+  EXPECT_EQ(p.qmin(), -1);
+  EXPECT_EQ(p.qmax(), 1);
+}
+
+TEST(QuantParamsTest, AsymmetricRanges) {
+  QuantParams p;
+  p.bits = 8;
+  p.symmetric = false;
+  EXPECT_EQ(p.qmin(), 0);
+  EXPECT_EQ(p.qmax(), 255);
+}
+
+TEST(QuantParamsTest, ParamsFromRangeSymmetricCoversBound) {
+  QuantParams p = ParamsFromRange(-3.0f, 5.0f, 8, /*symmetric=*/true);
+  EXPECT_EQ(p.zero_point, 0);
+  EXPECT_NEAR(p.scale, 5.0f / 127.0f, 1e-6);
+  // 5.0 quantizes to qmax exactly.
+  EXPECT_EQ(QuantizeValue(5.0f, p), 127);
+  EXPECT_EQ(QuantizeValue(-5.0f, p), -127);
+}
+
+TEST(QuantParamsTest, ParamsFromRangeAsymmetricMapsEndpoints) {
+  QuantParams p = ParamsFromRange(-1.0f, 3.0f, 8, /*symmetric=*/false);
+  EXPECT_EQ(QuantizeValue(-1.0f, p), 0);
+  EXPECT_EQ(QuantizeValue(3.0f, p), 255);
+  // Zero must be exactly representable: Q(0) == zero_point.
+  EXPECT_EQ(QuantizeValue(0.0f, p), p.zero_point);
+  EXPECT_NEAR(DequantizeValue(p.zero_point, p), 0.0f, 1e-6);
+}
+
+TEST(QuantParamsTest, DegenerateRangeYieldsIdentityScale) {
+  QuantParams p = ParamsFromRange(2.0f, 2.0f, 8, true);
+  EXPECT_GT(p.scale, 0.0f);
+}
+
+TEST(QuantRoundTripTest, ErrorBoundedByHalfScale) {
+  QuantParams p = ParamsFromRange(-4.0f, 4.0f, 8, true);
+  Rng rng(1);
+  for (int i = 0; i < 1000; ++i) {
+    const float x = rng.Uniform(-4.0f, 4.0f);
+    const float xq = FakeQuantValue(x, p);
+    EXPECT_LE(std::fabs(x - xq), p.scale * 0.5f + 1e-6f);
+  }
+}
+
+TEST(QuantRoundTripTest, Idempotent) {
+  QuantParams p = ParamsFromRange(-2.0f, 2.0f, 4, true);
+  Rng rng(2);
+  for (int i = 0; i < 200; ++i) {
+    const float x = rng.Uniform(-3.0f, 3.0f);
+    const float once = FakeQuantValue(x, p);
+    EXPECT_FLOAT_EQ(FakeQuantValue(once, p), once);
+  }
+}
+
+TEST(QuantRoundTripTest, ClipsOutOfRange) {
+  QuantParams p = ParamsFromRange(-1.0f, 1.0f, 8, true);
+  EXPECT_EQ(QuantizeValue(100.0f, p), p.qmax());
+  EXPECT_EQ(QuantizeValue(-100.0f, p), p.qmin());
+}
+
+TEST(ObserverTest, MinMaxTracksExtremes) {
+  RangeObserver obs(ObserverKind::kMinMax);
+  obs.Observe({1.0f, 2.0f});
+  obs.Observe({-3.0f, 0.5f});
+  EXPECT_FLOAT_EQ(obs.lo(), -3.0f);
+  EXPECT_FLOAT_EQ(obs.hi(), 2.0f);
+}
+
+TEST(ObserverTest, EmaSmoothsTowardNewBatches) {
+  RangeObserver obs(ObserverKind::kEma, /*ema_momentum=*/0.5f);
+  obs.Observe({0.0f, 10.0f});   // init: [0, 10]
+  obs.Observe({0.0f, 20.0f});   // ema: hi = 0.5*10 + 0.5*20 = 15
+  EXPECT_FLOAT_EQ(obs.hi(), 15.0f);
+}
+
+TEST(ObserverTest, PercentileIgnoresOutliers) {
+  std::vector<float> values(999, 1.0f);
+  values.push_back(1000.0f);  // single outlier
+  RangeObserver obs(ObserverKind::kPercentile, 0.9f, /*percentile=*/99.0f);
+  obs.Observe(values);
+  EXPECT_LT(obs.hi(), 100.0f);  // clipped far below the outlier
+  RangeObserver minmax(ObserverKind::kMinMax);
+  minmax.Observe(values);
+  EXPECT_FLOAT_EQ(minmax.hi(), 1000.0f);
+}
+
+TEST(ObserverTest, UninitializedMakesDefaultParams) {
+  RangeObserver obs(ObserverKind::kMinMax);
+  QuantParams p = obs.MakeParams(8, true);
+  EXPECT_GT(p.scale, 0.0f);
+}
+
+TEST(FakeQuantOpTest, ForwardSnapsToGrid) {
+  QuantParams p = ParamsFromRange(-1.0f, 1.0f, 2, true);  // grid {-s, 0, s}
+  Tensor x = Tensor::FromVector(Shape(4), {-0.9f, -0.2f, 0.3f, 0.8f});
+  Tensor y = FakeQuantOp(x, p);
+  for (float v : y.data()) {
+    const float q = v / p.scale;
+    EXPECT_NEAR(q, std::round(q), 1e-5);
+    EXPECT_LE(std::fabs(q), 1.0f);
+  }
+}
+
+TEST(FakeQuantOpTest, StePassesGradInRange) {
+  QuantParams p = ParamsFromRange(-1.0f, 1.0f, 8, true);
+  Tensor x = Tensor::FromVector(Shape(3), {0.5f, -0.3f, 0.9f}, true);
+  Sum(FakeQuantOp(x, p)).Backward();
+  for (float g : x.grad()) EXPECT_FLOAT_EQ(g, 1.0f);
+}
+
+TEST(FakeQuantOpTest, SteBlocksGradOutOfRange) {
+  QuantParams p = ParamsFromRange(-1.0f, 1.0f, 8, true);
+  Tensor x = Tensor::FromVector(Shape(3), {5.0f, -0.3f, -7.0f}, true);
+  Sum(FakeQuantOp(x, p)).Backward();
+  EXPECT_FLOAT_EQ(x.grad()[0], 0.0f);
+  EXPECT_FLOAT_EQ(x.grad()[1], 1.0f);
+  EXPECT_FLOAT_EQ(x.grad()[2], 0.0f);
+}
+
+TEST(FakeQuantMaskedTest, ProtectedRowsPassThrough) {
+  QuantParams p = ParamsFromRange(-1.0f, 1.0f, 2, true);
+  Tensor x = Tensor::FromVector(Shape(2, 2), {0.37f, -0.61f, 0.37f, -0.61f}, true);
+  std::vector<uint8_t> mask = {1, 0};  // protect row 0
+  Tensor y = FakeQuantRowsMasked(x, p, mask);
+  EXPECT_FLOAT_EQ(y.at(0, 0), 0.37f);   // untouched
+  EXPECT_FLOAT_EQ(y.at(0, 1), -0.61f);
+  EXPECT_NE(y.at(1, 0), 0.37f);         // quantized
+  Sum(y).Backward();
+  EXPECT_FLOAT_EQ(x.grad()[0], 1.0f);   // identity grad on protected rows
+}
+
+TEST(FakeQuantizerTest, ObservesDuringTrainingOnly) {
+  FakeQuantizerConfig cfg;
+  cfg.bits = 8;
+  cfg.observer = ObserverKind::kMinMax;
+  FakeQuantizer q(cfg);
+  Tensor a = Tensor::FromVector(Shape(2), {-1.0f, 1.0f});
+  q.Apply(a, /*training=*/true);
+  const float scale_after_train = q.params().scale;
+  Tensor b = Tensor::FromVector(Shape(2), {-100.0f, 100.0f});
+  q.Apply(b, /*training=*/false);  // eval: must not expand the range
+  EXPECT_FLOAT_EQ(q.params().scale, scale_after_train);
+  q.Apply(b, /*training=*/true);
+  EXPECT_GT(q.params().scale, scale_after_train);
+}
+
+TEST(FakeQuantizerTest, HigherBitsLowerError) {
+  Rng rng(3);
+  Tensor x = Tensor::RandomUniform(Shape(1000), &rng, -1.0f, 1.0f);
+  auto error_at = [&](int bits) {
+    FakeQuantizerConfig cfg;
+    cfg.bits = bits;
+    cfg.observer = ObserverKind::kMinMax;
+    FakeQuantizer q(cfg);
+    Tensor y = q.Apply(x, true);
+    double err = 0.0;
+    for (size_t i = 0; i < y.data().size(); ++i) {
+      err += std::fabs(y.data()[i] - x.data()[i]);
+    }
+    return err;
+  };
+  const double e2 = error_at(2), e4 = error_at(4), e8 = error_at(8);
+  EXPECT_GT(e2, e4);
+  EXPECT_GT(e4, e8);
+}
+
+TEST(FakeQuantOpTest, SteGradientTracksTrueGradient) {
+  // For loss = Σ q(x)², the STE analytic gradient is 2·q(x); since
+  // |q(x) − x| ≤ scale/2 in range, the gradient must track 2·x within scale.
+  QuantParams p = ParamsFromRange(-2.0f, 2.0f, 8, true);
+  Rng rng(9);
+  Tensor x = Tensor::RandomUniform(Shape(4, 4), &rng, -1.0f, 1.0f);
+  x.SetRequiresGrad(true);
+  Sum(Mul(FakeQuantOp(x, p), FakeQuantOp(x, p))).Backward();
+  ASSERT_EQ(x.grad().size(), x.data().size());
+  for (size_t i = 0; i < x.data().size(); ++i) {
+    EXPECT_NEAR(x.grad()[i], 2.0f * x.data()[i], p.scale + 1e-5f);
+  }
+}
+
+}  // namespace
+}  // namespace mixq

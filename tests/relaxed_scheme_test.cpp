@@ -1,0 +1,221 @@
+// Copyright 2026 MixQ-GNN Authors
+// Tests for the relaxed MixQ scheme: Eq. (6) mixtures, Eq. (8) penalties,
+// α gradients, and bit-width selection (Algorithm 1).
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/relaxed_scheme.h"
+#include "tensor/ops.h"
+#include "train/optimizer.h"
+
+namespace mixq {
+namespace {
+
+TEST(RelaxedSchemeTest, UniformAlphaMixesCandidatesEqually) {
+  RelaxedOptions opts;
+  opts.bit_options = {2, 8};
+  RelaxedMixQScheme scheme(opts);
+  Rng rng(1);
+  Tensor x = Tensor::RandomUniform(Shape(8, 4), &rng, -1.0f, 1.0f);
+  scheme.BeginStep(true);
+  Tensor y = scheme.Quantize("c", x, ComponentKind::kInput, true);
+  // With α = 0, output = 0.5·Q2(x) + 0.5·Q8(x); Q8 ≈ x, Q2 is coarse, so the
+  // mixture is strictly between the two.
+  EXPECT_NE(y.impl_ptr(), x.impl_ptr());
+  auto w = scheme.AlphaWeights("c");
+  EXPECT_NEAR(w[0], 0.5, 1e-6);
+  EXPECT_NEAR(w[1], 0.5, 1e-6);
+}
+
+TEST(RelaxedSchemeTest, ExpectedBitsUnderSoftmax) {
+  RelaxedOptions opts;
+  opts.bit_options = {2, 4, 8};
+  RelaxedMixQScheme scheme(opts);
+  Rng rng(2);
+  Tensor x = Tensor::RandomUniform(Shape(4, 4), &rng, -1.0f, 1.0f);
+  scheme.BeginStep(true);
+  scheme.Quantize("c", x, ComponentKind::kInput, true);
+  EXPECT_NEAR(scheme.EffectiveBits("c", 32.0), (2.0 + 4.0 + 8.0) / 3.0, 1e-5);
+  EXPECT_DOUBLE_EQ(scheme.EffectiveBits("unseen", 32.0), 32.0);
+}
+
+TEST(RelaxedSchemeTest, PenaltyMatchesClosedForm) {
+  RelaxedOptions opts;
+  opts.bit_options = {2, 4, 8};
+  opts.lambda = 2.0;
+  RelaxedMixQScheme scheme(opts);
+  Rng rng(3);
+  Tensor x = Tensor::RandomUniform(Shape(16, 8), &rng, -1.0f, 1.0f);
+  scheme.BeginStep(true);
+  scheme.Quantize("c", x, ComponentKind::kInput, true);
+  Tensor penalty = scheme.PenaltyLoss();
+  ASSERT_TRUE(penalty.defined());
+  // Normalized penalty = λ × element-weighted mean bit-width.
+  const double expected = 2.0 * ((2 + 4 + 8) / 3.0);
+  EXPECT_NEAR(penalty.item(), expected, 1e-4);
+}
+
+TEST(RelaxedSchemeTest, PenaltyIsElementWeightedMean) {
+  // Two components with the same bit distribution: the normalized penalty is
+  // the mean width, independent of how many components contributed.
+  RelaxedOptions opts;
+  opts.bit_options = {4};
+  opts.lambda = 1.0;
+  RelaxedMixQScheme scheme(opts);
+  Rng rng(4);
+  Tensor x = Tensor::RandomUniform(Shape(8, 8), &rng, -1.0f, 1.0f);
+  scheme.BeginStep(true);
+  scheme.Quantize("a", x, ComponentKind::kInput, true);
+  scheme.Quantize("b", x, ComponentKind::kAggregate, true);
+  EXPECT_NEAR(scheme.PenaltyLoss().item(), 4.0f, 1e-4);
+  scheme.BeginStep(true);
+  scheme.Quantize("a", x, ComponentKind::kInput, true);
+  EXPECT_NEAR(scheme.PenaltyLoss().item(), 4.0f, 1e-4);
+}
+
+TEST(RelaxedSchemeTest, LargerTensorsDominateThePenalty) {
+  // A big component at effectively-8-bits vs a tiny one at 2 bits: the
+  // element-weighted mean must sit near the big component's width.
+  RelaxedOptions opts;
+  opts.bit_options = {2, 8};
+  opts.lambda = 1.0;
+  RelaxedMixQScheme scheme(opts);
+  Rng rng(5);
+  Tensor big = Tensor::RandomUniform(Shape(100, 100), &rng, -1.0f, 1.0f);
+  Tensor tiny = Tensor::RandomUniform(Shape(2, 2), &rng, -1.0f, 1.0f);
+  scheme.BeginStep(true);
+  scheme.Quantize("big", big, ComponentKind::kInput, true);
+  scheme.Quantize("tiny", tiny, ComponentKind::kInput, true);
+  // Uniform α: both expect 5 bits; mean is 5 regardless — now bias big's α.
+  scheme.SchemeParameters()[0].data() = {-10.0f, 10.0f};  // big -> 8 bits
+  scheme.BeginStep(true);
+  scheme.Quantize("big", big, ComponentKind::kInput, true);
+  scheme.Quantize("tiny", tiny, ComponentKind::kInput, true);
+  EXPECT_GT(scheme.PenaltyLoss().item(), 7.5f);
+}
+
+TEST(RelaxedSchemeTest, NoPenaltyAtEvalOrZeroLambda) {
+  RelaxedOptions opts;
+  opts.lambda = 0.0;
+  RelaxedMixQScheme scheme(opts);
+  Rng rng(5);
+  Tensor x = Tensor::RandomUniform(Shape(4, 4), &rng, -1.0f, 1.0f);
+  scheme.BeginStep(true);
+  scheme.Quantize("c", x, ComponentKind::kInput, true);
+  EXPECT_FALSE(scheme.PenaltyLoss().defined());
+  RelaxedOptions opts2;
+  opts2.lambda = 1.0;
+  RelaxedMixQScheme scheme2(opts2);
+  scheme2.BeginStep(false);
+  scheme2.Quantize("c", x, ComponentKind::kInput, /*training=*/false);
+  EXPECT_FALSE(scheme2.PenaltyLoss().defined());
+}
+
+TEST(RelaxedSchemeTest, AlphaReceivesTaskGradient) {
+  RelaxedOptions opts;
+  opts.bit_options = {2, 8};
+  RelaxedMixQScheme scheme(opts);
+  Rng rng(6);
+  Tensor x = Tensor::RandomUniform(Shape(8, 4), &rng, -1.0f, 1.0f);
+  scheme.BeginStep(true);
+  Tensor y = scheme.Quantize("c", x, ComponentKind::kInput, true);
+  auto params = scheme.SchemeParameters();
+  ASSERT_EQ(params.size(), 1u);
+  params[0].SetRequiresGrad(true);
+  Sum(Mul(y, y)).Backward();
+  ASSERT_FALSE(params[0].grad().empty());
+  // 2-bit and 8-bit reconstructions differ, so α components get distinct
+  // gradients (they compete through the softmax).
+  EXPECT_NE(params[0].grad()[0], params[0].grad()[1]);
+}
+
+TEST(RelaxedSchemeTest, PositiveLambdaDrivesSelectionToLowBits) {
+  // Train α on the penalty alone: argmax must move to the smallest width.
+  RelaxedOptions opts;
+  opts.bit_options = {2, 4, 8};
+  opts.lambda = 1.0;
+  RelaxedMixQScheme scheme(opts);
+  Rng rng(7);
+  Tensor x = Tensor::RandomUniform(Shape(32, 16), &rng, -1.0f, 1.0f);
+  scheme.BeginStep(true);
+  scheme.Quantize("c", x, ComponentKind::kInput, true);  // create α
+  auto params = scheme.SchemeParameters();
+  for (auto& p : params) p.SetRequiresGrad(true);
+  Sgd sgd(params, 1.0f);
+  for (int step = 0; step < 100; ++step) {
+    sgd.ZeroGrad();
+    scheme.BeginStep(true);
+    scheme.Quantize("c", x, ComponentKind::kInput, true);
+    scheme.PenaltyLoss().Backward();
+    sgd.Step();
+  }
+  EXPECT_EQ(scheme.SelectedBits().at("c"), 2);
+  EXPECT_LT(scheme.EffectiveBits("c", 32.0), 3.0);
+}
+
+TEST(RelaxedSchemeTest, NegativeLambdaPrefersWideBits) {
+  RelaxedOptions opts;
+  opts.bit_options = {2, 4, 8};
+  opts.lambda = -1.0;  // λ = −ε regime, amplified for a short test
+  RelaxedMixQScheme scheme(opts);
+  Rng rng(8);
+  Tensor x = Tensor::RandomUniform(Shape(32, 16), &rng, -1.0f, 1.0f);
+  scheme.BeginStep(true);
+  scheme.Quantize("c", x, ComponentKind::kInput, true);
+  auto params = scheme.SchemeParameters();
+  for (auto& p : params) p.SetRequiresGrad(true);
+  Sgd sgd(params, 1.0f);
+  for (int step = 0; step < 100; ++step) {
+    sgd.ZeroGrad();
+    scheme.BeginStep(true);
+    scheme.Quantize("c", x, ComponentKind::kInput, true);
+    scheme.PenaltyLoss().Backward();
+    sgd.Step();
+  }
+  EXPECT_EQ(scheme.SelectedBits().at("c"), 8);
+}
+
+TEST(RelaxedSchemeTest, TaskGradientFavorsAccurateQuantizer) {
+  // Loss = ||mix(x) − x||²: the 8-bit candidate reconstructs x better, so
+  // optimizing the task loss alone must push α toward 8 bits.
+  RelaxedOptions opts;
+  opts.bit_options = {2, 8};
+  opts.lambda = 0.0;
+  RelaxedMixQScheme scheme(opts);
+  Rng rng(9);
+  Tensor x = Tensor::RandomUniform(Shape(64, 8), &rng, -1.0f, 1.0f);
+  scheme.BeginStep(true);
+  scheme.Quantize("c", x, ComponentKind::kInput, true);
+  auto params = scheme.SchemeParameters();
+  for (auto& p : params) p.SetRequiresGrad(true);
+  Adam adam(params, 0.1f);
+  for (int step = 0; step < 60; ++step) {
+    adam.ZeroGrad();
+    scheme.BeginStep(true);
+    Tensor y = scheme.Quantize("c", x, ComponentKind::kInput, true);
+    Tensor err = Sub(y, x);
+    Sum(Mul(err, err)).Backward();
+    adam.Step();
+  }
+  EXPECT_EQ(scheme.SelectedBits().at("c"), 8);
+}
+
+TEST(RelaxedSchemeTest, SelectedBitsCoverAllComponents) {
+  RelaxedMixQScheme scheme(RelaxedOptions{});
+  Rng rng(10);
+  Tensor x = Tensor::RandomUniform(Shape(4, 4), &rng, -1.0f, 1.0f);
+  scheme.BeginStep(true);
+  scheme.Quantize("a", x, ComponentKind::kInput, true);
+  scheme.Quantize("b", x, ComponentKind::kWeight, true);
+  scheme.Quantize("c", x, ComponentKind::kAggregate, true);
+  auto bits = scheme.SelectedBits();
+  EXPECT_EQ(bits.size(), 3u);
+  for (const auto& [id, b] : bits) {
+    EXPECT_TRUE(b == 2 || b == 4 || b == 8) << id;
+  }
+  EXPECT_EQ(scheme.ComponentIds().size(), 3u);
+}
+
+}  // namespace
+}  // namespace mixq

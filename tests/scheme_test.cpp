@@ -1,0 +1,152 @@
+// Copyright 2026 MixQ-GNN Authors
+// Tests for the quantization scheme strategies (FP32 / QAT / per-component /
+// Degree-Quant protection).
+#include <gtest/gtest.h>
+
+#include "quant/scheme.h"
+#include "tensor/ops.h"
+
+namespace mixq {
+namespace {
+
+Tensor SomeActivations(uint64_t seed = 1, int64_t n = 8, int64_t f = 4) {
+  Rng rng(seed);
+  return Tensor::RandomUniform(Shape(n, f), &rng, -1.0f, 1.0f);
+}
+
+TEST(NoQuantSchemeTest, IdentityAndTracksIds) {
+  NoQuantScheme scheme;
+  Tensor x = SomeActivations();
+  Tensor y = scheme.Quantize("a", x, ComponentKind::kInput, true);
+  EXPECT_EQ(y.impl_ptr(), x.impl_ptr());
+  scheme.Quantize("b", x, ComponentKind::kWeight, true);
+  scheme.Quantize("a", x, ComponentKind::kInput, true);
+  EXPECT_EQ(scheme.ComponentIds().size(), 2u);
+  EXPECT_DOUBLE_EQ(scheme.EffectiveBits("a", 32.0), 32.0);
+}
+
+TEST(UniformQatSchemeTest, QuantizesEveryComponentAtConfiguredBits) {
+  UniformQatScheme scheme(4);
+  Tensor x = SomeActivations();
+  Tensor y = scheme.Quantize("c1", x, ComponentKind::kInput, true);
+  EXPECT_NE(y.impl_ptr(), x.impl_ptr());
+  EXPECT_DOUBLE_EQ(scheme.EffectiveBits("c1", 32.0), 4.0);
+  EXPECT_DOUBLE_EQ(scheme.EffectiveBits("unseen", 32.0), 32.0);
+  // Values snapped to a 4-bit grid.
+  int distinct = 0;
+  std::set<float> uniq(y.data().begin(), y.data().end());
+  distinct = static_cast<int>(uniq.size());
+  EXPECT_LE(distinct, 15);  // 2^4 - 1 levels
+}
+
+TEST(UniformQatSchemeTest, ReusesQuantizerPerComponent) {
+  UniformQatScheme scheme(8);
+  Tensor a = Tensor::FromVector(Shape(1, 2), {-1.0f, 1.0f});
+  scheme.Quantize("x", a, ComponentKind::kInput, true);
+  // Second call with a smaller range must keep (EMA-smoothed) history.
+  Tensor b = Tensor::FromVector(Shape(1, 2), {-0.1f, 0.1f});
+  scheme.Quantize("x", b, ComponentKind::kInput, true);
+  EXPECT_EQ(scheme.ComponentIds().size(), 1u);
+}
+
+TEST(DegreeProtectionTest, ProbabilitiesOrderedByDegree) {
+  std::vector<int64_t> degrees = {0, 10, 3, 50};
+  auto probs = MakeDegreeProtectionProbs(degrees, 0.0, 0.2);
+  EXPECT_DOUBLE_EQ(probs[0], 0.0);                 // lowest degree
+  EXPECT_DOUBLE_EQ(probs[3], 0.2);                 // highest degree
+  EXPECT_LT(probs[2], probs[1]);                   // 3 < 10
+  for (double p : probs) {
+    EXPECT_GE(p, 0.0);
+    EXPECT_LE(p, 0.2);
+  }
+}
+
+TEST(DegreeProtectionTest, EmptyInput) {
+  EXPECT_TRUE(MakeDegreeProtectionProbs({}).empty());
+}
+
+TEST(DqSchemeTest, ProtectsHighDegreeRowsStochastically) {
+  QatOptions opts;
+  opts.degree_protect = true;
+  // Node 0 always protected, node 1 never.
+  opts.protect_probs = {1.0, 0.0};
+  opts.mask_seed = 3;
+  UniformQatScheme scheme(2, opts);
+  Tensor x = Tensor::FromVector(Shape(2, 2), {0.37f, -0.61f, 0.37f, -0.61f});
+  scheme.BeginStep(true);
+  Tensor y = scheme.Quantize("agg", x, ComponentKind::kAggregate, true);
+  EXPECT_FLOAT_EQ(y.at(0, 0), 0.37f);   // protected row: exact
+  EXPECT_NE(y.at(1, 0), 0.37f);         // quantized row: snapped
+}
+
+TEST(DqSchemeTest, NoProtectionAtEval) {
+  QatOptions opts;
+  opts.degree_protect = true;
+  opts.protect_probs = {1.0, 1.0};
+  UniformQatScheme scheme(2, opts);
+  Tensor x = Tensor::FromVector(Shape(2, 2), {0.37f, -0.61f, 0.37f, -0.61f});
+  scheme.BeginStep(true);
+  scheme.Quantize("agg", x, ComponentKind::kAggregate, true);  // init observer
+  scheme.BeginStep(false);
+  Tensor y = scheme.Quantize("agg", x, ComponentKind::kAggregate, false);
+  // At inference everything is quantized (DQ removes masks at deployment).
+  EXPECT_NE(y.at(0, 0), 0.37f);
+}
+
+TEST(DqSchemeTest, WeightsNeverMasked) {
+  QatOptions opts;
+  opts.degree_protect = true;
+  opts.protect_probs = {1.0, 1.0};
+  UniformQatScheme scheme(2, opts);
+  Tensor w = Tensor::FromVector(Shape(2, 2), {0.37f, -0.61f, 0.22f, -0.8f});
+  scheme.BeginStep(true);
+  Tensor y = scheme.Quantize("w", w, ComponentKind::kWeight, true);
+  EXPECT_NE(y.at(0, 0), 0.37f);  // quantized despite all-protect mask
+}
+
+TEST(PerComponentSchemeTest, MapAndDefaultBits) {
+  PerComponentScheme scheme({{"a", 2}, {"b", 8}}, /*default_bits=*/4);
+  Tensor x = SomeActivations();
+  scheme.Quantize("a", x, ComponentKind::kInput, true);
+  scheme.Quantize("b", x, ComponentKind::kInput, true);
+  scheme.Quantize("c", x, ComponentKind::kInput, true);
+  EXPECT_DOUBLE_EQ(scheme.EffectiveBits("a", 32.0), 2.0);
+  EXPECT_DOUBLE_EQ(scheme.EffectiveBits("b", 32.0), 8.0);
+  EXPECT_DOUBLE_EQ(scheme.EffectiveBits("c", 32.0), 4.0);
+  EXPECT_EQ(scheme.assignment().size(), 2u);
+}
+
+TEST(PerComponentSchemeTest, LowerBitsCoarserGrid) {
+  PerComponentScheme scheme({{"lo", 2}, {"hi", 8}}, 8);
+  Rng rng(5);
+  Tensor x = Tensor::RandomUniform(Shape(64, 4), &rng, -1.0f, 1.0f);
+  Tensor ylo = scheme.Quantize("lo", x, ComponentKind::kInput, true);
+  Tensor yhi = scheme.Quantize("hi", x, ComponentKind::kInput, true);
+  std::set<float> lo_levels(ylo.data().begin(), ylo.data().end());
+  std::set<float> hi_levels(yhi.data().begin(), yhi.data().end());
+  EXPECT_LE(lo_levels.size(), 3u);
+  EXPECT_GT(hi_levels.size(), 20u);
+}
+
+TEST(ComponentKindTest, NamesAndNodeFeatureClassification) {
+  EXPECT_STREQ(ComponentKindName(ComponentKind::kWeight), "weight");
+  EXPECT_STREQ(ComponentKindName(ComponentKind::kAdjacency), "adjacency");
+  EXPECT_TRUE(IsNodeFeatureKind(ComponentKind::kInput));
+  EXPECT_TRUE(IsNodeFeatureKind(ComponentKind::kAggregate));
+  EXPECT_FALSE(IsNodeFeatureKind(ComponentKind::kWeight));
+  EXPECT_FALSE(IsNodeFeatureKind(ComponentKind::kAdjacency));
+}
+
+TEST(ComponentConfigTest, KindSpecificObservers) {
+  QatOptions opts;
+  opts.activation_observer = ObserverKind::kPercentile;
+  auto wc = MakeComponentConfig(ComponentKind::kWeight, 8, opts);
+  EXPECT_EQ(wc.observer, ObserverKind::kMinMax);
+  auto ac = MakeComponentConfig(ComponentKind::kAggregate, 8, opts);
+  EXPECT_EQ(ac.observer, ObserverKind::kPercentile);
+  auto adjc = MakeComponentConfig(ComponentKind::kAdjacency, 8, opts);
+  EXPECT_TRUE(adjc.symmetric);  // keeps Za = 0 for Theorem-1 fast path
+}
+
+}  // namespace
+}  // namespace mixq

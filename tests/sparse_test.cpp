@@ -1,0 +1,218 @@
+// Copyright 2026 MixQ-GNN Authors
+// Tests for CSR construction, normalizations, SpMM kernels, and the
+// differentiable Spmm/SpmmValues ops.
+#include <gtest/gtest.h>
+
+#include "sparse/csr.h"
+#include "sparse/spmm.h"
+#include "tensor/gradcheck.h"
+#include "tensor/ops.h"
+
+namespace mixq {
+namespace {
+
+CsrMatrix SmallMatrix() {
+  // [[0, 2, 0], [1, 0, 3], [0, 0, 4]]
+  return CsrMatrix::FromCoo(3, 3, {{0, 1, 2.0f}, {1, 0, 1.0f}, {1, 2, 3.0f},
+                                   {2, 2, 4.0f}});
+}
+
+TEST(CsrTest, FromCooBasics) {
+  CsrMatrix m = SmallMatrix();
+  EXPECT_EQ(m.rows(), 3);
+  EXPECT_EQ(m.cols(), 3);
+  EXPECT_EQ(m.nnz(), 4);
+  EXPECT_EQ(m.RowNnz(0), 1);
+  EXPECT_EQ(m.RowNnz(1), 2);
+  EXPECT_EQ(m.RowNnz(2), 1);
+}
+
+TEST(CsrTest, DuplicatesAreSummed) {
+  CsrMatrix m = CsrMatrix::FromCoo(2, 2, {{0, 0, 1.0f}, {0, 0, 2.5f}});
+  EXPECT_EQ(m.nnz(), 1);
+  EXPECT_FLOAT_EQ(m.values()[0], 3.5f);
+}
+
+TEST(CsrTest, ToDenseRoundTrip) {
+  auto dense = SmallMatrix().ToDense();
+  const std::vector<float> expected = {0, 2, 0, 1, 0, 3, 0, 0, 4};
+  ASSERT_EQ(dense.size(), expected.size());
+  for (size_t i = 0; i < dense.size(); ++i) EXPECT_FLOAT_EQ(dense[i], expected[i]);
+}
+
+TEST(CsrTest, IdentityIsDiagonal) {
+  CsrMatrix eye = CsrMatrix::Identity(4);
+  EXPECT_EQ(eye.nnz(), 4);
+  auto dense = eye.ToDense();
+  for (int64_t i = 0; i < 4; ++i) {
+    for (int64_t j = 0; j < 4; ++j) {
+      EXPECT_FLOAT_EQ(dense[static_cast<size_t>(i * 4 + j)], i == j ? 1.0f : 0.0f);
+    }
+  }
+}
+
+TEST(CsrTest, TransposeIsCorrect) {
+  CsrMatrix m = SmallMatrix();
+  auto td = m.Transpose().ToDense();
+  auto d = m.ToDense();
+  for (int64_t i = 0; i < 3; ++i) {
+    for (int64_t j = 0; j < 3; ++j) {
+      EXPECT_FLOAT_EQ(td[static_cast<size_t>(j * 3 + i)],
+                      d[static_cast<size_t>(i * 3 + j)]);
+    }
+  }
+}
+
+TEST(CsrTest, WithConstantValues) {
+  CsrMatrix m = SmallMatrix().WithConstantValues(1.0f);
+  for (float v : m.values()) EXPECT_FLOAT_EQ(v, 1.0f);
+  EXPECT_EQ(m.nnz(), 4);
+}
+
+TEST(GcnNormalizeTest, SymmetricAndSelfLoops) {
+  // Undirected path graph 0-1-2.
+  CsrMatrix adj = CsrMatrix::FromCoo(
+      3, 3, {{0, 1, 1.0f}, {1, 0, 1.0f}, {1, 2, 1.0f}, {2, 1, 1.0f}});
+  CsrMatrix norm = GcnNormalize(adj);
+  auto d = norm.ToDense();
+  // Degrees (with +1 self loop): d0=2, d1=3, d2=2.
+  EXPECT_NEAR(d[0], 1.0 / 2.0, 1e-6);                    // (0,0): 1/sqrt(2*2)
+  EXPECT_NEAR(d[1], 1.0 / std::sqrt(6.0), 1e-6);         // (0,1)
+  EXPECT_NEAR(d[4], 1.0 / 3.0, 1e-6);                    // (1,1)
+  // Symmetry of the normalized operator.
+  for (int i = 0; i < 3; ++i) {
+    for (int j = 0; j < 3; ++j) {
+      EXPECT_NEAR(d[static_cast<size_t>(i * 3 + j)], d[static_cast<size_t>(j * 3 + i)],
+                  1e-6);
+    }
+  }
+}
+
+TEST(RowNormalizeTest, RowsSumToOne) {
+  CsrMatrix adj = SmallMatrix();
+  CsrMatrix norm = RowNormalize(adj);
+  for (int64_t r = 0; r < norm.rows(); ++r) {
+    double s = 0.0;
+    for (int64_t k = norm.row_ptr()[static_cast<size_t>(r)];
+         k < norm.row_ptr()[static_cast<size_t>(r + 1)]; ++k) {
+      s += norm.values()[static_cast<size_t>(k)];
+    }
+    if (norm.RowNnz(r) > 0) EXPECT_NEAR(s, 1.0, 1e-6);
+  }
+}
+
+TEST(SpmmRawTest, MatchesDense) {
+  CsrMatrix a = SmallMatrix();
+  Tensor x = Tensor::FromVector(Shape(3, 2), {1, 2, 3, 4, 5, 6});
+  std::vector<float> y(6);
+  SpmmRaw(a, x.data().data(), 2, y.data());
+  // Row0 = 2*x1 = (6,8); Row1 = 1*x0 + 3*x2 = (16,20); Row2 = 4*x2 = (20,24).
+  EXPECT_FLOAT_EQ(y[0], 6.0f);
+  EXPECT_FLOAT_EQ(y[1], 8.0f);
+  EXPECT_FLOAT_EQ(y[2], 16.0f);
+  EXPECT_FLOAT_EQ(y[3], 20.0f);
+  EXPECT_FLOAT_EQ(y[4], 20.0f);
+  EXPECT_FLOAT_EQ(y[5], 24.0f);
+}
+
+TEST(SpmmRawTest, AccumulateAddsToExisting) {
+  CsrMatrix a = CsrMatrix::Identity(2);
+  Tensor x = Tensor::FromVector(Shape(2, 1), {1, 2});
+  std::vector<float> y = {10.0f, 20.0f};
+  SpmmRaw(a, x.data().data(), 1, y.data(), /*accumulate=*/true);
+  EXPECT_FLOAT_EQ(y[0], 11.0f);
+  EXPECT_FLOAT_EQ(y[1], 22.0f);
+}
+
+TEST(SpmmIntTest, IntegerAggregation) {
+  CsrMatrix a = SmallMatrix();
+  std::vector<int32_t> aq = {2, 1, 3, 4};  // matches stored values
+  std::vector<int32_t> x = {1, 2, 3, 4, 5, 6};
+  std::vector<int64_t> y(6);
+  SpmmInt(a, aq.data(), x.data(), 2, y.data());
+  EXPECT_EQ(y[0], 6);
+  EXPECT_EQ(y[2], 16);
+  EXPECT_EQ(y[5], 24);
+}
+
+TEST(SparseOperatorTest, TransposePermutationRethreadsValues) {
+  auto op = MakeOperator(SmallMatrix());
+  const auto& perm = op->transpose_permutation();
+  ASSERT_EQ(static_cast<int64_t>(perm.size()), op->nnz());
+  // transpose().values()[i] must equal matrix().values()[perm[i]].
+  for (size_t i = 0; i < perm.size(); ++i) {
+    EXPECT_FLOAT_EQ(op->transpose().values()[i],
+                    op->matrix().values()[static_cast<size_t>(perm[i])]);
+  }
+}
+
+TEST(SparseOperatorTest, EntryRowsInverseOfRowPtr) {
+  auto op = MakeOperator(SmallMatrix());
+  const auto& rows = op->entry_rows();
+  const auto& m = op->matrix();
+  for (int64_t r = 0; r < m.rows(); ++r) {
+    for (int64_t k = m.row_ptr()[static_cast<size_t>(r)];
+         k < m.row_ptr()[static_cast<size_t>(r + 1)]; ++k) {
+      EXPECT_EQ(rows[static_cast<size_t>(k)], r);
+    }
+  }
+}
+
+TEST(SpmmOpTest, GradientThroughX) {
+  auto op = MakeOperator(SmallMatrix());
+  Rng rng(1);
+  Tensor x = Tensor::RandomUniform(Shape(3, 4), &rng, -1.0f, 1.0f);
+  auto res = CheckGradient(x, [&] { return Sum(Mul(Spmm(op, x), Spmm(op, x))); });
+  EXPECT_TRUE(res.ok()) << res.max_abs_error;
+}
+
+TEST(SpmmValuesTest, MatchesPlainSpmmForward) {
+  auto op = MakeOperator(SmallMatrix());
+  Rng rng(2);
+  Tensor x = Tensor::RandomUniform(Shape(3, 3), &rng, -1.0f, 1.0f);
+  Tensor values = Tensor::FromVector(Shape(op->nnz()), op->matrix().values());
+  Tensor y1 = Spmm(op, x);
+  Tensor y2 = SpmmValues(op, values, x);
+  for (size_t i = 0; i < y1.data().size(); ++i) {
+    EXPECT_NEAR(y1.data()[i], y2.data()[i], 1e-5);
+  }
+}
+
+TEST(SpmmValuesTest, GradientThroughValuesAndX) {
+  auto op = MakeOperator(SmallMatrix());
+  Rng rng(3);
+  Tensor x = Tensor::RandomUniform(Shape(3, 3), &rng, -1.0f, 1.0f);
+  Tensor values = Tensor::RandomUniform(Shape(op->nnz()), &rng, 0.5f, 1.5f);
+  values.SetRequiresGrad(true);
+  auto rv = CheckGradient(values, [&] { return Sum(Mul(SpmmValues(op, values, x),
+                                                       SpmmValues(op, values, x))); });
+  EXPECT_TRUE(rv.ok()) << rv.max_abs_error;
+  auto rx = CheckGradient(x, [&] { return Sum(Mul(SpmmValues(op, values, x),
+                                                  SpmmValues(op, values, x))); });
+  EXPECT_TRUE(rx.ok()) << rx.max_abs_error;
+}
+
+TEST(SpmmPatternTest, ExternalValuesOverridePattern) {
+  CsrMatrix a = SmallMatrix();
+  std::vector<float> ones(static_cast<size_t>(a.nnz()), 1.0f);
+  Tensor x = Tensor::FromVector(Shape(3, 1), {1, 1, 1});
+  std::vector<float> y(3);
+  SpmmPattern(a, ones.data(), x.data().data(), 1, y.data());
+  // With unit values, each row sums its neighbour count.
+  EXPECT_FLOAT_EQ(y[0], 1.0f);
+  EXPECT_FLOAT_EQ(y[1], 2.0f);
+  EXPECT_FLOAT_EQ(y[2], 1.0f);
+}
+
+TEST(SpmmOpTest, RectangularOperator) {
+  CsrMatrix a = CsrMatrix::FromCoo(2, 4, {{0, 3, 1.0f}, {1, 0, 2.0f}});
+  auto op = MakeOperator(a);
+  Tensor x = Tensor::FromVector(Shape(4, 1), {1, 2, 3, 4});
+  Tensor y = Spmm(op, x);
+  EXPECT_EQ(y.rows(), 2);
+  EXPECT_FLOAT_EQ(y.at(0, 0), 4.0f);
+  EXPECT_FLOAT_EQ(y.at(1, 0), 2.0f);
+}
+
+}  // namespace
+}  // namespace mixq

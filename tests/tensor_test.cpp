@@ -1,0 +1,142 @@
+// Copyright 2026 MixQ-GNN Authors
+// Tests for the Tensor container and autograd machinery.
+#include <gtest/gtest.h>
+
+#include "tensor/ops.h"
+#include "tensor/tensor.h"
+
+namespace mixq {
+namespace {
+
+TEST(ShapeTest, RankAndNumel) {
+  Shape s1(5);
+  EXPECT_EQ(s1.rank(), 1);
+  EXPECT_EQ(s1.numel(), 5);
+  EXPECT_EQ(s1.rows(), 5);
+  EXPECT_EQ(s1.cols(), 1);
+  Shape s2(3, 4);
+  EXPECT_EQ(s2.rank(), 2);
+  EXPECT_EQ(s2.numel(), 12);
+  EXPECT_EQ(s2.rows(), 3);
+  EXPECT_EQ(s2.cols(), 4);
+  EXPECT_EQ(s2.ToString(), "(3, 4)");
+}
+
+TEST(ShapeTest, Equality) {
+  EXPECT_EQ(Shape(3, 4), Shape(3, 4));
+  EXPECT_NE(Shape(3, 4), Shape(4, 3));
+  EXPECT_NE(Shape(12), Shape(3, 4));
+}
+
+TEST(TensorTest, Factories) {
+  Tensor z = Tensor::Zeros(Shape(2, 3));
+  EXPECT_EQ(z.numel(), 6);
+  for (float v : z.data()) EXPECT_EQ(v, 0.0f);
+  Tensor o = Tensor::Ones(Shape(4));
+  for (float v : o.data()) EXPECT_EQ(v, 1.0f);
+  Tensor f = Tensor::Full(Shape(2, 2), 2.5f);
+  for (float v : f.data()) EXPECT_EQ(v, 2.5f);
+  Tensor s = Tensor::Scalar(-1.0f);
+  EXPECT_EQ(s.numel(), 1);
+  EXPECT_EQ(s.item(), -1.0f);
+}
+
+TEST(TensorTest, FromVectorAndAt) {
+  Tensor t = Tensor::FromVector(Shape(2, 2), {1, 2, 3, 4});
+  EXPECT_EQ(t.at(0, 0), 1.0f);
+  EXPECT_EQ(t.at(0, 1), 2.0f);
+  EXPECT_EQ(t.at(1, 0), 3.0f);
+  EXPECT_EQ(t.at(1, 1), 4.0f);
+}
+
+TEST(TensorTest, RandomInitBounds) {
+  Rng rng(1);
+  Tensor u = Tensor::RandomUniform(Shape(100), &rng, -0.5f, 0.5f);
+  for (float v : u.data()) {
+    EXPECT_GE(v, -0.5f);
+    EXPECT_LT(v, 0.5f);
+  }
+  Tensor g = Tensor::GlorotUniform(64, 64, &rng);
+  const float limit = std::sqrt(6.0f / 128.0f);
+  for (float v : g.data()) EXPECT_LE(std::fabs(v), limit);
+  EXPECT_TRUE(g.requires_grad());
+}
+
+TEST(TensorTest, DetachDropsHistory) {
+  Tensor a = Tensor::Ones(Shape(2), /*requires_grad=*/true);
+  Tensor b = Scale(a, 2.0f);
+  Tensor d = b.Detach();
+  EXPECT_FALSE(d.requires_grad());
+  EXPECT_EQ(d.data()[0], 2.0f);
+  EXPECT_TRUE(d.impl()->parents.empty());
+}
+
+TEST(AutogradTest, SimpleChain) {
+  // loss = sum(2 * x), dloss/dx = 2.
+  Tensor x = Tensor::FromVector(Shape(3), {1, 2, 3}, /*requires_grad=*/true);
+  Tensor loss = Sum(Scale(x, 2.0f));
+  EXPECT_FLOAT_EQ(loss.item(), 12.0f);
+  loss.Backward();
+  ASSERT_EQ(x.grad().size(), 3u);
+  for (float g : x.grad()) EXPECT_FLOAT_EQ(g, 2.0f);
+}
+
+TEST(AutogradTest, GradientAccumulatesAcrossBackwards) {
+  Tensor x = Tensor::Ones(Shape(2), /*requires_grad=*/true);
+  Sum(x).Backward();
+  Sum(x).Backward();
+  for (float g : x.grad()) EXPECT_FLOAT_EQ(g, 2.0f);
+  x.ZeroGrad();
+  for (float g : x.grad()) EXPECT_FLOAT_EQ(g, 0.0f);
+}
+
+TEST(AutogradTest, DiamondDependency) {
+  // y = x*x (via Mul sharing the same node twice); dy/dx = 2x.
+  Tensor x = Tensor::FromVector(Shape(2), {3, -4}, /*requires_grad=*/true);
+  Tensor loss = Sum(Mul(x, x));
+  loss.Backward();
+  EXPECT_FLOAT_EQ(x.grad()[0], 6.0f);
+  EXPECT_FLOAT_EQ(x.grad()[1], -8.0f);
+}
+
+TEST(AutogradTest, NoGradWhenNotRequired) {
+  Tensor x = Tensor::Ones(Shape(2), /*requires_grad=*/false);
+  Tensor loss = Sum(Scale(x, 3.0f));
+  loss.Backward();
+  EXPECT_TRUE(x.grad().empty());
+}
+
+TEST(AutogradTest, DeepChainNoStackOverflow) {
+  // Iterative topo-sort must handle long chains.
+  Tensor x = Tensor::Ones(Shape(1), /*requires_grad=*/true);
+  Tensor h = x;
+  for (int i = 0; i < 5000; ++i) h = Scale(h, 1.0f);
+  Sum(h).Backward();
+  EXPECT_FLOAT_EQ(x.grad()[0], 1.0f);
+}
+
+TEST(AutogradTest, MatMulGradientValues) {
+  // loss = sum(A·B): dA = 1·B^T, dB = A^T·1.
+  Tensor a = Tensor::FromVector(Shape(2, 2), {1, 2, 3, 4}, true);
+  Tensor b = Tensor::FromVector(Shape(2, 2), {5, 6, 7, 8}, true);
+  Sum(MatMul(a, b)).Backward();
+  // dA[i][k] = sum_j B[k][j]
+  EXPECT_FLOAT_EQ(a.grad()[0], 11.0f);  // 5+6
+  EXPECT_FLOAT_EQ(a.grad()[1], 15.0f);  // 7+8
+  EXPECT_FLOAT_EQ(a.grad()[2], 11.0f);
+  EXPECT_FLOAT_EQ(a.grad()[3], 15.0f);
+  // dB[k][j] = sum_i A[i][k]
+  EXPECT_FLOAT_EQ(b.grad()[0], 4.0f);  // 1+3
+  EXPECT_FLOAT_EQ(b.grad()[1], 4.0f);
+  EXPECT_FLOAT_EQ(b.grad()[2], 6.0f);  // 2+4
+  EXPECT_FLOAT_EQ(b.grad()[3], 6.0f);
+}
+
+TEST(TensorTest, ToStringTruncates) {
+  Tensor t = Tensor::Zeros(Shape(100));
+  const std::string s = t.ToString(4);
+  EXPECT_NE(s.find("..."), std::string::npos);
+}
+
+}  // namespace
+}  // namespace mixq

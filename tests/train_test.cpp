@@ -1,0 +1,206 @@
+// Copyright 2026 MixQ-GNN Authors
+// Tests for optimizers, metrics, k-fold splits, and the training loop.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "nn/linear.h"
+#include "quant/scheme.h"
+#include "tensor/ops.h"
+#include "train/metrics.h"
+#include "train/optimizer.h"
+#include "train/trainer.h"
+
+namespace mixq {
+namespace {
+
+TEST(SgdTest, MinimizesQuadratic) {
+  Tensor x = Tensor::FromVector(Shape(2), {5.0f, -3.0f}, true);
+  Sgd sgd({x}, 0.1f);
+  for (int i = 0; i < 200; ++i) {
+    sgd.ZeroGrad();
+    Sum(Mul(x, x)).Backward();
+    sgd.Step();
+  }
+  EXPECT_NEAR(x.data()[0], 0.0f, 1e-3);
+  EXPECT_NEAR(x.data()[1], 0.0f, 1e-3);
+}
+
+TEST(SgdTest, MomentumAccelerates) {
+  Tensor a = Tensor::Scalar(10.0f, true);
+  Tensor b = Tensor::Scalar(10.0f, true);
+  Sgd plain({a}, 0.01f, 0.0f);
+  Sgd heavy({b}, 0.01f, 0.9f);
+  for (int i = 0; i < 50; ++i) {
+    plain.ZeroGrad();
+    Sum(Mul(a, a)).Backward();
+    plain.Step();
+    heavy.ZeroGrad();
+    Sum(Mul(b, b)).Backward();
+    heavy.Step();
+  }
+  EXPECT_LT(std::fabs(b.item()), std::fabs(a.item()));
+}
+
+TEST(SgdTest, WeightDecayShrinksParams) {
+  Tensor x = Tensor::Scalar(1.0f, true);
+  Sgd sgd({x}, 0.1f, 0.0f, /*weight_decay=*/0.5f);
+  // No loss gradient at all: decay alone must shrink.
+  x.impl()->EnsureGrad();
+  for (int i = 0; i < 10; ++i) sgd.Step();
+  EXPECT_LT(x.item(), 1.0f);
+  EXPECT_GT(x.item(), 0.0f);
+}
+
+TEST(AdamTest, MinimizesRosenbrockish) {
+  // f(x, y) = (1-x)^2 + 10 (y - x^2)^2, minimum at (1, 1).
+  Tensor x = Tensor::Scalar(-0.5f, true);
+  Tensor y = Tensor::Scalar(2.0f, true);
+  Adam adam({x, y}, 0.02f);
+  for (int i = 0; i < 3000; ++i) {
+    adam.ZeroGrad();
+    Tensor one_minus_x = AddScalar(Scale(x, -1.0f), 1.0f);
+    Tensor x2 = Mul(x, x);
+    Tensor resid = Sub(y, x2);
+    Tensor loss = Add(Mul(one_minus_x, one_minus_x), Scale(Mul(resid, resid), 10.0f));
+    loss.Backward();
+    adam.Step();
+  }
+  EXPECT_NEAR(x.item(), 1.0f, 0.05f);
+  EXPECT_NEAR(y.item(), 1.0f, 0.1f);
+}
+
+TEST(AdamTest, SkipsParamsWithoutGrad) {
+  Tensor used = Tensor::Scalar(1.0f, true);
+  Tensor unused = Tensor::Scalar(7.0f, true);
+  Adam adam({used, unused}, 0.1f);
+  adam.ZeroGrad();
+  Sum(Mul(used, used)).Backward();
+  adam.Step();
+  EXPECT_FLOAT_EQ(unused.item(), 7.0f);
+  EXPECT_NE(used.item(), 1.0f);
+}
+
+TEST(AccuracyTest, MaskedComputation) {
+  Tensor logits = Tensor::FromVector(Shape(3, 2), {2, 1, 0, 3, 5, 4});
+  std::vector<int64_t> labels = {0, 1, 1};
+  EXPECT_DOUBLE_EQ(Accuracy(logits, labels, {1, 1, 1}), 2.0 / 3.0);
+  EXPECT_DOUBLE_EQ(Accuracy(logits, labels, {1, 1, 0}), 1.0);
+  EXPECT_DOUBLE_EQ(Accuracy(logits, labels, {0, 0, 1}), 0.0);
+}
+
+TEST(AccuracyTest, IgnoresNegativeLabels) {
+  Tensor logits = Tensor::FromVector(Shape(2, 2), {1, 0, 0, 1});
+  EXPECT_DOUBLE_EQ(Accuracy(logits, {-1, 1}, {1, 1}), 1.0);
+}
+
+TEST(RocAucTest, PerfectSeparationIsOne) {
+  Tensor logits = Tensor::FromVector(Shape(4, 1), {-2, -1, 1, 2});
+  Tensor targets = Tensor::FromVector(Shape(4, 1), {0, 0, 1, 1});
+  EXPECT_DOUBLE_EQ(RocAucMultiLabel(logits, targets, {1, 1, 1, 1}), 1.0);
+}
+
+TEST(RocAucTest, ReversedSeparationIsZero) {
+  Tensor logits = Tensor::FromVector(Shape(4, 1), {2, 1, -1, -2});
+  Tensor targets = Tensor::FromVector(Shape(4, 1), {0, 0, 1, 1});
+  EXPECT_DOUBLE_EQ(RocAucMultiLabel(logits, targets, {1, 1, 1, 1}), 0.0);
+}
+
+TEST(RocAucTest, RandomScoresNearHalf) {
+  Rng rng(1);
+  const int64_t n = 2000;
+  Tensor logits = Tensor::RandomUniform(Shape(n, 1), &rng, -1.0f, 1.0f);
+  Tensor targets = Tensor::Zeros(Shape(n, 1));
+  for (int64_t i = 0; i < n; ++i) targets.at(i, 0) = rng.Bernoulli(0.5) ? 1.0f : 0.0f;
+  std::vector<uint8_t> mask(static_cast<size_t>(n), 1);
+  EXPECT_NEAR(RocAucMultiLabel(logits, targets, mask), 0.5, 0.05);
+}
+
+TEST(RocAucTest, DegenerateTaskSkipped) {
+  // Column 1 is all-positive: must not poison the average.
+  Tensor logits = Tensor::FromVector(Shape(4, 2), {-2, 0, -1, 0, 1, 0, 2, 0});
+  Tensor targets = Tensor::FromVector(Shape(4, 2), {0, 1, 0, 1, 1, 1, 1, 1});
+  EXPECT_DOUBLE_EQ(RocAucMultiLabel(logits, targets, {1, 1, 1, 1}), 1.0);
+}
+
+TEST(KFoldTest, PartitionProperties) {
+  auto folds = KFoldSplits(103, 10, 7);
+  ASSERT_EQ(folds.size(), 10u);
+  std::set<int64_t> all_test;
+  for (const auto& f : folds) {
+    for (int64_t i : f.test) {
+      EXPECT_TRUE(all_test.insert(i).second) << "index in two test folds";
+    }
+    // train ∪ test covers everything, disjointly.
+    std::set<int64_t> train(f.train.begin(), f.train.end());
+    EXPECT_EQ(train.size() + f.test.size(), 103u);
+    for (int64_t i : f.test) EXPECT_FALSE(train.count(i));
+  }
+  EXPECT_EQ(all_test.size(), 103u);
+}
+
+TEST(KFoldTest, DeterministicPerSeed) {
+  auto a = KFoldSplits(50, 5, 3);
+  auto b = KFoldSplits(50, 5, 3);
+  auto c = KFoldSplits(50, 5, 4);
+  EXPECT_EQ(a[0].test, b[0].test);
+  EXPECT_NE(a[0].test, c[0].test);
+}
+
+TEST(TrainingLoopTest, LearnsLinearlySeparableTask) {
+  // 2-class toy: y = 1 iff x0 > x1; a Linear must reach ~100% train acc.
+  Rng rng(5);
+  const int64_t n = 200;
+  Tensor x = Tensor::RandomUniform(Shape(n, 2), &rng, -1.0f, 1.0f);
+  std::vector<int64_t> labels(static_cast<size_t>(n));
+  for (int64_t i = 0; i < n; ++i) labels[static_cast<size_t>(i)] = x.at(i, 0) > x.at(i, 1);
+  std::vector<uint8_t> train_mask(static_cast<size_t>(n), 0),
+      val_mask(static_cast<size_t>(n), 0);
+  for (int64_t i = 0; i < n; ++i) {
+    (i % 2 == 0 ? train_mask : val_mask)[static_cast<size_t>(i)] = 1;
+  }
+
+  struct Wrapper : Module {
+    explicit Wrapper(Rng* rng) : lin(2, 2, "toy", rng) {}
+    std::vector<Tensor> Parameters() override { return lin.Parameters(); }
+    Linear lin;
+  } model(&rng);
+  NoQuantScheme scheme;
+
+  TrainLoopConfig cfg;
+  cfg.epochs = 200;
+  cfg.lr = 0.1f;
+  cfg.weight_decay = 0.0f;
+  TrainResult result = RunTrainingLoop(
+      cfg, &model, &scheme, [&](Rng*) { return model.lin.Forward(x, &scheme); },
+      [&](const Tensor& logits) { return CrossEntropyMasked(logits, labels, train_mask); },
+      [&](const Tensor& logits, bool is_test) {
+        return Accuracy(logits, labels, is_test ? val_mask : val_mask);
+      });
+  EXPECT_GT(result.best_val_metric, 0.95);
+  EXPECT_EQ(result.epochs_run, 200);
+}
+
+TEST(TrainingLoopTest, EarlyStoppingHalts) {
+  Rng rng(6);
+  struct Wrapper : Module {
+    explicit Wrapper(Rng* rng) : lin(2, 2, "toy", rng) {}
+    std::vector<Tensor> Parameters() override { return lin.Parameters(); }
+    Linear lin;
+  } model(&rng);
+  NoQuantScheme scheme;
+  Tensor x = Tensor::RandomUniform(Shape(10, 2), &rng, -1.0f, 1.0f);
+  std::vector<int64_t> labels(10, 0);
+  std::vector<uint8_t> mask(10, 1);
+  TrainLoopConfig cfg;
+  cfg.epochs = 500;
+  cfg.early_stop_patience = 5;
+  TrainResult result = RunTrainingLoop(
+      cfg, &model, &scheme, [&](Rng*) { return model.lin.Forward(x, &scheme); },
+      [&](const Tensor& logits) { return CrossEntropyMasked(logits, labels, mask); },
+      [&](const Tensor&, bool) { return 0.5; });  // constant val metric
+  EXPECT_LT(result.epochs_run, 20);
+}
+
+}  // namespace
+}  // namespace mixq
