@@ -12,10 +12,50 @@
 #include <string>
 
 #include "common/table_printer.h"
-#include "core/pipelines.h"
+#include "core/experiment.h"
 
 namespace mixq {
 namespace bench {
+
+/// Runs one node experiment through the Experiment facade. Bench binaries
+/// have no error path: invalid specs abort with the validation message.
+inline ExperimentResult RunNode(NodeDataset dataset,
+                                const NodeExperimentConfig& config,
+                                const SchemeRef& scheme, uint64_t seed = 1) {
+  ExperimentSpec spec =
+      ExperimentSpec::NodeClassification(std::move(dataset), config, scheme);
+  spec.seed = seed;
+  Result<Experiment> experiment = Experiment::Create(std::move(spec));
+  MIXQ_CHECK(experiment.ok()) << experiment.status().ToString();
+  Result<ExperimentReport> report = experiment.ValueOrDie().Run();
+  MIXQ_CHECK(report.ok()) << report.status().ToString();
+  return std::move(report.ValueOrDie().node);
+}
+
+/// Graph-classification counterpart of RunNode().
+inline GraphExperimentResult RunGraph(GraphDataset dataset,
+                                      const GraphExperimentConfig& config,
+                                      const SchemeRef& scheme, uint64_t seed = 1) {
+  ExperimentSpec spec =
+      ExperimentSpec::GraphClassification(std::move(dataset), config, scheme);
+  spec.seed = seed;
+  Result<Experiment> experiment = Experiment::Create(std::move(spec));
+  MIXQ_CHECK(experiment.ok()) << experiment.status().ToString();
+  Result<ExperimentReport> report = experiment.ValueOrDie().Run();
+  MIXQ_CHECK(report.ok()) << report.status().ToString();
+  return std::move(report.ValueOrDie().graph);
+}
+
+/// Repeated node runs with varied seeds (paper protocol), unwrapped.
+inline RepeatedResult Repeat(const std::function<NodeDataset(uint64_t)>& make_dataset,
+                             const NodeExperimentConfig& config,
+                             const SchemeRef& scheme, int repeats,
+                             uint64_t seed0 = 1) {
+  Result<RepeatedResult> result =
+      RepeatExperiment(make_dataset, config, scheme, repeats, seed0);
+  MIXQ_CHECK(result.ok()) << result.status().ToString();
+  return result.MoveValueOrDie();
+}
 
 inline bool FullProfile() {
   const char* env = std::getenv("MIXQ_FULL");

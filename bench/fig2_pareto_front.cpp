@@ -27,7 +27,7 @@ int main() {
   }
 
   // FP32 reference point.
-  ExperimentResult fp32 = RunNodeExperiment(ds, cfg, SchemeSpec::Fp32());
+  ExperimentResult fp32 = RunNode(ds, cfg, SchemeRef::Fp32());
 
   Rng combo_rng(97);
   std::vector<ParetoPoint> points;
@@ -38,9 +38,8 @@ int main() {
       assign[id] = bits[static_cast<size_t>(
           combo_rng.UniformInt(0, static_cast<int64_t>(bits.size()) - 1))];
     }
-    SchemeSpec spec = SchemeSpec::Fixed(assign);
-    spec.seed = 100 + static_cast<uint64_t>(c);
-    ExperimentResult r = RunNodeExperiment(ds, cfg, spec);
+    ExperimentResult r = RunNode(ds, cfg, SchemeRef::Fixed(assign),
+                                 /*seed=*/100 + static_cast<uint64_t>(c));
     points.push_back({r.avg_bits, r.test_metric, c});
     assignments.push_back(std::move(assign));
   }

@@ -13,16 +13,15 @@ int main() {
   NodeExperimentConfig cfg = StandardNodeConfig(NodeModelKind::kGcn);
   auto make = [](uint64_t seed) { return QuickCitation("cora", seed); };
 
-  ExperimentResult fp32 = RunNodeExperiment(QuickCitation("cora", 1), cfg,
-                                            SchemeSpec::Fp32());
+  ExperimentResult fp32 = RunNode(QuickCitation("cora", 1), cfg, SchemeRef::Fp32());
 
   const double lambdas[] = {-0.1, -0.01, -1e-8, 0.001, 0.01, 0.05, 0.1};
   TablePrinter table({"Lambda", "Avg bits", "Accuracy", "GBitOPs"});
   std::vector<double> bits_series;
   for (double lambda : lambdas) {
-    SchemeSpec spec = SchemeSpec::MixQ(lambda);
-    spec.search_epochs = cfg.train.epochs;
-    RepeatedResult r = RepeatNodeExperiment(make, cfg, spec, runs);
+    SchemeRef scheme = SchemeRef::MixQ(lambda);
+    scheme.params.SetInt("search_epochs", cfg.train.epochs);
+    RepeatedResult r = Repeat(make, cfg, scheme, runs);
     bits_series.push_back(r.mean_bits);
     table.AddRow({FormatFloat(lambda, 4), FormatFloat(r.mean_bits, 2),
                   FormatMeanStd(r.mean_metric * 100.0, r.std_metric * 100.0),

@@ -27,22 +27,18 @@ int main() {
                       "Bits", "GBitOPs"});
   for (const Row& row : rows) {
     auto make = [&](uint64_t seed) { return QuickCitation(row.dataset, seed); };
-    SchemeSpec random;
-    random.kind = SchemeSpec::Kind::kRandom;
-    SchemeSpec random8;
-    random8.kind = SchemeSpec::Kind::kRandomInt8;
-    SchemeSpec mixq = SchemeSpec::MixQ(1.0);
-    mixq.search_epochs = cfg.train.epochs;
+    SchemeRef mixq = SchemeRef::MixQ(1.0);
+    mixq.params.SetInt("search_epochs", cfg.train.epochs);
     struct M {
       const char* label;
-      SchemeSpec spec;
+      SchemeRef scheme;
       const char* paper;
     };
-    const M methods[] = {{"Random", random, row.paper_random},
-                         {"Random+INT8", random8, row.paper_random8},
+    const M methods[] = {{"Random", SchemeRef::Random(), row.paper_random},
+                         {"Random+INT8", SchemeRef::RandomInt8(), row.paper_random8},
                          {"MixQ(l=1)", mixq, row.paper_mixq}};
     for (const M& m : methods) {
-      RepeatedResult r = RepeatNodeExperiment(make, cfg, m.spec, runs);
+      RepeatedResult r = Repeat(make, cfg, m.scheme, runs);
       table.AddRow({row.dataset, m.label, m.paper,
                     FormatMeanStd(r.mean_metric * 100.0, r.std_metric * 100.0),
                     FormatFloat(r.mean_bits, 2), FormatFloat(r.mean_gbitops, 2)});

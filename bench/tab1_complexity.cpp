@@ -25,11 +25,10 @@ int main() {
   cfg.num_layers = 3;
   NodeDataset arxiv = QuickCitation("arxiv", 1);
 
-  SchemeSpec a2q = SchemeSpec::A2q();
-  ExperimentResult ra = RunNodeExperiment(arxiv, cfg, a2q);
-  SchemeSpec mixq = SchemeSpec::MixQ(0.05, {4, 8});
-  mixq.search_epochs = 8;
-  ExperimentResult rm = RunNodeExperiment(arxiv, cfg, mixq);
+  ExperimentResult ra = RunNode(arxiv, cfg, SchemeRef::A2q());
+  SchemeRef mixq = SchemeRef::MixQ(0.05, {4, 8});
+  mixq.params.SetInt("search_epochs", 8);
+  ExperimentResult rm = RunNode(arxiv, cfg, mixq);
 
   TablePrinter measured({"Method", "Model params", "Quant params",
                          "Quant params / node"});

@@ -21,15 +21,17 @@ void RunDataset(const std::string& key, const std::vector<int>& bit_options,
   NodeExperimentConfig cfg = StandardNodeConfig(NodeModelKind::kGcn);
   auto make = [&](uint64_t seed) { return QuickCitation(key, seed); };
 
-  std::vector<std::pair<std::string, SchemeSpec>> methods;
-  methods.push_back({"FP32", SchemeSpec::Fp32()});
-  methods.push_back({"DQ-INT8", SchemeSpec::Dq(8)});
-  methods.push_back({"DQ-INT4", SchemeSpec::Dq(4)});
-  methods.push_back({"A2Q", SchemeSpec::A2q()});
-  SchemeSpec m_eps = SchemeSpec::MixQ(-1e-8, bit_options);
-  SchemeSpec m_01 = SchemeSpec::MixQ(0.05, bit_options);
-  SchemeSpec m_1 = SchemeSpec::MixQ(1.0, bit_options);
-  m_eps.search_epochs = m_01.search_epochs = m_1.search_epochs = cfg.train.epochs;
+  std::vector<std::pair<std::string, SchemeRef>> methods;
+  methods.push_back({"FP32", SchemeRef::Fp32()});
+  methods.push_back({"DQ-INT8", SchemeRef::Dq(8)});
+  methods.push_back({"DQ-INT4", SchemeRef::Dq(4)});
+  methods.push_back({"A2Q", SchemeRef::A2q()});
+  SchemeRef m_eps = SchemeRef::MixQ(-1e-8, bit_options);
+  SchemeRef m_01 = SchemeRef::MixQ(0.05, bit_options);
+  SchemeRef m_1 = SchemeRef::MixQ(1.0, bit_options);
+  for (SchemeRef* s : {&m_eps, &m_01, &m_1}) {
+    s->params.SetInt("search_epochs", cfg.train.epochs);
+  }
   methods.push_back({"MixQ(l=-e)", m_eps});
   methods.push_back({"MixQ(l=0.1)", m_01});
   methods.push_back({"MixQ(l=1)", m_1});
@@ -37,7 +39,7 @@ void RunDataset(const std::string& key, const std::vector<int>& bit_options,
   TablePrinter table({"Method", "Paper Acc", "Paper Bits", "Paper GBitOPs",
                       "Measured Acc", "Bits", "GBitOPs"});
   for (size_t i = 0; i < methods.size(); ++i) {
-    RepeatedResult r = RepeatNodeExperiment(make, cfg, methods[i].second, runs);
+    RepeatedResult r = Repeat(make, cfg, methods[i].second, runs);
     const PaperRow& p = i < paper.size() ? paper[i] : PaperRow{"", "-", "-", "-"};
     table.AddRow({methods[i].first, p.acc, p.bits, p.gbitops,
                   FormatMeanStd(r.mean_metric * 100.0, r.std_metric * 100.0),

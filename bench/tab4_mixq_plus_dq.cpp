@@ -31,10 +31,10 @@ int main() {
   TablePrinter table({"Method", "Paper Acc", "Paper Bits", "Measured Acc", "Bits",
                       "GBitOPs"});
   for (const Row& row : rows) {
-    SchemeSpec spec =
-        row.dq ? SchemeSpec::MixQDq(row.lambda) : SchemeSpec::MixQ(row.lambda);
-    spec.search_epochs = cfg.train.epochs;
-    RepeatedResult r = RepeatNodeExperiment(make, cfg, spec, runs);
+    SchemeRef scheme =
+        row.dq ? SchemeRef::MixQDq(row.lambda) : SchemeRef::MixQ(row.lambda);
+    scheme.params.SetInt("search_epochs", cfg.train.epochs);
+    RepeatedResult r = Repeat(make, cfg, scheme, runs);
     table.AddRow({row.label, row.paper_acc, row.paper_bits,
                   FormatMeanStd(r.mean_metric * 100.0, r.std_metric * 100.0),
                   FormatFloat(r.mean_bits, 2), FormatFloat(r.mean_gbitops, 2)});

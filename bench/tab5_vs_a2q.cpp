@@ -27,10 +27,10 @@ int main() {
                       "Measured Acc", "GBitOPs"});
   for (const Row& row : rows) {
     auto make = [&](uint64_t seed) { return QuickCitation(row.dataset, seed); };
-    RepeatedResult a2q = RepeatNodeExperiment(make, cfg, SchemeSpec::A2q(), runs);
-    SchemeSpec mixq_dq = SchemeSpec::MixQDq(-1e-8);
-    mixq_dq.search_epochs = cfg.train.epochs;
-    RepeatedResult mq = RepeatNodeExperiment(make, cfg, mixq_dq, runs);
+    RepeatedResult a2q = Repeat(make, cfg, SchemeRef::A2q(), runs);
+    SchemeRef mixq_dq = SchemeRef::MixQDq(-1e-8);
+    mixq_dq.params.SetInt("search_epochs", cfg.train.epochs);
+    RepeatedResult mq = Repeat(make, cfg, mixq_dq, runs);
     table.AddRow({row.dataset, "A2Q", row.paper_a2q_acc, row.paper_a2q_g,
                   FormatMeanStd(a2q.mean_metric * 100.0, a2q.std_metric * 100.0),
                   FormatFloat(a2q.mean_gbitops, 2)});

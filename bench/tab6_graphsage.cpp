@@ -37,10 +37,10 @@ int main() {
   std::string last_ds;
   for (const Row& row : rows) {
     auto make = [&](uint64_t seed) { return QuickCitation(row.dataset, seed); };
-    SchemeSpec spec =
-        row.lambda < -1.0 ? SchemeSpec::Fp32() : SchemeSpec::MixQ(row.lambda);
-    spec.search_epochs = cfg.train.epochs;
-    RepeatedResult r = RepeatNodeExperiment(make, cfg, spec, runs);
+    SchemeRef scheme =
+        row.lambda < -1.0 ? SchemeRef::Fp32() : SchemeRef::MixQ(row.lambda);
+    scheme.params.SetInt("search_epochs", cfg.train.epochs);
+    RepeatedResult r = Repeat(make, cfg, scheme, runs);
     if (!last_ds.empty() && last_ds != row.dataset) table.AddSeparator();
     last_ds = row.dataset;
     table.AddRow({row.dataset, row.method, row.paper_acc, row.paper_bits,

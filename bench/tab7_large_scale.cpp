@@ -100,18 +100,20 @@ int main() {
     auto make = [&](uint64_t seed) { return LargeAnalogue(block.dataset, seed); };
     struct M {
       const char* label;
-      SchemeSpec spec;
+      SchemeRef scheme;
       const char* paper;
     };
-    SchemeSpec eps = SchemeSpec::MixQ(-1e-8), l01 = SchemeSpec::MixQ(0.05),
-               l1 = SchemeSpec::MixQ(1.0);
-    eps.search_epochs = l01.search_epochs = l1.search_epochs = cfg.train.epochs;
-    const M methods[] = {{"FP32", SchemeSpec::Fp32(), block.fp32},
+    SchemeRef eps = SchemeRef::MixQ(-1e-8), l01 = SchemeRef::MixQ(0.05),
+              l1 = SchemeRef::MixQ(1.0);
+    for (SchemeRef* s : {&eps, &l01, &l1}) {
+      s->params.SetInt("search_epochs", cfg.train.epochs);
+    }
+    const M methods[] = {{"FP32", SchemeRef::Fp32(), block.fp32},
                          {"MixQ(l=-e)", eps, block.l_eps},
                          {"MixQ(l=0.1)", l01, block.l_01},
                          {"MixQ(l=1)", l1, block.l_1}};
     for (const M& m : methods) {
-      RepeatedResult r = RepeatNodeExperiment(make, cfg, m.spec, runs);
+      RepeatedResult r = Repeat(make, cfg, m.scheme, runs);
       table.AddRow({block.dataset, m.label, m.paper,
                     FormatMeanStd(r.mean_metric * 100.0, r.std_metric * 100.0),
                     FormatFloat(r.mean_bits, 2), FormatFloat(r.mean_gbitops, 2)});

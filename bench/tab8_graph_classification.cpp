@@ -19,14 +19,16 @@ void RunDataset(const std::string& name, const GraphDataset& ds,
   cfg.train.lr = 0.01f;
   cfg.train.weight_decay = 0.0f;
 
-  SchemeSpec mixq_star = SchemeSpec::MixQ(-1e-8, bit_options);
-  SchemeSpec mixq_1 = SchemeSpec::MixQ(1.0, bit_options);
-  mixq_star.search_epochs = mixq_1.search_epochs = cfg.train.epochs / 2;
-  const std::vector<std::pair<std::string, SchemeSpec>> methods = {
-      {"FP32", SchemeSpec::Fp32()},
-      {"DQ-INT4", SchemeSpec::Dq(bit_options.front())},
-      {"DQ-INT8", SchemeSpec::Dq(bit_options.back())},
-      {"A2Q", SchemeSpec::A2q()},
+  SchemeRef mixq_star = SchemeRef::MixQ(-1e-8, bit_options);
+  SchemeRef mixq_1 = SchemeRef::MixQ(1.0, bit_options);
+  for (SchemeRef* s : {&mixq_star, &mixq_1}) {
+    s->params.SetInt("search_epochs", cfg.train.epochs / 2);
+  }
+  const std::vector<std::pair<std::string, SchemeRef>> methods = {
+      {"FP32", SchemeRef::Fp32()},
+      {"DQ-INT4", SchemeRef::Dq(bit_options.front())},
+      {"DQ-INT8", SchemeRef::Dq(bit_options.back())},
+      {"A2Q", SchemeRef::A2q()},
       {"MixQ(l*)", mixq_star},
       {"MixQ(l=1)", mixq_1},
   };
@@ -34,7 +36,7 @@ void RunDataset(const std::string& name, const GraphDataset& ds,
   TablePrinter table({"Method", "Paper Acc", "Paper Bits", "Paper GBitOPs",
                       "Measured Acc", "Bits", "GBitOPs"});
   for (size_t i = 0; i < methods.size(); ++i) {
-    GraphExperimentResult r = RunGraphExperiment(ds, cfg, methods[i].second);
+    GraphExperimentResult r = RunGraph(ds, cfg, methods[i].second);
     const auto& p = i < paper.size()
                         ? paper[i]
                         : std::array<const char*, 4>{"", "-", "-", "-"};

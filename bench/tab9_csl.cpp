@@ -20,18 +20,20 @@ int main() {
   cfg.train.lr = 0.005f;
   cfg.train.weight_decay = 0.0f;
 
-  SchemeSpec mixq_eps = SchemeSpec::MixQ(-1e-3, {2, 4, 8});
-  SchemeSpec mixq_0 = SchemeSpec::MixQ(0.0, {2, 4, 8});
-  mixq_eps.search_epochs = mixq_0.search_epochs = cfg.train.epochs / 2;
+  SchemeRef mixq_eps = SchemeRef::MixQ(-1e-3, {2, 4, 8});
+  SchemeRef mixq_0 = SchemeRef::MixQ(0.0, {2, 4, 8});
+  for (SchemeRef* s : {&mixq_eps, &mixq_0}) {
+    s->params.SetInt("search_epochs", cfg.train.epochs / 2);
+  }
   struct Row {
     const char* label;
-    SchemeSpec spec;
+    SchemeRef scheme;
     const char* paper;
   };
   const Row rows[] = {
-      {"FP32", SchemeSpec::Fp32(), "99.4 ±1.3 (min 96.7, max 100)"},
-      {"QAT-INT2", SchemeSpec::Qat(2), "24.4 ±8.1 (min 6.7, max 46.7)"},
-      {"QAT-INT4", SchemeSpec::Qat(4), "94.4 ±5.9 (min 80, max 100)"},
+      {"FP32", SchemeRef::Fp32(), "99.4 ±1.3 (min 96.7, max 100)"},
+      {"QAT-INT2", SchemeRef::Qat(2), "24.4 ±8.1 (min 6.7, max 46.7)"},
+      {"QAT-INT4", SchemeRef::Qat(4), "94.4 ±5.9 (min 80, max 100)"},
       {"MixQ(l=-e)", mixq_eps, "95.0 ±5.1 (3.9 bits)"},
       {"MixQ(l=0)", mixq_0, "94.1 ±5.2 (3.5 bits)"},
   };
@@ -39,7 +41,7 @@ int main() {
   TablePrinter table({"Method", "Paper Acc (5-fold x10)", "Measured Acc", "Min",
                       "Max", "Bits"});
   for (const Row& row : rows) {
-    GraphExperimentResult r = RunGraphExperiment(csl, cfg, row.spec);
+    GraphExperimentResult r = RunGraph(csl, cfg, row.scheme);
     table.AddRow({row.label, row.paper,
                   FormatMeanStd(r.mean * 100.0, r.stddev * 100.0),
                   FormatFloat(r.min * 100.0, 1), FormatFloat(r.max * 100.0, 1),

@@ -2,13 +2,16 @@
 // Driving the relaxed search directly: build a RelaxedMixQScheme, train it
 // together with a GraphSAGE model, inspect the per-component softmax(α)
 // weights as they converge, and extract the bit-width sequence S — the
-// low-level API behind RunNodeExperiment's MixQ mode.
+// low-level machinery behind the registry's "mixq" family (what the
+// Experiment facade runs when given SchemeRef::MixQ). At the end, the same
+// custom search space is registered as a first-class named scheme.
 //
 //   ./examples/custom_search_space
 #include <cstdio>
 
 #include "core/relaxed_scheme.h"
 #include "graph/generators.h"
+#include "quant/scheme_registry.h"
 #include "nn/models.h"
 #include "train/metrics.h"
 #include "train/trainer.h"
@@ -66,5 +69,21 @@ int main() {
   PerComponentScheme fixed(selected, /*default_bits=*/8);
   std::printf("\ninstantiated PerComponentScheme with %zu searched components.\n",
               fixed.assignment().size());
+
+  // Finally, publish the searched assignment as a first-class named scheme:
+  // from now on any ExperimentSpec in this process can reference it as
+  // SchemeRef("sage-368-selected") — no core code knows it exists.
+  Status st = SchemeRegistry::Global().Register(
+      "sage-368-selected",
+      std::make_shared<const LambdaSchemeFamily>(
+          [selected](const SchemeParams&,
+                     const SchemeBuildContext&) -> Result<QuantSchemePtr> {
+            return QuantSchemePtr(
+                std::make_shared<PerComponentScheme>(selected, /*default=*/8));
+          },
+          [](const SchemeParams&) { return std::string("MixQ{3,6,8}-selected"); }));
+  std::printf("registered scheme 'sage-368-selected': %s (label %s)\n",
+              st.ToString().c_str(),
+              SchemeRegistry::Global().Label(SchemeRef("sage-368-selected")).c_str());
   return 0;
 }

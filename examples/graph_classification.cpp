@@ -6,7 +6,7 @@
 //   ./examples/graph_classification
 #include <cstdio>
 
-#include "core/pipelines.h"
+#include "core/experiment.h"
 
 using namespace mixq;
 
@@ -29,20 +29,25 @@ int main() {
 
   struct Entry {
     const char* label;
-    SchemeSpec spec;
+    SchemeRef scheme;
   };
-  SchemeSpec mixq = SchemeSpec::MixQ(/*lambda=*/0.05, {4, 8});
-  mixq.search_epochs = 20;
+  SchemeRef mixq = SchemeRef::MixQ(/*lambda=*/0.05, {4, 8});
+  mixq.params.SetInt("search_epochs", 20);
   const Entry entries[] = {
-      {"FP32", SchemeSpec::Fp32()},
-      {"DQ-INT4", SchemeSpec::Dq(4)},
+      {"FP32", SchemeRef::Fp32()},
+      {"DQ-INT4", SchemeRef::Dq(4)},
       {"MixQ {4,8}", mixq},
   };
 
   std::printf("\n%-12s %-16s %-10s %-10s\n", "method", "accuracy", "bits",
               "GBitOPs");
   for (const Entry& e : entries) {
-    GraphExperimentResult r = RunGraphExperiment(dataset, config, e.spec);
+    Result<Experiment> experiment = Experiment::Create(
+        ExperimentSpec::GraphClassification(dataset, config, e.scheme));
+    MIXQ_CHECK(experiment.ok()) << experiment.status().ToString();
+    Result<ExperimentReport> report = experiment.ValueOrDie().Run();
+    MIXQ_CHECK(report.ok()) << report.status().ToString();
+    const GraphExperimentResult& r = report.ValueOrDie().graph;
     std::printf("%-12s %5.1f%% +- %4.1f%%  %-10.2f %-10.3f\n", e.label,
                 r.mean * 100.0, r.stddev * 100.0, r.avg_bits, r.gbitops);
   }

@@ -1,13 +1,28 @@
 // Copyright 2026 MixQ-GNN Authors
 // Quickstart: train an FP32 2-layer GCN on a citation-network dataset, then
-// quantize it with a MixQ bit-width search and compare accuracy and BitOPs.
+// quantize it with a MixQ bit-width search and compare accuracy and BitOPs —
+// all through the Experiment facade and the string-keyed scheme registry.
 //
 //   ./examples/quickstart
 #include <cstdio>
 
-#include "core/pipelines.h"
+#include "core/experiment.h"
 
 using namespace mixq;
+
+namespace {
+
+// Validates and runs one spec, aborting with the validation message (an
+// example has no better error path).
+ExperimentResult RunOrDie(ExperimentSpec spec) {
+  Result<Experiment> experiment = Experiment::Create(std::move(spec));
+  MIXQ_CHECK(experiment.ok()) << experiment.status().ToString();
+  Result<ExperimentReport> report = experiment.ValueOrDie().Run();
+  MIXQ_CHECK(report.ok()) << report.status().ToString();
+  return std::move(report.ValueOrDie().node);
+}
+
+}  // namespace
 
 int main() {
   // 1. A dataset. CoraLike() mirrors Cora's statistics (2708 nodes,
@@ -37,16 +52,19 @@ int main() {
   experiment.train.epochs = 80;
   experiment.train.lr = 0.01f;
 
-  // 3. FP32 baseline.
-  ExperimentResult fp32 = RunNodeExperiment(dataset, experiment, SchemeSpec::Fp32());
+  // 3. FP32 baseline. Schemes are referenced by registry name — "fp32" here;
+  //    SchemeRef::Fp32() is sugar for SchemeRef("fp32").
+  ExperimentResult fp32 = RunOrDie(
+      ExperimentSpec::NodeClassification(dataset, experiment, SchemeRef::Fp32()));
   std::printf("\nFP32   : accuracy %.1f%%, %.2f GBitOPs (32-bit everywhere)\n",
               fp32.test_metric * 100.0, fp32.gbitops);
 
   // 4. MixQ: search bit-widths over {2,4,8}, then train the selected
   //    quantized architecture (Algorithm 1 + per-component QAT).
-  SchemeSpec mixq = SchemeSpec::MixQ(/*lambda=*/0.05, {2, 4, 8});
-  mixq.search_epochs = 60;
-  ExperimentResult q = RunNodeExperiment(dataset, experiment, mixq);
+  SchemeRef mixq = SchemeRef::MixQ(/*lambda=*/0.05, {2, 4, 8});
+  mixq.params.SetInt("search_epochs", 60);
+  ExperimentResult q =
+      RunOrDie(ExperimentSpec::NodeClassification(dataset, experiment, mixq));
   std::printf("MixQ   : accuracy %.1f%%, %.2f GBitOPs at %.2f average bits\n",
               q.test_metric * 100.0, q.gbitops, q.avg_bits);
   std::printf("         BitOPs reduction vs FP32: %.1fx\n",

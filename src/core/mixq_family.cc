@@ -1,0 +1,106 @@
+// Copyright 2026 MixQ-GNN Authors
+// SchemeRegistry families for the paper's contribution: "mixq" (relaxed
+// bit-width search, Algorithm 1, then fixed-width training) and "mixq_dq"
+// (the selected widths trained with the Degree-Quant quantizer, Table 4).
+//
+// These are RequiresSearch() families: BuildSearch() yields the relaxed
+// softmax(α)-mixture scheme for phase 1; the Experiment facade records
+// SelectedBits() into SchemeBuildContext::selected_bits and calls Build()
+// for the phase-2 per-component scheme. Registered here — in core, next to
+// RelaxedMixQScheme — rather than in src/quant/, proving out the registry's
+// open-extension contract.
+//
+// Recognized parameters: lambda (default 0.1), bit_options ("2,4,8"),
+// search_epochs (default 50; consumed by the Experiment facade), and for
+// mixq_dq the DQ knobs p_min / p_max.
+#include <cstdio>
+
+#include "core/relaxed_scheme.h"
+#include "quant/scheme_registry.h"
+
+namespace mixq {
+namespace {
+
+class MixQFamily : public SchemeFamily {
+ public:
+  explicit MixQFamily(bool dq_finetune) : dq_finetune_(dq_finetune) {}
+
+  bool RequiresSearch() const override { return true; }
+
+  Result<QuantSchemePtr> BuildSearch(const SchemeParams& params,
+                                     const SchemeBuildContext&) const override {
+    RelaxedOptions opts;
+    opts.bit_options = params.GetIntListOr("bit_options", {2, 4, 8});
+    opts.lambda = params.GetDoubleOr("lambda", 0.1);
+    return QuantSchemePtr(std::make_shared<RelaxedMixQScheme>(opts));
+  }
+
+  Result<QuantSchemePtr> Build(const SchemeParams& params,
+                               const SchemeBuildContext& ctx) const override {
+    if (ctx.selected_bits.empty()) {
+      return Status::InvalidArgument(
+          "mixq is a two-phase family: run the search scheme from BuildSearch() "
+          "first and pass its SelectedBits() via SchemeBuildContext::selected_bits "
+          "(the Experiment facade does this automatically)");
+    }
+    QatOptions opts;
+    if (dq_finetune_) {
+      if (ctx.in_degrees.empty()) {
+        return Status::InvalidArgument(
+            "mixq_dq requires SchemeBuildContext::in_degrees (DQ protection)");
+      }
+      opts.activation_observer = ObserverKind::kPercentile;
+      opts.degree_protect = true;
+      opts.protect_probs = MakeDegreeProtectionProbs(
+          ctx.in_degrees, params.GetDoubleOr("p_min", 0.0),
+          params.GetDoubleOr("p_max", 0.2));
+      opts.mask_seed = ctx.seed;
+    }
+    return QuantSchemePtr(std::make_shared<PerComponentScheme>(
+        ctx.selected_bits, /*default=*/8, opts));
+  }
+
+  Status ValidateParams(const SchemeParams& params) const override {
+    Result<std::vector<int>> options = params.GetIntList("bit_options");
+    if (params.Has("bit_options")) {
+      if (!options.ok()) return options.status();
+      if (options.ValueOrDie().empty()) {
+        return Status::InvalidArgument("bit_options must be non-empty");
+      }
+      for (int b : options.ValueOrDie()) {
+        if (b < 1 || b > 32) {
+          return Status::InvalidArgument("bit_options entry " + std::to_string(b) +
+                                         " out of range [1, 32]");
+        }
+      }
+    }
+    if (params.Has("lambda")) {
+      Result<double> lambda = params.GetDouble("lambda");
+      if (!lambda.ok()) return lambda.status();
+    }
+    if (params.Has("search_epochs")) {
+      Result<int64_t> epochs = params.GetInt("search_epochs");
+      if (!epochs.ok()) return epochs.status();
+      if (epochs.ValueOrDie() < 1) {
+        return Status::InvalidArgument("search_epochs must be >= 1");
+      }
+    }
+    return ValidateOptionalDoubleParams(params, {"p_min", "p_max"});
+  }
+
+  std::string Label(const SchemeParams& params) const override {
+    char buf[96];
+    std::snprintf(buf, sizeof(buf), dq_finetune_ ? "MixQ(l=%g)+DQ" : "MixQ(l=%g)",
+                  params.GetDoubleOr("lambda", 0.1));
+    return buf;
+  }
+
+ private:
+  bool dq_finetune_;
+};
+
+MIXQ_REGISTER_SCHEME("mixq", std::make_shared<const MixQFamily>(false));
+MIXQ_REGISTER_SCHEME("mixq_dq", std::make_shared<const MixQFamily>(true));
+
+}  // namespace
+}  // namespace mixq

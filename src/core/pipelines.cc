@@ -1,443 +1,80 @@
 // Copyright 2026 MixQ-GNN Authors
+// SchemeSpec → SchemeRef translation and the legacy CHECK-on-failure
+// wrappers around the Experiment facade.
 #include "core/pipelines.h"
-
-#include <algorithm>
-#include <cmath>
-
-#include "common/stats.h"
-#include "core/relaxed_scheme.h"
-#include "quant/a2q.h"
-#include "tensor/ops.h"
-#include "train/metrics.h"
-#include "train/optimizer.h"
 
 namespace mixq {
 
-std::string SchemeLabel(const SchemeSpec& spec) {
-  char buf[96];
-  switch (spec.kind) {
-    case SchemeSpec::Kind::kFp32: return "FP32";
-    case SchemeSpec::Kind::kQat:
-      std::snprintf(buf, sizeof(buf), "QAT-INT%d", spec.bits);
-      return buf;
-    case SchemeSpec::Kind::kDq:
-      std::snprintf(buf, sizeof(buf), "DQ-INT%d", spec.bits);
-      return buf;
-    case SchemeSpec::Kind::kA2q: return "A2Q";
-    case SchemeSpec::Kind::kMixQ:
-      std::snprintf(buf, sizeof(buf), "MixQ(l=%g)", spec.lambda);
-      return buf;
-    case SchemeSpec::Kind::kMixQDq:
-      std::snprintf(buf, sizeof(buf), "MixQ(l=%g)+DQ", spec.lambda);
-      return buf;
-    case SchemeSpec::Kind::kFixed: return "Fixed";
-    case SchemeSpec::Kind::kRandom: return "Random";
-    case SchemeSpec::Kind::kRandomInt8: return "Random+INT8";
+SchemeRef SchemeSpec::ToRef() const {
+  SchemeRef ref;
+  switch (kind) {
+    case Kind::kFp32:
+      ref = SchemeRef::Fp32();
+      break;
+    case Kind::kQat:
+      ref = SchemeRef::Qat(bits);
+      break;
+    case Kind::kDq:
+      ref = SchemeRef::Dq(bits);
+      break;
+    case Kind::kA2q:
+      ref = SchemeRef::A2q(a2q_memory_lambda);
+      break;
+    case Kind::kMixQ:
+      ref = SchemeRef::MixQ(lambda, bit_options);
+      ref.params.SetInt("search_epochs", search_epochs);
+      break;
+    case Kind::kMixQDq:
+      ref = SchemeRef::MixQDq(lambda, bit_options);
+      ref.params.SetInt("search_epochs", search_epochs);
+      break;
+    case Kind::kFixed:
+      ref = SchemeRef::Fixed(fixed_bits);
+      break;
+    case Kind::kRandom:
+      ref = SchemeRef::Random(bit_options);
+      break;
+    case Kind::kRandomInt8:
+      ref = SchemeRef::RandomInt8(bit_options);
+      break;
   }
-  return "?";
+  return ref;
 }
 
-namespace {
-
-// Builds the (non-MixQ) scheme for a SchemeSpec. `component_ids` is needed
-// for random assignment; `degrees` for DQ protection; `num_nodes` for A2Q.
-QuantSchemePtr MakeBaseScheme(const SchemeSpec& spec,
-                              const std::vector<std::string>& component_ids,
-                              const std::vector<int64_t>& degrees, int64_t num_nodes) {
-  switch (spec.kind) {
-    case SchemeSpec::Kind::kFp32:
-      return std::make_shared<NoQuantScheme>();
-    case SchemeSpec::Kind::kQat:
-      return std::make_shared<UniformQatScheme>(spec.bits);
-    case SchemeSpec::Kind::kDq: {
-      QatOptions opts;
-      opts.activation_observer = ObserverKind::kPercentile;
-      opts.degree_protect = true;
-      opts.protect_probs = MakeDegreeProtectionProbs(degrees);
-      opts.mask_seed = spec.seed;
-      return std::make_shared<UniformQatScheme>(spec.bits, opts);
-    }
-    case SchemeSpec::Kind::kA2q: {
-      A2qOptions opts;
-      opts.memory_lambda = spec.a2q_memory_lambda;
-      opts.seed = spec.seed;
-      return std::make_shared<A2qScheme>(num_nodes, opts);
-    }
-    case SchemeSpec::Kind::kFixed:
-      return std::make_shared<PerComponentScheme>(spec.fixed_bits, /*default=*/8);
-    case SchemeSpec::Kind::kRandom:
-    case SchemeSpec::Kind::kRandomInt8: {
-      Rng rng(spec.seed * 7919 + 13);
-      std::map<std::string, int> bits;
-      for (const auto& id : component_ids) {
-        bits[id] = spec.bit_options[static_cast<size_t>(rng.UniformInt(
-            0, static_cast<int64_t>(spec.bit_options.size()) - 1))];
-      }
-      if (spec.kind == SchemeSpec::Kind::kRandomInt8 && !component_ids.empty()) {
-        bits[component_ids.back()] = 8;
-      }
-      return std::make_shared<PerComponentScheme>(std::move(bits), /*default=*/8);
-    }
-    case SchemeSpec::Kind::kMixQ:
-    case SchemeSpec::Kind::kMixQDq:
-      MIXQ_UNREACHABLE();  // handled by the two-phase pipeline
-  }
-  MIXQ_UNREACHABLE();
-}
-
-// Scheme used in phase 2 after a MixQ search selected `bits`.
-QuantSchemePtr MakeSelectedScheme(const SchemeSpec& spec,
-                                  std::map<std::string, int> bits,
-                                  const std::vector<int64_t>& degrees) {
-  QatOptions opts;
-  if (spec.kind == SchemeSpec::Kind::kMixQDq) {
-    opts.activation_observer = ObserverKind::kPercentile;
-    opts.degree_protect = true;
-    opts.protect_probs = MakeDegreeProtectionProbs(degrees);
-    opts.mask_seed = spec.seed;
-  }
-  return std::make_shared<PerComponentScheme>(std::move(bits), /*default=*/8, opts);
-}
-
-int64_t CountParams(std::vector<Tensor> params) {
-  int64_t total = 0;
-  for (auto& p : params) total += p.numel();
-  return total;
-}
-
-struct NodeSetup {
-  Graph graph;  // possibly neighbour-sampled
-  SparseOperatorPtr op;
-  std::vector<int64_t> degrees;
-};
-
-NodeSetup PrepareNode(const NodeDataset& dataset, const NodeExperimentConfig& config) {
-  NodeSetup s;
-  s.graph = dataset.graph;
-  if (config.sample_max_degree > 0) {
-    s.graph = SampleNeighbors(s.graph, config.sample_max_degree,
-                              config.train.seed * 31 + 5);
-  }
-  s.degrees = s.graph.InDegrees();
-  const CsrMatrix adj = s.graph.Adjacency();
-  s.op = MakeOperator(config.model == NodeModelKind::kGcn ? GcnNormalize(adj)
-                                                          : RowNormalize(adj));
-  return s;
-}
-
-// Runs one training with the given scheme over a prepared node task; returns
-// the test metric at best validation.
-template <typename Net>
-TrainResult TrainNode(Net* net, const NodeSetup& setup, const NodeDataset& dataset,
-                      const NodeExperimentConfig& config, QuantScheme* scheme) {
-  const Graph& g = setup.graph;
-  Tensor x = g.features;
-  const bool multilabel = dataset.metric == "rocauc";
-  auto forward = [&](Rng* rng) { return net->Forward(x, setup.op, scheme, rng); };
-  auto loss_fn = [&](const Tensor& logits) {
-    if (multilabel) return BceWithLogitsMasked(logits, g.label_matrix, g.train_mask);
-    return CrossEntropyMasked(logits, g.labels, g.train_mask);
-  };
-  auto metric_fn = [&](const Tensor& logits, bool is_test) {
-    const auto& mask = is_test ? g.test_mask : g.val_mask;
-    if (multilabel) return RocAucMultiLabel(logits, g.label_matrix, mask);
-    return Accuracy(logits, g.labels, mask);
-  };
-  return RunTrainingLoop(config.train, net, scheme, forward, loss_fn, metric_fn);
-}
-
-}  // namespace
+std::string SchemeLabel(const SchemeSpec& spec) { return SchemeLabel(spec.ToRef()); }
 
 ExperimentResult RunNodeExperiment(const NodeDataset& dataset,
                                    const NodeExperimentConfig& config,
                                    const SchemeSpec& spec) {
-  NodeSetup setup = PrepareNode(dataset, config);
-  const Graph& g = setup.graph;
-  const int64_t out_dim = dataset.metric == "rocauc" ? g.label_matrix.cols()
-                                                     : g.num_classes;
-
-  ExperimentResult result;
-  auto run_with = [&](QuantSchemePtr scheme, uint64_t model_seed) -> double {
-    Rng rng(model_seed);
-    if (config.model == NodeModelKind::kGcn) {
-      GcnNet::Config mc{g.feature_dim(), config.hidden, out_dim, config.num_layers,
-                        config.dropout};
-      GcnNet net(mc, &rng);
-      TrainResult tr = TrainNode(&net, setup, dataset, config, scheme.get());
-      result.model_param_count = CountParams(net.Parameters());
-      BitOpsReport report = net.ComputeBitOps(g.num_nodes, setup.op->nnz(), *scheme);
-      result.avg_bits = report.AverageBits();
-      result.gbitops = report.GigaBitOps();
-      return tr.test_at_best_val;
-    }
-    SageNet::Config mc{g.feature_dim(), config.hidden, out_dim, config.num_layers,
-                       config.dropout};
-    SageNet net(mc, &rng);
-    TrainResult tr = TrainNode(&net, setup, dataset, config, scheme.get());
-    result.model_param_count = CountParams(net.Parameters());
-    BitOpsReport report = net.ComputeBitOps(g.num_nodes, setup.op->nnz(), *scheme);
-    result.avg_bits = report.AverageBits();
-    result.gbitops = report.GigaBitOps();
-    return tr.test_at_best_val;
-  };
-
-  if (spec.kind == SchemeSpec::Kind::kMixQ || spec.kind == SchemeSpec::Kind::kMixQDq) {
-    // ---- Phase 1: relaxed bit-width search (Algorithm 1) -------------------
-    RelaxedOptions ropts;
-    ropts.bit_options = spec.bit_options;
-    ropts.lambda = spec.lambda;
-    auto relaxed = std::make_shared<RelaxedMixQScheme>(ropts);
-    NodeExperimentConfig search_cfg = config;
-    search_cfg.train.epochs = spec.search_epochs;
-    {
-      Rng rng(spec.seed);
-      if (config.model == NodeModelKind::kGcn) {
-        GcnNet::Config mc{g.feature_dim(), config.hidden, out_dim, config.num_layers,
-                          config.dropout};
-        GcnNet net(mc, &rng);
-        TrainNode(&net, setup, dataset, search_cfg, relaxed.get());
-      } else {
-        SageNet::Config mc{g.feature_dim(), config.hidden, out_dim, config.num_layers,
-                           config.dropout};
-        SageNet net(mc, &rng);
-        TrainNode(&net, setup, dataset, search_cfg, relaxed.get());
-      }
-    }
-    result.selected_bits = relaxed->SelectedBits();
-    // ---- Phase 2: train the selected quantized architecture ----------------
-    auto final_scheme = MakeSelectedScheme(spec, result.selected_bits, setup.degrees);
-    result.test_metric = run_with(final_scheme, spec.seed + 1);
-    result.quant_param_count = static_cast<int64_t>(result.selected_bits.size()) *
-                               static_cast<int64_t>(spec.bit_options.size());
-    return result;
-  }
-
-  // Component ids (needed for random assignment) come from a throwaway model.
-  std::vector<std::string> ids;
-  {
-    Rng rng(1);
-    if (config.model == NodeModelKind::kGcn) {
-      GcnNet net({g.feature_dim(), config.hidden, out_dim, config.num_layers,
-                  config.dropout},
-                 &rng);
-      ids = net.ComponentIds();
-    } else {
-      SageNet net({g.feature_dim(), config.hidden, out_dim, config.num_layers,
-                   config.dropout},
-                  &rng);
-      ids = net.ComponentIds();
-    }
-  }
-  auto scheme = MakeBaseScheme(spec, ids, setup.degrees, g.num_nodes);
-  result.test_metric = run_with(scheme, spec.seed);
-  if (spec.kind == SchemeSpec::Kind::kRandom ||
-      spec.kind == SchemeSpec::Kind::kRandomInt8) {
-    result.selected_bits =
-        static_cast<PerComponentScheme*>(scheme.get())->assignment();
-  }
-  if (spec.kind == SchemeSpec::Kind::kA2q) {
-    auto* a2q = static_cast<A2qScheme*>(scheme.get());
-    result.quant_param_count = a2q->QuantizationParameterCount();
-    result.avg_bits = a2q->AverageNodeBits();
-  }
-  return result;
+  ExperimentSpec es = ExperimentSpec::NodeClassification(dataset, config, spec.ToRef());
+  es.seed = spec.seed;
+  Result<Experiment> experiment = Experiment::Create(std::move(es));
+  MIXQ_CHECK(experiment.ok()) << experiment.status().ToString();
+  Result<ExperimentReport> report = experiment.ValueOrDie().Run();
+  MIXQ_CHECK(report.ok()) << report.status().ToString();
+  return std::move(report.ValueOrDie().node);
 }
-
-// ---------------------------------------------------------------------------
-// Graph-level pipeline
-// ---------------------------------------------------------------------------
-
-namespace {
-
-struct BatchSetup {
-  GraphBatch batch;
-  SparseOperatorPtr op;
-  std::vector<uint8_t> all_mask;
-  std::vector<int64_t> degrees;
-};
-
-BatchSetup PrepareBatch(const GraphDataset& ds, const std::vector<int64_t>& indices,
-                        bool gcn_backbone) {
-  BatchSetup s;
-  s.batch = MakeBatch(ds, indices);
-  const CsrMatrix adj = s.batch.merged.Adjacency();
-  s.op = MakeOperator(gcn_backbone ? GcnNormalize(adj) : adj);
-  s.all_mask.assign(s.batch.graph_labels.size(), 1);
-  s.degrees = s.batch.merged.InDegrees();
-  return s;
-}
-
-// One training run on a fold with a concrete scheme; returns best test acc.
-double TrainGraphFold(const GraphDataset& ds, const GraphExperimentConfig& config,
-                      QuantScheme* scheme, const BatchSetup& train_b,
-                      const BatchSetup& test_b, uint64_t model_seed, int epochs,
-                      double* out_gbitops, double* out_bits) {
-  Rng rng(model_seed);
-  std::unique_ptr<GinGraphNet> gin;
-  std::unique_ptr<GcnGraphNet> gcn;
-  std::vector<Tensor> params;
-  if (config.gcn_backbone) {
-    gcn = std::make_unique<GcnGraphNet>(
-        GcnGraphNet::Config{ds.feature_dim, config.hidden, ds.num_classes,
-                            config.gcn_layers},
-        &rng);
-    params = gcn->Parameters();
-  } else {
-    gin = std::make_unique<GinGraphNet>(
-        GinGraphNet::Config{ds.feature_dim, config.hidden, ds.num_classes,
-                            config.num_layers, config.batch_norm},
-        &rng);
-    params = gin->Parameters();
-  }
-  auto forward = [&](const BatchSetup& b) {
-    if (config.gcn_backbone) {
-      return gcn->Forward(b.batch.merged.features, b.op, b.batch.batch,
-                          b.batch.num_graphs, scheme);
-    }
-    return gin->Forward(b.batch.merged.features, b.op, b.batch.batch,
-                        b.batch.num_graphs, scheme);
-  };
-  auto set_training = [&](bool t) {
-    if (config.gcn_backbone) {
-      gcn->SetTraining(t);
-    } else {
-      gin->SetTraining(t);
-    }
-  };
-
-  // Warm-up forward so lazily-created scheme parameters (α's, A2Q vectors)
-  // exist before the optimizer snapshots its parameter list.
-  set_training(true);
-  scheme->BeginStep(true);
-  (void)forward(train_b);
-  AppendParameters(&params, scheme->SchemeParameters());
-  for (auto& p : params) p.SetRequiresGrad(true);
-  Adam optimizer(params, config.train.lr, 0.9f, 0.999f, 1e-8f,
-                 config.train.weight_decay);
-
-  double best_test = 0.0;
-  for (int epoch = 0; epoch < epochs; ++epoch) {
-    set_training(true);
-    scheme->BeginStep(true);
-    optimizer.ZeroGrad();
-    Tensor logits = forward(train_b);
-    Tensor loss = CrossEntropyMasked(logits, train_b.batch.graph_labels,
-                                     train_b.all_mask);
-    Tensor penalty = scheme->PenaltyLoss();
-    if (penalty.defined()) loss = Add(loss, penalty);
-    loss.Backward();
-    optimizer.Step();
-
-    set_training(false);
-    scheme->BeginStep(false);
-    Tensor test_logits = forward(test_b);
-    best_test = std::max(
-        best_test,
-        Accuracy(test_logits, test_b.batch.graph_labels, test_b.all_mask));
-  }
-  if (out_gbitops != nullptr || out_bits != nullptr) {
-    BitOpsReport report =
-        config.gcn_backbone
-            ? gcn->ComputeBitOps(test_b.batch.merged.num_nodes, test_b.op->nnz(),
-                                 test_b.batch.num_graphs, *scheme)
-            : gin->ComputeBitOps(test_b.batch.merged.num_nodes, test_b.op->nnz(),
-                                 test_b.batch.num_graphs, *scheme);
-    if (out_gbitops != nullptr) *out_gbitops = report.GigaBitOps();
-    if (out_bits != nullptr) *out_bits = report.AverageBits();
-  }
-  return best_test;
-}
-
-std::vector<std::string> GraphComponentIds(const GraphDataset& ds,
-                                           const GraphExperimentConfig& config) {
-  Rng rng(1);
-  if (config.gcn_backbone) {
-    GcnGraphNet net(GcnGraphNet::Config{ds.feature_dim, config.hidden, ds.num_classes,
-                                        config.gcn_layers},
-                    &rng);
-    return net.ComponentIds();
-  }
-  GinGraphNet net(GinGraphNet::Config{ds.feature_dim, config.hidden, ds.num_classes,
-                                      config.num_layers, config.batch_norm},
-                  &rng);
-  return net.ComponentIds();
-}
-
-}  // namespace
 
 GraphExperimentResult RunGraphExperiment(const GraphDataset& dataset,
                                          const GraphExperimentConfig& config,
                                          const SchemeSpec& spec) {
-  GraphExperimentResult result;
-  const auto folds = KFoldSplits(static_cast<int64_t>(dataset.graphs.size()),
-                                 config.folds, config.fold_seed);
-  const auto ids = GraphComponentIds(dataset, config);
-
-  for (size_t f = 0; f < folds.size(); ++f) {
-    BatchSetup train_b = PrepareBatch(dataset, folds[f].train, config.gcn_backbone);
-    BatchSetup test_b = PrepareBatch(dataset, folds[f].test, config.gcn_backbone);
-    const uint64_t seed = spec.seed + f * 101;
-
-    QuantSchemePtr scheme;
-    if (spec.kind == SchemeSpec::Kind::kMixQ ||
-        spec.kind == SchemeSpec::Kind::kMixQDq) {
-      // Phase 1: relaxed search on this fold's training batch.
-      RelaxedOptions ropts;
-      ropts.bit_options = spec.bit_options;
-      ropts.lambda = spec.lambda;
-      auto relaxed = std::make_shared<RelaxedMixQScheme>(ropts);
-      TrainGraphFold(dataset, config, relaxed.get(), train_b, train_b, seed,
-                     spec.search_epochs, nullptr, nullptr);
-      scheme = MakeSelectedScheme(spec, relaxed->SelectedBits(), train_b.degrees);
-    } else {
-      scheme = MakeBaseScheme(spec, ids, train_b.degrees,
-                              train_b.batch.merged.num_nodes);
-    }
-
-    double gbitops = 0.0, bits = 32.0;
-    const double acc =
-        TrainGraphFold(dataset, config, scheme.get(), train_b, test_b, seed + 1,
-                       config.train.epochs, &gbitops, &bits);
-    result.fold_accuracies.push_back(acc);
-    if (f == 0) {
-      result.gbitops = gbitops;
-      result.avg_bits = bits;
-      if (spec.kind == SchemeSpec::Kind::kA2q) {
-        result.avg_bits = static_cast<A2qScheme*>(scheme.get())->AverageNodeBits();
-      }
-    }
-  }
-
-  result.mean = Mean(result.fold_accuracies);
-  result.stddev = StdDev(result.fold_accuracies);
-  result.min = *std::min_element(result.fold_accuracies.begin(),
-                                 result.fold_accuracies.end());
-  result.max = *std::max_element(result.fold_accuracies.begin(),
-                                 result.fold_accuracies.end());
-  return result;
+  ExperimentSpec es =
+      ExperimentSpec::GraphClassification(dataset, config, spec.ToRef());
+  es.seed = spec.seed;
+  Result<Experiment> experiment = Experiment::Create(std::move(es));
+  MIXQ_CHECK(experiment.ok()) << experiment.status().ToString();
+  Result<ExperimentReport> report = experiment.ValueOrDie().Run();
+  MIXQ_CHECK(report.ok()) << report.status().ToString();
+  return std::move(report.ValueOrDie().graph);
 }
 
 RepeatedResult RepeatNodeExperiment(
     const std::function<NodeDataset(uint64_t)>& make_dataset,
     NodeExperimentConfig config, SchemeSpec spec, int repeats, uint64_t seed0) {
-  RepeatedResult agg;
-  std::vector<double> metrics, bits, gops;
-  for (int r = 0; r < repeats; ++r) {
-    const uint64_t seed = seed0 + static_cast<uint64_t>(r);
-    spec.seed = seed;
-    config.train.seed = seed;
-    NodeDataset ds = make_dataset(seed);
-    ExperimentResult res = RunNodeExperiment(ds, config, spec);
-    metrics.push_back(res.test_metric);
-    bits.push_back(res.avg_bits);
-    gops.push_back(res.gbitops);
-    agg.runs.push_back(std::move(res));
-  }
-  agg.mean_metric = Mean(metrics);
-  agg.std_metric = StdDev(metrics);
-  agg.mean_bits = Mean(bits);
-  agg.mean_gbitops = Mean(gops);
-  return agg;
+  Result<RepeatedResult> result =
+      RepeatExperiment(make_dataset, std::move(config), spec.ToRef(), repeats, seed0);
+  MIXQ_CHECK(result.ok()) << result.status().ToString();
+  return result.MoveValueOrDie();
 }
 
 }  // namespace mixq

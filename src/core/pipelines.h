@@ -1,26 +1,26 @@
 // Copyright 2026 MixQ-GNN Authors
-// End-to-end experiment pipelines: dataset → (optional MixQ bit-width
-// search, Algorithm 1) → quantized training → metric + BitOPs. One entry
-// point for node-level tasks (Tables 3-7) and one for graph-level tasks
-// (Tables 8-9); every bench builds on these.
+// Legacy experiment entry points — thin compatibility shims over the new
+// three-layer API (quant/scheme_registry.h → core/experiment.h →
+// engine/inference_engine.h).
+//
+// SchemeSpec's closed Kind enum predates the open SchemeRegistry; ToRef()
+// maps each kind onto its registered family name ("fp32", "qat", "dq",
+// "a2q", "mixq", "mixq_dq", "fixed", "random", "random_int8"). New code
+// should build a SchemeRef (or param map) directly and go through
+// Experiment; these wrappers keep the original CHECK-on-failure contract
+// for existing callers.
 #pragma once
 
 #include <map>
 #include <string>
 #include <vector>
 
-#include "graph/generators.h"
-#include "graph/graph.h"
-#include "nn/models.h"
-#include "train/trainer.h"
+#include "core/experiment.h"
 
 namespace mixq {
 
-/// Which backbone a node-level experiment uses.
-enum class NodeModelKind { kGcn, kSage };
-
 /// How to quantize: selects and configures the QuantScheme (plus the MixQ
-/// search phase when applicable).
+/// search phase when applicable). Deprecated in favour of SchemeRef.
 struct SchemeSpec {
   enum class Kind {
     kFp32,        ///< no quantization
@@ -79,65 +79,39 @@ struct SchemeSpec {
     s.fixed_bits = std::move(bits);
     return s;
   }
+  static SchemeSpec Random(std::vector<int> bit_options = {2, 4, 8}) {
+    SchemeSpec s;
+    s.kind = Kind::kRandom;
+    s.bit_options = std::move(bit_options);
+    return s;
+  }
+  static SchemeSpec RandomInt8(std::vector<int> bit_options = {2, 4, 8}) {
+    SchemeSpec s;
+    s.kind = Kind::kRandomInt8;
+    s.bit_options = std::move(bit_options);
+    return s;
+  }
+
+  /// The registry-era equivalent of this spec (name + parameter map).
+  SchemeRef ToRef() const;
 };
 
 /// Human-readable scheme label for tables ("MixQ(λ=0.1)", "DQ-INT4", ...).
 std::string SchemeLabel(const SchemeSpec& spec);
 
-struct NodeExperimentConfig {
-  NodeModelKind model = NodeModelKind::kGcn;
-  int64_t hidden = 64;
-  int num_layers = 2;
-  float dropout = 0.5f;
-  TrainLoopConfig train;
-  /// >0: GraphSAGE-style static neighbour sampling cap (paper §5.3.2).
-  int64_t sample_max_degree = 0;
-};
-
-struct ExperimentResult {
-  double test_metric = 0.0;     ///< accuracy or ROC-AUC (dataset.metric)
-  double avg_bits = 32.0;       ///< ops-weighted average bit-width
-  double gbitops = 0.0;         ///< Giga BitOPs of one full forward
-  std::map<std::string, int> selected_bits;  ///< MixQ/fixed/random assignment
-  int64_t model_param_count = 0;
-  int64_t quant_param_count = 0;  ///< scheme-owned learnable scalars
-};
-
-/// Runs one node-classification (or multi-label) experiment.
+/// Runs one node-classification (or multi-label) experiment. Aborts on
+/// invalid specs — new code should use Experiment::Create()/Run() and
+/// handle the Status.
 ExperimentResult RunNodeExperiment(const NodeDataset& dataset,
                                    const NodeExperimentConfig& config,
                                    const SchemeSpec& spec);
 
-struct GraphExperimentConfig {
-  int64_t hidden = 64;
-  int num_layers = 5;        ///< GIN layers (paper Table 8)
-  bool batch_norm = true;
-  TrainLoopConfig train;
-  int folds = 10;
-  uint64_t fold_seed = 1;
-  /// CSL protocol (Table 9): 4-layer GCN backbone instead of GIN.
-  bool gcn_backbone = false;
-  int gcn_layers = 4;
-};
-
-struct GraphExperimentResult {
-  std::vector<double> fold_accuracies;
-  double mean = 0.0, stddev = 0.0, min = 0.0, max = 0.0;
-  double avg_bits = 32.0;
-  double gbitops = 0.0;  ///< one inference pass over a test fold
-};
-
-/// Runs k-fold cross-validated graph classification.
+/// Runs k-fold cross-validated graph classification (same contract).
 GraphExperimentResult RunGraphExperiment(const GraphDataset& dataset,
                                          const GraphExperimentConfig& config,
                                          const SchemeSpec& spec);
 
 /// Aggregates repeated runs of RunNodeExperiment with different seeds.
-struct RepeatedResult {
-  double mean_metric = 0.0, std_metric = 0.0;
-  double mean_bits = 32.0, mean_gbitops = 0.0;
-  std::vector<ExperimentResult> runs;
-};
 RepeatedResult RepeatNodeExperiment(const std::function<NodeDataset(uint64_t)>& make_dataset,
                                     NodeExperimentConfig config, SchemeSpec spec,
                                     int repeats, uint64_t seed0 = 1);

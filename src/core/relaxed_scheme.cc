@@ -111,6 +111,12 @@ std::map<std::string, int> RelaxedMixQScheme::SelectedBits() const {
   return selected;
 }
 
+int64_t RelaxedMixQScheme::QuantParameterCount() const {
+  int64_t total = 0;
+  for (const auto& [id, c] : components_) total += c.alpha.numel();
+  return total;
+}
+
 std::vector<double> RelaxedMixQScheme::AlphaWeights(const std::string& id) const {
   const auto& a = components_.at(id).alpha.data();
   double mx = *std::max_element(a.begin(), a.end());

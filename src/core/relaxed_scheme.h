@@ -61,7 +61,10 @@ class RelaxedMixQScheme : public QuantScheme {
   std::vector<std::string> ComponentIds() const override { return ids_; }
 
   /// Algorithm 1 line 25-26: bit-width of the max-α candidate per component.
-  std::map<std::string, int> SelectedBits() const;
+  std::map<std::string, int> SelectedBits() const override;
+
+  /// One α scalar per candidate width per component.
+  int64_t QuantParameterCount() const override;
 
   /// softmax(α) for one component (diagnostics / tests).
   std::vector<double> AlphaWeights(const std::string& id) const;

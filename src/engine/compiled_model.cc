@@ -1,0 +1,105 @@
+// Copyright 2026 MixQ-GNN Authors
+#include "engine/compiled_model.h"
+
+#include <cmath>
+
+namespace mixq {
+namespace engine {
+
+namespace {
+
+int64_t CountParams(std::vector<Tensor> params) {
+  int64_t total = 0;
+  for (auto& p : params) total += p.numel();
+  return total;
+}
+
+}  // namespace
+
+Result<CompiledModelPtr> CompileModel(const ModelArtifact& artifact) {
+  if (artifact.scheme == nullptr) {
+    return Status::InvalidArgument("artifact has no quantization scheme");
+  }
+  const bool is_gcn = artifact.model_kind == NodeModelKind::kGcn;
+  if (is_gcn && artifact.gcn == nullptr) {
+    return Status::InvalidArgument("artifact declares a GCN but holds no network");
+  }
+  if (!is_gcn && artifact.sage == nullptr) {
+    return Status::InvalidArgument("artifact declares a SAGE but holds no network");
+  }
+
+  auto model = std::shared_ptr<CompiledModel>(new CompiledModel());
+  model->model_kind_ = artifact.model_kind;
+  model->gcn_ = artifact.gcn;
+  model->sage_ = artifact.sage;
+  model->scheme_ = artifact.scheme;
+  model->forward_mu_ = artifact.forward_mu != nullptr
+                           ? artifact.forward_mu
+                           : std::make_shared<std::mutex>();
+
+  // Freeze: eval mode, no gradients. Quantizer ranges are already frozen —
+  // observers only update in training mode.
+  std::vector<Tensor> params;
+  if (is_gcn) {
+    model->gcn_->SetTraining(false);
+    params = model->gcn_->Parameters();
+    model->info_.in_features = model->gcn_->config().in_features;
+    model->info_.out_dim = model->gcn_->config().num_classes;
+  } else {
+    model->sage_->SetTraining(false);
+    params = model->sage_->Parameters();
+    model->info_.in_features = model->sage_->config().in_features;
+    model->info_.out_dim = model->sage_->config().num_classes;
+  }
+  for (auto& p : params) p.SetRequiresGrad(false);
+  model->info_.param_count = CountParams(std::move(params));
+  model->info_.scheme_label = artifact.scheme_label;
+
+  // Capture the per-component bit assignment as metadata.
+  for (const std::string& id : artifact.scheme->ComponentIds()) {
+    model->info_.bit_assignment[id] = static_cast<int>(
+        std::lround(artifact.scheme->EffectiveBits(id, 32.0)));
+  }
+  if (artifact.op != nullptr && artifact.features.defined()) {
+    BitOpsReport report =
+        is_gcn ? model->gcn_->ComputeBitOps(artifact.features.rows(),
+                                            artifact.op->nnz(), *artifact.scheme)
+               : model->sage_->ComputeBitOps(artifact.features.rows(),
+                                             artifact.op->nnz(), *artifact.scheme);
+    model->info_.avg_bits = report.AverageBits();
+  }
+  return CompiledModelPtr(model);
+}
+
+Result<Tensor> CompiledModel::Predict(const Tensor& features,
+                                      const SparseOperatorPtr& op) const {
+  if (!features.defined()) {
+    return Status::InvalidArgument("features tensor is undefined");
+  }
+  if (op == nullptr) return Status::InvalidArgument("sparse operator is null");
+  if (features.cols() != info_.in_features) {
+    return Status::InvalidArgument(
+        "feature dimension mismatch: model expects " +
+        std::to_string(info_.in_features) + ", got " +
+        std::to_string(features.cols()));
+  }
+  if (op->matrix().cols() != features.rows()) {
+    return Status::InvalidArgument(
+        "operator/features mismatch: operator has " +
+        std::to_string(op->matrix().cols()) + " columns, features " +
+        std::to_string(features.rows()) + " rows");
+  }
+
+  // Serialize forwards: replays the training pipeline's eval path exactly
+  // (BeginStep(false) then a training=false forward), which is what makes
+  // Predict bitwise-match the experiment's eval logits.
+  std::lock_guard<std::mutex> lock(*forward_mu_);
+  scheme_->BeginStep(false);
+  if (model_kind_ == NodeModelKind::kGcn) {
+    return gcn_->Forward(features, op, scheme_.get(), nullptr);
+  }
+  return sage_->Forward(features, op, scheme_.get(), nullptr);
+}
+
+}  // namespace engine
+}  // namespace mixq

@@ -1,0 +1,81 @@
+// Copyright 2026 MixQ-GNN Authors
+// CompiledModel — the deployment artifact of the third API layer
+// (SchemeRegistry → Experiment → engine).
+//
+// CompileModel() takes the ModelArtifact of a finished node-level Experiment
+// (trained network + final quantization scheme) and freezes it: parameters
+// stop requiring gradients, the network is pinned to eval mode, and the
+// selected per-component bit assignment plus quantizer ranges are captured
+// as immutable metadata. The result answers Predict(features, op) with
+// logits that are bitwise identical to the eval-mode forward pass of the
+// training pipeline — the experiment/deployment contract the engine tests
+// assert.
+//
+// Thread safety: a CompiledModel serializes its forward passes on the
+// artifact's shared forward mutex (the autograd-capable tensors underneath
+// are not re-entrant), so any number of threads may call Predict() on the
+// same instance — or on several CompiledModels compiled from one artifact.
+#pragma once
+
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+
+#include "common/status.h"
+#include "core/experiment.h"
+#include "sparse/spmm.h"
+#include "tensor/tensor.h"
+
+namespace mixq {
+namespace engine {
+
+/// Immutable description of a compiled model (reported by the engine's
+/// introspection endpoints and result tables).
+struct CompiledModelInfo {
+  std::string scheme_label;                   ///< e.g. "MixQ(l=0.1)"
+  std::map<std::string, int> bit_assignment;  ///< frozen per-component widths
+  double avg_bits = 32.0;     ///< ops-weighted average width (32 = FP32)
+  int64_t param_count = 0;    ///< learnable scalars frozen into the model
+  int64_t in_features = 0;    ///< expected feature dimension of Predict input
+  int64_t out_dim = 0;        ///< logit dimension
+};
+
+class CompiledModel;
+using CompiledModelPtr = std::shared_ptr<const CompiledModel>;
+
+/// A frozen, serving-ready quantized GNN.
+class CompiledModel {
+ public:
+  /// Runs one eval-mode forward over a graph: `features` is [n, in_features],
+  /// `op` the matching normalized sparse operator (GCN-normalized for GCN
+  /// backbones, row-normalized for SAGE — as produced by the training
+  /// pipeline). Returns [n, out_dim] logits. Validates shapes; thread-safe.
+  Result<Tensor> Predict(const Tensor& features, const SparseOperatorPtr& op) const;
+
+  const CompiledModelInfo& info() const { return info_; }
+
+ private:
+  friend Result<CompiledModelPtr> CompileModel(const ModelArtifact& artifact);
+
+  CompiledModel() = default;
+
+  CompiledModelInfo info_;
+  NodeModelKind model_kind_ = NodeModelKind::kGcn;
+  std::shared_ptr<GcnNet> gcn_;
+  std::shared_ptr<SageNet> sage_;
+  QuantSchemePtr scheme_;
+  /// The artifact's lock — shared with sibling compiles of the same nets;
+  /// forwards mutate transient tensor state.
+  std::shared_ptr<std::mutex> forward_mu_;
+};
+
+/// Freezes a trained node-level artifact (from ExperimentReport::artifact
+/// with keep_artifact set) into an immutable CompiledModel. Fails with
+/// kInvalidArgument when the artifact is incomplete (no network / no
+/// scheme). The artifact's network is adopted: callers must not keep
+/// training it afterwards.
+Result<CompiledModelPtr> CompileModel(const ModelArtifact& artifact);
+
+}  // namespace engine
+}  // namespace mixq

@@ -1,0 +1,86 @@
+// Copyright 2026 MixQ-GNN Authors
+#include "engine/inference_engine.h"
+
+namespace mixq {
+namespace engine {
+
+Status InferenceEngine::RegisterModel(const std::string& name,
+                                      CompiledModelPtr model) {
+  if (name.empty()) return Status::InvalidArgument("model name must be non-empty");
+  if (model == nullptr) {
+    return Status::InvalidArgument("model '" + name + "' is null");
+  }
+  std::unique_lock<std::shared_mutex> lock(mu_);
+  if (!models_.emplace(name, std::move(model)).second) {
+    return Status::InvalidArgument("model '" + name +
+                                   "' is already registered (use ReplaceModel)");
+  }
+  return Status::OK();
+}
+
+Status InferenceEngine::ReplaceModel(const std::string& name,
+                                     CompiledModelPtr model) {
+  if (name.empty()) return Status::InvalidArgument("model name must be non-empty");
+  if (model == nullptr) {
+    return Status::InvalidArgument("model '" + name + "' is null");
+  }
+  std::unique_lock<std::shared_mutex> lock(mu_);
+  models_[name] = std::move(model);
+  return Status::OK();
+}
+
+Status InferenceEngine::UnregisterModel(const std::string& name) {
+  std::unique_lock<std::shared_mutex> lock(mu_);
+  if (models_.erase(name) == 0) {
+    return Status::NotFound("model '" + name + "' is not registered");
+  }
+  return Status::OK();
+}
+
+Result<CompiledModelPtr> InferenceEngine::GetModel(const std::string& name) const {
+  std::shared_lock<std::shared_mutex> lock(mu_);
+  auto it = models_.find(name);
+  if (it == models_.end()) {
+    return Status::NotFound("model '" + name + "' is not registered");
+  }
+  return it->second;
+}
+
+std::vector<std::string> InferenceEngine::ModelNames() const {
+  std::shared_lock<std::shared_mutex> lock(mu_);
+  std::vector<std::string> names;
+  names.reserve(models_.size());
+  for (const auto& [name, model] : models_) names.push_back(name);
+  return names;
+}
+
+Result<Tensor> InferenceEngine::Predict(const std::string& name,
+                                        const Tensor& features,
+                                        const SparseOperatorPtr& op) const {
+  Result<CompiledModelPtr> model = GetModel(name);
+  if (!model.ok()) {
+    std::lock_guard<std::mutex> lock(stats_mu_);
+    ++stats_.requests;
+    ++stats_.failures;
+    return model.status();
+  }
+  Result<Tensor> logits = model.ValueOrDie()->Predict(features, op);
+  {
+    std::lock_guard<std::mutex> lock(stats_mu_);
+    ++stats_.requests;
+    if (logits.ok()) {
+      ++stats_.per_model[name];
+    } else {
+      ++stats_.failures;
+    }
+  }
+  return logits;
+}
+
+InferenceEngine::Stats InferenceEngine::GetStats() const {
+  std::lock_guard<std::mutex> lock(stats_mu_);
+  return stats_;
+}
+
+}  // namespace engine
+}  // namespace mixq

@@ -1,0 +1,69 @@
+// Copyright 2026 MixQ-GNN Authors
+// InferenceEngine — the serving surface of the third API layer
+// (SchemeRegistry → Experiment → engine).
+//
+// An engine holds a named registry of CompiledModels and answers
+// Predict(model, batch) over it: the deployment-shaped counterpart to the
+// Experiment facade. Registration, lookup, and prediction are all
+// thread-safe (readers-writer lock over the model map; each CompiledModel
+// additionally serializes its own forwards), so one engine instance can
+// back a multi-threaded server loop. Per-model request/failure counters
+// come back through GetStats() for monitoring.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <shared_mutex>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "engine/compiled_model.h"
+
+namespace mixq {
+namespace engine {
+
+class InferenceEngine {
+ public:
+  /// Adds a model under `name`. kInvalidArgument on empty name, null model,
+  /// or duplicate registration (use ReplaceModel for hot-swaps).
+  Status RegisterModel(const std::string& name, CompiledModelPtr model);
+
+  /// Registers or atomically replaces `name` (zero-downtime model rollout).
+  Status ReplaceModel(const std::string& name, CompiledModelPtr model);
+
+  /// Removes a model; kNotFound when absent. In-flight Predicts on the
+  /// removed model finish safely (shared ownership).
+  Status UnregisterModel(const std::string& name);
+
+  /// kNotFound when absent.
+  Result<CompiledModelPtr> GetModel(const std::string& name) const;
+
+  /// Registered model names, sorted.
+  std::vector<std::string> ModelNames() const;
+
+  /// Runs `name`'s model over one batch (a graph's features + its matching
+  /// normalized operator); see CompiledModel::Predict for the contract.
+  Result<Tensor> Predict(const std::string& name, const Tensor& features,
+                         const SparseOperatorPtr& op) const;
+
+  /// Monitoring counters. Snapshots are internally consistent.
+  struct Stats {
+    int64_t requests = 0;  ///< total Predict calls
+    int64_t failures = 0;  ///< Predict calls that returned an error
+    std::map<std::string, int64_t> per_model;  ///< successful calls per model
+  };
+  Stats GetStats() const;
+
+ private:
+  mutable std::shared_mutex mu_;
+  std::map<std::string, CompiledModelPtr> models_;
+
+  mutable std::mutex stats_mu_;
+  mutable Stats stats_;
+};
+
+}  // namespace engine
+}  // namespace mixq

@@ -59,6 +59,10 @@ class A2qScheme : public QuantScheme {
   Tensor PenaltyLoss() override;
   double EffectiveBits(const std::string& id, double fallback) const override;
   std::vector<std::string> ComponentIds() const override { return ids_; }
+  int64_t QuantParameterCount() const override {
+    return QuantizationParameterCount();
+  }
+  double ReportedAverageBits() const override { return AverageNodeBits(); }
 
   /// Mean rounded bit-width across all per-node quantizers (the "Bits"
   /// column for A2Q rows in Tables 3/8).

@@ -75,6 +75,21 @@ class QuantScheme {
 
   /// All component ids seen so far, in first-use order.
   virtual std::vector<std::string> ComponentIds() const = 0;
+
+  /// For schemes that search or randomize the bit assignment: the concrete
+  /// per-component widths currently selected (MixQ's argmax-α sequence S, a
+  /// random draw, a fixed map). Empty when not applicable. Lets pipelines
+  /// report assignments without downcasting to concrete scheme types.
+  virtual std::map<std::string, int> SelectedBits() const { return {}; }
+
+  /// Number of learnable quantization scalars the scheme owns (Table 1's
+  /// space-overhead accounting: α's for MixQ, 2n per component for A2Q).
+  virtual int64_t QuantParameterCount() const { return 0; }
+
+  /// Scheme-reported average bit-width for result tables; negative means
+  /// "derive from BitOps accounting". A2Q overrides with its per-node
+  /// learned average.
+  virtual double ReportedAverageBits() const { return -1.0; }
 };
 
 using QuantSchemePtr = std::shared_ptr<QuantScheme>;
@@ -138,6 +153,9 @@ class PerComponentScheme : public QuantScheme {
   double EffectiveBits(const std::string& id, double fallback) const override;
   void BeginStep(bool training) override;
   std::vector<std::string> ComponentIds() const override { return ids_; }
+  std::map<std::string, int> SelectedBits() const override {
+    return bits_by_component_;
+  }
 
   const std::map<std::string, int>& assignment() const { return bits_by_component_; }
 

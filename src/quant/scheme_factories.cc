@@ -1,0 +1,211 @@
+// Copyright 2026 MixQ-GNN Authors
+// Built-in SchemeRegistry families for the fixed-assignment schemes:
+// "fp32", "qat", "dq", "a2q", "fixed", "random", "random_int8".
+//
+// The search-based families ("mixq", "mixq_dq") register themselves from
+// src/core/mixq_family.cc — the relaxed search scheme lives in core, and the
+// split demonstrates the registry's point: each strategy registers from its
+// own translation unit.
+//
+// Recognized parameters (all optional unless noted):
+//   qat / dq:     bits (default 8)
+//   dq:           p_min, p_max   — protection-probability range
+//   a2q:          memory_lambda, initial_bits, weight_bits
+//   fixed:        fixed_bits (required; "id=bits,…"), default_bits
+//   random*:      bit_options (default "2,4,8")
+#include <cstdio>
+
+#include "quant/a2q.h"
+#include "quant/scheme.h"
+#include "quant/scheme_registry.h"
+
+namespace mixq {
+namespace {
+
+std::string IntLabel(const char* prefix, int bits) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%s-INT%d", prefix, bits);
+  return buf;
+}
+
+Status ValidateBitsParam(const SchemeParams& params) {
+  if (!params.Has("bits")) return Status::OK();
+  Result<int64_t> bits = params.GetInt("bits");
+  if (!bits.ok()) return bits.status();
+  if (bits.ValueOrDie() < 1 || bits.ValueOrDie() > 32) {
+    return Status::InvalidArgument("bits=" + std::to_string(bits.ValueOrDie()) +
+                                   " out of range [1, 32]");
+  }
+  return Status::OK();
+}
+
+Status ValidateBitOptionsParam(const SchemeParams& params) {
+  if (!params.Has("bit_options")) return Status::OK();
+  Result<std::vector<int>> options = params.GetIntList("bit_options");
+  if (!options.ok()) return options.status();
+  if (options.ValueOrDie().empty()) {
+    return Status::InvalidArgument("bit_options must be non-empty");
+  }
+  for (int b : options.ValueOrDie()) {
+    if (b < 1 || b > 32) {
+      return Status::InvalidArgument("bit_options entry " + std::to_string(b) +
+                                     " out of range [1, 32]");
+    }
+  }
+  return Status::OK();
+}
+
+// ---- fp32 ------------------------------------------------------------------
+
+class Fp32Family : public SchemeFamily {
+ public:
+  Result<QuantSchemePtr> Build(const SchemeParams&,
+                               const SchemeBuildContext&) const override {
+    return QuantSchemePtr(std::make_shared<NoQuantScheme>());
+  }
+  std::string Label(const SchemeParams&) const override { return "FP32"; }
+};
+
+// ---- qat -------------------------------------------------------------------
+
+class QatFamily : public SchemeFamily {
+ public:
+  Result<QuantSchemePtr> Build(const SchemeParams& params,
+                               const SchemeBuildContext&) const override {
+    return QuantSchemePtr(std::make_shared<UniformQatScheme>(
+        static_cast<int>(params.GetIntOr("bits", 8))));
+  }
+  Status ValidateParams(const SchemeParams& params) const override {
+    return ValidateBitsParam(params);
+  }
+  std::string Label(const SchemeParams& params) const override {
+    return IntLabel("QAT", static_cast<int>(params.GetIntOr("bits", 8)));
+  }
+};
+
+// ---- dq --------------------------------------------------------------------
+
+class DqFamily : public SchemeFamily {
+ public:
+  Result<QuantSchemePtr> Build(const SchemeParams& params,
+                               const SchemeBuildContext& ctx) const override {
+    if (ctx.in_degrees.empty()) {
+      return Status::InvalidArgument(
+          "dq requires SchemeBuildContext::in_degrees (protection masking)");
+    }
+    QatOptions opts;
+    opts.activation_observer = ObserverKind::kPercentile;
+    opts.degree_protect = true;
+    opts.protect_probs = MakeDegreeProtectionProbs(
+        ctx.in_degrees, params.GetDoubleOr("p_min", 0.0),
+        params.GetDoubleOr("p_max", 0.2));
+    opts.mask_seed = ctx.seed;
+    return QuantSchemePtr(std::make_shared<UniformQatScheme>(
+        static_cast<int>(params.GetIntOr("bits", 8)), opts));
+  }
+  Status ValidateParams(const SchemeParams& params) const override {
+    MIXQ_RETURN_NOT_OK(ValidateBitsParam(params));
+    return ValidateOptionalDoubleParams(params, {"p_min", "p_max"});
+  }
+  std::string Label(const SchemeParams& params) const override {
+    return IntLabel("DQ", static_cast<int>(params.GetIntOr("bits", 8)));
+  }
+};
+
+// ---- a2q -------------------------------------------------------------------
+
+class A2qFamily : public SchemeFamily {
+ public:
+  Result<QuantSchemePtr> Build(const SchemeParams& params,
+                               const SchemeBuildContext& ctx) const override {
+    if (ctx.num_nodes <= 0) {
+      return Status::InvalidArgument(
+          "a2q requires SchemeBuildContext::num_nodes > 0 (per-node parameters)");
+    }
+    A2qOptions opts;
+    opts.memory_lambda = params.GetDoubleOr("memory_lambda", 5e-4);
+    opts.initial_bits = params.GetDoubleOr("initial_bits", 4.0);
+    opts.weight_bits = static_cast<int>(params.GetIntOr("weight_bits", 8));
+    opts.seed = ctx.seed;
+    return QuantSchemePtr(std::make_shared<A2qScheme>(ctx.num_nodes, opts));
+  }
+  Status ValidateParams(const SchemeParams& params) const override {
+    MIXQ_RETURN_NOT_OK(
+        ValidateOptionalDoubleParams(params, {"memory_lambda", "initial_bits"}));
+    return ValidateOptionalIntParams(params, {"weight_bits"});
+  }
+  std::string Label(const SchemeParams&) const override { return "A2Q"; }
+};
+
+// ---- fixed -----------------------------------------------------------------
+
+class FixedFamily : public SchemeFamily {
+ public:
+  Result<QuantSchemePtr> Build(const SchemeParams& params,
+                               const SchemeBuildContext&) const override {
+    Result<std::map<std::string, int>> bits = params.GetBitsMap("fixed_bits");
+    if (!bits.ok()) return bits.status();
+    return QuantSchemePtr(std::make_shared<PerComponentScheme>(
+        bits.MoveValueOrDie(),
+        static_cast<int>(params.GetIntOr("default_bits", 8))));
+  }
+  Status ValidateParams(const SchemeParams& params) const override {
+    Result<std::map<std::string, int>> bits = params.GetBitsMap("fixed_bits");
+    if (!bits.ok()) return bits.status();
+    for (const auto& [id, b] : bits.ValueOrDie()) {
+      if (b < 1 || b > 32) {
+        return Status::InvalidArgument("fixed_bits['" + id + "']=" +
+                                       std::to_string(b) + " out of range [1, 32]");
+      }
+    }
+    return ValidateOptionalIntParams(params, {"default_bits"});
+  }
+  std::string Label(const SchemeParams&) const override { return "Fixed"; }
+};
+
+// ---- random / random_int8 --------------------------------------------------
+
+// Random per-component assignment (Table 10's ablation baseline). The INT8
+// variant pins the prediction output (last component) to 8 bits.
+class RandomFamily : public SchemeFamily {
+ public:
+  explicit RandomFamily(bool force_output_int8) : force_output_int8_(force_output_int8) {}
+
+  Result<QuantSchemePtr> Build(const SchemeParams& params,
+                               const SchemeBuildContext& ctx) const override {
+    if (ctx.component_ids.empty()) {
+      return Status::InvalidArgument(
+          "random assignment requires SchemeBuildContext::component_ids");
+    }
+    std::vector<int> options = params.GetIntListOr("bit_options", {2, 4, 8});
+    Rng rng(ctx.seed * 7919 + 13);
+    std::map<std::string, int> bits;
+    for (const auto& id : ctx.component_ids) {
+      bits[id] = options[static_cast<size_t>(
+          rng.UniformInt(0, static_cast<int64_t>(options.size()) - 1))];
+    }
+    if (force_output_int8_) bits[ctx.component_ids.back()] = 8;
+    return QuantSchemePtr(
+        std::make_shared<PerComponentScheme>(std::move(bits), /*default=*/8));
+  }
+  Status ValidateParams(const SchemeParams& params) const override {
+    return ValidateBitOptionsParam(params);
+  }
+  std::string Label(const SchemeParams&) const override {
+    return force_output_int8_ ? "Random+INT8" : "Random";
+  }
+
+ private:
+  bool force_output_int8_;
+};
+
+MIXQ_REGISTER_SCHEME("fp32", std::make_shared<const Fp32Family>());
+MIXQ_REGISTER_SCHEME("qat", std::make_shared<const QatFamily>());
+MIXQ_REGISTER_SCHEME("dq", std::make_shared<const DqFamily>());
+MIXQ_REGISTER_SCHEME("a2q", std::make_shared<const A2qFamily>());
+MIXQ_REGISTER_SCHEME("fixed", std::make_shared<const FixedFamily>());
+MIXQ_REGISTER_SCHEME("random", std::make_shared<const RandomFamily>(false));
+MIXQ_REGISTER_SCHEME("random_int8", std::make_shared<const RandomFamily>(true));
+
+}  // namespace
+}  // namespace mixq

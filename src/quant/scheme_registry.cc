@@ -1,0 +1,314 @@
+// Copyright 2026 MixQ-GNN Authors
+#include "quant/scheme_registry.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <sstream>
+
+namespace mixq {
+
+namespace {
+
+std::string FormatDouble(double v) {
+  // %.17g round-trips every double exactly; %g would truncate to 6
+  // significant digits and silently change e.g. a lambda on the way
+  // through the string map.
+  char buf[48];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  return buf;
+}
+
+// Splits "a,b,c" into trimmed non-empty pieces.
+std::vector<std::string> SplitCsv(const std::string& s) {
+  std::vector<std::string> out;
+  std::string piece;
+  std::istringstream in(s);
+  while (std::getline(in, piece, ',')) {
+    size_t b = piece.find_first_not_of(" \t");
+    size_t e = piece.find_last_not_of(" \t");
+    if (b == std::string::npos) continue;
+    out.push_back(piece.substr(b, e - b + 1));
+  }
+  return out;
+}
+
+}  // namespace
+
+SchemeParams& SchemeParams::SetInt(const std::string& key, int64_t value) {
+  return Set(key, std::to_string(value));
+}
+
+SchemeParams& SchemeParams::SetDouble(const std::string& key, double value) {
+  return Set(key, FormatDouble(value));
+}
+
+SchemeParams& SchemeParams::SetIntList(const std::string& key,
+                                       const std::vector<int>& values) {
+  std::string joined;
+  for (size_t i = 0; i < values.size(); ++i) {
+    if (i > 0) joined += ',';
+    joined += std::to_string(values[i]);
+  }
+  return Set(key, std::move(joined));
+}
+
+SchemeParams& SchemeParams::SetBitsMap(const std::string& key,
+                                       const std::map<std::string, int>& bits) {
+  std::string joined;
+  for (const auto& [id, b] : bits) {
+    if (!joined.empty()) joined += ',';
+    joined += id + '=' + std::to_string(b);
+  }
+  return Set(key, std::move(joined));
+}
+
+Result<int64_t> SchemeParams::GetInt(const std::string& key) const {
+  auto it = values_.find(key);
+  if (it == values_.end()) return Status::NotFound("missing parameter '" + key + "'");
+  try {
+    size_t pos = 0;
+    int64_t v = std::stoll(it->second, &pos);
+    if (pos != it->second.size()) throw std::invalid_argument("trailing");
+    return v;
+  } catch (const std::exception&) {
+    return Status::InvalidArgument("parameter '" + key + "'='" + it->second +
+                                   "' is not an integer");
+  }
+}
+
+Result<double> SchemeParams::GetDouble(const std::string& key) const {
+  auto it = values_.find(key);
+  if (it == values_.end()) return Status::NotFound("missing parameter '" + key + "'");
+  try {
+    size_t pos = 0;
+    double v = std::stod(it->second, &pos);
+    if (pos != it->second.size()) throw std::invalid_argument("trailing");
+    return v;
+  } catch (const std::exception&) {
+    return Status::InvalidArgument("parameter '" + key + "'='" + it->second +
+                                   "' is not a number");
+  }
+}
+
+Result<std::vector<int>> SchemeParams::GetIntList(const std::string& key) const {
+  auto it = values_.find(key);
+  if (it == values_.end()) return Status::NotFound("missing parameter '" + key + "'");
+  std::vector<int> out;
+  for (const std::string& piece : SplitCsv(it->second)) {
+    try {
+      out.push_back(std::stoi(piece));
+    } catch (const std::exception&) {
+      return Status::InvalidArgument("parameter '" + key + "': '" + piece +
+                                     "' is not an integer");
+    }
+  }
+  return out;
+}
+
+Result<std::map<std::string, int>> SchemeParams::GetBitsMap(
+    const std::string& key) const {
+  auto it = values_.find(key);
+  if (it == values_.end()) return Status::NotFound("missing parameter '" + key + "'");
+  std::map<std::string, int> out;
+  for (const std::string& piece : SplitCsv(it->second)) {
+    size_t eq = piece.find('=');
+    if (eq == std::string::npos || eq == 0) {
+      return Status::InvalidArgument("parameter '" + key + "': entry '" + piece +
+                                     "' is not of the form id=bits");
+    }
+    try {
+      out[piece.substr(0, eq)] = std::stoi(piece.substr(eq + 1));
+    } catch (const std::exception&) {
+      return Status::InvalidArgument("parameter '" + key + "': entry '" + piece +
+                                     "' has a non-integer bit-width");
+    }
+  }
+  return out;
+}
+
+int64_t SchemeParams::GetIntOr(const std::string& key, int64_t fallback) const {
+  Result<int64_t> r = GetInt(key);
+  return r.ok() ? r.ValueOrDie() : fallback;
+}
+
+double SchemeParams::GetDoubleOr(const std::string& key, double fallback) const {
+  Result<double> r = GetDouble(key);
+  return r.ok() ? r.ValueOrDie() : fallback;
+}
+
+std::vector<int> SchemeParams::GetIntListOr(const std::string& key,
+                                            std::vector<int> fallback) const {
+  Result<std::vector<int>> r = GetIntList(key);
+  return r.ok() ? r.MoveValueOrDie() : std::move(fallback);
+}
+
+std::string SchemeParams::ToString() const {
+  std::string out;
+  for (const auto& [k, v] : values_) {
+    if (!out.empty()) out += ',';
+    out += k + '=' + v;
+  }
+  return out;
+}
+
+Result<QuantSchemePtr> SchemeFamily::BuildSearch(const SchemeParams& params,
+                                                 const SchemeBuildContext& ctx) const {
+  (void)params;
+  (void)ctx;
+  return Status::NotImplemented("scheme family does not define a search phase");
+}
+
+// ---------------------------------------------------------------------------
+// SchemeRef builders
+// ---------------------------------------------------------------------------
+
+SchemeRef SchemeRef::Qat(int bits) {
+  SchemeRef r("qat");
+  r.params.SetInt("bits", bits);
+  return r;
+}
+
+SchemeRef SchemeRef::Dq(int bits) {
+  SchemeRef r("dq");
+  r.params.SetInt("bits", bits);
+  return r;
+}
+
+SchemeRef SchemeRef::A2q(double memory_lambda) {
+  SchemeRef r("a2q");
+  r.params.SetDouble("memory_lambda", memory_lambda);
+  return r;
+}
+
+SchemeRef SchemeRef::MixQ(double lambda, const std::vector<int>& bit_options) {
+  SchemeRef r("mixq");
+  r.params.SetDouble("lambda", lambda);
+  r.params.SetIntList("bit_options", bit_options);
+  return r;
+}
+
+SchemeRef SchemeRef::MixQDq(double lambda, const std::vector<int>& bit_options) {
+  SchemeRef r = MixQ(lambda, bit_options);
+  r.name = "mixq_dq";
+  return r;
+}
+
+SchemeRef SchemeRef::Fixed(const std::map<std::string, int>& bits) {
+  SchemeRef r("fixed");
+  r.params.SetBitsMap("fixed_bits", bits);
+  return r;
+}
+
+SchemeRef SchemeRef::Random(const std::vector<int>& bit_options) {
+  SchemeRef r("random");
+  r.params.SetIntList("bit_options", bit_options);
+  return r;
+}
+
+SchemeRef SchemeRef::RandomInt8(const std::vector<int>& bit_options) {
+  SchemeRef r("random_int8");
+  r.params.SetIntList("bit_options", bit_options);
+  return r;
+}
+
+// ---------------------------------------------------------------------------
+// SchemeRegistry
+// ---------------------------------------------------------------------------
+
+SchemeRegistry& SchemeRegistry::Global() {
+  static SchemeRegistry* registry = new SchemeRegistry();
+  return *registry;
+}
+
+Status SchemeRegistry::Register(const std::string& name, SchemeFamilyPtr family) {
+  if (name.empty()) return Status::InvalidArgument("scheme name must be non-empty");
+  if (family == nullptr) {
+    return Status::InvalidArgument("scheme family for '" + name + "' is null");
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  if (!families_.emplace(name, std::move(family)).second) {
+    return Status::InvalidArgument("scheme '" + name + "' is already registered");
+  }
+  return Status::OK();
+}
+
+Status SchemeRegistry::Unregister(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (families_.erase(name) == 0) {
+    return Status::NotFound("scheme '" + name + "' is not registered");
+  }
+  return Status::OK();
+}
+
+bool SchemeRegistry::Contains(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return families_.count(name) != 0;
+}
+
+Result<SchemeFamilyPtr> SchemeRegistry::Find(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = families_.find(name);
+  if (it == families_.end()) {
+    std::string known;
+    for (const auto& [n, f] : families_) {
+      if (!known.empty()) known += ", ";
+      known += n;
+    }
+    return Status::NotFound("unknown scheme '" + name + "' (registered: " + known +
+                            ")");
+  }
+  return it->second;
+}
+
+std::vector<std::string> SchemeRegistry::Names() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<std::string> names;
+  names.reserve(families_.size());
+  for (const auto& [n, f] : families_) names.push_back(n);
+  return names;
+}
+
+Result<QuantSchemePtr> SchemeRegistry::Create(const SchemeRef& ref,
+                                              const SchemeBuildContext& ctx) const {
+  Result<SchemeFamilyPtr> family = Find(ref.name);
+  if (!family.ok()) return family.status();
+  MIXQ_RETURN_NOT_OK(family.ValueOrDie()->ValidateParams(ref.params));
+  return family.ValueOrDie()->Build(ref.params, ctx);
+}
+
+std::string SchemeRegistry::Label(const SchemeRef& ref) const {
+  Result<SchemeFamilyPtr> family = Find(ref.name);
+  if (!family.ok()) return "?" + ref.name;
+  return family.ValueOrDie()->Label(ref.params);
+}
+
+Status ValidateOptionalDoubleParams(const SchemeParams& params,
+                                    std::initializer_list<const char*> keys) {
+  for (const char* key : keys) {
+    if (!params.Has(key)) continue;
+    Result<double> value = params.GetDouble(key);
+    if (!value.ok()) return value.status();
+  }
+  return Status::OK();
+}
+
+Status ValidateOptionalIntParams(const SchemeParams& params,
+                                 std::initializer_list<const char*> keys) {
+  for (const char* key : keys) {
+    if (!params.Has(key)) continue;
+    Result<int64_t> value = params.GetInt(key);
+    if (!value.ok()) return value.status();
+  }
+  return Status::OK();
+}
+
+namespace internal {
+
+SchemeRegistration::SchemeRegistration(const char* name, SchemeFamilyPtr family) {
+  Status st = SchemeRegistry::Global().Register(name, std::move(family));
+  MIXQ_CHECK(st.ok()) << st.ToString();
+}
+
+}  // namespace internal
+
+}  // namespace mixq
