@@ -53,6 +53,40 @@ void BM_GemmInt32(benchmark::State& state) {
 }
 BENCHMARK(BM_GemmInt32)->Arg(64)->Arg(128)->Arg(256);
 
+void BM_GemmInt8(benchmark::State& state) {
+  const int64_t n = state.range(0);
+  Rng rng(11);
+  std::vector<int8_t> a(static_cast<size_t>(n * n)), b(static_cast<size_t>(n * n));
+  for (auto& v : a) v = static_cast<int8_t>(rng.UniformInt(-127, 127));
+  for (auto& v : b) v = static_cast<int8_t>(rng.UniformInt(-127, 127));
+  std::vector<int32_t> c(static_cast<size_t>(n * n));
+  for (auto _ : state) {
+    GemmInt8(a.data(), b.data(), c.data(), n, n, n);
+    benchmark::DoNotOptimize(c.data());
+  }
+  state.SetItemsProcessed(state.iterations() * n * n * n);
+}
+BENCHMARK(BM_GemmInt8)->Arg(64)->Arg(128)->Arg(256);
+
+// The serving executor's dense kernel: int8 codes against pair-packed
+// weights (packed once, as CompileModel does).
+void BM_GemmInt8PackedB(benchmark::State& state) {
+  const int64_t n = state.range(0);
+  Rng rng(12);
+  std::vector<int8_t> a(static_cast<size_t>(n * n)), b(static_cast<size_t>(n * n));
+  for (auto& v : a) v = static_cast<int8_t>(rng.UniformInt(-127, 127));
+  for (auto& v : b) v = static_cast<int8_t>(rng.UniformInt(-127, 127));
+  std::vector<int16_t> packed(static_cast<size_t>(PackedPairSize(n, n)));
+  PackInt8PairB(b.data(), n, n, packed.data());
+  std::vector<int32_t> c(static_cast<size_t>(n * n));
+  for (auto _ : state) {
+    GemmInt8PackedB(a.data(), packed.data(), c.data(), n, n, n);
+    benchmark::DoNotOptimize(c.data());
+  }
+  state.SetItemsProcessed(state.iterations() * n * n * n);
+}
+BENCHMARK(BM_GemmInt8PackedB)->Arg(64)->Arg(128)->Arg(256);
+
 void BM_SpmmFloat(benchmark::State& state) {
   const int64_t n = state.range(0);
   CsrMatrix a = RandomGraph(n, 8, 3);
@@ -83,6 +117,23 @@ void BM_SpmmInt(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() * a.nnz() * 64);
 }
 BENCHMARK(BM_SpmmInt)->Arg(1000)->Arg(4000)->Arg(16000);
+
+void BM_SpmmInt8(benchmark::State& state) {
+  const int64_t n = state.range(0);
+  CsrMatrix a = RandomGraph(n, 8, 10);
+  Rng rng(13);
+  std::vector<int8_t> aq(static_cast<size_t>(a.nnz()));
+  for (auto& v : aq) v = static_cast<int8_t>(rng.UniformInt(-127, 127));
+  std::vector<int8_t> x(static_cast<size_t>(n * 64));
+  for (auto& v : x) v = static_cast<int8_t>(rng.UniformInt(-127, 127));
+  std::vector<int32_t> y(static_cast<size_t>(n * 64));
+  for (auto _ : state) {
+    SpmmInt8(a, aq.data(), x.data(), 64, y.data());
+    benchmark::DoNotOptimize(y.data());
+  }
+  state.SetItemsProcessed(state.iterations() * a.nnz() * 64);
+}
+BENCHMARK(BM_SpmmInt8)->Arg(1000)->Arg(4000)->Arg(16000);
 
 void BM_FusedQuantizedSpmm(benchmark::State& state) {
   const int64_t n = state.range(0);

@@ -1,0 +1,149 @@
+// Copyright 2026 MixQ-GNN Authors
+// Serving-path benchmark: single-request latency and multi-threaded QPS of
+// the lowered executor (exact float and all-integer modes) against the
+// pipeline-replay reference, on the Table-3-sized citation graph. Emits
+// BENCH_serving.json (override the path with MIXQ_BENCH_JSON) for the perf
+// trajectory, alongside the usual table.
+//
+//   MIXQ_SERVE_THREADS  client threads for the QPS section (default 8)
+//   MIXQ_FULL=1         full-size graph (2708 nodes) instead of quick (1000)
+#include <chrono>
+#include <cstdio>
+#include <fstream>
+#include <functional>
+#include <thread>
+
+#include "bench/bench_util.h"
+#include "engine/inference_engine.h"
+
+using namespace mixq;
+using namespace mixq::bench;
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double SecondsSince(Clock::time_point start) {
+  return std::chrono::duration<double>(Clock::now() - start).count();
+}
+
+/// Mean microseconds per call: warm up, then run until ~0.5 s or 300 calls.
+double MeasureLatencyUs(const std::function<void()>& fn) {
+  for (int i = 0; i < 3; ++i) fn();
+  const Clock::time_point start = Clock::now();
+  int iters = 0;
+  double elapsed = 0.0;
+  while (iters < 300 && (elapsed = SecondsSince(start)) < 0.5) {
+    fn();
+    ++iters;
+  }
+  return SecondsSince(start) / iters * 1e6;
+}
+
+/// Aggregate requests/second from `threads` clients hammering fn for ~0.5 s.
+double MeasureQps(int threads, const std::function<void()>& fn) {
+  std::vector<int64_t> counts(static_cast<size_t>(threads), 0);
+  std::vector<std::thread> workers;
+  for (int t = 0; t < threads; ++t) {
+    workers.emplace_back([&, t] {
+      const Clock::time_point start = Clock::now();
+      while (SecondsSince(start) < 0.5) {
+        fn();
+        ++counts[static_cast<size_t>(t)];
+      }
+    });
+  }
+  for (auto& w : workers) w.join();
+  int64_t total = 0;
+  for (int64_t c : counts) total += c;
+  return static_cast<double>(total) / 0.5;
+}
+
+}  // namespace
+
+int main() {
+  PrintHeader("Serving latency — lowered executor vs pipeline replay");
+
+  NodeDataset dataset = QuickCitation("cora", /*seed=*/1);
+  NodeExperimentConfig cfg = StandardNodeConfig(NodeModelKind::kGcn,
+                                                /*quick_epochs=*/10,
+                                                /*full_epochs=*/30);
+  ExperimentSpec spec =
+      ExperimentSpec::NodeClassification(dataset, cfg, SchemeRef::Qat(8));
+  spec.keep_artifact = true;
+  Result<Experiment> experiment = Experiment::Create(std::move(spec));
+  MIXQ_CHECK(experiment.ok()) << experiment.status().ToString();
+  Result<ExperimentReport> report = experiment.ValueOrDie().Run();
+  MIXQ_CHECK(report.ok()) << report.status().ToString();
+  std::shared_ptr<ModelArtifact> artifact = report.ValueOrDie().artifact;
+  MIXQ_CHECK(artifact != nullptr);
+
+  Result<engine::CompiledModelPtr> compiled = engine::CompileModel(*artifact);
+  MIXQ_CHECK(compiled.ok()) << compiled.status().ToString();
+  engine::CompiledModelPtr model = compiled.ValueOrDie();
+  MIXQ_CHECK(model->info().lowered) << "qat8 must lower";
+  MIXQ_CHECK(model->info().lowered_int8) << "qat8 must lower to int8";
+
+  const Tensor& x = artifact->features;
+  const SparseOperatorPtr& op = artifact->op;
+  const int64_t n = x.rows();
+  const int64_t nnz = op->nnz();
+
+  // ---- single-request latency ---------------------------------------------
+  engine::PredictScratch scratch;
+  const double ref_us = MeasureLatencyUs(
+      [&] { MIXQ_CHECK(model->PredictReference(x, op).ok()); });
+  const double lowered_us =
+      MeasureLatencyUs([&] { MIXQ_CHECK(model->Predict(x, op, &scratch).ok()); });
+  const double int8_us = MeasureLatencyUs(
+      [&] { MIXQ_CHECK(model->PredictQuantized(x, op, &scratch).ok()); });
+  const double speedup = ref_us / lowered_us;
+  const double speedup_int8 = ref_us / int8_us;
+
+  // ---- multi-threaded QPS --------------------------------------------------
+  const int threads = EnvInt("MIXQ_SERVE_THREADS", 8);
+  engine::InferenceEngine serving;
+  MIXQ_CHECK(serving.RegisterModel("tab3-qat8", model).ok());
+  const double lowered_qps =
+      MeasureQps(threads, [&] { MIXQ_CHECK(serving.Predict("tab3-qat8", x, op).ok()); });
+  const double ref_qps =
+      MeasureQps(threads, [&] { MIXQ_CHECK(model->PredictReference(x, op).ok()); });
+
+  TablePrinter table({"Path", "Latency (us)", "Speedup", "QPS x" +
+                                                             std::to_string(threads)});
+  table.AddRow({"reference (pipeline replay)", FormatFloat(ref_us, 1), "1.00",
+                FormatFloat(ref_qps, 0)});
+  table.AddRow({"lowered (exact float)", FormatFloat(lowered_us, 1),
+                FormatFloat(speedup, 2), FormatFloat(lowered_qps, 0)});
+  table.AddRow({"lowered (int8)", FormatFloat(int8_us, 1),
+                FormatFloat(speedup_int8, 2), "-"});
+  std::printf("graph: %lld nodes, %lld nnz, %lld features, hidden %lld\n",
+              static_cast<long long>(n), static_cast<long long>(nnz),
+              static_cast<long long>(x.cols()), static_cast<long long>(cfg.hidden));
+  table.Print();
+
+  // ---- JSON for the perf trajectory ---------------------------------------
+  const char* json_path = std::getenv("MIXQ_BENCH_JSON");
+  std::ofstream json(json_path != nullptr ? json_path : "BENCH_serving.json");
+  json << "{\n"
+       << "  \"bench\": \"serving_latency\",\n"
+       << "  \"graph\": {\"nodes\": " << n << ", \"nnz\": " << nnz
+       << ", \"features\": " << x.cols() << ", \"hidden\": " << cfg.hidden
+       << "},\n"
+       << "  \"scheme\": \"qat8\",\n"
+       << "  \"single_thread\": {\n"
+       << "    \"reference_us\": " << ref_us << ",\n"
+       << "    \"lowered_us\": " << lowered_us << ",\n"
+       << "    \"lowered_int8_us\": " << int8_us << ",\n"
+       << "    \"speedup\": " << speedup << ",\n"
+       << "    \"speedup_int8\": " << speedup_int8 << "\n"
+       << "  },\n"
+       << "  \"concurrent\": {\n"
+       << "    \"threads\": " << threads << ",\n"
+       << "    \"lowered_qps\": " << lowered_qps << ",\n"
+       << "    \"reference_qps\": " << ref_qps << "\n"
+       << "  }\n"
+       << "}\n";
+  std::printf("\nwrote %s\n", json_path != nullptr ? json_path : "BENCH_serving.json");
+  return 0;
+}

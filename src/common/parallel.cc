@@ -2,7 +2,13 @@
 #include "common/parallel.h"
 
 #include <algorithm>
+#include <atomic>
+#include <condition_variable>
 #include <cstdlib>
+#include <deque>
+#include <exception>
+#include <memory>
+#include <mutex>
 #include <thread>
 #include <vector>
 
@@ -22,25 +28,150 @@ int NumThreads() {
   return kThreads;
 }
 
+namespace {
+
+// True while this thread is executing chunks of some ParallelFor — nested
+// calls from inside a chunk (on any thread, pool worker or caller) must run
+// serially: a participant that blocked on sub-chunks could deadlock the pool
+// under concurrent load, and an unsuspecting nested caller would otherwise
+// observe surprise parallelism.
+thread_local bool in_parallel_region = false;
+
+// One ParallelFor invocation. Participants (pool workers plus the caller)
+// claim chunk indices from `next` until exhausted; the caller waits until
+// every chunk has finished. Heap-allocated and shared so that a worker that
+// dequeues the batch after the loop already completed touches valid memory.
+struct Batch {
+  const std::function<void(int64_t, int64_t)>* fn = nullptr;
+  int64_t n = 0;
+  int64_t chunk = 0;
+  int64_t num_chunks = 0;
+  std::atomic<int64_t> next{0};
+
+  std::mutex mu;
+  std::condition_variable done_cv;
+  int64_t completed = 0;  // guarded by mu
+  std::exception_ptr error;  // first exception, guarded by mu
+
+  // Runs chunks until none are left. Exceptions are recorded, never leaked.
+  void Participate() {
+    struct RegionGuard {
+      bool prev = in_parallel_region;
+      RegionGuard() { in_parallel_region = true; }
+      ~RegionGuard() { in_parallel_region = prev; }
+    } region;
+    for (;;) {
+      const int64_t c = next.fetch_add(1, std::memory_order_relaxed);
+      if (c >= num_chunks) return;
+      const int64_t begin = c * chunk;
+      const int64_t end = std::min(n, begin + chunk);
+      std::exception_ptr err;
+      if (begin < end) {
+        try {
+          (*fn)(begin, end);
+        } catch (...) {
+          err = std::current_exception();
+        }
+      }
+      {
+        std::lock_guard<std::mutex> lock(mu);
+        if (err && !error) error = err;
+        if (++completed == num_chunks) done_cv.notify_all();
+      }
+    }
+  }
+};
+
+// Pool workers block on a queue of batches and lend themselves to each one.
+// There is no per-batch thread spawn: the pool is created on first parallel
+// use and lives for the rest of the process.
+class ThreadPool {
+ public:
+  static ThreadPool& Global() {
+    static ThreadPool pool(NumThreads() - 1);
+    return pool;
+  }
+
+  void Submit(const std::shared_ptr<Batch>& batch, int64_t copies) {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (stopped_) return;  // shutdown race: caller runs everything itself
+      for (int64_t i = 0; i < copies; ++i) queue_.push_back(batch);
+    }
+    if (copies == 1) {
+      cv_.notify_one();
+    } else {
+      cv_.notify_all();
+    }
+  }
+
+  ~ThreadPool() {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      stopped_ = true;
+    }
+    cv_.notify_all();
+    for (auto& w : workers_) w.join();
+  }
+
+ private:
+  explicit ThreadPool(int num_workers) {
+    workers_.reserve(static_cast<size_t>(std::max(num_workers, 0)));
+    for (int i = 0; i < num_workers; ++i) {
+      workers_.emplace_back([this] { WorkerLoop(); });
+    }
+  }
+
+  void WorkerLoop() {
+    for (;;) {
+      std::shared_ptr<Batch> batch;
+      {
+        std::unique_lock<std::mutex> lock(mu_);
+        cv_.wait(lock, [this] { return stopped_ || !queue_.empty(); });
+        if (stopped_ && queue_.empty()) return;
+        batch = std::move(queue_.front());
+        queue_.pop_front();
+      }
+      batch->Participate();
+    }
+  }
+
+  std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<std::shared_ptr<Batch>> queue_;
+  bool stopped_ = false;
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace
+
 void ParallelFor(int64_t n, const std::function<void(int64_t, int64_t)>& fn,
                  int64_t grain) {
   if (n <= 0) return;
   const int threads = NumThreads();
-  if (threads <= 1 || n < 2 * grain) {
+  // Serial fast paths: tiny loops, single-thread config, and nested calls
+  // from inside a chunk of another ParallelFor (on any thread).
+  if (threads <= 1 || n < 2 * grain || in_parallel_region) {
     fn(0, n);
     return;
   }
-  const int64_t num_chunks = std::min<int64_t>(threads, (n + grain - 1) / grain);
-  const int64_t chunk = (n + num_chunks - 1) / num_chunks;
-  std::vector<std::thread> workers;
-  workers.reserve(static_cast<size_t>(num_chunks));
-  for (int64_t c = 0; c < num_chunks; ++c) {
-    const int64_t begin = c * chunk;
-    const int64_t end = std::min(n, begin + chunk);
-    if (begin >= end) break;
-    workers.emplace_back([&fn, begin, end] { fn(begin, end); });
-  }
-  for (auto& w : workers) w.join();
+  // Several chunks per participant: concurrent ParallelFor calls (e.g. many
+  // serving requests) interleave on the shared workers, so finer chunks keep
+  // stragglers short. Chunk geometry never affects results — every chunk is
+  // a disjoint [begin, end).
+  const int64_t max_chunks = std::min<int64_t>(
+      static_cast<int64_t>(threads) * 4, (n + grain - 1) / grain);
+  auto batch = std::make_shared<Batch>();
+  batch->fn = &fn;
+  batch->n = n;
+  batch->num_chunks = std::max<int64_t>(max_chunks, 1);
+  batch->chunk = (n + batch->num_chunks - 1) / batch->num_chunks;
+  ThreadPool::Global().Submit(
+      batch, std::min<int64_t>(threads - 1, batch->num_chunks - 1));
+  batch->Participate();
+  std::unique_lock<std::mutex> lock(batch->mu);
+  batch->done_cv.wait(lock, [&] { return batch->completed == batch->num_chunks; });
+  if (batch->error) std::rethrow_exception(batch->error);
 }
 
 }  // namespace mixq

@@ -1,7 +1,8 @@
 // Copyright 2026 MixQ-GNN Authors
-// Minimal data-parallel loop utility. The dense GEMM and sparse SpMM kernels
-// dominate training cost; chunked std::thread parallelism keeps them tractable
-// on CPU without external dependencies.
+// Data-parallel loop utility backed by a persistent thread pool. The dense
+// GEMM and sparse SpMM kernels dominate training cost, and per-request kernel
+// launches dominate small-graph serving latency — so workers are spawned once
+// per process and reused, instead of std::thread-per-call.
 #pragma once
 
 #include <cstdint>
@@ -9,14 +10,23 @@
 
 namespace mixq {
 
-/// Number of worker threads used by ParallelFor. Defaults to
-/// std::thread::hardware_concurrency(), clamped to [1, 16]. Override with the
-/// MIXQ_THREADS environment variable (0/1 disables parallelism).
+/// Number of participants (pool workers + the calling thread) used by
+/// ParallelFor. Defaults to std::thread::hardware_concurrency(), clamped to
+/// [1, 16]. Override with the MIXQ_THREADS environment variable: values 0/1
+/// disable parallelism entirely (no pool threads are ever started), larger
+/// values are clamped to 64. Read once at first use.
 int NumThreads();
 
-/// Runs fn(begin, end) over disjoint chunks of [0, n) on worker threads.
-/// Falls back to a serial call when n is small or NumThreads() == 1.
-/// `grain` is the minimum chunk size worth spawning a thread for.
+/// Runs fn(begin, end) over disjoint chunks of [0, n) on the persistent pool;
+/// the calling thread participates, so NumThreads()==1 or small n degrade to
+/// a serial call. `grain` is the minimum chunk size worth scheduling.
+///
+/// Safe to call concurrently from many threads (chunks from concurrent loops
+/// interleave on the shared workers) and reentrantly from inside a chunk
+/// (nested calls run serially on the calling worker). If one or more chunks
+/// throw, every remaining chunk still runs and the first exception is
+/// rethrown on the calling thread once the loop is complete — a throwing
+/// worker no longer brings the process down via std::terminate.
 void ParallelFor(int64_t n, const std::function<void(int64_t, int64_t)>& fn,
                  int64_t grain = 1024);
 

@@ -8,9 +8,9 @@ namespace engine {
 
 namespace {
 
-int64_t CountParams(std::vector<Tensor> params) {
+int64_t CountParams(const std::vector<Tensor>& params) {
   int64_t total = 0;
-  for (auto& p : params) total += p.numel();
+  for (const auto& p : params) total += p.numel();
   return total;
 }
 
@@ -52,8 +52,16 @@ Result<CompiledModelPtr> CompileModel(const ModelArtifact& artifact) {
     model->info_.out_dim = model->sage_->config().num_classes;
   }
   for (auto& p : params) p.SetRequiresGrad(false);
-  model->info_.param_count = CountParams(std::move(params));
+  model->info_.param_count = CountParams(params);
   model->info_.scheme_label = artifact.scheme_label;
+
+  // Lowering pass: freeze the scheme into a flat, autograd-free plan with
+  // compile-time quantized weights. Schemes that are not a fixed per-tensor
+  // transform leave plan_ null and serve through PredictReference.
+  model->plan_ = is_gcn ? ExecutionPlan::Lower(*model->gcn_, *artifact.scheme)
+                        : ExecutionPlan::Lower(*model->sage_, *artifact.scheme);
+  model->info_.lowered = model->plan_ != nullptr;
+  model->info_.lowered_int8 = model->plan_ != nullptr && model->plan_->SupportsInt8();
 
   // Capture the per-component bit assignment as metadata.
   for (const std::string& id : artifact.scheme->ComponentIds()) {
@@ -71,7 +79,7 @@ Result<CompiledModelPtr> CompileModel(const ModelArtifact& artifact) {
   return CompiledModelPtr(model);
 }
 
-Result<Tensor> CompiledModel::Predict(const Tensor& features,
+Status CompiledModel::ValidateRequest(const Tensor& features,
                                       const SparseOperatorPtr& op) const {
   if (!features.defined()) {
     return Status::InvalidArgument("features tensor is undefined");
@@ -89,10 +97,66 @@ Result<Tensor> CompiledModel::Predict(const Tensor& features,
         std::to_string(op->matrix().cols()) + " columns, features " +
         std::to_string(features.rows()) + " rows");
   }
+  return Status::OK();
+}
+
+Result<Tensor> CompiledModel::Predict(const Tensor& features,
+                                      const SparseOperatorPtr& op) const {
+  PredictScratch scratch;
+  return Predict(features, op, &scratch);
+}
+
+Result<Tensor> CompiledModel::Predict(const Tensor& features,
+                                      const SparseOperatorPtr& op,
+                                      PredictScratch* scratch) const {
+  Status valid = ValidateRequest(features, op);
+  if (!valid.ok()) return valid;
+  if (plan_ == nullptr) return PredictReference(features, op);
+
+  // Lock-free hot path: the plan is immutable, the scratch is caller-owned.
+  Tensor logits = Tensor::Zeros(Shape(features.rows(), info_.out_dim));
+  plan_->Execute(features.data().data(), features.rows(), *op, &scratch->plan,
+                 logits.data().data());
+  return logits;
+}
+
+Result<Tensor> CompiledModel::PredictQuantized(const Tensor& features,
+                                               const SparseOperatorPtr& op) const {
+  PredictScratch scratch;
+  return PredictQuantized(features, op, &scratch);
+}
+
+Result<Tensor> CompiledModel::PredictQuantized(const Tensor& features,
+                                               const SparseOperatorPtr& op,
+                                               PredictScratch* scratch) const {
+  Status valid = ValidateRequest(features, op);
+  if (!valid.ok()) return valid;
+  if (plan_ == nullptr || !plan_->SupportsInt8()) {
+    return Status::NotImplemented(
+        "scheme '" + info_.scheme_label +
+        "' has no all-integer lowering (requires symmetric <= 8-bit "
+        "quantizers at every component)");
+  }
+  if (!ExecutionPlan::Int8DepthSafeOperator(*op)) {
+    return Status::InvalidArgument(
+        "operator has a row too deep for the int8 executor's int32 "
+        "accumulators (~133k stored entries); use Predict");
+  }
+  Tensor logits = Tensor::Zeros(Shape(features.rows(), info_.out_dim));
+  plan_->ExecuteInt8(features.data().data(), features.rows(), *op, &scratch->plan,
+                     logits.data().data());
+  return logits;
+}
+
+Result<Tensor> CompiledModel::PredictReference(const Tensor& features,
+                                               const SparseOperatorPtr& op) const {
+  Status valid = ValidateRequest(features, op);
+  if (!valid.ok()) return valid;
 
   // Serialize forwards: replays the training pipeline's eval path exactly
   // (BeginStep(false) then a training=false forward), which is what makes
-  // Predict bitwise-match the experiment's eval logits.
+  // this path — and the lowered plan that must match it bitwise — reproduce
+  // the experiment's eval logits.
   std::lock_guard<std::mutex> lock(*forward_mu_);
   scheme_->BeginStep(false);
   if (model_kind_ == NodeModelKind::kGcn) {

@@ -6,15 +6,18 @@
 // (trained network + final quantization scheme) and freezes it: parameters
 // stop requiring gradients, the network is pinned to eval mode, and the
 // selected per-component bit assignment plus quantizer ranges are captured
-// as immutable metadata. The result answers Predict(features, op) with
-// logits that are bitwise identical to the eval-mode forward pass of the
-// training pipeline — the experiment/deployment contract the engine tests
-// assert.
+// as immutable metadata. On top of that, compilation runs a lowering pass
+// (engine/execution_plan.h): when the scheme's eval behaviour is a fixed
+// per-tensor transform, the model carries a flat autograd-free ExecutionPlan
+// with weights quantized once at compile time.
 //
-// Thread safety: a CompiledModel serializes its forward passes on the
-// artifact's shared forward mutex (the autograd-capable tensors underneath
-// are not re-entrant), so any number of threads may call Predict() on the
-// same instance — or on several CompiledModels compiled from one artifact.
+// Predict() executes that plan **without any lock** — concurrent requests
+// scale across cores, each using its own (reusable) scratch — and returns
+// logits bitwise identical to the eval-mode forward of the training
+// pipeline. PredictReference() keeps the original pipeline-replay path
+// (mutex-serialized) as the parity oracle, and is also what Predict falls
+// back to for schemes the lowering can't express (e.g. A2Q's per-node
+// scales). PredictQuantized() runs the all-integer executor when available.
 #pragma once
 
 #include <map>
@@ -24,6 +27,7 @@
 
 #include "common/status.h"
 #include "core/experiment.h"
+#include "engine/execution_plan.h"
 #include "sparse/spmm.h"
 #include "tensor/tensor.h"
 
@@ -39,6 +43,15 @@ struct CompiledModelInfo {
   int64_t param_count = 0;    ///< learnable scalars frozen into the model
   int64_t in_features = 0;    ///< expected feature dimension of Predict input
   int64_t out_dim = 0;        ///< logit dimension
+  bool lowered = false;       ///< Predict runs the lock-free ExecutionPlan
+  bool lowered_int8 = false;  ///< PredictQuantized (all-integer) available
+};
+
+/// Reusable per-thread workspace for Predict/PredictQuantized. Passing one
+/// across requests avoids re-allocating activation buffers; a
+/// default-constructed scratch is always valid.
+struct PredictScratch {
+  ExecutionPlan::Scratch plan;
 };
 
 class CompiledModel;
@@ -50,8 +63,30 @@ class CompiledModel {
   /// Runs one eval-mode forward over a graph: `features` is [n, in_features],
   /// `op` the matching normalized sparse operator (GCN-normalized for GCN
   /// backbones, row-normalized for SAGE — as produced by the training
-  /// pipeline). Returns [n, out_dim] logits. Validates shapes; thread-safe.
+  /// pipeline). Returns [n, out_dim] logits, bitwise identical to
+  /// PredictReference. Lock-free when info().lowered; thread-safe always.
   Result<Tensor> Predict(const Tensor& features, const SparseOperatorPtr& op) const;
+  /// Same, reusing caller-owned scratch buffers across requests. `scratch`
+  /// must not be shared between concurrent callers.
+  Result<Tensor> Predict(const Tensor& features, const SparseOperatorPtr& op,
+                         PredictScratch* scratch) const;
+
+  /// The all-integer executor: int8 activations and weights, int8-blocked
+  /// GEMM, Theorem-1 fused SpMM. Logits agree with PredictReference up to
+  /// rounding ties on each requantization (bounded by the component
+  /// quantization steps), not bitwise. kNotImplemented when
+  /// !info().lowered_int8.
+  Result<Tensor> PredictQuantized(const Tensor& features,
+                                  const SparseOperatorPtr& op) const;
+  Result<Tensor> PredictQuantized(const Tensor& features, const SparseOperatorPtr& op,
+                                  PredictScratch* scratch) const;
+
+  /// The original pipeline-replay path: rebuilds the autograd graph and
+  /// re-fake-quantizes on every call, serialized on the artifact's forward
+  /// mutex. Kept as the parity oracle and as the fallback for schemes the
+  /// lowering can't express.
+  Result<Tensor> PredictReference(const Tensor& features,
+                                  const SparseOperatorPtr& op) const;
 
   const CompiledModelInfo& info() const { return info_; }
 
@@ -60,13 +95,17 @@ class CompiledModel {
 
   CompiledModel() = default;
 
+  Status ValidateRequest(const Tensor& features, const SparseOperatorPtr& op) const;
+
   CompiledModelInfo info_;
   NodeModelKind model_kind_ = NodeModelKind::kGcn;
   std::shared_ptr<GcnNet> gcn_;
   std::shared_ptr<SageNet> sage_;
   QuantSchemePtr scheme_;
+  /// Lock-free lowered plan; null when the scheme is not lowerable.
+  std::unique_ptr<const ExecutionPlan> plan_;
   /// The artifact's lock — shared with sibling compiles of the same nets;
-  /// forwards mutate transient tensor state.
+  /// reference forwards mutate transient tensor state.
   std::shared_ptr<std::mutex> forward_mu_;
 };
 

@@ -1,0 +1,794 @@
+// Copyright 2026 MixQ-GNN Authors
+#include "engine/execution_plan.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstring>
+#include <limits>
+#include <string>
+
+#include "common/parallel.h"
+#include "sparse/csr.h"
+#include "tensor/gemm.h"
+
+namespace mixq {
+namespace engine {
+
+namespace {
+
+// The lowered quantizers round half away from zero — the same rule as the
+// reference quantizers' std::lround — with an inline, vectorizable
+// `(long)(x ± 0.5)`. The two can disagree only when x sits within half an
+// ulp of a .5 tie, a ~2^-52 probability event that never arises from float
+// inputs scaled by a float-derived reciprocal, so lowered results remain
+// bitwise identical to the lround-based reference. Values are pre-clamped
+// just outside the code grid (NaN maps to the low bound) so the integer
+// conversion is always defined; the reference path's lround merely returns
+// an unspecified value there, and both end at the same clipped code for
+// anything finite.
+
+// Code-emitting loops write int32 lanes into a small block buffer and narrow
+// to int8 in a second sweep: a direct scalar-narrowing store defeats the
+// vectorizer and costs ~8x on these passes.
+constexpr int64_t kNarrowBlock = 256;
+
+// Round-and-clip a block of pre-scaled real values into int8 codes. `v` is
+// the value in units of the output scale, before the zero point. The double
+// pre-clamp keeps the int32 conversion defined for out-of-grid inputs.
+struct CodeEmitter {
+  double vlo, vhi;  // pre-round clamp, in scale units
+  int32_t zp;
+  int32_t lo, hi;
+
+  explicit CodeEmitter(const QuantParams& p)
+      : vlo(static_cast<double>(p.qmin() - p.zero_point) - 1.0),
+        vhi(static_cast<double>(p.qmax() - p.zero_point) + 1.0),
+        zp(p.zero_point),
+        lo(static_cast<int32_t>(p.qmin())),
+        hi(static_cast<int32_t>(p.qmax())) {}
+
+  inline int32_t Code(double v) const {
+    const double vc = !(v >= vlo) ? vlo : (v > vhi ? vhi : v);  // NaN -> vlo
+    const int32_t q = static_cast<int32_t>(vc >= 0.0 ? vc + 0.5 : vc - 0.5) + zp;
+    return q < lo ? lo : (q > hi ? hi : q);
+  }
+};
+
+// Buffer-level fake quantization, mirroring FakeQuantOp (quant/fake_quant.cc)
+// value for value: multiply by the double reciprocal, round, clip,
+// reconstruct in float. Bitwise parity of the lowered path hinges on this
+// computing the identical grid point.
+void FakeQuantBuffer(const float* x, float* out, int64_t n, const QuantParams& p) {
+  const double inv_scale = 1.0 / p.scale;
+  const int32_t zp = p.zero_point;
+  const float scale = p.scale;
+  const CodeEmitter em(p);
+  ParallelFor(
+      n,
+      [=](int64_t i0, int64_t i1) {
+        const float* __restrict xp = x;
+        float* __restrict op = out;
+        const CodeEmitter e = em;
+        for (int64_t i = i0; i < i1; ++i) {
+          const int32_t q = e.Code(static_cast<double>(xp[i]) * inv_scale);
+          op[i] = static_cast<float>(q - zp) * scale;
+        }
+      },
+      /*grain=*/4096);
+}
+
+// Integer codes on the same grid as FakeQuantBuffer: dequantizing a code
+// ((code - Z) * S) reproduces the fake-quantized float exactly.
+void QuantizeCodes8(const float* x, int8_t* out, int64_t n, const QuantParams& p) {
+  const double inv_scale = 1.0 / p.scale;
+  const CodeEmitter em(p);
+  ParallelFor(
+      n,
+      [=](int64_t i0, int64_t i1) {
+        // int8 stores alias everything (signed char); restrict-qualified
+        // locals keep the vectorizer from reloading closure state per lane.
+        const float* __restrict xp = x;
+        int8_t* __restrict op = out;
+        const CodeEmitter e = em;
+        int32_t tmp[kNarrowBlock];
+        for (int64_t b0 = i0; b0 < i1; b0 += kNarrowBlock) {
+          const int64_t bn = std::min<int64_t>(kNarrowBlock, i1 - b0);
+          for (int64_t j = 0; j < bn; ++j) {
+            tmp[j] = e.Code(static_cast<double>(xp[b0 + j]) * inv_scale);
+          }
+          for (int64_t j = 0; j < bn; ++j) {
+            op[b0 + j] = static_cast<int8_t>(tmp[j]);
+          }
+        }
+      },
+      /*grain=*/4096);
+}
+
+/// True when a lowered component fits the all-integer executor: a symmetric
+/// quantizer of width <= 8 bits, whose codes fit int8 and whose zero point
+/// vanishes (making ReLU exact on codes and the Theorem-1 corrections free).
+bool Int8able(const LoweredComponent& lc) {
+  return !lc.identity && lc.params.symmetric && lc.params.zero_point == 0 &&
+         lc.params.bits >= 1 && lc.params.bits <= 8;
+}
+
+/// Same quantization grid: quantizing identical inputs yields identical
+/// outputs. Used to reuse per-request adjacency quantizations across layers.
+bool SameParams(const QuantParams& a, const QuantParams& b) {
+  return a.scale == b.scale && a.zero_point == b.zero_point && a.bits == b.bits &&
+         a.symmetric == b.symmetric;
+}
+
+// int8 GEMM accumulators stay within int32 as long as k products of two
+// 7-bit-magnitude codes fit: k * 127^2 < 2^31.
+bool Int8DepthOk(int64_t k) {
+  return k < std::numeric_limits<int32_t>::max() / (127 * 127);
+}
+
+}  // namespace
+
+bool ExecutionPlan::Int8DepthSafeOperator(const SparseOperator& op) {
+  const std::vector<int64_t>& row_ptr = op.matrix().row_ptr();
+  int64_t max_nnz = 0;
+  for (size_t r = 1; r < row_ptr.size(); ++r) {
+    max_nnz = std::max(max_nnz, row_ptr[r] - row_ptr[r - 1]);
+  }
+  return Int8DepthOk(max_nnz);
+}
+
+// Collects lowered components and emits plan steps; named (rather than
+// file-local) so it can be befriended by ExecutionPlan.
+class PlanBuilder {
+ public:
+  explicit PlanBuilder(const QuantScheme& scheme) : scheme_(scheme) {
+    plan_ = std::unique_ptr<ExecutionPlan>(new ExecutionPlan());
+  }
+
+  bool ok() const { return ok_; }
+  std::unique_ptr<ExecutionPlan> Finish(int cur_buffer, bool int8_ok,
+                                        int int_cur_buffer,
+                                        const QuantParams& final_params) {
+    if (!ok_) return nullptr;
+    plan_->final_buffer_ = cur_buffer;
+    plan_->has_int8_ = int8_ok && !plan_->int_steps_.empty();
+    if (!plan_->has_int8_) {
+      plan_->int_steps_.clear();
+    } else {
+      plan_->int_final_buffer_ = int_cur_buffer;
+      plan_->int_final_params_ = final_params;
+    }
+    return std::move(plan_);
+  }
+
+  LoweredComponent Component(const std::string& id) {
+    LoweredComponent lc;
+    if (!scheme_.TryLowerComponent(id, &lc)) ok_ = false;
+    return lc;
+  }
+
+  // Quantizes the weight once: the float view feeds Execute() (bitwise what
+  // the reference forward multiplies by), the int8 codes feed ExecuteInt8().
+  // Narrow outputs (e.g. the class-count-wide logit layer) are zero-padded to
+  // the GEMM vector width so the micro-kernel's full path applies; padded
+  // columns are dead weight the executor strips after each product.
+  int AddLinear(const Tensor& weight, const Tensor& bias,
+                const LoweredComponent& wq) {
+    constexpr int64_t kPad = 16;  // gemm.cc micro-kernel column width
+    LoweredLinear lin;
+    lin.in = weight.rows();
+    lin.out = weight.cols();
+    lin.out_padded = lin.out % kPad == 0 ? lin.out : (lin.out / kPad + 1) * kPad;
+    const std::vector<float>& wd = weight.data();
+    // Gather the fake-quantized (or raw) weights row-major at padded width.
+    std::vector<float> fq_rows(wd.size());
+    if (wq.identity) {
+      fq_rows = wd;
+    } else {
+      lin.weight_params = wq.params;
+      FakeQuantBuffer(wd.data(), fq_rows.data(), static_cast<int64_t>(wd.size()),
+                      wq.params);
+    }
+    lin.weight_fq.assign(static_cast<size_t>(lin.in * lin.out_padded), 0.0f);
+    for (int64_t r = 0; r < lin.in; ++r) {
+      std::memcpy(lin.weight_fq.data() + r * lin.out_padded,
+                  fq_rows.data() + r * lin.out,
+                  sizeof(float) * static_cast<size_t>(lin.out));
+    }
+    if (!wq.identity && Int8able(wq)) {
+      std::vector<int8_t> codes(wd.size());
+      QuantizeCodes8(wd.data(), codes.data(), static_cast<int64_t>(wd.size()),
+                     wq.params);
+      lin.weight_q8.assign(static_cast<size_t>(lin.in * lin.out_padded), 0);
+      for (int64_t r = 0; r < lin.in; ++r) {
+        std::memcpy(lin.weight_q8.data() + r * lin.out_padded,
+                    codes.data() + r * lin.out,
+                    sizeof(int8_t) * static_cast<size_t>(lin.out));
+      }
+      lin.weight_packed.resize(
+          static_cast<size_t>(PackedPairSize(lin.in, lin.out_padded)));
+      PackInt8PairB(lin.weight_q8.data(), lin.in, lin.out_padded,
+                    lin.weight_packed.data());
+    }
+    if (bias.defined()) lin.bias = bias.data();
+    plan_->linears_.push_back(std::move(lin));
+    return static_cast<int>(plan_->linears_.size()) - 1;
+  }
+
+  int AddAdj(const LoweredComponent& adjq) {
+    plan_->adj_quants_.push_back(adjq);
+    return static_cast<int>(plan_->adj_quants_.size()) - 1;
+  }
+
+  // ---- float step emission -------------------------------------------------
+  void Quantize(int src, int dst, const LoweredComponent& lc, int64_t cols) {
+    ExecutionPlan::Step st;
+    st.op = ExecutionPlan::Op::kQuantize;
+    st.src = src;
+    st.dst = dst;
+    st.quant = lc;
+    st.cols = cols;
+    plan_->steps_.push_back(st);
+  }
+  void MatMul(int src, int dst, int linear, int64_t cols) {
+    ExecutionPlan::Step st;
+    st.op = ExecutionPlan::Op::kMatMul;
+    st.src = src;
+    st.dst = dst;
+    st.linear = linear;
+    st.cols = cols;
+    plan_->steps_.push_back(st);
+  }
+  void Spmm(int src, int dst, int adj, int64_t cols) {
+    ExecutionPlan::Step st;
+    st.op = ExecutionPlan::Op::kSpmm;
+    st.src = src;
+    st.dst = dst;
+    st.adj = adj;
+    st.cols = cols;
+    plan_->steps_.push_back(st);
+  }
+  void Add(int src, int src2, int dst, int64_t cols) {
+    ExecutionPlan::Step st;
+    st.op = ExecutionPlan::Op::kAdd;
+    st.src = src;
+    st.src2 = src2;
+    st.dst = dst;
+    st.cols = cols;
+    plan_->steps_.push_back(st);
+  }
+  void Relu(int buf, int64_t cols) {
+    ExecutionPlan::Step st;
+    st.op = ExecutionPlan::Op::kRelu;
+    st.src = buf;
+    st.dst = buf;
+    st.cols = cols;
+    plan_->steps_.push_back(st);
+  }
+
+  // ---- int step emission ---------------------------------------------------
+  void IntQuantizeInput(int dst, const QuantParams& p, int64_t cols) {
+    ExecutionPlan::IntStep st;
+    st.op = ExecutionPlan::IntOp::kQuantizeInput;
+    st.src = ExecutionPlan::kInput;
+    st.dst = dst;
+    st.out_params = p;
+    st.cols = cols;
+    plan_->int_steps_.push_back(st);
+  }
+  void IntGemm(int src, int dst, int linear, const QuantParams& src_p,
+               const QuantParams& out_p, int64_t cols) {
+    ExecutionPlan::IntStep st;
+    st.op = ExecutionPlan::IntOp::kGemmRequant;
+    st.src = src;
+    st.dst = dst;
+    st.linear = linear;
+    st.src_params = src_p;
+    st.out_params = out_p;
+    st.cols = cols;
+    plan_->int_steps_.push_back(st);
+  }
+  void IntSpmm(int src, int dst, int adj, const QuantParams& src_p,
+               const QuantParams& out_p, int64_t cols) {
+    ExecutionPlan::IntStep st;
+    st.op = ExecutionPlan::IntOp::kSpmmRequant;
+    st.src = src;
+    st.dst = dst;
+    st.adj = adj;
+    st.src_params = src_p;
+    st.out_params = out_p;
+    st.cols = cols;
+    plan_->int_steps_.push_back(st);
+  }
+  void IntAdd(int src, int src2, int dst, const QuantParams& p1,
+              const QuantParams& p2, const QuantParams& out_p, int64_t cols) {
+    ExecutionPlan::IntStep st;
+    st.op = ExecutionPlan::IntOp::kAddRequant;
+    st.src = src;
+    st.src2 = src2;
+    st.dst = dst;
+    st.src_params = p1;
+    st.src2_params = p2;
+    st.out_params = out_p;
+    st.cols = cols;
+    plan_->int_steps_.push_back(st);
+  }
+  void IntRelu(int buf, int64_t cols) {
+    ExecutionPlan::IntStep st;
+    st.op = ExecutionPlan::IntOp::kRelu;
+    st.src = buf;
+    st.dst = buf;
+    st.cols = cols;
+    plan_->int_steps_.push_back(st);
+  }
+
+  ExecutionPlan* plan() { return plan_.get(); }
+
+ private:
+  const QuantScheme& scheme_;
+  std::unique_ptr<ExecutionPlan> plan_;
+  bool ok_ = true;
+};
+
+// ---------------------------------------------------------------------------
+// Lowering
+// ---------------------------------------------------------------------------
+
+std::unique_ptr<ExecutionPlan> ExecutionPlan::Lower(const GcnNet& net,
+                                                    const QuantScheme& scheme) {
+  PlanBuilder b(scheme);
+  ExecutionPlan* plan = b.plan();
+  plan->in_features_ = net.config().in_features;
+  plan->out_dim_ = net.config().num_classes;
+  plan->num_buffers_ = 2;
+
+  const LoweredComponent input_q = b.Component("model/x");
+  int cur = kInput;
+  if (!input_q.identity) {
+    b.Quantize(kInput, 0, input_q, plan->in_features_);
+    cur = 0;
+  }
+
+  struct Layer {
+    LoweredComponent lin_out, adj, agg;
+    int widx = -1, aidx = -1;
+    int64_t in = 0, out = 0;
+    bool int8 = true;
+  };
+  std::vector<Layer> lowered;
+  bool int8_ok = Int8able(input_q);
+  const auto& layers = net.layers();
+  for (size_t l = 0; l < layers.size(); ++l) {
+    const GcnConv& conv = *layers[l];
+    const std::string& id = conv.id();
+    Layer lay;
+    const LoweredComponent wq = b.Component(id + "/weight");
+    lay.lin_out = b.Component(id + "/linear_out");
+    lay.adj = b.Component(id + "/adj");
+    lay.agg = b.Component(id + "/agg");
+    if (!b.ok()) return nullptr;
+    lay.in = conv.in_features();
+    lay.out = conv.out_features();
+    lay.widx = b.AddLinear(conv.weight(), Tensor(), wq);
+    lay.aidx = b.AddAdj(lay.adj);
+    lay.int8 = Int8able(wq) && Int8able(lay.lin_out) && Int8able(lay.adj) &&
+               Int8able(lay.agg) && Int8DepthOk(lay.in);
+    int8_ok = int8_ok && lay.int8;
+
+    const bool last = l + 1 == layers.size();
+    b.MatMul(cur, 1, lay.widx, lay.out);
+    if (!lay.lin_out.identity) b.Quantize(1, 1, lay.lin_out, lay.out);
+    b.Spmm(1, 0, lay.aidx, lay.out);
+    if (!lay.agg.identity) b.Quantize(0, 0, lay.agg, lay.out);
+    if (!last) b.Relu(0, lay.out);
+    cur = 0;
+    lowered.push_back(lay);
+  }
+
+  QuantParams final_params = input_q.params;
+  int int_cur = 0;
+  if (int8_ok) {
+    b.IntQuantizeInput(0, input_q.params, plan->in_features_);
+    QuantParams curp = input_q.params;
+    for (size_t l = 0; l < lowered.size(); ++l) {
+      const Layer& lay = lowered[l];
+      b.IntGemm(int_cur, 1, lay.widx, curp, lay.lin_out.params, lay.out);
+      b.IntSpmm(1, 0, lay.aidx, lay.lin_out.params, lay.agg.params, lay.out);
+      if (l + 1 < lowered.size()) b.IntRelu(0, lay.out);
+      int_cur = 0;
+      curp = lay.agg.params;
+    }
+    final_params = curp;
+  }
+  return b.Finish(cur, int8_ok, int_cur, final_params);
+}
+
+std::unique_ptr<ExecutionPlan> ExecutionPlan::Lower(const SageNet& net,
+                                                    const QuantScheme& scheme) {
+  PlanBuilder b(scheme);
+  ExecutionPlan* plan = b.plan();
+  plan->in_features_ = net.config().in_features;
+  plan->out_dim_ = net.config().num_classes;
+  plan->num_buffers_ = 4;
+
+  const LoweredComponent input_q = b.Component("model/x");
+  int cur = kInput;
+  if (!input_q.identity) {
+    b.Quantize(kInput, 0, input_q, plan->in_features_);
+    cur = 0;
+  }
+
+  struct Layer {
+    LoweredComponent adj, agg, root_out, neigh_out, out;
+    int root_idx = -1, neigh_idx = -1, aidx = -1;
+    int64_t in = 0, width = 0;
+    bool int8 = true;
+  };
+  std::vector<Layer> lowered;
+  bool int8_ok = Int8able(input_q);
+  const auto& layers = net.layers();
+  for (size_t l = 0; l < layers.size(); ++l) {
+    const SageConv& conv = *layers[l];
+    const std::string& id = conv.id();
+    const Linear& root = conv.root_linear();
+    const Linear& neigh = conv.neighbor_linear();
+    Layer lay;
+    lay.adj = b.Component(id + "/adj");
+    lay.agg = b.Component(id + "/agg");
+    const LoweredComponent root_w = b.Component(root.weight_component());
+    lay.root_out = b.Component(root.out_component());
+    const LoweredComponent neigh_w = b.Component(neigh.weight_component());
+    lay.neigh_out = b.Component(neigh.out_component());
+    lay.out = b.Component(id + "/out");
+    if (!b.ok()) return nullptr;
+    lay.in = root.in_features();
+    lay.width = root.out_features();
+    lay.aidx = b.AddAdj(lay.adj);
+    lay.root_idx = b.AddLinear(root.weight(), root.bias(), root_w);
+    lay.neigh_idx = b.AddLinear(neigh.weight(), neigh.bias(), neigh_w);
+    lay.int8 = Int8able(lay.adj) && Int8able(lay.agg) && Int8able(root_w) &&
+               Int8able(lay.root_out) && Int8able(neigh_w) &&
+               Int8able(lay.neigh_out) && Int8able(lay.out) && Int8DepthOk(lay.in);
+    int8_ok = int8_ok && lay.int8;
+
+    const bool last = l + 1 == layers.size();
+    b.Spmm(cur, 1, lay.aidx, lay.in);
+    if (!lay.agg.identity) b.Quantize(1, 1, lay.agg, lay.in);
+    b.MatMul(cur, 2, lay.root_idx, lay.width);
+    if (!lay.root_out.identity) b.Quantize(2, 2, lay.root_out, lay.width);
+    b.MatMul(1, 3, lay.neigh_idx, lay.width);
+    if (!lay.neigh_out.identity) b.Quantize(3, 3, lay.neigh_out, lay.width);
+    b.Add(2, 3, 0, lay.width);
+    if (!lay.out.identity) b.Quantize(0, 0, lay.out, lay.width);
+    if (!last) b.Relu(0, lay.width);
+    cur = 0;
+    lowered.push_back(lay);
+  }
+
+  QuantParams final_params = input_q.params;
+  int int_cur = 0;
+  if (int8_ok) {
+    b.IntQuantizeInput(0, input_q.params, plan->in_features_);
+    QuantParams curp = input_q.params;
+    for (size_t l = 0; l < lowered.size(); ++l) {
+      const Layer& lay = lowered[l];
+      b.IntSpmm(int_cur, 1, lay.aidx, curp, lay.agg.params, lay.in);
+      b.IntGemm(int_cur, 2, lay.root_idx, curp, lay.root_out.params, lay.width);
+      b.IntGemm(1, 3, lay.neigh_idx, lay.agg.params, lay.neigh_out.params,
+                lay.width);
+      b.IntAdd(2, 3, 0, lay.root_out.params, lay.neigh_out.params, lay.out.params,
+               lay.width);
+      if (l + 1 < lowered.size()) b.IntRelu(0, lay.width);
+      int_cur = 0;
+      curp = lay.out.params;
+    }
+    final_params = curp;
+  }
+  return b.Finish(cur, int8_ok, int_cur, final_params);
+}
+
+// ---------------------------------------------------------------------------
+// Exact float executor
+// ---------------------------------------------------------------------------
+
+void ExecutionPlan::Execute(const float* x, int64_t n, const SparseOperator& op,
+                            Scratch* scratch, float* out) const {
+  scratch->f.resize(static_cast<size_t>(num_buffers_));
+  auto ensure = [&](int id, int64_t cols) -> float* {
+    std::vector<float>& buf = scratch->f[static_cast<size_t>(id)];
+    const size_t need = static_cast<size_t>(n * cols);
+    if (buf.size() < need) buf.resize(need);
+    return buf.data();
+  };
+  auto read = [&](int id) -> const float* {
+    return id == kInput ? x : scratch->f[static_cast<size_t>(id)].data();
+  };
+  // Which adjacency quantization scratch->adj_f currently holds (this call
+  // only; the operator is fixed for the duration of one Execute).
+  const LoweredComponent* adj_cached = nullptr;
+
+  for (const Step& st : steps_) {
+    switch (st.op) {
+      case Op::kQuantize: {
+        // ensure() before read(): in-place steps must not capture a pointer
+        // a resize could invalidate.
+        float* dst = ensure(st.dst, st.cols);
+        const float* src = read(st.src);
+        FakeQuantBuffer(src, dst, n * st.cols, st.quant.params);
+        break;
+      }
+      case Op::kMatMul: {
+        const LoweredLinear& lin = linears_[static_cast<size_t>(st.linear)];
+        const float* src = read(st.src);
+        float* dst = ensure(st.dst, lin.out_padded);
+        GemmNN(src, lin.weight_fq.data(), dst, n, lin.in, lin.out_padded);
+        if (lin.out_padded != lin.out) {
+          // Strip the zero-weight padding columns. Serial on purpose: row
+          // i's destination overlaps the unread source of much-earlier rows
+          // (i*out falls inside j*out_padded spans), so only the ascending
+          // order is safe — and n tiny memmoves are cheap.
+          const int64_t o = lin.out, op = lin.out_padded;
+          for (int64_t i = 1; i < n; ++i) {
+            std::memmove(dst + i * o, dst + i * op,
+                         sizeof(float) * static_cast<size_t>(o));
+          }
+        }
+        if (!lin.bias.empty()) {
+          const float* bias = lin.bias.data();
+          const int64_t w = lin.out;
+          ParallelFor(
+              n,
+              [=](int64_t r0, int64_t r1) {
+                for (int64_t i = r0; i < r1; ++i) {
+                  float* row = dst + i * w;
+                  for (int64_t j = 0; j < w; ++j) row[j] = row[j] + bias[j];
+                }
+              },
+              /*grain=*/256);
+        }
+        break;
+      }
+      case Op::kSpmm: {
+        const LoweredComponent& aq = adj_quants_[static_cast<size_t>(st.adj)];
+        float* dst = ensure(st.dst, st.cols);
+        const float* src = read(st.src);
+        if (aq.identity) {
+          SpmmRaw(op.matrix(), src, st.cols, dst);
+        } else {
+          // Consecutive layers usually freeze identical adjacency params
+          // (same values, same observer); reuse this request's quantized
+          // copy instead of re-running the O(nnz) pass per layer.
+          if (adj_cached == nullptr || !SameParams(adj_cached->params, aq.params)) {
+            const std::vector<float>& values = op.matrix().values();
+            if (scratch->adj_f.size() < values.size()) {
+              scratch->adj_f.resize(values.size());
+            }
+            FakeQuantBuffer(values.data(), scratch->adj_f.data(),
+                            static_cast<int64_t>(values.size()), aq.params);
+            adj_cached = &aq;
+          }
+          SpmmPattern(op.matrix(), scratch->adj_f.data(), src, st.cols, dst);
+        }
+        break;
+      }
+      case Op::kAdd: {
+        float* dst = ensure(st.dst, st.cols);
+        const float* a = read(st.src);
+        const float* c = read(st.src2);
+        ParallelFor(
+            n * st.cols,
+            [=](int64_t i0, int64_t i1) {
+              for (int64_t i = i0; i < i1; ++i) dst[i] = a[i] + c[i];
+            },
+            /*grain=*/4096);
+        break;
+      }
+      case Op::kRelu: {
+        float* dst = ensure(st.dst, st.cols);
+        const float* src = read(st.src);
+        ParallelFor(
+            n * st.cols,
+            [=](int64_t i0, int64_t i1) {
+              for (int64_t i = i0; i < i1; ++i) {
+                dst[i] = src[i] > 0.0f ? src[i] : 0.0f;
+              }
+            },
+            /*grain=*/4096);
+        break;
+      }
+    }
+  }
+  std::memcpy(out, read(final_buffer_),
+              sizeof(float) * static_cast<size_t>(n * out_dim_));
+}
+
+// ---------------------------------------------------------------------------
+// Integer executor
+// ---------------------------------------------------------------------------
+
+void ExecutionPlan::ExecuteInt8(const float* x, int64_t n, const SparseOperator& op,
+                                Scratch* scratch, float* out) const {
+  MIXQ_CHECK(has_int8_) << "plan has no int8 lowering";
+  scratch->q.resize(static_cast<size_t>(num_buffers_));
+  auto ensure = [&](int id, int64_t cols) -> int8_t* {
+    std::vector<int8_t>& buf = scratch->q[static_cast<size_t>(id)];
+    const size_t need = static_cast<size_t>(n * cols);
+    if (buf.size() < need) buf.resize(need);
+    return buf.data();
+  };
+  auto ensure_acc = [&](int64_t cols) -> int32_t* {
+    const size_t need = static_cast<size_t>(n * cols);
+    if (scratch->acc.size() < need) scratch->acc.resize(need);
+    return scratch->acc.data();
+  };
+  const LoweredComponent* adj_cached = nullptr;
+
+  for (const IntStep& st : int_steps_) {
+    switch (st.op) {
+      case IntOp::kQuantizeInput: {
+        int8_t* dst = ensure(st.dst, st.cols);
+        QuantizeCodes8(x, dst, n * st.cols, st.out_params);
+        break;
+      }
+      case IntOp::kGemmRequant: {
+        const LoweredLinear& lin = linears_[static_cast<size_t>(st.linear)];
+        const int8_t* src = scratch->q[static_cast<size_t>(st.src)].data();
+        int32_t* acc = ensure_acc(lin.out_padded);
+        GemmInt8PackedB(src, lin.weight_packed.data(), acc, n, lin.in,
+                        lin.out_padded);
+        if (lin.out_padded != lin.out) {
+          // Serial for the same overlap reason as the float compaction.
+          const int64_t o = lin.out, op_ = lin.out_padded;
+          for (int64_t i = 1; i < n; ++i) {
+            std::memmove(acc + i * o, acc + i * op_,
+                         sizeof(int32_t) * static_cast<size_t>(o));
+          }
+        }
+        int8_t* dst = ensure(st.dst, lin.out);
+        const QuantParams out_p = st.out_params;
+        const double inv_out = 1.0 / out_p.scale;
+        // One multiply per element: (Sx * Sw / Sy) * acc (+ bias / Sy).
+        const double total = static_cast<double>(st.src_params.scale) *
+                             lin.weight_params.scale * inv_out;
+        const int64_t w = lin.out;
+        std::vector<double> bias_over;
+        if (!lin.bias.empty()) {
+          bias_over.resize(static_cast<size_t>(w));
+          for (int64_t j = 0; j < w; ++j) {
+            bias_over[static_cast<size_t>(j)] =
+                static_cast<double>(lin.bias[static_cast<size_t>(j)]) * inv_out;
+          }
+        }
+        const double* bias = bias_over.empty() ? nullptr : bias_over.data();
+        const CodeEmitter em(out_p);
+        ParallelFor(
+            n,
+            [=](int64_t r0, int64_t r1) {
+              const int32_t* __restrict ap = acc;
+              int8_t* __restrict dp = dst;
+              const double* __restrict bp = bias;
+              const CodeEmitter e = em;
+              int32_t tmp[kNarrowBlock];
+              for (int64_t i = r0; i < r1; ++i) {
+                for (int64_t b0 = 0; b0 < w; b0 += kNarrowBlock) {
+                  const int64_t bn = std::min<int64_t>(kNarrowBlock, w - b0);
+                  const int64_t base = i * w + b0;
+                  if (bp != nullptr) {
+                    for (int64_t j = 0; j < bn; ++j) {
+                      tmp[j] = e.Code(total * static_cast<double>(ap[base + j]) +
+                                      bp[b0 + j]);
+                    }
+                  } else {
+                    for (int64_t j = 0; j < bn; ++j) {
+                      tmp[j] = e.Code(total * static_cast<double>(ap[base + j]));
+                    }
+                  }
+                  for (int64_t j = 0; j < bn; ++j) {
+                    dp[base + j] = static_cast<int8_t>(tmp[j]);
+                  }
+                }
+              }
+            },
+            /*grain=*/64);
+        break;
+      }
+      case IntOp::kSpmmRequant: {
+        const LoweredComponent& aq = adj_quants_[static_cast<size_t>(st.adj)];
+        if (adj_cached == nullptr || !SameParams(adj_cached->params, aq.params)) {
+          const std::vector<float>& values = op.matrix().values();
+          if (scratch->adj_q.size() < values.size()) {
+            scratch->adj_q.resize(values.size());
+          }
+          QuantizeCodes8(values.data(), scratch->adj_q.data(),
+                         static_cast<int64_t>(values.size()), aq.params);
+          adj_cached = &aq;
+        }
+        const int8_t* src = scratch->q[static_cast<size_t>(st.src)].data();
+        int32_t* acc = ensure_acc(st.cols);
+        SpmmInt8(op.matrix(), scratch->adj_q.data(), src, st.cols, acc);
+        int8_t* dst = ensure(st.dst, st.cols);
+        const QuantParams out_p = st.out_params;
+        const double total = static_cast<double>(aq.params.scale) *
+                             st.src_params.scale / out_p.scale;
+        const CodeEmitter em(out_p);
+        ParallelFor(
+            n * st.cols,
+            [=](int64_t i0, int64_t i1) {
+              const int32_t* __restrict ap = acc;
+              int8_t* __restrict dp = dst;
+              const CodeEmitter e = em;
+              int32_t tmp[kNarrowBlock];
+              for (int64_t b0 = i0; b0 < i1; b0 += kNarrowBlock) {
+                const int64_t bn = std::min<int64_t>(kNarrowBlock, i1 - b0);
+                for (int64_t j = 0; j < bn; ++j) {
+                  tmp[j] = e.Code(total * static_cast<double>(ap[b0 + j]));
+                }
+                for (int64_t j = 0; j < bn; ++j) {
+                  dp[b0 + j] = static_cast<int8_t>(tmp[j]);
+                }
+              }
+            },
+            /*grain=*/4096);
+        break;
+      }
+      case IntOp::kAddRequant: {
+        int8_t* dst = ensure(st.dst, st.cols);
+        const int8_t* a = scratch->q[static_cast<size_t>(st.src)].data();
+        const int8_t* c = scratch->q[static_cast<size_t>(st.src2)].data();
+        const QuantParams out_p = st.out_params;
+        const double s1 = static_cast<double>(st.src_params.scale) / out_p.scale;
+        const double s2 = static_cast<double>(st.src2_params.scale) / out_p.scale;
+        const CodeEmitter em(out_p);
+        ParallelFor(
+            n * st.cols,
+            [=](int64_t i0, int64_t i1) {
+              const int8_t* __restrict a1p = a;
+              const int8_t* __restrict a2p = c;
+              int8_t* __restrict dp = dst;
+              const CodeEmitter e = em;
+              int32_t tmp[kNarrowBlock];
+              for (int64_t b0 = i0; b0 < i1; b0 += kNarrowBlock) {
+                const int64_t bn = std::min<int64_t>(kNarrowBlock, i1 - b0);
+                for (int64_t j = 0; j < bn; ++j) {
+                  tmp[j] = e.Code(s1 * static_cast<double>(a1p[b0 + j]) +
+                                  s2 * static_cast<double>(a2p[b0 + j]));
+                }
+                for (int64_t j = 0; j < bn; ++j) {
+                  dp[b0 + j] = static_cast<int8_t>(tmp[j]);
+                }
+              }
+            },
+            /*grain=*/4096);
+        break;
+      }
+      case IntOp::kRelu: {
+        int8_t* dst = ensure(st.dst, st.cols);
+        const int8_t* src = scratch->q[static_cast<size_t>(st.src)].data();
+        ParallelFor(
+            n * st.cols,
+            [=](int64_t i0, int64_t i1) {
+              const int8_t* __restrict sp = src;
+              int8_t* __restrict dp = dst;
+              for (int64_t i = i0; i < i1; ++i) dp[i] = sp[i] > 0 ? sp[i] : 0;
+            },
+            /*grain=*/4096);
+        break;
+      }
+    }
+  }
+  const int8_t* codes = scratch->q[static_cast<size_t>(int_final_buffer_)].data();
+  const float scale = int_final_params_.scale;
+  const int32_t zp = int_final_params_.zero_point;
+  ParallelFor(
+      n * out_dim_,
+      [=](int64_t i0, int64_t i1) {
+        const int8_t* __restrict cp = codes;
+        float* __restrict op = out;
+        for (int64_t i = i0; i < i1; ++i) {
+          op[i] = static_cast<float>(cp[i] - zp) * scale;
+        }
+      },
+      /*grain=*/4096);
+}
+
+}  // namespace engine
+}  // namespace mixq

@@ -1,0 +1,162 @@
+// Copyright 2026 MixQ-GNN Authors
+// Compile-time lowering of a frozen (net, scheme) pair into a flat,
+// autograd-free ExecutionPlan — the hot serving path behind
+// CompiledModel::Predict.
+//
+// Lowering walks the network's eval-mode forward once, asking the scheme to
+// freeze every quantization point via QuantScheme::TryLowerComponent, and
+// emits a step list over a small set of reusable scratch buffers. Weights
+// are quantized once at compile time (integer codes + the exactly matching
+// fake-quantized float view); per-request work is reduced to the kernels
+// themselves. Execution holds no lock: concurrent requests share nothing but
+// the immutable plan.
+//
+// Two execution modes:
+//   * Execute()     — float kernels over pre-quantized constants. Performs
+//     the same per-element arithmetic in the same order as the training
+//     pipeline's eval forward, so logits are bitwise identical to
+//     PredictReference. This is the default serving mode.
+//   * ExecuteInt8() — the paper's point made real: every activation lives as
+//     int8 codes, dense layers run on the int8-blocked GEMM, message passing
+//     on the Theorem-1 fused integer SpMM, with a single requantization per
+//     component. Logits agree with the reference up to rounding ties on each
+//     requantization (one quantization step), not bitwise — which is why it
+//     is a separate opt-in mode (PredictQuantized) rather than the default.
+//
+// Schemes whose eval behaviour is not a fixed per-tensor transform (A2Q's
+// per-node learned scales, the relaxed search mixture) cannot be lowered;
+// CompileModel keeps the pipeline-replay path as a fallback for them.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "nn/models.h"
+#include "quant/quant_params.h"
+#include "quant/scheme.h"
+#include "sparse/spmm.h"
+
+namespace mixq {
+namespace engine {
+
+/// One dense linear transformation frozen at compile time.
+struct LoweredLinear {
+  int64_t in = 0;
+  int64_t out = 0;
+  /// Columns padded up to the GEMM vector width with zero weights (the
+  /// executor compacts rows afterwards); == out when no padding was needed.
+  int64_t out_padded = 0;
+  /// Fake-quantized weights (bitwise what the reference forward multiplies
+  /// by), or the raw weights for identity components. Row-major
+  /// [in, out_padded].
+  std::vector<float> weight_fq;
+  std::vector<float> bias;  ///< empty = no bias
+  /// Integer view for ExecuteInt8 (empty when the int8 plan is unavailable):
+  /// the raw codes plus the pair-interleaved packing GemmInt8PackedB consumes.
+  std::vector<int8_t> weight_q8;
+  std::vector<int16_t> weight_packed;
+  QuantParams weight_params;
+};
+
+class ExecutionPlan {
+ public:
+  /// Buffer id denoting the caller's feature matrix (read-only).
+  static constexpr int kInput = -1;
+
+  enum class Op {
+    kQuantize,  ///< dst = FakeQuant(src)
+    kMatMul,    ///< dst = src · W (+ bias) via linears[linear]
+    kSpmm,      ///< dst = Â · src with adjacency lowered per adj_quants[adj]
+    kAdd,       ///< dst = src + src2
+    kRelu,      ///< dst = max(src, 0)
+  };
+  struct Step {
+    Op op = Op::kRelu;
+    int src = 0, src2 = 0, dst = 0;  ///< scratch buffer ids (or kInput)
+    int linear = -1;                 ///< kMatMul
+    int adj = -1;                    ///< kSpmm
+    LoweredComponent quant;          ///< kQuantize
+    int64_t cols = 0;                ///< feature width of dst after the step
+  };
+
+  enum class IntOp {
+    kQuantizeInput,  ///< codes(dst) = Quantize(features)
+    kGemmRequant,    ///< codes(dst) = Requant(Sx·Sw · (q_src · Wq) + bias)
+    kSpmmRequant,    ///< codes(dst) = Requant(Sa·Sx · (Âq · q_src))
+    kAddRequant,     ///< codes(dst) = Requant(S1·q_src + S2·q_src2)
+    kRelu,           ///< codes(dst) = max(codes(src), 0)  [symmetric]
+  };
+  struct IntStep {
+    IntOp op = IntOp::kRelu;
+    int src = 0, src2 = 0, dst = 0;
+    int linear = -1;
+    int adj = -1;
+    QuantParams src_params;   ///< params of src codes
+    QuantParams src2_params;  ///< params of src2 codes (kAddRequant)
+    QuantParams out_params;   ///< requantization target of dst
+    int64_t cols = 0;
+  };
+
+  /// Reusable per-request workspace. Callers (or serving threads) keep one
+  /// around to amortize allocations; a default-constructed one works.
+  struct Scratch {
+    std::vector<std::vector<float>> f;   ///< float activation buffers
+    std::vector<std::vector<int8_t>> q;  ///< int8 code buffers
+    std::vector<float> adj_f;            ///< fake-quantized adjacency values
+    std::vector<int8_t> adj_q;           ///< int8 adjacency codes
+    std::vector<int32_t> acc;            ///< int32 GEMM/SpMM accumulator
+  };
+
+  /// Lowers a frozen net + scheme. Returns nullptr when any component is not
+  /// expressible as a fixed per-tensor transform (the caller keeps the
+  /// pipeline-replay fallback).
+  static std::unique_ptr<ExecutionPlan> Lower(const GcnNet& net,
+                                              const QuantScheme& scheme);
+  static std::unique_ptr<ExecutionPlan> Lower(const SageNet& net,
+                                              const QuantScheme& scheme);
+
+  /// True when the all-integer mode is available (every quantization point is
+  /// a symmetric <= 8-bit quantizer).
+  bool SupportsInt8() const { return has_int8_; }
+
+  /// True when every row of `op` is shallow enough for the int8 SpMM's int32
+  /// accumulators (max row nnz * 127^2 < 2^31). The dense depth is checked at
+  /// compile time; the operator arrives per request, so PredictQuantized
+  /// rejects graphs with deeper hub nodes instead of overflowing silently.
+  static bool Int8DepthSafeOperator(const SparseOperator& op);
+
+  int64_t in_features() const { return in_features_; }
+  int64_t out_dim() const { return out_dim_; }
+
+  /// Runs the exact float plan over `x` [n, in_features] and the request's
+  /// sparse operator, writing logits [n, out_dim] into `out`. Thread-safe
+  /// and lock-free; each concurrent caller passes its own scratch.
+  void Execute(const float* x, int64_t n, const SparseOperator& op, Scratch* scratch,
+               float* out) const;
+
+  /// Runs the integer plan (requires SupportsInt8()).
+  void ExecuteInt8(const float* x, int64_t n, const SparseOperator& op,
+                   Scratch* scratch, float* out) const;
+
+ private:
+  ExecutionPlan() = default;
+
+  int64_t in_features_ = 0;
+  int64_t out_dim_ = 0;
+  int num_buffers_ = 0;
+  std::vector<Step> steps_;
+  std::vector<LoweredLinear> linears_;
+  std::vector<LoweredComponent> adj_quants_;
+  int final_buffer_ = 0;
+
+  bool has_int8_ = false;
+  std::vector<IntStep> int_steps_;
+  int int_final_buffer_ = 0;
+  QuantParams int_final_params_;
+
+  friend class PlanBuilder;
+};
+
+}  // namespace engine
+}  // namespace mixq

@@ -10,8 +10,9 @@ Status InferenceEngine::RegisterModel(const std::string& name,
   if (model == nullptr) {
     return Status::InvalidArgument("model '" + name + "' is null");
   }
+  Entry entry{std::move(model), std::make_shared<std::atomic<int64_t>>(0)};
   std::unique_lock<std::shared_mutex> lock(mu_);
-  if (!models_.emplace(name, std::move(model)).second) {
+  if (!models_.emplace(name, std::move(entry)).second) {
     return Status::InvalidArgument("model '" + name +
                                    "' is already registered (use ReplaceModel)");
   }
@@ -25,7 +26,11 @@ Status InferenceEngine::ReplaceModel(const std::string& name,
     return Status::InvalidArgument("model '" + name + "' is null");
   }
   std::unique_lock<std::shared_mutex> lock(mu_);
-  models_[name] = std::move(model);
+  Entry& entry = models_[name];
+  entry.model = std::move(model);
+  if (entry.successes == nullptr) {
+    entry.successes = std::make_shared<std::atomic<int64_t>>(0);
+  }
   return Status::OK();
 }
 
@@ -43,43 +48,56 @@ Result<CompiledModelPtr> InferenceEngine::GetModel(const std::string& name) cons
   if (it == models_.end()) {
     return Status::NotFound("model '" + name + "' is not registered");
   }
-  return it->second;
+  return it->second.model;
 }
 
 std::vector<std::string> InferenceEngine::ModelNames() const {
   std::shared_lock<std::shared_mutex> lock(mu_);
   std::vector<std::string> names;
   names.reserve(models_.size());
-  for (const auto& [name, model] : models_) names.push_back(name);
+  for (const auto& [name, entry] : models_) names.push_back(name);
   return names;
 }
 
 Result<Tensor> InferenceEngine::Predict(const std::string& name,
                                         const Tensor& features,
                                         const SparseOperatorPtr& op) const {
-  Result<CompiledModelPtr> model = GetModel(name);
-  if (!model.ok()) {
-    std::lock_guard<std::mutex> lock(stats_mu_);
-    ++stats_.requests;
-    ++stats_.failures;
-    return model.status();
-  }
-  Result<Tensor> logits = model.ValueOrDie()->Predict(features, op);
+  requests_.fetch_add(1, std::memory_order_relaxed);
+  CompiledModelPtr model;
+  std::shared_ptr<std::atomic<int64_t>> successes;
   {
-    std::lock_guard<std::mutex> lock(stats_mu_);
-    ++stats_.requests;
-    if (logits.ok()) {
-      ++stats_.per_model[name];
-    } else {
-      ++stats_.failures;
+    std::shared_lock<std::shared_mutex> lock(mu_);
+    auto it = models_.find(name);
+    if (it != models_.end()) {
+      model = it->second.model;
+      successes = it->second.successes;
     }
+  }
+  if (model == nullptr) {
+    failures_.fetch_add(1, std::memory_order_relaxed);
+    return Status::NotFound("model '" + name + "' is not registered");
+  }
+  // Hot path: no lock. One scratch per serving thread, reused across
+  // requests and models (buffers only ever grow).
+  static thread_local PredictScratch scratch;
+  Result<Tensor> logits = model->Predict(features, op, &scratch);
+  if (logits.ok()) {
+    successes->fetch_add(1, std::memory_order_relaxed);
+  } else {
+    failures_.fetch_add(1, std::memory_order_relaxed);
   }
   return logits;
 }
 
 InferenceEngine::Stats InferenceEngine::GetStats() const {
-  std::lock_guard<std::mutex> lock(stats_mu_);
-  return stats_;
+  Stats stats;
+  stats.requests = requests_.load(std::memory_order_relaxed);
+  stats.failures = failures_.load(std::memory_order_relaxed);
+  std::shared_lock<std::shared_mutex> lock(mu_);
+  for (const auto& [name, entry] : models_) {
+    stats.per_model[name] = entry.successes->load(std::memory_order_relaxed);
+  }
+  return stats;
 }
 
 }  // namespace engine

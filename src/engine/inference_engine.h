@@ -4,17 +4,18 @@
 //
 // An engine holds a named registry of CompiledModels and answers
 // Predict(model, batch) over it: the deployment-shaped counterpart to the
-// Experiment facade. Registration, lookup, and prediction are all
-// thread-safe (readers-writer lock over the model map; each CompiledModel
-// additionally serializes its own forwards), so one engine instance can
-// back a multi-threaded server loop. Per-model request/failure counters
-// come back through GetStats() for monitoring.
+// Experiment facade. Registration and lookup take a readers-writer lock over
+// the model map; the prediction hot path itself holds **no lock** for
+// lowered models (each serving thread reuses a thread-local scratch, and
+// monitoring counters are atomics bumped after the forward), so concurrent
+// requests scale across cores. Per-model request/failure counters come back
+// through GetStats() for monitoring.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <shared_mutex>
 #include <string>
 #include <vector>
@@ -32,6 +33,7 @@ class InferenceEngine {
   Status RegisterModel(const std::string& name, CompiledModelPtr model);
 
   /// Registers or atomically replaces `name` (zero-downtime model rollout).
+  /// A replaced model keeps its success counter.
   Status ReplaceModel(const std::string& name, CompiledModelPtr model);
 
   /// Removes a model; kNotFound when absent. In-flight Predicts on the
@@ -49,7 +51,12 @@ class InferenceEngine {
   Result<Tensor> Predict(const std::string& name, const Tensor& features,
                          const SparseOperatorPtr& op) const;
 
-  /// Monitoring counters. Snapshots are internally consistent.
+  /// Monitoring counters. Lock-free by design: a snapshot taken while
+  /// requests are in flight may momentarily show requests > failures +
+  /// sum(per_model) (a request is counted on entry, its outcome when it
+  /// finishes). `per_model` covers currently registered models — counters
+  /// survive ReplaceModel but start at zero after UnregisterModel +
+  /// RegisterModel under the same name.
   struct Stats {
     int64_t requests = 0;  ///< total Predict calls
     int64_t failures = 0;  ///< Predict calls that returned an error
@@ -58,11 +65,19 @@ class InferenceEngine {
   Stats GetStats() const;
 
  private:
-  mutable std::shared_mutex mu_;
-  std::map<std::string, CompiledModelPtr> models_;
+  struct Entry {
+    CompiledModelPtr model;
+    /// Success counter, shared so in-flight requests on a just-unregistered
+    /// model still have somewhere to count. Atomic: no stats lock on the
+    /// prediction hot path.
+    std::shared_ptr<std::atomic<int64_t>> successes;
+  };
 
-  mutable std::mutex stats_mu_;
-  mutable Stats stats_;
+  mutable std::shared_mutex mu_;
+  std::map<std::string, Entry> models_;
+
+  mutable std::atomic<int64_t> requests_{0};
+  mutable std::atomic<int64_t> failures_{0};
 };
 
 }  // namespace engine

@@ -29,6 +29,8 @@ class GcnConv : public Module {
   int64_t in_features() const { return in_features_; }
   int64_t out_features() const { return out_features_; }
   const std::string& id() const { return id_; }
+  /// Θ, read by the engine's compile-time lowering pass.
+  const Tensor& weight() const { return weight_; }
 
  private:
   int64_t in_features_;

@@ -29,6 +29,10 @@ class Linear : public Module {
   /// Component ids for BitOPs accounting.
   std::string weight_component() const { return id_ + "/weight"; }
   std::string out_component() const { return id_ + "/out"; }
+  /// Raw parameters, read by the engine's compile-time lowering pass.
+  const Tensor& weight() const { return weight_; }
+  /// Undefined tensor when the layer was built without a bias.
+  const Tensor& bias() const { return bias_; }
 
  private:
   int64_t in_features_;

@@ -51,6 +51,8 @@ class GcnNet : public Module {
   std::vector<std::string> ComponentIds() const;
 
   const Config& config() const { return config_; }
+  /// Layers in execution order, read by the engine's lowering pass.
+  const std::vector<std::unique_ptr<GcnConv>>& layers() const { return layers_; }
 
  private:
   Config config_;
@@ -79,6 +81,8 @@ class SageNet : public Module {
                              const QuantScheme& scheme) const;
   std::vector<std::string> ComponentIds() const;
   const Config& config() const { return config_; }
+  /// Layers in execution order, read by the engine's lowering pass.
+  const std::vector<std::unique_ptr<SageConv>>& layers() const { return layers_; }
 
  private:
   Config config_;

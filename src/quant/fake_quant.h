@@ -59,6 +59,7 @@ class FakeQuantizer {
   int bits() const { return config_.bits; }
   const FakeQuantizerConfig& config() const { return config_; }
   RangeObserver& observer() { return observer_; }
+  const RangeObserver& observer() const { return observer_; }
 
  private:
   FakeQuantizerConfig config_;

@@ -34,10 +34,7 @@ QuantizedSparse QuantizeCsr(const CsrMatrix& a, const QuantParams& params) {
   return out;
 }
 
-namespace {
-
-// Requantize a double-precision real value into y_params' integer grid.
-int32_t Requantize(double y, const QuantParams& p) {
+int32_t RequantizeReal(double y, const QuantParams& p) {
   const long q = std::lround(y / p.scale) + p.zero_point;
   const int64_t lo = p.qmin(), hi = p.qmax();
   if (q < lo) return static_cast<int32_t>(lo);
@@ -45,7 +42,6 @@ int32_t Requantize(double y, const QuantParams& p) {
   return static_cast<int32_t>(q);
 }
 
-}  // namespace
 
 QuantizedDense FusedQuantizedSpmm(const CsrMatrix& pattern, const QuantizedSparse& qa,
                                   const QuantizedDense& qx,
@@ -98,7 +94,7 @@ QuantizedDense FusedQuantizedSpmm(const CsrMatrix& pattern, const QuantizedSpars
               acc += -za * t_row[static_cast<size_t>(j)] + nnz_i * za * zx;
             }
             const double y = sa * sx * static_cast<double>(acc);
-            out.q[static_cast<size_t>(r * f + j)] = Requantize(y, y_params);
+            out.q[static_cast<size_t>(r * f + j)] = RequantizeReal(y, y_params);
           }
         }
       },
@@ -142,7 +138,7 @@ QuantizedDense FusedQuantizedGemm(const QuantizedDense& qx, const QuantizedDense
                                 zw * row_sum_x -
                                 zx * col_sum_w[static_cast<size_t>(j)] + k * zx * zw;
             const double y = sx * sw * static_cast<double>(acc);
-            out.q[static_cast<size_t>(i * n + j)] = Requantize(y, y_params);
+            out.q[static_cast<size_t>(i * n + j)] = RequantizeReal(y, y_params);
           }
         }
       },
@@ -178,7 +174,7 @@ QuantizedDense ReferenceQuantizedSpmm(const CsrMatrix& pattern,
     }
     for (int64_t j = 0; j < f; ++j) {
       out.q[static_cast<size_t>(r * f + j)] =
-          Requantize(acc[static_cast<size_t>(j)], y_params);
+          RequantizeReal(acc[static_cast<size_t>(j)], y_params);
     }
   }
   return out;

@@ -43,6 +43,12 @@ struct QuantizedSparse {
   QuantParams params;
 };
 
+/// Requantizes an exact real-valued accumulator into `p`'s integer grid —
+/// the final step of every Theorem-1 fused product. The lowered serving
+/// executor (engine/execution_plan.cc) applies the same rule with the
+/// division folded into a premultiplied factor.
+int32_t RequantizeReal(double y, const QuantParams& p);
+
 /// Quantizes a dense row-major matrix (Eq. (3)).
 QuantizedDense QuantizeDense(const float* x, int64_t rows, int64_t cols,
                              const QuantParams& params);

@@ -24,6 +24,34 @@ Tensor NoQuantScheme::Quantize(const std::string& id, const Tensor& x, Component
   return x;
 }
 
+bool NoQuantScheme::TryLowerComponent(const std::string&,
+                                      LoweredComponent* out) const {
+  out->identity = true;
+  return true;
+}
+
+namespace {
+
+// Shared lowering for the fixed-width QAT schemes: in eval mode both apply
+// the frozen FakeQuantOp to every component (Degree-Quant masking is a
+// training-only behaviour), so the lowered form is the quantizer's current
+// params. A quantizer whose observer never saw data would *observe the
+// serving input* on first use — that is not a frozen transform, so it is
+// reported as not lowerable.
+bool LowerFrozenQuantizer(
+    const std::map<std::string, std::unique_ptr<FakeQuantizer>>& quantizers,
+    const std::string& id, LoweredComponent* out) {
+  auto it = quantizers.find(id);
+  if (it == quantizers.end() || !it->second->observer().initialized()) {
+    return false;
+  }
+  out->identity = false;
+  out->params = it->second->params();
+  return true;
+}
+
+}  // namespace
+
 FakeQuantizerConfig MakeComponentConfig(ComponentKind kind, int bits,
                                         const QatOptions& options) {
   FakeQuantizerConfig config;
@@ -124,6 +152,11 @@ double UniformQatScheme::EffectiveBits(const std::string& id, double fallback) c
   return quantizers_.count(id) ? static_cast<double>(bits_) : fallback;
 }
 
+bool UniformQatScheme::TryLowerComponent(const std::string& id,
+                                         LoweredComponent* out) const {
+  return LowerFrozenQuantizer(quantizers_, id, out);
+}
+
 PerComponentScheme::PerComponentScheme(std::map<std::string, int> bits_by_component,
                                        int default_bits, QatOptions options)
     : bits_by_component_(std::move(bits_by_component)),
@@ -167,6 +200,11 @@ Tensor PerComponentScheme::Quantize(const std::string& id, const Tensor& x,
 
 double PerComponentScheme::EffectiveBits(const std::string& id, double fallback) const {
   return quantizers_.count(id) ? static_cast<double>(BitsFor(id)) : fallback;
+}
+
+bool PerComponentScheme::TryLowerComponent(const std::string& id,
+                                           LoweredComponent* out) const {
+  return LowerFrozenQuantizer(quantizers_, id, out);
 }
 
 }  // namespace mixq

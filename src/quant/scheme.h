@@ -46,6 +46,14 @@ enum class ComponentKind {
 /// Returns a short name for logs/tables.
 const char* ComponentKindName(ComponentKind kind);
 
+/// What a scheme does to one component in eval mode, frozen for serving.
+/// Produced by QuantScheme::TryLowerComponent and consumed by the engine's
+/// compile-time lowering pass (src/engine/execution_plan.h).
+struct LoweredComponent {
+  bool identity = true;  ///< pass-through (FP32 component)
+  QuantParams params;    ///< per-tensor affine fake-quantization otherwise
+};
+
 /// Strategy interface; see file comment.
 class QuantScheme {
  public:
@@ -90,6 +98,18 @@ class QuantScheme {
   /// "derive from BitOps accounting". A2Q overrides with its per-node
   /// learned average.
   virtual double ReportedAverageBits() const { return -1.0; }
+
+  /// Serving-lowering contract: returns true iff the scheme's eval-mode
+  /// treatment of component `id` is a *fixed* per-tensor transform — identity
+  /// or affine fake-quantization with frozen parameters — and fills `out`
+  /// with it. Schemes whose eval behaviour is data- or node-dependent (A2Q's
+  /// per-node learned scales, the relaxed search mixture) return false, which
+  /// makes the engine fall back to the pipeline-replay path. The default is
+  /// conservative: not lowerable.
+  virtual bool TryLowerComponent(const std::string& /*id*/,
+                                 LoweredComponent* /*out*/) const {
+    return false;
+  }
 };
 
 using QuantSchemePtr = std::shared_ptr<QuantScheme>;
@@ -101,6 +121,8 @@ class NoQuantScheme : public QuantScheme {
                   bool training) override;
   double EffectiveBits(const std::string&, double) const override { return 32.0; }
   std::vector<std::string> ComponentIds() const override { return ids_; }
+  bool TryLowerComponent(const std::string& id,
+                         LoweredComponent* out) const override;
 
  private:
   std::vector<std::string> ids_;
@@ -129,6 +151,8 @@ class UniformQatScheme : public QuantScheme {
   double EffectiveBits(const std::string& id, double fallback) const override;
   void BeginStep(bool training) override;
   std::vector<std::string> ComponentIds() const override { return ids_; }
+  bool TryLowerComponent(const std::string& id,
+                         LoweredComponent* out) const override;
 
  private:
   friend class PerComponentScheme;
@@ -153,6 +177,8 @@ class PerComponentScheme : public QuantScheme {
   double EffectiveBits(const std::string& id, double fallback) const override;
   void BeginStep(bool training) override;
   std::vector<std::string> ComponentIds() const override { return ids_; }
+  bool TryLowerComponent(const std::string& id,
+                         LoweredComponent* out) const override;
   std::map<std::string, int> SelectedBits() const override {
     return bits_by_component_;
   }

@@ -195,4 +195,25 @@ void SpmmInt(const CsrMatrix& a, const int32_t* a_q, const int32_t* x, int64_t f
       /*grain=*/64);
 }
 
+void SpmmInt8(const CsrMatrix& a, const int8_t* a_q, const int8_t* x, int64_t f,
+              int32_t* y) {
+  const int64_t n = a.rows();
+  ParallelFor(
+      n,
+      [&a, a_q, x, f, y](int64_t r0, int64_t r1) {
+        for (int64_t r = r0; r < r1; ++r) {
+          int32_t* yr = y + r * f;
+          std::memset(yr, 0, sizeof(int32_t) * static_cast<size_t>(f));
+          for (int64_t k = a.row_ptr()[static_cast<size_t>(r)];
+               k < a.row_ptr()[static_cast<size_t>(r + 1)]; ++k) {
+            const int32_t w = a_q[k];
+            if (w == 0) continue;
+            const int8_t* xr = x + a.col_idx()[static_cast<size_t>(k)] * f;
+            for (int64_t j = 0; j < f; ++j) yr[j] += w * static_cast<int32_t>(xr[j]);
+          }
+        }
+      },
+      /*grain=*/64);
+}
+
 }  // namespace mixq

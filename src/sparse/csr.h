@@ -80,6 +80,12 @@ void SpmmRaw(const CsrMatrix& a, const float* x, int64_t f, float* y,
 void SpmmInt(const CsrMatrix& a, const int32_t* a_q, const int32_t* x, int64_t f,
              int64_t* y);
 
+/// Int8-specialized integer SpMM with int32 accumulation: the serving-path
+/// variant of SpmmInt for symmetric codes of width <= 8 bits. Safe against
+/// overflow for rows with < 2^31 / 127^2 (~133k) stored entries.
+void SpmmInt8(const CsrMatrix& a, const int8_t* a_q, const int8_t* x, int64_t f,
+              int32_t* y);
+
 /// Pattern-level SpMM: Y[n,f] (+)= P·X where P shares `pattern`'s sparsity
 /// but takes its numeric values from `values` (size nnz). Lets callers swap
 /// values (e.g. fake-quantized adjacency mixtures) without rebuilding CSR.

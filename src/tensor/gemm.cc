@@ -1,30 +1,166 @@
 // Copyright 2026 MixQ-GNN Authors
 #include "tensor/gemm.h"
 
+#include <algorithm>
 #include <cstring>
+
+#if defined(__AVX2__)
+#include <immintrin.h>
+#endif
 
 #include "common/parallel.h"
 
 namespace mixq {
 
-void GemmNN(const float* a, const float* b, float* c, int64_t m, int64_t k, int64_t n,
-            bool accumulate) {
+namespace {
+
+// Cache/register blocking for the NN kernels. An l-tile of B rows stays hot
+// in L1/L2 across the row chunk; within a tile, an MR x NR accumulator block
+// lives in registers for the whole l run, so C is loaded/stored once per
+// tile instead of once per l step. Every output element still sees its adds
+// in ascending-l order, so blocked results are bitwise identical to the
+// naive triple loop.
+constexpr int64_t kInnerTile = 256;  // B rows per l-tile
+constexpr int64_t kMr = 4;           // A rows per micro-kernel
+constexpr int64_t kNr = 16;          // C columns per micro-kernel
+
+// Generic-edge micro-kernel: C[i0:i0+rb, j0:j0+jb] += A[:, l0:l1] * B-tile.
+// Four independent accumulation chains per column keep the FMA pipeline fed
+// even when jb is too small to vectorize (e.g. a class-count-wide C).
+template <typename AccT, typename InT>
+inline void MicroKernelEdge(const InT* a, const InT* b, AccT* c, int64_t k,
+                            int64_t n, int64_t i0, int64_t rb, int64_t j0,
+                            int64_t jb, int64_t l0, int64_t l1) {
+  if (rb == kMr) {
+    // Same four-chain shape as the full kernel, with a runtime column count
+    // (e.g. a class-count-wide output layer).
+    AccT acc0[kNr], acc1[kNr], acc2[kNr], acc3[kNr];
+    AccT* cr = c + i0 * n + j0;
+    for (int64_t jj = 0; jj < jb; ++jj) {
+      acc0[jj] = cr[jj];
+      acc1[jj] = cr[n + jj];
+      acc2[jj] = cr[2 * n + jj];
+      acc3[jj] = cr[3 * n + jj];
+    }
+    const InT* a0 = a + i0 * k;
+    const InT* a1 = a0 + k;
+    const InT* a2 = a1 + k;
+    const InT* a3 = a2 + k;
+    for (int64_t l = l0; l < l1; ++l) {
+      const InT* bl = b + l * n + j0;
+      const AccT av0 = static_cast<AccT>(a0[l]);
+      const AccT av1 = static_cast<AccT>(a1[l]);
+      const AccT av2 = static_cast<AccT>(a2[l]);
+      const AccT av3 = static_cast<AccT>(a3[l]);
+      for (int64_t jj = 0; jj < jb; ++jj) {
+        const AccT bv = static_cast<AccT>(bl[jj]);
+        acc0[jj] += av0 * bv;
+        acc1[jj] += av1 * bv;
+        acc2[jj] += av2 * bv;
+        acc3[jj] += av3 * bv;
+      }
+    }
+    for (int64_t jj = 0; jj < jb; ++jj) {
+      cr[jj] = acc0[jj];
+      cr[n + jj] = acc1[jj];
+      cr[2 * n + jj] = acc2[jj];
+      cr[3 * n + jj] = acc3[jj];
+    }
+    return;
+  }
+  AccT acc[kMr][kNr];
+  for (int64_t r = 0; r < rb; ++r) {
+    for (int64_t jj = 0; jj < jb; ++jj) acc[r][jj] = c[(i0 + r) * n + j0 + jj];
+  }
+  for (int64_t l = l0; l < l1; ++l) {
+    const InT* bl = b + l * n + j0;
+    for (int64_t r = 0; r < rb; ++r) {
+      const AccT av = static_cast<AccT>(a[(i0 + r) * k + l]);
+      for (int64_t jj = 0; jj < jb; ++jj) {
+        acc[r][jj] += av * static_cast<AccT>(bl[jj]);
+      }
+    }
+  }
+  for (int64_t r = 0; r < rb; ++r) {
+    for (int64_t jj = 0; jj < jb; ++jj) c[(i0 + r) * n + j0 + jj] = acc[r][jj];
+  }
+}
+
+// Full kMr x kNr micro-kernel. The single jj loop whose body carries four
+// independent FMAs is the shape GCC turns into broadcast-FMA vector code
+// with all accumulators in registers (a 2-D accumulator array makes it
+// interleave l iterations with shuffles instead).
+template <typename AccT, typename InT>
+inline void MicroKernelFull(const InT* a, const InT* b, AccT* c, int64_t k,
+                            int64_t n, int64_t i0, int64_t j0, int64_t l0,
+                            int64_t l1) {
+  AccT acc0[kNr], acc1[kNr], acc2[kNr], acc3[kNr];
+  AccT* cr = c + i0 * n + j0;
+  for (int64_t jj = 0; jj < kNr; ++jj) {
+    acc0[jj] = cr[jj];
+    acc1[jj] = cr[n + jj];
+    acc2[jj] = cr[2 * n + jj];
+    acc3[jj] = cr[3 * n + jj];
+  }
+  const InT* a0 = a + i0 * k;
+  const InT* a1 = a0 + k;
+  const InT* a2 = a1 + k;
+  const InT* a3 = a2 + k;
+  for (int64_t l = l0; l < l1; ++l) {
+    const InT* bl = b + l * n + j0;
+    const AccT av0 = static_cast<AccT>(a0[l]);
+    const AccT av1 = static_cast<AccT>(a1[l]);
+    const AccT av2 = static_cast<AccT>(a2[l]);
+    const AccT av3 = static_cast<AccT>(a3[l]);
+    for (int64_t jj = 0; jj < kNr; ++jj) {
+      const AccT bv = static_cast<AccT>(bl[jj]);
+      acc0[jj] += av0 * bv;
+      acc1[jj] += av1 * bv;
+      acc2[jj] += av2 * bv;
+      acc3[jj] += av3 * bv;
+    }
+  }
+  for (int64_t jj = 0; jj < kNr; ++jj) {
+    cr[jj] = acc0[jj];
+    cr[n + jj] = acc1[jj];
+    cr[2 * n + jj] = acc2[jj];
+    cr[3 * n + jj] = acc3[jj];
+  }
+}
+
+template <typename AccT, typename InT>
+void BlockedGemmNN(const InT* a, const InT* b, AccT* c, int64_t m, int64_t k,
+                   int64_t n, bool accumulate) {
   ParallelFor(
       m,
       [=](int64_t r0, int64_t r1) {
-        for (int64_t i = r0; i < r1; ++i) {
-          float* ci = c + i * n;
-          if (!accumulate) std::memset(ci, 0, sizeof(float) * static_cast<size_t>(n));
-          const float* ai = a + i * k;
-          for (int64_t l = 0; l < k; ++l) {
-            const float av = ai[l];
-            if (av == 0.0f) continue;
-            const float* bl = b + l * n;
-            for (int64_t j = 0; j < n; ++j) ci[j] += av * bl[j];
+        if (!accumulate) {
+          std::memset(c + r0 * n, 0,
+                      sizeof(AccT) * static_cast<size_t>((r1 - r0) * n));
+        }
+        for (int64_t l0 = 0; l0 < k; l0 += kInnerTile) {
+          const int64_t l1 = std::min(k, l0 + kInnerTile);
+          for (int64_t i0 = r0; i0 < r1; i0 += kMr) {
+            const int64_t rb = std::min(kMr, r1 - i0);
+            for (int64_t j0 = 0; j0 < n; j0 += kNr) {
+              const int64_t jb = std::min(kNr, n - j0);
+              if (rb == kMr && jb == kNr) {
+                MicroKernelFull<AccT, InT>(a, b, c, k, n, i0, j0, l0, l1);
+              } else {
+                MicroKernelEdge<AccT, InT>(a, b, c, k, n, i0, rb, j0, jb, l0, l1);
+              }
+            }
           }
         }
       },
       /*grain=*/16);
+}
+
+}  // namespace
+
+void GemmNN(const float* a, const float* b, float* c, int64_t m, int64_t k, int64_t n,
+            bool accumulate) {
+  BlockedGemmNN<float, float>(a, b, c, m, k, n, accumulate);
 }
 
 void GemmNT(const float* a, const float* b, float* c, int64_t m, int64_t n, int64_t k,
@@ -86,5 +222,152 @@ void GemmInt32(const int32_t* a, const int32_t* b, int64_t* c, int64_t m, int64_
       },
       /*grain=*/16);
 }
+
+void GemmInt8(const int8_t* a, const int8_t* b, int32_t* c, int64_t m, int64_t k,
+              int64_t n) {
+  // Same register-blocked structure as GemmNN; int8 operands quarter the
+  // memory traffic and widen to int32 in the accumulators.
+  BlockedGemmNN<int32_t, int8_t>(a, b, c, m, k, n, /*accumulate=*/false);
+}
+
+void PackInt8PairB(const int8_t* b, int64_t k, int64_t n, int16_t* packed) {
+  const int64_t kp = (k + 1) / 2;
+  for (int64_t p = 0; p < kp; ++p) {
+    int16_t* row = packed + p * 2 * n;
+    const int8_t* b0 = b + 2 * p * n;
+    const int8_t* b1 = 2 * p + 1 < k ? b0 + n : nullptr;
+    for (int64_t j = 0; j < n; ++j) {
+      row[2 * j] = static_cast<int16_t>(b0[j]);
+      row[2 * j + 1] = b1 != nullptr ? static_cast<int16_t>(b1[j]) : int16_t{0};
+    }
+  }
+}
+
+namespace {
+
+// Portable pair-dot row kernel: acc[j] += a0 * P[2j] + a1 * P[2j + 1].
+inline void PairDotRow(const int16_t* bp, int32_t a0, int32_t a1, int32_t* acc,
+                       int64_t n) {
+  for (int64_t j = 0; j < n; ++j) {
+    acc[j] += a0 * static_cast<int32_t>(bp[2 * j]) +
+              a1 * static_cast<int32_t>(bp[2 * j + 1]);
+  }
+}
+
+}  // namespace
+
+#if defined(__AVX2__)
+
+void GemmInt8PackedB(const int8_t* a, const int16_t* packed_b, int32_t* c,
+                     int64_t m, int64_t k, int64_t n) {
+  const int64_t kp = (k + 1) / 2;
+  const int64_t n16 = n - n % 16;
+  ParallelFor(
+      m,
+      [=](int64_t r0, int64_t r1) {
+        int64_t i0 = r0;
+        for (; i0 + kMr <= r1; i0 += kMr) {
+          const int8_t* a0 = a + i0 * k;
+          const int8_t* a1 = a0 + k;
+          const int8_t* a2 = a1 + k;
+          const int8_t* a3 = a2 + k;
+          for (int64_t j0 = 0; j0 < n16; j0 += 16) {
+            // 4 rows x 16 columns of int32 accumulators in registers; each
+            // vpmaddwd consumes one packed k-pair for 8 columns.
+            __m256i acc00 = _mm256_setzero_si256(), acc01 = _mm256_setzero_si256();
+            __m256i acc10 = _mm256_setzero_si256(), acc11 = _mm256_setzero_si256();
+            __m256i acc20 = _mm256_setzero_si256(), acc21 = _mm256_setzero_si256();
+            __m256i acc30 = _mm256_setzero_si256(), acc31 = _mm256_setzero_si256();
+            for (int64_t p = 0; p < kp; ++p) {
+              const int16_t* bp = packed_b + p * 2 * n + 2 * j0;
+              const __m256i b0 =
+                  _mm256_loadu_si256(reinterpret_cast<const __m256i*>(bp));
+              const __m256i b1 =
+                  _mm256_loadu_si256(reinterpret_cast<const __m256i*>(bp + 16));
+              const int64_t l = 2 * p;
+              const bool has_hi = l + 1 < k;
+              auto pair = [&](const int8_t* ar) {
+                const uint16_t lo = static_cast<uint16_t>(static_cast<int16_t>(ar[l]));
+                const uint16_t hi = has_hi ? static_cast<uint16_t>(
+                                                 static_cast<int16_t>(ar[l + 1]))
+                                           : uint16_t{0};
+                return _mm256_set1_epi32(static_cast<int32_t>(
+                    static_cast<uint32_t>(lo) | (static_cast<uint32_t>(hi) << 16)));
+              };
+              const __m256i av0 = pair(a0);
+              acc00 = _mm256_add_epi32(acc00, _mm256_madd_epi16(av0, b0));
+              acc01 = _mm256_add_epi32(acc01, _mm256_madd_epi16(av0, b1));
+              const __m256i av1 = pair(a1);
+              acc10 = _mm256_add_epi32(acc10, _mm256_madd_epi16(av1, b0));
+              acc11 = _mm256_add_epi32(acc11, _mm256_madd_epi16(av1, b1));
+              const __m256i av2 = pair(a2);
+              acc20 = _mm256_add_epi32(acc20, _mm256_madd_epi16(av2, b0));
+              acc21 = _mm256_add_epi32(acc21, _mm256_madd_epi16(av2, b1));
+              const __m256i av3 = pair(a3);
+              acc30 = _mm256_add_epi32(acc30, _mm256_madd_epi16(av3, b0));
+              acc31 = _mm256_add_epi32(acc31, _mm256_madd_epi16(av3, b1));
+            }
+            int32_t* ci = c + i0 * n + j0;
+            _mm256_storeu_si256(reinterpret_cast<__m256i*>(ci), acc00);
+            _mm256_storeu_si256(reinterpret_cast<__m256i*>(ci + 8), acc01);
+            _mm256_storeu_si256(reinterpret_cast<__m256i*>(ci + n), acc10);
+            _mm256_storeu_si256(reinterpret_cast<__m256i*>(ci + n + 8), acc11);
+            _mm256_storeu_si256(reinterpret_cast<__m256i*>(ci + 2 * n), acc20);
+            _mm256_storeu_si256(reinterpret_cast<__m256i*>(ci + 2 * n + 8), acc21);
+            _mm256_storeu_si256(reinterpret_cast<__m256i*>(ci + 3 * n), acc30);
+            _mm256_storeu_si256(reinterpret_cast<__m256i*>(ci + 3 * n + 8), acc31);
+          }
+          if (n16 < n) {
+            for (int64_t r = 0; r < kMr; ++r) {
+              int32_t* ci = c + (i0 + r) * n;
+              std::memset(ci + n16, 0,
+                          sizeof(int32_t) * static_cast<size_t>(n - n16));
+              const int8_t* ar = a + (i0 + r) * k;
+              for (int64_t p = 0; p < kp; ++p) {
+                const int32_t av0 = ar[2 * p];
+                const int32_t av1 = 2 * p + 1 < k ? ar[2 * p + 1] : 0;
+                PairDotRow(packed_b + p * 2 * n + 2 * n16, av0, av1, ci + n16,
+                           n - n16);
+              }
+            }
+          }
+        }
+        for (; i0 < r1; ++i0) {
+          int32_t* ci = c + i0 * n;
+          std::memset(ci, 0, sizeof(int32_t) * static_cast<size_t>(n));
+          const int8_t* ar = a + i0 * k;
+          for (int64_t p = 0; p < kp; ++p) {
+            const int32_t av0 = ar[2 * p];
+            const int32_t av1 = 2 * p + 1 < k ? ar[2 * p + 1] : 0;
+            PairDotRow(packed_b + p * 2 * n, av0, av1, ci, n);
+          }
+        }
+      },
+      /*grain=*/16);
+}
+
+#else  // !__AVX2__
+
+void GemmInt8PackedB(const int8_t* a, const int16_t* packed_b, int32_t* c,
+                     int64_t m, int64_t k, int64_t n) {
+  const int64_t kp = (k + 1) / 2;
+  ParallelFor(
+      m,
+      [=](int64_t r0, int64_t r1) {
+        for (int64_t i = r0; i < r1; ++i) {
+          int32_t* ci = c + i * n;
+          std::memset(ci, 0, sizeof(int32_t) * static_cast<size_t>(n));
+          const int8_t* ar = a + i * k;
+          for (int64_t p = 0; p < kp; ++p) {
+            const int32_t av0 = ar[2 * p];
+            const int32_t av1 = 2 * p + 1 < k ? ar[2 * p + 1] : 0;
+            PairDotRow(packed_b + p * 2 * n, av0, av1, ci, n);
+          }
+        }
+      },
+      /*grain=*/16);
+}
+
+#endif  // __AVX2__
 
 }  // namespace mixq

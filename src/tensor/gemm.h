@@ -1,6 +1,9 @@
 // Copyright 2026 MixQ-GNN Authors
 // Raw dense GEMM kernels (row-major, parallel over output rows). Shared by
-// the autograd matmul op and by the Fig. 8 / kernel micro-benchmarks.
+// the autograd matmul op, the lowered serving executor, and the kernel
+// micro-benchmarks. The NN kernels are cache-blocked over the inner
+// dimension; blocking never changes per-element accumulation order, so
+// results are bitwise reproducible across block/thread configurations.
 #pragma once
 
 #include <cstdint>
@@ -24,5 +27,28 @@ void GemmTN(const float* a, const float* b, float* c, int64_t m, int64_t k, int6
 /// range by the quantizer); used by the Theorem-1 fused path and benches.
 void GemmInt32(const int32_t* a, const int32_t* b, int64_t* c, int64_t m, int64_t k,
                int64_t n, bool accumulate = false);
+
+/// Int8-specialized GEMM: C[m,n] = A[m,k] * B[k,n] with int32 accumulation.
+/// Operands are quantized codes stored as int8 (any symmetric width <= 8
+/// bits), the layout used by the lowered integer serving path. Cache-blocked
+/// like GemmNN; int32 never overflows for k < 2^31 / 127^2 (~133k).
+void GemmInt8(const int8_t* a, const int8_t* b, int32_t* c, int64_t m, int64_t k,
+              int64_t n);
+
+/// Number of int16 elements of packed storage PackInt8PairB emits for a
+/// [k, n] matrix: ceil(k/2) row pairs of 2n entries each.
+inline int64_t PackedPairSize(int64_t k, int64_t n) { return ((k + 1) / 2) * 2 * n; }
+
+/// Packs int8 codes B[k,n] into the pair-interleaved int16 layout consumed
+/// by GemmInt8PackedB: P[p][2j + d] = B[2p + d][j] (odd k zero-padded).
+/// Pairing two k-steps per column feeds SIMD multiply-add-pairs (vpmaddwd)
+/// on x86; weights are packed once at model-compile time.
+void PackInt8PairB(const int8_t* b, int64_t k, int64_t n, int16_t* packed);
+
+/// C[m,n] = A[m,k] * B with A int8 row-major and B pre-packed by
+/// PackInt8PairB. Exact int32 accumulation (pairing only reassociates an
+/// exact sum). The hot kernel of the all-integer serving executor.
+void GemmInt8PackedB(const int8_t* a, const int16_t* packed_b, int32_t* c,
+                     int64_t m, int64_t k, int64_t n);
 
 }  // namespace mixq

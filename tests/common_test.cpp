@@ -4,6 +4,9 @@
 
 #include <atomic>
 #include <set>
+#include <stdexcept>
+#include <thread>
+#include <vector>
 
 #include "common/parallel.h"
 #include "common/rng.h"
@@ -209,6 +212,69 @@ TEST(ParallelTest, EmptyAndSmallRanges) {
     for (int64_t i = b; i < e; ++i) sum += i;
   });
   EXPECT_EQ(sum.load(), 10);
+}
+
+// Regression: a throw inside a worker chunk used to escape a std::thread and
+// std::terminate the process. It must now surface on the calling thread.
+TEST(ParallelTest, PropagatesWorkerExceptions) {
+  // The chunk containing index 42 throws — whichever worker (or the serial
+  // fallback) ends up running it.
+  EXPECT_THROW(
+      ParallelFor(
+          1000,
+          [](int64_t b, int64_t e) {
+            if (b <= 42 && 42 < e) throw std::runtime_error("worker chunk failed");
+          },
+          /*grain=*/16),
+      std::runtime_error);
+  // Every chunk still runs: siblings of the throwing chunk are not skipped.
+  std::vector<std::atomic<int>> hits(1000);
+  try {
+    ParallelFor(
+        1000,
+        [&](int64_t b, int64_t e) {
+          for (int64_t i = b; i < e; ++i) hits[static_cast<size_t>(i)]++;
+          throw std::runtime_error("every chunk throws");
+        },
+        /*grain=*/16);
+    FAIL() << "expected ParallelFor to rethrow";
+  } catch (const std::runtime_error&) {
+  }
+  for (auto& h : hits) EXPECT_EQ(h.load(), 1);
+  // The pool survives a throwing loop and keeps serving.
+  std::atomic<int64_t> sum{0};
+  ParallelFor(
+      1000, [&](int64_t b, int64_t e) { sum += e - b; }, /*grain=*/16);
+  EXPECT_EQ(sum.load(), 1000);
+}
+
+// The persistent pool must tolerate concurrent ParallelFor calls from many
+// request threads (the serving engine's usage pattern) and nested calls from
+// inside a chunk (which degrade to serial).
+TEST(ParallelTest, ConcurrentAndNestedLoops) {
+  constexpr int kCallers = 8;
+  std::vector<std::thread> callers;
+  std::vector<int64_t> sums(kCallers, 0);
+  for (int t = 0; t < kCallers; ++t) {
+    callers.emplace_back([&, t] {
+      for (int iter = 0; iter < 20; ++iter) {
+        std::atomic<int64_t> sum{0};
+        ParallelFor(
+            2000,
+            [&](int64_t b, int64_t e) {
+              int64_t local = 0;
+              ParallelFor(
+                  e - b, [&](int64_t ib, int64_t ie) { local += ie - ib; },
+                  /*grain=*/8);
+              sum += local;
+            },
+            /*grain=*/64);
+        sums[static_cast<size_t>(t)] = sum.load();
+      }
+    });
+  }
+  for (auto& c : callers) c.join();
+  for (int t = 0; t < kCallers; ++t) EXPECT_EQ(sums[static_cast<size_t>(t)], 2000);
 }
 
 TEST(TablePrinterTest, RendersAlignedTable) {

@@ -1,0 +1,308 @@
+// Copyright 2026 MixQ-GNN Authors
+// Tests for the lowered serving path: lowered-vs-reference logit parity
+// across every built-in registry scheme, the all-integer executor, cross-
+// graph requests, and concurrent lock-free serving through InferenceEngine.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <thread>
+#include <vector>
+
+#include "core/experiment.h"
+#include "engine/inference_engine.h"
+
+namespace mixq {
+namespace {
+
+using engine::CompileModel;
+using engine::CompiledModelPtr;
+using engine::InferenceEngine;
+using engine::PredictScratch;
+
+NodeDataset TinyCitation(uint64_t seed = 1) {
+  CitationConfig c;
+  c.name = "serving-tiny";
+  c.num_nodes = 160;
+  c.num_classes = 3;
+  c.feature_dim = 20;
+  c.avg_degree = 3.0;
+  c.homophily = 0.85;
+  c.train_per_class = 8;
+  c.val_count = 30;
+  c.test_count = 60;
+  c.seed = seed;
+  return GenerateCitation(c);
+}
+
+std::shared_ptr<ModelArtifact> TrainArtifact(const SchemeRef& scheme,
+                                             NodeModelKind model = NodeModelKind::kGcn,
+                                             uint64_t seed = 1) {
+  NodeExperimentConfig cfg;
+  cfg.model = model;
+  cfg.hidden = 12;
+  cfg.num_layers = 2;
+  cfg.dropout = 0.2f;
+  cfg.train.epochs = 12;
+  cfg.train.lr = 0.05f;
+  ExperimentSpec spec =
+      ExperimentSpec::NodeClassification(TinyCitation(seed), cfg, scheme);
+  spec.seed = seed;
+  spec.keep_artifact = true;
+  Result<Experiment> experiment = Experiment::Create(std::move(spec));
+  EXPECT_TRUE(experiment.ok()) << experiment.status().ToString();
+  Result<ExperimentReport> report = experiment.ValueOrDie().Run();
+  EXPECT_TRUE(report.ok()) << report.status().ToString();
+  return report.ValueOrDie().artifact;
+}
+
+double MaxAbsDiff(const Tensor& a, const Tensor& b) {
+  EXPECT_EQ(a.numel(), b.numel());
+  double max_diff = 0.0;
+  for (size_t i = 0; i < a.data().size(); ++i) {
+    max_diff = std::max(max_diff, std::fabs(static_cast<double>(a.data()[i]) -
+                                            static_cast<double>(b.data()[i])));
+  }
+  return max_diff;
+}
+
+struct SchemeCase {
+  const char* label;
+  SchemeRef ref;
+  bool expect_lowered;
+};
+
+std::vector<SchemeCase> AllRegistrySchemes() {
+  std::vector<SchemeCase> cases;
+  cases.push_back({"fp32", SchemeRef::Fp32(), true});
+  cases.push_back({"qat8", SchemeRef::Qat(8), true});
+  cases.push_back({"qat4", SchemeRef::Qat(4), true});
+  cases.push_back({"dq8", SchemeRef::Dq(8), true});
+  // A2Q's per-node learned scales are not a per-tensor transform: the
+  // lowering must refuse and Predict must fall back to the reference path.
+  cases.push_back({"a2q", SchemeRef::A2q(), false});
+  cases.push_back({"fixed",
+                   SchemeRef::Fixed({{"model/x", 8},
+                                     {"gcn0/weight", 2},
+                                     {"gcn0/linear_out", 4},
+                                     {"gcn1/weight", 4}}),
+                   true});
+  return cases;
+}
+
+// The acceptance contract: for every built-in registry scheme, the lowered
+// Predict matches PredictReference within 1e-4 (in fact bitwise for lowered
+// schemes, and trivially for fallback schemes).
+TEST(ServingLoweringTest, LoweredMatchesReferenceAcrossSchemes) {
+  for (const SchemeCase& c : AllRegistrySchemes()) {
+    SCOPED_TRACE(c.label);
+    auto artifact = TrainArtifact(c.ref);
+    ASSERT_NE(artifact, nullptr);
+    Result<CompiledModelPtr> compiled = CompileModel(*artifact);
+    ASSERT_TRUE(compiled.ok()) << compiled.status().ToString();
+    const CompiledModelPtr& model = compiled.ValueOrDie();
+    EXPECT_EQ(model->info().lowered, c.expect_lowered);
+
+    Result<Tensor> reference =
+        model->PredictReference(artifact->features, artifact->op);
+    ASSERT_TRUE(reference.ok()) << reference.status().ToString();
+    Result<Tensor> lowered = model->Predict(artifact->features, artifact->op);
+    ASSERT_TRUE(lowered.ok()) << lowered.status().ToString();
+    EXPECT_LE(MaxAbsDiff(lowered.ValueOrDie(), reference.ValueOrDie()), 1e-4);
+    if (c.expect_lowered) {
+      // The lowered plan replays the reference arithmetic exactly.
+      EXPECT_EQ(lowered.ValueOrDie().data(), reference.ValueOrDie().data());
+    }
+  }
+}
+
+TEST(ServingLoweringTest, SageBackboneParity) {
+  for (const SchemeRef& ref : {SchemeRef::Fp32(), SchemeRef::Qat(8)}) {
+    auto artifact = TrainArtifact(ref, NodeModelKind::kSage);
+    ASSERT_NE(artifact, nullptr);
+    CompiledModelPtr model = CompileModel(*artifact).ValueOrDie();
+    EXPECT_TRUE(model->info().lowered);
+    Tensor reference =
+        model->PredictReference(artifact->features, artifact->op).ValueOrDie();
+    Tensor lowered = model->Predict(artifact->features, artifact->op).ValueOrDie();
+    EXPECT_EQ(lowered.data(), reference.data());
+  }
+}
+
+// A request over a different graph than the one the model was trained on:
+// per-request adjacency quantization must still match the reference.
+TEST(ServingLoweringTest, CrossGraphRequestParity) {
+  auto artifact = TrainArtifact(SchemeRef::Qat(8));
+  auto other = TrainArtifact(SchemeRef::Fp32(), NodeModelKind::kGcn, /*seed=*/7);
+  ASSERT_NE(artifact, nullptr);
+  ASSERT_NE(other, nullptr);
+  CompiledModelPtr model = CompileModel(*artifact).ValueOrDie();
+  Tensor reference =
+      model->PredictReference(other->features, other->op).ValueOrDie();
+  Tensor lowered = model->Predict(other->features, other->op).ValueOrDie();
+  EXPECT_EQ(lowered.data(), reference.data());
+}
+
+TEST(ServingLoweringTest, ScratchReuseAcrossRequests) {
+  auto artifact = TrainArtifact(SchemeRef::Qat(8));
+  CompiledModelPtr model = CompileModel(*artifact).ValueOrDie();
+  Tensor reference = model->Predict(artifact->features, artifact->op).ValueOrDie();
+  PredictScratch scratch;
+  for (int i = 0; i < 3; ++i) {
+    Tensor again =
+        model->Predict(artifact->features, artifact->op, &scratch).ValueOrDie();
+    EXPECT_EQ(again.data(), reference.data());
+  }
+}
+
+TEST(ServingLoweringTest, Int8ExecutorTracksReference) {
+  auto artifact = TrainArtifact(SchemeRef::Qat(8));
+  CompiledModelPtr model = CompileModel(*artifact).ValueOrDie();
+  ASSERT_TRUE(model->info().lowered_int8);
+
+  Tensor reference =
+      model->PredictReference(artifact->features, artifact->op).ValueOrDie();
+  Result<Tensor> quantized = model->PredictQuantized(artifact->features, artifact->op);
+  ASSERT_TRUE(quantized.ok()) << quantized.status().ToString();
+
+  // The integer path is exact up to rounding ties on each requantization, so
+  // logits may differ from the float reference by a few quantization steps of
+  // the final (8-bit) output quantizer — small relative to the logit range.
+  const auto& ref = reference.data();
+  float lo = ref[0], hi = ref[0];
+  for (float v : ref) {
+    lo = std::min(lo, v);
+    hi = std::max(hi, v);
+  }
+  const double range = static_cast<double>(hi) - lo;
+  EXPECT_LE(MaxAbsDiff(quantized.ValueOrDie(), reference), 0.05 * range + 1e-6);
+}
+
+TEST(ServingLoweringTest, Int8ExecutorSageAndMixedWidths) {
+  // SAGE exercises the bias + AddRequant integer steps; the mixed-width
+  // fixed scheme exercises intN (< 8-bit) codes inside the int8 executor.
+  struct Case {
+    SchemeRef ref;
+    NodeModelKind model;
+  };
+  const Case cases[] = {
+      {SchemeRef::Qat(8), NodeModelKind::kSage},
+      {SchemeRef::Fixed({{"gcn0/weight", 4}, {"gcn0/linear_out", 4},
+                         {"gcn1/weight", 2}}),
+       NodeModelKind::kGcn},
+  };
+  for (const Case& c : cases) {
+    auto artifact = TrainArtifact(c.ref, c.model);
+    ASSERT_NE(artifact, nullptr);
+    CompiledModelPtr model = CompileModel(*artifact).ValueOrDie();
+    ASSERT_TRUE(model->info().lowered_int8) << model->info().scheme_label;
+    Tensor reference =
+        model->PredictReference(artifact->features, artifact->op).ValueOrDie();
+    Result<Tensor> quantized =
+        model->PredictQuantized(artifact->features, artifact->op);
+    ASSERT_TRUE(quantized.ok()) << quantized.status().ToString();
+    const auto& ref = reference.data();
+    float lo = ref[0], hi = ref[0];
+    for (float v : ref) {
+      lo = std::min(lo, v);
+      hi = std::max(hi, v);
+    }
+    const double range = static_cast<double>(hi) - lo;
+    EXPECT_LE(MaxAbsDiff(quantized.ValueOrDie(), reference), 0.1 * range + 1e-6);
+  }
+}
+
+TEST(ServingLoweringTest, Int8ExecutorGatedOnWidth) {
+  // A 16-bit component keeps the exact lowering but rules out int8 codes.
+  auto artifact = TrainArtifact(
+      SchemeRef::Fixed({{"gcn1/linear_out", 16}}), NodeModelKind::kGcn);
+  CompiledModelPtr model = CompileModel(*artifact).ValueOrDie();
+  EXPECT_TRUE(model->info().lowered);
+  EXPECT_FALSE(model->info().lowered_int8);
+  Tensor reference =
+      model->PredictReference(artifact->features, artifact->op).ValueOrDie();
+  Tensor lowered = model->Predict(artifact->features, artifact->op).ValueOrDie();
+  EXPECT_EQ(lowered.data(), reference.data());
+}
+
+TEST(ServingLoweringTest, Int8ExecutorUnavailableForFp32) {
+  auto artifact = TrainArtifact(SchemeRef::Fp32());
+  CompiledModelPtr model = CompileModel(*artifact).ValueOrDie();
+  EXPECT_TRUE(model->info().lowered);
+  EXPECT_FALSE(model->info().lowered_int8);
+  EXPECT_EQ(
+      model->PredictQuantized(artifact->features, artifact->op).status().code(),
+      StatusCode::kNotImplemented);
+}
+
+// Regression for the padded-GEMM compaction: with enough rows that
+// ParallelFor actually chunks, the in-place stripping of padding columns
+// must not let one chunk overwrite another's unread rows. Hidden width 20
+// (padded to 32) and 7 classes (padded to 16) both take the padded path.
+TEST(ServingLoweringTest, LargeGraphPaddedOutputsStayExact) {
+  CitationConfig c;
+  c.name = "serving-padded";
+  c.num_nodes = 700;
+  c.num_classes = 7;
+  c.feature_dim = 24;
+  c.avg_degree = 3.0;
+  c.homophily = 0.8;
+  c.val_count = 100;
+  c.test_count = 200;
+  c.seed = 3;
+  NodeExperimentConfig cfg;
+  cfg.hidden = 20;
+  cfg.num_layers = 2;
+  cfg.train.epochs = 4;
+  ExperimentSpec spec =
+      ExperimentSpec::NodeClassification(GenerateCitation(c), cfg, SchemeRef::Qat(8));
+  spec.keep_artifact = true;
+  auto report = Experiment::Create(std::move(spec)).ValueOrDie().Run();
+  auto artifact = report.ValueOrDie().artifact;
+  CompiledModelPtr model = CompileModel(*artifact).ValueOrDie();
+  ASSERT_TRUE(model->info().lowered);
+  Tensor reference =
+      model->PredictReference(artifact->features, artifact->op).ValueOrDie();
+  for (int i = 0; i < 5; ++i) {
+    Tensor lowered = model->Predict(artifact->features, artifact->op).ValueOrDie();
+    ASSERT_EQ(lowered.data(), reference.data()) << "iteration " << i;
+  }
+}
+
+// The concurrency acceptance test: >= 8 threads hammering the engine's
+// lock-free hot path must all see logits identical to the single-threaded
+// reference.
+TEST(ServingConcurrencyTest, EightThreadsDeterministic) {
+  auto artifact = TrainArtifact(SchemeRef::Qat(8), NodeModelKind::kGcn, /*seed=*/5);
+  CompiledModelPtr model = CompileModel(*artifact).ValueOrDie();
+  ASSERT_TRUE(model->info().lowered);
+
+  InferenceEngine engine;
+  ASSERT_TRUE(engine.RegisterModel("m", model).ok());
+  Tensor reference =
+      model->PredictReference(artifact->features, artifact->op).ValueOrDie();
+
+  constexpr int kThreads = 8;
+  constexpr int kRequests = 16;
+  std::vector<int> mismatches(kThreads, 0);
+  std::vector<std::thread> workers;
+  for (int t = 0; t < kThreads; ++t) {
+    workers.emplace_back([&, t] {
+      for (int i = 0; i < kRequests; ++i) {
+        Result<Tensor> out = engine.Predict("m", artifact->features, artifact->op);
+        if (!out.ok() || out.ValueOrDie().data() != reference.data()) {
+          ++mismatches[t];
+        }
+      }
+    });
+  }
+  for (auto& w : workers) w.join();
+  for (int t = 0; t < kThreads; ++t) EXPECT_EQ(mismatches[t], 0) << "thread " << t;
+
+  InferenceEngine::Stats stats = engine.GetStats();
+  EXPECT_EQ(stats.requests, kThreads * kRequests);
+  EXPECT_EQ(stats.failures, 0);
+  EXPECT_EQ(stats.per_model.at("m"), kThreads * kRequests);
+}
+
+}  // namespace
+}  // namespace mixq
