@@ -10,7 +10,8 @@
 #   MIXQ_SERVE_THREADS  QPS client threads     (default: 8)
 #
 # Outputs in out_dir (default: <BUILD_DIR>/benchout):
-#   BENCH_serving.json  single-request latency + QPS, lowered vs reference
+#   BENCH_serving.json  single-request latency + QPS (lowered vs reference)
+#                       + batched-vs-unbatched QPS of the Submit API
 #   BENCH_kernels.json  Google-Benchmark JSON for the GEMM/SpMM/quant kernels
 set -euo pipefail
 

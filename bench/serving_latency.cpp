@@ -1,12 +1,15 @@
 // Copyright 2026 MixQ-GNN Authors
 // Serving-path benchmark: single-request latency and multi-threaded QPS of
 // the lowered executor (exact float and all-integer modes) against the
-// pipeline-replay reference, on the Table-3-sized citation graph. Emits
-// BENCH_serving.json (override the path with MIXQ_BENCH_JSON) for the perf
-// trajectory, alongside the usual table.
+// pipeline-replay reference, plus the request/response API's dynamic
+// micro-batching — K concurrent single-node clients through Submit vs. the
+// unbatched loop (each client paying a full forward per query) — on the
+// Table-3-sized citation graph. Emits BENCH_serving.json (override the path
+// with MIXQ_BENCH_JSON) for the perf trajectory, alongside the usual table.
 //
-//   MIXQ_SERVE_THREADS  client threads for the QPS section (default 8)
+//   MIXQ_SERVE_THREADS  client threads for the QPS sections (default 8)
 //   MIXQ_FULL=1         full-size graph (2708 nodes) instead of quick (1000)
+#include <atomic>
 #include <chrono>
 #include <cstdio>
 #include <fstream>
@@ -104,10 +107,47 @@ int main() {
   const int threads = EnvInt("MIXQ_SERVE_THREADS", 8);
   engine::InferenceEngine serving;
   MIXQ_CHECK(serving.RegisterModel("tab3-qat8", model).ok());
+  MIXQ_CHECK(serving.RegisterGraph("tab3", x, op).ok());
   const double lowered_qps =
       MeasureQps(threads, [&] { MIXQ_CHECK(serving.Predict("tab3-qat8", x, op).ok()); });
   const double ref_qps =
       MeasureQps(threads, [&] { MIXQ_CHECK(model->PredictReference(x, op).ok()); });
+
+  // ---- batched vs unbatched: K concurrent single-node clients --------------
+  // Unbatched loop = what single-node queries cost before the request API:
+  // every client pays a full forward per query (lowered_qps above). Batched
+  // = Submit(model, graph, one node) futures; the dispatcher coalesces
+  // whatever queues up into one forward and serves repeats on this static
+  // graph from the result cache. The no-cache engine isolates pure
+  // coalescing (every batch still pays its forward).
+  std::atomic<int64_t> next_node{0};
+  auto batched_client = [&](engine::InferenceEngine& api) {
+    engine::PredictRequest request;
+    request.model = "tab3-qat8";
+    request.graph = "tab3";
+    request.node_ids = {next_node.fetch_add(1, std::memory_order_relaxed) % n};
+    request.precision = engine::Precision::kFp32;
+    Result<engine::PredictResponse> response = api.Submit(std::move(request)).get();
+    MIXQ_CHECK(response.ok()) << response.status().ToString();
+  };
+  const double batched_qps = MeasureQps(threads, [&] { batched_client(serving); });
+
+  engine::BatcherOptions nocache;
+  nocache.enable_cache = false;
+  engine::InferenceEngine serving_nocache(nocache);
+  MIXQ_CHECK(serving_nocache.RegisterModel("tab3-qat8", model).ok());
+  MIXQ_CHECK(serving_nocache.RegisterGraph("tab3", x, op).ok());
+  const double batched_nocache_qps =
+      MeasureQps(threads, [&] { batched_client(serving_nocache); });
+
+  const double batched_ratio = batched_qps / lowered_qps;
+  const double batched_nocache_ratio = batched_nocache_qps / lowered_qps;
+  const engine::InferenceEngine::Stats nocache_stats = serving_nocache.GetStats();
+  const double avg_batch =
+      nocache_stats.batcher.forwards > 0
+          ? static_cast<double>(nocache_stats.per_model.at("tab3-qat8").successes) /
+                static_cast<double>(nocache_stats.batcher.forwards)
+          : 0.0;
 
   TablePrinter table({"Path", "Latency (us)", "Speedup", "QPS x" +
                                                              std::to_string(threads)});
@@ -117,10 +157,16 @@ int main() {
                 FormatFloat(speedup, 2), FormatFloat(lowered_qps, 0)});
   table.AddRow({"lowered (int8)", FormatFloat(int8_us, 1),
                 FormatFloat(speedup_int8, 2), "-"});
+  table.AddRow({"Submit batched, no cache", "-", "-",
+                FormatFloat(batched_nocache_qps, 0)});
+  table.AddRow({"Submit batched + cache", "-", "-", FormatFloat(batched_qps, 0)});
   std::printf("graph: %lld nodes, %lld nnz, %lld features, hidden %lld\n",
               static_cast<long long>(n), static_cast<long long>(nnz),
               static_cast<long long>(x.cols()), static_cast<long long>(cfg.hidden));
   table.Print();
+  std::printf("\nbatched/unbatched QPS ratio (%d single-node clients): "
+              "%.2fx cached, %.2fx coalescing only (avg batch %.1f)\n",
+              threads, batched_ratio, batched_nocache_ratio, avg_batch);
 
   // ---- JSON for the perf trajectory ---------------------------------------
   const char* json_path = std::getenv("MIXQ_BENCH_JSON");
@@ -142,6 +188,15 @@ int main() {
        << "    \"threads\": " << threads << ",\n"
        << "    \"lowered_qps\": " << lowered_qps << ",\n"
        << "    \"reference_qps\": " << ref_qps << "\n"
+       << "  },\n"
+       << "  \"batched\": {\n"
+       << "    \"threads\": " << threads << ",\n"
+       << "    \"unbatched_qps\": " << lowered_qps << ",\n"
+       << "    \"batched_qps\": " << batched_qps << ",\n"
+       << "    \"batched_nocache_qps\": " << batched_nocache_qps << ",\n"
+       << "    \"qps_ratio\": " << batched_ratio << ",\n"
+       << "    \"qps_ratio_nocache\": " << batched_nocache_ratio << ",\n"
+       << "    \"avg_batch_size\": " << avg_batch << "\n"
        << "  }\n"
        << "}\n";
   std::printf("\nwrote %s\n", json_path != nullptr ? json_path : "BENCH_serving.json");

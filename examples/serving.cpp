@@ -5,11 +5,15 @@
 //   2. Experiment     — validated spec, bit-width search + quantized
 //                       training, artifact kept for deployment.
 //   3. engine         — CompileModel freezes weights + selected widths;
-//                       InferenceEngine serves named models to concurrent
-//                       callers and verifies experiment/serving parity.
+//                       InferenceEngine pins named models AND named graphs,
+//                       and serves Submit(PredictRequest) futures: requests
+//                       carry only (model, graph, node_ids), concurrent
+//                       single-node queries coalesce into one forward, and
+//                       repeat queries on the static graph are cache hits.
 //
 //   ./examples/serving
 #include <cstdio>
+#include <future>
 #include <thread>
 #include <vector>
 
@@ -58,20 +62,23 @@ int main() {
   // ---- 3a. Compile: freeze weights + bit assignment ------------------------
   Result<engine::CompiledModelPtr> compiled = engine::CompileModel(*r.artifact);
   MIXQ_CHECK(compiled.ok()) << compiled.status().ToString();
-  const engine::CompiledModelInfo& info = compiled.ValueOrDie()->info();
+  engine::CompiledModelPtr model = compiled.ValueOrDie();
+  const engine::CompiledModelInfo& info = model->info();
   std::printf("\ncompiled model: %s — %lld params frozen, %.2f avg bits, "
               "%zu quantized components\n",
               info.scheme_label.c_str(), static_cast<long long>(info.param_count),
               info.avg_bits, info.bit_assignment.size());
 
-  // ---- 3b. Serve it --------------------------------------------------------
-  engine::InferenceEngine engine;
-  MIXQ_CHECK(engine.RegisterModel("citation-mixq", compiled.ValueOrDie()).ok());
+  // ---- 3b. Pin the model and the graph under names -------------------------
+  engine::InferenceEngine serving;
+  MIXQ_CHECK(serving.RegisterModel("citation-mixq", model).ok());
+  MIXQ_CHECK(
+      serving.RegisterGraph("citation", r.artifact->features, r.artifact->op).ok());
 
-  // Parity check: the served logits are bitwise-identical to the eval-mode
-  // forward the experiment measured.
+  // Parity check #1: the legacy synchronous Predict still returns logits
+  // bitwise-identical to the eval-mode forward the experiment measured.
   Result<Tensor> served =
-      engine.Predict("citation-mixq", r.artifact->features, r.artifact->op);
+      serving.Predict("citation-mixq", r.artifact->features, r.artifact->op);
   MIXQ_CHECK(served.ok()) << served.status().ToString();
   r.artifact->scheme->BeginStep(false);
   Tensor reference = r.artifact->gcn->Forward(r.artifact->features, r.artifact->op,
@@ -80,25 +87,51 @@ int main() {
       << "serving/experiment parity violated";
   std::printf("parity: engine Predict == eval-mode pipeline forward (bitwise)\n");
 
-  // Concurrent traffic against the shared engine.
-  constexpr int kThreads = 4, kRequestsPerThread = 8;
-  std::vector<std::thread> workers;
-  for (int t = 0; t < kThreads; ++t) {
-    workers.emplace_back([&] {
-      for (int i = 0; i < kRequestsPerThread; ++i) {
-        Result<Tensor> out =
-            engine.Predict("citation-mixq", r.artifact->features, r.artifact->op);
-        MIXQ_CHECK(out.ok()) << out.status().ToString();
+  // ---- 3c. Asynchronous traffic: Submit futures, no tensors per call -------
+  // Concurrent clients each ask for ONE node's prediction. The micro-batcher
+  // coalesces whatever queues up into a single forward and repeat queries on
+  // the static graph are row gathers from the result cache.
+  constexpr int kClients = 4, kRequestsPerClient = 8;
+  std::vector<std::thread> clients;
+  std::vector<int> mismatches(kClients, 0);
+  for (int t = 0; t < kClients; ++t) {
+    clients.emplace_back([&, t] {
+      for (int i = 0; i < kRequestsPerClient; ++i) {
+        const int64_t node = (t * 151 + i * 7) % r.artifact->features.rows();
+        engine::PredictRequest request;
+        request.model = "citation-mixq";
+        request.graph = "citation";
+        request.node_ids = {node};
+        request.precision = engine::Precision::kFp32;
+        Result<engine::PredictResponse> response =
+            serving.Submit(std::move(request)).get();
+        MIXQ_CHECK(response.ok()) << response.status().ToString();
+        // Parity check #2: the gathered row equals the full forward's row.
+        const engine::PredictResponse& resp = response.ValueOrDie();
+        for (int64_t c = 0; c < reference.cols(); ++c) {
+          if (resp.rows.at(0, c) != reference.at(node, c)) ++mismatches[t];
+        }
       }
     });
   }
-  for (auto& w : workers) w.join();
+  for (auto& c : clients) c.join();
+  for (int t = 0; t < kClients; ++t) {
+    MIXQ_CHECK(mismatches[t] == 0) << "client " << t << " saw diverging rows";
+  }
+  std::printf("parity: every Submit row == full-forward row (bitwise)\n");
 
-  engine::InferenceEngine::Stats stats = engine.GetStats();
-  std::printf("\nserved %lld requests (%lld failed) across %zu model(s); "
-              "'citation-mixq' handled %lld\n",
+  engine::InferenceEngine::Stats stats = serving.GetStats();
+  const engine::InferenceEngine::ModelStats& ms =
+      stats.per_model.at("citation-mixq");
+  std::printf("\nserved %lld requests (%lld failed): %lld coalesced forwards, "
+              "%lld cache hits\n",
               static_cast<long long>(stats.requests),
-              static_cast<long long>(stats.failures), engine.ModelNames().size(),
-              static_cast<long long>(stats.per_model["citation-mixq"]));
+              static_cast<long long>(stats.failures),
+              static_cast<long long>(stats.batcher.forwards),
+              static_cast<long long>(stats.batcher.cache_hits));
+  std::printf("model 'citation-mixq': %lld ok / %lld failed, "
+              "p50 %.0f us, p99 %.0f us\n",
+              static_cast<long long>(ms.successes),
+              static_cast<long long>(ms.failures), ms.p50_us, ms.p99_us);
   return 0;
 }

@@ -1,0 +1,87 @@
+// Copyright 2026 MixQ-GNN Authors
+// Bounded multi-producer/multi-consumer queue — the admission buffer of the
+// serving layer. Producers (request threads) TryPush and get an immediate
+// false when the queue is full, so overload turns into a cheap rejection
+// instead of unbounded memory growth or blocked clients; the consumer (the
+// micro-batch dispatcher) drains *everything* queued in one call, which is
+// what makes coalescing possible. Mutex + condvar rather than a lock-free
+// ring: operations are a handful of pointer moves next to multi-millisecond
+// forwards, and the simple version is trivially TSan-clean.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <mutex>
+#include <utility>
+#include <vector>
+
+namespace mixq {
+
+template <typename T>
+class BoundedQueue {
+ public:
+  /// `capacity` is the maximum number of queued items; 0 is clamped to 1.
+  explicit BoundedQueue(size_t capacity)
+      : capacity_(capacity == 0 ? 1 : capacity) {}
+
+  BoundedQueue(const BoundedQueue&) = delete;
+  BoundedQueue& operator=(const BoundedQueue&) = delete;
+
+  /// Enqueues unless the queue is full or closed; never blocks. On failure
+  /// `item` is left untouched (not moved from), so callers can still fulfil
+  /// the rejected request — e.g. resolve its promise with an error.
+  bool TryPush(T&& item) {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (closed_ || items_.size() >= capacity_) return false;
+      items_.push_back(std::move(item));
+    }
+    cv_.notify_one();
+    return true;
+  }
+
+  /// Blocks until at least one item is queued (or the queue is closed), then
+  /// moves out *all* queued items. An empty result means closed-and-drained:
+  /// the consumer loop's termination signal.
+  std::vector<T> WaitDrain() {
+    std::unique_lock<std::mutex> lock(mu_);
+    cv_.wait(lock, [this] { return closed_ || !items_.empty(); });
+    std::vector<T> out;
+    out.reserve(items_.size());
+    for (T& item : items_) out.push_back(std::move(item));
+    items_.clear();
+    return out;
+  }
+
+  /// Rejects future pushes and wakes blocked consumers. Items already queued
+  /// are still handed out by WaitDrain.
+  void Close() {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      closed_ = true;
+    }
+    cv_.notify_all();
+  }
+
+  bool closed() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return closed_;
+  }
+
+  size_t size() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return items_.size();
+  }
+
+  size_t capacity() const { return capacity_; }
+
+ private:
+  const size_t capacity_;
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<T> items_;
+  bool closed_ = false;
+};
+
+}  // namespace mixq

@@ -1,0 +1,78 @@
+// Copyright 2026 MixQ-GNN Authors
+// Lock-free latency histogram for serving monitoring. Record() is a single
+// relaxed atomic increment, cheap enough for every request on the hot path;
+// Percentile() walks the buckets and interpolates, good to a few percent —
+// plenty for p50/p99 monitoring, where the question is "microseconds or
+// milliseconds", not exact ranks.
+//
+// Buckets are geometric: bucket k covers [kMinUs * kGrowth^k, next bound),
+// spanning ~1 us to ~100 s in 64 buckets (growth 1.333). Values below/above
+// the span clamp into the first/last bucket.
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <cmath>
+#include <cstdint>
+
+namespace mixq {
+
+class LatencyHistogram {
+ public:
+  static constexpr int kNumBuckets = 64;
+
+  /// Records one observation (microseconds). Thread-safe, wait-free.
+  void Record(double us) {
+    buckets_[BucketFor(us)].fetch_add(1, std::memory_order_relaxed);
+    count_.fetch_add(1, std::memory_order_relaxed);
+  }
+
+  int64_t count() const { return count_.load(std::memory_order_relaxed); }
+
+  /// Interpolated percentile in microseconds, p in [0, 100]; 0 when empty.
+  /// A snapshot racing concurrent Record()s is approximate, never invalid.
+  double Percentile(double p) const {
+    std::array<int64_t, kNumBuckets> counts;
+    int64_t total = 0;
+    for (int k = 0; k < kNumBuckets; ++k) {
+      counts[static_cast<size_t>(k)] = buckets_[static_cast<size_t>(k)].load(
+          std::memory_order_relaxed);
+      total += counts[static_cast<size_t>(k)];
+    }
+    if (total == 0) return 0.0;
+    if (p < 0.0) p = 0.0;
+    if (p > 100.0) p = 100.0;
+    // Rank in [1, total]; find its bucket and interpolate within it.
+    const double rank = p / 100.0 * static_cast<double>(total - 1) + 1.0;
+    double seen = 0.0;
+    for (int k = 0; k < kNumBuckets; ++k) {
+      const double in_bucket = static_cast<double>(counts[static_cast<size_t>(k)]);
+      if (seen + in_bucket >= rank) {
+        const double frac = in_bucket > 0.0 ? (rank - seen) / in_bucket : 0.0;
+        return LowerBound(k) + frac * (LowerBound(k + 1) - LowerBound(k));
+      }
+      seen += in_bucket;
+    }
+    return LowerBound(kNumBuckets);  // unreachable modulo racing snapshots
+  }
+
+  double p50() const { return Percentile(50.0); }
+  double p99() const { return Percentile(99.0); }
+
+ private:
+  static constexpr double kMinUs = 1.0;
+  static constexpr double kGrowth = 1.333;
+
+  static int BucketFor(double us) {
+    if (!(us > kMinUs)) return 0;  // also catches NaN
+    const int k = static_cast<int>(std::log(us / kMinUs) / std::log(kGrowth));
+    return k >= kNumBuckets ? kNumBuckets - 1 : k;
+  }
+
+  static double LowerBound(int k) { return kMinUs * std::pow(kGrowth, k); }
+
+  std::array<std::atomic<int64_t>, kNumBuckets> buckets_{};
+  std::atomic<int64_t> count_{0};
+};
+
+}  // namespace mixq

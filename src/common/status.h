@@ -18,6 +18,8 @@ enum class StatusCode {
   kNotImplemented,
   kInternal,
   kNotFound,
+  kResourceExhausted,  ///< admission control rejected (queue/capacity full)
+  kDeadlineExceeded,   ///< request expired before it could be served
 };
 
 /// Returns a short human-readable name for a StatusCode.
@@ -29,6 +31,8 @@ inline const char* StatusCodeName(StatusCode code) {
     case StatusCode::kNotImplemented: return "NotImplemented";
     case StatusCode::kInternal: return "Internal";
     case StatusCode::kNotFound: return "NotFound";
+    case StatusCode::kResourceExhausted: return "ResourceExhausted";
+    case StatusCode::kDeadlineExceeded: return "DeadlineExceeded";
   }
   return "Unknown";
 }
@@ -56,6 +60,12 @@ class Status {
   }
   static Status NotFound(std::string m) {
     return Status(StatusCode::kNotFound, std::move(m));
+  }
+  static Status ResourceExhausted(std::string m) {
+    return Status(StatusCode::kResourceExhausted, std::move(m));
+  }
+  static Status DeadlineExceeded(std::string m) {
+    return Status(StatusCode::kDeadlineExceeded, std::move(m));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

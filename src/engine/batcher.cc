@@ -1,0 +1,327 @@
+// Copyright 2026 MixQ-GNN Authors
+#include "engine/batcher.h"
+
+#include <algorithm>
+#include <cstring>
+#include <utility>
+
+namespace mixq {
+namespace engine {
+
+namespace {
+
+double MicrosBetween(ServingClock::time_point from, ServingClock::time_point to) {
+  return std::chrono::duration<double, std::micro>(to - from).count();
+}
+
+/// Copies the requested logit rows into a fresh tensor (cached logits must
+/// never share storage with a caller-visible tensor). Empty ids = all rows.
+Result<Tensor> GatherLogitRows(const Tensor& logits, const std::vector<int64_t>& ids) {
+  const int64_t n = logits.rows();
+  const int64_t d = logits.cols();
+  if (ids.empty()) {
+    return Tensor::FromVector(logits.shape(), logits.data());
+  }
+  Tensor rows = Tensor::Zeros(Shape(static_cast<int64_t>(ids.size()), d));
+  float* dst = rows.data().data();
+  const float* src = logits.data().data();
+  for (size_t i = 0; i < ids.size(); ++i) {
+    const int64_t id = ids[i];
+    if (id < 0 || id >= n) {
+      return Status::InvalidArgument("node id " + std::to_string(id) +
+                                     " out of range for graph with " +
+                                     std::to_string(n) + " nodes");
+    }
+    std::memcpy(dst + static_cast<size_t>(i) * static_cast<size_t>(d),
+                src + static_cast<size_t>(id) * static_cast<size_t>(d),
+                static_cast<size_t>(d) * sizeof(float));
+  }
+  return rows;
+}
+
+}  // namespace
+
+const char* PrecisionName(Precision p) {
+  switch (p) {
+    case Precision::kAuto: return "auto";
+    case Precision::kFp32: return "fp32";
+    case Precision::kInt8: return "int8";
+  }
+  return "unknown";
+}
+
+Result<Precision> ResolvePrecision(const CompiledModel& model,
+                                   const GraphContext& graph,
+                                   Precision requested) {
+  switch (requested) {
+    case Precision::kFp32:
+      return Precision::kFp32;
+    case Precision::kInt8:
+      if (!model.info().lowered_int8) {
+        return Status::NotImplemented("model '" + model.info().scheme_label +
+                                      "' has no all-integer lowering");
+      }
+      if (!graph.int8_depth_safe) {
+        return Status::InvalidArgument(
+            "graph '" + graph.name +
+            "' has a row too deep for the int8 executor; request fp32");
+      }
+      return Precision::kInt8;
+    case Precision::kAuto:
+      return model.info().lowered_int8 && graph.int8_depth_safe
+                 ? Precision::kInt8
+                 : Precision::kFp32;
+  }
+  return Status::InvalidArgument("unknown precision");
+}
+
+Result<Tensor> ForwardFullGraph(const CompiledModel& model,
+                                const GraphContext& graph, Precision resolved,
+                                PredictScratch* scratch) {
+  if (resolved == Precision::kInt8) {
+    return model.PredictQuantized(graph.features, graph.op, scratch);
+  }
+  return model.Predict(graph.features, graph.op, scratch);
+}
+
+Batcher::Batcher(Backend backend, BatcherOptions options)
+    : backend_(std::move(backend)),
+      options_(options),
+      queue_(options.queue_capacity),
+      dispatcher_([this] { DispatcherLoop(); }) {}
+
+Batcher::~Batcher() {
+  queue_.Close();
+  if (dispatcher_.joinable()) dispatcher_.join();
+}
+
+std::future<Result<PredictResponse>> Batcher::Submit(PredictRequest request) {
+  Pending pending;
+  pending.admitted = ServingClock::now();
+  std::future<Result<PredictResponse>> future = pending.promise.get_future();
+  if (pending.admitted > request.deadline) {
+    expired_.fetch_add(1, std::memory_order_relaxed);
+    backend_.count_failure();
+    pending.promise.set_value(
+        Status::DeadlineExceeded("request deadline passed before admission"));
+    return future;
+  }
+  pending.request = std::move(request);
+  if (!queue_.TryPush(std::move(pending))) {
+    rejected_.fetch_add(1, std::memory_order_relaxed);
+    backend_.count_failure();
+    pending.promise.set_value(Status::ResourceExhausted(
+        "serving queue full (capacity " +
+        std::to_string(queue_.capacity()) + ") or shut down"));
+    return future;
+  }
+  submitted_.fetch_add(1, std::memory_order_relaxed);
+  return future;
+}
+
+void Batcher::DispatcherLoop() {
+  for (;;) {
+    std::vector<Pending> batch = queue_.WaitDrain();
+    if (batch.empty()) return;  // closed and fully drained
+    Dispatch(std::move(batch));
+  }
+}
+
+void Batcher::Fail(Pending* pending, Status status,
+                   const ModelCountersPtr& counters) {
+  backend_.count_failure();
+  if (counters != nullptr) {
+    counters->failures.fetch_add(1, std::memory_order_relaxed);
+  }
+  pending->promise.set_value(std::move(status));
+}
+
+void Batcher::Dispatch(std::vector<Pending> batch) {
+  in_dispatch_.fetch_add(static_cast<int64_t>(batch.size()),
+                         std::memory_order_relaxed);
+  const ServingClock::time_point dispatch_start = ServingClock::now();
+
+  // Coalesce: group the drained requests by (model, graph, resolved
+  // precision). Registry lookups happen here — once per distinct name, not
+  // per request — so hot swaps between admission and dispatch are honoured.
+  struct Group {
+    ModelHandle handle;
+    GraphContextPtr graph;
+    Precision resolved = Precision::kFp32;
+    std::vector<Pending> members;
+  };
+  std::map<std::string, Group> groups;
+  std::map<std::string, Result<ModelHandle>> model_lookups;
+  std::map<std::string, Result<GraphContextPtr>> graph_lookups;
+
+  for (Pending& pending : batch) {
+    auto model_it = model_lookups.find(pending.request.model);
+    if (model_it == model_lookups.end()) {
+      model_it = model_lookups
+                     .emplace(pending.request.model,
+                              backend_.lookup_model(pending.request.model))
+                     .first;
+    }
+    ModelCountersPtr counters = model_it->second.ok()
+                                    ? model_it->second.ValueOrDie().counters
+                                    : nullptr;
+    if (dispatch_start > pending.request.deadline) {
+      expired_.fetch_add(1, std::memory_order_relaxed);
+      Fail(&pending, Status::DeadlineExceeded("request expired in queue"), counters);
+      continue;
+    }
+    if (!model_it->second.ok()) {
+      Fail(&pending, model_it->second.status(), nullptr);
+      continue;
+    }
+    auto graph_it = graph_lookups.find(pending.request.graph);
+    if (graph_it == graph_lookups.end()) {
+      graph_it = graph_lookups
+                     .emplace(pending.request.graph,
+                              backend_.lookup_graph(pending.request.graph))
+                     .first;
+    }
+    if (!graph_it->second.ok()) {
+      Fail(&pending, graph_it->second.status(), counters);
+      continue;
+    }
+    const ModelHandle& handle = model_it->second.ValueOrDie();
+    const GraphContextPtr& graph = graph_it->second.ValueOrDie();
+    Result<Precision> resolved =
+        ResolvePrecision(*handle.model, *graph, pending.request.precision);
+    if (!resolved.ok()) {
+      Fail(&pending, resolved.status(), counters);
+      continue;
+    }
+    // Range-check node ids now, while the graph is resolved: a bad request
+    // must not cost (or trigger) the group's shared forward.
+    const int64_t num_nodes = graph->features.rows();
+    bool ids_ok = true;
+    for (int64_t id : pending.request.node_ids) {
+      if (id < 0 || id >= num_nodes) {
+        Fail(&pending,
+             Status::InvalidArgument("node id " + std::to_string(id) +
+                                     " out of range for graph '" +
+                                     pending.request.graph + "' with " +
+                                     std::to_string(num_nodes) + " nodes"),
+             counters);
+        ids_ok = false;
+        break;
+      }
+    }
+    if (!ids_ok) continue;
+    std::string key = pending.request.model + '\x1f' + pending.request.graph +
+                      '\x1f' + PrecisionName(resolved.ValueOrDie());
+    Group& group = groups[key];
+    if (group.members.empty()) {
+      group.handle = handle;
+      group.graph = graph;
+      group.resolved = resolved.ValueOrDie();
+    }
+    group.members.push_back(std::move(pending));
+  }
+
+  // One forward (or cache gather) per group.
+  for (auto& [key, group] : groups) {
+    // Deadlines are re-checked per group: an earlier group's forward may
+    // have consumed another group's remaining budget.
+    const ServingClock::time_point group_start = ServingClock::now();
+    std::vector<Pending> live;
+    live.reserve(group.members.size());
+    for (Pending& pending : group.members) {
+      if (group_start > pending.request.deadline) {
+        expired_.fetch_add(1, std::memory_order_relaxed);
+        Fail(&pending, Status::DeadlineExceeded("request expired in queue"),
+             group.handle.counters);
+      } else {
+        live.push_back(std::move(pending));
+      }
+    }
+    if (live.empty()) continue;
+
+    Tensor logits;
+    bool cache_hit = false;
+    double forward_us = 0.0;
+    auto cached = cache_.find(key);
+    if (options_.enable_cache && cached != cache_.end() &&
+        cached->second.model_version == group.handle.version &&
+        cached->second.graph_version == group.graph->version) {
+      logits = cached->second.logits;
+      cache_hit = true;
+      cache_hits_.fetch_add(static_cast<int64_t>(live.size()),
+                            std::memory_order_relaxed);
+    } else {
+      Result<Tensor> forward = ForwardFullGraph(*group.handle.model,
+                                                *group.graph, group.resolved,
+                                                &scratch_);
+      forward_us = MicrosBetween(group_start, ServingClock::now());
+      forwards_.fetch_add(1, std::memory_order_relaxed);
+      if (!forward.ok()) {
+        for (Pending& pending : live) {
+          Fail(&pending, forward.status(), group.handle.counters);
+        }
+        continue;
+      }
+      logits = forward.MoveValueOrDie();
+      if (options_.enable_cache) {
+        cache_[key] = CacheEntry{live.front().request.model,
+                                 live.front().request.graph,
+                                 group.handle.version, group.graph->version,
+                                 logits};
+      }
+    }
+
+    for (Pending& pending : live) {
+      Result<Tensor> rows = GatherLogitRows(logits, pending.request.node_ids);
+      if (!rows.ok()) {
+        Fail(&pending, rows.status(), group.handle.counters);
+        continue;
+      }
+      PredictResponse response;
+      response.rows = rows.MoveValueOrDie();
+      response.node_ids = pending.request.node_ids;
+      response.precision = group.resolved;
+      response.batch_size = static_cast<int64_t>(live.size());
+      response.cache_hit = cache_hit;
+      response.forward_us = forward_us;
+      response.queue_us = MicrosBetween(pending.admitted, dispatch_start);
+      response.total_us = MicrosBetween(pending.admitted, ServingClock::now());
+      group.handle.counters->successes.fetch_add(1, std::memory_order_relaxed);
+      group.handle.counters->latency.Record(response.total_us);
+      pending.promise.set_value(std::move(response));
+    }
+  }
+  in_dispatch_.fetch_sub(static_cast<int64_t>(batch.size()),
+                         std::memory_order_relaxed);
+  if (++cycles_since_sweep_ >= 64) {
+    cycles_since_sweep_ = 0;
+    SweepCache();
+  }
+}
+
+void Batcher::SweepCache() {
+  for (auto it = cache_.begin(); it != cache_.end();) {
+    const CacheEntry& entry = it->second;
+    Result<ModelHandle> model = backend_.lookup_model(entry.model_name);
+    Result<GraphContextPtr> graph = backend_.lookup_graph(entry.graph_name);
+    const bool valid = model.ok() && graph.ok() &&
+                       model.ValueOrDie().version == entry.model_version &&
+                       graph.ValueOrDie()->version == entry.graph_version;
+    it = valid ? std::next(it) : cache_.erase(it);
+  }
+}
+
+Batcher::Stats Batcher::GetStats() const {
+  Stats stats;
+  stats.submitted = submitted_.load(std::memory_order_relaxed);
+  stats.rejected = rejected_.load(std::memory_order_relaxed);
+  stats.expired = expired_.load(std::memory_order_relaxed);
+  stats.forwards = forwards_.load(std::memory_order_relaxed);
+  stats.cache_hits = cache_hits_.load(std::memory_order_relaxed);
+  stats.queue_depth = static_cast<int64_t>(queue_.size());
+  stats.in_dispatch = in_dispatch_.load(std::memory_order_relaxed);
+  return stats;
+}
+
+}  // namespace engine
+}  // namespace mixq

@@ -1,0 +1,218 @@
+// Copyright 2026 MixQ-GNN Authors
+// Dynamic micro-batching for the serving engine, and the request/response
+// vocabulary of the asynchronous API.
+//
+// The serving observation behind this file: a GNN forward computes logits
+// for *every* node of the graph, so N concurrent requests for single nodes
+// of the same (model, graph, precision) are N copies of the same work. The
+// Batcher turns them into one: requests are admitted into a bounded queue
+// (immediate kResourceExhausted on overflow — overload degrades into cheap
+// rejections, not latency collapse), a dispatcher thread drains whatever has
+// accumulated while the previous forward ran, coalesces the drained set by
+// (model, graph, resolved precision), runs one lowered forward per group on
+// the persistent thread pool, gathers each requester's rows, and fulfills
+// the futures. Requests whose deadline passed while queued are expired with
+// kDeadlineExceeded instead of wasting a forward.
+//
+// Full logits of each batch forward are cached per (model, graph, precision)
+// keyed by the model/graph *versions* — ReplaceModel/ReplaceGraph bump the
+// version, so a stale entry can never be served. On a static graph a repeat
+// query is therefore a row gather, no forward at all.
+//
+// The Batcher talks to the engine through a narrow Backend interface
+// (lookup by name, a failure tick) so it has no dependency on
+// InferenceEngine itself and can be driven standalone in tests.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <functional>
+#include <future>
+#include <map>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/bounded_queue.h"
+#include "common/latency_histogram.h"
+#include "common/status.h"
+#include "engine/compiled_model.h"
+
+namespace mixq {
+namespace engine {
+
+/// Clock used for deadlines and latency metadata.
+using ServingClock = std::chrono::steady_clock;
+
+/// Numeric path a request is served on. kAuto resolves to the cheapest mode
+/// the model supports for the target graph: int8 when the model carries the
+/// all-integer lowering (and the operator fits its accumulators), exact fp32
+/// otherwise. Responses always report the resolved value.
+enum class Precision { kAuto = 0, kFp32, kInt8 };
+
+const char* PrecisionName(Precision p);
+
+/// A named, immutable, engine-pinned graph: requests reference it by name
+/// instead of shipping tensors. `version` comes from the engine's global
+/// monotonic counter (never reused, even across Unregister + Register of
+/// the same name) and is part of the result-cache key. `int8_depth_safe`
+/// is the operator's int8-accumulator depth check, precomputed once at
+/// registration so precision resolution is O(1) per request.
+struct GraphContext {
+  std::string name;
+  Tensor features;        ///< [n, in_features] node features
+  SparseOperatorPtr op;   ///< matching normalized operator
+  uint64_t version = 0;
+  bool int8_depth_safe = false;
+};
+using GraphContextPtr = std::shared_ptr<const GraphContext>;
+
+/// One prediction request against registered names. `node_ids` selects which
+/// logit rows come back; empty means all nodes. `deadline` is absolute;
+/// requests still queued past it are expired, never served late.
+struct PredictRequest {
+  std::string model;
+  std::string graph;
+  std::vector<int64_t> node_ids;
+  Precision precision = Precision::kAuto;
+  ServingClock::time_point deadline = ServingClock::time_point::max();
+};
+
+/// The requested rows plus enough metadata to reason about tail latency.
+struct PredictResponse {
+  Tensor rows;                     ///< [node_ids.size() (or n), out_dim]
+  std::vector<int64_t> node_ids;   ///< echo of the request (empty = all)
+  Precision precision = Precision::kFp32;  ///< resolved serving mode
+  int64_t batch_size = 0;   ///< requests coalesced into the same forward
+  bool cache_hit = false;   ///< served from cached logits (no forward)
+  double queue_us = 0.0;    ///< admission -> dispatch
+  double forward_us = 0.0;  ///< the shared forward (0 on cache hit)
+  double total_us = 0.0;    ///< admission -> fulfillment
+};
+
+/// Per-model monitoring counters, shared between the engine and in-flight
+/// batches so a just-unregistered model's requests still have somewhere to
+/// count. All fields are hot-path-safe (atomics / lock-free histogram).
+struct ModelCounters {
+  std::atomic<int64_t> successes{0};
+  std::atomic<int64_t> failures{0};
+  LatencyHistogram latency;
+};
+using ModelCountersPtr = std::shared_ptr<ModelCounters>;
+
+/// Snapshot of one registered model as the batcher needs it: the immutable
+/// compiled model, its registry version (bumped by ReplaceModel; part of the
+/// cache key), and its counters.
+struct ModelHandle {
+  CompiledModelPtr model;
+  uint64_t version = 0;
+  ModelCountersPtr counters;
+};
+
+struct BatcherOptions {
+  /// Admission queue bound; TryPush past it is a kResourceExhausted reject.
+  size_t queue_capacity = 1024;
+  /// Cache full batch logits per (model, graph, precision) version.
+  bool enable_cache = true;
+};
+
+/// Resolves the requested precision against what `model` can serve over
+/// `graph`'s operator (see Precision). kNotImplemented when int8 is asked of
+/// a model without the integer lowering.
+Result<Precision> ResolvePrecision(const CompiledModel& model,
+                                   const GraphContext& graph,
+                                   Precision requested);
+
+/// One full-graph forward at an already-resolved precision — the unit of
+/// work the batcher amortizes, also used by the synchronous Predict wrapper.
+Result<Tensor> ForwardFullGraph(const CompiledModel& model,
+                                const GraphContext& graph, Precision resolved,
+                                PredictScratch* scratch);
+
+class Batcher {
+ public:
+  /// How the batcher reaches the registries that own names. Lookups happen
+  /// at dispatch time, so a ReplaceModel between admission and dispatch is
+  /// honoured. `count_failure` ticks the engine-wide failure counter.
+  struct Backend {
+    std::function<Result<ModelHandle>(const std::string&)> lookup_model;
+    std::function<Result<GraphContextPtr>(const std::string&)> lookup_graph;
+    std::function<void()> count_failure;
+  };
+
+  /// Monitoring counters; `queue_depth`/`in_dispatch` are racy snapshots.
+  struct Stats {
+    int64_t submitted = 0;   ///< requests admitted into the queue
+    int64_t rejected = 0;    ///< kResourceExhausted at admission
+    int64_t expired = 0;     ///< kDeadlineExceeded (queued past deadline)
+    int64_t forwards = 0;    ///< coalesced forwards actually run
+    int64_t cache_hits = 0;  ///< requests served from cached logits
+    int64_t queue_depth = 0;     ///< requests currently queued
+    int64_t in_dispatch = 0;     ///< requests currently being dispatched
+  };
+
+  /// Starts the dispatcher thread immediately.
+  Batcher(Backend backend, BatcherOptions options);
+
+  /// Closes admission, serves every already-admitted request, joins.
+  ~Batcher();
+
+  Batcher(const Batcher&) = delete;
+  Batcher& operator=(const Batcher&) = delete;
+
+  /// Admits one request. Always returns a valid future; overflow, a closed
+  /// batcher, and an already-expired deadline come back as ready error
+  /// futures (kResourceExhausted / kDeadlineExceeded).
+  std::future<Result<PredictResponse>> Submit(PredictRequest request);
+
+  Stats GetStats() const;
+
+ private:
+  struct Pending {
+    PredictRequest request;
+    std::promise<Result<PredictResponse>> promise;
+    ServingClock::time_point admitted;
+  };
+
+  /// Cached full logits of one (model, graph, precision) group; valid only
+  /// while both versions still match the registries. Names are kept so the
+  /// periodic sweep can drop entries whose registrations are gone.
+  struct CacheEntry {
+    std::string model_name;
+    std::string graph_name;
+    uint64_t model_version = 0;
+    uint64_t graph_version = 0;
+    Tensor logits;
+  };
+
+  void DispatcherLoop();
+  void Dispatch(std::vector<Pending> batch);
+  void Fail(Pending* pending, Status status, const ModelCountersPtr& counters);
+  /// Evicts cache entries whose model/graph was unregistered or replaced,
+  /// so transient names don't pin full logits tensors forever.
+  void SweepCache();
+
+  const Backend backend_;
+  const BatcherOptions options_;
+  BoundedQueue<Pending> queue_;
+
+  std::atomic<int64_t> submitted_{0};
+  std::atomic<int64_t> rejected_{0};
+  std::atomic<int64_t> expired_{0};
+  std::atomic<int64_t> forwards_{0};
+  std::atomic<int64_t> cache_hits_{0};
+  std::atomic<int64_t> in_dispatch_{0};
+
+  /// Dispatcher-thread-private state (single consumer): the result cache and
+  /// the reusable forward scratch. No lock — nothing else touches them.
+  std::map<std::string, CacheEntry> cache_;
+  PredictScratch scratch_;
+  int64_t cycles_since_sweep_ = 0;
+
+  std::thread dispatcher_;  ///< last member: started once state is ready
+};
+
+}  // namespace engine
+}  // namespace mixq

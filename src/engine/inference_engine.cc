@@ -1,8 +1,51 @@
 // Copyright 2026 MixQ-GNN Authors
 #include "engine/inference_engine.h"
 
+#include <utility>
+
 namespace mixq {
 namespace engine {
+
+namespace {
+
+/// Shape/consistency checks shared by RegisterGraph and ReplaceGraph.
+Status ValidateGraph(const std::string& name, const Tensor& features,
+                     const SparseOperatorPtr& op) {
+  if (name.empty()) return Status::InvalidArgument("graph name must be non-empty");
+  if (!features.defined()) {
+    return Status::InvalidArgument("graph '" + name + "' has undefined features");
+  }
+  if (op == nullptr) {
+    return Status::InvalidArgument("graph '" + name + "' has a null operator");
+  }
+  if (op->matrix().cols() != features.rows()) {
+    return Status::InvalidArgument(
+        "graph '" + name + "': operator has " +
+        std::to_string(op->matrix().cols()) + " columns but features have " +
+        std::to_string(features.rows()) + " rows");
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+InferenceEngine::InferenceEngine(BatcherOptions options) {
+  Batcher::Backend backend;
+  backend.lookup_model = [this](const std::string& name) {
+    return LookupModel(name);
+  };
+  backend.lookup_graph = [this](const std::string& name) {
+    return LookupGraph(name);
+  };
+  backend.count_failure = [this] {
+    failures_.fetch_add(1, std::memory_order_relaxed);
+  };
+  batcher_ = std::make_unique<Batcher>(std::move(backend), options);
+}
+
+InferenceEngine::~InferenceEngine() = default;
+
+// ---- Model registry --------------------------------------------------------
 
 Status InferenceEngine::RegisterModel(const std::string& name,
                                       CompiledModelPtr model) {
@@ -10,12 +53,15 @@ Status InferenceEngine::RegisterModel(const std::string& name,
   if (model == nullptr) {
     return Status::InvalidArgument("model '" + name + "' is null");
   }
-  Entry entry{std::move(model), std::make_shared<std::atomic<int64_t>>(0)};
+  ModelEntry entry{std::move(model), /*version=*/0,
+                   std::make_shared<ModelCounters>()};
   std::unique_lock<std::shared_mutex> lock(mu_);
-  if (!models_.emplace(name, std::move(entry)).second) {
+  auto [it, inserted] = models_.emplace(name, std::move(entry));
+  if (!inserted) {
     return Status::InvalidArgument("model '" + name +
                                    "' is already registered (use ReplaceModel)");
   }
+  it->second.version = next_version_++;
   return Status::OK();
 }
 
@@ -26,10 +72,11 @@ Status InferenceEngine::ReplaceModel(const std::string& name,
     return Status::InvalidArgument("model '" + name + "' is null");
   }
   std::unique_lock<std::shared_mutex> lock(mu_);
-  Entry& entry = models_[name];
+  ModelEntry& entry = models_[name];
   entry.model = std::move(model);
-  if (entry.successes == nullptr) {
-    entry.successes = std::make_shared<std::atomic<int64_t>>(0);
+  entry.version = next_version_++;  // invalidates cached results for it
+  if (entry.counters == nullptr) {
+    entry.counters = std::make_shared<ModelCounters>();
   }
   return Status::OK();
 }
@@ -59,31 +106,126 @@ std::vector<std::string> InferenceEngine::ModelNames() const {
   return names;
 }
 
+// ---- Graph registry --------------------------------------------------------
+
+namespace {
+
+/// Builds the immutable context for one registered graph; the operator's
+/// int8 depth check (O(nnz) row scan) runs once here, not per request.
+std::shared_ptr<GraphContext> MakeGraphContext(const std::string& name,
+                                               Tensor features,
+                                               SparseOperatorPtr op) {
+  auto context = std::make_shared<GraphContext>();
+  context->name = name;
+  context->int8_depth_safe = ExecutionPlan::Int8DepthSafeOperator(*op);
+  context->features = std::move(features);
+  context->op = std::move(op);
+  return context;
+}
+
+}  // namespace
+
+Status InferenceEngine::RegisterGraph(const std::string& name, Tensor features,
+                                      SparseOperatorPtr op) {
+  MIXQ_RETURN_NOT_OK(ValidateGraph(name, features, op));
+  std::shared_ptr<GraphContext> context =
+      MakeGraphContext(name, std::move(features), std::move(op));
+  std::unique_lock<std::shared_mutex> lock(mu_);
+  auto [it, inserted] = graphs_.emplace(name, nullptr);
+  if (!inserted) {
+    return Status::InvalidArgument("graph '" + name +
+                                   "' is already registered (use ReplaceGraph)");
+  }
+  context->version = next_version_++;
+  it->second = std::move(context);
+  return Status::OK();
+}
+
+Status InferenceEngine::ReplaceGraph(const std::string& name, Tensor features,
+                                     SparseOperatorPtr op) {
+  MIXQ_RETURN_NOT_OK(ValidateGraph(name, features, op));
+  std::shared_ptr<GraphContext> context =
+      MakeGraphContext(name, std::move(features), std::move(op));
+  std::unique_lock<std::shared_mutex> lock(mu_);
+  // invalidates cached results against the old graph
+  context->version = next_version_++;
+  graphs_[name] = std::move(context);
+  return Status::OK();
+}
+
+Status InferenceEngine::UnregisterGraph(const std::string& name) {
+  std::unique_lock<std::shared_mutex> lock(mu_);
+  if (graphs_.erase(name) == 0) {
+    return Status::NotFound("graph '" + name + "' is not registered");
+  }
+  return Status::OK();
+}
+
+Result<GraphContextPtr> InferenceEngine::GetGraph(const std::string& name) const {
+  return LookupGraph(name);
+}
+
+std::vector<std::string> InferenceEngine::GraphNames() const {
+  std::shared_lock<std::shared_mutex> lock(mu_);
+  std::vector<std::string> names;
+  names.reserve(graphs_.size());
+  for (const auto& [name, context] : graphs_) names.push_back(name);
+  return names;
+}
+
+Result<ModelHandle> InferenceEngine::LookupModel(const std::string& name) const {
+  std::shared_lock<std::shared_mutex> lock(mu_);
+  auto it = models_.find(name);
+  if (it == models_.end()) {
+    return Status::NotFound("model '" + name + "' is not registered");
+  }
+  return ModelHandle{it->second.model, it->second.version, it->second.counters};
+}
+
+Result<GraphContextPtr> InferenceEngine::LookupGraph(const std::string& name) const {
+  std::shared_lock<std::shared_mutex> lock(mu_);
+  auto it = graphs_.find(name);
+  if (it == graphs_.end()) {
+    return Status::NotFound("graph '" + name + "' is not registered");
+  }
+  return it->second;
+}
+
+// ---- Serving ---------------------------------------------------------------
+
+std::future<Result<PredictResponse>> InferenceEngine::Submit(
+    PredictRequest request) {
+  requests_.fetch_add(1, std::memory_order_relaxed);
+  return batcher_->Submit(std::move(request));
+}
+
 Result<Tensor> InferenceEngine::Predict(const std::string& name,
                                         const Tensor& features,
                                         const SparseOperatorPtr& op) const {
   requests_.fetch_add(1, std::memory_order_relaxed);
-  CompiledModelPtr model;
-  std::shared_ptr<std::atomic<int64_t>> successes;
-  {
-    std::shared_lock<std::shared_mutex> lock(mu_);
-    auto it = models_.find(name);
-    if (it != models_.end()) {
-      model = it->second.model;
-      successes = it->second.successes;
-    }
-  }
-  if (model == nullptr) {
+  Result<ModelHandle> handle = LookupModel(name);
+  if (!handle.ok()) {
     failures_.fetch_add(1, std::memory_order_relaxed);
-    return Status::NotFound("model '" + name + "' is not registered");
+    return handle.status();
   }
-  // Hot path: no lock. One scratch per serving thread, reused across
-  // requests and models (buffers only ever grow).
+  // Same forward the batcher runs, minus the queue: an ephemeral (uncached,
+  // unversioned) graph context at exact fp32. One scratch per serving
+  // thread, reused across requests and models (buffers only ever grow).
+  GraphContext context;
+  context.features = features;
+  context.op = op;
   static thread_local PredictScratch scratch;
-  Result<Tensor> logits = model->Predict(features, op, &scratch);
+  const ServingClock::time_point start = ServingClock::now();
+  Result<Tensor> logits = ForwardFullGraph(*handle.ValueOrDie().model, context,
+                                           Precision::kFp32, &scratch);
+  const ModelCountersPtr& counters = handle.ValueOrDie().counters;
   if (logits.ok()) {
-    successes->fetch_add(1, std::memory_order_relaxed);
+    counters->successes.fetch_add(1, std::memory_order_relaxed);
+    counters->latency.Record(std::chrono::duration<double, std::micro>(
+                                 ServingClock::now() - start)
+                                 .count());
   } else {
+    counters->failures.fetch_add(1, std::memory_order_relaxed);
     failures_.fetch_add(1, std::memory_order_relaxed);
   }
   return logits;
@@ -93,9 +235,14 @@ InferenceEngine::Stats InferenceEngine::GetStats() const {
   Stats stats;
   stats.requests = requests_.load(std::memory_order_relaxed);
   stats.failures = failures_.load(std::memory_order_relaxed);
+  stats.batcher = batcher_->GetStats();
   std::shared_lock<std::shared_mutex> lock(mu_);
   for (const auto& [name, entry] : models_) {
-    stats.per_model[name] = entry.successes->load(std::memory_order_relaxed);
+    ModelStats& m = stats.per_model[name];
+    m.successes = entry.counters->successes.load(std::memory_order_relaxed);
+    m.failures = entry.counters->failures.load(std::memory_order_relaxed);
+    m.p50_us = entry.counters->latency.p50();
+    m.p99_us = entry.counters->latency.p99();
   }
   return stats;
 }

@@ -2,18 +2,33 @@
 // InferenceEngine — the serving surface of the third API layer
 // (SchemeRegistry → Experiment → engine).
 //
-// An engine holds a named registry of CompiledModels and answers
-// Predict(model, batch) over it: the deployment-shaped counterpart to the
-// Experiment facade. Registration and lookup take a readers-writer lock over
-// the model map; the prediction hot path itself holds **no lock** for
-// lowered models (each serving thread reuses a thread-local scratch, and
-// monitoring counters are atomics bumped after the forward), so concurrent
-// requests scale across cores. Per-model request/failure counters come back
-// through GetStats() for monitoring.
+// The engine pins two named registries: CompiledModels (RegisterModel /
+// ReplaceModel for zero-downtime rollouts) and immutable GraphContexts
+// (RegisterGraph / ReplaceGraph for feature updates). Requests then carry
+// only names plus node ids — no tensors cross the API per call.
+//
+// The primary entry point is asynchronous: Submit(PredictRequest) returns a
+// std::future<Result<PredictResponse>>. Requests pass a bounded admission
+// queue (kResourceExhausted on overflow, kDeadlineExceeded past their
+// deadline) into a dynamic micro-batcher (engine/batcher.h) that coalesces
+// all queued requests for the same (model, graph, precision) into ONE
+// lowered forward on the persistent thread pool and hands each caller just
+// its logit rows — N concurrent single-node requests cost one forward, not
+// N. Full batch logits are cached per (model, graph) version; ReplaceModel /
+// ReplaceGraph invalidate by bumping the version, so repeat queries on a
+// static graph are a row gather.
+//
+// The original synchronous Predict(name, features, op) survives as a thin
+// wrapper over the same forward path (always exact fp32, bitwise identical
+// to CompiledModel::Predict). Registration and lookup take a readers-writer
+// lock; forwards themselves hold no lock for lowered models. GetStats()
+// reports engine-wide and per-model success/failure counters plus p50/p99
+// serving latency from a lock-free histogram.
 #pragma once
 
 #include <atomic>
 #include <cstdint>
+#include <future>
 #include <map>
 #include <memory>
 #include <shared_mutex>
@@ -21,6 +36,7 @@
 #include <vector>
 
 #include "common/status.h"
+#include "engine/batcher.h"
 #include "engine/compiled_model.h"
 
 namespace mixq {
@@ -28,15 +44,29 @@ namespace engine {
 
 class InferenceEngine {
  public:
+  /// `options` sizes the admission queue and toggles the result cache.
+  /// The batcher's dispatcher thread starts immediately.
+  explicit InferenceEngine(BatcherOptions options = BatcherOptions());
+
+  /// Closes admission; every already-admitted request is still served (or
+  /// expired) before the destructor returns.
+  ~InferenceEngine();
+
+  InferenceEngine(const InferenceEngine&) = delete;
+  InferenceEngine& operator=(const InferenceEngine&) = delete;
+
+  // ---- Model registry ------------------------------------------------------
+
   /// Adds a model under `name`. kInvalidArgument on empty name, null model,
   /// or duplicate registration (use ReplaceModel for hot-swaps).
   Status RegisterModel(const std::string& name, CompiledModelPtr model);
 
   /// Registers or atomically replaces `name` (zero-downtime model rollout).
-  /// A replaced model keeps its success counter.
+  /// A replaced model keeps its counters; cached results for it are
+  /// invalidated (the registry version bumps).
   Status ReplaceModel(const std::string& name, CompiledModelPtr model);
 
-  /// Removes a model; kNotFound when absent. In-flight Predicts on the
+  /// Removes a model; kNotFound when absent. In-flight requests on the
   /// removed model finish safely (shared ownership).
   Status UnregisterModel(const std::string& name);
 
@@ -46,38 +76,99 @@ class InferenceEngine {
   /// Registered model names, sorted.
   std::vector<std::string> ModelNames() const;
 
-  /// Runs `name`'s model over one batch (a graph's features + its matching
-  /// normalized operator); see CompiledModel::Predict for the contract.
+  // ---- Graph registry ------------------------------------------------------
+
+  /// Pins `features` + `op` as the named immutable graph so requests can
+  /// reference it by name. kInvalidArgument on empty name, undefined
+  /// features, null/mismatched operator, or duplicate name (use
+  /// ReplaceGraph for updates).
+  Status RegisterGraph(const std::string& name, Tensor features,
+                       SparseOperatorPtr op);
+
+  /// Registers or atomically replaces the named graph (feature update /
+  /// topology change). Bumps the graph version: cached results against the
+  /// old graph can no longer be served.
+  Status ReplaceGraph(const std::string& name, Tensor features,
+                      SparseOperatorPtr op);
+
+  /// Removes a graph; kNotFound when absent. In-flight requests finish
+  /// safely (shared ownership).
+  Status UnregisterGraph(const std::string& name);
+
+  /// kNotFound when absent.
+  Result<GraphContextPtr> GetGraph(const std::string& name) const;
+
+  /// Registered graph names, sorted.
+  std::vector<std::string> GraphNames() const;
+
+  // ---- Serving -------------------------------------------------------------
+
+  /// Admits one request into the micro-batcher. Always returns a valid
+  /// future; it resolves to kResourceExhausted when the admission queue is
+  /// full, kDeadlineExceeded when the deadline passes first, kNotFound for
+  /// unknown names, and otherwise to the requested logit rows plus timing
+  /// metadata. Thread-safe; never blocks on the forward itself.
+  std::future<Result<PredictResponse>> Submit(PredictRequest request);
+
+  /// Synchronous single-graph forward with caller-supplied tensors — the
+  /// pre-registry API, kept as a thin wrapper over the same execution path
+  /// the batcher uses (exact fp32 mode; logits bitwise identical to
+  /// CompiledModel::Predict). Counts into the same stats.
   Result<Tensor> Predict(const std::string& name, const Tensor& features,
                          const SparseOperatorPtr& op) const;
 
+  // ---- Monitoring ----------------------------------------------------------
+
+  struct ModelStats {
+    int64_t successes = 0;  ///< requests answered with logits
+    int64_t failures = 0;   ///< requests failed after model resolution
+    double p50_us = 0.0;    ///< median serving latency (admission→fulfil)
+    double p99_us = 0.0;    ///< tail serving latency
+  };
+
   /// Monitoring counters. Lock-free by design: a snapshot taken while
-  /// requests are in flight may momentarily show requests > failures +
-  /// sum(per_model) (a request is counted on entry, its outcome when it
-  /// finishes). `per_model` covers currently registered models — counters
-  /// survive ReplaceModel but start at zero after UnregisterModel +
-  /// RegisterModel under the same name.
+  /// requests are in flight may momentarily be inconsistent (a request is
+  /// counted on entry, its outcome when it finishes). Per-model entries
+  /// cover currently registered models — counters survive ReplaceModel but
+  /// start at zero after UnregisterModel + RegisterModel under the same
+  /// name. `failures` also counts requests that never resolved a model
+  /// (unknown name, queue overflow, pre-dispatch expiry).
   struct Stats {
-    int64_t requests = 0;  ///< total Predict calls
-    int64_t failures = 0;  ///< Predict calls that returned an error
-    std::map<std::string, int64_t> per_model;  ///< successful calls per model
+    int64_t requests = 0;  ///< Submit + Predict calls
+    int64_t failures = 0;  ///< requests that returned an error
+    Batcher::Stats batcher;  ///< admission/coalescing/cache counters
+    std::map<std::string, ModelStats> per_model;
   };
   Stats GetStats() const;
 
  private:
-  struct Entry {
+  struct ModelEntry {
     CompiledModelPtr model;
-    /// Success counter, shared so in-flight requests on a just-unregistered
-    /// model still have somewhere to count. Atomic: no stats lock on the
-    /// prediction hot path.
-    std::shared_ptr<std::atomic<int64_t>> successes;
+    /// From next_version_; part of the batcher's result-cache key.
+    uint64_t version = 0;
+    /// Shared so in-flight requests on a just-unregistered model still have
+    /// somewhere to count.
+    ModelCountersPtr counters;
   };
 
+  Result<ModelHandle> LookupModel(const std::string& name) const;
+  Result<GraphContextPtr> LookupGraph(const std::string& name) const;
+
   mutable std::shared_mutex mu_;
-  std::map<std::string, Entry> models_;
+  std::map<std::string, ModelEntry> models_;
+  std::map<std::string, GraphContextPtr> graphs_;
+  /// Engine-global monotonic version source for models AND graphs (guarded
+  /// by mu_). Registrations never reuse a version — so a cache entry from a
+  /// name that was unregistered and re-registered can never validate.
+  uint64_t next_version_ = 1;
 
   mutable std::atomic<int64_t> requests_{0};
   mutable std::atomic<int64_t> failures_{0};
+
+  /// Declared last: destroyed first, so the dispatcher thread (whose
+  /// Backend callbacks reach into the maps above) is joined while they are
+  /// still alive.
+  std::unique_ptr<Batcher> batcher_;
 };
 
 }  // namespace engine

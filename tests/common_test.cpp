@@ -1,13 +1,17 @@
 // Copyright 2026 MixQ-GNN Authors
-// Unit tests for src/common: Status/Result, RNG, statistics, parallelism.
+// Unit tests for src/common: Status/Result, RNG, statistics, parallelism,
+// the bounded MPMC admission queue, and the lock-free latency histogram.
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <chrono>
 #include <set>
 #include <stdexcept>
 #include <thread>
 #include <vector>
 
+#include "common/bounded_queue.h"
+#include "common/latency_histogram.h"
 #include "common/parallel.h"
 #include "common/rng.h"
 #include "common/stats.h"
@@ -38,6 +42,12 @@ TEST(StatusTest, AllCodesHaveNames) {
   EXPECT_STREQ(StatusCodeName(StatusCode::kNotImplemented), "NotImplemented");
   EXPECT_STREQ(StatusCodeName(StatusCode::kInternal), "Internal");
   EXPECT_STREQ(StatusCodeName(StatusCode::kNotFound), "NotFound");
+  EXPECT_STREQ(StatusCodeName(StatusCode::kResourceExhausted), "ResourceExhausted");
+  EXPECT_STREQ(StatusCodeName(StatusCode::kDeadlineExceeded), "DeadlineExceeded");
+  EXPECT_EQ(Status::ResourceExhausted("full").code(),
+            StatusCode::kResourceExhausted);
+  EXPECT_EQ(Status::DeadlineExceeded("late").code(),
+            StatusCode::kDeadlineExceeded);
 }
 
 TEST(ResultTest, HoldsValue) {
@@ -275,6 +285,109 @@ TEST(ParallelTest, ConcurrentAndNestedLoops) {
   }
   for (auto& c : callers) c.join();
   for (int t = 0; t < kCallers; ++t) EXPECT_EQ(sums[static_cast<size_t>(t)], 2000);
+}
+
+TEST(BoundedQueueTest, PushDrainOrderAndOverflow) {
+  BoundedQueue<int> queue(3);
+  EXPECT_EQ(queue.capacity(), 3u);
+  for (int i = 0; i < 3; ++i) EXPECT_TRUE(queue.TryPush(int(i)));
+  // Full: the rejected item is NOT consumed (movable-state contract).
+  int spare = 99;
+  EXPECT_FALSE(queue.TryPush(std::move(spare)));
+  EXPECT_EQ(spare, 99);
+  EXPECT_EQ(queue.size(), 3u);
+
+  std::vector<int> drained = queue.WaitDrain();
+  EXPECT_EQ(drained, (std::vector<int>{0, 1, 2}));  // FIFO
+  EXPECT_EQ(queue.size(), 0u);
+  EXPECT_TRUE(queue.TryPush(7));  // capacity freed by the drain
+}
+
+TEST(BoundedQueueTest, CloseWakesConsumerAndRejectsProducers) {
+  BoundedQueue<int> queue(8);
+  EXPECT_TRUE(queue.TryPush(1));
+  std::vector<int> first;
+  std::vector<int> second;
+  std::thread consumer([&] {
+    first = queue.WaitDrain();    // gets the queued item
+    second = queue.WaitDrain();   // blocks until Close, then empty
+  });
+  // Close while the consumer may be blocked: it must wake with empty.
+  std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  queue.Close();
+  consumer.join();
+  EXPECT_EQ(first, std::vector<int>{1});
+  EXPECT_TRUE(second.empty());
+  EXPECT_TRUE(queue.closed());
+  EXPECT_FALSE(queue.TryPush(2));  // closed queues admit nothing
+}
+
+TEST(BoundedQueueTest, ConcurrentProducersLoseNothing) {
+  constexpr int kProducers = 4;
+  constexpr int kPerProducer = 500;
+  BoundedQueue<int> queue(kProducers * kPerProducer);
+  std::vector<std::thread> producers;
+  for (int p = 0; p < kProducers; ++p) {
+    producers.emplace_back([&, p] {
+      for (int i = 0; i < kPerProducer; ++i) {
+        EXPECT_TRUE(queue.TryPush(p * kPerProducer + i));
+      }
+    });
+  }
+  std::vector<int> all;
+  while (all.size() < kProducers * kPerProducer) {
+    std::vector<int> got = queue.WaitDrain();
+    all.insert(all.end(), got.begin(), got.end());
+  }
+  for (auto& p : producers) p.join();
+  std::set<int> unique(all.begin(), all.end());
+  EXPECT_EQ(unique.size(), static_cast<size_t>(kProducers * kPerProducer));
+}
+
+TEST(LatencyHistogramTest, EmptyAndSingleObservation) {
+  LatencyHistogram hist;
+  EXPECT_EQ(hist.count(), 0);
+  EXPECT_EQ(hist.Percentile(50.0), 0.0);
+  hist.Record(100.0);
+  EXPECT_EQ(hist.count(), 1);
+  // One sample: every percentile lands in its (geometric) bucket.
+  EXPECT_GT(hist.p50(), 50.0);
+  EXPECT_LT(hist.p50(), 200.0);
+  EXPECT_EQ(hist.p50(), hist.p99());
+}
+
+TEST(LatencyHistogramTest, PercentilesTrackDistribution) {
+  LatencyHistogram hist;
+  for (int i = 1; i <= 1000; ++i) hist.Record(static_cast<double>(i));
+  EXPECT_EQ(hist.count(), 1000);
+  // Geometric buckets (growth 1.333) are good to ~±35% — monitoring
+  // accuracy, which is what the serving stats need.
+  EXPECT_GT(hist.p50(), 500.0 * 0.65);
+  EXPECT_LT(hist.p50(), 500.0 * 1.45);
+  EXPECT_GT(hist.p99(), 990.0 * 0.65);
+  EXPECT_LT(hist.p99(), 990.0 * 1.45);
+  EXPECT_LE(hist.p50(), hist.p99());
+  EXPECT_LE(hist.Percentile(0.0), hist.Percentile(100.0));
+}
+
+TEST(LatencyHistogramTest, ClampsOutliersAndConcurrentRecords) {
+  LatencyHistogram hist;
+  hist.Record(-5.0);   // below span: first bucket, not UB
+  hist.Record(1e12);   // above span: last bucket
+  EXPECT_EQ(hist.count(), 2);
+
+  LatencyHistogram shared;
+  constexpr int kThreads = 4;
+  constexpr int kRecords = 2000;
+  std::vector<std::thread> writers;
+  for (int t = 0; t < kThreads; ++t) {
+    writers.emplace_back([&] {
+      for (int i = 1; i <= kRecords; ++i) shared.Record(static_cast<double>(i));
+    });
+  }
+  for (auto& w : writers) w.join();
+  EXPECT_EQ(shared.count(), kThreads * kRecords);
+  EXPECT_GT(shared.p99(), shared.p50());
 }
 
 TEST(TablePrinterTest, RendersAlignedTable) {

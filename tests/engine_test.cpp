@@ -163,7 +163,11 @@ TEST(InferenceEngineTest, PredictRoutesAndCounts) {
   InferenceEngine::Stats stats = engine.GetStats();
   EXPECT_EQ(stats.requests, 2);
   EXPECT_EQ(stats.failures, 1);
-  EXPECT_EQ(stats.per_model.at("mixq"), 1);
+  EXPECT_EQ(stats.per_model.at("mixq").successes, 1);
+  EXPECT_EQ(stats.per_model.at("mixq").failures, 0);
+  // The served request recorded a latency sample.
+  EXPECT_GT(stats.per_model.at("mixq").p50_us, 0.0);
+  EXPECT_GE(stats.per_model.at("mixq").p99_us, stats.per_model.at("mixq").p50_us);
 }
 
 TEST(InferenceEngineTest, ConcurrentPredictsAreConsistent) {
@@ -194,7 +198,7 @@ TEST(InferenceEngineTest, ConcurrentPredictsAreConsistent) {
   InferenceEngine::Stats stats = engine.GetStats();
   EXPECT_EQ(stats.requests, kThreads * kRequests);
   EXPECT_EQ(stats.failures, 0);
-  EXPECT_EQ(stats.per_model.at("m"), kThreads * kRequests);
+  EXPECT_EQ(stats.per_model.at("m").successes, kThreads * kRequests);
 }
 
 }  // namespace

@@ -1,10 +1,16 @@
 // Copyright 2026 MixQ-GNN Authors
-// Tests for the lowered serving path: lowered-vs-reference logit parity
-// across every built-in registry scheme, the all-integer executor, cross-
-// graph requests, and concurrent lock-free serving through InferenceEngine.
+// Tests for the serving path: lowered-vs-reference logit parity across every
+// built-in registry scheme, the all-integer executor, cross-graph requests,
+// and the asynchronous request/response API — graph registry, Submit with
+// micro-batching, deadlines, admission control, and result-cache
+// invalidation on ReplaceModel/ReplaceGraph.
 #include <gtest/gtest.h>
 
+#include <chrono>
 #include <cmath>
+#include <functional>
+#include <future>
+#include <mutex>
 #include <thread>
 #include <vector>
 
@@ -14,10 +20,15 @@
 namespace mixq {
 namespace {
 
+using engine::BatcherOptions;
 using engine::CompileModel;
 using engine::CompiledModelPtr;
 using engine::InferenceEngine;
+using engine::Precision;
+using engine::PredictRequest;
+using engine::PredictResponse;
 using engine::PredictScratch;
+using engine::ServingClock;
 
 NodeDataset TinyCitation(uint64_t seed = 1) {
   CitationConfig c;
@@ -301,7 +312,429 @@ TEST(ServingConcurrencyTest, EightThreadsDeterministic) {
   InferenceEngine::Stats stats = engine.GetStats();
   EXPECT_EQ(stats.requests, kThreads * kRequests);
   EXPECT_EQ(stats.failures, 0);
-  EXPECT_EQ(stats.per_model.at("m"), kThreads * kRequests);
+  EXPECT_EQ(stats.per_model.at("m").successes, kThreads * kRequests);
+  EXPECT_GT(stats.per_model.at("m").p99_us, 0.0);
+}
+
+// ---------------------------------------------------------------------------
+// Asynchronous request/response API: graph registry, Submit, micro-batching.
+// ---------------------------------------------------------------------------
+
+/// Polls `cond` for up to `timeout_ms`; returns its final value.
+bool WaitFor(const std::function<bool()>& cond, int timeout_ms = 10000) {
+  for (int i = 0; i < timeout_ms; ++i) {
+    if (cond()) return true;
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  return cond();
+}
+
+PredictRequest MakeRequest(std::string model, std::string graph,
+                           std::vector<int64_t> node_ids = {},
+                           Precision precision = Precision::kFp32) {
+  PredictRequest request;
+  request.model = std::move(model);
+  request.graph = std::move(graph);
+  request.node_ids = std::move(node_ids);
+  request.precision = precision;
+  return request;
+}
+
+TEST(GraphRegistryTest, Lifecycle) {
+  auto artifact = TrainArtifact(SchemeRef::Qat(8));
+  InferenceEngine engine;
+  EXPECT_TRUE(engine.RegisterGraph("g", artifact->features, artifact->op).ok());
+  EXPECT_EQ(engine.RegisterGraph("g", artifact->features, artifact->op).code(),
+            StatusCode::kInvalidArgument);  // duplicate
+  EXPECT_EQ(engine.RegisterGraph("", artifact->features, artifact->op).code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(engine.RegisterGraph("null-op", artifact->features, nullptr).code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(engine.RegisterGraph("undef", Tensor(), artifact->op).code(),
+            StatusCode::kInvalidArgument);
+  // Operator/feature shape mismatch.
+  Rng rng(1);
+  Tensor wrong_rows = Tensor::RandomUniform(Shape(7, 20), &rng, -1.0f, 1.0f);
+  EXPECT_EQ(engine.RegisterGraph("mismatch", wrong_rows, artifact->op).code(),
+            StatusCode::kInvalidArgument);
+
+  EXPECT_EQ(engine.GraphNames(), std::vector<std::string>{"g"});
+  ASSERT_TRUE(engine.GetGraph("g").ok());
+  const uint64_t v1 = engine.GetGraph("g").ValueOrDie()->version;
+  EXPECT_GT(v1, 0u);
+  EXPECT_EQ(engine.GetGraph("absent").status().code(), StatusCode::kNotFound);
+
+  // ReplaceGraph bumps the version (the cache invalidation handle).
+  EXPECT_TRUE(engine.ReplaceGraph("g", artifact->features, artifact->op).ok());
+  EXPECT_GT(engine.GetGraph("g").ValueOrDie()->version, v1);
+
+  EXPECT_TRUE(engine.UnregisterGraph("g").ok());
+  EXPECT_EQ(engine.UnregisterGraph("g").code(), StatusCode::kNotFound);
+}
+
+TEST(SubmitTest, SingleRequestMatchesPredictBitwise) {
+  auto artifact = TrainArtifact(SchemeRef::Qat(8));
+  CompiledModelPtr model = CompileModel(*artifact).ValueOrDie();
+  InferenceEngine engine;
+  ASSERT_TRUE(engine.RegisterModel("m", model).ok());
+  ASSERT_TRUE(engine.RegisterGraph("g", artifact->features, artifact->op).ok());
+
+  Tensor reference = model->Predict(artifact->features, artifact->op).ValueOrDie();
+
+  // All rows (empty node_ids).
+  Result<PredictResponse> all = engine.Submit(MakeRequest("m", "g")).get();
+  ASSERT_TRUE(all.ok()) << all.status().ToString();
+  EXPECT_EQ(all.ValueOrDie().rows.data(), reference.data());
+  EXPECT_EQ(all.ValueOrDie().precision, Precision::kFp32);
+  EXPECT_GE(all.ValueOrDie().total_us, all.ValueOrDie().forward_us);
+
+  // A row subset, in a caller-chosen order.
+  const std::vector<int64_t> ids = {17, 3, 17, 159};
+  Result<PredictResponse> subset =
+      engine.Submit(MakeRequest("m", "g", ids)).get();
+  ASSERT_TRUE(subset.ok()) << subset.status().ToString();
+  const PredictResponse& r = subset.ValueOrDie();
+  EXPECT_EQ(r.node_ids, ids);
+  ASSERT_EQ(r.rows.rows(), static_cast<int64_t>(ids.size()));
+  ASSERT_EQ(r.rows.cols(), reference.cols());
+  for (size_t i = 0; i < ids.size(); ++i) {
+    for (int64_t c = 0; c < reference.cols(); ++c) {
+      EXPECT_EQ(r.rows.at(static_cast<int64_t>(i), c), reference.at(ids[i], c));
+    }
+  }
+}
+
+TEST(SubmitTest, ErrorsForUnknownNamesAndBadIds) {
+  auto artifact = TrainArtifact(SchemeRef::Qat(8));
+  CompiledModelPtr model = CompileModel(*artifact).ValueOrDie();
+  InferenceEngine engine;
+  ASSERT_TRUE(engine.RegisterModel("m", model).ok());
+  ASSERT_TRUE(engine.RegisterGraph("g", artifact->features, artifact->op).ok());
+
+  EXPECT_EQ(engine.Submit(MakeRequest("absent", "g")).get().status().code(),
+            StatusCode::kNotFound);
+  EXPECT_EQ(engine.Submit(MakeRequest("m", "absent")).get().status().code(),
+            StatusCode::kNotFound);
+  EXPECT_EQ(
+      engine.Submit(MakeRequest("m", "g", {artifact->features.rows()}))
+          .get()
+          .status()
+          .code(),
+      StatusCode::kInvalidArgument);
+  EXPECT_EQ(engine.Submit(MakeRequest("m", "g", {-1})).get().status().code(),
+            StatusCode::kInvalidArgument);
+
+  InferenceEngine::Stats stats = engine.GetStats();
+  EXPECT_EQ(stats.requests, 4);
+  EXPECT_EQ(stats.failures, 4);
+  // Failures after model resolution are attributed to the model.
+  EXPECT_EQ(stats.per_model.at("m").failures, 3);
+  EXPECT_EQ(stats.per_model.at("m").successes, 0);
+}
+
+TEST(SubmitTest, PrecisionResolution) {
+  auto artifact = TrainArtifact(SchemeRef::Qat(8));
+  CompiledModelPtr int8_model = CompileModel(*artifact).ValueOrDie();
+  ASSERT_TRUE(int8_model->info().lowered_int8);
+  auto fp32_artifact = TrainArtifact(SchemeRef::Fp32());
+  CompiledModelPtr fp32_model = CompileModel(*fp32_artifact).ValueOrDie();
+  ASSERT_FALSE(fp32_model->info().lowered_int8);
+
+  InferenceEngine engine;
+  ASSERT_TRUE(engine.RegisterModel("int8", int8_model).ok());
+  ASSERT_TRUE(engine.RegisterModel("fp32", fp32_model).ok());
+  ASSERT_TRUE(engine.RegisterGraph("g", artifact->features, artifact->op).ok());
+
+  // Explicit int8 serves through PredictQuantized (documented tolerance).
+  Result<PredictResponse> int8_response =
+      engine.Submit(MakeRequest("int8", "g", {}, Precision::kInt8)).get();
+  ASSERT_TRUE(int8_response.ok()) << int8_response.status().ToString();
+  EXPECT_EQ(int8_response.ValueOrDie().precision, Precision::kInt8);
+  Tensor quantized =
+      int8_model->PredictQuantized(artifact->features, artifact->op).ValueOrDie();
+  EXPECT_EQ(int8_response.ValueOrDie().rows.data(), quantized.data());
+
+  // Auto resolves to the cheapest available mode: int8 here.
+  Result<PredictResponse> auto_response =
+      engine.Submit(MakeRequest("int8", "g", {}, Precision::kAuto)).get();
+  ASSERT_TRUE(auto_response.ok());
+  EXPECT_EQ(auto_response.ValueOrDie().precision, Precision::kInt8);
+
+  // A model without the integer lowering: int8 is an error, auto falls back.
+  EXPECT_EQ(engine.Submit(MakeRequest("fp32", "g", {}, Precision::kInt8))
+                .get()
+                .status()
+                .code(),
+            StatusCode::kNotImplemented);
+  Result<PredictResponse> fallback =
+      engine.Submit(MakeRequest("fp32", "g", {}, Precision::kAuto)).get();
+  ASSERT_TRUE(fallback.ok());
+  EXPECT_EQ(fallback.ValueOrDie().precision, Precision::kFp32);
+}
+
+// N concurrent single-node clients are coalesced into ONE forward whose
+// gathered rows are bitwise-equal to individual CompiledModel::Predict
+// calls — the tentpole acceptance contract.
+TEST(SubmitTest, CoalescedBatchMatchesIndividualPredictsBitwise) {
+  auto slow_artifact = TrainArtifact(SchemeRef::A2q());  // not lowered: serializes
+  CompiledModelPtr slow_model = CompileModel(*slow_artifact).ValueOrDie();
+  ASSERT_FALSE(slow_model->info().lowered);
+  auto artifact = TrainArtifact(SchemeRef::Qat(8));
+  CompiledModelPtr model = CompileModel(*artifact).ValueOrDie();
+
+  BatcherOptions options;
+  options.enable_cache = false;  // force a real coalesced forward
+  InferenceEngine engine(options);
+  ASSERT_TRUE(engine.RegisterModel("slow", slow_model).ok());
+  ASSERT_TRUE(engine.RegisterModel("m", model).ok());
+  ASSERT_TRUE(
+      engine.RegisterGraph("stall", slow_artifact->features, slow_artifact->op).ok());
+  ASSERT_TRUE(engine.RegisterGraph("g", artifact->features, artifact->op).ok());
+
+  Tensor reference = model->Predict(artifact->features, artifact->op).ValueOrDie();
+  const int64_t n = artifact->features.rows();
+
+  // Stall the dispatcher inside the slow model's forward, queue K
+  // single-node requests behind it, then release: they all land in one
+  // drain cycle and one group.
+  std::unique_lock<std::mutex> stall(*slow_artifact->forward_mu);
+  std::future<Result<PredictResponse>> blocked =
+      engine.Submit(MakeRequest("slow", "stall"));
+  ASSERT_TRUE(WaitFor([&] {
+    InferenceEngine::Stats s = engine.GetStats();
+    return s.batcher.in_dispatch >= 1 && s.batcher.queue_depth == 0;
+  }));
+
+  constexpr int kClients = 8;
+  std::vector<std::future<Result<PredictResponse>>> futures;
+  for (int i = 0; i < kClients; ++i) {
+    futures.push_back(engine.Submit(MakeRequest("m", "g", {(i * 13) % n})));
+  }
+  stall.unlock();
+
+  ASSERT_TRUE(blocked.get().ok());
+  for (int i = 0; i < kClients; ++i) {
+    Result<PredictResponse> response = futures[static_cast<size_t>(i)].get();
+    ASSERT_TRUE(response.ok()) << response.status().ToString();
+    const PredictResponse& r = response.ValueOrDie();
+    EXPECT_EQ(r.batch_size, kClients);  // all eight in one group
+    EXPECT_FALSE(r.cache_hit);
+    const int64_t id = (i * 13) % n;
+    for (int64_t c = 0; c < reference.cols(); ++c) {
+      EXPECT_EQ(r.rows.at(0, c), reference.at(id, c)) << "client " << i;
+    }
+  }
+  // The eight clients cost exactly one lowered forward, not eight: total
+  // forwards on this engine = the stalled one + one coalesced batch.
+  InferenceEngine::Stats stats = engine.GetStats();
+  EXPECT_EQ(stats.batcher.forwards, 2);
+  EXPECT_EQ(stats.per_model.at("m").successes, kClients);
+}
+
+TEST(SubmitTest, DeadlineExpiryUnderStalledDispatcher) {
+  auto slow_artifact = TrainArtifact(SchemeRef::A2q());
+  CompiledModelPtr slow_model = CompileModel(*slow_artifact).ValueOrDie();
+  auto artifact = TrainArtifact(SchemeRef::Qat(8));
+  CompiledModelPtr model = CompileModel(*artifact).ValueOrDie();
+
+  InferenceEngine engine;
+  ASSERT_TRUE(engine.RegisterModel("slow", slow_model).ok());
+  ASSERT_TRUE(engine.RegisterModel("m", model).ok());
+  ASSERT_TRUE(
+      engine.RegisterGraph("stall", slow_artifact->features, slow_artifact->op).ok());
+  ASSERT_TRUE(engine.RegisterGraph("g", artifact->features, artifact->op).ok());
+
+  // A deadline already in the past is rejected at admission.
+  PredictRequest late = MakeRequest("m", "g");
+  late.deadline = ServingClock::now() - std::chrono::milliseconds(1);
+  EXPECT_EQ(engine.Submit(std::move(late)).get().status().code(),
+            StatusCode::kDeadlineExceeded);
+
+  // Stall the dispatcher, queue requests whose deadline passes while they
+  // wait, release: they must be expired, not served late.
+  std::unique_lock<std::mutex> stall(*slow_artifact->forward_mu);
+  std::future<Result<PredictResponse>> blocked =
+      engine.Submit(MakeRequest("slow", "stall"));
+  ASSERT_TRUE(WaitFor([&] {
+    InferenceEngine::Stats s = engine.GetStats();
+    return s.batcher.in_dispatch >= 1 && s.batcher.queue_depth == 0;
+  }));
+
+  constexpr int kExpiring = 3;
+  std::vector<std::future<Result<PredictResponse>>> doomed;
+  for (int i = 0; i < kExpiring; ++i) {
+    PredictRequest request = MakeRequest("m", "g", {0});
+    request.deadline = ServingClock::now() + std::chrono::milliseconds(5);
+    doomed.push_back(engine.Submit(std::move(request)));
+  }
+  std::future<Result<PredictResponse>> patient =
+      engine.Submit(MakeRequest("m", "g", {0}));  // no deadline
+  std::this_thread::sleep_for(std::chrono::milliseconds(30));
+  stall.unlock();
+
+  ASSERT_TRUE(blocked.get().ok());
+  for (auto& future : doomed) {
+    EXPECT_EQ(future.get().status().code(), StatusCode::kDeadlineExceeded);
+  }
+  EXPECT_TRUE(patient.get().ok());
+  InferenceEngine::Stats stats = engine.GetStats();
+  EXPECT_EQ(stats.batcher.expired, kExpiring + 1);  // + the admission-time one
+  EXPECT_GE(stats.per_model.at("m").failures, kExpiring);
+}
+
+TEST(SubmitTest, QueueOverflowRejectsWithResourceExhausted) {
+  auto slow_artifact = TrainArtifact(SchemeRef::A2q());
+  CompiledModelPtr slow_model = CompileModel(*slow_artifact).ValueOrDie();
+  auto artifact = TrainArtifact(SchemeRef::Qat(8));
+  CompiledModelPtr model = CompileModel(*artifact).ValueOrDie();
+
+  BatcherOptions options;
+  options.queue_capacity = 2;
+  InferenceEngine engine(options);
+  ASSERT_TRUE(engine.RegisterModel("slow", slow_model).ok());
+  ASSERT_TRUE(engine.RegisterModel("m", model).ok());
+  ASSERT_TRUE(
+      engine.RegisterGraph("stall", slow_artifact->features, slow_artifact->op).ok());
+  ASSERT_TRUE(engine.RegisterGraph("g", artifact->features, artifact->op).ok());
+
+  std::unique_lock<std::mutex> stall(*slow_artifact->forward_mu);
+  std::future<Result<PredictResponse>> blocked =
+      engine.Submit(MakeRequest("slow", "stall"));
+  ASSERT_TRUE(WaitFor([&] {
+    InferenceEngine::Stats s = engine.GetStats();
+    return s.batcher.in_dispatch >= 1 && s.batcher.queue_depth == 0;
+  }));
+
+  // Capacity 2: two queue, the third is rejected immediately (the returned
+  // future is already resolved, the client never blocks).
+  std::future<Result<PredictResponse>> queued1 = engine.Submit(MakeRequest("m", "g", {0}));
+  std::future<Result<PredictResponse>> queued2 = engine.Submit(MakeRequest("m", "g", {1}));
+  std::future<Result<PredictResponse>> rejected = engine.Submit(MakeRequest("m", "g", {2}));
+  EXPECT_EQ(rejected.wait_for(std::chrono::seconds(0)), std::future_status::ready);
+  EXPECT_EQ(rejected.get().status().code(), StatusCode::kResourceExhausted);
+
+  stall.unlock();
+  ASSERT_TRUE(blocked.get().ok());
+  EXPECT_TRUE(queued1.get().ok());
+  EXPECT_TRUE(queued2.get().ok());
+  InferenceEngine::Stats stats = engine.GetStats();
+  EXPECT_EQ(stats.batcher.rejected, 1);
+  EXPECT_EQ(stats.failures, 1);
+}
+
+TEST(SubmitTest, CacheInvalidationOnReplaceGraphAndReplaceModel) {
+  auto artifact = TrainArtifact(SchemeRef::Qat(8));
+  auto other = TrainArtifact(SchemeRef::Fp32(), NodeModelKind::kGcn, /*seed=*/7);
+  CompiledModelPtr model = CompileModel(*artifact).ValueOrDie();
+  CompiledModelPtr other_model = CompileModel(*other).ValueOrDie();
+
+  InferenceEngine engine;  // cache enabled by default
+  ASSERT_TRUE(engine.RegisterModel("m", model).ok());
+  ASSERT_TRUE(engine.RegisterGraph("g", artifact->features, artifact->op).ok());
+
+  // First request fills the cache; the repeat is a row gather off it.
+  Result<PredictResponse> first = engine.Submit(MakeRequest("m", "g")).get();
+  ASSERT_TRUE(first.ok());
+  EXPECT_FALSE(first.ValueOrDie().cache_hit);
+  Result<PredictResponse> repeat = engine.Submit(MakeRequest("m", "g")).get();
+  ASSERT_TRUE(repeat.ok());
+  EXPECT_TRUE(repeat.ValueOrDie().cache_hit);
+  EXPECT_EQ(repeat.ValueOrDie().forward_us, 0.0);
+  EXPECT_EQ(repeat.ValueOrDie().rows.data(), first.ValueOrDie().rows.data());
+
+  // ReplaceGraph: the cached logits are for the old features — must miss.
+  ASSERT_TRUE(engine.ReplaceGraph("g", other->features, other->op).ok());
+  Result<PredictResponse> after_graph = engine.Submit(MakeRequest("m", "g")).get();
+  ASSERT_TRUE(after_graph.ok());
+  EXPECT_FALSE(after_graph.ValueOrDie().cache_hit);
+  Tensor expected = model->Predict(other->features, other->op).ValueOrDie();
+  EXPECT_EQ(after_graph.ValueOrDie().rows.data(), expected.data());
+
+  // Warm the cache again, then ReplaceModel: must miss and use the new model.
+  ASSERT_TRUE(engine.Submit(MakeRequest("m", "g")).get().ok());
+  ASSERT_TRUE(engine.ReplaceModel("m", other_model).ok());
+  Result<PredictResponse> after_model = engine.Submit(MakeRequest("m", "g")).get();
+  ASSERT_TRUE(after_model.ok());
+  EXPECT_FALSE(after_model.ValueOrDie().cache_hit);
+  Tensor expected2 = other_model->Predict(other->features, other->op).ValueOrDie();
+  EXPECT_EQ(after_model.ValueOrDie().rows.data(), expected2.data());
+
+  // And the refreshed entries serve hits again.
+  EXPECT_TRUE(engine.Submit(MakeRequest("m", "g")).get().ValueOrDie().cache_hit);
+}
+
+// Regression: registry versions come from an engine-global monotonic
+// counter. If Unregister + Register under the same name restarted versions
+// at 1, the cache would serve the OLD model's logits for the new one.
+TEST(SubmitTest, CacheNotServedAcrossUnregisterAndReregister) {
+  auto artifact = TrainArtifact(SchemeRef::Qat(8));
+  auto other = TrainArtifact(SchemeRef::Fp32(), NodeModelKind::kGcn, /*seed=*/7);
+  CompiledModelPtr model = CompileModel(*artifact).ValueOrDie();
+  CompiledModelPtr other_model = CompileModel(*other).ValueOrDie();
+
+  InferenceEngine engine;
+  ASSERT_TRUE(engine.RegisterModel("m", model).ok());
+  ASSERT_TRUE(engine.RegisterGraph("g", artifact->features, artifact->op).ok());
+  ASSERT_TRUE(engine.Submit(MakeRequest("m", "g")).get().ok());  // fill cache
+
+  ASSERT_TRUE(engine.UnregisterModel("m").ok());
+  ASSERT_TRUE(engine.RegisterModel("m", other_model).ok());
+  Result<PredictResponse> after_model = engine.Submit(MakeRequest("m", "g")).get();
+  ASSERT_TRUE(after_model.ok());
+  EXPECT_FALSE(after_model.ValueOrDie().cache_hit);
+  Tensor expected =
+      other_model->Predict(artifact->features, artifact->op).ValueOrDie();
+  EXPECT_EQ(after_model.ValueOrDie().rows.data(), expected.data());
+
+  ASSERT_TRUE(engine.UnregisterGraph("g").ok());
+  ASSERT_TRUE(engine.RegisterGraph("g", other->features, other->op).ok());
+  Result<PredictResponse> after_graph = engine.Submit(MakeRequest("m", "g")).get();
+  ASSERT_TRUE(after_graph.ok());
+  EXPECT_FALSE(after_graph.ValueOrDie().cache_hit);
+  Tensor expected2 =
+      other_model->Predict(other->features, other->op).ValueOrDie();
+  EXPECT_EQ(after_graph.ValueOrDie().rows.data(), expected2.data());
+}
+
+TEST(SubmitTest, ConcurrentClientsSeeConsistentRows) {
+  auto artifact = TrainArtifact(SchemeRef::Qat(8), NodeModelKind::kGcn, /*seed=*/9);
+  CompiledModelPtr model = CompileModel(*artifact).ValueOrDie();
+  InferenceEngine engine;
+  ASSERT_TRUE(engine.RegisterModel("m", model).ok());
+  ASSERT_TRUE(engine.RegisterGraph("g", artifact->features, artifact->op).ok());
+  Tensor reference = model->Predict(artifact->features, artifact->op).ValueOrDie();
+  const int64_t n = artifact->features.rows();
+
+  constexpr int kThreads = 8;
+  constexpr int kRequests = 25;
+  std::vector<int> mismatches(kThreads, 0);
+  std::vector<std::thread> clients;
+  for (int t = 0; t < kThreads; ++t) {
+    clients.emplace_back([&, t] {
+      for (int i = 0; i < kRequests; ++i) {
+        const int64_t id = (t * kRequests + i) % n;
+        Result<PredictResponse> response =
+            engine.Submit(MakeRequest("m", "g", {id})).get();
+        if (!response.ok()) {
+          ++mismatches[t];
+          continue;
+        }
+        const Tensor& rows = response.ValueOrDie().rows;
+        for (int64_t c = 0; c < reference.cols(); ++c) {
+          if (rows.at(0, c) != reference.at(id, c)) ++mismatches[t];
+        }
+      }
+    });
+  }
+  for (auto& c : clients) c.join();
+  for (int t = 0; t < kThreads; ++t) EXPECT_EQ(mismatches[t], 0) << "thread " << t;
+
+  InferenceEngine::Stats stats = engine.GetStats();
+  EXPECT_EQ(stats.per_model.at("m").successes, kThreads * kRequests);
+  EXPECT_EQ(stats.per_model.at("m").failures, 0);
+  // The whole run needs exactly one forward: every request after the first
+  // is either coalesced with it or a cache hit.
+  EXPECT_EQ(stats.batcher.forwards, 1);
 }
 
 }  // namespace
