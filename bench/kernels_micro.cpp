@@ -1,13 +1,15 @@
 // Copyright 2026 MixQ-GNN Authors
 // Google-Benchmark micro suite for the compute kernels underlying every
 // experiment: dense GEMM (float and int32), sparse SpMM (float and int),
-// fake quantization, and the Theorem-1 fused quantized SpMM.
+// fake quantization, the Theorem-1 fused quantized SpMM, and the pruned
+// serving path's frontier expansion / induced-CSR slicing.
 #include <benchmark/benchmark.h>
 
 #include "common/rng.h"
 #include "quant/fake_quant.h"
 #include "quant/fused_mp.h"
 #include "sparse/csr.h"
+#include "sparse/frontier.h"
 #include "tensor/gemm.h"
 #include "tensor/tensor.h"
 
@@ -153,6 +155,56 @@ void BM_FusedQuantizedSpmm(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() * a.nnz() * 64);
 }
 BENCHMARK(BM_FusedQuantizedSpmm)->Arg(1000)->Arg(4000)->Arg(16000);
+
+// The pruned serving path's per-request analysis: expand the 2-hop
+// receptive field of 64 seed nodes. Items processed = entries traversed.
+void BM_ExpandFrontier(benchmark::State& state) {
+  const int64_t n = state.range(0);
+  CsrMatrix a = RandomGraph(n, 8, 14);
+  std::vector<int64_t> seeds;
+  for (int64_t i = 0; i < 64; ++i) seeds.push_back((i * 9973) % n);
+  std::sort(seeds.begin(), seeds.end());
+  seeds.erase(std::unique(seeds.begin(), seeds.end()), seeds.end());
+  FrontierWorkspace ws;
+  ws.EnsureSize(n);
+  // Item count is deterministic: compute it outside the timed loop so the
+  // per-item rate reflects only the expansion under test.
+  const int64_t traversed =
+      RowsNnz(a, seeds) +
+      RowsNnz(a, ExpandFrontier(a, seeds, /*include_rows=*/true, &ws));
+  for (auto _ : state) {
+    std::vector<int64_t> hop1 = ExpandFrontier(a, seeds, /*include_rows=*/true, &ws);
+    std::vector<int64_t> hop2 = ExpandFrontier(a, hop1, /*include_rows=*/true, &ws);
+    benchmark::DoNotOptimize(hop2.data());
+  }
+  state.SetItemsProcessed(state.iterations() * traversed);
+}
+BENCHMARK(BM_ExpandFrontier)->Arg(16000)->Arg(65536);
+
+// Slicing the frontier's rows out of the graph CSR with the old→new column
+// remap — the setup cost a pruned forward pays instead of a full SpMM.
+void BM_InducedRows(benchmark::State& state) {
+  const int64_t n = state.range(0);
+  CsrMatrix a = RandomGraph(n, 8, 15);
+  std::vector<int64_t> seeds;
+  for (int64_t i = 0; i < 64; ++i) seeds.push_back((i * 9973) % n);
+  std::sort(seeds.begin(), seeds.end());
+  seeds.erase(std::unique(seeds.begin(), seeds.end()), seeds.end());
+  FrontierWorkspace ws;
+  ws.EnsureSize(n);
+  std::vector<int64_t> rows = ExpandFrontier(a, seeds, /*include_rows=*/true, &ws);
+  std::vector<int64_t> frontier = ExpandFrontier(a, rows, /*include_rows=*/true, &ws);
+  for (size_t j = 0; j < frontier.size(); ++j) ws.pos[frontier[j]] = j;
+  int64_t sliced_nnz = 0;
+  for (auto _ : state) {
+    CsrMatrix induced =
+        a.InducedRows(rows, ws.pos.data(), static_cast<int64_t>(frontier.size()));
+    sliced_nnz = induced.nnz();
+    benchmark::DoNotOptimize(induced.values().data());
+  }
+  state.SetItemsProcessed(state.iterations() * sliced_nnz);
+}
+BENCHMARK(BM_InducedRows)->Arg(16000)->Arg(65536);
 
 void BM_FakeQuant(benchmark::State& state) {
   const int64_t numel = state.range(0);

@@ -8,11 +8,15 @@
 #   BUILD_DIR           cmake build tree       (default: build)
 #   KERNELS_MIN_TIME    --benchmark_min_time   (default: 0.05; use 0.01 in CI)
 #   MIXQ_SERVE_THREADS  QPS client threads     (default: 8)
+#   MIXQ_PRUNED_NODES   pruned-scenario graph size (default: 100000)
 #
 # Outputs in out_dir (default: <BUILD_DIR>/benchout):
 #   BENCH_serving.json  single-request latency + QPS (lowered vs reference)
 #                       + batched-vs-unbatched QPS of the Submit API
-#   BENCH_kernels.json  Google-Benchmark JSON for the GEMM/SpMM/quant kernels
+#                       + "pruned": receptive-field-pruned vs full-forward
+#                         QPS on a large power-law graph
+#   BENCH_kernels.json  Google-Benchmark JSON for the GEMM/SpMM/quant and
+#                       frontier-expansion/induced-slicing kernels
 set -euo pipefail
 
 ROOT="$(cd "$(dirname "$0")/.." && pwd)"

@@ -7,8 +7,16 @@
 // Table-3-sized citation graph. Emits BENCH_serving.json (override the path
 // with MIXQ_BENCH_JSON) for the perf trajectory, alongside the usual table.
 //
+// A final section measures receptive-field-pruned serving on a large
+// power-law graph: single-node and 64-node clients against a pruning
+// engine vs. the full-forward engine (cache disabled on both), recorded in
+// the JSON's "pruned" section. Pruned rows are spot-checked bitwise against
+// the full forward before timing.
+//
 //   MIXQ_SERVE_THREADS  client threads for the QPS sections (default 8)
 //   MIXQ_FULL=1         full-size graph (2708 nodes) instead of quick (1000)
+//   MIXQ_PRUNED_NODES   node count of the pruned-serving scenario graph
+//                       (default 100000; CI smoke uses a tiny value)
 #include <atomic>
 #include <chrono>
 #include <cstdio>
@@ -105,7 +113,9 @@ int main() {
 
   // ---- multi-threaded QPS --------------------------------------------------
   const int threads = EnvInt("MIXQ_SERVE_THREADS", 8);
-  engine::InferenceEngine serving;
+  engine::BatcherOptions cached;
+  cached.enable_pruning = false;  // measure cache + coalescing in isolation
+  engine::InferenceEngine serving(cached);
   MIXQ_CHECK(serving.RegisterModel("tab3-qat8", model).ok());
   MIXQ_CHECK(serving.RegisterGraph("tab3", x, op).ok());
   const double lowered_qps =
@@ -134,6 +144,7 @@ int main() {
 
   engine::BatcherOptions nocache;
   nocache.enable_cache = false;
+  nocache.enable_pruning = false;  // this section isolates pure coalescing
   engine::InferenceEngine serving_nocache(nocache);
   MIXQ_CHECK(serving_nocache.RegisterModel("tab3-qat8", model).ok());
   MIXQ_CHECK(serving_nocache.RegisterGraph("tab3", x, op).ok());
@@ -148,6 +159,103 @@ int main() {
           ? static_cast<double>(nocache_stats.per_model.at("tab3-qat8").successes) /
                 static_cast<double>(nocache_stats.batcher.forwards)
           : 0.0;
+
+  // ---- receptive-field-pruned serving on a large power-law graph ----------
+  // Point queries on a big graph are the pruning regime: the model is the
+  // same trained qat8 GCN (cross-graph serving), the graph a ~100k-node
+  // power-law citation analogue. Cache disabled on BOTH engines so the
+  // comparison is pruned forward vs. full forward, not vs. a row gather.
+  const int64_t pruned_nodes = EnvInt("MIXQ_PRUNED_NODES", 100000);
+  CitationConfig big_cfg;
+  big_cfg.name = "pruned-bench";
+  big_cfg.num_nodes = pruned_nodes;
+  big_cfg.feature_dim = x.cols();  // must match the compiled model
+  big_cfg.num_classes = 7;
+  big_cfg.avg_degree = 3.0;
+  big_cfg.power_law_alpha = 2.1;  // heavy tail: hub frontiers stay honest
+  big_cfg.train_per_class = 1;
+  big_cfg.val_count = 10;
+  big_cfg.test_count = 10;
+  big_cfg.seed = 42;
+  NodeDataset big_ds = GenerateCitation(big_cfg);
+  const Tensor& big_x = big_ds.graph.features;
+  SparseOperatorPtr big_op = MakeOperator(GcnNormalize(big_ds.graph.Adjacency()));
+  const int64_t big_n = big_x.rows();
+  const int64_t big_nnz = big_op->nnz();
+
+  engine::BatcherOptions pruned_opts;
+  pruned_opts.enable_cache = false;
+  // The scenario exists to exercise the pruned path at ANY size the env
+  // var asks for (CI smoke uses tiny graphs), so drop the small-graph
+  // guard; the cost gate still routes wide unions full.
+  pruned_opts.pruned_min_graph_nodes = 0;
+  engine::InferenceEngine pruned_serving(pruned_opts);
+  MIXQ_CHECK(pruned_serving.RegisterModel("tab3-qat8", model).ok());
+  MIXQ_CHECK(pruned_serving.RegisterGraph("big", big_x, big_op).ok());
+  engine::BatcherOptions fullfwd_opts;
+  fullfwd_opts.enable_cache = false;
+  fullfwd_opts.enable_pruning = false;
+  engine::InferenceEngine full_serving(fullfwd_opts);
+  MIXQ_CHECK(full_serving.RegisterModel("tab3-qat8", model).ok());
+  MIXQ_CHECK(full_serving.RegisterGraph("big", big_x, big_op).ok());
+
+  // Parity spot-check: pruned rows must be bitwise identical to the full
+  // forward's before any timing is believed.
+  engine::PredictScratch big_scratch;
+  Tensor big_full = model->Predict(big_x, big_op, &big_scratch).ValueOrDie();
+  int64_t frontier_rows_sample = 0;
+  for (int64_t id : {int64_t{0}, big_n / 2, big_n - 1}) {
+    engine::PredictRequest probe;
+    probe.model = "tab3-qat8";
+    probe.graph = "big";
+    probe.node_ids = {id};
+    probe.precision = engine::Precision::kFp32;
+    Result<engine::PredictResponse> got =
+        pruned_serving.Submit(std::move(probe)).get();
+    MIXQ_CHECK(got.ok()) << got.status().ToString();
+    MIXQ_CHECK(got.ValueOrDie().pruned) << "expected pruned routing for node " << id;
+    frontier_rows_sample = got.ValueOrDie().frontier_rows;
+    for (int64_t c = 0; c < big_full.cols(); ++c) {
+      MIXQ_CHECK(got.ValueOrDie().rows.at(0, c) == big_full.at(id, c))
+          << "pruned row mismatch at node " << id << " col " << c;
+    }
+  }
+
+  std::atomic<int64_t> next_big{0};
+  auto point_client = [&](engine::InferenceEngine& api) {
+    engine::PredictRequest request;
+    request.model = "tab3-qat8";
+    request.graph = "big";
+    request.node_ids = {(next_big.fetch_add(1, std::memory_order_relaxed) *
+                         9973) % big_n};
+    request.precision = engine::Precision::kFp32;
+    Result<engine::PredictResponse> response = api.Submit(std::move(request)).get();
+    MIXQ_CHECK(response.ok()) << response.status().ToString();
+  };
+  auto batch64_client = [&](engine::InferenceEngine& api) {
+    engine::PredictRequest request;
+    request.model = "tab3-qat8";
+    request.graph = "big";
+    request.node_ids.reserve(64);
+    const int64_t base = next_big.fetch_add(64, std::memory_order_relaxed);
+    for (int64_t j = 0; j < 64; ++j) {
+      request.node_ids.push_back(((base + j) * 2654435761LL) % big_n);
+    }
+    request.precision = engine::Precision::kFp32;
+    Result<engine::PredictResponse> response = api.Submit(std::move(request)).get();
+    MIXQ_CHECK(response.ok()) << response.status().ToString();
+  };
+  const double pruned_point_qps =
+      MeasureQps(threads, [&] { point_client(pruned_serving); });
+  const double full_point_qps =
+      MeasureQps(threads, [&] { point_client(full_serving); });
+  const double pruned_b64_qps =
+      MeasureQps(threads, [&] { batch64_client(pruned_serving); });
+  const double full_b64_qps =
+      MeasureQps(threads, [&] { batch64_client(full_serving); });
+  const double pruned_point_ratio = pruned_point_qps / full_point_qps;
+  const double pruned_b64_ratio = pruned_b64_qps / full_b64_qps;
+  const engine::InferenceEngine::Stats pruned_stats = pruned_serving.GetStats();
 
   TablePrinter table({"Path", "Latency (us)", "Speedup", "QPS x" +
                                                              std::to_string(threads)});
@@ -167,6 +275,19 @@ int main() {
   std::printf("\nbatched/unbatched QPS ratio (%d single-node clients): "
               "%.2fx cached, %.2fx coalescing only (avg batch %.1f)\n",
               threads, batched_ratio, batched_nocache_ratio, avg_batch);
+
+  std::printf("\npruned serving on %lld-node power-law graph (%lld nnz, "
+              "cache disabled):\n",
+              static_cast<long long>(big_n), static_cast<long long>(big_nnz));
+  std::printf("  single-node x%d : pruned %.0f qps vs full %.0f qps (%.1fx), "
+              "sample frontier %lld rows\n",
+              threads, pruned_point_qps, full_point_qps, pruned_point_ratio,
+              static_cast<long long>(frontier_rows_sample));
+  std::printf("  64-node    x%d : pruned %.0f qps vs full %.0f qps (%.1fx)\n",
+              threads, pruned_b64_qps, full_b64_qps, pruned_b64_ratio);
+  std::printf("  routing: %lld pruned forwards, %lld full forwards\n",
+              static_cast<long long>(pruned_stats.batcher.pruned_forwards),
+              static_cast<long long>(pruned_stats.batcher.full_forwards));
 
   // ---- JSON for the perf trajectory ---------------------------------------
   const char* json_path = std::getenv("MIXQ_BENCH_JSON");
@@ -197,6 +318,25 @@ int main() {
        << "    \"qps_ratio\": " << batched_ratio << ",\n"
        << "    \"qps_ratio_nocache\": " << batched_nocache_ratio << ",\n"
        << "    \"avg_batch_size\": " << avg_batch << "\n"
+       << "  },\n"
+       << "  \"pruned\": {\n"
+       << "    \"nodes\": " << big_n << ",\n"
+       << "    \"nnz\": " << big_nnz << ",\n"
+       << "    \"threads\": " << threads << ",\n"
+       << "    \"single_node\": {\n"
+       << "      \"pruned_qps\": " << pruned_point_qps << ",\n"
+       << "      \"full_qps\": " << full_point_qps << ",\n"
+       << "      \"qps_ratio\": " << pruned_point_ratio << "\n"
+       << "    },\n"
+       << "    \"batch64\": {\n"
+       << "      \"pruned_qps\": " << pruned_b64_qps << ",\n"
+       << "      \"full_qps\": " << full_b64_qps << ",\n"
+       << "      \"qps_ratio\": " << pruned_b64_ratio << "\n"
+       << "    },\n"
+       << "    \"sample_frontier_rows\": " << frontier_rows_sample << ",\n"
+       << "    \"pruned_forwards\": " << pruned_stats.batcher.pruned_forwards
+       << ",\n"
+       << "    \"full_forwards\": " << pruned_stats.batcher.full_forwards << "\n"
        << "  }\n"
        << "}\n";
   std::printf("\nwrote %s\n", json_path != nullptr ? json_path : "BENCH_serving.json");

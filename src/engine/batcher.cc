@@ -15,7 +15,8 @@ double MicrosBetween(ServingClock::time_point from, ServingClock::time_point to)
 }
 
 /// Copies the requested logit rows into a fresh tensor (cached logits must
-/// never share storage with a caller-visible tensor). Empty ids = all rows.
+/// never share storage with a caller-visible tensor). Empty ids = all rows;
+/// duplicate ids each get their own row, in request order.
 Result<Tensor> GatherLogitRows(const Tensor& logits, const std::vector<int64_t>& ids) {
   const int64_t n = logits.rows();
   const int64_t d = logits.cols();
@@ -34,6 +35,27 @@ Result<Tensor> GatherLogitRows(const Tensor& logits, const std::vector<int64_t>&
     }
     std::memcpy(dst + static_cast<size_t>(i) * static_cast<size_t>(d),
                 src + static_cast<size_t>(id) * static_cast<size_t>(d),
+                static_cast<size_t>(d) * sizeof(float));
+  }
+  return rows;
+}
+
+/// Gather against a PRUNED forward's output, whose row i holds node
+/// targets[i] (sorted unique): each requested id — duplicates included,
+/// order preserved — is located by binary search. Ids were range-checked at
+/// coalescing time and unioned into targets, so lookups cannot miss.
+Tensor GatherPrunedRows(const Tensor& pruned, const std::vector<int64_t>& targets,
+                        const std::vector<int64_t>& ids) {
+  const int64_t d = pruned.cols();
+  Tensor rows = Tensor::Zeros(Shape(static_cast<int64_t>(ids.size()), d));
+  float* dst = rows.data().data();
+  const float* src = pruned.data().data();
+  for (size_t i = 0; i < ids.size(); ++i) {
+    const auto it = std::lower_bound(targets.begin(), targets.end(), ids[i]);
+    MIXQ_CHECK(it != targets.end() && *it == ids[i]);
+    const size_t row = static_cast<size_t>(it - targets.begin());
+    std::memcpy(dst + i * static_cast<size_t>(d),
+                src + row * static_cast<size_t>(d),
                 static_cast<size_t>(d) * sizeof(float));
   }
   return rows;
@@ -242,6 +264,12 @@ void Batcher::Dispatch(std::vector<Pending> batch) {
     Tensor logits;
     bool cache_hit = false;
     double forward_us = 0.0;
+    // Routing, cheapest first: a valid cache entry is a pure row gather;
+    // then a receptive-field-pruned forward when the group asks for few
+    // rows of a large graph; the full forward otherwise (and only the full
+    // forward's logits are cacheable — a pruned result never fills the
+    // cache, it does not cover the graph).
+    std::unique_ptr<FrontierProgram> program;
     auto cached = cache_.find(key);
     if (options_.enable_cache && cached != cache_.end() &&
         cached->second.model_version == group.handle.version &&
@@ -251,11 +279,41 @@ void Batcher::Dispatch(std::vector<Pending> batch) {
       cache_hits_.fetch_add(static_cast<int64_t>(live.size()),
                             std::memory_order_relaxed);
     } else {
-      Result<Tensor> forward = ForwardFullGraph(*group.handle.model,
-                                                *group.graph, group.resolved,
-                                                &scratch_);
+      const int64_t num_nodes = group.graph->features.rows();
+      if (options_.enable_pruning && group.handle.model->info().lowered &&
+          num_nodes >= options_.pruned_min_graph_nodes) {
+        // Union of the group's requested rows; any all-rows request pins
+        // the whole graph and keeps the group on the full path.
+        std::vector<int64_t> targets;
+        bool all_rows = false;
+        for (const Pending& pending : live) {
+          if (pending.request.node_ids.empty()) {
+            all_rows = true;
+            break;
+          }
+          targets.insert(targets.end(), pending.request.node_ids.begin(),
+                         pending.request.node_ids.end());
+        }
+        if (!all_rows) {
+          std::sort(targets.begin(), targets.end());
+          targets.erase(std::unique(targets.begin(), targets.end()),
+                        targets.end());
+          program = group.handle.model->BuildFrontierProgram(
+              group.graph->op, std::move(targets),
+              group.resolved == Precision::kInt8,
+              group.graph->frontier_ws.get(), options_.pruned_max_cost_fraction);
+        }
+      }
+      Result<Tensor> forward =
+          program != nullptr
+              ? group.handle.model->PredictPruned(group.graph->features,
+                                                  *program, &scratch_)
+              : ForwardFullGraph(*group.handle.model, *group.graph,
+                                 group.resolved, &scratch_);
       forward_us = MicrosBetween(group_start, ServingClock::now());
       forwards_.fetch_add(1, std::memory_order_relaxed);
+      (program != nullptr ? pruned_forwards_ : full_forwards_)
+          .fetch_add(1, std::memory_order_relaxed);
       if (!forward.ok()) {
         for (Pending& pending : live) {
           Fail(&pending, forward.status(), group.handle.counters);
@@ -263,7 +321,7 @@ void Batcher::Dispatch(std::vector<Pending> batch) {
         continue;
       }
       logits = forward.MoveValueOrDie();
-      if (options_.enable_cache) {
+      if (options_.enable_cache && program == nullptr) {
         cache_[key] = CacheEntry{live.front().request.model,
                                  live.front().request.graph,
                                  group.handle.version, group.graph->version,
@@ -272,7 +330,11 @@ void Batcher::Dispatch(std::vector<Pending> batch) {
     }
 
     for (Pending& pending : live) {
-      Result<Tensor> rows = GatherLogitRows(logits, pending.request.node_ids);
+      Result<Tensor> rows =
+          program != nullptr
+              ? Result<Tensor>(GatherPrunedRows(logits, program->targets(),
+                                                pending.request.node_ids))
+              : GatherLogitRows(logits, pending.request.node_ids);
       if (!rows.ok()) {
         Fail(&pending, rows.status(), group.handle.counters);
         continue;
@@ -283,6 +345,8 @@ void Batcher::Dispatch(std::vector<Pending> batch) {
       response.precision = group.resolved;
       response.batch_size = static_cast<int64_t>(live.size());
       response.cache_hit = cache_hit;
+      response.pruned = program != nullptr;
+      response.frontier_rows = program != nullptr ? program->frontier_rows() : 0;
       response.forward_us = forward_us;
       response.queue_us = MicrosBetween(pending.admitted, dispatch_start);
       response.total_us = MicrosBetween(pending.admitted, ServingClock::now());
@@ -317,6 +381,8 @@ Batcher::Stats Batcher::GetStats() const {
   stats.rejected = rejected_.load(std::memory_order_relaxed);
   stats.expired = expired_.load(std::memory_order_relaxed);
   stats.forwards = forwards_.load(std::memory_order_relaxed);
+  stats.pruned_forwards = pruned_forwards_.load(std::memory_order_relaxed);
+  stats.full_forwards = full_forwards_.load(std::memory_order_relaxed);
   stats.cache_hits = cache_hits_.load(std::memory_order_relaxed);
   stats.queue_depth = static_cast<int64_t>(queue_.size());
   stats.in_dispatch = in_dispatch_.load(std::memory_order_relaxed);

@@ -19,6 +19,16 @@
 // version, so a stale entry can never be served. On a static graph a repeat
 // query is therefore a row gather, no forward at all.
 //
+// Groups that ask for a FEW rows of a LARGE graph skip the full forward
+// entirely: the dispatcher unions the group's node ids, expands their L-hop
+// receptive field against the pinned GraphContext (engine/frontier_plan.h),
+// and — when the frontier is a small fraction of the graph — runs a pruned
+// forward that computes only those rows (bitwise identical to the full
+// fp32 forward for the same rows). Pruned forwards produce no full logits,
+// so they never populate the result cache; a valid cache entry always wins
+// over pruning, and groups whose receptive field covers most of the graph
+// (or that ask for all rows) take the cached/full path as before.
+//
 // The Batcher talks to the engine through a narrow Backend interface
 // (lookup by name, a failure tick) so it has no dependency on
 // InferenceEngine itself and can be driven standalone in tests.
@@ -66,6 +76,11 @@ struct GraphContext {
   SparseOperatorPtr op;   ///< matching normalized operator
   uint64_t version = 0;
   bool int8_depth_safe = false;
+  /// Graph-sized scratch for receptive-field expansion / induced slicing,
+  /// allocated once at registration so pruned routing never pays an O(N)
+  /// allocation per request. NOT thread-safe: touched only by the
+  /// batcher's single dispatcher thread.
+  std::shared_ptr<FrontierWorkspace> frontier_ws;
 };
 using GraphContextPtr = std::shared_ptr<const GraphContext>;
 
@@ -87,6 +102,10 @@ struct PredictResponse {
   Precision precision = Precision::kFp32;  ///< resolved serving mode
   int64_t batch_size = 0;   ///< requests coalesced into the same forward
   bool cache_hit = false;   ///< served from cached logits (no forward)
+  bool pruned = false;      ///< receptive-field-pruned forward (no cache fill)
+  /// Activation rows the pruned forward computed across all layers (0 when
+  /// !pruned) — the receptive-field size the group actually paid for.
+  int64_t frontier_rows = 0;
   double queue_us = 0.0;    ///< admission -> dispatch
   double forward_us = 0.0;  ///< the shared forward (0 on cache hit)
   double total_us = 0.0;    ///< admission -> fulfillment
@@ -116,6 +135,19 @@ struct BatcherOptions {
   size_t queue_capacity = 1024;
   /// Cache full batch logits per (model, graph, precision) version.
   bool enable_cache = true;
+  /// Route small-receptive-field groups through the pruned forward
+  /// (lowered models only; a valid cache entry still wins).
+  bool enable_pruning = true;
+  /// Graphs below this node count always take the full forward: on small
+  /// graphs the forward is already cheap and the full logits feed the
+  /// result cache.
+  int64_t pruned_min_graph_nodes = 1024;
+  /// Prune only while the frontier's total step-row count stays under this
+  /// fraction of the full forward's (steps x N). Bench-calibrated: pruned
+  /// wall time tracks ~2x the full forward's per step-row across graph
+  /// sizes and target counts (per-request analysis + poor small-n parallel
+  /// efficiency), so 0.2 routes pruned only when it is >= ~2.4x faster.
+  double pruned_max_cost_fraction = 0.2;
 };
 
 /// Resolves the requested precision against what `model` can serve over
@@ -147,7 +179,9 @@ class Batcher {
     int64_t submitted = 0;   ///< requests admitted into the queue
     int64_t rejected = 0;    ///< kResourceExhausted at admission
     int64_t expired = 0;     ///< kDeadlineExceeded (queued past deadline)
-    int64_t forwards = 0;    ///< coalesced forwards actually run
+    int64_t forwards = 0;    ///< coalesced forwards actually run (both kinds)
+    int64_t pruned_forwards = 0;  ///< ... of which receptive-field-pruned
+    int64_t full_forwards = 0;    ///< ... of which full-graph
     int64_t cache_hits = 0;  ///< requests served from cached logits
     int64_t queue_depth = 0;     ///< requests currently queued
     int64_t in_dispatch = 0;     ///< requests currently being dispatched
@@ -202,6 +236,8 @@ class Batcher {
   std::atomic<int64_t> rejected_{0};
   std::atomic<int64_t> expired_{0};
   std::atomic<int64_t> forwards_{0};
+  std::atomic<int64_t> pruned_forwards_{0};
+  std::atomic<int64_t> full_forwards_{0};
   std::atomic<int64_t> cache_hits_{0};
   std::atomic<int64_t> in_dispatch_{0};
 

@@ -148,6 +148,53 @@ Result<Tensor> CompiledModel::PredictQuantized(const Tensor& features,
   return logits;
 }
 
+std::unique_ptr<FrontierProgram> CompiledModel::BuildFrontierProgram(
+    const SparseOperatorPtr& op, std::vector<int64_t> targets, bool int8,
+    FrontierWorkspace* ws, double max_cost_fraction) const {
+  if (op == nullptr || plan_ == nullptr) return nullptr;
+  if (int8 && !plan_->SupportsInt8()) return nullptr;
+  return FrontierProgram::Build(*plan_, int8, *op, std::move(targets), ws,
+                                max_cost_fraction);
+}
+
+Result<Tensor> CompiledModel::PredictPruned(const Tensor& features,
+                                            const FrontierProgram& program,
+                                            PredictScratch* scratch) const {
+  if (!features.defined()) {
+    return Status::InvalidArgument("features tensor is undefined");
+  }
+  if (features.cols() != info_.in_features) {
+    return Status::InvalidArgument(
+        "feature dimension mismatch: model expects " +
+        std::to_string(info_.in_features) + ", got " +
+        std::to_string(features.cols()));
+  }
+  // The program's gathers index features by global node id: a row-count
+  // mismatch would read out of bounds, so reject it like every sibling
+  // Predict API rejects operator/feature mismatches.
+  if (features.rows() != program.graph_nodes()) {
+    return Status::InvalidArgument(
+        "features/program mismatch: program was built for a graph with " +
+        std::to_string(program.graph_nodes()) + " nodes, features have " +
+        std::to_string(features.rows()) + " rows");
+  }
+  if (plan_ == nullptr) {
+    return Status::NotImplemented("scheme '" + info_.scheme_label +
+                                  "' is not lowered; pruned serving needs the "
+                                  "flat execution plan");
+  }
+  Tensor logits = Tensor::Zeros(
+      Shape(static_cast<int64_t>(program.targets().size()), info_.out_dim));
+  if (program.int8()) {
+    plan_->ExecutePrunedInt8(features.data().data(), program, &scratch->plan,
+                             logits.data().data());
+  } else {
+    plan_->ExecutePruned(features.data().data(), program, &scratch->plan,
+                         logits.data().data());
+  }
+  return logits;
+}
+
 Result<Tensor> CompiledModel::PredictReference(const Tensor& features,
                                                const SparseOperatorPtr& op) const {
   Status valid = ValidateRequest(features, op);

@@ -28,6 +28,7 @@
 #include "common/status.h"
 #include "core/experiment.h"
 #include "engine/execution_plan.h"
+#include "engine/frontier_plan.h"
 #include "sparse/spmm.h"
 #include "tensor/tensor.h"
 
@@ -87,6 +88,28 @@ class CompiledModel {
   /// lowering can't express.
   Result<Tensor> PredictReference(const Tensor& features,
                                   const SparseOperatorPtr& op) const;
+
+  /// Builds the receptive-field pruning program for serving only `targets`
+  /// (sorted unique node ids, all within `op`'s row range) over `op` —
+  /// the per-request analysis behind the batcher's pruned routing. Returns
+  /// nullptr when the model has no lowered plan (or no int8 plan when
+  /// `int8`), or when the targets' receptive field would cost >=
+  /// `max_cost_fraction` of the full forward (serve full-graph instead;
+  /// that path also feeds the result cache). `ws` may be null; the engine
+  /// passes the registered graph's pinned workspace.
+  std::unique_ptr<FrontierProgram> BuildFrontierProgram(
+      const SparseOperatorPtr& op, std::vector<int64_t> targets, bool int8,
+      FrontierWorkspace* ws, double max_cost_fraction) const;
+
+  /// Executes a program from BuildFrontierProgram over the full feature
+  /// matrix: returns [targets.size(), out_dim] logits, row i = node
+  /// targets()[i]. Fp32 programs are bitwise identical to the same rows of
+  /// Predict; int8 programs to the same rows of PredictQuantized. The
+  /// program must have been built against an operator consistent with
+  /// `features` (same graph).
+  Result<Tensor> PredictPruned(const Tensor& features,
+                               const FrontierProgram& program,
+                               PredictScratch* scratch) const;
 
   const CompiledModelInfo& info() const { return info_; }
 

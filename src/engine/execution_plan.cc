@@ -8,6 +8,7 @@
 #include <string>
 
 #include "common/parallel.h"
+#include "engine/frontier_plan.h"
 #include "sparse/csr.h"
 #include "tensor/gemm.h"
 
@@ -99,6 +100,153 @@ void QuantizeCodes8(const float* x, int8_t* out, int64_t n, const QuantParams& p
           for (int64_t j = 0; j < bn; ++j) {
             op[b0 + j] = static_cast<int8_t>(tmp[j]);
           }
+        }
+      },
+      /*grain=*/4096);
+}
+
+// ---- kernels shared by the full and pruned executors ----------------------
+// Each helper below is the SINGLE implementation of its per-element loop:
+// the pruned executors' bitwise-parity contracts (fp32 identical to
+// Execute, int8 codes identical to ExecuteInt8) depend on both row
+// universes flowing through exactly the same code.
+
+/// Strips zero-weight GEMM padding columns in place. Serial on purpose: row
+/// i's destination overlaps the unread source of much-earlier rows (i*out
+/// falls inside j*out_padded spans), so only the ascending order is safe —
+/// and n tiny memmoves are cheap.
+template <typename T>
+void StripPaddedColumns(T* data, int64_t n, int64_t out, int64_t out_padded) {
+  for (int64_t i = 1; i < n; ++i) {
+    std::memmove(data + i * out, data + i * out_padded,
+                 sizeof(T) * static_cast<size_t>(out));
+  }
+}
+
+void AddBiasRows(float* dst, const float* bias, int64_t n, int64_t w) {
+  ParallelFor(
+      n,
+      [=](int64_t r0, int64_t r1) {
+        for (int64_t i = r0; i < r1; ++i) {
+          float* row = dst + i * w;
+          for (int64_t j = 0; j < w; ++j) row[j] = row[j] + bias[j];
+        }
+      },
+      /*grain=*/256);
+}
+
+/// Requantizes a GEMM accumulator into int8 codes, one multiply per
+/// element: (Sx·Sw/Sy)·acc (+ bias/Sy). `bias` is the step's precomputed
+/// bias/Sy vector (nullptr = no bias) — frozen at lowering so the hot path
+/// allocates nothing.
+void GemmRequantRows(const int32_t* acc, int8_t* dst, int64_t n, int64_t w,
+                     double total, const double* bias, const QuantParams& out_p) {
+  const CodeEmitter em(out_p);
+  ParallelFor(
+      n,
+      [=](int64_t r0, int64_t r1) {
+        const int32_t* __restrict ap = acc;
+        int8_t* __restrict dp = dst;
+        const double* __restrict bp = bias;
+        const CodeEmitter e = em;
+        int32_t tmp[kNarrowBlock];
+        for (int64_t i = r0; i < r1; ++i) {
+          for (int64_t b0 = 0; b0 < w; b0 += kNarrowBlock) {
+            const int64_t bn = std::min<int64_t>(kNarrowBlock, w - b0);
+            const int64_t base = i * w + b0;
+            if (bp != nullptr) {
+              for (int64_t j = 0; j < bn; ++j) {
+                tmp[j] = e.Code(total * static_cast<double>(ap[base + j]) +
+                                bp[b0 + j]);
+              }
+            } else {
+              for (int64_t j = 0; j < bn; ++j) {
+                tmp[j] = e.Code(total * static_cast<double>(ap[base + j]));
+              }
+            }
+            for (int64_t j = 0; j < bn; ++j) {
+              dp[base + j] = static_cast<int8_t>(tmp[j]);
+            }
+          }
+        }
+      },
+      /*grain=*/64);
+}
+
+/// Requantizes a flat accumulator (SpMM output): codes = Requant(total·acc).
+void RequantFlat(const int32_t* acc, int8_t* dst, int64_t count, double total,
+                 const QuantParams& out_p) {
+  const CodeEmitter em(out_p);
+  ParallelFor(
+      count,
+      [=](int64_t i0, int64_t i1) {
+        const int32_t* __restrict ap = acc;
+        int8_t* __restrict dp = dst;
+        const CodeEmitter e = em;
+        int32_t tmp[kNarrowBlock];
+        for (int64_t b0 = i0; b0 < i1; b0 += kNarrowBlock) {
+          const int64_t bn = std::min<int64_t>(kNarrowBlock, i1 - b0);
+          for (int64_t j = 0; j < bn; ++j) {
+            tmp[j] = e.Code(total * static_cast<double>(ap[b0 + j]));
+          }
+          for (int64_t j = 0; j < bn; ++j) {
+            dp[b0 + j] = static_cast<int8_t>(tmp[j]);
+          }
+        }
+      },
+      /*grain=*/4096);
+}
+
+/// codes(dst) = Requant(s1·a + s2·c) — the integer residual add.
+void AddRequantFlat(const int8_t* a, const int8_t* c, int8_t* dst, int64_t count,
+                    double s1, double s2, const QuantParams& out_p) {
+  const CodeEmitter em(out_p);
+  ParallelFor(
+      count,
+      [=](int64_t i0, int64_t i1) {
+        const int8_t* __restrict a1p = a;
+        const int8_t* __restrict a2p = c;
+        int8_t* __restrict dp = dst;
+        const CodeEmitter e = em;
+        int32_t tmp[kNarrowBlock];
+        for (int64_t b0 = i0; b0 < i1; b0 += kNarrowBlock) {
+          const int64_t bn = std::min<int64_t>(kNarrowBlock, i1 - b0);
+          for (int64_t j = 0; j < bn; ++j) {
+            tmp[j] = e.Code(s1 * static_cast<double>(a1p[b0 + j]) +
+                            s2 * static_cast<double>(a2p[b0 + j]));
+          }
+          for (int64_t j = 0; j < bn; ++j) {
+            dp[b0 + j] = static_cast<int8_t>(tmp[j]);
+          }
+        }
+      },
+      /*grain=*/4096);
+}
+
+/// ReLU directly on symmetric codes.
+void ReluCodes(const int8_t* src, int8_t* dst, int64_t count) {
+  ParallelFor(
+      count,
+      [=](int64_t i0, int64_t i1) {
+        const int8_t* __restrict sp = src;
+        int8_t* __restrict dp = dst;
+        for (int64_t i = i0; i < i1; ++i) dp[i] = sp[i] > 0 ? sp[i] : 0;
+      },
+      /*grain=*/4096);
+}
+
+/// Final dequantization of logit codes into float output.
+void DequantizeCodes(const int8_t* codes, float* out, int64_t count,
+                     const QuantParams& p) {
+  const float scale = p.scale;
+  const int32_t zp = p.zero_point;
+  ParallelFor(
+      count,
+      [=](int64_t i0, int64_t i1) {
+        const int8_t* __restrict cp = codes;
+        float* __restrict op = out;
+        for (int64_t i = i0; i < i1; ++i) {
+          op[i] = static_cast<float>(cp[i] - zp) * scale;
         }
       },
       /*grain=*/4096);
@@ -285,6 +433,14 @@ class PlanBuilder {
     st.src_params = src_p;
     st.out_params = out_p;
     st.cols = cols;
+    const LoweredLinear& lin = plan_->linears_[static_cast<size_t>(linear)];
+    if (!lin.bias.empty()) {
+      st.bias_over.resize(lin.bias.size());
+      const double inv_out = 1.0 / out_p.scale;
+      for (size_t j = 0; j < lin.bias.size(); ++j) {
+        st.bias_over[j] = static_cast<double>(lin.bias[j]) * inv_out;
+      }
+    }
     plan_->int_steps_.push_back(st);
   }
   void IntSpmm(int src, int dst, int adj, const QuantParams& src_p,
@@ -522,28 +678,10 @@ void ExecutionPlan::Execute(const float* x, int64_t n, const SparseOperator& op,
         float* dst = ensure(st.dst, lin.out_padded);
         GemmNN(src, lin.weight_fq.data(), dst, n, lin.in, lin.out_padded);
         if (lin.out_padded != lin.out) {
-          // Strip the zero-weight padding columns. Serial on purpose: row
-          // i's destination overlaps the unread source of much-earlier rows
-          // (i*out falls inside j*out_padded spans), so only the ascending
-          // order is safe — and n tiny memmoves are cheap.
-          const int64_t o = lin.out, op = lin.out_padded;
-          for (int64_t i = 1; i < n; ++i) {
-            std::memmove(dst + i * o, dst + i * op,
-                         sizeof(float) * static_cast<size_t>(o));
-          }
+          StripPaddedColumns(dst, n, lin.out, lin.out_padded);
         }
         if (!lin.bias.empty()) {
-          const float* bias = lin.bias.data();
-          const int64_t w = lin.out;
-          ParallelFor(
-              n,
-              [=](int64_t r0, int64_t r1) {
-                for (int64_t i = r0; i < r1; ++i) {
-                  float* row = dst + i * w;
-                  for (int64_t j = 0; j < w; ++j) row[j] = row[j] + bias[j];
-                }
-              },
-              /*grain=*/256);
+          AddBiasRows(dst, lin.bias.data(), n, lin.out);
         }
         break;
       }
@@ -602,6 +740,143 @@ void ExecutionPlan::Execute(const float* x, int64_t n, const SparseOperator& op,
 }
 
 // ---------------------------------------------------------------------------
+// Pruned float executor
+// ---------------------------------------------------------------------------
+
+// The pruned executors mirror Execute/ExecuteInt8 step for step; only the
+// row universe changes. Each step runs with n = its frontier size, inputs
+// come either contiguously from the src buffer (when its frontier already
+// equals this step's rows) or through a row gather, and SpMM steps run on
+// the program's pre-sliced induced CSR whose columns are remapped into the
+// src frontier. Every kernel involved computes each output row from its own
+// input row(s) with the same per-element accumulation order as the full
+// forward, which is what makes pruned fp32 rows bitwise identical to
+// Execute()'s and pruned int8 codes bitwise identical to ExecuteInt8()'s.
+
+namespace {
+
+/// Stages `rows.size()` rows of `width` from `base` into `staging` (grown as
+/// needed) and returns the staged pointer; `rows` are row indices into
+/// `base`'s row-major storage.
+template <typename T>
+const T* GatherRows(const T* base, const std::vector<int64_t>& rows,
+                    int64_t width, std::vector<T>* staging) {
+  const size_t need = rows.size() * static_cast<size_t>(width);
+  if (staging->size() < need) staging->resize(need);
+  T* dst = staging->data();
+  for (size_t i = 0; i < rows.size(); ++i) {
+    std::memcpy(dst + i * static_cast<size_t>(width),
+                base + static_cast<size_t>(rows[i]) * static_cast<size_t>(width),
+                sizeof(T) * static_cast<size_t>(width));
+  }
+  return dst;
+}
+
+}  // namespace
+
+void ExecutionPlan::ExecutePruned(const float* x, const FrontierProgram& fp,
+                                  Scratch* scratch, float* out) const {
+  MIXQ_CHECK(!fp.int8_) << "program was built for the int8 step list";
+  MIXQ_CHECK_EQ(static_cast<int64_t>(fp.steps_.size()),
+                static_cast<int64_t>(steps_.size()));
+  scratch->f.resize(static_cast<size_t>(num_buffers_));
+  auto ensure = [&](int id, int64_t rows, int64_t cols) -> float* {
+    std::vector<float>& buf = scratch->f[static_cast<size_t>(id)];
+    const size_t need = static_cast<size_t>(rows * cols);
+    if (buf.size() < need) buf.resize(need);
+    return buf.data();
+  };
+  // Resolves a row-parallel step's input: the feature matrix or a scratch
+  // buffer, staged through the gather list when the source holds a wider
+  // frontier than this step consumes. ensure() the destination FIRST — the
+  // staging copy also protects in-place steps from resize invalidation.
+  auto read = [&](const FrontierProgram::StepExec& se, int src,
+                  int64_t width) -> const float* {
+    const float* base =
+        se.src_is_input ? x : scratch->f[static_cast<size_t>(src)].data();
+    if (se.gather.empty()) return base;
+    return GatherRows(base, se.gather, width, &scratch->gather_f);
+  };
+
+  for (size_t si = 0; si < steps_.size(); ++si) {
+    const Step& st = steps_[si];
+    const FrontierProgram::StepExec& se = fp.steps_[si];
+    const int64_t n = static_cast<int64_t>(se.rows.size());
+    if (n == 0) continue;  // dead for these targets
+    switch (st.op) {
+      case Op::kQuantize: {
+        float* dst = ensure(st.dst, n, st.cols);
+        const float* src = read(se, st.src, st.cols);
+        FakeQuantBuffer(src, dst, n * st.cols, st.quant.params);
+        break;
+      }
+      case Op::kMatMul: {
+        const LoweredLinear& lin = linears_[static_cast<size_t>(st.linear)];
+        float* dst = ensure(st.dst, n, lin.out_padded);
+        const float* src = read(se, st.src, lin.in);
+        GemmNN(src, lin.weight_fq.data(), dst, n, lin.in, lin.out_padded);
+        if (lin.out_padded != lin.out) {
+          StripPaddedColumns(dst, n, lin.out, lin.out_padded);
+        }
+        if (!lin.bias.empty()) {
+          AddBiasRows(dst, lin.bias.data(), n, lin.out);
+        }
+        break;
+      }
+      case Op::kSpmm: {
+        const LoweredComponent& aq = adj_quants_[static_cast<size_t>(st.adj)];
+        float* dst = ensure(st.dst, n, st.cols);
+        const float* src =
+            se.src_is_input ? x : scratch->f[static_cast<size_t>(st.src)].data();
+        if (aq.identity) {
+          SpmmRaw(se.induced, src, st.cols, dst);
+        } else {
+          // Each layer's slice has its own value array, so (unlike the
+          // full path) the quantized copy cannot be reused across layers.
+          const std::vector<float>& values = se.induced.values();
+          if (scratch->adj_f.size() < values.size()) {
+            scratch->adj_f.resize(values.size());
+          }
+          FakeQuantBuffer(values.data(), scratch->adj_f.data(),
+                          static_cast<int64_t>(values.size()), aq.params);
+          SpmmPattern(se.induced, scratch->adj_f.data(), src, st.cols, dst);
+        }
+        break;
+      }
+      case Op::kAdd: {
+        float* dst = ensure(st.dst, n, st.cols);
+        const float* a = read(se, st.src, st.cols);
+        const float* c = scratch->f[static_cast<size_t>(st.src2)].data();
+        ParallelFor(
+            n * st.cols,
+            [=](int64_t i0, int64_t i1) {
+              for (int64_t i = i0; i < i1; ++i) dst[i] = a[i] + c[i];
+            },
+            /*grain=*/4096);
+        break;
+      }
+      case Op::kRelu: {
+        float* dst = ensure(st.dst, n, st.cols);
+        const float* src = read(se, st.src, st.cols);
+        ParallelFor(
+            n * st.cols,
+            [=](int64_t i0, int64_t i1) {
+              for (int64_t i = i0; i < i1; ++i) {
+                dst[i] = src[i] > 0.0f ? src[i] : 0.0f;
+              }
+            },
+            /*grain=*/4096);
+        break;
+      }
+    }
+  }
+  std::memcpy(out, scratch->f[static_cast<size_t>(final_buffer_)].data(),
+              sizeof(float) *
+                  static_cast<size_t>(static_cast<int64_t>(fp.targets_.size()) *
+                                      out_dim_));
+}
+
+// ---------------------------------------------------------------------------
 // Integer executor
 // ---------------------------------------------------------------------------
 
@@ -636,59 +911,14 @@ void ExecutionPlan::ExecuteInt8(const float* x, int64_t n, const SparseOperator&
         GemmInt8PackedB(src, lin.weight_packed.data(), acc, n, lin.in,
                         lin.out_padded);
         if (lin.out_padded != lin.out) {
-          // Serial for the same overlap reason as the float compaction.
-          const int64_t o = lin.out, op_ = lin.out_padded;
-          for (int64_t i = 1; i < n; ++i) {
-            std::memmove(acc + i * o, acc + i * op_,
-                         sizeof(int32_t) * static_cast<size_t>(o));
-          }
+          StripPaddedColumns(acc, n, lin.out, lin.out_padded);
         }
         int8_t* dst = ensure(st.dst, lin.out);
-        const QuantParams out_p = st.out_params;
-        const double inv_out = 1.0 / out_p.scale;
-        // One multiply per element: (Sx * Sw / Sy) * acc (+ bias / Sy).
         const double total = static_cast<double>(st.src_params.scale) *
-                             lin.weight_params.scale * inv_out;
-        const int64_t w = lin.out;
-        std::vector<double> bias_over;
-        if (!lin.bias.empty()) {
-          bias_over.resize(static_cast<size_t>(w));
-          for (int64_t j = 0; j < w; ++j) {
-            bias_over[static_cast<size_t>(j)] =
-                static_cast<double>(lin.bias[static_cast<size_t>(j)]) * inv_out;
-          }
-        }
-        const double* bias = bias_over.empty() ? nullptr : bias_over.data();
-        const CodeEmitter em(out_p);
-        ParallelFor(
-            n,
-            [=](int64_t r0, int64_t r1) {
-              const int32_t* __restrict ap = acc;
-              int8_t* __restrict dp = dst;
-              const double* __restrict bp = bias;
-              const CodeEmitter e = em;
-              int32_t tmp[kNarrowBlock];
-              for (int64_t i = r0; i < r1; ++i) {
-                for (int64_t b0 = 0; b0 < w; b0 += kNarrowBlock) {
-                  const int64_t bn = std::min<int64_t>(kNarrowBlock, w - b0);
-                  const int64_t base = i * w + b0;
-                  if (bp != nullptr) {
-                    for (int64_t j = 0; j < bn; ++j) {
-                      tmp[j] = e.Code(total * static_cast<double>(ap[base + j]) +
-                                      bp[b0 + j]);
-                    }
-                  } else {
-                    for (int64_t j = 0; j < bn; ++j) {
-                      tmp[j] = e.Code(total * static_cast<double>(ap[base + j]));
-                    }
-                  }
-                  for (int64_t j = 0; j < bn; ++j) {
-                    dp[base + j] = static_cast<int8_t>(tmp[j]);
-                  }
-                }
-              }
-            },
-            /*grain=*/64);
+                             lin.weight_params.scale / st.out_params.scale;
+        GemmRequantRows(acc, dst, n, lin.out, total,
+                        st.bias_over.empty() ? nullptr : st.bias_over.data(),
+                        st.out_params);
         break;
       }
       case IntOp::kSpmmRequant: {
@@ -706,88 +936,136 @@ void ExecutionPlan::ExecuteInt8(const float* x, int64_t n, const SparseOperator&
         int32_t* acc = ensure_acc(st.cols);
         SpmmInt8(op.matrix(), scratch->adj_q.data(), src, st.cols, acc);
         int8_t* dst = ensure(st.dst, st.cols);
-        const QuantParams out_p = st.out_params;
         const double total = static_cast<double>(aq.params.scale) *
-                             st.src_params.scale / out_p.scale;
-        const CodeEmitter em(out_p);
-        ParallelFor(
-            n * st.cols,
-            [=](int64_t i0, int64_t i1) {
-              const int32_t* __restrict ap = acc;
-              int8_t* __restrict dp = dst;
-              const CodeEmitter e = em;
-              int32_t tmp[kNarrowBlock];
-              for (int64_t b0 = i0; b0 < i1; b0 += kNarrowBlock) {
-                const int64_t bn = std::min<int64_t>(kNarrowBlock, i1 - b0);
-                for (int64_t j = 0; j < bn; ++j) {
-                  tmp[j] = e.Code(total * static_cast<double>(ap[b0 + j]));
-                }
-                for (int64_t j = 0; j < bn; ++j) {
-                  dp[b0 + j] = static_cast<int8_t>(tmp[j]);
-                }
-              }
-            },
-            /*grain=*/4096);
+                             st.src_params.scale / st.out_params.scale;
+        RequantFlat(acc, dst, n * st.cols, total, st.out_params);
         break;
       }
       case IntOp::kAddRequant: {
         int8_t* dst = ensure(st.dst, st.cols);
         const int8_t* a = scratch->q[static_cast<size_t>(st.src)].data();
         const int8_t* c = scratch->q[static_cast<size_t>(st.src2)].data();
-        const QuantParams out_p = st.out_params;
-        const double s1 = static_cast<double>(st.src_params.scale) / out_p.scale;
-        const double s2 = static_cast<double>(st.src2_params.scale) / out_p.scale;
-        const CodeEmitter em(out_p);
-        ParallelFor(
-            n * st.cols,
-            [=](int64_t i0, int64_t i1) {
-              const int8_t* __restrict a1p = a;
-              const int8_t* __restrict a2p = c;
-              int8_t* __restrict dp = dst;
-              const CodeEmitter e = em;
-              int32_t tmp[kNarrowBlock];
-              for (int64_t b0 = i0; b0 < i1; b0 += kNarrowBlock) {
-                const int64_t bn = std::min<int64_t>(kNarrowBlock, i1 - b0);
-                for (int64_t j = 0; j < bn; ++j) {
-                  tmp[j] = e.Code(s1 * static_cast<double>(a1p[b0 + j]) +
-                                  s2 * static_cast<double>(a2p[b0 + j]));
-                }
-                for (int64_t j = 0; j < bn; ++j) {
-                  dp[b0 + j] = static_cast<int8_t>(tmp[j]);
-                }
-              }
-            },
-            /*grain=*/4096);
+        const double s1 =
+            static_cast<double>(st.src_params.scale) / st.out_params.scale;
+        const double s2 =
+            static_cast<double>(st.src2_params.scale) / st.out_params.scale;
+        AddRequantFlat(a, c, dst, n * st.cols, s1, s2, st.out_params);
         break;
       }
       case IntOp::kRelu: {
         int8_t* dst = ensure(st.dst, st.cols);
         const int8_t* src = scratch->q[static_cast<size_t>(st.src)].data();
-        ParallelFor(
-            n * st.cols,
-            [=](int64_t i0, int64_t i1) {
-              const int8_t* __restrict sp = src;
-              int8_t* __restrict dp = dst;
-              for (int64_t i = i0; i < i1; ++i) dp[i] = sp[i] > 0 ? sp[i] : 0;
-            },
-            /*grain=*/4096);
+        ReluCodes(src, dst, n * st.cols);
         break;
       }
     }
   }
-  const int8_t* codes = scratch->q[static_cast<size_t>(int_final_buffer_)].data();
-  const float scale = int_final_params_.scale;
-  const int32_t zp = int_final_params_.zero_point;
-  ParallelFor(
-      n * out_dim_,
-      [=](int64_t i0, int64_t i1) {
-        const int8_t* __restrict cp = codes;
-        float* __restrict op = out;
-        for (int64_t i = i0; i < i1; ++i) {
-          op[i] = static_cast<float>(cp[i] - zp) * scale;
+  DequantizeCodes(scratch->q[static_cast<size_t>(int_final_buffer_)].data(), out,
+                  n * out_dim_, int_final_params_);
+}
+
+// ---------------------------------------------------------------------------
+// Pruned integer executor
+// ---------------------------------------------------------------------------
+
+void ExecutionPlan::ExecutePrunedInt8(const float* x, const FrontierProgram& fp,
+                                      Scratch* scratch, float* out) const {
+  MIXQ_CHECK(has_int8_) << "plan has no int8 lowering";
+  MIXQ_CHECK(fp.int8_) << "program was built for the float step list";
+  MIXQ_CHECK_EQ(static_cast<int64_t>(fp.steps_.size()),
+                static_cast<int64_t>(int_steps_.size()));
+  scratch->q.resize(static_cast<size_t>(num_buffers_));
+  auto ensure = [&](int id, int64_t rows, int64_t cols) -> int8_t* {
+    std::vector<int8_t>& buf = scratch->q[static_cast<size_t>(id)];
+    const size_t need = static_cast<size_t>(rows * cols);
+    if (buf.size() < need) buf.resize(need);
+    return buf.data();
+  };
+  auto ensure_acc = [&](int64_t rows, int64_t cols) -> int32_t* {
+    const size_t need = static_cast<size_t>(rows * cols);
+    if (scratch->acc.size() < need) scratch->acc.resize(need);
+    return scratch->acc.data();
+  };
+  auto read_codes = [&](const FrontierProgram::StepExec& se, int src,
+                        int64_t width) -> const int8_t* {
+    const int8_t* base = scratch->q[static_cast<size_t>(src)].data();
+    if (se.gather.empty()) return base;
+    return GatherRows(base, se.gather, width, &scratch->gather_q);
+  };
+
+  for (size_t si = 0; si < int_steps_.size(); ++si) {
+    const IntStep& st = int_steps_[si];
+    const FrontierProgram::StepExec& se = fp.steps_[si];
+    const int64_t n = static_cast<int64_t>(se.rows.size());
+    if (n == 0) continue;
+    switch (st.op) {
+      case IntOp::kQuantizeInput: {
+        // The input quantize reads the float feature matrix: stage the
+        // frontier's rows (se.gather holds global feature-row ids).
+        const float* src =
+            se.gather.empty()
+                ? x
+                : GatherRows(x, se.gather, st.cols, &scratch->gather_f);
+        int8_t* dst = ensure(st.dst, n, st.cols);
+        QuantizeCodes8(src, dst, n * st.cols, st.out_params);
+        break;
+      }
+      case IntOp::kGemmRequant: {
+        const LoweredLinear& lin = linears_[static_cast<size_t>(st.linear)];
+        const int8_t* src = read_codes(se, st.src, lin.in);
+        int32_t* acc = ensure_acc(n, lin.out_padded);
+        GemmInt8PackedB(src, lin.weight_packed.data(), acc, n, lin.in,
+                        lin.out_padded);
+        if (lin.out_padded != lin.out) {
+          StripPaddedColumns(acc, n, lin.out, lin.out_padded);
         }
-      },
-      /*grain=*/4096);
+        int8_t* dst = ensure(st.dst, n, lin.out);
+        const double total = static_cast<double>(st.src_params.scale) *
+                             lin.weight_params.scale / st.out_params.scale;
+        GemmRequantRows(acc, dst, n, lin.out, total,
+                        st.bias_over.empty() ? nullptr : st.bias_over.data(),
+                        st.out_params);
+        break;
+      }
+      case IntOp::kSpmmRequant: {
+        const LoweredComponent& aq = adj_quants_[static_cast<size_t>(st.adj)];
+        const std::vector<float>& values = se.induced.values();
+        if (scratch->adj_q.size() < values.size()) {
+          scratch->adj_q.resize(values.size());
+        }
+        QuantizeCodes8(values.data(), scratch->adj_q.data(),
+                       static_cast<int64_t>(values.size()), aq.params);
+        const int8_t* src = scratch->q[static_cast<size_t>(st.src)].data();
+        int32_t* acc = ensure_acc(n, st.cols);
+        SpmmInt8(se.induced, scratch->adj_q.data(), src, st.cols, acc);
+        int8_t* dst = ensure(st.dst, n, st.cols);
+        const double total = static_cast<double>(aq.params.scale) *
+                             st.src_params.scale / st.out_params.scale;
+        RequantFlat(acc, dst, n * st.cols, total, st.out_params);
+        break;
+      }
+      case IntOp::kAddRequant: {
+        int8_t* dst = ensure(st.dst, n, st.cols);
+        const int8_t* a = read_codes(se, st.src, st.cols);
+        const int8_t* c = scratch->q[static_cast<size_t>(st.src2)].data();
+        const double s1 =
+            static_cast<double>(st.src_params.scale) / st.out_params.scale;
+        const double s2 =
+            static_cast<double>(st.src2_params.scale) / st.out_params.scale;
+        AddRequantFlat(a, c, dst, n * st.cols, s1, s2, st.out_params);
+        break;
+      }
+      case IntOp::kRelu: {
+        int8_t* dst = ensure(st.dst, n, st.cols);
+        const int8_t* src = read_codes(se, st.src, st.cols);
+        ReluCodes(src, dst, n * st.cols);
+        break;
+      }
+    }
+  }
+  DequantizeCodes(scratch->q[static_cast<size_t>(int_final_buffer_)].data(), out,
+                  static_cast<int64_t>(fp.targets_.size()) * out_dim_,
+                  int_final_params_);
 }
 
 }  // namespace engine

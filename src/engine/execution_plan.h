@@ -40,6 +40,8 @@
 namespace mixq {
 namespace engine {
 
+class FrontierProgram;
+
 /// One dense linear transformation frozen at compile time.
 struct LoweredLinear {
   int64_t in = 0;
@@ -95,6 +97,9 @@ class ExecutionPlan {
     QuantParams src_params;   ///< params of src codes
     QuantParams src2_params;  ///< params of src2 codes (kAddRequant)
     QuantParams out_params;   ///< requantization target of dst
+    /// bias / out scale, precomputed at lowering (kGemmRequant with bias);
+    /// keeps the per-forward requant free of allocations.
+    std::vector<double> bias_over;
     int64_t cols = 0;
   };
 
@@ -106,6 +111,8 @@ class ExecutionPlan {
     std::vector<float> adj_f;            ///< fake-quantized adjacency values
     std::vector<int8_t> adj_q;           ///< int8 adjacency codes
     std::vector<int32_t> acc;            ///< int32 GEMM/SpMM accumulator
+    std::vector<float> gather_f;         ///< pruned-path row gather staging
+    std::vector<int8_t> gather_q;        ///< ... and its int8 counterpart
   };
 
   /// Lowers a frozen net + scheme. Returns nullptr when any component is not
@@ -139,6 +146,21 @@ class ExecutionPlan {
   void ExecuteInt8(const float* x, int64_t n, const SparseOperator& op,
                    Scratch* scratch, float* out) const;
 
+  /// Receptive-field-pruned float forward: computes only the per-layer
+  /// frontiers of `program` (built over this plan with int8=false against
+  /// the request's operator) and writes logits
+  /// [program.targets().size(), out_dim] into `out`, row i = node
+  /// targets()[i]. Bitwise identical to the same rows of Execute(). `x` is
+  /// the FULL feature matrix — the program gathers the rows it needs.
+  void ExecutePruned(const float* x, const FrontierProgram& program,
+                     Scratch* scratch, float* out) const;
+
+  /// Integer counterpart (program built with int8=true; requires
+  /// SupportsInt8()). Codes — and hence logits — are bitwise identical to
+  /// the same rows of ExecuteInt8().
+  void ExecutePrunedInt8(const float* x, const FrontierProgram& program,
+                         Scratch* scratch, float* out) const;
+
  private:
   ExecutionPlan() = default;
 
@@ -156,6 +178,7 @@ class ExecutionPlan {
   QuantParams int_final_params_;
 
   friend class PlanBuilder;
+  friend class FrontierProgram;
 };
 
 }  // namespace engine

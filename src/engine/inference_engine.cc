@@ -24,6 +24,15 @@ Status ValidateGraph(const std::string& name, const Tensor& features,
         std::to_string(op->matrix().cols()) + " columns but features have " +
         std::to_string(features.rows()) + " rows");
   }
+  // A pinned serving graph needs one logit row per node: a rectangular
+  // operator would make forwards produce fewer rows than node ids admission
+  // accepts (and would abort, rather than fail, the pruned analysis).
+  if (op->matrix().rows() != op->matrix().cols()) {
+    return Status::InvalidArgument(
+        "graph '" + name + "': serving operator must be square, got " +
+        std::to_string(op->matrix().rows()) + "x" +
+        std::to_string(op->matrix().cols()));
+  }
   return Status::OK();
 }
 
@@ -111,13 +120,16 @@ std::vector<std::string> InferenceEngine::ModelNames() const {
 namespace {
 
 /// Builds the immutable context for one registered graph; the operator's
-/// int8 depth check (O(nnz) row scan) runs once here, not per request.
+/// int8 depth check (O(nnz) row scan) and the frontier workspace's O(N)
+/// allocations run once here, not per request.
 std::shared_ptr<GraphContext> MakeGraphContext(const std::string& name,
                                                Tensor features,
                                                SparseOperatorPtr op) {
   auto context = std::make_shared<GraphContext>();
   context->name = name;
   context->int8_depth_safe = ExecutionPlan::Int8DepthSafeOperator(*op);
+  context->frontier_ws = std::make_shared<FrontierWorkspace>();
+  context->frontier_ws->EnsureSize(op->rows());
   context->features = std::move(features);
   context->op = std::move(op);
   return context;

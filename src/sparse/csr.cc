@@ -67,6 +67,41 @@ CsrMatrix CsrMatrix::Transpose() const {
   return FromCoo(cols_, rows_, std::move(entries));
 }
 
+CsrMatrix CsrMatrix::InducedRows(const std::vector<int64_t>& rows,
+                                 const int64_t* col_remap, int64_t new_cols) const {
+  CsrMatrix m;
+  m.rows_ = static_cast<int64_t>(rows.size());
+  m.cols_ = col_remap != nullptr ? new_cols : cols_;
+  m.row_ptr_.assign(rows.size() + 1, 0);
+  int64_t nnz = 0;
+  for (size_t i = 0; i < rows.size(); ++i) {
+    const int64_t r = rows[i];
+    MIXQ_CHECK_GE(r, 0);
+    MIXQ_CHECK_LT(r, rows_);
+    nnz += row_ptr_[static_cast<size_t>(r + 1)] - row_ptr_[static_cast<size_t>(r)];
+    m.row_ptr_[i + 1] = nnz;
+  }
+  m.col_idx_.resize(static_cast<size_t>(nnz));
+  m.values_.resize(static_cast<size_t>(nnz));
+  for (size_t i = 0; i < rows.size(); ++i) {
+    const int64_t r = rows[i];
+    const int64_t k0 = row_ptr_[static_cast<size_t>(r)];
+    const int64_t count = row_ptr_[static_cast<size_t>(r + 1)] - k0;
+    int64_t* cols_out = m.col_idx_.data() + m.row_ptr_[i];
+    std::memcpy(m.values_.data() + m.row_ptr_[i], values_.data() + k0,
+                sizeof(float) * static_cast<size_t>(count));
+    if (col_remap == nullptr) {
+      std::memcpy(cols_out, col_idx_.data() + k0,
+                  sizeof(int64_t) * static_cast<size_t>(count));
+    } else {
+      for (int64_t k = 0; k < count; ++k) {
+        cols_out[k] = col_remap[col_idx_[static_cast<size_t>(k0 + k)]];
+      }
+    }
+  }
+  return m;
+}
+
 CsrMatrix CsrMatrix::WithConstantValues(float value) const {
   CsrMatrix copy = *this;
   std::fill(copy.values_.begin(), copy.values_.end(), value);

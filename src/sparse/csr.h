@@ -49,6 +49,17 @@ class CsrMatrix {
   /// Materialized transpose (CSR of A^T). Used for SpMM backward.
   CsrMatrix Transpose() const;
 
+  /// Row-induced slice for receptive-field-pruned forwards: a CSR whose row
+  /// i is this matrix's row `rows[i]`, entries kept in their original
+  /// (ascending-column) order so per-row SpMM accumulation — and hence the
+  /// float result — is bitwise identical to the full matrix. When
+  /// `col_remap` is non-null, every stored column id c is rewritten to
+  /// col_remap[c] (the old→new frontier position map; each referenced
+  /// column must have a valid entry) and the slice has `new_cols` columns;
+  /// when null, column ids stay global and `new_cols` is ignored.
+  CsrMatrix InducedRows(const std::vector<int64_t>& rows,
+                        const int64_t* col_remap, int64_t new_cols) const;
+
   /// Returns a copy with every stored value replaced by `value`.
   CsrMatrix WithConstantValues(float value) const;
 

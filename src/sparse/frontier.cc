@@ -1,0 +1,76 @@
+// Copyright 2026 MixQ-GNN Authors
+#include "sparse/frontier.h"
+
+#include <algorithm>
+
+namespace mixq {
+
+std::vector<int64_t> ExpandFrontier(const CsrMatrix& a,
+                                    const std::vector<int64_t>& rows,
+                                    bool include_rows, FrontierWorkspace* ws) {
+  ws->EnsureSize(std::max(a.rows(), a.cols()));
+  const uint32_t e = ws->NextEpoch();
+  const std::vector<int64_t>& row_ptr = a.row_ptr();
+  const std::vector<int64_t>& col_idx = a.col_idx();
+  // Range-check up front: the marking loops below index ws->mark directly,
+  // so a bad id must die here, not corrupt the workspace first.
+  for (int64_t r : rows) {
+    MIXQ_CHECK_GE(r, 0);
+    MIXQ_CHECK_LT(r, a.rows());
+  }
+  std::vector<int64_t> out;
+  out.reserve(rows.size());
+  if (include_rows) {
+    for (int64_t r : rows) {
+      ws->mark[static_cast<size_t>(r)] = e;
+      out.push_back(r);
+    }
+  }
+  for (int64_t r : rows) {
+    for (int64_t k = row_ptr[static_cast<size_t>(r)];
+         k < row_ptr[static_cast<size_t>(r + 1)]; ++k) {
+      const int64_t c = col_idx[static_cast<size_t>(k)];
+      if (ws->mark[static_cast<size_t>(c)] != e) {
+        ws->mark[static_cast<size_t>(c)] = e;
+        out.push_back(c);
+      }
+    }
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+int64_t RowsNnz(const CsrMatrix& a, const std::vector<int64_t>& rows) {
+  const std::vector<int64_t>& row_ptr = a.row_ptr();
+  int64_t total = 0;
+  for (int64_t r : rows) {
+    total += row_ptr[static_cast<size_t>(r + 1)] - row_ptr[static_cast<size_t>(r)];
+  }
+  return total;
+}
+
+std::vector<int64_t> SortedUnion(const std::vector<int64_t>& a,
+                                 const std::vector<int64_t>& b) {
+  if (a.empty()) return b;
+  if (b.empty()) return a;
+  std::vector<int64_t> out;
+  out.reserve(a.size() + b.size());
+  std::set_union(a.begin(), a.end(), b.begin(), b.end(), std::back_inserter(out));
+  return out;
+}
+
+std::vector<int64_t> SortedPositions(const std::vector<int64_t>& subset,
+                                     const std::vector<int64_t>& superset) {
+  std::vector<int64_t> out;
+  out.reserve(subset.size());
+  size_t j = 0;
+  for (int64_t id : subset) {
+    while (j < superset.size() && superset[j] < id) ++j;
+    MIXQ_CHECK(j < superset.size() && superset[j] == id)
+        << "id " << id << " missing from superset";
+    out.push_back(static_cast<int64_t>(j));
+  }
+  return out;
+}
+
+}  // namespace mixq

@@ -1,0 +1,70 @@
+// Copyright 2026 MixQ-GNN Authors
+// Receptive-field frontier utilities for pruned serving. A point query on an
+// L-layer message-passing network needs logit rows for a handful of nodes,
+// and Eq. (2) makes the dependency structure explicit: row v of layer l
+// depends only on the in-neighbourhood of v in the adjacency operator. These
+// helpers compute that dependency set (frontier expansion) and give it O(1)
+// per-entry lookup structure (marks / positions) so per-layer induced CSR
+// slices can be built without touching the rest of the graph.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "sparse/csr.h"
+
+namespace mixq {
+
+/// Reusable graph-sized scratch for frontier expansion and induced-CSR
+/// construction: an epoch-stamped visited array (no O(N) clear per use) and
+/// a global→local position map. One workspace serves one graph at a time;
+/// it is NOT thread-safe — the serving engine keeps one per registered
+/// graph, used only from the batcher's single dispatcher thread.
+struct FrontierWorkspace {
+  std::vector<uint32_t> mark;  ///< epoch stamps, size >= n
+  std::vector<int64_t> pos;    ///< global id -> local frontier position
+  uint32_t epoch = 0;
+
+  /// Grows the arrays to cover ids in [0, n). Existing stamps stay valid.
+  void EnsureSize(int64_t n) {
+    if (static_cast<int64_t>(mark.size()) < n) {
+      mark.resize(static_cast<size_t>(n), 0);
+      pos.resize(static_cast<size_t>(n), 0);
+    }
+  }
+
+  /// Starts a fresh visited generation; handles the (theoretical) epoch
+  /// wraparound by clearing the stamps once every 2^32 uses.
+  uint32_t NextEpoch() {
+    if (++epoch == 0) {
+      std::fill(mark.begin(), mark.end(), 0u);
+      epoch = 1;
+    }
+    return epoch;
+  }
+};
+
+/// The in-frontier of `rows` under `a`: the sorted, deduplicated set of
+/// column ids stored in those rows (i.e. the nodes whose features the next
+/// SpMM over `rows` reads), optionally united with `rows` itself
+/// (`include_rows`, the closed neighbourhood GraphSAGE's root path needs).
+/// `rows` must be sorted unique and in range; the workspace is grown as
+/// needed. O(|rows| + frontier nnz + output log output).
+std::vector<int64_t> ExpandFrontier(const CsrMatrix& a,
+                                    const std::vector<int64_t>& rows,
+                                    bool include_rows, FrontierWorkspace* ws);
+
+/// Total stored entries across `rows` of `a` — the SpMM work an induced
+/// slice over those rows would cost. `rows` must be in range.
+int64_t RowsNnz(const CsrMatrix& a, const std::vector<int64_t>& rows);
+
+/// Sorted union of two sorted unique id lists.
+std::vector<int64_t> SortedUnion(const std::vector<int64_t>& a,
+                                 const std::vector<int64_t>& b);
+
+/// Positions of each element of `subset` within sorted unique `superset`
+/// (two-pointer merge; every element of `subset` must be present).
+std::vector<int64_t> SortedPositions(const std::vector<int64_t>& subset,
+                                     const std::vector<int64_t>& superset);
+
+}  // namespace mixq

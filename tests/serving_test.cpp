@@ -357,6 +357,13 @@ TEST(GraphRegistryTest, Lifecycle) {
   Tensor wrong_rows = Tensor::RandomUniform(Shape(7, 20), &rng, -1.0f, 1.0f);
   EXPECT_EQ(engine.RegisterGraph("mismatch", wrong_rows, artifact->op).code(),
             StatusCode::kInvalidArgument);
+  // Rectangular operators cannot serve (fewer logit rows than nodes, and
+  // node ids past op.rows() would reach the pruned analysis).
+  const int64_t n = artifact->features.rows();
+  SparseOperatorPtr rect = MakeOperator(
+      CsrMatrix::FromCoo(n - 1, n, {{0, 0, 1.0f}, {n - 2, n - 1, 1.0f}}));
+  EXPECT_EQ(engine.RegisterGraph("rect", artifact->features, rect).code(),
+            StatusCode::kInvalidArgument);
 
   EXPECT_EQ(engine.GraphNames(), std::vector<std::string>{"g"});
   ASSERT_TRUE(engine.GetGraph("g").ok());
@@ -735,6 +742,325 @@ TEST(SubmitTest, ConcurrentClientsSeeConsistentRows) {
   // The whole run needs exactly one forward: every request after the first
   // is either coalesced with it or a cache hit.
   EXPECT_EQ(stats.batcher.forwards, 1);
+}
+
+// ---------------------------------------------------------------------------
+// Receptive-field-pruned serving.
+// ---------------------------------------------------------------------------
+
+using engine::FrontierProgram;
+
+/// Asserts rows `targets` of `full` == the pruned output, bitwise.
+void ExpectPrunedRowsMatch(const Tensor& pruned, const Tensor& full,
+                           const std::vector<int64_t>& targets) {
+  ASSERT_EQ(pruned.rows(), static_cast<int64_t>(targets.size()));
+  ASSERT_EQ(pruned.cols(), full.cols());
+  for (size_t i = 0; i < targets.size(); ++i) {
+    for (int64_t c = 0; c < full.cols(); ++c) {
+      EXPECT_EQ(pruned.at(static_cast<int64_t>(i), c), full.at(targets[i], c))
+          << "node " << targets[i] << " col " << c;
+    }
+  }
+}
+
+// The tentpole contract: for every lowered registry scheme (GCN and SAGE
+// backbones), the pruned forward's rows are bitwise identical to the
+// full-graph forward's.
+TEST(PrunedServingTest, PrunedMatchesFullBitwiseAcrossSchemes) {
+  struct Case {
+    const char* label;
+    SchemeRef ref;
+    NodeModelKind model;
+  };
+  std::vector<Case> cases;
+  cases.push_back({"fp32", SchemeRef::Fp32(), NodeModelKind::kGcn});
+  cases.push_back({"qat8", SchemeRef::Qat(8), NodeModelKind::kGcn});
+  cases.push_back({"dq8", SchemeRef::Dq(8), NodeModelKind::kGcn});
+  cases.push_back({"fixed",
+                   SchemeRef::Fixed({{"model/x", 8},
+                                     {"gcn0/weight", 2},
+                                     {"gcn0/linear_out", 4},
+                                     {"gcn1/weight", 4}}),
+                   NodeModelKind::kGcn});
+  cases.push_back({"mixq", SchemeRef::MixQ(0.1), NodeModelKind::kGcn});
+  cases.push_back({"qat8-sage", SchemeRef::Qat(8), NodeModelKind::kSage});
+  for (const Case& c : cases) {
+    SCOPED_TRACE(c.label);
+    auto artifact = TrainArtifact(c.ref, c.model);
+    ASSERT_NE(artifact, nullptr);
+    CompiledModelPtr model = CompileModel(*artifact).ValueOrDie();
+    ASSERT_TRUE(model->info().lowered);
+    Tensor full = model->Predict(artifact->features, artifact->op).ValueOrDie();
+    const int64_t n = artifact->features.rows();
+
+    FrontierWorkspace ws;
+    PredictScratch scratch;
+    const std::vector<std::vector<int64_t>> target_sets = {
+        {0}, {n - 1}, {5, 42, 107}, {1, 2, 3, 4, 5, 6, 7, 8}};
+    for (const std::vector<int64_t>& targets : target_sets) {
+      auto program = model->BuildFrontierProgram(artifact->op, targets,
+                                                 /*int8=*/false, &ws,
+                                                 /*max_cost_fraction=*/10.0);
+      ASSERT_NE(program, nullptr);
+      EXPECT_GT(program->frontier_rows(), 0);
+      EXPECT_LT(program->frontier_nnz(), program->full_nnz());
+      Result<Tensor> pruned =
+          model->PredictPruned(artifact->features, *program, &scratch);
+      ASSERT_TRUE(pruned.ok()) << pruned.status().ToString();
+      ExpectPrunedRowsMatch(pruned.ValueOrDie(), full, targets);
+    }
+  }
+}
+
+TEST(PrunedServingTest, PrunedInt8MatchesFullInt8Bitwise) {
+  // The integer pruned executor computes the SAME codes as ExecuteInt8 for
+  // the surviving rows, so parity with PredictQuantized is bitwise — no
+  // tolerance needed (the tolerance lives between int8 and the reference).
+  for (NodeModelKind kind : {NodeModelKind::kGcn, NodeModelKind::kSage}) {
+    SCOPED_TRACE(kind == NodeModelKind::kGcn ? "gcn" : "sage");
+    auto artifact = TrainArtifact(SchemeRef::Qat(8), kind);
+    CompiledModelPtr model = CompileModel(*artifact).ValueOrDie();
+    ASSERT_TRUE(model->info().lowered_int8);
+    Tensor full =
+        model->PredictQuantized(artifact->features, artifact->op).ValueOrDie();
+    FrontierWorkspace ws;
+    PredictScratch scratch;
+    const std::vector<int64_t> targets = {3, 77, 150};
+    auto program = model->BuildFrontierProgram(artifact->op, targets,
+                                               /*int8=*/true, &ws, 10.0);
+    ASSERT_NE(program, nullptr);
+    EXPECT_TRUE(program->int8());
+    Result<Tensor> pruned =
+        model->PredictPruned(artifact->features, *program, &scratch);
+    ASSERT_TRUE(pruned.ok()) << pruned.status().ToString();
+    ExpectPrunedRowsMatch(pruned.ValueOrDie(), full, targets);
+  }
+}
+
+TEST(PrunedServingTest, IsolatedNodeRows) {
+  // A node with no in-edges has an empty receptive field beyond itself; the
+  // induced slices carry empty rows and the pruned output must still match
+  // the full forward (which aggregates zero for it). RowNormalize (SAGE)
+  // leaves the isolated row truly empty; GcnNormalize gives it a self-loop.
+  for (NodeModelKind kind : {NodeModelKind::kGcn, NodeModelKind::kSage}) {
+    SCOPED_TRACE(kind == NodeModelKind::kGcn ? "gcn" : "sage");
+    auto artifact = TrainArtifact(SchemeRef::Qat(8), kind);
+    CompiledModelPtr model = CompileModel(*artifact).ValueOrDie();
+    const int64_t n = 300;
+    // Ring over nodes 0..n-2; node n-1 isolated.
+    std::vector<CooEntry> edges;
+    for (int64_t v = 0; v + 1 < n; ++v) {
+      edges.push_back({v, (v + 1) % (n - 1), 1.0f});
+      edges.push_back({(v + 1) % (n - 1), v, 1.0f});
+    }
+    CsrMatrix adj = CsrMatrix::FromCoo(n, n, std::move(edges));
+    SparseOperatorPtr op = MakeOperator(
+        kind == NodeModelKind::kGcn ? GcnNormalize(adj) : RowNormalize(adj));
+    Rng rng(11);
+    Tensor features = Tensor::RandomUniform(
+        Shape(n, artifact->features.cols()), &rng, -1.0f, 1.0f);
+    Tensor full = model->Predict(features, op).ValueOrDie();
+
+    FrontierWorkspace ws;
+    PredictScratch scratch;
+    const std::vector<int64_t> targets = {n - 1};
+    auto program =
+        model->BuildFrontierProgram(op, targets, /*int8=*/false, &ws, 10.0);
+    ASSERT_NE(program, nullptr);
+    Result<Tensor> pruned = model->PredictPruned(features, *program, &scratch);
+    ASSERT_TRUE(pruned.ok()) << pruned.status().ToString();
+    ExpectPrunedRowsMatch(pruned.ValueOrDie(), full, targets);
+  }
+}
+
+TEST(PrunedServingTest, CostGateRefusesWideReceptiveFields) {
+  auto artifact = TrainArtifact(SchemeRef::Qat(8));
+  CompiledModelPtr model = CompileModel(*artifact).ValueOrDie();
+  const int64_t n = artifact->features.rows();
+  std::vector<int64_t> all(static_cast<size_t>(n));
+  for (int64_t i = 0; i < n; ++i) all[static_cast<size_t>(i)] = i;
+  FrontierWorkspace ws;
+  // Every node requested: the frontier IS the graph; the default-style
+  // fraction must refuse so the batcher serves (and caches) a full forward.
+  EXPECT_EQ(model->BuildFrontierProgram(artifact->op, all, false, &ws, 0.5),
+            nullptr);
+  EXPECT_EQ(model->BuildFrontierProgram(artifact->op, {}, false, &ws, 0.5),
+            nullptr);
+  // A non-lowered model has no plan to prune.
+  auto a2q = TrainArtifact(SchemeRef::A2q());
+  CompiledModelPtr fallback = CompileModel(*a2q).ValueOrDie();
+  EXPECT_EQ(fallback->BuildFrontierProgram(a2q->op, {0}, false, &ws, 10.0),
+            nullptr);
+  // And an fp32-only model has no int8 program.
+  auto fp32 = TrainArtifact(SchemeRef::Fp32());
+  CompiledModelPtr fp32_model = CompileModel(*fp32).ValueOrDie();
+  EXPECT_EQ(fp32_model->BuildFrontierProgram(fp32->op, {0}, true, &ws, 10.0),
+            nullptr);
+}
+
+// Engine-level routing: small-graph guard disabled and the cost gate
+// opened up so the 160-node test graph exercises the pruned path end to
+// end (the calibrated default fraction is tuned for graphs where pruning
+// actually pays; here we test routing mechanics, not the threshold).
+BatcherOptions PrunedOptions(bool cache) {
+  BatcherOptions options;
+  options.enable_cache = cache;
+  options.pruned_min_graph_nodes = 0;
+  options.pruned_max_cost_fraction = 0.9;
+  return options;
+}
+
+TEST(SubmitTest, SingleNodeRequestRoutesPrunedAndMatchesBitwise) {
+  auto artifact = TrainArtifact(SchemeRef::Qat(8));
+  CompiledModelPtr model = CompileModel(*artifact).ValueOrDie();
+  InferenceEngine engine(PrunedOptions(/*cache=*/false));
+  ASSERT_TRUE(engine.RegisterModel("m", model).ok());
+  ASSERT_TRUE(engine.RegisterGraph("g", artifact->features, artifact->op).ok());
+  Tensor reference = model->Predict(artifact->features, artifact->op).ValueOrDie();
+
+  Result<PredictResponse> response = engine.Submit(MakeRequest("m", "g", {42})).get();
+  ASSERT_TRUE(response.ok()) << response.status().ToString();
+  const PredictResponse& r = response.ValueOrDie();
+  EXPECT_TRUE(r.pruned);
+  EXPECT_FALSE(r.cache_hit);
+  EXPECT_GT(r.frontier_rows, 0);
+  for (int64_t c = 0; c < reference.cols(); ++c) {
+    EXPECT_EQ(r.rows.at(0, c), reference.at(42, c));
+  }
+  InferenceEngine::Stats stats = engine.GetStats();
+  EXPECT_EQ(stats.batcher.pruned_forwards, 1);
+  EXPECT_EQ(stats.batcher.full_forwards, 0);
+  EXPECT_EQ(stats.batcher.forwards, 1);
+}
+
+TEST(SubmitTest, AllNodesRequestRoutesFullAndStillHitsCache) {
+  auto artifact = TrainArtifact(SchemeRef::Qat(8));
+  CompiledModelPtr model = CompileModel(*artifact).ValueOrDie();
+  InferenceEngine engine(PrunedOptions(/*cache=*/true));
+  ASSERT_TRUE(engine.RegisterModel("m", model).ok());
+  ASSERT_TRUE(engine.RegisterGraph("g", artifact->features, artifact->op).ok());
+
+  // Empty node_ids = all rows: must take the full path and fill the cache
+  // even though pruning is enabled.
+  Result<PredictResponse> first = engine.Submit(MakeRequest("m", "g")).get();
+  ASSERT_TRUE(first.ok());
+  EXPECT_FALSE(first.ValueOrDie().pruned);
+  EXPECT_FALSE(first.ValueOrDie().cache_hit);
+  Result<PredictResponse> repeat = engine.Submit(MakeRequest("m", "g")).get();
+  ASSERT_TRUE(repeat.ok());
+  EXPECT_TRUE(repeat.ValueOrDie().cache_hit);
+  // With valid cached full logits, even a point query is a row gather —
+  // cheaper than any pruned forward.
+  Result<PredictResponse> point = engine.Submit(MakeRequest("m", "g", {7})).get();
+  ASSERT_TRUE(point.ok());
+  EXPECT_TRUE(point.ValueOrDie().cache_hit);
+  EXPECT_FALSE(point.ValueOrDie().pruned);
+
+  InferenceEngine::Stats stats = engine.GetStats();
+  EXPECT_EQ(stats.batcher.pruned_forwards, 0);
+  EXPECT_EQ(stats.batcher.full_forwards, 1);
+  EXPECT_EQ(stats.batcher.cache_hits, 2);
+}
+
+// Regression: a request repeating a node id must get one row PER
+// OCCURRENCE, in request order, on both the pruned path (where the forward
+// dedupes ids into a sorted union) and the full path.
+TEST(SubmitTest, DuplicateNodeIdsReturnOneRowPerOccurrence) {
+  auto artifact = TrainArtifact(SchemeRef::Qat(8));
+  CompiledModelPtr model = CompileModel(*artifact).ValueOrDie();
+  Tensor reference = model->Predict(artifact->features, artifact->op).ValueOrDie();
+  const std::vector<int64_t> ids = {7, 3, 7, 7, 159};
+
+  for (bool pruning : {true, false}) {
+    SCOPED_TRACE(pruning ? "pruned" : "full");
+    BatcherOptions options = PrunedOptions(/*cache=*/false);
+    options.enable_pruning = pruning;
+    InferenceEngine engine(options);
+    ASSERT_TRUE(engine.RegisterModel("m", model).ok());
+    ASSERT_TRUE(engine.RegisterGraph("g", artifact->features, artifact->op).ok());
+
+    Result<PredictResponse> response =
+        engine.Submit(MakeRequest("m", "g", ids)).get();
+    ASSERT_TRUE(response.ok()) << response.status().ToString();
+    const PredictResponse& r = response.ValueOrDie();
+    EXPECT_EQ(r.pruned, pruning);
+    EXPECT_EQ(r.node_ids, ids);
+    ASSERT_EQ(r.rows.rows(), static_cast<int64_t>(ids.size()));
+    for (size_t i = 0; i < ids.size(); ++i) {
+      for (int64_t c = 0; c < reference.cols(); ++c) {
+        EXPECT_EQ(r.rows.at(static_cast<int64_t>(i), c),
+                  reference.at(ids[i], c))
+            << "occurrence " << i;
+      }
+    }
+  }
+}
+
+// One dispatcher drain carrying both a pruned group and full groups, fed by
+// 8 concurrent clients: routing is per group, and each group's rows stay
+// bitwise correct.
+TEST(SubmitTest, MixedPrunedAndFullRoutingInOneDrain) {
+  auto slow_artifact = TrainArtifact(SchemeRef::A2q());  // not lowered: stalls
+  CompiledModelPtr slow_model = CompileModel(*slow_artifact).ValueOrDie();
+  auto artifact = TrainArtifact(SchemeRef::Qat(8));
+  auto other = TrainArtifact(SchemeRef::Fp32(), NodeModelKind::kGcn, /*seed=*/7);
+  CompiledModelPtr model = CompileModel(*artifact).ValueOrDie();
+
+  InferenceEngine engine(PrunedOptions(/*cache=*/false));
+  ASSERT_TRUE(engine.RegisterModel("slow", slow_model).ok());
+  ASSERT_TRUE(engine.RegisterModel("m", model).ok());
+  ASSERT_TRUE(
+      engine.RegisterGraph("stall", slow_artifact->features, slow_artifact->op).ok());
+  ASSERT_TRUE(engine.RegisterGraph("g", artifact->features, artifact->op).ok());
+  ASSERT_TRUE(engine.RegisterGraph("g2", other->features, other->op).ok());
+
+  Tensor ref_g = model->Predict(artifact->features, artifact->op).ValueOrDie();
+  Tensor ref_g2 = model->Predict(other->features, other->op).ValueOrDie();
+  const int64_t n = artifact->features.rows();
+
+  // Stall the dispatcher, then race 8 clients into one drain: 4 point
+  // queries on g (pruned group) and 4 all-rows queries on g2 (full group).
+  std::unique_lock<std::mutex> stall(*slow_artifact->forward_mu);
+  std::future<Result<PredictResponse>> blocked =
+      engine.Submit(MakeRequest("slow", "stall"));
+  ASSERT_TRUE(WaitFor([&] {
+    InferenceEngine::Stats s = engine.GetStats();
+    return s.batcher.in_dispatch >= 1 && s.batcher.queue_depth == 0;
+  }));
+
+  constexpr int kClients = 8;
+  std::vector<std::future<Result<PredictResponse>>> futures(kClients);
+  std::vector<std::thread> clients;
+  for (int i = 0; i < kClients; ++i) {
+    clients.emplace_back([&, i] {
+      futures[static_cast<size_t>(i)] =
+          i % 2 == 0 ? engine.Submit(MakeRequest("m", "g", {(i * 17) % n}))
+                     : engine.Submit(MakeRequest("m", "g2"));
+    });
+  }
+  for (auto& c : clients) c.join();
+  stall.unlock();
+  ASSERT_TRUE(blocked.get().ok());
+
+  for (int i = 0; i < kClients; ++i) {
+    Result<PredictResponse> response = futures[static_cast<size_t>(i)].get();
+    ASSERT_TRUE(response.ok()) << response.status().ToString();
+    const PredictResponse& r = response.ValueOrDie();
+    if (i % 2 == 0) {
+      EXPECT_TRUE(r.pruned) << "client " << i;
+      const int64_t id = (i * 17) % n;
+      for (int64_t c = 0; c < ref_g.cols(); ++c) {
+        EXPECT_EQ(r.rows.at(0, c), ref_g.at(id, c)) << "client " << i;
+      }
+    } else {
+      EXPECT_FALSE(r.pruned) << "client " << i;
+      EXPECT_EQ(r.rows.data(), ref_g2.data()) << "client " << i;
+    }
+  }
+  InferenceEngine::Stats stats = engine.GetStats();
+  EXPECT_EQ(stats.batcher.pruned_forwards, 1);   // the 4 point queries
+  EXPECT_EQ(stats.batcher.full_forwards, 2);     // the stall + the g2 group
+  EXPECT_EQ(stats.per_model.at("m").successes, kClients);
 }
 
 }  // namespace

@@ -4,6 +4,7 @@
 #include <gtest/gtest.h>
 
 #include "sparse/csr.h"
+#include "sparse/frontier.h"
 #include "sparse/spmm.h"
 #include "tensor/gradcheck.h"
 #include "tensor/ops.h"
@@ -212,6 +213,103 @@ TEST(SpmmOpTest, RectangularOperator) {
   EXPECT_EQ(y.rows(), 2);
   EXPECT_FLOAT_EQ(y.at(0, 0), 4.0f);
   EXPECT_FLOAT_EQ(y.at(1, 0), 2.0f);
+}
+
+// ---------------------------------------------------------------------------
+// Receptive-field frontier utilities (pruned serving).
+// ---------------------------------------------------------------------------
+
+TEST(FrontierTest, ExpandFrontierIsSortedDedupedInNeighbourhood) {
+  // Row r's stored columns are the in-neighbourhood the next SpMM reads.
+  CsrMatrix m = CsrMatrix::FromCoo(
+      5, 5, {{0, 1, 1.0f}, {0, 3, 1.0f}, {1, 0, 1.0f}, {3, 3, 1.0f},
+             {3, 1, 1.0f}, {4, 2, 1.0f}});
+  FrontierWorkspace ws;
+  EXPECT_EQ(ExpandFrontier(m, {0}, false, &ws), (std::vector<int64_t>{1, 3}));
+  // Overlapping neighbourhoods dedupe; output is sorted.
+  EXPECT_EQ(ExpandFrontier(m, {0, 3}, false, &ws), (std::vector<int64_t>{1, 3}));
+  // include_rows unions the seed rows (the closed neighbourhood).
+  EXPECT_EQ(ExpandFrontier(m, {0, 4}, true, &ws),
+            (std::vector<int64_t>{0, 1, 2, 3, 4}));
+  // A row with no stored entries (node 2) has an empty open frontier.
+  EXPECT_TRUE(ExpandFrontier(m, {2}, false, &ws).empty());
+  EXPECT_EQ(RowsNnz(m, {0, 3, 2}), 4);
+}
+
+TEST(FrontierTest, WorkspaceEpochsSurviveReuse) {
+  CsrMatrix m = CsrMatrix::FromCoo(3, 3, {{0, 1, 1.0f}, {1, 2, 1.0f}});
+  FrontierWorkspace ws;
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(ExpandFrontier(m, {0, 1}, false, &ws),
+              (std::vector<int64_t>{1, 2}));
+  }
+}
+
+TEST(FrontierTest, SortedUnionAndPositions) {
+  EXPECT_EQ(SortedUnion({1, 4, 9}, {2, 4, 10}),
+            (std::vector<int64_t>{1, 2, 4, 9, 10}));
+  EXPECT_EQ(SortedUnion({}, {3, 5}), (std::vector<int64_t>{3, 5}));
+  EXPECT_EQ(SortedPositions({2, 9}, {1, 2, 4, 9, 10}),
+            (std::vector<int64_t>{1, 3}));
+}
+
+TEST(InducedRowsTest, SliceKeepsValuesAndOrderAndRemapsColumns) {
+  CsrMatrix m = SmallMatrix();  // [[0,2,0],[1,0,3],[0,0,4]]
+  // Global columns (no remap): row i of the slice is row rows[i] of m.
+  CsrMatrix sliced = m.InducedRows({1, 2}, nullptr, 0);
+  EXPECT_EQ(sliced.rows(), 2);
+  EXPECT_EQ(sliced.cols(), 3);
+  auto dense = sliced.ToDense();
+  const std::vector<float> expected = {1, 0, 3, 0, 0, 4};
+  ASSERT_EQ(dense.size(), expected.size());
+  for (size_t i = 0; i < dense.size(); ++i) EXPECT_FLOAT_EQ(dense[i], expected[i]);
+
+  // Remapped columns: frontier {0, 2} -> local positions {0, 1}. Entry
+  // order within a row is preserved (ascending original column), which is
+  // what keeps per-row SpMM accumulation bitwise identical.
+  std::vector<int64_t> remap = {0, -1, 1};
+  CsrMatrix local = m.InducedRows({1, 2}, remap.data(), 2);
+  EXPECT_EQ(local.cols(), 2);
+  auto local_dense = local.ToDense();
+  const std::vector<float> local_expected = {1, 3, 0, 4};
+  ASSERT_EQ(local_dense.size(), local_expected.size());
+  for (size_t i = 0; i < local_dense.size(); ++i) {
+    EXPECT_FLOAT_EQ(local_dense[i], local_expected[i]);
+  }
+}
+
+TEST(InducedRowsTest, SpmmOnSliceMatchesFullRows) {
+  // Bitwise contract at the kernel level: SpMM over an induced slice equals
+  // the same rows of the full SpMM, exactly.
+  CsrMatrix m = CsrMatrix::FromCoo(
+      6, 6, {{0, 1, 0.3f}, {0, 4, -1.2f}, {1, 0, 2.0f}, {2, 2, 0.7f},
+             {3, 5, 1.1f}, {3, 0, -0.4f}, {5, 3, 0.9f}});
+  const int64_t f = 5;
+  std::vector<float> x(static_cast<size_t>(6 * f));
+  for (size_t i = 0; i < x.size(); ++i) x[i] = 0.1f * static_cast<float>(i) - 1.3f;
+  std::vector<float> full(static_cast<size_t>(6 * f));
+  SpmmRaw(m, x.data(), f, full.data());
+
+  const std::vector<int64_t> rows = {0, 3, 5};
+  FrontierWorkspace ws;
+  std::vector<int64_t> frontier = ExpandFrontier(m, rows, false, &ws);
+  ws.EnsureSize(6);
+  for (size_t j = 0; j < frontier.size(); ++j) ws.pos[frontier[j]] = j;
+  CsrMatrix sliced =
+      m.InducedRows(rows, ws.pos.data(), static_cast<int64_t>(frontier.size()));
+  // Gather the frontier's feature rows into local order.
+  std::vector<float> x_local(frontier.size() * static_cast<size_t>(f));
+  for (size_t j = 0; j < frontier.size(); ++j) {
+    std::copy_n(x.data() + frontier[j] * f, f, x_local.data() + j * f);
+  }
+  std::vector<float> pruned(rows.size() * static_cast<size_t>(f));
+  SpmmRaw(sliced, x_local.data(), f, pruned.data());
+  for (size_t i = 0; i < rows.size(); ++i) {
+    for (int64_t c = 0; c < f; ++c) {
+      EXPECT_EQ(pruned[i * f + c], full[rows[i] * f + c])
+          << "row " << rows[i] << " col " << c;
+    }
+  }
 }
 
 }  // namespace
