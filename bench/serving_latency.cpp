@@ -26,6 +26,7 @@
 
 #include "bench/bench_util.h"
 #include "engine/inference_engine.h"
+#include "engine/model_bundle.h"
 
 using namespace mixq;
 using namespace mixq::bench;
@@ -99,6 +100,29 @@ int main() {
   const SparseOperatorPtr& op = artifact->op;
   const int64_t n = x.rows();
   const int64_t nnz = op->nnz();
+
+  // ---- bundle cold start ---------------------------------------------------
+  // Offline-deployment readiness: what a fresh serving process pays between
+  // "bundle on disk" and "first logits out" (engine/model_bundle.h). Parity
+  // is asserted bitwise before any number is recorded.
+  const char* bundle_path = "serving_latency_model.mqb";
+  Clock::time_point bundle_t0 = Clock::now();
+  MIXQ_CHECK(engine::SaveBundle(*model, bundle_path).ok());
+  const double bundle_save_ms = SecondsSince(bundle_t0) * 1e3;
+  bundle_t0 = Clock::now();
+  Result<engine::CompiledModelPtr> bundled = engine::LoadBundle(bundle_path);
+  MIXQ_CHECK(bundled.ok()) << bundled.status().ToString();
+  const double bundle_load_ms = SecondsSince(bundle_t0) * 1e3;
+  bundle_t0 = Clock::now();
+  Result<Tensor> bundle_first = bundled.ValueOrDie()->Predict(x, op);
+  MIXQ_CHECK(bundle_first.ok()) << bundle_first.status().ToString();
+  const double bundle_first_predict_ms = SecondsSince(bundle_t0) * 1e3;
+  MIXQ_CHECK(bundle_first.ValueOrDie().data() ==
+             model->Predict(x, op).ValueOrDie().data())
+      << "bundle round-trip parity violated";
+  const int64_t bundle_bytes = static_cast<int64_t>(
+      engine::InspectBundle(bundle_path).ValueOrDie().file_bytes);
+  std::remove(bundle_path);
 
   // ---- single-request latency ---------------------------------------------
   engine::PredictScratch scratch;
@@ -276,6 +300,11 @@ int main() {
               "%.2fx cached, %.2fx coalescing only (avg batch %.1f)\n",
               threads, batched_ratio, batched_nocache_ratio, avg_batch);
 
+  std::printf("\nbundle cold start: %lld bytes on disk, save %.2f ms, "
+              "load %.2f ms, first predict %.2f ms (bitwise == in-process)\n",
+              static_cast<long long>(bundle_bytes), bundle_save_ms,
+              bundle_load_ms, bundle_first_predict_ms);
+
   std::printf("\npruned serving on %lld-node power-law graph (%lld nnz, "
               "cache disabled):\n",
               static_cast<long long>(big_n), static_cast<long long>(big_nnz));
@@ -318,6 +347,12 @@ int main() {
        << "    \"qps_ratio\": " << batched_ratio << ",\n"
        << "    \"qps_ratio_nocache\": " << batched_nocache_ratio << ",\n"
        << "    \"avg_batch_size\": " << avg_batch << "\n"
+       << "  },\n"
+       << "  \"bundle\": {\n"
+       << "    \"file_bytes\": " << bundle_bytes << ",\n"
+       << "    \"save_ms\": " << bundle_save_ms << ",\n"
+       << "    \"load_ms\": " << bundle_load_ms << ",\n"
+       << "    \"first_predict_ms\": " << bundle_first_predict_ms << "\n"
        << "  },\n"
        << "  \"pruned\": {\n"
        << "    \"nodes\": " << big_n << ",\n"

@@ -1,0 +1,160 @@
+// Copyright 2026 MixQ-GNN Authors
+// Offline deployment: a fresh serving process with ZERO training code paths.
+//
+// mixq_compile (tools/) trained a model in some other process — possibly on
+// another machine — and left behind a model bundle, a graph bundle, and a
+// logit digest. This binary loads both bundles into an InferenceEngine,
+// proves bitwise parity with the compiling process via the digest, and then
+// serves asynchronous Submit traffic: batched single-node requests, cached
+// repeat full-graph queries, and (when the graph is large enough)
+// receptive-field-pruned point lookups — the full serving surface against a
+// model whose training pipeline this process never linked.
+//
+//   ./examples/offline_deploy model.mqb graph.mqb [model.digest]
+#include <cstdio>
+#include <cstring>
+#include <future>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/binary_io.h"
+#include "engine/inference_engine.h"
+#include "engine/model_bundle.h"
+
+using namespace mixq;
+
+int main(int argc, char** argv) {
+  if (argc < 3) {
+    std::fprintf(stderr, "usage: %s model.mqb graph.mqb [model.digest]\n",
+                 argv[0]);
+    return 2;
+  }
+
+  // ---- load the frozen artifacts -------------------------------------------
+  engine::InferenceEngine serving;
+  Status model_loaded = serving.LoadModelFromFile("bundled", argv[1]);
+  MIXQ_CHECK(model_loaded.ok()) << model_loaded.ToString();
+  Status graph_loaded = serving.LoadGraphFromFile("graph", argv[2]);
+  MIXQ_CHECK(graph_loaded.ok()) << graph_loaded.ToString();
+
+  for (const auto& [name, m] : serving.ListModels()) {
+    std::printf("model '%s' v%llu: %s, %lld features -> %lld logits, "
+                "%lld params, int8=%s\n",
+                name.c_str(), static_cast<unsigned long long>(m.version),
+                m.info.scheme_label.c_str(),
+                static_cast<long long>(m.info.in_features),
+                static_cast<long long>(m.info.out_dim),
+                static_cast<long long>(m.info.param_count),
+                m.info.lowered_int8 ? "yes" : "no");
+  }
+  for (const auto& [name, g] : serving.ListGraphs()) {
+    std::printf("graph '%s' v%llu: %lld nodes, %lld nnz, %lld features/node\n",
+                name.c_str(), static_cast<unsigned long long>(g.version),
+                static_cast<long long>(g.nodes), static_cast<long long>(g.nnz),
+                static_cast<long long>(g.feature_dim));
+  }
+  const engine::CompiledModelInfo info =
+      serving.ListModels().at("bundled").info;
+
+  auto submit = [&](std::vector<int64_t> node_ids, engine::Precision precision) {
+    engine::PredictRequest request;
+    request.model = "bundled";
+    request.graph = "graph";
+    request.node_ids = std::move(node_ids);
+    request.precision = precision;
+    Result<engine::PredictResponse> response =
+        serving.Submit(std::move(request)).get();
+    MIXQ_CHECK(response.ok()) << response.status().ToString();
+    return response.MoveValueOrDie();
+  };
+
+  // ---- cross-process parity: digest of the full-graph logits ---------------
+  engine::PredictResponse full = submit({}, engine::Precision::kFp32);
+  const std::vector<float>& logits = full.rows.data();
+  const uint64_t fp32_digest =
+      Fnv1a64(logits.data(), logits.size() * sizeof(float));
+  std::printf("fp32 logits: %lld rows, %s",
+              static_cast<long long>(full.rows.rows()),
+              engine::FormatLogitDigestLine("digest fp32", fp32_digest).c_str());
+
+  uint64_t int8_digest = 0;
+  if (info.lowered_int8) {
+    engine::PredictResponse quant = submit({}, engine::Precision::kInt8);
+    const std::vector<float>& q = quant.rows.data();
+    int8_digest = Fnv1a64(q.data(), q.size() * sizeof(float));
+    std::printf("int8 logits: %lld rows, %s",
+                static_cast<long long>(quant.rows.rows()),
+                engine::FormatLogitDigestLine("digest int8", int8_digest).c_str());
+  }
+
+  if (argc > 3) {
+    std::vector<uint8_t> digest_bytes;
+    Status read = ReadFileBytes(argv[3], &digest_bytes);
+    MIXQ_CHECK(read.ok()) << read.ToString();
+    const std::string text(digest_bytes.begin(), digest_bytes.end());
+    uint64_t want_fp32 = 0, want_int8 = 0;
+    MIXQ_CHECK(engine::FindLogitDigest(text, "fp32", &want_fp32))
+        << "digest file has no fp32 line";
+    MIXQ_CHECK(want_fp32 == fp32_digest)
+        << "fp32 logits diverged from the compiling process";
+    const bool has_int8 = engine::FindLogitDigest(text, "int8", &want_int8);
+    MIXQ_CHECK(has_int8 == info.lowered_int8)
+        << "compiling process and this one disagree about the int8 plan";
+    if (has_int8) {
+      MIXQ_CHECK(want_int8 == int8_digest)
+          << "int8 logits diverged from the compiling process";
+    }
+    std::printf("parity: logits bitwise identical to the compiling process\n");
+  }
+
+  // ---- serve traffic through every route -----------------------------------
+  // Repeat full-graph query: served from the result cache, no forward.
+  engine::PredictResponse repeat = submit({}, engine::Precision::kFp32);
+  MIXQ_CHECK(repeat.cache_hit) << "repeat full-graph query should hit the cache";
+
+  // Concurrent single-node clients: coalesced by the micro-batcher; each
+  // gathered row must equal the full forward's row bitwise.
+  const int64_t n = full.rows.rows();
+  constexpr int kClients = 4, kRequestsPerClient = 8;
+  std::vector<std::thread> clients;
+  std::vector<int> mismatches(kClients, 0);
+  for (int t = 0; t < kClients; ++t) {
+    clients.emplace_back([&, t] {
+      for (int i = 0; i < kRequestsPerClient; ++i) {
+        const int64_t node = (t * 151 + i * 7) % n;
+        engine::PredictRequest request;
+        request.model = "bundled";
+        request.graph = "graph";
+        request.node_ids = {node};
+        request.precision = engine::Precision::kFp32;
+        Result<engine::PredictResponse> response =
+            serving.Submit(std::move(request)).get();
+        if (!response.ok()) {
+          ++mismatches[t];
+          continue;
+        }
+        for (int64_t c = 0; c < full.rows.cols(); ++c) {
+          if (response.ValueOrDie().rows.at(0, c) != full.rows.at(node, c)) {
+            ++mismatches[t];
+          }
+        }
+      }
+    });
+  }
+  for (auto& c : clients) c.join();
+  for (int t = 0; t < kClients; ++t) {
+    MIXQ_CHECK(mismatches[t] == 0) << "client " << t << " saw diverging rows";
+  }
+
+  engine::InferenceEngine::Stats stats = serving.GetStats();
+  std::printf("served %lld requests (%lld failed): %lld forwards "
+              "(%lld pruned), %lld cache hits\n",
+              static_cast<long long>(stats.requests),
+              static_cast<long long>(stats.failures),
+              static_cast<long long>(stats.batcher.forwards),
+              static_cast<long long>(stats.batcher.pruned_forwards),
+              static_cast<long long>(stats.batcher.cache_hits));
+  std::printf("offline deployment OK: trained elsewhere, served here\n");
+  return 0;
+}

@@ -75,6 +75,22 @@ int main() {
   MIXQ_CHECK(
       serving.RegisterGraph("citation", r.artifact->features, r.artifact->op).ok());
 
+  // What an operator dashboard would poll: every pinned model and graph,
+  // with the registry versions the result cache is keyed by.
+  for (const auto& [name, m] : serving.ListModels()) {
+    std::printf("registry: model '%s' v%llu — %s, %lld -> %lld, int8=%s\n",
+                name.c_str(), static_cast<unsigned long long>(m.version),
+                m.info.scheme_label.c_str(),
+                static_cast<long long>(m.info.in_features),
+                static_cast<long long>(m.info.out_dim),
+                m.info.lowered_int8 ? "yes" : "no");
+  }
+  for (const auto& [name, g] : serving.ListGraphs()) {
+    std::printf("registry: graph '%s' v%llu — %lld nodes, %lld nnz\n",
+                name.c_str(), static_cast<unsigned long long>(g.version),
+                static_cast<long long>(g.nodes), static_cast<long long>(g.nnz));
+  }
+
   // Parity check #1: the legacy synchronous Predict still returns logits
   // bitwise-identical to the eval-mode forward the experiment measured.
   Result<Tensor> served =

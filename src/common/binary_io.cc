@@ -1,0 +1,253 @@
+// Copyright 2026 MixQ-GNN Authors
+#include "common/binary_io.h"
+
+#include <cstdio>
+
+namespace mixq {
+
+namespace {
+
+const uint32_t* Crc32Table() {
+  static const uint32_t* table = [] {
+    static uint32_t t[256];
+    for (uint32_t i = 0; i < 256; ++i) {
+      uint32_t c = i;
+      for (int k = 0; k < 8; ++k) {
+        c = (c & 1u) ? 0xEDB88320u ^ (c >> 1) : c >> 1;
+      }
+      t[i] = c;
+    }
+    return t;
+  }();
+  return table;
+}
+
+}  // namespace
+
+uint32_t Crc32(const void* data, size_t size, uint32_t seed) {
+  const uint32_t* table = Crc32Table();
+  const uint8_t* p = static_cast<const uint8_t*>(data);
+  uint32_t c = seed ^ 0xFFFFFFFFu;
+  for (size_t i = 0; i < size; ++i) {
+    c = table[(c ^ p[i]) & 0xFFu] ^ (c >> 8);
+  }
+  return c ^ 0xFFFFFFFFu;
+}
+
+uint64_t Fnv1a64(const void* data, size_t size) {
+  const uint8_t* p = static_cast<const uint8_t*>(data);
+  uint64_t h = 0xcbf29ce484222325ull;
+  for (size_t i = 0; i < size; ++i) {
+    h ^= p[i];
+    h *= 0x100000001b3ull;
+  }
+  return h;
+}
+
+bool IsLittleEndianHost() {
+  const uint16_t probe = 1;
+  uint8_t first;
+  std::memcpy(&first, &probe, 1);
+  return first == 1;
+}
+
+// ---- ByteWriter ------------------------------------------------------------
+
+void ByteWriter::PutU16(uint16_t v) {
+  buf_.push_back(static_cast<uint8_t>(v & 0xFF));
+  buf_.push_back(static_cast<uint8_t>(v >> 8));
+}
+
+void ByteWriter::PutU32(uint32_t v) {
+  for (int i = 0; i < 4; ++i) buf_.push_back(static_cast<uint8_t>(v >> (8 * i)));
+}
+
+void ByteWriter::PutU64(uint64_t v) {
+  for (int i = 0; i < 8; ++i) buf_.push_back(static_cast<uint8_t>(v >> (8 * i)));
+}
+
+void ByteWriter::PutF32(float v) {
+  uint32_t bits;
+  std::memcpy(&bits, &v, sizeof(bits));
+  PutU32(bits);
+}
+
+void ByteWriter::PutF64(double v) {
+  uint64_t bits;
+  std::memcpy(&bits, &v, sizeof(bits));
+  PutU64(bits);
+}
+
+void ByteWriter::PutString(const std::string& s) {
+  PutU32(static_cast<uint32_t>(s.size()));
+  PutBytes(s.data(), s.size());
+}
+
+void ByteWriter::PutBytes(const void* data, size_t size) {
+  const uint8_t* p = static_cast<const uint8_t*>(data);
+  buf_.insert(buf_.end(), p, p + size);
+}
+
+void ByteWriter::AppendPod(const void* data, size_t count, size_t elem_size) {
+  const size_t bytes = count * elem_size;
+  if (IsLittleEndianHost() || elem_size == 1) {
+    PutBytes(data, bytes);
+    return;
+  }
+  const uint8_t* p = static_cast<const uint8_t*>(data);
+  buf_.reserve(buf_.size() + bytes);
+  for (size_t i = 0; i < count; ++i) {
+    for (size_t b = 0; b < elem_size; ++b) {
+      buf_.push_back(p[i * elem_size + (elem_size - 1 - b)]);
+    }
+  }
+}
+
+// ---- ByteReader ------------------------------------------------------------
+
+Status ByteReader::Need(size_t bytes) const {
+  if (bytes > remaining()) {
+    return Status::OutOfRange("truncated: need " + std::to_string(bytes) +
+                              " bytes at offset " + std::to_string(pos_) +
+                              ", have " + std::to_string(remaining()));
+  }
+  return Status::OK();
+}
+
+void ByteReader::ExtractPod(void* out, size_t count, size_t elem_size) {
+  const size_t bytes = count * elem_size;
+  if (IsLittleEndianHost() || elem_size == 1) {
+    std::memcpy(out, data_ + pos_, bytes);
+  } else {
+    uint8_t* dst = static_cast<uint8_t*>(out);
+    for (size_t i = 0; i < count; ++i) {
+      for (size_t b = 0; b < elem_size; ++b) {
+        dst[i * elem_size + (elem_size - 1 - b)] = data_[pos_ + i * elem_size + b];
+      }
+    }
+  }
+  pos_ += bytes;
+}
+
+Status ByteReader::ReadU8(uint8_t* out) {
+  MIXQ_RETURN_NOT_OK(Need(1));
+  *out = data_[pos_++];
+  return Status::OK();
+}
+
+Status ByteReader::ReadU16(uint16_t* out) {
+  MIXQ_RETURN_NOT_OK(Need(2));
+  *out = static_cast<uint16_t>(data_[pos_] | (data_[pos_ + 1] << 8));
+  pos_ += 2;
+  return Status::OK();
+}
+
+Status ByteReader::ReadU32(uint32_t* out) {
+  MIXQ_RETURN_NOT_OK(Need(4));
+  uint32_t v = 0;
+  for (int i = 0; i < 4; ++i) v |= static_cast<uint32_t>(data_[pos_ + i]) << (8 * i);
+  pos_ += 4;
+  *out = v;
+  return Status::OK();
+}
+
+Status ByteReader::ReadU64(uint64_t* out) {
+  MIXQ_RETURN_NOT_OK(Need(8));
+  uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) v |= static_cast<uint64_t>(data_[pos_ + i]) << (8 * i);
+  pos_ += 8;
+  *out = v;
+  return Status::OK();
+}
+
+Status ByteReader::ReadI32(int32_t* out) {
+  uint32_t v = 0;
+  MIXQ_RETURN_NOT_OK(ReadU32(&v));
+  *out = static_cast<int32_t>(v);
+  return Status::OK();
+}
+
+Status ByteReader::ReadI64(int64_t* out) {
+  uint64_t v = 0;
+  MIXQ_RETURN_NOT_OK(ReadU64(&v));
+  *out = static_cast<int64_t>(v);
+  return Status::OK();
+}
+
+Status ByteReader::ReadF32(float* out) {
+  uint32_t bits = 0;
+  MIXQ_RETURN_NOT_OK(ReadU32(&bits));
+  std::memcpy(out, &bits, sizeof(bits));
+  return Status::OK();
+}
+
+Status ByteReader::ReadF64(double* out) {
+  uint64_t bits = 0;
+  MIXQ_RETURN_NOT_OK(ReadU64(&bits));
+  std::memcpy(out, &bits, sizeof(bits));
+  return Status::OK();
+}
+
+Status ByteReader::ReadString(std::string* out) {
+  uint32_t len = 0;
+  MIXQ_RETURN_NOT_OK(ReadU32(&len));
+  MIXQ_RETURN_NOT_OK(Need(len));
+  out->assign(reinterpret_cast<const char*>(data_ + pos_), len);
+  pos_ += len;
+  return Status::OK();
+}
+
+Status ByteReader::Skip(size_t bytes) {
+  MIXQ_RETURN_NOT_OK(Need(bytes));
+  pos_ += bytes;
+  return Status::OK();
+}
+
+// ---- Whole-file helpers ----------------------------------------------------
+
+Status ReadFileBytes(const std::string& path, std::vector<uint8_t>* out) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) {
+    return Status::NotFound("cannot open '" + path + "' for reading");
+  }
+  std::fseek(f, 0, SEEK_END);
+  const long size = std::ftell(f);
+  if (size < 0) {
+    std::fclose(f);
+    return Status::Internal("cannot determine size of '" + path + "'");
+  }
+  std::fseek(f, 0, SEEK_SET);
+  out->resize(static_cast<size_t>(size));
+  const size_t read =
+      size == 0 ? 0 : std::fread(out->data(), 1, static_cast<size_t>(size), f);
+  std::fclose(f);
+  if (read != static_cast<size_t>(size)) {
+    return Status::Internal("short read of '" + path + "': got " +
+                            std::to_string(read) + " of " + std::to_string(size) +
+                            " bytes");
+  }
+  return Status::OK();
+}
+
+Status WriteFileAtomic(const std::string& path, const std::vector<uint8_t>& bytes) {
+  const std::string tmp = path + ".tmp";
+  std::FILE* f = std::fopen(tmp.c_str(), "wb");
+  if (f == nullptr) {
+    return Status::InvalidArgument("cannot open '" + tmp + "' for writing");
+  }
+  const size_t written =
+      bytes.empty() ? 0 : std::fwrite(bytes.data(), 1, bytes.size(), f);
+  const bool flushed = std::fflush(f) == 0;
+  std::fclose(f);
+  if (written != bytes.size() || !flushed) {
+    std::remove(tmp.c_str());
+    return Status::Internal("short write to '" + tmp + "'");
+  }
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    std::remove(tmp.c_str());
+    return Status::Internal("cannot rename '" + tmp + "' to '" + path + "'");
+  }
+  return Status::OK();
+}
+
+}  // namespace mixq

@@ -1,0 +1,135 @@
+// Copyright 2026 MixQ-GNN Authors
+// Little-endian binary serialization primitives for on-disk artifacts
+// (engine/model_bundle.h is the main consumer).
+//
+// ByteWriter appends fixed-width little-endian scalars, length-prefixed
+// strings, and count-prefixed POD vectors into a growable buffer; ByteReader
+// is its bounds-checked inverse over a read-only byte span. Every Read*
+// returns a typed Status instead of asserting: a truncated or corrupted file
+// must surface as an error the caller can report, never as UB — the reader
+// is safe on arbitrary attacker-chosen bytes. The wire byte order is
+// little-endian regardless of host (bulk vector transfers degrade from one
+// memcpy to a per-element swap on big-endian hosts).
+//
+// Also here: CRC-32 (the zlib/IEEE polynomial) for per-section integrity
+// checks, FNV-1a 64 for cheap content digests (cross-process logit parity),
+// and whole-file read/write helpers with atomic replace semantics.
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+#include <string>
+#include <type_traits>
+#include <vector>
+
+#include "common/status.h"
+
+namespace mixq {
+
+/// CRC-32 (IEEE 802.3, polynomial 0xEDB88320, the zlib crc32 convention:
+/// init and final xor with ~0). `seed` chains incremental computations —
+/// pass a previous result to continue it.
+uint32_t Crc32(const void* data, size_t size, uint32_t seed = 0);
+
+/// FNV-1a 64-bit content hash. Not cryptographic; used for logit digests
+/// where the question is "bitwise identical or not".
+uint64_t Fnv1a64(const void* data, size_t size);
+
+/// True on little-endian hosts (the fast path for bulk vector IO).
+bool IsLittleEndianHost();
+
+/// Growable little-endian byte sink.
+class ByteWriter {
+ public:
+  void PutU8(uint8_t v) { buf_.push_back(v); }
+  void PutU16(uint16_t v);
+  void PutU32(uint32_t v);
+  void PutU64(uint64_t v);
+  void PutI32(int32_t v) { PutU32(static_cast<uint32_t>(v)); }
+  void PutI64(int64_t v) { PutU64(static_cast<uint64_t>(v)); }
+  void PutF32(float v);
+  void PutF64(double v);
+  /// u32 byte length + raw bytes.
+  void PutString(const std::string& s);
+  void PutBytes(const void* data, size_t size);
+
+  /// u64 element count + elements in wire (little-endian) order. T must be
+  /// a trivially copyable arithmetic type of width 1, 2, 4, or 8.
+  template <typename T>
+  void PutPodVector(const std::vector<T>& v) {
+    static_assert(std::is_trivially_copyable<T>::value, "POD only");
+    PutU64(static_cast<uint64_t>(v.size()));
+    AppendPod(v.data(), v.size(), sizeof(T));
+  }
+
+  const std::vector<uint8_t>& buffer() const { return buf_; }
+  size_t size() const { return buf_.size(); }
+
+ private:
+  void AppendPod(const void* data, size_t count, size_t elem_size);
+
+  std::vector<uint8_t> buf_;
+};
+
+/// Bounds-checked little-endian reader over a borrowed byte span. The span
+/// must outlive the reader. Reads past the end return kOutOfRange and leave
+/// the position unchanged.
+class ByteReader {
+ public:
+  ByteReader(const void* data, size_t size)
+      : data_(static_cast<const uint8_t*>(data)), size_(size) {}
+
+  Status ReadU8(uint8_t* out);
+  Status ReadU16(uint16_t* out);
+  Status ReadU32(uint32_t* out);
+  Status ReadU64(uint64_t* out);
+  Status ReadI32(int32_t* out);
+  Status ReadI64(int64_t* out);
+  Status ReadF32(float* out);
+  Status ReadF64(double* out);
+  /// Inverse of PutString. The length prefix is validated against the
+  /// remaining span before any allocation.
+  Status ReadString(std::string* out);
+  /// Inverse of PutPodVector; the count prefix is validated (including
+  /// count*sizeof(T) overflow) before any allocation.
+  template <typename T>
+  Status ReadPodVector(std::vector<T>* out) {
+    static_assert(std::is_trivially_copyable<T>::value, "POD only");
+    uint64_t count = 0;
+    MIXQ_RETURN_NOT_OK(ReadU64(&count));
+    if (count > remaining() / sizeof(T)) {
+      return Status::OutOfRange("truncated: vector of " + std::to_string(count) +
+                                " x " + std::to_string(sizeof(T)) +
+                                " bytes exceeds remaining " +
+                                std::to_string(remaining()) + " bytes");
+    }
+    out->resize(static_cast<size_t>(count));
+    ExtractPod(out->data(), static_cast<size_t>(count), sizeof(T));
+    return Status::OK();
+  }
+  Status Skip(size_t bytes);
+
+  size_t position() const { return pos_; }
+  size_t remaining() const { return size_ - pos_; }
+  /// Pointer to the current position (for zero-copy sub-spans).
+  const uint8_t* cursor() const { return data_ + pos_; }
+
+ private:
+  Status Need(size_t bytes) const;
+  /// Copies `count` elements of `elem_size` from the cursor, byte-swapping
+  /// on big-endian hosts. The caller has already checked bounds.
+  void ExtractPod(void* out, size_t count, size_t elem_size);
+
+  const uint8_t* data_;
+  size_t size_;
+  size_t pos_ = 0;
+};
+
+/// Reads a whole file into `out`. kNotFound when it cannot be opened.
+Status ReadFileBytes(const std::string& path, std::vector<uint8_t>* out);
+
+/// Writes `bytes` to `path` via a sibling temp file + rename, so readers
+/// never observe a half-written artifact.
+Status WriteFileAtomic(const std::string& path, const std::vector<uint8_t>& bytes);
+
+}  // namespace mixq

@@ -77,6 +77,13 @@ struct GraphExperimentResult {
 /// scheme with its quantizer ranges frozen by training. The training-graph
 /// operator and features are retained so callers can replay the eval-mode
 /// forward (engine::CompileModel consumes this struct).
+///
+/// This struct holds LIVE objects and never leaves the training process.
+/// For the train-once/serve-anywhere split, freeze it first:
+/// engine::CompileModel() -> engine::SaveBundle() writes a portable model
+/// bundle any serving process can load without linking training code
+/// (engine/model_bundle.h; engine::SaveGraph does the same for `op` +
+/// `features`).
 struct ModelArtifact {
   NodeModelKind model_kind = NodeModelKind::kGcn;
   std::shared_ptr<GcnNet> gcn;

@@ -199,6 +199,13 @@ Result<Tensor> CompiledModel::PredictReference(const Tensor& features,
                                                const SparseOperatorPtr& op) const {
   Status valid = ValidateRequest(features, op);
   if (!valid.ok()) return valid;
+  // Bundle-loaded models carry only the frozen plan — the live network and
+  // scheme stayed in the training process, so there is no pipeline to replay.
+  if (scheme_ == nullptr) {
+    return Status::NotImplemented(
+        "model was loaded from a bundle; the pipeline-replay reference path "
+        "needs the live training network (use Predict)");
+  }
 
   // Serialize forwards: replays the training pipeline's eval path exactly
   // (BeginStep(false) then a training=false forward), which is what makes

@@ -85,7 +85,8 @@ class CompiledModel {
   /// The original pipeline-replay path: rebuilds the autograd graph and
   /// re-fake-quantizes on every call, serialized on the artifact's forward
   /// mutex. Kept as the parity oracle and as the fallback for schemes the
-  /// lowering can't express.
+  /// lowering can't express. kNotImplemented on bundle-loaded models (the
+  /// live network/scheme never leave the training process).
   Result<Tensor> PredictReference(const Tensor& features,
                                   const SparseOperatorPtr& op) const;
 
@@ -115,6 +116,10 @@ class CompiledModel {
 
  private:
   friend Result<CompiledModelPtr> CompileModel(const ModelArtifact& artifact);
+  // Bundle save/load (engine/model_bundle.h): serialization reads the plan,
+  // deserialization rebuilds a plan-only model (no live net/scheme).
+  friend Status SaveBundle(const CompiledModel& model, const std::string& path);
+  friend Result<CompiledModelPtr> LoadBundle(const std::string& path);
 
   CompiledModel() = default;
 

@@ -179,6 +179,8 @@ class ExecutionPlan {
 
   friend class PlanBuilder;
   friend class FrontierProgram;
+  /// Bundle (de)serialization — engine/model_bundle.cc.
+  friend class ExecutionPlanCodec;
 };
 
 }  // namespace engine

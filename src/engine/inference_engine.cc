@@ -3,6 +3,8 @@
 
 #include <utility>
 
+#include "engine/model_bundle.h"
+
 namespace mixq {
 namespace engine {
 
@@ -115,6 +117,13 @@ std::vector<std::string> InferenceEngine::ModelNames() const {
   return names;
 }
 
+Status InferenceEngine::LoadModelFromFile(const std::string& name,
+                                          const std::string& path) {
+  Result<CompiledModelPtr> model = LoadBundle(path);
+  if (!model.ok()) return model.status();
+  return RegisterModel(name, model.MoveValueOrDie());
+}
+
 // ---- Graph registry --------------------------------------------------------
 
 namespace {
@@ -183,6 +192,40 @@ std::vector<std::string> InferenceEngine::GraphNames() const {
   names.reserve(graphs_.size());
   for (const auto& [name, context] : graphs_) names.push_back(name);
   return names;
+}
+
+Status InferenceEngine::LoadGraphFromFile(const std::string& name,
+                                          const std::string& path) {
+  Result<GraphBundle> bundle = LoadGraph(path);
+  if (!bundle.ok()) return bundle.status();
+  GraphBundle& loaded = bundle.ValueOrDie();
+  return RegisterGraph(name, std::move(loaded.features), std::move(loaded.op));
+}
+
+std::map<std::string, InferenceEngine::ModelIntrospection>
+InferenceEngine::ListModels() const {
+  std::map<std::string, ModelIntrospection> out;
+  std::shared_lock<std::shared_mutex> lock(mu_);
+  for (const auto& [name, entry] : models_) {
+    out[name] = ModelIntrospection{entry.model->info(), entry.version};
+  }
+  return out;
+}
+
+std::map<std::string, InferenceEngine::GraphIntrospection>
+InferenceEngine::ListGraphs() const {
+  std::map<std::string, GraphIntrospection> out;
+  std::shared_lock<std::shared_mutex> lock(mu_);
+  for (const auto& [name, context] : graphs_) {
+    GraphIntrospection g;
+    g.nodes = context->features.rows();
+    g.feature_dim = context->features.cols();
+    g.nnz = context->op->nnz();
+    g.int8_depth_safe = context->int8_depth_safe;
+    g.version = context->version;
+    out[name] = g;
+  }
+  return out;
 }
 
 Result<ModelHandle> InferenceEngine::LookupModel(const std::string& name) const {

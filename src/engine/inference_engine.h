@@ -76,6 +76,15 @@ class InferenceEngine {
   /// Registered model names, sorted.
   std::vector<std::string> ModelNames() const;
 
+  /// Loads a model bundle (engine/model_bundle.h) from `path` and registers
+  /// it under `name` — the serving half of the train-once/serve-anywhere
+  /// split: the process needs no training code, no scheme, no dataset.
+  /// Propagates the loader's typed errors (kNotFound missing file,
+  /// kOutOfRange truncation, kInvalidArgument corruption/CRC,
+  /// kNotImplemented future format) and RegisterModel's duplicate-name
+  /// error. Use ReplaceModel(name, LoadBundle(path)) for hot reloads.
+  Status LoadModelFromFile(const std::string& name, const std::string& path);
+
   // ---- Graph registry ------------------------------------------------------
 
   /// Pins `features` + `op` as the named immutable graph so requests can
@@ -100,6 +109,35 @@ class InferenceEngine {
 
   /// Registered graph names, sorted.
   std::vector<std::string> GraphNames() const;
+
+  /// Loads a graph bundle from `path` and registers it under `name`; the
+  /// bundle carries the normalized operator as served, so no normalization
+  /// code runs here. Error semantics mirror LoadModelFromFile.
+  Status LoadGraphFromFile(const std::string& name, const std::string& path);
+
+  // ---- Introspection -------------------------------------------------------
+
+  /// One registered model as the introspection endpoints report it.
+  struct ModelIntrospection {
+    CompiledModelInfo info;
+    /// Registry version (bumped by ReplaceModel; part of the result-cache
+    /// key, so a bump is observable as PredictResponse.cache_hit = false).
+    uint64_t version = 0;
+  };
+
+  /// One registered graph: dimensions plus its registry version.
+  struct GraphIntrospection {
+    int64_t nodes = 0;
+    int64_t feature_dim = 0;
+    int64_t nnz = 0;
+    bool int8_depth_safe = false;
+    uint64_t version = 0;
+  };
+
+  /// Snapshot of every registered model / graph, keyed by name — what an
+  /// operator dashboard (or examples/serving.cpp) prints.
+  std::map<std::string, ModelIntrospection> ListModels() const;
+  std::map<std::string, GraphIntrospection> ListGraphs() const;
 
   // ---- Serving -------------------------------------------------------------
 

@@ -47,6 +47,62 @@ CsrMatrix CsrMatrix::FromCoo(int64_t rows, int64_t cols, std::vector<CooEntry> e
   return m;
 }
 
+Result<CsrMatrix> CsrMatrix::FromParts(int64_t rows, int64_t cols,
+                                       std::vector<int64_t> row_ptr,
+                                       std::vector<int64_t> col_idx,
+                                       std::vector<float> values) {
+  if (rows < 0 || cols < 0) {
+    return Status::InvalidArgument("CSR dimensions must be non-negative");
+  }
+  // Unsigned arithmetic: `rows` is untrusted, and rows + 1 would be signed
+  // overflow UB at INT64_MAX.
+  if (static_cast<uint64_t>(row_ptr.size()) != static_cast<uint64_t>(rows) + 1) {
+    return Status::InvalidArgument(
+        "CSR row_ptr has " + std::to_string(row_ptr.size()) +
+        " entries for " + std::to_string(rows) + " rows");
+  }
+  if (row_ptr.front() != 0) {
+    return Status::InvalidArgument("CSR row_ptr must start at 0");
+  }
+  for (size_t r = 1; r < row_ptr.size(); ++r) {
+    if (row_ptr[r] < row_ptr[r - 1]) {
+      return Status::InvalidArgument("CSR row_ptr must be non-decreasing");
+    }
+  }
+  const int64_t nnz = row_ptr.back();
+  if (static_cast<int64_t>(col_idx.size()) != nnz ||
+      static_cast<int64_t>(values.size()) != nnz) {
+    return Status::InvalidArgument(
+        "CSR arrays disagree: row_ptr implies " + std::to_string(nnz) +
+        " entries, col_idx has " + std::to_string(col_idx.size()) +
+        ", values has " + std::to_string(values.size()));
+  }
+  for (int64_t r = 0; r < rows; ++r) {
+    for (int64_t k = row_ptr[static_cast<size_t>(r)];
+         k < row_ptr[static_cast<size_t>(r + 1)]; ++k) {
+      const int64_t c = col_idx[static_cast<size_t>(k)];
+      if (c < 0 || c >= cols) {
+        return Status::InvalidArgument("CSR column " + std::to_string(c) +
+                                       " out of range [0, " +
+                                       std::to_string(cols) + ")");
+      }
+      if (k > row_ptr[static_cast<size_t>(r)] &&
+          c <= col_idx[static_cast<size_t>(k - 1)]) {
+        return Status::InvalidArgument(
+            "CSR columns must be strictly ascending within row " +
+            std::to_string(r));
+      }
+    }
+  }
+  CsrMatrix m;
+  m.rows_ = rows;
+  m.cols_ = cols;
+  m.row_ptr_ = std::move(row_ptr);
+  m.col_idx_ = std::move(col_idx);
+  m.values_ = std::move(values);
+  return m;
+}
+
 CsrMatrix CsrMatrix::Identity(int64_t n) {
   std::vector<CooEntry> entries;
   entries.reserve(static_cast<size_t>(n));

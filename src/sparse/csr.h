@@ -8,6 +8,7 @@
 #include <vector>
 
 #include "common/check.h"
+#include "common/status.h"
 
 namespace mixq {
 
@@ -28,6 +29,19 @@ class CsrMatrix {
 
   /// Identity matrix of size n.
   static CsrMatrix Identity(int64_t n);
+
+  /// Adopts pre-built CSR arrays, e.g. read back from a graph bundle
+  /// (engine/model_bundle.h). Unlike FromCoo this validates instead of
+  /// CHECK-crashing — the arrays may come from an untrusted file:
+  /// kInvalidArgument unless row_ptr has rows+1 monotone entries starting at
+  /// 0, col_idx/values both have row_ptr.back() entries, and every row's
+  /// columns are strictly ascending and within [0, cols) (the entry-order
+  /// invariant FromCoo establishes and the SpMM kernels' bitwise contracts
+  /// rely on). Values are adopted bit-for-bit.
+  static Result<CsrMatrix> FromParts(int64_t rows, int64_t cols,
+                                     std::vector<int64_t> row_ptr,
+                                     std::vector<int64_t> col_idx,
+                                     std::vector<float> values);
 
   int64_t rows() const { return rows_; }
   int64_t cols() const { return cols_; }

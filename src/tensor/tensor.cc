@@ -33,6 +33,16 @@ Tensor Tensor::FromVector(const Shape& shape, const std::vector<float>& values,
   return t;
 }
 
+Tensor Tensor::FromVector(const Shape& shape, std::vector<float>&& values,
+                          bool requires_grad) {
+  MIXQ_CHECK_EQ(static_cast<int64_t>(values.size()), shape.numel());
+  auto impl = std::make_shared<TensorImpl>();
+  impl->shape = shape;
+  impl->data = std::move(values);
+  impl->requires_grad = requires_grad;
+  return Tensor(std::move(impl));
+}
+
 Tensor Tensor::Scalar(float value, bool requires_grad) {
   return FromVector(Shape(1), {value}, requires_grad);
 }

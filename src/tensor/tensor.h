@@ -62,6 +62,10 @@ class Tensor {
   /// Copies `values` (size must equal shape.numel()).
   static Tensor FromVector(const Shape& shape, const std::vector<float>& values,
                            bool requires_grad = false);
+  /// Adopts `values` without copying — the raw-buffer path for bulk IO
+  /// (e.g. feature matrices read back from a graph bundle).
+  static Tensor FromVector(const Shape& shape, std::vector<float>&& values,
+                           bool requires_grad = false);
   /// Scalar (rank-1, size-1) tensor.
   static Tensor Scalar(float value, bool requires_grad = false);
   /// Gaussian init (mean, stddev) with explicit RNG for determinism.

@@ -141,6 +141,57 @@ TEST(InferenceEngineTest, ModelRegistryLifecycle) {
   EXPECT_EQ(engine.UnregisterModel("citation-int4").code(), StatusCode::kNotFound);
 }
 
+TEST(InferenceEngineTest, ListModelsAndGraphsIntrospection) {
+  auto artifact = TrainArtifact(SchemeRef::Qat(8));
+  CompiledModelPtr model = CompileModel(*artifact).ValueOrDie();
+
+  InferenceEngine engine;
+  EXPECT_TRUE(engine.ListModels().empty());
+  EXPECT_TRUE(engine.ListGraphs().empty());
+  ASSERT_TRUE(engine.RegisterModel("qat8", model).ok());
+  ASSERT_TRUE(engine.RegisterGraph("g", artifact->features, artifact->op).ok());
+
+  auto models = engine.ListModels();
+  ASSERT_EQ(models.size(), 1u);
+  const InferenceEngine::ModelIntrospection& m = models.at("qat8");
+  EXPECT_EQ(m.info.scheme_label, model->info().scheme_label);
+  EXPECT_EQ(m.info.in_features, model->info().in_features);
+  EXPECT_EQ(m.info.out_dim, model->info().out_dim);
+  EXPECT_EQ(m.info.bit_assignment, model->info().bit_assignment);
+  EXPECT_GT(m.version, 0u);
+
+  auto graphs = engine.ListGraphs();
+  ASSERT_EQ(graphs.size(), 1u);
+  const InferenceEngine::GraphIntrospection& g = graphs.at("g");
+  EXPECT_EQ(g.nodes, artifact->features.rows());
+  EXPECT_EQ(g.feature_dim, artifact->features.cols());
+  EXPECT_EQ(g.nnz, artifact->op->nnz());
+  EXPECT_GT(g.version, 0u);
+
+  // Replace bumps the registry version — the handle the result cache keys
+  // on, so a bump is what makes PredictResponse.cache_hit turn false.
+  ASSERT_TRUE(engine.ReplaceModel("qat8", model).ok());
+  ASSERT_TRUE(engine.ReplaceGraph("g", artifact->features, artifact->op).ok());
+  EXPECT_GT(engine.ListModels().at("qat8").version, m.version);
+  EXPECT_GT(engine.ListGraphs().at("g").version, g.version);
+
+  ASSERT_TRUE(engine.UnregisterModel("qat8").ok());
+  ASSERT_TRUE(engine.UnregisterGraph("g").ok());
+  EXPECT_TRUE(engine.ListModels().empty());
+  EXPECT_TRUE(engine.ListGraphs().empty());
+}
+
+TEST(InferenceEngineTest, GraphRegistryErrorPaths) {
+  auto artifact = TrainArtifact(SchemeRef::Fp32());
+  InferenceEngine engine;
+  ASSERT_TRUE(engine.RegisterGraph("g", artifact->features, artifact->op).ok());
+  EXPECT_EQ(engine.RegisterGraph("g", artifact->features, artifact->op).code(),
+            StatusCode::kInvalidArgument);  // duplicate
+  EXPECT_EQ(engine.UnregisterGraph("absent").code(), StatusCode::kNotFound);
+  EXPECT_EQ(engine.LoadGraphFromFile("g2", "/nonexistent/graph.mqb").code(),
+            StatusCode::kNotFound);
+}
+
 TEST(InferenceEngineTest, PredictRoutesAndCounts) {
   auto artifact = TrainArtifact(SchemeRef::MixQ(0.05, {2, 4, 8}), 3);
   CompiledModelPtr model = CompileModel(*artifact).ValueOrDie();

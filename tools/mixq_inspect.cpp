@@ -1,0 +1,72 @@
+// Copyright 2026 MixQ-GNN Authors
+// mixq_inspect — prints a bundle's manifest (format version, kind, scheme
+// label, bit assignment, dimensions, section sizes and checksums) without
+// loading the weight or feature payloads: only the header, the section
+// table, and the small metadata section (INFO / GMET) are read.
+//
+//   mixq_inspect bundle.mqb [more.mqb ...]
+#include <cstdio>
+#include <string>
+
+#include "engine/model_bundle.h"
+
+using namespace mixq;
+using namespace mixq::engine;
+
+namespace {
+
+int Inspect(const std::string& path) {
+  Result<BundleManifest> manifest = InspectBundle(path);
+  if (!manifest.ok()) {
+    std::fprintf(stderr, "%s: %s\n", path.c_str(),
+                 manifest.status().ToString().c_str());
+    return 1;
+  }
+  const BundleManifest& m = manifest.ValueOrDie();
+  std::printf("%s: %s bundle, format %u.%u, %llu bytes\n", path.c_str(),
+              m.kind == BundleKind::kModel ? "model" : "graph", m.format_major,
+              m.format_minor, static_cast<unsigned long long>(m.file_bytes));
+  if (m.kind == BundleKind::kModel) {
+    std::printf("  backbone       %s\n",
+                m.model_kind == NodeModelKind::kGcn ? "gcn" : "sage");
+    std::printf("  scheme         %s\n", m.info.scheme_label.c_str());
+    std::printf("  dims           %lld features -> %lld logits\n",
+                static_cast<long long>(m.info.in_features),
+                static_cast<long long>(m.info.out_dim));
+    std::printf("  params         %lld frozen scalars, %.2f avg bits\n",
+                static_cast<long long>(m.info.param_count), m.info.avg_bits);
+    std::printf("  int8 plan      %s\n", m.info.lowered_int8 ? "yes" : "no");
+    std::printf("  bit assignment (%zu components)\n",
+                m.info.bit_assignment.size());
+    for (const auto& [id, bits] : m.info.bit_assignment) {
+      std::printf("    %-28s %d\n", id.c_str(), bits);
+    }
+  } else {
+    std::printf("  graph          %lld nodes, %lld nnz, %lld features/node\n",
+                static_cast<long long>(m.graph_nodes),
+                static_cast<long long>(m.graph_nnz),
+                static_cast<long long>(m.feature_dim));
+  }
+  std::printf("  sections\n");
+  for (const BundleSection& s : m.sections) {
+    std::printf("    %s  offset %8llu  size %10llu  crc32 %08x\n",
+                s.tag.c_str(), static_cast<unsigned long long>(s.offset),
+                static_cast<unsigned long long>(s.size), s.crc32);
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    std::fprintf(stderr, "usage: %s bundle.mqb [more.mqb ...]\n", argv[0]);
+    return 2;
+  }
+  int rc = 0;
+  for (int i = 1; i < argc; ++i) {
+    rc |= Inspect(argv[i]);
+    if (i + 1 < argc) std::printf("\n");
+  }
+  return rc;
+}
