@@ -76,7 +76,6 @@ int main() {
     // model — the kernels share int32 storage, so times cluster while BitOPs
     // scale, exactly the regime the figure explores).
     QuantParams pa = ParamsFromRange(-1.0f, 1.0f, 8, true);
-    QuantParams pw = ParamsFromRange(-0.3f, 0.3f, 8, true);
     QuantParams py;
     py.bits = 32;
     QuantizedSparse qa = QuantizeCsr(a, pa);

@@ -84,6 +84,7 @@ void ByteWriter::PutString(const std::string& s) {
 }
 
 void ByteWriter::PutBytes(const void* data, size_t size) {
+  if (size == 0) return;  // empty vectors pass data() == nullptr (p + 0 is UB)
   const uint8_t* p = static_cast<const uint8_t*>(data);
   buf_.insert(buf_.end(), p, p + size);
 }
@@ -116,6 +117,7 @@ Status ByteReader::Need(size_t bytes) const {
 
 void ByteReader::ExtractPod(void* out, size_t count, size_t elem_size) {
   const size_t bytes = count * elem_size;
+  if (bytes == 0) return;  // empty vectors pass data() == nullptr (UB to memcpy)
   if (IsLittleEndianHost() || elem_size == 1) {
     std::memcpy(out, data_ + pos_, bytes);
   } else {

@@ -1,0 +1,135 @@
+// Copyright 2026 MixQ-GNN Authors
+// Clang thread-safety annotations (ABSL style) plus minimal annotated mutex
+// wrappers, so the locking discipline of the serving stack is checked
+// STATICALLY by `clang++ -Wthread-safety` instead of only dynamically by the
+// TSan CI job.
+//
+// Under GCC (or any compiler without the attributes) everything here
+// compiles to plain std::mutex / std::shared_mutex with zero overhead. The
+// wrappers exist because libstdc++'s std::mutex carries no capability
+// attributes: clang cannot see a std::lock_guard acquire it, so annotating
+// members GUARDED_BY a raw std::mutex would flag every correctly-locked
+// access. mixq::Mutex + mixq::MutexLock are the same types with the
+// attributes attached.
+//
+// ThreadRole is the idiom for data that is not lock-protected but
+// THREAD-confined (the batcher's dispatcher-private cache and scratch, the
+// per-graph frontier workspace): a zero-cost fake capability the owning
+// thread acquires at its loop entry. Functions touching the confined state
+// declare MIXQ_REQUIRES(role); calling them from any code path that has not
+// acquired the role is a compile error under -Wthread-safety.
+#pragma once
+
+#include <mutex>
+#include <shared_mutex>
+
+#if defined(__clang__) && defined(__has_attribute)
+#if __has_attribute(guarded_by)
+#define MIXQ_THREAD_ANNOTATION__(x) __attribute__((x))
+#endif
+#endif
+#ifndef MIXQ_THREAD_ANNOTATION__
+#define MIXQ_THREAD_ANNOTATION__(x)  // no-op outside clang
+#endif
+
+#define MIXQ_CAPABILITY(x) MIXQ_THREAD_ANNOTATION__(capability(x))
+#define MIXQ_SCOPED_CAPABILITY MIXQ_THREAD_ANNOTATION__(scoped_lockable)
+#define MIXQ_GUARDED_BY(x) MIXQ_THREAD_ANNOTATION__(guarded_by(x))
+#define MIXQ_PT_GUARDED_BY(x) MIXQ_THREAD_ANNOTATION__(pt_guarded_by(x))
+#define MIXQ_REQUIRES(...) \
+  MIXQ_THREAD_ANNOTATION__(requires_capability(__VA_ARGS__))
+#define MIXQ_REQUIRES_SHARED(...) \
+  MIXQ_THREAD_ANNOTATION__(requires_shared_capability(__VA_ARGS__))
+#define MIXQ_ACQUIRE(...) MIXQ_THREAD_ANNOTATION__(acquire_capability(__VA_ARGS__))
+#define MIXQ_ACQUIRE_SHARED(...) \
+  MIXQ_THREAD_ANNOTATION__(acquire_shared_capability(__VA_ARGS__))
+#define MIXQ_RELEASE(...) MIXQ_THREAD_ANNOTATION__(release_capability(__VA_ARGS__))
+#define MIXQ_RELEASE_SHARED(...) \
+  MIXQ_THREAD_ANNOTATION__(release_shared_capability(__VA_ARGS__))
+#define MIXQ_TRY_ACQUIRE(...) \
+  MIXQ_THREAD_ANNOTATION__(try_acquire_capability(__VA_ARGS__))
+#define MIXQ_EXCLUDES(...) MIXQ_THREAD_ANNOTATION__(locks_excluded(__VA_ARGS__))
+#define MIXQ_NO_THREAD_SAFETY_ANALYSIS \
+  MIXQ_THREAD_ANNOTATION__(no_thread_safety_analysis)
+
+namespace mixq {
+
+/// std::mutex with the capability attribute attached. Lock it through
+/// MutexLock (scoped) so the analysis sees the acquire/release pair.
+class MIXQ_CAPABILITY("mutex") Mutex {
+ public:
+  void lock() MIXQ_ACQUIRE() { mu_.lock(); }
+  void unlock() MIXQ_RELEASE() { mu_.unlock(); }
+  bool try_lock() MIXQ_TRY_ACQUIRE(true) { return mu_.try_lock(); }
+
+ private:
+  std::mutex mu_;
+};
+
+/// std::shared_mutex with the capability attribute: exclusive for writers,
+/// shared for readers (ReaderLock).
+class MIXQ_CAPABILITY("shared_mutex") SharedMutex {
+ public:
+  void lock() MIXQ_ACQUIRE() { mu_.lock(); }
+  void unlock() MIXQ_RELEASE() { mu_.unlock(); }
+  void lock_shared() MIXQ_ACQUIRE_SHARED() { mu_.lock_shared(); }
+  void unlock_shared() MIXQ_RELEASE_SHARED() { mu_.unlock_shared(); }
+
+ private:
+  std::shared_mutex mu_;
+};
+
+/// Scoped exclusive lock over Mutex or SharedMutex.
+template <typename MutexT>
+class MIXQ_SCOPED_CAPABILITY BasicMutexLock {
+ public:
+  explicit BasicMutexLock(MutexT* mu) MIXQ_ACQUIRE(mu) : mu_(mu) { mu_->lock(); }
+  ~BasicMutexLock() MIXQ_RELEASE() { mu_->unlock(); }
+  BasicMutexLock(const BasicMutexLock&) = delete;
+  BasicMutexLock& operator=(const BasicMutexLock&) = delete;
+
+ private:
+  MutexT* mu_;
+};
+using MutexLock = BasicMutexLock<Mutex>;
+using WriterLock = BasicMutexLock<SharedMutex>;
+
+/// Scoped shared (reader) lock over SharedMutex.
+class MIXQ_SCOPED_CAPABILITY ReaderLock {
+ public:
+  explicit ReaderLock(SharedMutex* mu) MIXQ_ACQUIRE_SHARED(mu) : mu_(mu) {
+    mu_->lock_shared();
+  }
+  ~ReaderLock() MIXQ_RELEASE() { mu_->unlock_shared(); }
+  ReaderLock(const ReaderLock&) = delete;
+  ReaderLock& operator=(const ReaderLock&) = delete;
+
+ private:
+  SharedMutex* mu_;
+};
+
+/// Zero-cost capability standing for "this code runs on the one thread that
+/// owns the confined state" — no mutex exists, confinement IS the protocol.
+/// The owning thread Acquire()s the role once at its loop entry; everything
+/// touching the confined members declares MIXQ_REQUIRES(role).
+class MIXQ_CAPABILITY("role") ThreadRole {
+ public:
+  void Acquire() MIXQ_ACQUIRE() {}
+  void Release() MIXQ_RELEASE() {}
+};
+
+/// Scoped ThreadRole holder for the owning thread's entry point.
+class MIXQ_SCOPED_CAPABILITY ThreadRoleHolder {
+ public:
+  explicit ThreadRoleHolder(ThreadRole* role) MIXQ_ACQUIRE(role) : role_(role) {
+    role_->Acquire();
+  }
+  ~ThreadRoleHolder() MIXQ_RELEASE() { role_->Release(); }
+  ThreadRoleHolder(const ThreadRoleHolder&) = delete;
+  ThreadRoleHolder& operator=(const ThreadRoleHolder&) = delete;
+
+ private:
+  ThreadRole* role_;
+};
+
+}  // namespace mixq

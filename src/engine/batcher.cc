@@ -142,6 +142,10 @@ std::future<Result<PredictResponse>> Batcher::Submit(PredictRequest request) {
 }
 
 void Batcher::DispatcherLoop() {
+  // The dispatcher thread owns the confined state (cache_, scratch_) for its
+  // whole life; acquiring the role here is what lets Dispatch/SweepCache
+  // declare MIXQ_REQUIRES(dispatcher_role_).
+  ThreadRoleHolder role(&dispatcher_role_);
   for (;;) {
     std::vector<Pending> batch = queue_.WaitDrain();
     if (batch.empty()) return;  // closed and fully drained

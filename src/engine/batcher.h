@@ -48,6 +48,7 @@
 #include "common/bounded_queue.h"
 #include "common/latency_histogram.h"
 #include "common/status.h"
+#include "common/thread_annotations.h"
 #include "engine/compiled_model.h"
 
 namespace mixq {
@@ -222,11 +223,11 @@ class Batcher {
   };
 
   void DispatcherLoop();
-  void Dispatch(std::vector<Pending> batch);
+  void Dispatch(std::vector<Pending> batch) MIXQ_REQUIRES(dispatcher_role_);
   void Fail(Pending* pending, Status status, const ModelCountersPtr& counters);
   /// Evicts cache entries whose model/graph was unregistered or replaced,
   /// so transient names don't pin full logits tensors forever.
-  void SweepCache();
+  void SweepCache() MIXQ_REQUIRES(dispatcher_role_);
 
   const Backend backend_;
   const BatcherOptions options_;
@@ -242,10 +243,13 @@ class Batcher {
   std::atomic<int64_t> in_dispatch_{0};
 
   /// Dispatcher-thread-private state (single consumer): the result cache and
-  /// the reusable forward scratch. No lock — nothing else touches them.
-  std::map<std::string, CacheEntry> cache_;
-  PredictScratch scratch_;
-  int64_t cycles_since_sweep_ = 0;
+  /// the reusable forward scratch. No lock — nothing else touches them; the
+  /// confinement is machine-checked as a fake capability the dispatcher
+  /// thread holds for its whole loop (common/thread_annotations.h).
+  ThreadRole dispatcher_role_;
+  std::map<std::string, CacheEntry> cache_ MIXQ_GUARDED_BY(dispatcher_role_);
+  PredictScratch scratch_ MIXQ_GUARDED_BY(dispatcher_role_);
+  int64_t cycles_since_sweep_ MIXQ_GUARDED_BY(dispatcher_role_) = 0;
 
   std::thread dispatcher_;  ///< last member: started once state is ready
 };

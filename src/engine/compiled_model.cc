@@ -3,6 +3,8 @@
 
 #include <cmath>
 
+#include "engine/plan_verifier.h"
+
 namespace mixq {
 namespace engine {
 
@@ -62,6 +64,20 @@ Result<CompiledModelPtr> CompileModel(const ModelArtifact& artifact) {
                         : ExecutionPlan::Lower(*model->sage_, *artifact.scheme);
   model->info_.lowered = model->plan_ != nullptr;
   model->info_.lowered_int8 = model->plan_ != nullptr && model->plan_->SupportsInt8();
+
+  // Machine-checked lowering contract: every plan Lower emits must pass the
+  // static verifier (always in debug builds, MIXQ_VERIFY=1 in release). A
+  // failure here is a lowering bug, not a bad model.
+  if (model->plan_ != nullptr && VerifyPlansEnabled()) {
+    PlanShapes shapes;
+    shapes.in_features = model->info_.in_features;
+    shapes.out_dim = model->info_.out_dim;
+    Status verified = VerifyPlan(*model->plan_, shapes);
+    if (!verified.ok()) {
+      return Status::Internal("lowering produced an invalid plan: " +
+                              verified.message());
+    }
+  }
 
   // Capture the per-component bit assignment as metadata.
   for (const std::string& id : artifact.scheme->ComponentIds()) {

@@ -114,6 +114,10 @@ class CompiledModel {
 
   const CompiledModelInfo& info() const { return info_; }
 
+  /// The lowered plan, for introspection and independent re-verification
+  /// (engine/plan_verifier.h); null when the scheme is not lowerable.
+  const ExecutionPlan* plan() const { return plan_.get(); }
+
  private:
   friend Result<CompiledModelPtr> CompileModel(const ModelArtifact& artifact);
   // Bundle save/load (engine/model_bundle.h): serialization reads the plan,

@@ -136,6 +136,19 @@ class ExecutionPlan {
   int64_t in_features() const { return in_features_; }
   int64_t out_dim() const { return out_dim_; }
 
+  // ---- Introspection ---------------------------------------------------------
+  // Read-only views of the lowered program, exposed for the static verifier
+  // (engine/plan_verifier.h) and tooling. The step lists and tables are
+  // immutable once Lower()/LoadBundle return.
+  int num_buffers() const { return num_buffers_; }
+  const std::vector<Step>& steps() const { return steps_; }
+  int final_buffer() const { return final_buffer_; }
+  const std::vector<LoweredLinear>& linears() const { return linears_; }
+  const std::vector<LoweredComponent>& adj_quants() const { return adj_quants_; }
+  const std::vector<IntStep>& int_steps() const { return int_steps_; }
+  int int_final_buffer() const { return int_final_buffer_; }
+  const QuantParams& int_final_params() const { return int_final_params_; }
+
   /// Runs the exact float plan over `x` [n, in_features] and the request's
   /// sparse operator, writing logits [n, out_dim] into `out`. Thread-safe
   /// and lock-free; each concurrent caller passes its own scratch.

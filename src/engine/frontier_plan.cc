@@ -5,6 +5,7 @@
 #include <utility>
 
 #include "engine/execution_plan.h"
+#include "engine/plan_verifier.h"
 
 namespace mixq {
 namespace engine {
@@ -74,7 +75,9 @@ std::unique_ptr<FrontierProgram> FrontierProgram::Build(
     std::vector<int64_t> targets, FrontierWorkspace* ws,
     double max_cost_fraction) {
   if (targets.empty()) return nullptr;
-  if (int8) MIXQ_CHECK(plan.SupportsInt8()) << "plan has no int8 lowering";
+  if (int8) {
+    MIXQ_CHECK(plan.SupportsInt8()) << "plan has no int8 lowering";
+  }
   FrontierWorkspace transient;
   if (ws == nullptr) ws = &transient;
 
@@ -207,6 +210,15 @@ std::unique_ptr<FrontierProgram> FrontierProgram::Build(
     frontier[static_cast<size_t>(v.dst)] = se.rows;
   }
   MIXQ_CHECK(frontier[static_cast<size_t>(final_buffer)] == program->targets_);
+  // Self-check the materialized schedule with the independent verifier
+  // (debug builds / MIXQ_VERIFY=1): the checks above are the builder
+  // validating its own working state; VerifyFrontierProgram re-derives the
+  // frontier chain from the plan without sharing this function's code.
+  if (VerifyPlansEnabled()) {
+    Status verified = VerifyFrontierProgram(plan, *program);
+    MIXQ_CHECK(verified.ok()) << "Build produced an invalid pruned schedule: "
+                              << verified.message();
+  }
   return program;
 }
 

@@ -74,11 +74,6 @@ class FrontierProgram {
   int64_t frontier_nnz() const { return frontier_nnz_; }
   int64_t full_nnz() const { return full_nnz_; }
 
- private:
-  friend class ExecutionPlan;
-
-  FrontierProgram() = default;
-
   /// Execution schedule of one plan step, parallel to the plan's step list.
   struct StepExec {
     /// Global node ids (sorted) this step computes; the step runs with
@@ -95,6 +90,16 @@ class FrontierProgram {
     /// SpMM reads the feature matrix directly).
     CsrMatrix induced;
   };
+
+  /// Per-step schedules, parallel to the plan's selected step list — read by
+  /// the pruned executors and by VerifyFrontierProgram
+  /// (engine/plan_verifier.h).
+  const std::vector<StepExec>& step_execs() const { return steps_; }
+
+ private:
+  friend class ExecutionPlan;
+
+  FrontierProgram() = default;
 
   std::vector<StepExec> steps_;
   std::vector<int64_t> targets_;

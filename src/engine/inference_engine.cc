@@ -66,7 +66,7 @@ Status InferenceEngine::RegisterModel(const std::string& name,
   }
   ModelEntry entry{std::move(model), /*version=*/0,
                    std::make_shared<ModelCounters>()};
-  std::unique_lock<std::shared_mutex> lock(mu_);
+  WriterLock lock(&mu_);
   auto [it, inserted] = models_.emplace(name, std::move(entry));
   if (!inserted) {
     return Status::InvalidArgument("model '" + name +
@@ -82,7 +82,7 @@ Status InferenceEngine::ReplaceModel(const std::string& name,
   if (model == nullptr) {
     return Status::InvalidArgument("model '" + name + "' is null");
   }
-  std::unique_lock<std::shared_mutex> lock(mu_);
+  WriterLock lock(&mu_);
   ModelEntry& entry = models_[name];
   entry.model = std::move(model);
   entry.version = next_version_++;  // invalidates cached results for it
@@ -93,7 +93,7 @@ Status InferenceEngine::ReplaceModel(const std::string& name,
 }
 
 Status InferenceEngine::UnregisterModel(const std::string& name) {
-  std::unique_lock<std::shared_mutex> lock(mu_);
+  WriterLock lock(&mu_);
   if (models_.erase(name) == 0) {
     return Status::NotFound("model '" + name + "' is not registered");
   }
@@ -101,7 +101,7 @@ Status InferenceEngine::UnregisterModel(const std::string& name) {
 }
 
 Result<CompiledModelPtr> InferenceEngine::GetModel(const std::string& name) const {
-  std::shared_lock<std::shared_mutex> lock(mu_);
+  ReaderLock lock(&mu_);
   auto it = models_.find(name);
   if (it == models_.end()) {
     return Status::NotFound("model '" + name + "' is not registered");
@@ -110,7 +110,7 @@ Result<CompiledModelPtr> InferenceEngine::GetModel(const std::string& name) cons
 }
 
 std::vector<std::string> InferenceEngine::ModelNames() const {
-  std::shared_lock<std::shared_mutex> lock(mu_);
+  ReaderLock lock(&mu_);
   std::vector<std::string> names;
   names.reserve(models_.size());
   for (const auto& [name, entry] : models_) names.push_back(name);
@@ -151,7 +151,7 @@ Status InferenceEngine::RegisterGraph(const std::string& name, Tensor features,
   MIXQ_RETURN_NOT_OK(ValidateGraph(name, features, op));
   std::shared_ptr<GraphContext> context =
       MakeGraphContext(name, std::move(features), std::move(op));
-  std::unique_lock<std::shared_mutex> lock(mu_);
+  WriterLock lock(&mu_);
   auto [it, inserted] = graphs_.emplace(name, nullptr);
   if (!inserted) {
     return Status::InvalidArgument("graph '" + name +
@@ -167,7 +167,7 @@ Status InferenceEngine::ReplaceGraph(const std::string& name, Tensor features,
   MIXQ_RETURN_NOT_OK(ValidateGraph(name, features, op));
   std::shared_ptr<GraphContext> context =
       MakeGraphContext(name, std::move(features), std::move(op));
-  std::unique_lock<std::shared_mutex> lock(mu_);
+  WriterLock lock(&mu_);
   // invalidates cached results against the old graph
   context->version = next_version_++;
   graphs_[name] = std::move(context);
@@ -175,7 +175,7 @@ Status InferenceEngine::ReplaceGraph(const std::string& name, Tensor features,
 }
 
 Status InferenceEngine::UnregisterGraph(const std::string& name) {
-  std::unique_lock<std::shared_mutex> lock(mu_);
+  WriterLock lock(&mu_);
   if (graphs_.erase(name) == 0) {
     return Status::NotFound("graph '" + name + "' is not registered");
   }
@@ -187,7 +187,7 @@ Result<GraphContextPtr> InferenceEngine::GetGraph(const std::string& name) const
 }
 
 std::vector<std::string> InferenceEngine::GraphNames() const {
-  std::shared_lock<std::shared_mutex> lock(mu_);
+  ReaderLock lock(&mu_);
   std::vector<std::string> names;
   names.reserve(graphs_.size());
   for (const auto& [name, context] : graphs_) names.push_back(name);
@@ -205,7 +205,7 @@ Status InferenceEngine::LoadGraphFromFile(const std::string& name,
 std::map<std::string, InferenceEngine::ModelIntrospection>
 InferenceEngine::ListModels() const {
   std::map<std::string, ModelIntrospection> out;
-  std::shared_lock<std::shared_mutex> lock(mu_);
+  ReaderLock lock(&mu_);
   for (const auto& [name, entry] : models_) {
     out[name] = ModelIntrospection{entry.model->info(), entry.version};
   }
@@ -215,7 +215,7 @@ InferenceEngine::ListModels() const {
 std::map<std::string, InferenceEngine::GraphIntrospection>
 InferenceEngine::ListGraphs() const {
   std::map<std::string, GraphIntrospection> out;
-  std::shared_lock<std::shared_mutex> lock(mu_);
+  ReaderLock lock(&mu_);
   for (const auto& [name, context] : graphs_) {
     GraphIntrospection g;
     g.nodes = context->features.rows();
@@ -229,7 +229,7 @@ InferenceEngine::ListGraphs() const {
 }
 
 Result<ModelHandle> InferenceEngine::LookupModel(const std::string& name) const {
-  std::shared_lock<std::shared_mutex> lock(mu_);
+  ReaderLock lock(&mu_);
   auto it = models_.find(name);
   if (it == models_.end()) {
     return Status::NotFound("model '" + name + "' is not registered");
@@ -238,7 +238,7 @@ Result<ModelHandle> InferenceEngine::LookupModel(const std::string& name) const 
 }
 
 Result<GraphContextPtr> InferenceEngine::LookupGraph(const std::string& name) const {
-  std::shared_lock<std::shared_mutex> lock(mu_);
+  ReaderLock lock(&mu_);
   auto it = graphs_.find(name);
   if (it == graphs_.end()) {
     return Status::NotFound("graph '" + name + "' is not registered");
@@ -291,7 +291,7 @@ InferenceEngine::Stats InferenceEngine::GetStats() const {
   stats.requests = requests_.load(std::memory_order_relaxed);
   stats.failures = failures_.load(std::memory_order_relaxed);
   stats.batcher = batcher_->GetStats();
-  std::shared_lock<std::shared_mutex> lock(mu_);
+  ReaderLock lock(&mu_);
   for (const auto& [name, entry] : models_) {
     ModelStats& m = stats.per_model[name];
     m.successes = entry.counters->successes.load(std::memory_order_relaxed);

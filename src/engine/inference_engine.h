@@ -36,6 +36,7 @@
 #include <vector>
 
 #include "common/status.h"
+#include "common/thread_annotations.h"
 #include "engine/batcher.h"
 #include "engine/compiled_model.h"
 
@@ -192,13 +193,16 @@ class InferenceEngine {
   Result<ModelHandle> LookupModel(const std::string& name) const;
   Result<GraphContextPtr> LookupGraph(const std::string& name) const;
 
-  mutable std::shared_mutex mu_;
-  std::map<std::string, ModelEntry> models_;
-  std::map<std::string, GraphContextPtr> graphs_;
-  /// Engine-global monotonic version source for models AND graphs (guarded
-  /// by mu_). Registrations never reuse a version — so a cache entry from a
-  /// name that was unregistered and re-registered can never validate.
-  uint64_t next_version_ = 1;
+  /// Readers-writer lock over both registries; annotated so clang's
+  /// -Wthread-safety proves every map access holds it (common/
+  /// thread_annotations.h).
+  mutable SharedMutex mu_;
+  std::map<std::string, ModelEntry> models_ MIXQ_GUARDED_BY(mu_);
+  std::map<std::string, GraphContextPtr> graphs_ MIXQ_GUARDED_BY(mu_);
+  /// Engine-global monotonic version source for models AND graphs.
+  /// Registrations never reuse a version — so a cache entry from a name
+  /// that was unregistered and re-registered can never validate.
+  uint64_t next_version_ MIXQ_GUARDED_BY(mu_) = 1;
 
   mutable std::atomic<int64_t> requests_{0};
   mutable std::atomic<int64_t> failures_{0};

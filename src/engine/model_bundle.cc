@@ -9,6 +9,7 @@
 #include <utility>
 
 #include "common/binary_io.h"
+#include "engine/plan_verifier.h"
 #include "sparse/csr.h"
 #include "tensor/gemm.h"
 
@@ -589,6 +590,20 @@ Result<CompiledModelPtr> LoadBundle(const std::string& path) {
         std::to_string(loaded.out_dim()));
   }
 
+  // Unconditional static verification — bundle bytes are untrusted. The
+  // codec above validated field-local structure; this pass validates the
+  // program's global semantics (dataflow, shape chaining, quantizer grids)
+  // so no plan that could drive an executor out of bounds ever reaches one.
+  // A CRC-consistent but semantically broken bundle lands here.
+  PlanShapes shapes;
+  shapes.in_features = info.in_features;
+  shapes.out_dim = info.out_dim;
+  Status verified = VerifyPlan(loaded, shapes);
+  if (!verified.ok()) {
+    return Status::InvalidArgument("'" + path + "' holds an invalid plan: " +
+                                   verified.message());
+  }
+
   auto model = std::shared_ptr<CompiledModel>(new CompiledModel());
   model->info_ = std::move(info);
   model->model_kind_ = model_kind;
@@ -598,6 +613,81 @@ Result<CompiledModelPtr> LoadBundle(const std::string& path) {
   // never null.
   model->forward_mu_ = std::make_shared<std::mutex>();
   return CompiledModelPtr(model);
+}
+
+std::vector<BundleCheck> VerifyBundleFile(const std::string& path) {
+  std::vector<BundleCheck> out;
+  BundleKind kind;
+  uint16_t major = 0, minor = 0;
+  std::vector<uint8_t> bytes;
+  std::vector<RawSection> sections;
+  Status header =
+      OpenBundle(path, &kind, &major, &minor, &bytes, &sections);
+  out.push_back({"header", header});
+  if (!header.ok()) return out;
+
+  // Per-section CRC verdicts, in file order (OpenSection also rejects
+  // duplicate tags, which a plain load of a forward-compatible file with
+  // trailing unknown sections would skip over).
+  for (const RawSection& s : sections) {
+    Result<ByteReader> r = OpenSection(bytes, sections, s.tag);
+    out.push_back({s.tag, r.ok() ? Status::OK() : r.status()});
+    if (!r.ok()) return out;
+  }
+
+  if (kind == BundleKind::kGraph) {
+    Result<GraphBundle> graph = LoadGraph(path);
+    out.push_back({"decode", graph.ok() ? Status::OK() : graph.status()});
+    return out;
+  }
+
+  // Model bundle: semantic decode first (reported as one verdict), then the
+  // static plan verifier as its own verdict so a bad program is
+  // distinguishable from malformed bytes.
+  CompiledModelInfo info;
+  NodeModelKind model_kind = NodeModelKind::kGcn;
+  std::unique_ptr<ExecutionPlan> plan;
+  Status decode = [&]() -> Status {
+    Result<ByteReader> info_r = OpenSection(bytes, sections, "INFO");
+    if (!info_r.ok()) return info_r.status();
+    MIXQ_RETURN_NOT_OK(DecodeInfo(&info_r.ValueOrDie(), &info, &model_kind));
+    Result<ByteReader> plan_r = OpenSection(bytes, sections, "PLAN");
+    if (!plan_r.ok()) return plan_r.status();
+    Result<std::unique_ptr<ExecutionPlan>> loaded =
+        ExecutionPlanCodec::LoadPlan(&plan_r.ValueOrDie());
+    if (!loaded.ok()) return loaded.status();
+    plan = loaded.MoveValueOrDie();
+    if (info.lowered_int8 != HasSection(sections, "IPLN")) {
+      return Status::InvalidArgument(
+          "metadata disagrees with sections: int8 plan " +
+          std::string(info.lowered_int8 ? "declared but missing"
+                                        : "present but undeclared"));
+    }
+    if (info.lowered_int8) {
+      Result<ByteReader> int8_r = OpenSection(bytes, sections, "IPLN");
+      if (!int8_r.ok()) return int8_r.status();
+      MIXQ_RETURN_NOT_OK(
+          ExecutionPlanCodec::LoadInt8(&int8_r.ValueOrDie(), plan.get()));
+    }
+    if (plan->in_features() != info.in_features ||
+        plan->out_dim() != info.out_dim) {
+      return Status::InvalidArgument(
+          "metadata disagrees with plan dims: INFO says " +
+          std::to_string(info.in_features) + "->" +
+          std::to_string(info.out_dim) + ", plan is " +
+          std::to_string(plan->in_features()) + "->" +
+          std::to_string(plan->out_dim()));
+    }
+    return Status::OK();
+  }();
+  out.push_back({"decode", decode});
+  if (!decode.ok()) return out;
+
+  PlanShapes shapes;
+  shapes.in_features = info.in_features;
+  shapes.out_dim = info.out_dim;
+  out.push_back({"plan", VerifyPlan(*plan, shapes)});
+  return out;
 }
 
 // ---- graph bundles ---------------------------------------------------------

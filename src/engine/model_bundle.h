@@ -128,5 +128,20 @@ bool FindLogitDigest(const std::string& text, const std::string& mode,
 /// stored checksum reported.
 Result<BundleManifest> InspectBundle(const std::string& path);
 
+/// One verdict from VerifyBundleFile: `section` names what was checked
+/// ("header", a section FourCC for its CRC, "decode" for the semantic
+/// deserialization, "plan" for the static plan verifier).
+struct BundleCheck {
+  std::string section;
+  Status status;
+};
+
+/// Runs every check a load would (mixq_inspect --verify): header + section
+/// table parse, per-section CRC, full semantic decode, and — for model
+/// bundles — the static plan verifier (engine/plan_verifier.h). Returns the
+/// verdicts in check order, stopping at the first failure; a fully valid
+/// bundle yields all-OK entries.
+std::vector<BundleCheck> VerifyBundleFile(const std::string& path);
+
 }  // namespace engine
 }  // namespace mixq

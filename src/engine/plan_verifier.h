@@ -1,0 +1,70 @@
+// Copyright 2026 MixQ-GNN Authors
+// Static IR verification of lowered serving programs.
+//
+// An ExecutionPlan is an IR: a flat step list over shared scratch buffers,
+// interpreted by executors that index buffers, weight tables, and quantizer
+// tables without per-step bounds checks — the hot path trusts the plan. That
+// trust is earned at three boundaries, and VerifyPlan is the pass that earns
+// it:
+//
+//   * end of CompileModel's lowering — a machine-checked contract on every
+//     lowering (including future backbones), on in debug builds and behind
+//     MIXQ_VERIFY=1 in release;
+//   * inside LoadBundle, UNCONDITIONALLY — bundle bytes are attacker-chosen;
+//     the codec validates field-local structure, the verifier validates the
+//     program's global semantics (dataflow, shape chaining, quantizer
+//     coverage) before any executor can run it;
+//   * FrontierProgram::Build materialization (VerifyFrontierProgram) — the
+//     pruned schedule's row lists, gathers, and induced-CSR remaps must stay
+//     in bounds of the frontiers the executors will actually hold.
+//
+// VerifyPlan symbolically executes both step lists. It tracks, per scratch
+// buffer, whether it has been written, its column width, and (int8 list) the
+// quantization grid of the codes it holds, and rejects with a typed,
+// step-indexed kInvalidArgument on the first violation. The invariants
+// enforced are normative — DESIGN.md §6 lists every rule.
+#pragma once
+
+#include <cstdint>
+
+#include "common/status.h"
+
+namespace mixq {
+namespace engine {
+
+class ExecutionPlan;
+class FrontierProgram;
+
+/// The external shape contract a plan is verified against — what the model's
+/// metadata (CompiledModelInfo / bundle INFO section) promises callers.
+struct PlanShapes {
+  int64_t in_features = 0;  ///< feature width Predict inputs must have
+  int64_t out_dim = 0;      ///< logit width Predict outputs will have
+};
+
+/// Statically verifies `plan` against DESIGN.md §6: symbolic walk of the
+/// fp32 step list and, when the int8 lowering is present, the integer step
+/// list. Returns OK iff every invariant holds; otherwise kInvalidArgument
+/// whose message names the offending step ("fp32 step 3 (SpMM): ...") or
+/// table entry ("linear 1: ..."). A plan that verifies cannot drive the
+/// executors out of bounds.
+Status VerifyPlan(const ExecutionPlan& plan, const PlanShapes& shapes);
+
+/// Statically verifies a materialized pruned schedule against the plan it
+/// was built from: per-step row lists sorted, unique, and within the graph;
+/// frontier consistency (each step's input rows resolvable from its source
+/// buffer's frontier — the monotone ⊆ chain the backward pass derives);
+/// gather lists in bounds; induced-CSR shapes and column remaps in bounds of
+/// the source frontier; final frontier == targets. kInvalidArgument names
+/// the offending step on failure.
+Status VerifyFrontierProgram(const ExecutionPlan& plan,
+                             const FrontierProgram& program);
+
+/// True when optional verification points (CompileModel's post-lowering
+/// check, FrontierProgram::Build's self-check) should run: always in debug
+/// builds (!NDEBUG), in release only with MIXQ_VERIFY=1 in the environment.
+/// LoadBundle ignores this and verifies unconditionally.
+bool VerifyPlansEnabled();
+
+}  // namespace engine
+}  // namespace mixq

@@ -67,7 +67,6 @@ Tensor A2qFakeQuantRows(const Tensor& x, const Tensor& log_scale, const Tensor& 
           const double s = std::exp(static_cast<double>(si->data[static_cast<size_t>(i)]));
           const double beta_v = bi->data[static_cast<size_t>(i)];
           const int b = RoundedBits(beta_v);
-          const int64_t qmax = QmaxForBits(b);
           double d_log_scale = 0.0;
           double d_beta = 0.0;
           const double sig = SigmoidD(beta_v);

@@ -225,7 +225,7 @@ Status SchemeRegistry::Register(const std::string& name, SchemeFamilyPtr family)
   if (family == nullptr) {
     return Status::InvalidArgument("scheme family for '" + name + "' is null");
   }
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   if (!families_.emplace(name, std::move(family)).second) {
     return Status::InvalidArgument("scheme '" + name + "' is already registered");
   }
@@ -233,7 +233,7 @@ Status SchemeRegistry::Register(const std::string& name, SchemeFamilyPtr family)
 }
 
 Status SchemeRegistry::Unregister(const std::string& name) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   if (families_.erase(name) == 0) {
     return Status::NotFound("scheme '" + name + "' is not registered");
   }
@@ -241,12 +241,12 @@ Status SchemeRegistry::Unregister(const std::string& name) {
 }
 
 bool SchemeRegistry::Contains(const std::string& name) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   return families_.count(name) != 0;
 }
 
 Result<SchemeFamilyPtr> SchemeRegistry::Find(const std::string& name) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   auto it = families_.find(name);
   if (it == families_.end()) {
     std::string known;
@@ -261,7 +261,7 @@ Result<SchemeFamilyPtr> SchemeRegistry::Find(const std::string& name) const {
 }
 
 std::vector<std::string> SchemeRegistry::Names() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   std::vector<std::string> names;
   names.reserve(families_.size());
   for (const auto& [n, f] : families_) names.push_back(n);

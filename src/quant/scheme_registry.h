@@ -26,6 +26,7 @@
 #include <vector>
 
 #include "common/status.h"
+#include "common/thread_annotations.h"
 #include "quant/scheme.h"
 
 namespace mixq {
@@ -177,8 +178,8 @@ class SchemeRegistry {
   std::string Label(const SchemeRef& ref) const;
 
  private:
-  mutable std::mutex mu_;
-  std::map<std::string, SchemeFamilyPtr> families_;
+  mutable Mutex mu_;
+  std::map<std::string, SchemeFamilyPtr> families_ MIXQ_GUARDED_BY(mu_);
 };
 
 /// Convenience adapter: a family from plain functions, for schemes that do

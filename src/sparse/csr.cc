@@ -143,6 +143,7 @@ CsrMatrix CsrMatrix::InducedRows(const std::vector<int64_t>& rows,
     const int64_t r = rows[i];
     const int64_t k0 = row_ptr_[static_cast<size_t>(r)];
     const int64_t count = row_ptr_[static_cast<size_t>(r + 1)] - k0;
+    if (count == 0) continue;  // all-empty slices hold data() == nullptr
     int64_t* cols_out = m.col_idx_.data() + m.row_ptr_[i];
     std::memcpy(m.values_.data() + m.row_ptr_[i], values_.data() + k0,
                 sizeof(float) * static_cast<size_t>(count));

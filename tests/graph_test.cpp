@@ -103,7 +103,9 @@ TEST(CitationGeneratorTest, FeaturesRowNormalized) {
   for (int64_t i = 0; i < std::min<int64_t>(g.num_nodes, 200); ++i) {
     double s = 0.0;
     for (int64_t j = 0; j < g.feature_dim(); ++j) s += g.features.at(i, j);
-    if (s > 0.0) EXPECT_NEAR(s, 1.0, 1e-4);
+    if (s > 0.0) {
+      EXPECT_NEAR(s, 1.0, 1e-4);
+    }
   }
 }
 

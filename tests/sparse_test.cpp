@@ -98,7 +98,9 @@ TEST(RowNormalizeTest, RowsSumToOne) {
          k < norm.row_ptr()[static_cast<size_t>(r + 1)]; ++k) {
       s += norm.values()[static_cast<size_t>(k)];
     }
-    if (norm.RowNnz(r) > 0) EXPECT_NEAR(s, 1.0, 1e-6);
+    if (norm.RowNnz(r) > 0) {
+      EXPECT_NEAR(s, 1.0, 1e-6);
+    }
   }
 }
 

@@ -5,7 +5,7 @@
 // portable model bundle (plus, optionally, the training graph as a graph
 // bundle and a logit digest for cross-process parity checks).
 //
-//   mixq_compile --scheme qat8 --out model.mqb \
+//   mixq_compile --scheme qat8 --out model.mqb
 //       [--graph-out graph.mqb] [--digest-out model.digest]
 //       [--model gcn|sage] [--nodes N] [--classes C] [--features F]
 //       [--hidden H] [--layers L] [--epochs E] [--search-epochs E]

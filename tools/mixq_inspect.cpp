@@ -4,9 +4,16 @@
 // loading the weight or feature payloads: only the header, the section
 // table, and the small metadata section (INFO / GMET) are read.
 //
-//   mixq_inspect bundle.mqb [more.mqb ...]
+// With --verify, additionally runs every check a load would — header parse,
+// per-section CRC, full semantic decode, and (model bundles) the static
+// plan verifier — printing a per-section verdict line and exiting non-zero
+// on the first violation.
+//
+//   mixq_inspect [--verify] bundle.mqb [more.mqb ...]
 #include <cstdio>
+#include <cstring>
 #include <string>
+#include <vector>
 
 #include "engine/model_bundle.h"
 
@@ -56,17 +63,44 @@ int Inspect(const std::string& path) {
   return 0;
 }
 
+int Verify(const std::string& path) {
+  std::vector<BundleCheck> checks = VerifyBundleFile(path);
+  std::printf("%s:\n", path.c_str());
+  int rc = 0;
+  for (const BundleCheck& c : checks) {
+    if (c.status.ok()) {
+      std::printf("  %-8s OK\n", c.section.c_str());
+    } else {
+      std::printf("  %-8s FAIL  %s\n", c.section.c_str(),
+                  c.status.ToString().c_str());
+      rc = 1;  // VerifyBundleFile stops at the first failure
+    }
+  }
+  std::printf("verdict: %s\n", rc == 0 ? "VALID" : "INVALID");
+  return rc;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
-  if (argc < 2) {
-    std::fprintf(stderr, "usage: %s bundle.mqb [more.mqb ...]\n", argv[0]);
+  bool verify = false;
+  std::vector<std::string> paths;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--verify") == 0) {
+      verify = true;
+    } else {
+      paths.emplace_back(argv[i]);
+    }
+  }
+  if (paths.empty()) {
+    std::fprintf(stderr, "usage: %s [--verify] bundle.mqb [more.mqb ...]\n",
+                 argv[0]);
     return 2;
   }
   int rc = 0;
-  for (int i = 1; i < argc; ++i) {
-    rc |= Inspect(argv[i]);
-    if (i + 1 < argc) std::printf("\n");
+  for (size_t i = 0; i < paths.size(); ++i) {
+    rc |= verify ? Verify(paths[i]) : Inspect(paths[i]);
+    if (i + 1 < paths.size()) std::printf("\n");
   }
   return rc;
 }
