@@ -5,9 +5,11 @@
 // serving path's frontier expansion / induced-CSR slicing.
 #include <benchmark/benchmark.h>
 
+#include "common/cpu_features.h"
 #include "common/rng.h"
 #include "quant/fake_quant.h"
 #include "quant/fused_mp.h"
+#include "quant/requant.h"
 #include "sparse/csr.h"
 #include "sparse/frontier.h"
 #include "tensor/gemm.h"
@@ -89,6 +91,111 @@ void BM_GemmInt8PackedB(benchmark::State& state) {
 }
 BENCHMARK(BM_GemmInt8PackedB)->Arg(64)->Arg(128)->Arg(256);
 
+/// A representative serving epilogue: folded scale ratio + an int8 output
+/// quantizer (no bias — the bias add is identical in both variants and would
+/// only dilute the round-trip difference under test).
+RequantEpilogue BenchEpilogue() {
+  RequantEpilogue ep;
+  ep.total = 0.004321;
+  ep.emitter = CodeEmitter(ParamsFromRange(-1.0f, 1.0f, 8, true));
+  return ep;
+}
+
+/// The pre-fusion executor shape: int8 GEMM into an int32 scratch matrix,
+/// then a separate pass requantizing scratch rows to codes. The A/B partner
+/// of BM_GemmInt8RequantFused — same inputs, same output codes.
+void BM_GemmInt8RequantUnfused(benchmark::State& state) {
+  const int64_t n = state.range(0);
+  Rng rng(16);
+  std::vector<int8_t> a(static_cast<size_t>(n * n)), b(static_cast<size_t>(n * n));
+  for (auto& v : a) v = static_cast<int8_t>(rng.UniformInt(-127, 127));
+  for (auto& v : b) v = static_cast<int8_t>(rng.UniformInt(-127, 127));
+  std::vector<int16_t> packed(static_cast<size_t>(PackedPairSize(n, n)));
+  PackInt8PairB(b.data(), n, n, packed.data());
+  const RequantEpilogue ep = BenchEpilogue();
+  std::vector<int32_t> acc(static_cast<size_t>(n * n));
+  std::vector<int8_t> c(static_cast<size_t>(n * n));
+  for (auto _ : state) {
+    GemmInt8PackedB(a.data(), packed.data(), acc.data(), n, n, n);
+    for (int64_t r = 0; r < n; ++r) {
+      for (int64_t j0 = 0; j0 < n; j0 += kRequantBlock) {
+        const int64_t len = std::min(kRequantBlock, n - j0);
+        RequantBlock(acc.data() + r * n + j0, len, ep.total, nullptr, ep.emitter,
+                     c.data() + r * n + j0);
+      }
+    }
+    benchmark::DoNotOptimize(c.data());
+  }
+  state.SetItemsProcessed(state.iterations() * n * n * n);
+}
+BENCHMARK(BM_GemmInt8RequantUnfused)->Arg(64)->Arg(128)->Arg(256);
+
+/// The fused epilogue: requantizes register/row-block accumulators straight
+/// to int8 codes — no int32 scratch matrix in the loop.
+void BM_GemmInt8RequantFused(benchmark::State& state) {
+  const int64_t n = state.range(0);
+  Rng rng(16);  // same seed as the unfused partner: identical inputs
+  std::vector<int8_t> a(static_cast<size_t>(n * n)), b(static_cast<size_t>(n * n));
+  for (auto& v : a) v = static_cast<int8_t>(rng.UniformInt(-127, 127));
+  for (auto& v : b) v = static_cast<int8_t>(rng.UniformInt(-127, 127));
+  std::vector<int16_t> pair(static_cast<size_t>(PackedPairSize(n, n)));
+  PackInt8PairB(b.data(), n, n, pair.data());
+  std::vector<int8_t> quad(static_cast<size_t>(PackedQuadSize(n, n)));
+  std::vector<int32_t> corr(static_cast<size_t>(n));
+  PackInt8QuadB(b.data(), n, n, quad.data(), corr.data());
+  Int8PackedWeights w;
+  w.pair = pair.data();
+  if (Int8VnniDepthOk(n)) {
+    w.quad = quad.data();
+    w.corr = corr.data();
+  }
+  const RequantEpilogue ep = BenchEpilogue();
+  std::vector<int8_t> c(static_cast<size_t>(n * n));
+  for (auto _ : state) {
+    GemmInt8Requant(a.data(), w, n, n, n, n, ep, c.data());
+    benchmark::DoNotOptimize(c.data());
+  }
+  state.SetItemsProcessed(state.iterations() * n * n * n);
+}
+BENCHMARK(BM_GemmInt8RequantFused)->Arg(64)->Arg(128)->Arg(256);
+
+/// VNNI (vpdpbusd) vs vpmaddwd vs scalar on the same fused int8 GEMM:
+/// Arg encodes the KernelIsa tier; unsupported tiers are skipped. Restores
+/// the ambient dispatch level afterwards.
+void BM_GemmInt8ByIsa(benchmark::State& state) {
+  const auto isa = static_cast<KernelIsa>(state.range(0));
+  if (isa > BestSupportedIsa()) {
+    state.SkipWithError("kernel tier not supported on this machine/build");
+    return;
+  }
+  const KernelIsa ambient = ActiveKernelIsa();
+  SetKernelIsa(isa);
+  const int64_t n = 256;
+  Rng rng(17);
+  std::vector<int8_t> a(static_cast<size_t>(n * n)), b(static_cast<size_t>(n * n));
+  for (auto& v : a) v = static_cast<int8_t>(rng.UniformInt(-127, 127));
+  for (auto& v : b) v = static_cast<int8_t>(rng.UniformInt(-127, 127));
+  std::vector<int16_t> pair(static_cast<size_t>(PackedPairSize(n, n)));
+  PackInt8PairB(b.data(), n, n, pair.data());
+  std::vector<int8_t> quad(static_cast<size_t>(PackedQuadSize(n, n)));
+  std::vector<int32_t> corr(static_cast<size_t>(n));
+  PackInt8QuadB(b.data(), n, n, quad.data(), corr.data());
+  Int8PackedWeights w;
+  w.pair = pair.data();
+  w.quad = quad.data();
+  w.corr = corr.data();
+  const RequantEpilogue ep = BenchEpilogue();
+  std::vector<int8_t> c(static_cast<size_t>(n * n));
+  for (auto _ : state) {
+    GemmInt8Requant(a.data(), w, n, n, n, n, ep, c.data());
+    benchmark::DoNotOptimize(c.data());
+  }
+  state.SetItemsProcessed(state.iterations() * n * n * n);
+  state.SetLabel(KernelIsaName(isa));
+  SetKernelIsa(ambient);
+}
+BENCHMARK(BM_GemmInt8ByIsa)->Arg(0)->Arg(1)->Arg(2);
+
 void BM_SpmmFloat(benchmark::State& state) {
   const int64_t n = state.range(0);
   CsrMatrix a = RandomGraph(n, 8, 3);
@@ -136,6 +243,53 @@ void BM_SpmmInt8(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() * a.nnz() * 64);
 }
 BENCHMARK(BM_SpmmInt8)->Arg(1000)->Arg(4000)->Arg(16000);
+
+/// Pre-fusion integer aggregation: SpmmInt8 into an int32 scratch matrix,
+/// then a separate row-major requant pass — the A/B partner of
+/// BM_SpmmInt8RequantFused (same graph, same codes out).
+void BM_SpmmInt8RequantUnfused(benchmark::State& state) {
+  const int64_t n = state.range(0);
+  CsrMatrix a = RandomGraph(n, 8, 18);
+  Rng rng(19);
+  std::vector<int8_t> aq(static_cast<size_t>(a.nnz()));
+  for (auto& v : aq) v = static_cast<int8_t>(rng.UniformInt(-127, 127));
+  std::vector<int8_t> x(static_cast<size_t>(n * 64));
+  for (auto& v : x) v = static_cast<int8_t>(rng.UniformInt(-127, 127));
+  const RequantEpilogue ep = BenchEpilogue();
+  std::vector<int32_t> acc(static_cast<size_t>(n * 64));
+  std::vector<int8_t> y(static_cast<size_t>(n * 64));
+  for (auto _ : state) {
+    SpmmInt8(a, aq.data(), x.data(), 64, acc.data());
+    for (int64_t r = 0; r < n; ++r) {
+      RequantBlock(acc.data() + r * 64, 64, ep.total, nullptr, ep.emitter,
+                   y.data() + r * 64);
+    }
+    benchmark::DoNotOptimize(y.data());
+  }
+  state.SetItemsProcessed(state.iterations() * a.nnz() * 64);
+}
+BENCHMARK(BM_SpmmInt8RequantUnfused)->Arg(1000)->Arg(4000)->Arg(16000);
+
+/// Fused aggregation epilogue: each row's feature tile accumulates in a
+/// stack int32 block and requantizes from there — the scratch matrix (and
+/// its second memory sweep) disappears.
+void BM_SpmmInt8RequantFused(benchmark::State& state) {
+  const int64_t n = state.range(0);
+  CsrMatrix a = RandomGraph(n, 8, 18);  // same seed: identical graph
+  Rng rng(19);
+  std::vector<int8_t> aq(static_cast<size_t>(a.nnz()));
+  for (auto& v : aq) v = static_cast<int8_t>(rng.UniformInt(-127, 127));
+  std::vector<int8_t> x(static_cast<size_t>(n * 64));
+  for (auto& v : x) v = static_cast<int8_t>(rng.UniformInt(-127, 127));
+  const RequantEpilogue ep = BenchEpilogue();
+  std::vector<int8_t> y(static_cast<size_t>(n * 64));
+  for (auto _ : state) {
+    SpmmInt8Requant(a, aq.data(), x.data(), 64, ep, y.data());
+    benchmark::DoNotOptimize(y.data());
+  }
+  state.SetItemsProcessed(state.iterations() * a.nnz() * 64);
+}
+BENCHMARK(BM_SpmmInt8RequantFused)->Arg(1000)->Arg(4000)->Arg(16000);
 
 void BM_FusedQuantizedSpmm(benchmark::State& state) {
   const int64_t n = state.range(0);

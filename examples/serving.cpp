@@ -86,9 +86,11 @@ int main() {
                 m.info.lowered_int8 ? "yes" : "no");
   }
   for (const auto& [name, g] : serving.ListGraphs()) {
-    std::printf("registry: graph '%s' v%llu — %lld nodes, %lld nnz\n",
+    std::printf("registry: graph '%s' v%llu — %lld nodes, %lld nnz, "
+                "row order %s\n",
                 name.c_str(), static_cast<unsigned long long>(g.version),
-                static_cast<long long>(g.nodes), static_cast<long long>(g.nnz));
+                static_cast<long long>(g.nodes), static_cast<long long>(g.nnz),
+                g.reordered ? "locality-reordered" : "as registered");
   }
 
   // Parity check #1: the legacy synchronous Predict still returns logits
@@ -149,5 +151,13 @@ int main() {
               "p50 %.0f us, p99 %.0f us\n",
               static_cast<long long>(ms.successes),
               static_cast<long long>(ms.failures), ms.p50_us, ms.p99_us);
+  // Forward time split by resolved precision — the dashboard view that shows
+  // whether the int8 kernels actually beat fp32 on this deployment (cache
+  // hits record nothing, so these are pure kernel-path samples).
+  std::printf("forwards by precision: fp32 %lld (p50 %.0f us, p99 %.0f us), "
+              "int8 %lld (p50 %.0f us, p99 %.0f us)\n",
+              static_cast<long long>(ms.fp32_forwards), ms.fp32_forward_p50_us,
+              ms.fp32_forward_p99_us, static_cast<long long>(ms.int8_forwards),
+              ms.int8_forward_p50_us, ms.int8_forward_p99_us);
   return 0;
 }

@@ -1,0 +1,67 @@
+// Copyright 2026 MixQ-GNN Authors
+// Runtime CPU feature detection and kernel dispatch for the int8 GEMM/SpMM
+// micro-kernels. The binary may be compiled with AVX2/VNNI support
+// (-march=native) yet must still pick the right micro-kernel for the machine
+// it actually runs on, and tests/benches need to force a specific kernel for
+// A/B comparisons and fallback coverage — hence one small dispatch point:
+//
+//   * compile-time gates (MIXQ_COMPILED_AVX2 / MIXQ_COMPILED_VNNI) say which
+//     kernels exist in this binary at all;
+//   * cpuid says which the machine supports;
+//   * the MIXQ_KERNEL env var ("scalar" | "vpmaddwd" | "vnni") or
+//     SetKernelIsa() clamp the choice downward for A/B testing.
+//
+// Every kernel computes bitwise-identical int32 accumulators (integer sums
+// reassociate exactly), so dispatch is a pure performance decision — no
+// parity contract depends on which level is active.
+#pragma once
+
+namespace mixq {
+
+// Which instruction families this translation unit's flags enable. The VNNI
+// gate requires the VEX-encoded AVX-VNNI extension or the AVX512-VNNI+VL
+// pair (256-bit vpdpbusd on EVEX); either way the same _mm256 intrinsic
+// shape applies.
+#if defined(__AVX2__)
+#define MIXQ_COMPILED_AVX2 1
+#else
+#define MIXQ_COMPILED_AVX2 0
+#endif
+#if defined(__AVX2__) && \
+    (defined(__AVXVNNI__) || (defined(__AVX512VNNI__) && defined(__AVX512VL__)))
+#define MIXQ_COMPILED_VNNI 1
+#else
+#define MIXQ_COMPILED_VNNI 0
+#endif
+
+/// Micro-kernel tiers, ordered: a machine (or override) at tier T can run
+/// every tier <= T.
+enum class KernelIsa {
+  kScalar = 0,    ///< portable C++ (always available)
+  kVpmaddwd = 1,  ///< AVX2 pair-interleaved multiply-add (16-bit lanes)
+  kVnni = 2,      ///< AVX-VNNI / AVX512-VNNI vpdpbusd (8-bit quad dot)
+};
+
+const char* KernelIsaName(KernelIsa isa);
+
+/// What the running CPU reports via cpuid (independent of compile flags).
+struct CpuFeatures {
+  bool avx2 = false;
+  bool avx_vnni = false;        ///< VEX-encoded AVX-VNNI
+  bool avx512_vnni_vl = false;  ///< AVX512-VNNI with AVX512-VL (256-bit forms)
+};
+
+const CpuFeatures& GetCpuFeatures();
+
+/// Highest tier both compiled into this binary and supported by the CPU.
+KernelIsa BestSupportedIsa();
+
+/// The tier kernels dispatch on. Resolved once from MIXQ_KERNEL (clamped to
+/// BestSupportedIsa()) or defaults to BestSupportedIsa().
+KernelIsa ActiveKernelIsa();
+
+/// Overrides the active tier (clamped to BestSupportedIsa()); for tests and
+/// benchmark A/B runs. Thread-safe, takes effect on subsequent kernel calls.
+void SetKernelIsa(KernelIsa isa);
+
+}  // namespace mixq

@@ -15,13 +15,28 @@ double MicrosBetween(ServingClock::time_point from, ServingClock::time_point to)
 }
 
 /// Copies the requested logit rows into a fresh tensor (cached logits must
-/// never share storage with a caller-visible tensor). Empty ids = all rows;
-/// duplicate ids each get their own row, in request order.
-Result<Tensor> GatherLogitRows(const Tensor& logits, const std::vector<int64_t>& ids) {
+/// never share storage with a caller-visible tensor). Empty ids = all rows,
+/// in ORIGINAL node order; duplicate ids each get their own row, in request
+/// order. `logits` lives in the graph's internal row order — this gather is
+/// the single point where the locality reorder is undone for callers.
+Result<Tensor> GatherLogitRows(const Tensor& logits, const std::vector<int64_t>& ids,
+                               const GraphContext& graph) {
   const int64_t n = logits.rows();
   const int64_t d = logits.cols();
   if (ids.empty()) {
-    return Tensor::FromVector(logits.shape(), logits.data());
+    if (!graph.reordered()) {
+      return Tensor::FromVector(logits.shape(), logits.data());
+    }
+    Tensor rows = Tensor::Zeros(logits.shape());
+    float* dst = rows.data().data();
+    const float* src = logits.data().data();
+    for (int64_t i = 0; i < n; ++i) {
+      std::memcpy(dst + static_cast<size_t>(i) * static_cast<size_t>(d),
+                  src + static_cast<size_t>(graph.ToInternal(i)) *
+                            static_cast<size_t>(d),
+                  static_cast<size_t>(d) * sizeof(float));
+    }
+    return rows;
   }
   Tensor rows = Tensor::Zeros(Shape(static_cast<int64_t>(ids.size()), d));
   float* dst = rows.data().data();
@@ -34,25 +49,29 @@ Result<Tensor> GatherLogitRows(const Tensor& logits, const std::vector<int64_t>&
                                      std::to_string(n) + " nodes");
     }
     std::memcpy(dst + static_cast<size_t>(i) * static_cast<size_t>(d),
-                src + static_cast<size_t>(id) * static_cast<size_t>(d),
+                src + static_cast<size_t>(graph.ToInternal(id)) *
+                          static_cast<size_t>(d),
                 static_cast<size_t>(d) * sizeof(float));
   }
   return rows;
 }
 
-/// Gather against a PRUNED forward's output, whose row i holds node
+/// Gather against a PRUNED forward's output, whose row i holds INTERNAL node
 /// targets[i] (sorted unique): each requested id — duplicates included,
-/// order preserved — is located by binary search. Ids were range-checked at
-/// coalescing time and unioned into targets, so lookups cannot miss.
+/// order preserved — is translated to its internal row and located by binary
+/// search. Ids were range-checked at coalescing time and their translations
+/// unioned into targets, so lookups cannot miss.
 Tensor GatherPrunedRows(const Tensor& pruned, const std::vector<int64_t>& targets,
-                        const std::vector<int64_t>& ids) {
+                        const std::vector<int64_t>& ids,
+                        const GraphContext& graph) {
   const int64_t d = pruned.cols();
   Tensor rows = Tensor::Zeros(Shape(static_cast<int64_t>(ids.size()), d));
   float* dst = rows.data().data();
   const float* src = pruned.data().data();
   for (size_t i = 0; i < ids.size(); ++i) {
-    const auto it = std::lower_bound(targets.begin(), targets.end(), ids[i]);
-    MIXQ_CHECK(it != targets.end() && *it == ids[i]);
+    const int64_t internal = graph.ToInternal(ids[i]);
+    const auto it = std::lower_bound(targets.begin(), targets.end(), internal);
+    MIXQ_CHECK(it != targets.end() && *it == internal);
     const size_t row = static_cast<size_t>(it - targets.begin());
     std::memcpy(dst + i * static_cast<size_t>(d),
                 src + row * static_cast<size_t>(d),
@@ -286,8 +305,10 @@ void Batcher::Dispatch(std::vector<Pending> batch) {
       const int64_t num_nodes = group.graph->features.rows();
       if (options_.enable_pruning && group.handle.model->info().lowered &&
           num_nodes >= options_.pruned_min_graph_nodes) {
-        // Union of the group's requested rows; any all-rows request pins
-        // the whole graph and keeps the group on the full path.
+        // Union of the group's requested rows, translated into the graph's
+        // internal order (the frontier analysis and pruned forward see only
+        // internal ids); any all-rows request pins the whole graph and
+        // keeps the group on the full path.
         std::vector<int64_t> targets;
         bool all_rows = false;
         for (const Pending& pending : live) {
@@ -295,8 +316,9 @@ void Batcher::Dispatch(std::vector<Pending> batch) {
             all_rows = true;
             break;
           }
-          targets.insert(targets.end(), pending.request.node_ids.begin(),
-                         pending.request.node_ids.end());
+          for (const int64_t id : pending.request.node_ids) {
+            targets.push_back(group.graph->ToInternal(id));
+          }
         }
         if (!all_rows) {
           std::sort(targets.begin(), targets.end());
@@ -318,6 +340,10 @@ void Batcher::Dispatch(std::vector<Pending> batch) {
       forwards_.fetch_add(1, std::memory_order_relaxed);
       (program != nullptr ? pruned_forwards_ : full_forwards_)
           .fetch_add(1, std::memory_order_relaxed);
+      (group.resolved == Precision::kInt8
+           ? group.handle.counters->forward_int8
+           : group.handle.counters->forward_fp32)
+          .Record(forward_us);
       if (!forward.ok()) {
         for (Pending& pending : live) {
           Fail(&pending, forward.status(), group.handle.counters);
@@ -337,8 +363,9 @@ void Batcher::Dispatch(std::vector<Pending> batch) {
       Result<Tensor> rows =
           program != nullptr
               ? Result<Tensor>(GatherPrunedRows(logits, program->targets(),
-                                                pending.request.node_ids))
-              : GatherLogitRows(logits, pending.request.node_ids);
+                                                pending.request.node_ids,
+                                                *group.graph))
+              : GatherLogitRows(logits, pending.request.node_ids, *group.graph);
       if (!rows.ok()) {
         Fail(&pending, rows.status(), group.handle.counters);
         continue;

@@ -65,6 +65,14 @@ enum class Precision { kAuto = 0, kFp32, kInt8 };
 
 const char* PrecisionName(Precision p);
 
+/// How RegisterGraph orders the pinned adjacency/features for SpMM locality
+/// (sparse/reorder.h). kAuto defers to the MIXQ_REORDER env var
+/// ("none" | "degree" | "rcm"; unset means rcm). The chosen order is a
+/// GraphContext-internal detail — requests, responses, caches and bundles
+/// all speak original node ids, and served values are bitwise identical
+/// across modes.
+enum class GraphReorder { kAuto = 0, kNone, kDegree, kRcm };
+
 /// A named, immutable, engine-pinned graph: requests reference it by name
 /// instead of shipping tensors. `version` comes from the engine's global
 /// monotonic counter (never reused, even across Unregister + Register of
@@ -73,10 +81,24 @@ const char* PrecisionName(Precision p);
 /// registration so precision resolution is O(1) per request.
 struct GraphContext {
   std::string name;
-  Tensor features;        ///< [n, in_features] node features
-  SparseOperatorPtr op;   ///< matching normalized operator
+  Tensor features;        ///< [n, in_features] node features (internal order)
+  SparseOperatorPtr op;   ///< matching normalized operator (internal order)
   uint64_t version = 0;
   bool int8_depth_safe = false;
+  /// Locality reorder applied at registration: when non-empty, `features`
+  /// and `op` live in an INTERNAL row order chosen for SpMM cache locality,
+  /// and these maps translate node ids (new_of_old[original] = internal row;
+  /// old_of_new is the inverse). Empty = identity, graph served exactly as
+  /// registered. The invariant the batcher maintains: the reorder is
+  /// invisible outside the GraphContext — every id crossing the API is an
+  /// original id, and logits come back in original row order.
+  std::vector<int64_t> new_of_old;
+  std::vector<int64_t> old_of_new;
+  bool reordered() const { return !new_of_old.empty(); }
+  /// Original node id -> row of `features` / `op`. `id` must be in range.
+  int64_t ToInternal(int64_t id) const {
+    return new_of_old.empty() ? id : new_of_old[static_cast<size_t>(id)];
+  }
   /// Graph-sized scratch for receptive-field expansion / induced slicing,
   /// allocated once at registration so pruned routing never pays an O(N)
   /// allocation per request. NOT thread-safe: touched only by the
@@ -119,6 +141,11 @@ struct ModelCounters {
   std::atomic<int64_t> successes{0};
   std::atomic<int64_t> failures{0};
   LatencyHistogram latency;
+  /// Shared-forward wall time split by the precision the forward actually
+  /// ran at — recorded once per forward (full or pruned), never on cache
+  /// hits, so the two histograms compare kernel paths, not queueing.
+  LatencyHistogram forward_fp32;
+  LatencyHistogram forward_int8;
 };
 using ModelCountersPtr = std::shared_ptr<ModelCounters>;
 
@@ -149,6 +176,9 @@ struct BatcherOptions {
   /// sizes and target counts (per-request analysis + poor small-n parallel
   /// efficiency), so 0.2 routes pruned only when it is >= ~2.4x faster.
   double pruned_max_cost_fraction = 0.2;
+  /// Row order RegisterGraph pins graphs in (see GraphReorder). Consumed by
+  /// the engine's graph registry, not the batcher itself.
+  GraphReorder graph_reorder = GraphReorder::kAuto;
 };
 
 /// Resolves the requested precision against what `model` can serve over

@@ -2,13 +2,16 @@
 #include "engine/execution_plan.h"
 
 #include <algorithm>
+#include <atomic>
 #include <cmath>
+#include <cstdlib>
 #include <cstring>
 #include <limits>
 #include <string>
 
 #include "common/parallel.h"
 #include "engine/frontier_plan.h"
+#include "quant/requant.h"
 #include "sparse/csr.h"
 #include "tensor/gemm.h"
 
@@ -17,43 +20,17 @@ namespace engine {
 
 namespace {
 
-// The lowered quantizers round half away from zero — the same rule as the
-// reference quantizers' std::lround — with an inline, vectorizable
-// `(long)(x ± 0.5)`. The two can disagree only when x sits within half an
-// ulp of a .5 tie, a ~2^-52 probability event that never arises from float
-// inputs scaled by a float-derived reciprocal, so lowered results remain
-// bitwise identical to the lround-based reference. Values are pre-clamped
-// just outside the code grid (NaN maps to the low bound) so the integer
-// conversion is always defined; the reference path's lround merely returns
-// an unspecified value there, and both end at the same clipped code for
-// anything finite.
+// The round-and-clip code emitter lives in quant/requant.h (shared with the
+// fused GEMM/SpMM epilogue kernels); see there for why its rounding stays
+// bitwise identical to the reference quantizers' std::lround.
 
 // Code-emitting loops write int32 lanes into a small block buffer and narrow
 // to int8 in a second sweep: a direct scalar-narrowing store defeats the
 // vectorizer and costs ~8x on these passes.
 constexpr int64_t kNarrowBlock = 256;
 
-// Round-and-clip a block of pre-scaled real values into int8 codes. `v` is
-// the value in units of the output scale, before the zero point. The double
-// pre-clamp keeps the int32 conversion defined for out-of-grid inputs.
-struct CodeEmitter {
-  double vlo, vhi;  // pre-round clamp, in scale units
-  int32_t zp;
-  int32_t lo, hi;
-
-  explicit CodeEmitter(const QuantParams& p)
-      : vlo(static_cast<double>(p.qmin() - p.zero_point) - 1.0),
-        vhi(static_cast<double>(p.qmax() - p.zero_point) + 1.0),
-        zp(p.zero_point),
-        lo(static_cast<int32_t>(p.qmin())),
-        hi(static_cast<int32_t>(p.qmax())) {}
-
-  inline int32_t Code(double v) const {
-    const double vc = !(v >= vlo) ? vlo : (v > vhi ? vhi : v);  // NaN -> vlo
-    const int32_t q = static_cast<int32_t>(vc >= 0.0 ? vc + 0.5 : vc - 0.5) + zp;
-    return q < lo ? lo : (q > hi ? hi : q);
-  }
-};
+// -1 = unresolved; 0/1 once MIXQ_FUSED or SetFusedEpilogues picked a side.
+std::atomic<int> g_fused_epilogues{-1};
 
 // Buffer-level fake quantization, mirroring FakeQuantOp (quant/fake_quant.cc)
 // value for value: multiply by the double reciprocal, round, clip,
@@ -137,11 +114,11 @@ void AddBiasRows(float* dst, const float* bias, int64_t n, int64_t w) {
 
 /// Requantizes a GEMM accumulator into int8 codes, one multiply per
 /// element: (Sx·Sw/Sy)·acc (+ bias/Sy). `bias` is the step's precomputed
-/// bias/Sy vector (nullptr = no bias) — frozen at lowering so the hot path
-/// allocates nothing.
+/// bias/Sy vector (nullptr = no bias) and `em` the step's precomputed
+/// emitter — both frozen at lowering (FinalizeDerived) so the hot path
+/// allocates and constructs nothing.
 void GemmRequantRows(const int32_t* acc, int8_t* dst, int64_t n, int64_t w,
-                     double total, const double* bias, const QuantParams& out_p) {
-  const CodeEmitter em(out_p);
+                     double total, const double* bias, const CodeEmitter& em) {
   ParallelFor(
       n,
       [=](int64_t r0, int64_t r1) {
@@ -175,8 +152,7 @@ void GemmRequantRows(const int32_t* acc, int8_t* dst, int64_t n, int64_t w,
 
 /// Requantizes a flat accumulator (SpMM output): codes = Requant(total·acc).
 void RequantFlat(const int32_t* acc, int8_t* dst, int64_t count, double total,
-                 const QuantParams& out_p) {
-  const CodeEmitter em(out_p);
+                 const CodeEmitter& em) {
   ParallelFor(
       count,
       [=](int64_t i0, int64_t i1) {
@@ -199,8 +175,7 @@ void RequantFlat(const int32_t* acc, int8_t* dst, int64_t count, double total,
 
 /// codes(dst) = Requant(s1·a + s2·c) — the integer residual add.
 void AddRequantFlat(const int8_t* a, const int8_t* c, int8_t* dst, int64_t count,
-                    double s1, double s2, const QuantParams& out_p) {
-  const CodeEmitter em(out_p);
+                    double s1, double s2, const CodeEmitter& em) {
   ParallelFor(
       count,
       [=](int64_t i0, int64_t i1) {
@@ -273,6 +248,33 @@ bool Int8DepthOk(int64_t k) {
   return k < std::numeric_limits<int32_t>::max() / (127 * 127);
 }
 
+// Views over frozen derived state for the fused epilogue kernels; pure
+// pointer/value plumbing, nothing computed per forward.
+Int8PackedWeights PackedWeights(const LoweredLinear& lin) {
+  Int8PackedWeights w;
+  w.pair = lin.weight_packed.data();
+  if (!lin.weight_quad.empty()) {
+    w.quad = lin.weight_quad.data();
+    w.corr = lin.weight_corr.data();
+  }
+  return w;
+}
+
+RequantEpilogue GemmEpilogue(const ExecutionPlan::IntStep& st) {
+  RequantEpilogue ep;
+  ep.total = st.total;
+  ep.bias = st.bias_over.empty() ? nullptr : st.bias_over.data();
+  ep.emitter = st.emitter;
+  return ep;
+}
+
+RequantEpilogue SpmmEpilogue(const ExecutionPlan::IntStep& st) {
+  RequantEpilogue ep;
+  ep.total = st.total;
+  ep.emitter = st.emitter;
+  return ep;
+}
+
 }  // namespace
 
 bool ExecutionPlan::Int8DepthSafeOperator(const SparseOperator& op) {
@@ -282,6 +284,65 @@ bool ExecutionPlan::Int8DepthSafeOperator(const SparseOperator& op) {
     max_nnz = std::max(max_nnz, row_ptr[r] - row_ptr[r - 1]);
   }
   return Int8DepthOk(max_nnz);
+}
+
+bool ExecutionPlan::FusedEpilogues() {
+  int v = g_fused_epilogues.load(std::memory_order_relaxed);
+  if (v >= 0) return v != 0;
+  bool fused = true;
+  if (const char* env = std::getenv("MIXQ_FUSED")) {
+    if (std::strcmp(env, "0") == 0) fused = false;
+  }
+  g_fused_epilogues.store(fused ? 1 : 0, std::memory_order_relaxed);
+  return fused;
+}
+
+void ExecutionPlan::SetFusedEpilogues(bool fused) {
+  g_fused_epilogues.store(fused ? 1 : 0, std::memory_order_relaxed);
+}
+
+void ExecutionPlan::FinalizeDerived() {
+  for (LoweredLinear& lin : linears_) {
+    if (!lin.weight_q8.empty() && lin.weight_quad.empty()) {
+      lin.weight_quad.resize(
+          static_cast<size_t>(PackedQuadSize(lin.in, lin.out_padded)));
+      lin.weight_corr.resize(static_cast<size_t>(lin.out_padded));
+      PackInt8QuadB(lin.weight_q8.data(), lin.in, lin.out_padded,
+                    lin.weight_quad.data(), lin.weight_corr.data());
+    }
+  }
+  for (IntStep& st : int_steps_) {
+    st.emitter = CodeEmitter(st.out_params);
+    switch (st.op) {
+      case IntOp::kGemmRequant: {
+        if (st.linear < 0 ||
+            st.linear >= static_cast<int>(linears_.size())) {
+          break;  // crafted bundle; the plan verifier rejects it
+        }
+        const LoweredLinear& lin = linears_[static_cast<size_t>(st.linear)];
+        st.total = static_cast<double>(st.src_params.scale) *
+                   lin.weight_params.scale / st.out_params.scale;
+        break;
+      }
+      case IntOp::kSpmmRequant: {
+        if (st.adj < 0 || st.adj >= static_cast<int>(adj_quants_.size())) {
+          break;
+        }
+        const LoweredComponent& aq = adj_quants_[static_cast<size_t>(st.adj)];
+        st.total = static_cast<double>(aq.params.scale) * st.src_params.scale /
+                   st.out_params.scale;
+        break;
+      }
+      case IntOp::kAddRequant: {
+        st.s1 = static_cast<double>(st.src_params.scale) / st.out_params.scale;
+        st.s2 = static_cast<double>(st.src2_params.scale) / st.out_params.scale;
+        break;
+      }
+      case IntOp::kQuantizeInput:
+      case IntOp::kRelu:
+        break;
+    }
+  }
 }
 
 // Collects lowered components and emits plan steps; named (rather than
@@ -305,6 +366,7 @@ class PlanBuilder {
       plan_->int_final_buffer_ = int_cur_buffer;
       plan_->int_final_params_ = final_params;
     }
+    plan_->FinalizeDerived();
     return std::move(plan_);
   }
 
@@ -896,6 +958,7 @@ void ExecutionPlan::ExecuteInt8(const float* x, int64_t n, const SparseOperator&
     return scratch->acc.data();
   };
   const LoweredComponent* adj_cached = nullptr;
+  const bool fused = FusedEpilogues();
 
   for (const IntStep& st : int_steps_) {
     switch (st.op) {
@@ -906,19 +969,26 @@ void ExecutionPlan::ExecuteInt8(const float* x, int64_t n, const SparseOperator&
       }
       case IntOp::kGemmRequant: {
         const LoweredLinear& lin = linears_[static_cast<size_t>(st.linear)];
+        // ensure() before reading src: GEMM steps never write their own
+        // source buffer, but the resize discipline stays uniform.
+        int8_t* dst = ensure(st.dst, lin.out);
         const int8_t* src = scratch->q[static_cast<size_t>(st.src)].data();
+        if (fused) {
+          // Codes come straight out of the register tiles at the unpadded
+          // stride: no int32 scratch round-trip, no padding strip pass.
+          GemmInt8Requant(src, PackedWeights(lin), n, lin.in, lin.out_padded,
+                          lin.out, GemmEpilogue(st), dst);
+          break;
+        }
         int32_t* acc = ensure_acc(lin.out_padded);
         GemmInt8PackedB(src, lin.weight_packed.data(), acc, n, lin.in,
                         lin.out_padded);
         if (lin.out_padded != lin.out) {
           StripPaddedColumns(acc, n, lin.out, lin.out_padded);
         }
-        int8_t* dst = ensure(st.dst, lin.out);
-        const double total = static_cast<double>(st.src_params.scale) *
-                             lin.weight_params.scale / st.out_params.scale;
-        GemmRequantRows(acc, dst, n, lin.out, total,
+        GemmRequantRows(acc, dst, n, lin.out, st.total,
                         st.bias_over.empty() ? nullptr : st.bias_over.data(),
-                        st.out_params);
+                        st.emitter);
         break;
       }
       case IntOp::kSpmmRequant: {
@@ -932,24 +1002,23 @@ void ExecutionPlan::ExecuteInt8(const float* x, int64_t n, const SparseOperator&
                          static_cast<int64_t>(values.size()), aq.params);
           adj_cached = &aq;
         }
+        int8_t* dst = ensure(st.dst, st.cols);
         const int8_t* src = scratch->q[static_cast<size_t>(st.src)].data();
+        if (fused) {
+          SpmmInt8Requant(op.matrix(), scratch->adj_q.data(), src, st.cols,
+                          SpmmEpilogue(st), dst);
+          break;
+        }
         int32_t* acc = ensure_acc(st.cols);
         SpmmInt8(op.matrix(), scratch->adj_q.data(), src, st.cols, acc);
-        int8_t* dst = ensure(st.dst, st.cols);
-        const double total = static_cast<double>(aq.params.scale) *
-                             st.src_params.scale / st.out_params.scale;
-        RequantFlat(acc, dst, n * st.cols, total, st.out_params);
+        RequantFlat(acc, dst, n * st.cols, st.total, st.emitter);
         break;
       }
       case IntOp::kAddRequant: {
         int8_t* dst = ensure(st.dst, st.cols);
         const int8_t* a = scratch->q[static_cast<size_t>(st.src)].data();
         const int8_t* c = scratch->q[static_cast<size_t>(st.src2)].data();
-        const double s1 =
-            static_cast<double>(st.src_params.scale) / st.out_params.scale;
-        const double s2 =
-            static_cast<double>(st.src2_params.scale) / st.out_params.scale;
-        AddRequantFlat(a, c, dst, n * st.cols, s1, s2, st.out_params);
+        AddRequantFlat(a, c, dst, n * st.cols, st.s1, st.s2, st.emitter);
         break;
       }
       case IntOp::kRelu: {
@@ -992,6 +1061,7 @@ void ExecutionPlan::ExecutePrunedInt8(const float* x, const FrontierProgram& fp,
     if (se.gather.empty()) return base;
     return GatherRows(base, se.gather, width, &scratch->gather_q);
   };
+  const bool fused = FusedEpilogues();
 
   for (size_t si = 0; si < int_steps_.size(); ++si) {
     const IntStep& st = int_steps_[si];
@@ -1012,19 +1082,24 @@ void ExecutionPlan::ExecutePrunedInt8(const float* x, const FrontierProgram& fp,
       }
       case IntOp::kGemmRequant: {
         const LoweredLinear& lin = linears_[static_cast<size_t>(st.linear)];
+        // ensure() before read_codes(): the gather stages into gather_q, a
+        // separate buffer, but keep the resize discipline uniform anyway.
+        int8_t* dst = ensure(st.dst, n, lin.out);
         const int8_t* src = read_codes(se, st.src, lin.in);
+        if (fused) {
+          GemmInt8Requant(src, PackedWeights(lin), n, lin.in, lin.out_padded,
+                          lin.out, GemmEpilogue(st), dst);
+          break;
+        }
         int32_t* acc = ensure_acc(n, lin.out_padded);
         GemmInt8PackedB(src, lin.weight_packed.data(), acc, n, lin.in,
                         lin.out_padded);
         if (lin.out_padded != lin.out) {
           StripPaddedColumns(acc, n, lin.out, lin.out_padded);
         }
-        int8_t* dst = ensure(st.dst, n, lin.out);
-        const double total = static_cast<double>(st.src_params.scale) *
-                             lin.weight_params.scale / st.out_params.scale;
-        GemmRequantRows(acc, dst, n, lin.out, total,
+        GemmRequantRows(acc, dst, n, lin.out, st.total,
                         st.bias_over.empty() ? nullptr : st.bias_over.data(),
-                        st.out_params);
+                        st.emitter);
         break;
       }
       case IntOp::kSpmmRequant: {
@@ -1035,24 +1110,23 @@ void ExecutionPlan::ExecutePrunedInt8(const float* x, const FrontierProgram& fp,
         }
         QuantizeCodes8(values.data(), scratch->adj_q.data(),
                        static_cast<int64_t>(values.size()), aq.params);
+        int8_t* dst = ensure(st.dst, n, st.cols);
         const int8_t* src = scratch->q[static_cast<size_t>(st.src)].data();
+        if (fused) {
+          SpmmInt8Requant(se.induced, scratch->adj_q.data(), src, st.cols,
+                          SpmmEpilogue(st), dst);
+          break;
+        }
         int32_t* acc = ensure_acc(n, st.cols);
         SpmmInt8(se.induced, scratch->adj_q.data(), src, st.cols, acc);
-        int8_t* dst = ensure(st.dst, n, st.cols);
-        const double total = static_cast<double>(aq.params.scale) *
-                             st.src_params.scale / st.out_params.scale;
-        RequantFlat(acc, dst, n * st.cols, total, st.out_params);
+        RequantFlat(acc, dst, n * st.cols, st.total, st.emitter);
         break;
       }
       case IntOp::kAddRequant: {
         int8_t* dst = ensure(st.dst, n, st.cols);
         const int8_t* a = read_codes(se, st.src, st.cols);
         const int8_t* c = scratch->q[static_cast<size_t>(st.src2)].data();
-        const double s1 =
-            static_cast<double>(st.src_params.scale) / st.out_params.scale;
-        const double s2 =
-            static_cast<double>(st.src2_params.scale) / st.out_params.scale;
-        AddRequantFlat(a, c, dst, n * st.cols, s1, s2, st.out_params);
+        AddRequantFlat(a, c, dst, n * st.cols, st.s1, st.s2, st.emitter);
         break;
       }
       case IntOp::kRelu: {

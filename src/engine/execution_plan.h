@@ -34,6 +34,7 @@
 
 #include "nn/models.h"
 #include "quant/quant_params.h"
+#include "quant/requant.h"
 #include "quant/scheme.h"
 #include "sparse/spmm.h"
 
@@ -59,6 +60,11 @@ struct LoweredLinear {
   std::vector<int8_t> weight_q8;
   std::vector<int16_t> weight_packed;
   QuantParams weight_params;
+  /// Quad-interleaved packing + per-column corrections for the VNNI kernel.
+  /// DERIVED state: recomputed from weight_q8 by FinalizeDerived() after
+  /// lowering or bundle load, never serialized (bundle format unchanged).
+  std::vector<int8_t> weight_quad;
+  std::vector<int32_t> weight_corr;
 };
 
 class ExecutionPlan {
@@ -101,6 +107,14 @@ class ExecutionPlan {
     /// keeps the per-forward requant free of allocations.
     std::vector<double> bias_over;
     int64_t cols = 0;
+    /// DERIVED requantization constants, frozen by FinalizeDerived() so the
+    /// hot path neither recomputes scale ratios nor rebuilds the emitter per
+    /// call (never serialized). `total` is the folded scale ratio of
+    /// kGemmRequant/kSpmmRequant; `s1`/`s2` are kAddRequant's operand
+    /// ratios; `emitter` rounds into out_params' grid.
+    double total = 0.0;
+    double s1 = 0.0, s2 = 0.0;
+    CodeEmitter emitter;
   };
 
   /// Reusable per-request workspace. Callers (or serving threads) keep one
@@ -126,6 +140,14 @@ class ExecutionPlan {
   /// True when the all-integer mode is available (every quantization point is
   /// a symmetric <= 8-bit quantizer).
   bool SupportsInt8() const { return has_int8_; }
+
+  /// Whether the int8 executors run the fused GEMM/SpMM requant epilogues
+  /// (the default) or the two-pass accumulate-then-requant shape. Both
+  /// produce bitwise-identical codes — the switch exists for parity tests
+  /// and epilogue A/B benchmarks. Resolved once from MIXQ_FUSED ("0"
+  /// disables); SetFusedEpilogues overrides, process-wide, thread-safe.
+  static bool FusedEpilogues();
+  static void SetFusedEpilogues(bool fused);
 
   /// True when every row of `op` is shallow enough for the int8 SpMM's int32
   /// accumulators (max row nnz * 127^2 < 2^31). The dense depth is checked at
@@ -176,6 +198,13 @@ class ExecutionPlan {
 
  private:
   ExecutionPlan() = default;
+
+  /// Recomputes every DERIVED field — linears' VNNI quad packing and the int
+  /// steps' requant constants/emitters — from the serialized state. Called
+  /// after lowering (PlanBuilder::Finish) and after bundle load (before
+  /// verification), idempotent, defensive against out-of-range step indices
+  /// (skips them; the plan verifier rejects such plans afterwards).
+  void FinalizeDerived();
 
   int64_t in_features_ = 0;
   int64_t out_dim_ = 0;

@@ -102,13 +102,16 @@ std::unique_ptr<FrontierProgram> FrontierProgram::Build(
   // Routing gate bound. The cost model is deliberately plain step-row
   // counts: measured across graph sizes (2k-100k nodes) and target counts
   // (1-512), the pruned forward's wall time — analysis, induced slicing,
-  // gathers and all — tracks ~2.05x the full forward's per step-row
+  // gathers and all — tracks ~2x the full forward's per step-row
   // processed, almost independent of scale (the pruned path pays per-row
   // setup and poor small-n parallel efficiency; flop-weighted models fit
   // the data WORSE because per-row time is memory-bound, not flop-bound).
-  // That fixed ~2x penalty is folded into the caller's max_cost_fraction
-  // (default 0.2 -> prune only when >= ~2.4x faster than the full forward,
-  // whose logits also feed the result cache).
+  // Re-measured after the fused requant epilogues landed: fusing removes
+  // the same int32 round-trip from both the full and pruned int8 forwards,
+  // so the ratio holds (~1.9-2.1x across the same sweep) and the constant
+  // stays. That fixed ~2x penalty is folded into the caller's
+  // max_cost_fraction (default 0.2 -> prune only when >= ~2.4x faster than
+  // the full forward, whose logits also feed the result cache).
   const int64_t full_rows_total = static_cast<int64_t>(views.size()) * n;
   const double row_bound = max_cost_fraction * static_cast<double>(full_rows_total);
   int64_t frontier_rows = 0, full_rows = 0, frontier_nnz = 0, full_nnz = 0;

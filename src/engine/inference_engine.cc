@@ -1,14 +1,33 @@
 // Copyright 2026 MixQ-GNN Authors
 #include "engine/inference_engine.h"
 
+#include <cstdlib>
+#include <cstring>
 #include <utility>
 
 #include "engine/model_bundle.h"
+#include "sparse/reorder.h"
 
 namespace mixq {
 namespace engine {
 
 namespace {
+
+/// kAuto defers to MIXQ_REORDER ("none" | "degree" | "rcm"); unset or
+/// unrecognized means rcm — the default is to reorder, because the order is
+/// invisible in served values and RCM's banded neighbourhoods win on every
+/// graph large enough for locality to matter.
+GraphReorder ResolveGraphReorder(GraphReorder requested) {
+  if (requested != GraphReorder::kAuto) return requested;
+  const char* v = std::getenv("MIXQ_REORDER");
+  if (v != nullptr) {
+    if (std::strcmp(v, "none") == 0 || std::strcmp(v, "0") == 0) {
+      return GraphReorder::kNone;
+    }
+    if (std::strcmp(v, "degree") == 0) return GraphReorder::kDegree;
+  }
+  return GraphReorder::kRcm;
+}
 
 /// Shape/consistency checks shared by RegisterGraph and ReplaceGraph.
 Status ValidateGraph(const std::string& name, const Tensor& features,
@@ -40,7 +59,8 @@ Status ValidateGraph(const std::string& name, const Tensor& features,
 
 }  // namespace
 
-InferenceEngine::InferenceEngine(BatcherOptions options) {
+InferenceEngine::InferenceEngine(BatcherOptions options)
+    : graph_reorder_(ResolveGraphReorder(options.graph_reorder)) {
   Batcher::Backend backend;
   backend.lookup_model = [this](const std::string& name) {
     return LookupModel(name);
@@ -129,16 +149,62 @@ Status InferenceEngine::LoadModelFromFile(const std::string& name,
 namespace {
 
 /// Builds the immutable context for one registered graph; the operator's
-/// int8 depth check (O(nnz) row scan) and the frontier workspace's O(N)
-/// allocations run once here, not per request.
+/// int8 depth check (O(nnz) row scan), the locality reorder, and the
+/// frontier workspace's O(N) allocations run once here, not per request.
+///
+/// With `reorder` != kNone the pinned operator and features are re-rowed by
+/// DegreeSortOrder/RcmOrder (sparse/reorder.h) so the thousands of SpMMs
+/// served against this graph gather topologically-close X rows from close
+/// addresses. PermuteSquare keeps each row's entries in original order, so
+/// internal row p computes bitwise what original row old_of_new[p] computes
+/// — the batcher translates ids on the way in and un-permutes full logits
+/// on the way out, and nothing outside the GraphContext can observe the
+/// order. The depth check runs on the original operator: a permutation
+/// preserves every row's nnz, so the verdict is identical.
 std::shared_ptr<GraphContext> MakeGraphContext(const std::string& name,
                                                Tensor features,
-                                               SparseOperatorPtr op) {
+                                               SparseOperatorPtr op,
+                                               GraphReorder reorder) {
   auto context = std::make_shared<GraphContext>();
   context->name = name;
   context->int8_depth_safe = ExecutionPlan::Int8DepthSafeOperator(*op);
   context->frontier_ws = std::make_shared<FrontierWorkspace>();
   context->frontier_ws->EnsureSize(op->rows());
+  if (reorder != GraphReorder::kNone) {
+    const CsrMatrix& m = op->matrix();
+    std::vector<int64_t> old_of_new = reorder == GraphReorder::kDegree
+                                          ? DegreeSortOrder(m)
+                                          : RcmOrder(m);
+    bool identity = true;
+    for (size_t p = 0; p < old_of_new.size(); ++p) {
+      if (old_of_new[p] != static_cast<int64_t>(p)) {
+        identity = false;
+        break;
+      }
+    }
+    if (!identity) {
+      const int64_t n = features.rows();
+      const int64_t f = features.cols();
+      std::vector<float> permuted(static_cast<size_t>(n) *
+                                  static_cast<size_t>(f));
+      const float* src = features.data().data();
+      for (int64_t p = 0; p < n; ++p) {
+        std::memcpy(permuted.data() + static_cast<size_t>(p) *
+                                          static_cast<size_t>(f),
+                    src + static_cast<size_t>(old_of_new[static_cast<size_t>(p)]) *
+                              static_cast<size_t>(f),
+                    static_cast<size_t>(f) * sizeof(float));
+      }
+      context->features = Tensor::FromVector(features.shape(), permuted);
+      context->op = MakeOperator(PermuteSquare(m, old_of_new));
+      context->new_of_old.assign(static_cast<size_t>(n), 0);
+      for (int64_t p = 0; p < n; ++p) {
+        context->new_of_old[static_cast<size_t>(old_of_new[static_cast<size_t>(p)])] = p;
+      }
+      context->old_of_new = std::move(old_of_new);
+      return context;
+    }
+  }
   context->features = std::move(features);
   context->op = std::move(op);
   return context;
@@ -150,7 +216,7 @@ Status InferenceEngine::RegisterGraph(const std::string& name, Tensor features,
                                       SparseOperatorPtr op) {
   MIXQ_RETURN_NOT_OK(ValidateGraph(name, features, op));
   std::shared_ptr<GraphContext> context =
-      MakeGraphContext(name, std::move(features), std::move(op));
+      MakeGraphContext(name, std::move(features), std::move(op), graph_reorder_);
   WriterLock lock(&mu_);
   auto [it, inserted] = graphs_.emplace(name, nullptr);
   if (!inserted) {
@@ -166,7 +232,7 @@ Status InferenceEngine::ReplaceGraph(const std::string& name, Tensor features,
                                      SparseOperatorPtr op) {
   MIXQ_RETURN_NOT_OK(ValidateGraph(name, features, op));
   std::shared_ptr<GraphContext> context =
-      MakeGraphContext(name, std::move(features), std::move(op));
+      MakeGraphContext(name, std::move(features), std::move(op), graph_reorder_);
   WriterLock lock(&mu_);
   // invalidates cached results against the old graph
   context->version = next_version_++;
@@ -222,6 +288,7 @@ InferenceEngine::ListGraphs() const {
     g.feature_dim = context->features.cols();
     g.nnz = context->op->nnz();
     g.int8_depth_safe = context->int8_depth_safe;
+    g.reordered = context->reordered();
     g.version = context->version;
     out[name] = g;
   }
@@ -276,9 +343,11 @@ Result<Tensor> InferenceEngine::Predict(const std::string& name,
   const ModelCountersPtr& counters = handle.ValueOrDie().counters;
   if (logits.ok()) {
     counters->successes.fetch_add(1, std::memory_order_relaxed);
-    counters->latency.Record(std::chrono::duration<double, std::micro>(
-                                 ServingClock::now() - start)
-                                 .count());
+    const double us = std::chrono::duration<double, std::micro>(
+                          ServingClock::now() - start)
+                          .count();
+    counters->latency.Record(us);
+    counters->forward_fp32.Record(us);  // sync Predict is always exact fp32
   } else {
     counters->failures.fetch_add(1, std::memory_order_relaxed);
     failures_.fetch_add(1, std::memory_order_relaxed);
@@ -298,6 +367,12 @@ InferenceEngine::Stats InferenceEngine::GetStats() const {
     m.failures = entry.counters->failures.load(std::memory_order_relaxed);
     m.p50_us = entry.counters->latency.p50();
     m.p99_us = entry.counters->latency.p99();
+    m.fp32_forwards = entry.counters->forward_fp32.count();
+    m.int8_forwards = entry.counters->forward_int8.count();
+    m.fp32_forward_p50_us = entry.counters->forward_fp32.p50();
+    m.fp32_forward_p99_us = entry.counters->forward_fp32.p99();
+    m.int8_forward_p50_us = entry.counters->forward_int8.p50();
+    m.int8_forward_p99_us = entry.counters->forward_int8.p99();
   }
   return stats;
 }

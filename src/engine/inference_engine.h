@@ -132,6 +132,9 @@ class InferenceEngine {
     int64_t feature_dim = 0;
     int64_t nnz = 0;
     bool int8_depth_safe = false;
+    /// Pinned in a locality-reordered internal row order (invisible in
+    /// served values; see GraphContext).
+    bool reordered = false;
     uint64_t version = 0;
   };
 
@@ -163,6 +166,15 @@ class InferenceEngine {
     int64_t failures = 0;   ///< requests failed after model resolution
     double p50_us = 0.0;    ///< median serving latency (admission→fulfil)
     double p99_us = 0.0;    ///< tail serving latency
+    /// Shared-forward wall time split by the precision the forward resolved
+    /// to — one sample per forward actually run (cache hits record
+    /// nothing), so fp32 vs int8 kernel paths compare directly.
+    int64_t fp32_forwards = 0;
+    int64_t int8_forwards = 0;
+    double fp32_forward_p50_us = 0.0;
+    double fp32_forward_p99_us = 0.0;
+    double int8_forward_p50_us = 0.0;
+    double int8_forward_p99_us = 0.0;
   };
 
   /// Monitoring counters. Lock-free by design: a snapshot taken while
@@ -206,6 +218,10 @@ class InferenceEngine {
 
   mutable std::atomic<int64_t> requests_{0};
   mutable std::atomic<int64_t> failures_{0};
+
+  /// Row order RegisterGraph pins graphs in, resolved once at construction
+  /// (kAuto consults MIXQ_REORDER); never kAuto after that.
+  const GraphReorder graph_reorder_;
 
   /// Declared last: destroyed first, so the dispatcher thread (whose
   /// Backend callbacks reach into the maps above) is joined while they are

@@ -377,6 +377,11 @@ class ExecutionPlanCodec {
     if (r->remaining() != 0) {
       return Status::InvalidArgument("plan section has trailing bytes");
     }
+    // Derived state (VNNI quad packing, requant constants) is recomputed, not
+    // deserialized: the bundle format stays unchanged and crafted bytes can
+    // never smuggle in kernels' folded constants that disagree with the
+    // serialized quantizers.
+    p->FinalizeDerived();
     return p;
   }
 
@@ -443,6 +448,10 @@ class ExecutionPlanCodec {
       return Status::InvalidArgument("int8 plan section has trailing bytes");
     }
     p->has_int8_ = true;
+    // The int steps' requant constants/emitters are derived state; recompute
+    // now (idempotent — LoadPlan already rebuilt the weight packings) so the
+    // verifier and the fused executors see a finalized plan.
+    p->FinalizeDerived();
     return Status::OK();
   }
 };

@@ -9,6 +9,7 @@
 
 #include "engine/execution_plan.h"
 #include "engine/frontier_plan.h"
+#include "quant/requant.h"
 #include "tensor/gemm.h"
 
 namespace mixq {
@@ -98,6 +99,25 @@ std::string ParamsLabel(const QuantParams& p) {
          ", bits=" + std::to_string(p.bits) + ")";
 }
 
+/// Derived requant constants are compared bit-for-bit (memcmp, not ==): the
+/// fused epilogues fold these doubles straight into the kernels, so even a
+/// one-ulp drift from the serialized quantizers would break the bitwise
+/// parity contract between fused and two-pass execution.
+bool SameBits(double a, double b) {
+  return std::memcmp(&a, &b, sizeof(double)) == 0;
+}
+
+/// Empty when `got` is exactly CodeEmitter(out_p); otherwise the reason.
+std::string EmitterError(const CodeEmitter& got, const QuantParams& out_p) {
+  const CodeEmitter expect(out_p);
+  if (!SameBits(got.vlo, expect.vlo) || !SameBits(got.vhi, expect.vhi) ||
+      got.zp != expect.zp || got.lo != expect.lo || got.hi != expect.hi) {
+    return "requant emitter disagrees with the output quantizer " +
+           ParamsLabel(out_p);
+  }
+  return "";
+}
+
 // ---- table checks ----------------------------------------------------------
 
 Status VerifyLinears(const ExecutionPlan& plan) {
@@ -154,6 +174,35 @@ Status VerifyLinears(const ExecutionPlan& plan) {
         return Invalid(where,
                        "packed weights do not match the pair-interleaving of "
                        "the int8 codes");
+      }
+      // DERIVED state (FinalizeDerived runs before verification on both the
+      // lowering and bundle-load paths): the VNNI quad packing and its
+      // per-column corrections must likewise be exactly the reinterleaving
+      // of the codes, or the vpdpbusd kernel would multiply by weights that
+      // disagree with every other execution path.
+      const size_t quad_expect =
+          static_cast<size_t>(PackedQuadSize(lin.in, lin.out_padded));
+      if (lin.weight_quad.size() != quad_expect ||
+          lin.weight_corr.size() != static_cast<size_t>(lin.out_padded)) {
+        return Invalid(where, "derived quad packing holds " +
+                                  std::to_string(lin.weight_quad.size()) + "/" +
+                                  std::to_string(lin.weight_corr.size()) +
+                                  " entries, quad packing needs " +
+                                  std::to_string(quad_expect) + "/" +
+                                  std::to_string(lin.out_padded));
+      }
+      std::vector<int8_t> requad(quad_expect);
+      std::vector<int32_t> recorr(static_cast<size_t>(lin.out_padded));
+      PackInt8QuadB(lin.weight_q8.data(), lin.in, lin.out_padded, requad.data(),
+                    recorr.data());
+      if (std::memcmp(requad.data(), lin.weight_quad.data(),
+                      quad_expect * sizeof(int8_t)) != 0 ||
+          std::memcmp(recorr.data(), lin.weight_corr.data(),
+                      static_cast<size_t>(lin.out_padded) * sizeof(int32_t)) !=
+              0) {
+        return Invalid(where,
+                       "derived quad packing does not match the "
+                       "quad-interleaving of the int8 codes");
       }
     }
   }
@@ -492,6 +541,15 @@ Status WalkIntSteps(const ExecutionPlan& plan, std::vector<bool>* used_linear,
             }
           }
         }
+        // Derived: the folded scale ratio the fused epilogue multiplies by.
+        if (!SameBits(st.total, static_cast<double>(st.src_params.scale) *
+                                    lin.weight_params.scale /
+                                    st.out_params.scale)) {
+          return Invalid(where, "derived scale ratio disagrees with "
+                                "src_scale * weight_scale / out_scale");
+        }
+        const std::string eerr = EmitterError(st.emitter, st.out_params);
+        if (!eerr.empty()) return Invalid(where, eerr);
         buf[static_cast<size_t>(st.dst)] = {true, st.cols, st.out_params};
         break;
       }
@@ -518,6 +576,13 @@ Status WalkIntSteps(const ExecutionPlan& plan, std::vector<bool>* used_linear,
         MIXQ_RETURN_NOT_OK(check_chain(*src, st.src_params, "source"));
         const std::string perr = CodeParamsError(st.out_params);
         if (!perr.empty()) return Invalid(where, "output " + perr);
+        if (!SameBits(st.total, static_cast<double>(aq.params.scale) *
+                                    st.src_params.scale / st.out_params.scale)) {
+          return Invalid(where, "derived scale ratio disagrees with "
+                                "adj_scale * src_scale / out_scale");
+        }
+        const std::string eerr = EmitterError(st.emitter, st.out_params);
+        if (!eerr.empty()) return Invalid(where, eerr);
         buf[static_cast<size_t>(st.dst)] = {true, st.cols, st.out_params};
         break;
       }
@@ -536,6 +601,15 @@ Status WalkIntSteps(const ExecutionPlan& plan, std::vector<bool>* used_linear,
         MIXQ_RETURN_NOT_OK(check_chain(*src2, st.src2_params, "second source"));
         const std::string perr = CodeParamsError(st.out_params);
         if (!perr.empty()) return Invalid(where, "output " + perr);
+        if (!SameBits(st.s1, static_cast<double>(st.src_params.scale) /
+                                 st.out_params.scale) ||
+            !SameBits(st.s2, static_cast<double>(st.src2_params.scale) /
+                                 st.out_params.scale)) {
+          return Invalid(where, "derived operand ratios disagree with "
+                                "src_scale / out_scale");
+        }
+        const std::string eerr = EmitterError(st.emitter, st.out_params);
+        if (!eerr.empty()) return Invalid(where, eerr);
         buf[static_cast<size_t>(st.dst)] = {true, st.cols, st.out_params};
         break;
       }

@@ -226,19 +226,37 @@ CsrMatrix RowNormalize(const CsrMatrix& adjacency) {
   return CsrMatrix::FromCoo(n, adjacency.cols(), std::move(entries));
 }
 
+namespace {
+
+// Feature-column tile width of the SpMM row loops. For wide feature
+// matrices, walking a row's whole neighbourhood one column tile at a time
+// keeps the Y slice and every gathered X slice inside an L1-sized window
+// (a 256-lane tile is 1 KiB of floats) instead of streaming full rows past
+// each other. Per output element the k-order is untouched, so tiled results
+// are bitwise identical to the unblocked loop; for f <= kSpmmColBlock the
+// loop degenerates to the original single pass. Matches kRequantBlock so
+// the fused int8 epilogue requantizes exactly one tile at a time.
+constexpr int64_t kSpmmColBlock = kRequantBlock;
+
+}  // namespace
+
 void SpmmRaw(const CsrMatrix& a, const float* x, int64_t f, float* y, bool accumulate) {
   const int64_t n = a.rows();
   ParallelFor(
       n,
       [&a, x, f, y, accumulate](int64_t r0, int64_t r1) {
         for (int64_t r = r0; r < r1; ++r) {
-          float* yr = y + r * f;
-          if (!accumulate) std::memset(yr, 0, sizeof(float) * static_cast<size_t>(f));
-          for (int64_t k = a.row_ptr()[static_cast<size_t>(r)];
-               k < a.row_ptr()[static_cast<size_t>(r + 1)]; ++k) {
-            const float w = a.values()[static_cast<size_t>(k)];
-            const float* xr = x + a.col_idx()[static_cast<size_t>(k)] * f;
-            for (int64_t j = 0; j < f; ++j) yr[j] += w * xr[j];
+          const int64_t k0 = a.row_ptr()[static_cast<size_t>(r)];
+          const int64_t k1 = a.row_ptr()[static_cast<size_t>(r + 1)];
+          for (int64_t j0 = 0; j0 < f; j0 += kSpmmColBlock) {
+            const int64_t jw = std::min<int64_t>(kSpmmColBlock, f - j0);
+            float* yr = y + r * f + j0;
+            if (!accumulate) std::memset(yr, 0, sizeof(float) * static_cast<size_t>(jw));
+            for (int64_t k = k0; k < k1; ++k) {
+              const float w = a.values()[static_cast<size_t>(k)];
+              const float* xr = x + a.col_idx()[static_cast<size_t>(k)] * f + j0;
+              for (int64_t j = 0; j < jw; ++j) yr[j] += w * xr[j];
+            }
           }
         }
       },
@@ -252,14 +270,18 @@ void SpmmPattern(const CsrMatrix& pattern, const float* values, const float* x,
       n,
       [&pattern, values, x, f, y, accumulate](int64_t r0, int64_t r1) {
         for (int64_t r = r0; r < r1; ++r) {
-          float* yr = y + r * f;
-          if (!accumulate) std::memset(yr, 0, sizeof(float) * static_cast<size_t>(f));
-          for (int64_t k = pattern.row_ptr()[static_cast<size_t>(r)];
-               k < pattern.row_ptr()[static_cast<size_t>(r + 1)]; ++k) {
-            const float w = values[k];
-            if (w == 0.0f) continue;
-            const float* xr = x + pattern.col_idx()[static_cast<size_t>(k)] * f;
-            for (int64_t j = 0; j < f; ++j) yr[j] += w * xr[j];
+          const int64_t k0 = pattern.row_ptr()[static_cast<size_t>(r)];
+          const int64_t k1 = pattern.row_ptr()[static_cast<size_t>(r + 1)];
+          for (int64_t j0 = 0; j0 < f; j0 += kSpmmColBlock) {
+            const int64_t jw = std::min<int64_t>(kSpmmColBlock, f - j0);
+            float* yr = y + r * f + j0;
+            if (!accumulate) std::memset(yr, 0, sizeof(float) * static_cast<size_t>(jw));
+            for (int64_t k = k0; k < k1; ++k) {
+              const float w = values[k];
+              if (w == 0.0f) continue;
+              const float* xr = x + pattern.col_idx()[static_cast<size_t>(k)] * f + j0;
+              for (int64_t j = 0; j < jw; ++j) yr[j] += w * xr[j];
+            }
           }
         }
       },
@@ -294,14 +316,45 @@ void SpmmInt8(const CsrMatrix& a, const int8_t* a_q, const int8_t* x, int64_t f,
       n,
       [&a, a_q, x, f, y](int64_t r0, int64_t r1) {
         for (int64_t r = r0; r < r1; ++r) {
-          int32_t* yr = y + r * f;
-          std::memset(yr, 0, sizeof(int32_t) * static_cast<size_t>(f));
-          for (int64_t k = a.row_ptr()[static_cast<size_t>(r)];
-               k < a.row_ptr()[static_cast<size_t>(r + 1)]; ++k) {
-            const int32_t w = a_q[k];
-            if (w == 0) continue;
-            const int8_t* xr = x + a.col_idx()[static_cast<size_t>(k)] * f;
-            for (int64_t j = 0; j < f; ++j) yr[j] += w * static_cast<int32_t>(xr[j]);
+          const int64_t k0 = a.row_ptr()[static_cast<size_t>(r)];
+          const int64_t k1 = a.row_ptr()[static_cast<size_t>(r + 1)];
+          for (int64_t j0 = 0; j0 < f; j0 += kSpmmColBlock) {
+            const int64_t jw = std::min<int64_t>(kSpmmColBlock, f - j0);
+            int32_t* yr = y + r * f + j0;
+            std::memset(yr, 0, sizeof(int32_t) * static_cast<size_t>(jw));
+            for (int64_t k = k0; k < k1; ++k) {
+              const int32_t w = a_q[k];
+              if (w == 0) continue;
+              const int8_t* xr = x + a.col_idx()[static_cast<size_t>(k)] * f + j0;
+              for (int64_t j = 0; j < jw; ++j) yr[j] += w * static_cast<int32_t>(xr[j]);
+            }
+          }
+        }
+      },
+      /*grain=*/64);
+}
+
+void SpmmInt8Requant(const CsrMatrix& a, const int8_t* a_q, const int8_t* x,
+                     int64_t f, const RequantEpilogue& ep, int8_t* y) {
+  const int64_t n = a.rows();
+  ParallelFor(
+      n,
+      [&a, a_q, x, f, &ep, y](int64_t r0, int64_t r1) {
+        int32_t buf[kRequantBlock];
+        for (int64_t r = r0; r < r1; ++r) {
+          const int64_t k0 = a.row_ptr()[static_cast<size_t>(r)];
+          const int64_t k1 = a.row_ptr()[static_cast<size_t>(r + 1)];
+          for (int64_t j0 = 0; j0 < f; j0 += kSpmmColBlock) {
+            const int64_t jw = std::min<int64_t>(kSpmmColBlock, f - j0);
+            std::memset(buf, 0, sizeof(int32_t) * static_cast<size_t>(jw));
+            for (int64_t k = k0; k < k1; ++k) {
+              const int32_t w = a_q[k];
+              if (w == 0) continue;
+              const int8_t* xr = x + a.col_idx()[static_cast<size_t>(k)] * f + j0;
+              for (int64_t j = 0; j < jw; ++j) buf[j] += w * static_cast<int32_t>(xr[j]);
+            }
+            RequantBlock(buf, jw, ep.total, /*bias=*/nullptr, ep.emitter,
+                         y + r * f + j0);
           }
         }
       },

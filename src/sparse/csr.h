@@ -9,6 +9,7 @@
 
 #include "common/check.h"
 #include "common/status.h"
+#include "quant/requant.h"
 
 namespace mixq {
 
@@ -107,9 +108,22 @@ void SpmmInt(const CsrMatrix& a, const int32_t* a_q, const int32_t* x, int64_t f
 
 /// Int8-specialized integer SpMM with int32 accumulation: the serving-path
 /// variant of SpmmInt for symmetric codes of width <= 8 bits. Safe against
-/// overflow for rows with < 2^31 / 127^2 (~133k) stored entries.
+/// overflow for rows with < 2^31 / 127^2 (~133k) stored entries. The row
+/// loop is cache-blocked over feature-column tiles (kRequantBlock wide):
+/// gathered X row slices and the Y slice stay inside one L1-sized window
+/// per tile. Blocking never touches per-element k-order, so results are
+/// bitwise identical to the unblocked loop.
 void SpmmInt8(const CsrMatrix& a, const int8_t* a_q, const int8_t* x, int64_t f,
               int32_t* y);
+
+/// Fused int8 SpMM + requantization: accumulates each feature-column tile of
+/// a row into a stack int32 block and requantizes it straight to int8 codes
+/// through `ep` (ep.bias is ignored; adjacency requant has no bias). The
+/// int32 accumulators never touch a scratch matrix. Codes are bitwise
+/// identical to SpmmInt8 + a separate requant pass: accumulators are exact
+/// integers and the epilogue applies the same double-precision arithmetic.
+void SpmmInt8Requant(const CsrMatrix& a, const int8_t* a_q, const int8_t* x,
+                     int64_t f, const RequantEpilogue& ep, int8_t* y);
 
 /// Pattern-level SpMM: Y[n,f] (+)= P·X where P shares `pattern`'s sparsity
 /// but takes its numeric values from `values` (size nnz). Lets callers swap

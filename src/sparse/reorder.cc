@@ -1,0 +1,76 @@
+// Copyright 2026 MixQ-GNN Authors
+#include "sparse/reorder.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "common/check.h"
+
+namespace mixq {
+
+std::vector<int64_t> DegreeSortOrder(const CsrMatrix& a) {
+  const int64_t n = a.rows();
+  std::vector<int64_t> order(static_cast<size_t>(n));
+  std::iota(order.begin(), order.end(), int64_t{0});
+  std::stable_sort(order.begin(), order.end(), [&a](int64_t x, int64_t y) {
+    return a.RowNnz(x) > a.RowNnz(y);
+  });
+  return order;
+}
+
+std::vector<int64_t> RcmOrder(const CsrMatrix& a) {
+  MIXQ_CHECK_EQ(a.rows(), a.cols());
+  const int64_t n = a.rows();
+  std::vector<int64_t> order;
+  order.reserve(static_cast<size_t>(n));
+  std::vector<char> visited(static_cast<size_t>(n), 0);
+  // Seeds scanned in ascending-degree order so each component starts from a
+  // peripheral (minimum-degree) node, the classic CM heuristic.
+  std::vector<int64_t> seeds(static_cast<size_t>(n));
+  std::iota(seeds.begin(), seeds.end(), int64_t{0});
+  std::stable_sort(seeds.begin(), seeds.end(), [&a](int64_t x, int64_t y) {
+    return a.RowNnz(x) < a.RowNnz(y);
+  });
+  std::vector<int64_t> neighbours;
+  for (const int64_t seed : seeds) {
+    if (visited[static_cast<size_t>(seed)]) continue;
+    // BFS; `order` itself is the queue (head chases the tail).
+    visited[static_cast<size_t>(seed)] = 1;
+    size_t head = order.size();
+    order.push_back(seed);
+    while (head < order.size()) {
+      const int64_t v = order[head++];
+      neighbours.clear();
+      for (int64_t k = a.row_ptr()[static_cast<size_t>(v)];
+           k < a.row_ptr()[static_cast<size_t>(v + 1)]; ++k) {
+        const int64_t c = a.col_idx()[static_cast<size_t>(k)];
+        if (!visited[static_cast<size_t>(c)]) {
+          visited[static_cast<size_t>(c)] = 1;
+          neighbours.push_back(c);
+        }
+      }
+      std::stable_sort(neighbours.begin(), neighbours.end(),
+                       [&a](int64_t x, int64_t y) { return a.RowNnz(x) < a.RowNnz(y); });
+      order.insert(order.end(), neighbours.begin(), neighbours.end());
+    }
+  }
+  std::reverse(order.begin(), order.end());
+  return order;
+}
+
+CsrMatrix PermuteSquare(const CsrMatrix& a, const std::vector<int64_t>& new_to_old) {
+  MIXQ_CHECK_EQ(a.rows(), a.cols());
+  const int64_t n = a.rows();
+  MIXQ_CHECK_EQ(static_cast<int64_t>(new_to_old.size()), n);
+  std::vector<int64_t> old_to_new(static_cast<size_t>(n), -1);
+  for (int64_t p = 0; p < n; ++p) {
+    const int64_t old = new_to_old[static_cast<size_t>(p)];
+    MIXQ_CHECK_GE(old, 0);
+    MIXQ_CHECK_LT(old, n);
+    MIXQ_CHECK_EQ(old_to_new[static_cast<size_t>(old)], -1);  // must be a permutation
+    old_to_new[static_cast<size_t>(old)] = p;
+  }
+  return a.InducedRows(new_to_old, old_to_new.data(), n);
+}
+
+}  // namespace mixq

@@ -1,0 +1,42 @@
+// Copyright 2026 MixQ-GNN Authors
+// Locality-improving row orders for square adjacency operators. Serving
+// registers a graph once and then runs thousands of SpMMs against it, so it
+// pays to spend registration time putting topologically-close nodes at close
+// row ids: gathered X rows then hit warm cache lines instead of striding the
+// whole feature matrix.
+//
+// The bitwise contract: PermuteSquare keeps every row's stored entries in
+// their ORIGINAL order (columns remapped old→new, NOT re-sorted). Per-row
+// SpMM accumulation follows entry order, so row p of the permuted operator
+// against row-permuted features is bitwise identical to row new_to_old[p]
+// of the original — reordering is invisible in served values, only in where
+// rows live. The permuted matrix therefore does not satisfy the
+// ascending-column invariant of CsrMatrix::FromParts; it exists only inside
+// a GraphContext and is never serialized.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "sparse/csr.h"
+
+namespace mixq {
+
+/// Descending-degree order (ties broken by old id, so the order is
+/// deterministic): hub rows and their mostly-hub neighbourhoods cluster at
+/// the front. Returns new→old: order[p] is the old id living at new row p.
+std::vector<int64_t> DegreeSortOrder(const CsrMatrix& a);
+
+/// Reverse Cuthill-McKee order: per connected component, BFS from a
+/// minimum-degree seed visiting neighbours in ascending-degree order, then
+/// reverse the whole sequence. Clusters each neighbourhood into a narrow
+/// band of row ids. Returns new→old. `a` must be square.
+std::vector<int64_t> RcmOrder(const CsrMatrix& a);
+
+/// Symmetric permutation P·A·P^T of a square operator: row p of the result
+/// is row new_to_old[p] of `a` with every stored column c rewritten to its
+/// new position, entries kept in original order (see the bitwise contract
+/// above). `new_to_old` must be a permutation of [0, a.rows()).
+CsrMatrix PermuteSquare(const CsrMatrix& a, const std::vector<int64_t>& new_to_old);
+
+}  // namespace mixq

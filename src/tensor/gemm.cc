@@ -8,6 +8,7 @@
 #include <immintrin.h>
 #endif
 
+#include "common/cpu_features.h"
 #include "common/parallel.h"
 
 namespace mixq {
@@ -243,6 +244,25 @@ void PackInt8PairB(const int8_t* b, int64_t k, int64_t n, int16_t* packed) {
   }
 }
 
+void PackInt8QuadB(const int8_t* b, int64_t k, int64_t n, int8_t* packed,
+                   int32_t* corr) {
+  const int64_t kq = (k + 3) / 4;
+  for (int64_t q = 0; q < kq; ++q) {
+    int8_t* row = packed + q * 4 * n;
+    for (int64_t j = 0; j < n; ++j) {
+      for (int64_t d = 0; d < 4; ++d) {
+        const int64_t l = 4 * q + d;
+        row[4 * j + d] = l < k ? b[l * n + j] : int8_t{0};
+      }
+    }
+  }
+  for (int64_t j = 0; j < n; ++j) {
+    int32_t sum = 0;
+    for (int64_t l = 0; l < k; ++l) sum += static_cast<int32_t>(b[l * n + j]);
+    corr[j] = 128 * sum;
+  }
+}
+
 namespace {
 
 // Portable pair-dot row kernel: acc[j] += a0 * P[2j] + a1 * P[2j + 1].
@@ -254,12 +274,121 @@ inline void PairDotRow(const int16_t* bp, int32_t a0, int32_t a1, int32_t* acc,
   }
 }
 
-}  // namespace
+// Portable quad-dot row kernel over PackInt8QuadB storage, in SIGNED
+// arithmetic (no +128 shift, no correction): exact int32 either way.
+inline void QuadDotRow(const int8_t* bq, int32_t a0, int32_t a1, int32_t a2,
+                       int32_t a3, int32_t* acc, int64_t n) {
+  for (int64_t j = 0; j < n; ++j) {
+    acc[j] += a0 * static_cast<int32_t>(bq[4 * j]) +
+              a1 * static_cast<int32_t>(bq[4 * j + 1]) +
+              a2 * static_cast<int32_t>(bq[4 * j + 2]) +
+              a3 * static_cast<int32_t>(bq[4 * j + 3]);
+  }
+}
 
-#if defined(__AVX2__)
+// One row of the fused scalar path over pair-packed B: accumulate a column
+// block on the stack, requantize it straight into `di` — the int32 values
+// never leave L1.
+inline void FusedRowPair(const int8_t* ar, const int16_t* pb, int64_t k,
+                         int64_t n, int64_t jb0, int64_t jb1,
+                         const RequantEpilogue& ep, int8_t* di) {
+  const int64_t kp = (k + 1) / 2;
+  int32_t buf[kRequantBlock];
+  for (int64_t j0 = jb0; j0 < jb1; j0 += kRequantBlock) {
+    const int64_t w = std::min<int64_t>(kRequantBlock, jb1 - j0);
+    std::memset(buf, 0, sizeof(int32_t) * static_cast<size_t>(w));
+    for (int64_t p = 0; p < kp; ++p) {
+      const int32_t av0 = ar[2 * p];
+      const int32_t av1 = 2 * p + 1 < k ? ar[2 * p + 1] : 0;
+      PairDotRow(pb + p * 2 * n + 2 * j0, av0, av1, buf, w);
+    }
+    RequantBlock(buf, w, ep.total, ep.bias != nullptr ? ep.bias + j0 : nullptr,
+                   ep.emitter, di + j0);
+  }
+}
 
-void GemmInt8PackedB(const int8_t* a, const int16_t* packed_b, int32_t* c,
-                     int64_t m, int64_t k, int64_t n) {
+// Same, over quad-packed B (used for VNNI edge/tail handling).
+inline void FusedRowQuad(const int8_t* ar, const int8_t* qb, int64_t k,
+                         int64_t n, int64_t jb0, int64_t jb1,
+                         const RequantEpilogue& ep, int8_t* di) {
+  const int64_t kq = (k + 3) / 4;
+  int32_t buf[kRequantBlock];
+  for (int64_t j0 = jb0; j0 < jb1; j0 += kRequantBlock) {
+    const int64_t w = std::min<int64_t>(kRequantBlock, jb1 - j0);
+    std::memset(buf, 0, sizeof(int32_t) * static_cast<size_t>(w));
+    for (int64_t q = 0; q < kq; ++q) {
+      const int64_t l = 4 * q;
+      const int32_t a0 = ar[l];
+      const int32_t a1 = l + 1 < k ? ar[l + 1] : 0;
+      const int32_t a2 = l + 2 < k ? ar[l + 2] : 0;
+      const int32_t a3 = l + 3 < k ? ar[l + 3] : 0;
+      QuadDotRow(qb + q * 4 * n + 4 * j0, a0, a1, a2, a3, buf, w);
+    }
+    RequantBlock(buf, w, ep.total, ep.bias != nullptr ? ep.bias + j0 : nullptr,
+                   ep.emitter, di + j0);
+  }
+}
+
+void GemmInt8PackedBScalar(const int8_t* a, const int16_t* packed_b, int32_t* c,
+                           int64_t m, int64_t k, int64_t n) {
+  const int64_t kp = (k + 1) / 2;
+  ParallelFor(
+      m,
+      [=](int64_t r0, int64_t r1) {
+        for (int64_t i = r0; i < r1; ++i) {
+          int32_t* ci = c + i * n;
+          std::memset(ci, 0, sizeof(int32_t) * static_cast<size_t>(n));
+          const int8_t* ar = a + i * k;
+          for (int64_t p = 0; p < kp; ++p) {
+            const int32_t av0 = ar[2 * p];
+            const int32_t av1 = 2 * p + 1 < k ? ar[2 * p + 1] : 0;
+            PairDotRow(packed_b + p * 2 * n, av0, av1, ci, n);
+          }
+        }
+      },
+      /*grain=*/16);
+}
+
+void GemmInt8QuadBScalar(const int8_t* a, const int8_t* quad_b, int32_t* c,
+                         int64_t m, int64_t k, int64_t n) {
+  const int64_t kq = (k + 3) / 4;
+  ParallelFor(
+      m,
+      [=](int64_t r0, int64_t r1) {
+        for (int64_t i = r0; i < r1; ++i) {
+          int32_t* ci = c + i * n;
+          std::memset(ci, 0, sizeof(int32_t) * static_cast<size_t>(n));
+          const int8_t* ar = a + i * k;
+          for (int64_t q = 0; q < kq; ++q) {
+            const int64_t l = 4 * q;
+            const int32_t a0 = ar[l];
+            const int32_t a1 = l + 1 < k ? ar[l + 1] : 0;
+            const int32_t a2 = l + 2 < k ? ar[l + 2] : 0;
+            const int32_t a3 = l + 3 < k ? ar[l + 3] : 0;
+            QuadDotRow(quad_b + q * 4 * n, a0, a1, a2, a3, ci, n);
+          }
+        }
+      },
+      /*grain=*/16);
+}
+
+void GemmInt8RequantScalar(const int8_t* a, const int16_t* packed_b, int64_t m,
+                           int64_t k, int64_t n, int64_t n_out,
+                           const RequantEpilogue& ep, int8_t* dst) {
+  ParallelFor(
+      m,
+      [=](int64_t r0, int64_t r1) {
+        for (int64_t i = r0; i < r1; ++i) {
+          FusedRowPair(a + i * k, packed_b, k, n, 0, n_out, ep, dst + i * n_out);
+        }
+      },
+      /*grain=*/16);
+}
+
+#if MIXQ_COMPILED_AVX2
+
+void GemmInt8PackedBAvx2(const int8_t* a, const int16_t* packed_b, int32_t* c,
+                         int64_t m, int64_t k, int64_t n) {
   const int64_t kp = (k + 1) / 2;
   const int64_t n16 = n - n % 16;
   ParallelFor(
@@ -346,28 +475,308 @@ void GemmInt8PackedB(const int8_t* a, const int16_t* packed_b, int32_t* c,
       /*grain=*/16);
 }
 
-#else  // !__AVX2__
-
-void GemmInt8PackedB(const int8_t* a, const int16_t* packed_b, int32_t* c,
-                     int64_t m, int64_t k, int64_t n) {
+// Fused vpmaddwd kernel: the register tiles above, but the accumulators are
+// spilled to a stack tile and requantized straight into the int8 output at
+// the unpadded stride — the int32 values never touch a scratch matrix.
+void GemmInt8RequantAvx2(const int8_t* a, const int16_t* packed_b, int64_t m,
+                         int64_t k, int64_t n, int64_t n_out,
+                         const RequantEpilogue& ep, int8_t* dst) {
   const int64_t kp = (k + 1) / 2;
+  const int64_t n16 = n - n % 16;
   ParallelFor(
       m,
       [=](int64_t r0, int64_t r1) {
-        for (int64_t i = r0; i < r1; ++i) {
-          int32_t* ci = c + i * n;
+        alignas(32) int32_t tile[kMr][16];
+        int64_t i0 = r0;
+        for (; i0 + kMr <= r1; i0 += kMr) {
+          const int8_t* a0 = a + i0 * k;
+          const int8_t* a1 = a0 + k;
+          const int8_t* a2 = a1 + k;
+          const int8_t* a3 = a2 + k;
+          // Tiles whose 16 columns all land in the zero-weight padding are
+          // skipped outright (nothing of theirs is ever emitted).
+          for (int64_t j0 = 0; j0 < n16 && j0 < n_out; j0 += 16) {
+            __m256i acc00 = _mm256_setzero_si256(), acc01 = _mm256_setzero_si256();
+            __m256i acc10 = _mm256_setzero_si256(), acc11 = _mm256_setzero_si256();
+            __m256i acc20 = _mm256_setzero_si256(), acc21 = _mm256_setzero_si256();
+            __m256i acc30 = _mm256_setzero_si256(), acc31 = _mm256_setzero_si256();
+            for (int64_t p = 0; p < kp; ++p) {
+              const int16_t* bp = packed_b + p * 2 * n + 2 * j0;
+              const __m256i b0 =
+                  _mm256_loadu_si256(reinterpret_cast<const __m256i*>(bp));
+              const __m256i b1 =
+                  _mm256_loadu_si256(reinterpret_cast<const __m256i*>(bp + 16));
+              const int64_t l = 2 * p;
+              const bool has_hi = l + 1 < k;
+              auto pair = [&](const int8_t* ar) {
+                const uint16_t lo = static_cast<uint16_t>(static_cast<int16_t>(ar[l]));
+                const uint16_t hi = has_hi ? static_cast<uint16_t>(
+                                                 static_cast<int16_t>(ar[l + 1]))
+                                           : uint16_t{0};
+                return _mm256_set1_epi32(static_cast<int32_t>(
+                    static_cast<uint32_t>(lo) | (static_cast<uint32_t>(hi) << 16)));
+              };
+              const __m256i av0 = pair(a0);
+              acc00 = _mm256_add_epi32(acc00, _mm256_madd_epi16(av0, b0));
+              acc01 = _mm256_add_epi32(acc01, _mm256_madd_epi16(av0, b1));
+              const __m256i av1 = pair(a1);
+              acc10 = _mm256_add_epi32(acc10, _mm256_madd_epi16(av1, b0));
+              acc11 = _mm256_add_epi32(acc11, _mm256_madd_epi16(av1, b1));
+              const __m256i av2 = pair(a2);
+              acc20 = _mm256_add_epi32(acc20, _mm256_madd_epi16(av2, b0));
+              acc21 = _mm256_add_epi32(acc21, _mm256_madd_epi16(av2, b1));
+              const __m256i av3 = pair(a3);
+              acc30 = _mm256_add_epi32(acc30, _mm256_madd_epi16(av3, b0));
+              acc31 = _mm256_add_epi32(acc31, _mm256_madd_epi16(av3, b1));
+            }
+            _mm256_store_si256(reinterpret_cast<__m256i*>(tile[0]), acc00);
+            _mm256_store_si256(reinterpret_cast<__m256i*>(tile[0] + 8), acc01);
+            _mm256_store_si256(reinterpret_cast<__m256i*>(tile[1]), acc10);
+            _mm256_store_si256(reinterpret_cast<__m256i*>(tile[1] + 8), acc11);
+            _mm256_store_si256(reinterpret_cast<__m256i*>(tile[2]), acc20);
+            _mm256_store_si256(reinterpret_cast<__m256i*>(tile[2] + 8), acc21);
+            _mm256_store_si256(reinterpret_cast<__m256i*>(tile[3]), acc30);
+            _mm256_store_si256(reinterpret_cast<__m256i*>(tile[3] + 8), acc31);
+            const int64_t emit = std::min<int64_t>(16, n_out - j0);
+            const double* bias = ep.bias != nullptr ? ep.bias + j0 : nullptr;
+            RequantTile16(tile, kMr, emit, ep.total, bias, ep.emitter,
+                          dst + i0 * n_out + j0, n_out);
+          }
+          if (n16 < n_out) {
+            for (int64_t r = 0; r < kMr; ++r) {
+              FusedRowPair(a + (i0 + r) * k, packed_b, k, n, n16, n_out, ep,
+                           dst + (i0 + r) * n_out);
+            }
+          }
+        }
+        for (; i0 < r1; ++i0) {
+          FusedRowPair(a + i0 * k, packed_b, k, n, 0, n_out, ep, dst + i0 * n_out);
+        }
+      },
+      /*grain=*/16);
+}
+
+#endif  // MIXQ_COMPILED_AVX2
+
+#if MIXQ_COMPILED_VNNI
+
+// 256-bit vpdpbusd: EVEX form with AVX512-VNNI+VL, VEX form with AVX-VNNI.
+#if defined(__AVX512VNNI__) && defined(__AVX512VL__)
+#define MIXQ_MM256_DPBUSD _mm256_dpbusd_epi32
+#else
+#define MIXQ_MM256_DPBUSD _mm256_dpbusd_avx_epi32
+#endif
+
+// Broadcast of one row's k-quad, shifted into vpdpbusd's unsigned operand:
+// codes are symmetric (|a| <= 127) so a + 128 fits [1, 255]. Zero-padded k
+// positions multiply zero weight bytes, so their shifted value is harmless.
+inline __m256i QuadU8(const int8_t* ar, int64_t l, int64_t k) {
+  if (l + 3 < k) {
+    // Full quad: one 4-byte load; XOR with 0x80 per byte IS the +128 shift
+    // ((uint8)(v + 128) == v ^ 0x80 for every int8 v). The byte-wise build
+    // below costs ~12 scalar ops per row per quad and halves GEMM
+    // throughput; this is 2.
+    uint32_t w;
+    std::memcpy(&w, ar + l, 4);
+    return _mm256_set1_epi32(static_cast<int32_t>(w ^ 0x80808080u));
+  }
+  uint32_t w = static_cast<uint32_t>(static_cast<uint8_t>(ar[l] + 128));
+  w |= static_cast<uint32_t>(
+           static_cast<uint8_t>((l + 1 < k ? ar[l + 1] : 0) + 128))
+       << 8;
+  w |= static_cast<uint32_t>(
+           static_cast<uint8_t>((l + 2 < k ? ar[l + 2] : 0) + 128))
+       << 16;
+  w |= static_cast<uint32_t>(
+           static_cast<uint8_t>((l + 3 < k ? ar[l + 3] : 0) + 128))
+       << 24;
+  return _mm256_set1_epi32(static_cast<int32_t>(w));
+}
+
+// Shared 4x16 vpdpbusd tile: accumulates over all k-quads, subtracts the
+// +128-shift correction (128 * colsum, row-independent), leaves exact int32
+// sums in `tile`. Identical values to the vpmaddwd/scalar kernels.
+inline void VnniTile(const int8_t* a0, const int8_t* a1, const int8_t* a2,
+                     const int8_t* a3, const int8_t* quad_b, const int32_t* corr,
+                     int64_t k, int64_t n, int64_t j0, int32_t tile[][16]) {
+  const int64_t kq = (k + 3) / 4;
+  __m256i acc00 = _mm256_setzero_si256(), acc01 = _mm256_setzero_si256();
+  __m256i acc10 = _mm256_setzero_si256(), acc11 = _mm256_setzero_si256();
+  __m256i acc20 = _mm256_setzero_si256(), acc21 = _mm256_setzero_si256();
+  __m256i acc30 = _mm256_setzero_si256(), acc31 = _mm256_setzero_si256();
+  for (int64_t q = 0; q < kq; ++q) {
+    const int8_t* bq = quad_b + q * 4 * n + 4 * j0;
+    const __m256i b0 = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(bq));
+    const __m256i b1 =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(bq + 32));
+    const int64_t l = 4 * q;
+    const __m256i av0 = QuadU8(a0, l, k);
+    acc00 = MIXQ_MM256_DPBUSD(acc00, av0, b0);
+    acc01 = MIXQ_MM256_DPBUSD(acc01, av0, b1);
+    const __m256i av1 = QuadU8(a1, l, k);
+    acc10 = MIXQ_MM256_DPBUSD(acc10, av1, b0);
+    acc11 = MIXQ_MM256_DPBUSD(acc11, av1, b1);
+    const __m256i av2 = QuadU8(a2, l, k);
+    acc20 = MIXQ_MM256_DPBUSD(acc20, av2, b0);
+    acc21 = MIXQ_MM256_DPBUSD(acc21, av2, b1);
+    const __m256i av3 = QuadU8(a3, l, k);
+    acc30 = MIXQ_MM256_DPBUSD(acc30, av3, b0);
+    acc31 = MIXQ_MM256_DPBUSD(acc31, av3, b1);
+  }
+  const __m256i c0 =
+      _mm256_loadu_si256(reinterpret_cast<const __m256i*>(corr + j0));
+  const __m256i c1 =
+      _mm256_loadu_si256(reinterpret_cast<const __m256i*>(corr + j0 + 8));
+  _mm256_store_si256(reinterpret_cast<__m256i*>(tile[0]),
+                     _mm256_sub_epi32(acc00, c0));
+  _mm256_store_si256(reinterpret_cast<__m256i*>(tile[0] + 8),
+                     _mm256_sub_epi32(acc01, c1));
+  _mm256_store_si256(reinterpret_cast<__m256i*>(tile[1]),
+                     _mm256_sub_epi32(acc10, c0));
+  _mm256_store_si256(reinterpret_cast<__m256i*>(tile[1] + 8),
+                     _mm256_sub_epi32(acc11, c1));
+  _mm256_store_si256(reinterpret_cast<__m256i*>(tile[2]),
+                     _mm256_sub_epi32(acc20, c0));
+  _mm256_store_si256(reinterpret_cast<__m256i*>(tile[2] + 8),
+                     _mm256_sub_epi32(acc21, c1));
+  _mm256_store_si256(reinterpret_cast<__m256i*>(tile[3]),
+                     _mm256_sub_epi32(acc30, c0));
+  _mm256_store_si256(reinterpret_cast<__m256i*>(tile[3] + 8),
+                     _mm256_sub_epi32(acc31, c1));
+}
+
+void GemmInt8QuadBVnni(const int8_t* a, const int8_t* quad_b, const int32_t* corr,
+                       int32_t* c, int64_t m, int64_t k, int64_t n) {
+  const int64_t kq = (k + 3) / 4;
+  const int64_t n16 = n - n % 16;
+  ParallelFor(
+      m,
+      [=](int64_t r0, int64_t r1) {
+        alignas(32) int32_t tile[kMr][16];
+        int64_t i0 = r0;
+        for (; i0 + kMr <= r1; i0 += kMr) {
+          const int8_t* a0 = a + i0 * k;
+          const int8_t* a1 = a0 + k;
+          const int8_t* a2 = a1 + k;
+          const int8_t* a3 = a2 + k;
+          for (int64_t j0 = 0; j0 < n16; j0 += 16) {
+            VnniTile(a0, a1, a2, a3, quad_b, corr, k, n, j0, tile);
+            for (int64_t r = 0; r < kMr; ++r) {
+              std::memcpy(c + (i0 + r) * n + j0, tile[r],
+                          sizeof(int32_t) * 16);
+            }
+          }
+          if (n16 < n) {
+            for (int64_t r = 0; r < kMr; ++r) {
+              int32_t* ci = c + (i0 + r) * n;
+              std::memset(ci + n16, 0,
+                          sizeof(int32_t) * static_cast<size_t>(n - n16));
+              const int8_t* ar = a + (i0 + r) * k;
+              for (int64_t q = 0; q < kq; ++q) {
+                const int64_t l = 4 * q;
+                QuadDotRow(quad_b + q * 4 * n + 4 * n16, ar[l],
+                           l + 1 < k ? ar[l + 1] : 0, l + 2 < k ? ar[l + 2] : 0,
+                           l + 3 < k ? ar[l + 3] : 0, ci + n16, n - n16);
+              }
+            }
+          }
+        }
+        for (; i0 < r1; ++i0) {
+          int32_t* ci = c + i0 * n;
           std::memset(ci, 0, sizeof(int32_t) * static_cast<size_t>(n));
-          const int8_t* ar = a + i * k;
-          for (int64_t p = 0; p < kp; ++p) {
-            const int32_t av0 = ar[2 * p];
-            const int32_t av1 = 2 * p + 1 < k ? ar[2 * p + 1] : 0;
-            PairDotRow(packed_b + p * 2 * n, av0, av1, ci, n);
+          const int8_t* ar = a + i0 * k;
+          for (int64_t q = 0; q < kq; ++q) {
+            const int64_t l = 4 * q;
+            QuadDotRow(quad_b + q * 4 * n, ar[l], l + 1 < k ? ar[l + 1] : 0,
+                       l + 2 < k ? ar[l + 2] : 0, l + 3 < k ? ar[l + 3] : 0, ci,
+                       n);
           }
         }
       },
       /*grain=*/16);
 }
 
-#endif  // __AVX2__
+void GemmInt8RequantVnni(const int8_t* a, const int8_t* quad_b,
+                         const int32_t* corr, int64_t m, int64_t k, int64_t n,
+                         int64_t n_out, const RequantEpilogue& ep, int8_t* dst) {
+  const int64_t n16 = n - n % 16;
+  ParallelFor(
+      m,
+      [=](int64_t r0, int64_t r1) {
+        alignas(32) int32_t tile[kMr][16];
+        int64_t i0 = r0;
+        for (; i0 + kMr <= r1; i0 += kMr) {
+          const int8_t* a0 = a + i0 * k;
+          const int8_t* a1 = a0 + k;
+          const int8_t* a2 = a1 + k;
+          const int8_t* a3 = a2 + k;
+          for (int64_t j0 = 0; j0 < n16 && j0 < n_out; j0 += 16) {
+            VnniTile(a0, a1, a2, a3, quad_b, corr, k, n, j0, tile);
+            const int64_t emit = std::min<int64_t>(16, n_out - j0);
+            const double* bias = ep.bias != nullptr ? ep.bias + j0 : nullptr;
+            RequantTile16(tile, kMr, emit, ep.total, bias, ep.emitter,
+                          dst + i0 * n_out + j0, n_out);
+          }
+          if (n16 < n_out) {
+            for (int64_t r = 0; r < kMr; ++r) {
+              FusedRowQuad(a + (i0 + r) * k, quad_b, k, n, n16, n_out, ep,
+                           dst + (i0 + r) * n_out);
+            }
+          }
+        }
+        for (; i0 < r1; ++i0) {
+          FusedRowQuad(a + i0 * k, quad_b, k, n, 0, n_out, ep, dst + i0 * n_out);
+        }
+      },
+      /*grain=*/16);
+}
+
+#endif  // MIXQ_COMPILED_VNNI
+
+}  // namespace
+
+void GemmInt8PackedB(const int8_t* a, const int16_t* packed_b, int32_t* c,
+                     int64_t m, int64_t k, int64_t n) {
+#if MIXQ_COMPILED_AVX2
+  if (ActiveKernelIsa() != KernelIsa::kScalar) {
+    GemmInt8PackedBAvx2(a, packed_b, c, m, k, n);
+    return;
+  }
+#endif
+  GemmInt8PackedBScalar(a, packed_b, c, m, k, n);
+}
+
+void GemmInt8QuadB(const int8_t* a, const int8_t* quad_b, const int32_t* corr,
+                   int32_t* c, int64_t m, int64_t k, int64_t n) {
+#if MIXQ_COMPILED_VNNI
+  if (ActiveKernelIsa() == KernelIsa::kVnni && Int8VnniDepthOk(k)) {
+    GemmInt8QuadBVnni(a, quad_b, corr, c, m, k, n);
+    return;
+  }
+#endif
+  (void)corr;  // the signed scalar path needs no shift correction
+  GemmInt8QuadBScalar(a, quad_b, c, m, k, n);
+}
+
+void GemmInt8Requant(const int8_t* a, const Int8PackedWeights& w, int64_t m,
+                     int64_t k, int64_t n, int64_t n_out,
+                     const RequantEpilogue& ep, int8_t* dst) {
+  const KernelIsa isa = ActiveKernelIsa();
+#if MIXQ_COMPILED_VNNI
+  if (isa == KernelIsa::kVnni && w.quad != nullptr && w.corr != nullptr &&
+      Int8VnniDepthOk(k)) {
+    GemmInt8RequantVnni(a, w.quad, w.corr, m, k, n, n_out, ep, dst);
+    return;
+  }
+#endif
+#if MIXQ_COMPILED_AVX2
+  if (isa != KernelIsa::kScalar) {
+    GemmInt8RequantAvx2(a, w.pair, m, k, n, n_out, ep, dst);
+    return;
+  }
+#endif
+  (void)isa;
+  GemmInt8RequantScalar(a, w.pair, m, k, n, n_out, ep, dst);
+}
 
 }  // namespace mixq

@@ -8,6 +8,8 @@
 
 #include <cstdint>
 
+#include "quant/requant.h"
+
 namespace mixq {
 
 /// C[m,n] (+)= A[m,k] * B[k,n]. If accumulate is false, C is overwritten.
@@ -47,8 +49,55 @@ void PackInt8PairB(const int8_t* b, int64_t k, int64_t n, int16_t* packed);
 
 /// C[m,n] = A[m,k] * B with A int8 row-major and B pre-packed by
 /// PackInt8PairB. Exact int32 accumulation (pairing only reassociates an
-/// exact sum). The hot kernel of the all-integer serving executor.
+/// exact sum). Dispatches on common/cpu_features.h (AVX2 vpmaddwd kernel vs
+/// portable scalar); every tier computes bitwise-identical int32 sums.
 void GemmInt8PackedB(const int8_t* a, const int16_t* packed_b, int32_t* c,
                      int64_t m, int64_t k, int64_t n);
+
+/// Number of int8 elements of packed storage PackInt8QuadB emits for a
+/// [k, n] matrix: ceil(k/4) row quads of 4n entries each.
+inline int64_t PackedQuadSize(int64_t k, int64_t n) { return ((k + 3) / 4) * 4 * n; }
+
+/// Packs int8 codes B[k,n] into the quad-interleaved layout consumed by the
+/// VNNI kernel: Q[q][4j + d] = B[4q + d][j] (k zero-padded to a multiple of
+/// 4), plus the per-column correction corr[j] = 128 * sum_k B[k][j] that the
+/// kernel subtracts after shifting signed A codes into vpdpbusd's unsigned
+/// operand (a + 128). Weights are packed once at model-compile/bundle-load.
+void PackInt8QuadB(const int8_t* b, int64_t k, int64_t n, int8_t* packed,
+                   int32_t* corr);
+
+/// True when the VNNI kernel's int32 accumulators cannot overflow: k
+/// products of (a + 128) in [1, 255] by |b| <= 127 must fit below 2^31.
+/// Tighter than Int8-pair depth (the +128 shift doubles the magnitude).
+inline bool Int8VnniDepthOk(int64_t k) {
+  return k < ((int64_t{1} << 31) - 1) / (255 * 127);
+}
+
+/// C[m,n] = A[m,k] * B with B pre-packed by PackInt8QuadB, computed with
+/// vpdpbusd (u8 x s8 quad dot): exact int32 accumulation, bitwise identical
+/// to GemmInt8PackedB. Requires Int8VnniDepthOk(k); falls back to the
+/// vpmaddwd/scalar kernel shape internally when VNNI is not active.
+void GemmInt8QuadB(const int8_t* a, const int8_t* quad_b, const int32_t* corr,
+                   int32_t* c, int64_t m, int64_t k, int64_t n);
+
+/// Packed int8 weight views of one linear, produced at lowering. `quad` and
+/// `corr` may be null (VNNI packing unavailable); `pair` is always set.
+struct Int8PackedWeights {
+  const int16_t* pair = nullptr;
+  const int8_t* quad = nullptr;
+  const int32_t* corr = nullptr;
+};
+
+/// Fused GEMM + requantization: computes A[m,k] * B over the padded width
+/// `n`, requantizes the int32 register/row-block accumulators through `ep`
+/// and stores int8 codes at the UNPADDED stride `n_out` (columns >= n_out
+/// are computed into registers but never emitted, eliminating both the int32
+/// scratch round-trip and the padding strip pass). Codes are bitwise
+/// identical to GemmInt8PackedB + a separate requant pass: accumulators are
+/// exact integers and the epilogue applies the same double-precision
+/// arithmetic per element. Dispatches VNNI > vpmaddwd > scalar.
+void GemmInt8Requant(const int8_t* a, const Int8PackedWeights& w, int64_t m,
+                     int64_t k, int64_t n, int64_t n_out,
+                     const RequantEpilogue& ep, int8_t* dst);
 
 }  // namespace mixq

@@ -1063,5 +1063,220 @@ TEST(SubmitTest, MixedPrunedAndFullRoutingInOneDrain) {
   EXPECT_EQ(stats.per_model.at("m").successes, kClients);
 }
 
+// ---------------------------------------------------------------------------
+// Fused requantization epilogues.
+// ---------------------------------------------------------------------------
+
+/// Flips the process-wide fused-epilogue switch and restores the fused
+/// default on scope exit, so a failing EXPECT cannot leak the unfused mode
+/// into later tests.
+struct FusedEpilogueGuard {
+  explicit FusedEpilogueGuard(bool fused) {
+    engine::ExecutionPlan::SetFusedEpilogues(fused);
+  }
+  ~FusedEpilogueGuard() { engine::ExecutionPlan::SetFusedEpilogues(true); }
+};
+
+// The fusion contract: requantizing int32 accumulators inside the GEMM/SpMM
+// epilogues produces codes — and hence logits — bitwise identical to the
+// two-pass accumulate-then-requant executor, for every int8-lowered registry
+// scheme on both backbones, on the full AND the pruned integer forward.
+TEST(FusedEpilogueTest, FusedMatchesUnfusedBitwiseAcrossSchemes) {
+  struct Case {
+    const char* label;
+    SchemeRef ref;
+    NodeModelKind kind;
+  };
+  std::vector<Case> cases;
+  cases.push_back({"qat8", SchemeRef::Qat(8), NodeModelKind::kGcn});
+  cases.push_back({"qat4", SchemeRef::Qat(4), NodeModelKind::kGcn});
+  cases.push_back({"dq8", SchemeRef::Dq(8), NodeModelKind::kGcn});
+  cases.push_back({"fixed",
+                   SchemeRef::Fixed({{"model/x", 8},
+                                     {"gcn0/weight", 2},
+                                     {"gcn0/linear_out", 4},
+                                     {"gcn1/weight", 4}}),
+                   NodeModelKind::kGcn});
+  cases.push_back({"qat8-sage", SchemeRef::Qat(8), NodeModelKind::kSage});
+  for (const Case& c : cases) {
+    SCOPED_TRACE(c.label);
+    auto artifact = TrainArtifact(c.ref, c.kind);
+    ASSERT_NE(artifact, nullptr);
+    CompiledModelPtr model = CompileModel(*artifact).ValueOrDie();
+    if (!model->info().lowered_int8) continue;  // nothing to fuse
+
+    Tensor unfused, unfused_pruned;
+    const std::vector<int64_t> targets = {3, 77, 150};
+    {
+      FusedEpilogueGuard guard(/*fused=*/false);
+      unfused =
+          model->PredictQuantized(artifact->features, artifact->op).ValueOrDie();
+      FrontierWorkspace ws;
+      PredictScratch scratch;
+      auto program = model->BuildFrontierProgram(artifact->op, targets,
+                                                 /*int8=*/true, &ws, 10.0);
+      ASSERT_NE(program, nullptr);
+      unfused_pruned =
+          model->PredictPruned(artifact->features, *program, &scratch).ValueOrDie();
+    }
+    FusedEpilogueGuard guard(/*fused=*/true);
+    Tensor fused =
+        model->PredictQuantized(artifact->features, artifact->op).ValueOrDie();
+    EXPECT_EQ(fused.data(), unfused.data());
+    FrontierWorkspace ws;
+    PredictScratch scratch;
+    auto program = model->BuildFrontierProgram(artifact->op, targets,
+                                               /*int8=*/true, &ws, 10.0);
+    ASSERT_NE(program, nullptr);
+    Tensor fused_pruned =
+        model->PredictPruned(artifact->features, *program, &scratch).ValueOrDie();
+    EXPECT_EQ(fused_pruned.data(), unfused_pruned.data());
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Locality-reordered graph serving.
+// ---------------------------------------------------------------------------
+
+using engine::GraphReorder;
+
+BatcherOptions ReorderOptions(GraphReorder mode, bool cache) {
+  BatcherOptions options = PrunedOptions(cache);
+  options.graph_reorder = mode;
+  return options;
+}
+
+// The reorder contract: a graph pinned in degree-sorted or RCM order serves
+// values bitwise identical to the unordered registration — full responses
+// in original row order, subsets (duplicate ids included) in request order,
+// at fp32 and int8, with the cache on. SAGE covers the root-path gathers
+// (its residual add reads rows the reorder maps must keep aligned).
+TEST(ReorderedServingTest, ServingBitwiseEqualToUnorderedAcrossModes) {
+  for (NodeModelKind kind : {NodeModelKind::kGcn, NodeModelKind::kSage}) {
+    SCOPED_TRACE(kind == NodeModelKind::kGcn ? "gcn" : "sage");
+    auto artifact = TrainArtifact(SchemeRef::Qat(8), kind);
+    ASSERT_NE(artifact, nullptr);
+    CompiledModelPtr model = CompileModel(*artifact).ValueOrDie();
+    ASSERT_TRUE(model->info().lowered_int8);
+    Tensor ref_fp32 = model->Predict(artifact->features, artifact->op).ValueOrDie();
+    Tensor ref_int8 =
+        model->PredictQuantized(artifact->features, artifact->op).ValueOrDie();
+    const std::vector<int64_t> ids = {17, 3, 17, 159, 0};
+
+    for (GraphReorder mode :
+         {GraphReorder::kNone, GraphReorder::kDegree, GraphReorder::kRcm}) {
+      SCOPED_TRACE(static_cast<int>(mode));
+      BatcherOptions options = ReorderOptions(mode, /*cache=*/true);
+      options.enable_pruning = false;  // full-path + cache coverage here
+      InferenceEngine engine(options);
+      ASSERT_TRUE(engine.RegisterModel("m", model).ok());
+      ASSERT_TRUE(engine.RegisterGraph("g", artifact->features, artifact->op).ok());
+      EXPECT_EQ(engine.ListGraphs().at("g").reordered, mode != GraphReorder::kNone);
+
+      // Full fp32 response: original row order, bitwise.
+      Result<PredictResponse> all = engine.Submit(MakeRequest("m", "g")).get();
+      ASSERT_TRUE(all.ok()) << all.status().ToString();
+      EXPECT_EQ(all.ValueOrDie().rows.data(), ref_fp32.data());
+
+      // Subset with duplicates, request order.
+      Result<PredictResponse> subset =
+          engine.Submit(MakeRequest("m", "g", ids)).get();
+      ASSERT_TRUE(subset.ok()) << subset.status().ToString();
+      for (size_t i = 0; i < ids.size(); ++i) {
+        for (int64_t col = 0; col < ref_fp32.cols(); ++col) {
+          EXPECT_EQ(subset.ValueOrDie().rows.at(static_cast<int64_t>(i), col),
+                    ref_fp32.at(ids[i], col));
+        }
+      }
+
+      // Cached point query gathers from internal-order logits and must still
+      // translate.
+      Result<PredictResponse> point =
+          engine.Submit(MakeRequest("m", "g", {42})).get();
+      ASSERT_TRUE(point.ok());
+      EXPECT_TRUE(point.ValueOrDie().cache_hit);
+      for (int64_t col = 0; col < ref_fp32.cols(); ++col) {
+        EXPECT_EQ(point.ValueOrDie().rows.at(0, col), ref_fp32.at(42, col));
+      }
+
+      // Full int8 response: the integer executors see the permuted operator
+      // and features; codes must be bitwise what the unordered graph yields.
+      Result<PredictResponse> all_int8 =
+          engine.Submit(MakeRequest("m", "g", {}, Precision::kInt8)).get();
+      ASSERT_TRUE(all_int8.ok()) << all_int8.status().ToString();
+      EXPECT_EQ(all_int8.ValueOrDie().precision, Precision::kInt8);
+      EXPECT_EQ(all_int8.ValueOrDie().rows.data(), ref_int8.data());
+    }
+  }
+}
+
+// Pruned forwards on a reordered graph: targets are translated into the
+// internal order before frontier analysis, and gathered rows translate back
+// — bitwise equal to the unordered graph's rows on both precisions.
+TEST(ReorderedServingTest, PrunedServingBitwiseEqualToUnordered) {
+  auto artifact = TrainArtifact(SchemeRef::Qat(8));
+  ASSERT_NE(artifact, nullptr);
+  CompiledModelPtr model = CompileModel(*artifact).ValueOrDie();
+  Tensor ref_fp32 = model->Predict(artifact->features, artifact->op).ValueOrDie();
+  Tensor ref_int8 =
+      model->PredictQuantized(artifact->features, artifact->op).ValueOrDie();
+  const std::vector<int64_t> ids = {42, 7, 42};
+
+  for (GraphReorder mode : {GraphReorder::kDegree, GraphReorder::kRcm}) {
+    SCOPED_TRACE(static_cast<int>(mode));
+    InferenceEngine engine(ReorderOptions(mode, /*cache=*/false));
+    ASSERT_TRUE(engine.RegisterModel("m", model).ok());
+    ASSERT_TRUE(engine.RegisterGraph("g", artifact->features, artifact->op).ok());
+
+    for (Precision precision : {Precision::kFp32, Precision::kInt8}) {
+      const Tensor& ref = precision == Precision::kInt8 ? ref_int8 : ref_fp32;
+      Result<PredictResponse> response =
+          engine.Submit(MakeRequest("m", "g", ids, precision)).get();
+      ASSERT_TRUE(response.ok()) << response.status().ToString();
+      const PredictResponse& r = response.ValueOrDie();
+      EXPECT_TRUE(r.pruned);
+      ASSERT_EQ(r.rows.rows(), static_cast<int64_t>(ids.size()));
+      for (size_t i = 0; i < ids.size(); ++i) {
+        for (int64_t col = 0; col < ref.cols(); ++col) {
+          EXPECT_EQ(r.rows.at(static_cast<int64_t>(i), col), ref.at(ids[i], col))
+              << "occurrence " << i;
+        }
+      }
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Per-precision forward-time stats.
+// ---------------------------------------------------------------------------
+
+TEST(PrecisionStatsTest, ForwardTimeSplitByResolvedPrecision) {
+  auto artifact = TrainArtifact(SchemeRef::Qat(8));
+  CompiledModelPtr model = CompileModel(*artifact).ValueOrDie();
+  BatcherOptions options;
+  options.enable_cache = false;  // every Submit runs a forward
+  InferenceEngine engine(options);
+  ASSERT_TRUE(engine.RegisterModel("m", model).ok());
+  ASSERT_TRUE(engine.RegisterGraph("g", artifact->features, artifact->op).ok());
+
+  ASSERT_TRUE(engine.Submit(MakeRequest("m", "g", {}, Precision::kFp32)).get().ok());
+  ASSERT_TRUE(engine.Submit(MakeRequest("m", "g", {}, Precision::kInt8)).get().ok());
+  ASSERT_TRUE(engine.Submit(MakeRequest("m", "g", {}, Precision::kInt8)).get().ok());
+
+  InferenceEngine::Stats stats = engine.GetStats();
+  const InferenceEngine::ModelStats& ms = stats.per_model.at("m");
+  EXPECT_EQ(ms.fp32_forwards, 1);
+  EXPECT_EQ(ms.int8_forwards, 2);
+  EXPECT_GT(ms.fp32_forward_p50_us, 0.0);
+  EXPECT_GT(ms.int8_forward_p50_us, 0.0);
+  EXPECT_GE(ms.fp32_forward_p99_us, ms.fp32_forward_p50_us);
+  EXPECT_GE(ms.int8_forward_p99_us, ms.int8_forward_p50_us);
+
+  // The sync Predict wrapper counts into the fp32 histogram (it is always
+  // exact fp32).
+  ASSERT_TRUE(engine.Predict("m", artifact->features, artifact->op).ok());
+  EXPECT_EQ(engine.GetStats().per_model.at("m").fp32_forwards, 2);
+}
+
 }  // namespace
 }  // namespace mixq

@@ -5,6 +5,7 @@
 
 #include "sparse/csr.h"
 #include "sparse/frontier.h"
+#include "sparse/reorder.h"
 #include "sparse/spmm.h"
 #include "tensor/gradcheck.h"
 #include "tensor/ops.h"
@@ -310,6 +311,123 @@ TEST(InducedRowsTest, SpmmOnSliceMatchesFullRows) {
     for (int64_t c = 0; c < f; ++c) {
       EXPECT_EQ(pruned[i * f + c], full[rows[i] * f + c])
           << "row " << rows[i] << " col " << c;
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Locality reordering (sparse/reorder.h).
+// ---------------------------------------------------------------------------
+
+/// A small irregular graph with a hub (node 1), a pendant chain, and an
+/// isolated node (5) — exercises degree ties, BFS restarts, and empty rows.
+CsrMatrix ReorderFixture() {
+  return CsrMatrix::FromCoo(
+      6, 6, {{0, 1, 0.5f}, {1, 0, 0.5f}, {1, 2, -1.0f}, {1, 4, 2.0f},
+             {2, 1, -1.0f}, {2, 3, 0.25f}, {3, 2, 0.25f}, {4, 1, 2.0f}});
+}
+
+void ExpectPermutation(const std::vector<int64_t>& order, int64_t n) {
+  ASSERT_EQ(static_cast<int64_t>(order.size()), n);
+  std::vector<bool> seen(static_cast<size_t>(n), false);
+  for (int64_t p : order) {
+    ASSERT_GE(p, 0);
+    ASSERT_LT(p, n);
+    EXPECT_FALSE(seen[static_cast<size_t>(p)]) << "duplicate id " << p;
+    seen[static_cast<size_t>(p)] = true;
+  }
+}
+
+TEST(ReorderTest, DegreeSortOrderIsDescendingAndStable) {
+  CsrMatrix m = ReorderFixture();
+  std::vector<int64_t> order = DegreeSortOrder(m);
+  ExpectPermutation(order, 6);
+  for (size_t p = 0; p + 1 < order.size(); ++p) {
+    const int64_t a = m.RowNnz(order[p]), b = m.RowNnz(order[p + 1]);
+    EXPECT_GE(a, b);
+    // Stable ties: equal degrees keep ascending old ids.
+    if (a == b) {
+      EXPECT_LT(order[p], order[p + 1]);
+    }
+  }
+  EXPECT_EQ(order[0], 1);  // the hub (degree 3) leads
+}
+
+TEST(ReorderTest, RcmOrderCoversEveryComponent) {
+  CsrMatrix m = ReorderFixture();
+  std::vector<int64_t> order = RcmOrder(m);
+  ExpectPermutation(order, 6);
+  // RCM on one path graph: the classic bandwidth result is that neighbours
+  // land at adjacent new ids. Check the max |new(u) - new(v)| over edges
+  // of the connected chain 0-1-2-3 plus 1-4 stays small (≤ 2 here).
+  std::vector<int64_t> new_of_old(6);
+  for (size_t p = 0; p < order.size(); ++p) new_of_old[static_cast<size_t>(order[p])] = static_cast<int64_t>(p);
+  const auto& row_ptr = m.row_ptr();
+  const auto& cols = m.col_idx();
+  int64_t bandwidth = 0;
+  for (int64_t r = 0; r < 6; ++r) {
+    for (int64_t k = row_ptr[static_cast<size_t>(r)]; k < row_ptr[static_cast<size_t>(r + 1)]; ++k) {
+      bandwidth = std::max(bandwidth,
+                           std::abs(new_of_old[static_cast<size_t>(r)] -
+                                    new_of_old[static_cast<size_t>(cols[static_cast<size_t>(k)])]));
+    }
+  }
+  EXPECT_LE(bandwidth, 2);
+}
+
+TEST(PermuteSquareTest, RowsRelocateWithColumnsRemappedInOriginalOrder) {
+  CsrMatrix m = ReorderFixture();
+  const std::vector<int64_t> new_to_old = {3, 1, 5, 0, 4, 2};
+  std::vector<int64_t> new_of_old(6);
+  for (size_t p = 0; p < new_to_old.size(); ++p) {
+    new_of_old[static_cast<size_t>(new_to_old[p])] = static_cast<int64_t>(p);
+  }
+  CsrMatrix pm = PermuteSquare(m, new_to_old);
+  ASSERT_EQ(pm.rows(), 6);
+  ASSERT_EQ(pm.nnz(), m.nnz());
+  for (int64_t p = 0; p < 6; ++p) {
+    const int64_t old_row = new_to_old[static_cast<size_t>(p)];
+    ASSERT_EQ(pm.RowNnz(p), m.RowNnz(old_row));
+    const int64_t base_new = pm.row_ptr()[static_cast<size_t>(p)];
+    const int64_t base_old = m.row_ptr()[static_cast<size_t>(old_row)];
+    for (int64_t k = 0; k < pm.RowNnz(p); ++k) {
+      // Entry k keeps its position (original order, NOT re-sorted) and its
+      // value; only the column id is rewritten old→new.
+      EXPECT_EQ(pm.col_idx()[static_cast<size_t>(base_new + k)],
+                new_of_old[static_cast<size_t>(
+                    m.col_idx()[static_cast<size_t>(base_old + k)])]);
+      EXPECT_EQ(pm.values()[static_cast<size_t>(base_new + k)],
+                m.values()[static_cast<size_t>(base_old + k)]);
+    }
+  }
+}
+
+TEST(PermuteSquareTest, SpmmThroughPermutationIsBitwiseInvisible) {
+  // The serving contract end-to-end at the kernel level: permute operator
+  // and features, SpMM, un-permute the output — bitwise equal to SpMM on
+  // the original. Holds for any valid order because each row's accumulation
+  // order is preserved.
+  CsrMatrix m = ReorderFixture();
+  const int64_t f = 7;
+  std::vector<float> x(static_cast<size_t>(6 * f));
+  for (size_t i = 0; i < x.size(); ++i) x[i] = 0.37f * static_cast<float>(i) - 2.1f;
+  std::vector<float> y_ref(x.size());
+  SpmmRaw(m, x.data(), f, y_ref.data());
+
+  for (const std::vector<int64_t>& order :
+       {DegreeSortOrder(m), RcmOrder(m), std::vector<int64_t>{5, 4, 3, 2, 1, 0}}) {
+    CsrMatrix pm = PermuteSquare(m, order);
+    std::vector<float> x_perm(x.size());
+    for (size_t p = 0; p < order.size(); ++p) {
+      std::copy_n(x.data() + order[p] * f, f, x_perm.data() + p * f);
+    }
+    std::vector<float> y_perm(x.size());
+    SpmmRaw(pm, x_perm.data(), f, y_perm.data());
+    for (size_t p = 0; p < order.size(); ++p) {
+      for (int64_t c = 0; c < f; ++c) {
+        EXPECT_EQ(y_perm[p * f + static_cast<size_t>(c)],
+                  y_ref[static_cast<size_t>(order[p] * f) + static_cast<size_t>(c)]);
+      }
     }
   }
 }
