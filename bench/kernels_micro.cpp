@@ -148,6 +148,8 @@ void BM_GemmInt8RequantFused(benchmark::State& state) {
   if (Int8VnniDepthOk(n)) {
     w.quad = quad.data();
     w.corr = corr.data();
+    // Full-scale random codes: the coarse depth predicate IS the proof here.
+    w.vnni_ok = true;
   }
   const RequantEpilogue ep = BenchEpilogue();
   std::vector<int8_t> c(static_cast<size_t>(n * n));
@@ -184,6 +186,7 @@ void BM_GemmInt8ByIsa(benchmark::State& state) {
   w.pair = pair.data();
   w.quad = quad.data();
   w.corr = corr.data();
+  w.vnni_ok = Int8VnniDepthOk(n);
   const RequantEpilogue ep = BenchEpilogue();
   std::vector<int8_t> c(static_cast<size_t>(n * n));
   for (auto _ : state) {

@@ -94,22 +94,36 @@ const char* PrecisionName(Precision p) {
 Result<Precision> ResolvePrecision(const CompiledModel& model,
                                    const GraphContext& graph,
                                    Precision requested) {
+  // Per-plan pairing: the model's range certificate (per-step symbolic SpMM
+  // depth budget, engine/plan_analysis.h) against the graph's precomputed
+  // bounds. Replaces the coarse full-scale int8_depth_safe cut — a plan with
+  // narrow codes provably serves hub-heavy graphs the old predicate refused.
+  const PlanRangeCertificate* cert = model.range_certificate();
   switch (requested) {
     case Precision::kFp32:
       return Precision::kFp32;
-    case Precision::kInt8:
+    case Precision::kInt8: {
       if (!model.info().lowered_int8) {
         return Status::NotImplemented("model '" + model.info().scheme_label +
                                       "' has no all-integer lowering");
       }
-      if (!graph.int8_depth_safe) {
+      if (cert == nullptr) {
         return Status::InvalidArgument(
-            "graph '" + graph.name +
-            "' has a row too deep for the int8 executor; request fp32");
+            "model '" + model.info().scheme_label +
+            "' has no value-range certificate (range analysis did not accept "
+            "its plan); request fp32");
+      }
+      Status paired = CheckGraphAgainstCertificate(*cert, graph.range_bounds);
+      if (!paired.ok()) {
+        return Status::InvalidArgument("graph '" + graph.name +
+                                       "' fails the int8 pairing check: " +
+                                       paired.message());
       }
       return Precision::kInt8;
+    }
     case Precision::kAuto:
-      return model.info().lowered_int8 && graph.int8_depth_safe
+      return model.info().lowered_int8 && cert != nullptr &&
+                     CheckGraphAgainstCertificate(*cert, graph.range_bounds).ok()
                  ? Precision::kInt8
                  : Precision::kFp32;
   }

@@ -50,6 +50,7 @@
 #include "common/status.h"
 #include "common/thread_annotations.h"
 #include "engine/compiled_model.h"
+#include "engine/plan_analysis.h"
 
 namespace mixq {
 namespace engine {
@@ -85,6 +86,11 @@ struct GraphContext {
   SparseOperatorPtr op;   ///< matching normalized operator (internal order)
   uint64_t version = 0;
   bool int8_depth_safe = false;
+  /// Graph-side facts for the per-plan pairing check (max row nnz, adjacency
+  /// value range — engine/plan_analysis.h), precomputed once at registration
+  /// so precision resolution checks the model's range certificate in O(steps)
+  /// per request instead of rescanning the operator.
+  GraphRangeBounds range_bounds;
   /// Locality reorder applied at registration: when non-empty, `features`
   /// and `op` live in an INTERNAL row order chosen for SpMM cache locality,
   /// and these maps translate node ids (new_of_old[original] = internal row;

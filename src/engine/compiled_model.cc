@@ -79,6 +79,22 @@ Result<CompiledModelPtr> CompileModel(const ModelArtifact& artifact) {
     }
   }
 
+  // Value-range analysis (engine/plan_analysis.h): always attempted, so the
+  // certificate is available to graph pairing whenever the proof goes
+  // through. A failure is a lowering bug — fatal under the verify gate,
+  // otherwise it just disables int8 serving (null certificate) while the
+  // bitwise-exact fp32 paths keep working.
+  if (model->plan_ != nullptr) {
+    Result<PlanRangeCertificate> cert = AnalyzePlanRanges(*model->plan_);
+    if (cert.ok()) {
+      model->range_cert_ =
+          std::make_unique<const PlanRangeCertificate>(cert.MoveValueOrDie());
+    } else if (VerifyPlansEnabled()) {
+      return Status::Internal("lowering produced a plan that fails range "
+                              "analysis: " + cert.status().message());
+    }
+  }
+
   // Capture the per-component bit assignment as metadata.
   for (const std::string& id : artifact.scheme->ComponentIds()) {
     model->info_.bit_assignment[id] = static_cast<int>(
@@ -153,11 +169,17 @@ Result<Tensor> CompiledModel::PredictQuantized(const Tensor& features,
         "' has no all-integer lowering (requires symmetric <= 8-bit "
         "quantizers at every component)");
   }
-  if (!ExecutionPlan::Int8DepthSafeOperator(*op)) {
+  if (range_cert_ == nullptr) {
     return Status::InvalidArgument(
-        "operator has a row too deep for the int8 executor's int32 "
-        "accumulators (~133k stored entries); use Predict");
+        "plan has no value-range certificate (range analysis did not "
+        "accept it); int8 serving is disabled — use Predict");
   }
+  // Proven, per-step graph pairing: the certificate's symbolic SpMM depth
+  // budget (refined by this operator's actual value range) replaces the
+  // coarse global Int8DepthSafeOperator cut.
+  Status paired =
+      CheckGraphAgainstCertificate(*range_cert_, ComputeGraphRangeBounds(*op));
+  if (!paired.ok()) return paired;
   Tensor logits = Tensor::Zeros(Shape(features.rows(), info_.out_dim));
   plan_->ExecuteInt8(features.data().data(), features.rows(), *op, &scratch->plan,
                      logits.data().data());

@@ -29,6 +29,7 @@
 #include "core/experiment.h"
 #include "engine/execution_plan.h"
 #include "engine/frontier_plan.h"
+#include "engine/plan_analysis.h"
 #include "sparse/spmm.h"
 #include "tensor/tensor.h"
 
@@ -118,6 +119,16 @@ class CompiledModel {
   /// (engine/plan_verifier.h); null when the scheme is not lowerable.
   const ExecutionPlan* plan() const { return plan_.get(); }
 
+  /// The range prover's certificate for plan() (engine/plan_analysis.h):
+  /// per-step accumulator bounds plus the symbolic graph depth budget that
+  /// PredictQuantized and the batcher check each operator against. Null when
+  /// there is no plan or the analysis did not accept it — in which case int8
+  /// serving is disabled with a typed error (bundle loads reject such plans
+  /// outright; CompileModel leaves the fp32 paths available).
+  const PlanRangeCertificate* range_certificate() const {
+    return range_cert_.get();
+  }
+
  private:
   friend Result<CompiledModelPtr> CompileModel(const ModelArtifact& artifact);
   // Bundle save/load (engine/model_bundle.h): serialization reads the plan,
@@ -136,6 +147,9 @@ class CompiledModel {
   QuantSchemePtr scheme_;
   /// Lock-free lowered plan; null when the scheme is not lowerable.
   std::unique_ptr<const ExecutionPlan> plan_;
+  /// Value-range certificate for plan_; null iff the analysis failed (or no
+  /// plan). See range_certificate().
+  std::unique_ptr<const PlanRangeCertificate> range_cert_;
   /// The artifact's lock — shared with sibling compiles of the same nets;
   /// reference forwards mutate transient tensor state.
   std::shared_ptr<std::mutex> forward_mu_;

@@ -11,6 +11,7 @@
 
 #include "common/parallel.h"
 #include "engine/frontier_plan.h"
+#include "engine/plan_analysis.h"
 #include "quant/requant.h"
 #include "sparse/csr.h"
 #include "tensor/gemm.h"
@@ -249,13 +250,17 @@ bool Int8DepthOk(int64_t k) {
 }
 
 // Views over frozen derived state for the fused epilogue kernels; pure
-// pointer/value plumbing, nothing computed per forward.
-Int8PackedWeights PackedWeights(const LoweredLinear& lin) {
+// pointer/value plumbing, nothing computed per forward. The step supplies
+// its prover-derived VNNI certificate so dispatch never consults the coarse
+// global depth predicate.
+Int8PackedWeights PackedWeights(const LoweredLinear& lin,
+                                const ExecutionPlan::IntStep& st) {
   Int8PackedWeights w;
   w.pair = lin.weight_packed.data();
   if (!lin.weight_quad.empty()) {
     w.quad = lin.weight_quad.data();
     w.corr = lin.weight_corr.data();
+    w.vnni_ok = st.vnni_safe;
   }
   return w;
 }
@@ -322,6 +327,16 @@ void ExecutionPlan::FinalizeDerived() {
         const LoweredLinear& lin = linears_[static_cast<size_t>(st.linear)];
         st.total = static_cast<double>(st.src_params.scale) *
                    lin.weight_params.scale / st.out_params.scale;
+        // Per-step VNNI overflow certificate from the ACTUAL frozen codes.
+        // src_params.qmax() equals the prover's walked source-code bound
+        // (every int8 producer clamps into its grid), so dispatch and
+        // certificate can never disagree.
+        if (lin.weight_q8.size() ==
+            static_cast<size_t>(lin.in) * static_cast<size_t>(lin.out_padded)) {
+          st.vnni_safe = VnniAccumulationSafe(
+              st.src_params.qmax(),
+              MaxColumnAbsSum(lin.weight_q8.data(), lin.in, lin.out_padded));
+        }
         break;
       }
       case IntOp::kSpmmRequant: {
@@ -976,7 +991,7 @@ void ExecutionPlan::ExecuteInt8(const float* x, int64_t n, const SparseOperator&
         if (fused) {
           // Codes come straight out of the register tiles at the unpadded
           // stride: no int32 scratch round-trip, no padding strip pass.
-          GemmInt8Requant(src, PackedWeights(lin), n, lin.in, lin.out_padded,
+          GemmInt8Requant(src, PackedWeights(lin, st), n, lin.in, lin.out_padded,
                           lin.out, GemmEpilogue(st), dst);
           break;
         }
@@ -1087,7 +1102,7 @@ void ExecutionPlan::ExecutePrunedInt8(const float* x, const FrontierProgram& fp,
         int8_t* dst = ensure(st.dst, n, lin.out);
         const int8_t* src = read_codes(se, st.src, lin.in);
         if (fused) {
-          GemmInt8Requant(src, PackedWeights(lin), n, lin.in, lin.out_padded,
+          GemmInt8Requant(src, PackedWeights(lin, st), n, lin.in, lin.out_padded,
                           lin.out, GemmEpilogue(st), dst);
           break;
         }

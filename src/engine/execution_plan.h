@@ -115,6 +115,13 @@ class ExecutionPlan {
     double total = 0.0;
     double s1 = 0.0, s2 = 0.0;
     CodeEmitter emitter;
+    /// DERIVED per-step VNNI certificate (kGemmRequant only): every
+    /// unsigned-shifted partial sum Σ (aᵢ+128)·bᵢ of this step provably fits
+    /// int32, computed by FinalizeDerived() from the source grid's code
+    /// bound and the linear's ACTUAL frozen weight codes (same arithmetic as
+    /// engine/plan_analysis.h's prover). Consumed by the GemmInt8Requant
+    /// dispatch in place of the coarse global Int8VnniDepthOk(k).
+    bool vnni_safe = false;
   };
 
   /// Reusable per-request workspace. Callers (or serving threads) keep one

@@ -168,6 +168,10 @@ std::shared_ptr<GraphContext> MakeGraphContext(const std::string& name,
   auto context = std::make_shared<GraphContext>();
   context->name = name;
   context->int8_depth_safe = ExecutionPlan::Int8DepthSafeOperator(*op);
+  // Graph-side facts for per-plan certificate pairing. Computed on the
+  // ORIGINAL operator: a permutation preserves every row's nnz and stored
+  // values, so the bounds are identical either way.
+  context->range_bounds = ComputeGraphRangeBounds(*op);
   context->frontier_ws = std::make_shared<FrontierWorkspace>();
   context->frontier_ws->EnsureSize(op->rows());
   if (reorder != GraphReorder::kNone) {

@@ -9,6 +9,7 @@
 #include <utility>
 
 #include "common/binary_io.h"
+#include "engine/plan_analysis.h"
 #include "engine/plan_verifier.h"
 #include "sparse/csr.h"
 #include "tensor/gemm.h"
@@ -613,10 +614,23 @@ Result<CompiledModelPtr> LoadBundle(const std::string& path) {
                                    verified.message());
   }
 
+  // Value-range analysis, also unconditional: a structurally valid plan can
+  // still drive an int32 accumulator over the edge (huge K, full-scale
+  // codes) or carry non-finite frozen constants. Rejecting here means no
+  // loaded model ever serves without a certificate.
+  Result<PlanRangeCertificate> cert = AnalyzePlanRanges(loaded);
+  if (!cert.ok()) {
+    return Status::InvalidArgument("'" + path +
+                                   "' holds a plan that fails range "
+                                   "analysis: " + cert.status().message());
+  }
+
   auto model = std::shared_ptr<CompiledModel>(new CompiledModel());
   model->info_ = std::move(info);
   model->model_kind_ = model_kind;
   model->plan_ = std::move(plan.ValueOrDie());
+  model->range_cert_ =
+      std::make_unique<const PlanRangeCertificate>(cert.MoveValueOrDie());
   // No live net / scheme: Predict and friends run the plan; the reference
   // replay reports kNotImplemented. The mutex exists only so the member is
   // never null.
@@ -647,6 +661,25 @@ std::vector<BundleCheck> VerifyBundleFile(const std::string& path) {
   if (kind == BundleKind::kGraph) {
     Result<GraphBundle> graph = LoadGraph(path);
     out.push_back({"decode", graph.ok() ? Status::OK() : graph.status()});
+    if (!graph.ok()) return out;
+    // Value invariants of the served graph: finite adjacency (non-finite
+    // entries would quantize through the emitter's NaN branch) and finite
+    // features (they feed the fp32 walk's unbounded input).
+    Status values = [&]() -> Status {
+      const GraphBundle& g = graph.ValueOrDie();
+      GraphRangeBounds bounds = ComputeGraphRangeBounds(*g.op);
+      if (!bounds.values_finite) {
+        return Status::InvalidArgument(
+            "adjacency holds non-finite stored values");
+      }
+      for (float v : g.features.data()) {
+        if (!std::isfinite(v)) {
+          return Status::InvalidArgument("features hold non-finite values");
+        }
+      }
+      return Status::OK();
+    }();
+    out.push_back({"values", values});
     return out;
   }
 
@@ -695,7 +728,79 @@ std::vector<BundleCheck> VerifyBundleFile(const std::string& path) {
   PlanShapes shapes;
   shapes.in_features = info.in_features;
   shapes.out_dim = info.out_dim;
-  out.push_back({"plan", VerifyPlan(*plan, shapes)});
+  Status plan_ok = VerifyPlan(*plan, shapes);
+  out.push_back({"plan", plan_ok});
+  if (!plan_ok.ok()) return out;
+
+  // The range prover as its own verdict: structural validity does not imply
+  // value safety, and lint consumers want to see which theorem failed.
+  Result<PlanRangeCertificate> cert = AnalyzePlanRanges(*plan);
+  out.push_back({"ranges", cert.ok() ? Status::OK() : cert.status()});
+  return out;
+}
+
+namespace {
+
+/// snake_case code names for the JSON report (StatusCodeName is CamelCase
+/// for logs; tooling keys want stable lowercase identifiers).
+const char* StatusCodeJsonName(StatusCode code) {
+  switch (code) {
+    case StatusCode::kOk: return "ok";
+    case StatusCode::kInvalidArgument: return "invalid_argument";
+    case StatusCode::kOutOfRange: return "out_of_range";
+    case StatusCode::kNotImplemented: return "not_implemented";
+    case StatusCode::kInternal: return "internal";
+    case StatusCode::kNotFound: return "not_found";
+    case StatusCode::kResourceExhausted: return "resource_exhausted";
+    case StatusCode::kDeadlineExceeded: return "deadline_exceeded";
+  }
+  return "unknown";
+}
+
+void AppendJsonString(const std::string& s, std::string* out) {
+  out->push_back('"');
+  for (char c : s) {
+    switch (c) {
+      case '"': *out += "\\\""; break;
+      case '\\': *out += "\\\\"; break;
+      case '\n': *out += "\\n"; break;
+      case '\r': *out += "\\r"; break;
+      case '\t': *out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          *out += buf;
+        } else {
+          out->push_back(c);
+        }
+    }
+  }
+  out->push_back('"');
+}
+
+}  // namespace
+
+std::string FormatCheckReportJson(const CheckReport& report) {
+  bool clean = true;
+  for (const BundleCheck& c : report.checks) clean = clean && c.status.ok();
+  std::string out = "{\"subject\": ";
+  AppendJsonString(report.subject, &out);
+  out += ", \"clean\": ";
+  out += clean ? "true" : "false";
+  out += ", \"checks\": [";
+  for (size_t i = 0; i < report.checks.size(); ++i) {
+    const BundleCheck& c = report.checks[i];
+    if (i != 0) out += ", ";
+    out += "{\"section\": ";
+    AppendJsonString(c.section, &out);
+    out += ", \"code\": ";
+    AppendJsonString(StatusCodeJsonName(c.status.code()), &out);
+    out += ", \"message\": ";
+    AppendJsonString(c.status.message(), &out);
+    out += "}";
+  }
+  out += "]}";
   return out;
 }
 

@@ -130,18 +130,38 @@ Result<BundleManifest> InspectBundle(const std::string& path);
 
 /// One verdict from VerifyBundleFile: `section` names what was checked
 /// ("header", a section FourCC for its CRC, "decode" for the semantic
-/// deserialization, "plan" for the static plan verifier).
+/// deserialization, "plan" for the static plan verifier, "ranges" for the
+/// value-range prover, "values" for graph value invariants).
 struct BundleCheck {
   std::string section;
   Status status;
 };
 
-/// Runs every check a load would (mixq_inspect --verify): header + section
-/// table parse, per-section CRC, full semantic decode, and — for model
-/// bundles — the static plan verifier (engine/plan_verifier.h). Returns the
-/// verdicts in check order, stopping at the first failure; a fully valid
-/// bundle yields all-OK entries.
+/// Runs every check a load would (mixq_inspect --verify, mixq_lint): header
+/// + section table parse, per-section CRC, full semantic decode, then — for
+/// model bundles — the static plan verifier (engine/plan_verifier.h) and
+/// the value-range prover (engine/plan_analysis.h); for graph bundles, the
+/// value invariants (finite adjacency + features). Returns the verdicts in
+/// check order, stopping at the first failure; a fully valid bundle yields
+/// all-OK entries.
 std::vector<BundleCheck> VerifyBundleFile(const std::string& path);
+
+/// The machine-readable check report shared by `mixq_lint --json` and
+/// `mixq_inspect --verify --json`, so CI and external tooling parse ONE
+/// format. `subject` is the checked artifact ("model.mqb", or a synthetic
+/// name like "model.mqb + graph.mqb" for pairing checks).
+struct CheckReport {
+  std::string subject;
+  std::vector<BundleCheck> checks;
+};
+
+/// Renders one report as a JSON object:
+///   {"subject": "...", "clean": true,
+///    "checks": [{"section": "...", "code": "ok", "message": ""}, ...]}
+/// Status codes use snake_case names ("ok", "invalid_argument", ...);
+/// strings are JSON-escaped. Stable under `minor` format additions — new
+/// check sections only append array entries.
+std::string FormatCheckReportJson(const CheckReport& report);
 
 }  // namespace engine
 }  // namespace mixq

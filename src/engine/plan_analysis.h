@@ -1,0 +1,143 @@
+// Copyright 2026 MixQ-GNN Authors
+// Value-range analysis of lowered serving programs.
+//
+// The structural verifier (engine/plan_verifier.h) proves a plan's dataflow,
+// shapes, and quantizer chaining; this pass proves its *values*: an abstract
+// interpretation that propagates integer/float intervals through both step
+// lists and turns "accumulation is exact" (DESIGN.md §2) from a convention
+// into a per-plan theorem. Per integer step it establishes that
+//
+//   (a) no int32 accumulator can overflow — the GEMM bound is the interval
+//       of Σ aᵢbᵢ with aᵢ ranging over the source grid and bᵢ the *actual*
+//       frozen weight codes (max column |·|-sum), far tighter than the
+//       coarse k·127² depth cut;
+//   (b) the vpmaddwd int16 pairwise intermediate (a₀b₀ + a₁b₁) and the VNNI
+//       kernel's unsigned-shifted partial sums Σ (aᵢ+128)·bᵢ stay in range —
+//       the VNNI verdict is a per-step certificate consumed by kernel
+//       dispatch in place of the global Int8VnniDepthOk predicate;
+//   (c) requant epilogues are consistent with the target grid: clamp bounds
+//       match the grid exactly, codes stay within int8 storage, and every
+//       folded constant (total, s1/s2, bias/scale) is finite, so the double
+//       epilogue arithmetic can never emit codes off the grid.
+//
+// SpMM accumulation depends on the graph, which arrives later: the plan
+// carries a SYMBOLIC certificate — `max_spmm_nnz`, the largest per-row
+// stored-entry count any registered graph may have — derived from the
+// per-step source/adjacency code bounds. Graph-dependent bounds (max row
+// nnz, adjacency value range) are computed once at RegisterGraph and checked
+// against the certificate at pairing time (batcher precision resolution,
+// PredictQuantized), falling back to fp32 with a typed, step-indexed
+// diagnostic instead of overflowing silently.
+//
+// Trust boundaries mirror the structural verifier: CompileModel analyzes
+// after lowering (rejecting under MIXQ_VERIFY=1/debug), LoadBundle analyzes
+// UNCONDITIONALLY (bundle bytes are attacker-chosen), and tools/mixq_lint
+// drives the same pass over bundle files for CI.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/status.h"
+
+namespace mixq {
+
+class SparseOperator;
+
+namespace engine {
+
+class ExecutionPlan;
+
+/// Proven accumulator bounds of one integer GEMM step. `step` indexes
+/// plan.int_steps(). All peaks are magnitudes of exact integer quantities.
+struct GemmRangeCert {
+  size_t step = 0;
+  /// Bound on every signed int32 partial sum: src_code_max · max column
+  /// |w|-sum. Proven <= INT32_MAX (the analysis rejects otherwise).
+  int64_t acc_peak = 0;
+  /// Bound on the vpmaddwd pairwise intermediate |a₀b₀ + a₁b₁|. Proven to
+  /// fit int16 — with <= 8-bit grids the worst case is 2·127² = 32258.
+  int64_t pair_peak = 0;
+  /// Bound on the VNNI kernel's unsigned-shifted partial sums
+  /// Σᵢ (aᵢ+128)·|bᵢ| <= (src_code_max + 128) · max column |w|-sum.
+  int64_t vnni_peak = 0;
+  /// vnni_peak <= INT32_MAX: the per-step certificate the vpdpbusd dispatch
+  /// consumes (an unsafe step is served by the vpmaddwd/scalar kernels whose
+  /// bound is acc_peak — not a plan rejection).
+  bool vnni_safe = false;
+};
+
+/// Symbolic (graph-independent) accumulator bounds of one integer SpMM step.
+struct SpmmRangeCert {
+  size_t step = 0;
+  int64_t src_code_max = 0;  ///< |source codes| bound from the walked interval
+  int64_t adj_code_max = 0;  ///< |adjacency codes| bound from the grid
+  float adj_scale = 1.0f;    ///< adjacency grid scale (for value-range refinement)
+  /// Largest per-row stored-entry count for which every int32 partial sum
+  /// Σ adjᵢ·srcᵢ provably fits: floor(INT32_MAX / (adj_code_max ·
+  /// src_code_max)); INT64_MAX when either bound is 0.
+  int64_t max_nnz = 0;
+};
+
+/// The range prover's output: per-step certificates plus the plan-level
+/// symbolic graph bound. A plan with no int8 lowering (or no int8 SpMM)
+/// yields max_spmm_nnz == INT64_MAX — any graph pairs with it.
+struct PlanRangeCertificate {
+  int64_t max_spmm_nnz = INT64_MAX;  ///< min over spmms[].max_nnz
+  std::vector<GemmRangeCert> gemms;
+  std::vector<SpmmRangeCert> spmms;
+};
+
+/// Runs the abstract-interpretation pass over `plan`. Returns the
+/// certificate when every per-step proof obligation holds; otherwise a
+/// typed, step-indexed kInvalidArgument ("int8 step 2 (GemmRequant): int32
+/// accumulator can overflow: ..."). Assumes the plan already passed the
+/// structural verifier (callers run VerifyPlan first); the analysis is
+/// defensive about indices regardless.
+Result<PlanRangeCertificate> AnalyzePlanRanges(const ExecutionPlan& plan);
+
+/// The graph-side facts the symbolic certificate is checked against,
+/// computed once per registered graph (O(nnz) scan).
+struct GraphRangeBounds {
+  int64_t max_row_nnz = 0;    ///< deepest row's stored-entry count
+  float value_abs_max = 0.0f; ///< max |aᵢⱼ| over stored adjacency entries
+  bool values_finite = true;  ///< no NaN/Inf stored entries
+};
+
+GraphRangeBounds ComputeGraphRangeBounds(const SparseOperator& op);
+
+/// Checks one concrete graph against a plan's symbolic certificate: OK when
+/// bounds.max_row_nnz <= cert.max_spmm_nnz, else retries each violated SpMM
+/// step with the adjacency code bound REFINED by the graph's actual value
+/// range (values far below the grid's clip point quantize to small codes,
+/// buying depth). kInvalidArgument naming the first step whose int32
+/// accumulator the graph could overflow; also rejects non-finite adjacency
+/// values (they would quantize through UB).
+Status CheckGraphAgainstCertificate(const PlanRangeCertificate& cert,
+                                    const GraphRangeBounds& bounds);
+
+// ---- shared per-step arithmetic --------------------------------------------
+// One implementation serves the prover, FinalizeDerived's per-step VNNI
+// flags, and the boundary tests, so dispatch can never disagree with the
+// certificate.
+
+/// max_j Σᵢ |w[i·n + j]| over a row-major [k, n] code matrix: the exact
+/// per-output-column magnitude budget of an integer GEMM.
+int64_t MaxColumnAbsSum(const int8_t* w, int64_t k, int64_t n);
+
+/// True when every VNNI partial sum Σᵢ (aᵢ+128)·|bᵢ| <= (src_code_max+128) ·
+/// col_abs_sum fits int32. Implied by Int8VnniDepthOk(k) (which assumes
+/// full-scale 255·127 products); never weaker than it.
+inline bool VnniAccumulationSafe(int64_t src_code_max, int64_t col_abs_sum) {
+  return (src_code_max + 128) * col_abs_sum <=
+         static_cast<int64_t>(INT32_MAX);
+}
+
+/// Magnitude bound of the vpmaddwd pairwise intermediate for codes bounded
+/// by a_max/w_max: |a₀b₀ + a₁b₁| <= 2·a_max·w_max.
+inline int64_t PairIntermediatePeak(int64_t a_max, int64_t w_max) {
+  return 2 * a_max * w_max;
+}
+
+}  // namespace engine
+}  // namespace mixq

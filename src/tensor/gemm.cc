@@ -2,6 +2,7 @@
 #include "tensor/gemm.h"
 
 #include <algorithm>
+#include <cassert>
 #include <cstring>
 
 #if defined(__AVX2__)
@@ -748,6 +749,9 @@ void GemmInt8PackedB(const int8_t* a, const int16_t* packed_b, int32_t* c,
 
 void GemmInt8QuadB(const int8_t* a, const int8_t* quad_b, const int32_t* corr,
                    int32_t* c, int64_t m, int64_t k, int64_t n) {
+  // Standalone kernel entry (benches, arbitrary codes): no per-step
+  // certificate is available here, so the coarse full-scale depth predicate
+  // gates the unsigned-shift path.
 #if MIXQ_COMPILED_VNNI
   if (ActiveKernelIsa() == KernelIsa::kVnni && Int8VnniDepthOk(k)) {
     GemmInt8QuadBVnni(a, quad_b, corr, c, m, k, n);
@@ -762,9 +766,12 @@ void GemmInt8Requant(const int8_t* a, const Int8PackedWeights& w, int64_t m,
                      int64_t k, int64_t n, int64_t n_out,
                      const RequantEpilogue& ep, int8_t* dst) {
   const KernelIsa isa = ActiveKernelIsa();
+  // The prover's per-step certificate must never be less conservative than
+  // the coarse full-scale predicate it replaced.
+  assert(!(w.quad != nullptr && Int8VnniDepthOk(k)) || w.vnni_ok);
 #if MIXQ_COMPILED_VNNI
   if (isa == KernelIsa::kVnni && w.quad != nullptr && w.corr != nullptr &&
-      Int8VnniDepthOk(k)) {
+      w.vnni_ok) {
     GemmInt8RequantVnni(a, w.quad, w.corr, m, k, n, n_out, ep, dst);
     return;
   }

@@ -66,9 +66,14 @@ inline int64_t PackedQuadSize(int64_t k, int64_t n) { return ((k + 3) / 4) * 4 *
 void PackInt8QuadB(const int8_t* b, int64_t k, int64_t n, int8_t* packed,
                    int32_t* corr);
 
-/// True when the VNNI kernel's int32 accumulators cannot overflow: k
+/// Coarse depth predicate for the VNNI kernel's int32 accumulators: k
 /// products of (a + 128) in [1, 255] by |b| <= 127 must fit below 2^31.
 /// Tighter than Int8-pair depth (the +128 shift doubles the magnitude).
+/// The serving path no longer dispatches on this: the range prover
+/// (engine/plan_analysis.h) certifies each GEMM step from the actual frozen
+/// weight codes (Int8PackedWeights::vnni_ok), which is never weaker than
+/// this full-scale assumption — the predicate remains for standalone kernel
+/// callers (benches, GemmInt8QuadB) and as a debug cross-check at dispatch.
 inline bool Int8VnniDepthOk(int64_t k) {
   return k < ((int64_t{1} << 31) - 1) / (255 * 127);
 }
@@ -82,10 +87,16 @@ void GemmInt8QuadB(const int8_t* a, const int8_t* quad_b, const int32_t* corr,
 
 /// Packed int8 weight views of one linear, produced at lowering. `quad` and
 /// `corr` may be null (VNNI packing unavailable); `pair` is always set.
+/// `vnni_ok` is the per-step certificate from the range prover
+/// (engine/plan_analysis.h): every VNNI partial sum Σ (aᵢ+128)·bᵢ of this
+/// step provably fits int32 given the step's source code bound and the
+/// frozen weight codes. False (the default) routes dispatch to the
+/// vpmaddwd/scalar kernels.
 struct Int8PackedWeights {
   const int16_t* pair = nullptr;
   const int8_t* quad = nullptr;
   const int32_t* corr = nullptr;
+  bool vnni_ok = false;
 };
 
 /// Fused GEMM + requantization: computes A[m,k] * B over the padded width
@@ -95,7 +106,8 @@ struct Int8PackedWeights {
 /// scratch round-trip and the padding strip pass). Codes are bitwise
 /// identical to GemmInt8PackedB + a separate requant pass: accumulators are
 /// exact integers and the epilogue applies the same double-precision
-/// arithmetic per element. Dispatches VNNI > vpmaddwd > scalar.
+/// arithmetic per element. Dispatches VNNI > vpmaddwd > scalar; the VNNI
+/// tier additionally requires w.vnni_ok (the per-step overflow certificate).
 void GemmInt8Requant(const int8_t* a, const Int8PackedWeights& w, int64_t m,
                      int64_t k, int64_t n, int64_t n_out,
                      const RequantEpilogue& ep, int8_t* dst);

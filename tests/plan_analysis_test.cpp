@@ -1,0 +1,811 @@
+// Copyright 2026 MixQ-GNN Authors
+// Tests for the value-range prover (engine/plan_analysis.h).
+//
+// The structural verifier's crafted-bundle suite proves bad *programs* are
+// rejected; this suite proves bad *values* are: plans whose dataflow, shapes
+// and quantizer chains are all structurally valid but whose frozen constants
+// put an integer accumulator within reach of overflow. The boundary tests
+// sit exactly on the int32 edge (K·127² just under / just over INT32_MAX),
+// the pairing tests drive the symbolic SpMM certificate against hand-built
+// graph bounds (including the value-range refinement), and an all-schemes
+// sweep proves every real lowering in the registry analyzes clean on both
+// backbones — with the prover's per-step VNNI verdicts agreeing with the
+// flags kernel dispatch consumes.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstring>
+#include <limits>
+#include <string>
+#include <vector>
+
+#include "common/binary_io.h"
+#include "core/experiment.h"
+#include "engine/execution_plan.h"
+#include "engine/model_bundle.h"
+#include "engine/plan_analysis.h"
+#include "sparse/csr.h"
+#include "sparse/spmm.h"
+#include "tensor/gemm.h"
+
+namespace mixq {
+namespace {
+
+using engine::AnalyzePlanRanges;
+using engine::BundleCheck;
+using engine::BundleKind;
+using engine::BundleManifest;
+using engine::BundleSection;
+using engine::CheckGraphAgainstCertificate;
+using engine::CheckReport;
+using engine::CompiledModelPtr;
+using engine::CompileModel;
+using engine::ComputeGraphRangeBounds;
+using engine::ExecutionPlan;
+using engine::FormatCheckReportJson;
+using engine::GraphRangeBounds;
+using engine::InspectBundle;
+using engine::LoadBundle;
+using engine::MaxColumnAbsSum;
+using engine::PairIntermediatePeak;
+using engine::PlanRangeCertificate;
+using engine::SaveBundle;
+using engine::SaveGraph;
+using engine::SpmmRangeCert;
+using engine::VerifyBundleFile;
+using engine::VnniAccumulationSafe;
+
+// K·127² for K = 133144 is 2,147,479,576 <= INT32_MAX = 2,147,483,647;
+// K = 133145 lands at 2,147,495,705, the first depth past the edge.
+constexpr int64_t kSafeDepth = 133144;
+constexpr int64_t kUnsafeDepth = 133145;
+
+// ---- shared per-step arithmetic --------------------------------------------
+
+TEST(PlanAnalysisTest, MaxColumnAbsSumScansColumns) {
+  // Row-major [2, 3]: columns sum |1|+|-4|, |-2|+|5|, |3|+|-6|.
+  const int8_t w[] = {1, -2, 3, -4, 5, -6};
+  EXPECT_EQ(MaxColumnAbsSum(w, 2, 3), 9);
+  EXPECT_EQ(MaxColumnAbsSum(w, 2, 1), 3);  // stride 1: |1| + |-2|
+  EXPECT_EQ(MaxColumnAbsSum(w, 0, 3), 0);  // empty matrix
+}
+
+TEST(PlanAnalysisTest, PairIntermediatePeakBoundaries) {
+  // Full-scale 8-bit codes keep the vpmaddwd intermediate inside int16...
+  EXPECT_EQ(PairIntermediatePeak(127, 127), 32258);
+  EXPECT_LE(PairIntermediatePeak(127, 127),
+            static_cast<int64_t>(std::numeric_limits<int16_t>::max()));
+  // ...and 9-bit-scale codes would not — the contract the prover enforces.
+  EXPECT_EQ(PairIntermediatePeak(181, 181), 65522);
+  EXPECT_GT(PairIntermediatePeak(181, 181),
+            static_cast<int64_t>(std::numeric_limits<int16_t>::max()));
+}
+
+TEST(PlanAnalysisTest, VnniAccumulationSafeBoundary) {
+  // (127 + 128) · col_sum <= INT32_MAX  <=>  col_sum <= 8421504.
+  EXPECT_TRUE(VnniAccumulationSafe(127, 8421504));
+  EXPECT_FALSE(VnniAccumulationSafe(127, 8421505));
+}
+
+TEST(PlanAnalysisTest, VnniCertificateNeverWeakerThanCoarsePredicate) {
+  // Int8VnniDepthOk assumes full-scale codes; wherever it says yes, the
+  // certificate with full-scale col_sum = k·127 must agree — this is the
+  // invariant behind the debug assert in GemmInt8Requant's dispatch.
+  for (int64_t k : {2, 64, 1024, 66076, 66077, 133144}) {
+    if (Int8VnniDepthOk(k)) {
+      EXPECT_TRUE(VnniAccumulationSafe(127, k * 127)) << "k=" << k;
+    }
+  }
+}
+
+// ---- hand-crafted bundle writer --------------------------------------------
+// Mirrors the wire format of engine/model_bundle.cc (DESIGN.md §5) so tests
+// can express value-level pathologies the real lowering would never emit.
+
+QuantParams Sym8(float scale) {
+  QuantParams p;
+  p.scale = scale;
+  p.zero_point = 0;
+  p.bits = 8;
+  p.symmetric = true;
+  return p;
+}
+
+struct SpecComponent {
+  bool identity = true;
+  QuantParams params;
+};
+
+struct SpecLinear {
+  int64_t in = 0, out = 0, out_padded = 0;
+  QuantParams weight_params;
+  std::vector<float> weight_fq;
+  std::vector<float> bias;
+  std::vector<int8_t> weight_q8;
+  std::vector<int16_t> weight_packed;
+};
+
+struct SpecStep {
+  uint8_t op = 0;  ///< ExecutionPlan::Op numeric value
+  int32_t src = 0, src2 = 0, dst = 0;
+  int32_t linear = -1, adj = -1;
+  int64_t cols = 0;
+  SpecComponent quant;
+};
+
+struct SpecIntStep {
+  uint8_t op = 0;  ///< ExecutionPlan::IntOp numeric value
+  int32_t src = 0, src2 = 0, dst = 0;
+  int32_t linear = -1, adj = -1;
+  int64_t cols = 0;
+  QuantParams src_params, src2_params, out_params;
+  std::vector<double> bias_over;
+};
+
+struct PlanSpec {
+  int64_t in_features = 4, out_dim = 3;
+  int32_t num_buffers = 2, final_buffer = 0;
+  std::vector<SpecLinear> linears;
+  std::vector<SpecComponent> adj_quants;
+  std::vector<SpecStep> steps;
+  bool has_int8 = false;
+  int32_t int_final_buffer = 0;
+  QuantParams int_final_params;
+  std::vector<SpecIntStep> int_steps;
+};
+
+void PutParams(ByteWriter* w, const QuantParams& p) {
+  w->PutF32(p.scale);
+  w->PutI32(p.zero_point);
+  w->PutI32(p.bits);
+  w->PutU8(p.symmetric ? 1 : 0);
+}
+
+void PutComponent(ByteWriter* w, const SpecComponent& c) {
+  w->PutU8(c.identity ? 1 : 0);
+  PutParams(w, c.params);
+}
+
+void EncodePlan(const PlanSpec& s, ByteWriter* w) {
+  w->PutI64(s.in_features);
+  w->PutI64(s.out_dim);
+  w->PutI32(s.num_buffers);
+  w->PutI32(s.final_buffer);
+  w->PutI64(static_cast<int64_t>(s.linears.size()));
+  for (const SpecLinear& lin : s.linears) {
+    w->PutI64(lin.in);
+    w->PutI64(lin.out);
+    w->PutI64(lin.out_padded);
+    PutParams(w, lin.weight_params);
+    w->PutPodVector(lin.weight_fq);
+    w->PutPodVector(lin.bias);
+    w->PutPodVector(lin.weight_q8);
+    w->PutPodVector(lin.weight_packed);
+  }
+  w->PutI64(static_cast<int64_t>(s.adj_quants.size()));
+  for (const SpecComponent& c : s.adj_quants) PutComponent(w, c);
+  w->PutI64(static_cast<int64_t>(s.steps.size()));
+  for (const SpecStep& st : s.steps) {
+    w->PutU8(st.op);
+    w->PutI32(st.src);
+    w->PutI32(st.src2);
+    w->PutI32(st.dst);
+    w->PutI32(st.linear);
+    w->PutI32(st.adj);
+    w->PutI64(st.cols);
+    PutComponent(w, st.quant);
+  }
+}
+
+void EncodeInt8(const PlanSpec& s, ByteWriter* w) {
+  w->PutI32(s.int_final_buffer);
+  PutParams(w, s.int_final_params);
+  w->PutI64(static_cast<int64_t>(s.int_steps.size()));
+  for (const SpecIntStep& st : s.int_steps) {
+    w->PutU8(st.op);
+    w->PutI32(st.src);
+    w->PutI32(st.src2);
+    w->PutI32(st.dst);
+    w->PutI32(st.linear);
+    w->PutI32(st.adj);
+    w->PutI64(st.cols);
+    PutParams(w, st.src_params);
+    PutParams(w, st.src2_params);
+    PutParams(w, st.out_params);
+    w->PutPodVector(st.bias_over);
+  }
+}
+
+void AppendSection(ByteWriter* file, const char* tag, const ByteWriter& payload) {
+  file->PutBytes(tag, 4);
+  file->PutU64(payload.size());
+  file->PutU32(Crc32(payload.buffer().data(), payload.size()));
+  file->PutBytes(payload.buffer().data(), payload.size());
+}
+
+std::vector<uint8_t> EncodeBundle(const PlanSpec& s) {
+  ByteWriter file;
+  file.PutBytes("MIXQBNDL", 8);
+  file.PutU16(engine::kBundleFormatMajor);
+  file.PutU16(engine::kBundleFormatMinor);
+  file.PutU32(static_cast<uint32_t>(BundleKind::kModel));
+
+  ByteWriter info;
+  info.PutU8(0);  // gcn
+  info.PutString("crafted");
+  info.PutF64(8.0);             // avg_bits
+  info.PutI64(0);               // param_count
+  info.PutI64(s.in_features);
+  info.PutI64(s.out_dim);
+  info.PutU8(s.has_int8 ? 1 : 0);
+  info.PutU32(0);  // bit assignment entries
+  AppendSection(&file, "INFO", info);
+
+  ByteWriter plan;
+  EncodePlan(s, &plan);
+  AppendSection(&file, "PLAN", plan);
+
+  if (s.has_int8) {
+    ByteWriter int8;
+    EncodeInt8(s, &int8);
+    AppendSection(&file, "IPLN", int8);
+  }
+  return file.buffer();
+}
+
+/// Unique path under the test temp dir; removed on destruction.
+class TempFile {
+ public:
+  explicit TempFile(const std::string& name)
+      : path_(testing::TempDir() + "mixq_analysis_" + name) {}
+  ~TempFile() { std::remove(path_.c_str()); }
+  const std::string& path() const { return path_; }
+
+ private:
+  std::string path_;
+};
+
+Result<CompiledModelPtr> LoadModelSpec(const PlanSpec& s,
+                                       const std::string& name) {
+  TempFile file(name);
+  EXPECT_TRUE(WriteFileAtomic(file.path(), EncodeBundle(s)).ok());
+  return LoadBundle(file.path());
+}
+
+Status LoadSpec(const PlanSpec& s, const std::string& name) {
+  return LoadModelSpec(s, name).status();
+}
+
+void ExpectRejected(const PlanSpec& s, const std::string& name,
+                    const std::string& message_substr) {
+  Status status = LoadSpec(s, name);
+  ASSERT_FALSE(status.ok()) << name << ": crafted-bad bundle loaded";
+  EXPECT_EQ(status.code(), StatusCode::kInvalidArgument) << status.ToString();
+  EXPECT_NE(status.message().find(message_substr), std::string::npos)
+      << name << ": expected '" << message_substr << "' in: "
+      << status.ToString();
+}
+
+/// One GCN-shaped layer with a consistent integer program — the same
+/// baseline the structural-verifier suite crafts: quantize(input)->b0,
+/// matmul(b0)->b1, spmm(b1)->b0 plus quantize_input / gemm_requant /
+/// spmm_requant over the same tables.
+PlanSpec BaselineInt8() {
+  PlanSpec s;
+  s.in_features = 4;
+  s.out_dim = 3;
+  s.num_buffers = 2;
+  s.final_buffer = 0;
+
+  SpecLinear lin;
+  lin.in = 4;
+  lin.out = 3;
+  lin.out_padded = 3;
+  lin.weight_params = Sym8(0.1f);
+  lin.weight_fq.assign(static_cast<size_t>(lin.in * lin.out_padded), 0.25f);
+  lin.weight_q8.assign(static_cast<size_t>(lin.in * lin.out_padded), 3);
+  lin.weight_packed.resize(
+      static_cast<size_t>(PackedPairSize(lin.in, lin.out_padded)));
+  PackInt8PairB(lin.weight_q8.data(), lin.in, lin.out_padded,
+                lin.weight_packed.data());
+  s.linears.push_back(lin);
+
+  s.adj_quants.push_back({false, Sym8(0.02f)});
+
+  SpecStep quantize;
+  quantize.op = 0;  // kQuantize
+  quantize.src = ExecutionPlan::kInput;
+  quantize.dst = 0;
+  quantize.cols = 4;
+  quantize.quant = {false, Sym8(0.05f)};
+  s.steps.push_back(quantize);
+
+  SpecStep matmul;
+  matmul.op = 1;  // kMatMul
+  matmul.src = 0;
+  matmul.dst = 1;
+  matmul.linear = 0;
+  matmul.cols = 3;
+  s.steps.push_back(matmul);
+
+  SpecStep spmm;
+  spmm.op = 2;  // kSpmm
+  spmm.src = 1;
+  spmm.dst = 0;
+  spmm.adj = 0;
+  spmm.cols = 3;
+  s.steps.push_back(spmm);
+
+  s.has_int8 = true;
+  const QuantParams p_in = Sym8(0.05f);
+  const QuantParams p_gemm = Sym8(0.08f);
+  const QuantParams p_spmm = Sym8(0.09f);
+
+  SpecIntStep iquant;
+  iquant.op = 0;  // kQuantizeInput
+  iquant.src = ExecutionPlan::kInput;
+  iquant.dst = 0;
+  iquant.cols = 4;
+  iquant.out_params = p_in;
+  s.int_steps.push_back(iquant);
+
+  SpecIntStep igemm;
+  igemm.op = 1;  // kGemmRequant
+  igemm.src = 0;
+  igemm.dst = 1;
+  igemm.linear = 0;
+  igemm.cols = 3;
+  igemm.src_params = p_in;
+  igemm.out_params = p_gemm;
+  s.int_steps.push_back(igemm);
+
+  SpecIntStep ispmm;
+  ispmm.op = 2;  // kSpmmRequant
+  ispmm.src = 1;
+  ispmm.dst = 0;
+  ispmm.adj = 0;
+  ispmm.cols = 3;
+  ispmm.src_params = p_gemm;
+  ispmm.out_params = p_spmm;
+  s.int_steps.push_back(ispmm);
+
+  s.int_final_buffer = 0;
+  s.int_final_params = p_spmm;
+  return s;
+}
+
+/// A structurally pristine deep GEMM: quantize(input, K cols)->b0,
+/// matmul(b0)->b1, with every weight code at full scale (+127) so the int32
+/// accumulator peak is exactly K·127². No SpMM — the accumulator edge is
+/// all this plan exists to sit on.
+PlanSpec DeepGemmSpec(int64_t depth) {
+  PlanSpec s;
+  s.in_features = depth;
+  s.out_dim = 3;
+  s.num_buffers = 2;
+  s.final_buffer = 1;
+
+  SpecLinear lin;
+  lin.in = depth;
+  lin.out = 3;
+  lin.out_padded = 3;
+  lin.weight_params = Sym8(0.1f);
+  lin.weight_fq.assign(static_cast<size_t>(lin.in * lin.out_padded), 12.7f);
+  lin.weight_q8.assign(static_cast<size_t>(lin.in * lin.out_padded), 127);
+  lin.weight_packed.resize(
+      static_cast<size_t>(PackedPairSize(lin.in, lin.out_padded)));
+  PackInt8PairB(lin.weight_q8.data(), lin.in, lin.out_padded,
+                lin.weight_packed.data());
+  s.linears.push_back(lin);
+
+  SpecStep quantize;
+  quantize.op = 0;  // kQuantize
+  quantize.src = ExecutionPlan::kInput;
+  quantize.dst = 0;
+  quantize.cols = depth;
+  quantize.quant = {false, Sym8(0.05f)};
+  s.steps.push_back(quantize);
+
+  SpecStep matmul;
+  matmul.op = 1;  // kMatMul
+  matmul.src = 0;
+  matmul.dst = 1;
+  matmul.linear = 0;
+  matmul.cols = 3;
+  s.steps.push_back(matmul);
+
+  s.has_int8 = true;
+  const QuantParams p_in = Sym8(0.05f);
+  const QuantParams p_gemm = Sym8(0.08f);
+
+  SpecIntStep iquant;
+  iquant.op = 0;  // kQuantizeInput
+  iquant.src = ExecutionPlan::kInput;
+  iquant.dst = 0;
+  iquant.cols = depth;
+  iquant.out_params = p_in;
+  s.int_steps.push_back(iquant);
+
+  SpecIntStep igemm;
+  igemm.op = 1;  // kGemmRequant
+  igemm.src = 0;
+  igemm.dst = 1;
+  igemm.linear = 0;
+  igemm.cols = 3;
+  igemm.src_params = p_in;
+  igemm.out_params = p_gemm;
+  s.int_steps.push_back(igemm);
+
+  s.int_final_buffer = 1;
+  s.int_final_params = p_gemm;
+  return s;
+}
+
+// ---- crafted bundles: the int32 accumulator edge ---------------------------
+
+TEST(PlanAnalysisTest, CraftedBaselineLoadsWithCertificate) {
+  Result<CompiledModelPtr> model = LoadModelSpec(BaselineInt8(), "base.mqb");
+  ASSERT_TRUE(model.ok()) << model.status().ToString();
+  const PlanRangeCertificate* cert =
+      model.ValueOrDie()->range_certificate();
+  ASSERT_NE(cert, nullptr);
+  ASSERT_EQ(cert->gemms.size(), 1u);
+  ASSERT_EQ(cert->spmms.size(), 1u);
+
+  // GEMM: codes |a| <= 127 on the input grid, |w|-column sum = 4·3 = 12.
+  EXPECT_EQ(cert->gemms[0].step, 1u);
+  EXPECT_EQ(cert->gemms[0].acc_peak, 127 * 12);
+  EXPECT_EQ(cert->gemms[0].pair_peak, 32258);  // grid-level: 2·127·127
+  EXPECT_TRUE(cert->gemms[0].vnni_safe);
+
+  // SpMM: full-scale 8-bit codes on both sides bound the depth budget at
+  // floor(INT32_MAX / 127²) = 133144 stored entries per row.
+  EXPECT_EQ(cert->spmms[0].step, 2u);
+  EXPECT_EQ(cert->spmms[0].src_code_max, 127);
+  EXPECT_EQ(cert->spmms[0].adj_code_max, 127);
+  EXPECT_FLOAT_EQ(cert->spmms[0].adj_scale, 0.02f);
+  EXPECT_EQ(cert->max_spmm_nnz, kSafeDepth);
+}
+
+TEST(PlanAnalysisTest, AcceptsGemmExactlyAtInt32Edge) {
+  Result<CompiledModelPtr> model =
+      LoadModelSpec(DeepGemmSpec(kSafeDepth), "edge_under.mqb");
+  ASSERT_TRUE(model.ok()) << model.status().ToString();
+  const PlanRangeCertificate* cert =
+      model.ValueOrDie()->range_certificate();
+  ASSERT_NE(cert, nullptr);
+  ASSERT_EQ(cert->gemms.size(), 1u);
+  EXPECT_EQ(cert->gemms[0].acc_peak, kSafeDepth * 127 * 127);
+  EXPECT_LE(cert->gemms[0].acc_peak,
+            static_cast<int64_t>(std::numeric_limits<int32_t>::max()));
+  // This depth cannot run the unsigned-shift VNNI kernel; the certificate
+  // must say so (dispatch falls to the vpmaddwd/scalar tiers).
+  EXPECT_FALSE(cert->gemms[0].vnni_safe);
+  // No int8 SpMM: any graph pairs with this plan.
+  EXPECT_EQ(cert->max_spmm_nnz, std::numeric_limits<int64_t>::max());
+}
+
+TEST(PlanAnalysisTest, RejectsGemmJustOverInt32Edge) {
+  Status status = LoadSpec(DeepGemmSpec(kUnsafeDepth), "edge_over.mqb");
+  ASSERT_FALSE(status.ok()) << "overflowable plan loaded";
+  EXPECT_EQ(status.code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(status.message().find("int32 accumulator can overflow"),
+            std::string::npos)
+      << status.ToString();
+  // The diagnostic is step-indexed with the structural verifier's grammar.
+  EXPECT_NE(status.message().find("int8 step 1 (GemmRequant)"),
+            std::string::npos)
+      << status.ToString();
+}
+
+TEST(PlanAnalysisTest, PairwiseEdgeCertificateAtMinimumDepth) {
+  // K = 2 is the smallest depth the pairwise kernel folds: one vpmaddwd
+  // intermediate per column, at full scale |a0·b0 + a1·b1| = 2·127² = 32258.
+  PlanSpec s = DeepGemmSpec(2);
+  s.linears[0].weight_q8 = {127, -127, 127, -127, 127, -127};
+  PackInt8PairB(s.linears[0].weight_q8.data(), 2, 3,
+                s.linears[0].weight_packed.data());
+  Result<CompiledModelPtr> model = LoadModelSpec(s, "pair_edge.mqb");
+  ASSERT_TRUE(model.ok()) << model.status().ToString();
+  const PlanRangeCertificate* cert =
+      model.ValueOrDie()->range_certificate();
+  ASSERT_NE(cert, nullptr);
+  ASSERT_EQ(cert->gemms.size(), 1u);
+  EXPECT_EQ(cert->gemms[0].acc_peak, 127 * 254);
+  EXPECT_EQ(cert->gemms[0].pair_peak, 32258);
+  EXPECT_EQ(cert->gemms[0].vnni_peak, (127 + 128) * 254);
+  EXPECT_TRUE(cert->gemms[0].vnni_safe);
+}
+
+// ---- crafted bundles: non-finite frozen constants --------------------------
+
+TEST(PlanAnalysisTest, RejectsNonFiniteWeightTable) {
+  PlanSpec s = BaselineInt8();
+  s.linears[0].weight_fq[2] = std::numeric_limits<float>::quiet_NaN();
+  ExpectRejected(s, "nan_weight.mqb", "weight [0, 2] is not finite");
+}
+
+TEST(PlanAnalysisTest, RejectsInfiniteWeightTable) {
+  PlanSpec s = BaselineInt8();
+  s.linears[0].weight_fq[7] = std::numeric_limits<float>::infinity();
+  ExpectRejected(s, "inf_weight.mqb", "is not finite");
+}
+
+// ---- graph pairing: the symbolic certificate meets a concrete graph --------
+
+PlanRangeCertificate FullScaleSpmmCert() {
+  PlanRangeCertificate cert;
+  SpmmRangeCert sc;
+  sc.step = 2;
+  sc.src_code_max = 127;
+  sc.adj_code_max = 127;
+  sc.adj_scale = 0.02f;
+  sc.max_nnz = kSafeDepth;  // INT32_MAX / 127²
+  cert.spmms.push_back(sc);
+  cert.max_spmm_nnz = sc.max_nnz;
+  return cert;
+}
+
+TEST(PlanAnalysisTest, PairingAcceptsGraphWithinBudget) {
+  GraphRangeBounds bounds;
+  bounds.max_row_nnz = kSafeDepth;  // exactly at the proven edge
+  bounds.value_abs_max = 2.54f;     // full-scale adjacency values
+  Status status = CheckGraphAgainstCertificate(FullScaleSpmmCert(), bounds);
+  EXPECT_TRUE(status.ok()) << status.ToString();
+}
+
+TEST(PlanAnalysisTest, PairingRejectsGraphBeyondBudgetStepIndexed) {
+  GraphRangeBounds bounds;
+  bounds.max_row_nnz = 200000;
+  bounds.value_abs_max = 2.54f;  // values really reach the grid's clip point
+  Status status = CheckGraphAgainstCertificate(FullScaleSpmmCert(), bounds);
+  ASSERT_FALSE(status.ok());
+  EXPECT_EQ(status.code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(status.message().find("int8 step 2 (SpmmRequant)"),
+            std::string::npos)
+      << status.ToString();
+  EXPECT_NE(status.message().find("serve fp32"), std::string::npos)
+      << status.ToString();
+}
+
+TEST(PlanAnalysisTest, PairingValueRangeRefinementStretchesBudget) {
+  // Same 200k-deep graph, but its adjacency values top out at 0.2 on a
+  // 0.02-scale grid: codes provably stay <= 10, so the per-row budget is
+  // floor(INT32_MAX / (10·127)) ≈ 1.69M entries and the pairing holds.
+  GraphRangeBounds bounds;
+  bounds.max_row_nnz = 200000;
+  bounds.value_abs_max = 0.2f;
+  Status status = CheckGraphAgainstCertificate(FullScaleSpmmCert(), bounds);
+  EXPECT_TRUE(status.ok()) << status.ToString();
+}
+
+TEST(PlanAnalysisTest, PairingRejectsNonFiniteAdjacency) {
+  GraphRangeBounds bounds;
+  bounds.max_row_nnz = 1;
+  bounds.value_abs_max = 1.0f;
+  bounds.values_finite = false;
+  Status status = CheckGraphAgainstCertificate(FullScaleSpmmCert(), bounds);
+  ASSERT_FALSE(status.ok());
+  EXPECT_NE(status.message().find("non-finite"), std::string::npos)
+      << status.ToString();
+}
+
+TEST(PlanAnalysisTest, EmptyCertificatePairsWithAnyGraph) {
+  // Fp32-only / SpMM-free plans carry the vacuous bound: no graph can
+  // violate it.
+  GraphRangeBounds bounds;
+  bounds.max_row_nnz = int64_t{1} << 40;
+  bounds.value_abs_max = 1e30f;
+  Status status = CheckGraphAgainstCertificate(PlanRangeCertificate(), bounds);
+  EXPECT_TRUE(status.ok()) << status.ToString();
+}
+
+TEST(PlanAnalysisTest, ComputeGraphRangeBoundsScansCsr) {
+  Result<CsrMatrix> m = CsrMatrix::FromParts(
+      3, 3, {0, 2, 3, 3}, {0, 2, 1}, {1.0f, -5.5f, 2.0f});
+  ASSERT_TRUE(m.ok()) << m.status().ToString();
+  GraphRangeBounds bounds = ComputeGraphRangeBounds(
+      *MakeOperator(m.MoveValueOrDie()));
+  EXPECT_EQ(bounds.max_row_nnz, 2);
+  EXPECT_FLOAT_EQ(bounds.value_abs_max, 5.5f);
+  EXPECT_TRUE(bounds.values_finite);
+
+  Result<CsrMatrix> bad = CsrMatrix::FromParts(
+      2, 2, {0, 1, 2}, {0, 1},
+      {1.0f, std::numeric_limits<float>::quiet_NaN()});
+  ASSERT_TRUE(bad.ok()) << bad.status().ToString();
+  EXPECT_FALSE(
+      ComputeGraphRangeBounds(*MakeOperator(bad.MoveValueOrDie())).values_finite);
+}
+
+// ---- real models: every registry lowering proves clean ---------------------
+
+NodeDataset AnalysisDataset(uint64_t seed = 7) {
+  CitationConfig c;
+  c.name = "analysis-tiny";
+  c.num_nodes = 120;
+  c.num_classes = 3;
+  c.feature_dim = 16;
+  c.avg_degree = 3.0;
+  c.homophily = 0.8;
+  c.train_per_class = 8;
+  c.val_count = 20;
+  c.test_count = 40;
+  c.seed = seed;
+  return GenerateCitation(c);
+}
+
+std::shared_ptr<ModelArtifact> TrainArtifact(const SchemeRef& scheme,
+                                             NodeModelKind model) {
+  NodeExperimentConfig cfg;
+  cfg.model = model;
+  cfg.hidden = 10;
+  cfg.num_layers = 2;
+  cfg.train.epochs = 6;
+  cfg.train.lr = 0.05f;
+  ExperimentSpec spec =
+      ExperimentSpec::NodeClassification(AnalysisDataset(), cfg, scheme);
+  spec.seed = 7;
+  spec.keep_artifact = true;
+  Result<Experiment> experiment = Experiment::Create(std::move(spec));
+  EXPECT_TRUE(experiment.ok()) << experiment.status().ToString();
+  Result<ExperimentReport> report = experiment.ValueOrDie().Run();
+  EXPECT_TRUE(report.ok()) << report.status().ToString();
+  return report.ValueOrDie().artifact;
+}
+
+TEST(PlanAnalysisTest, EveryRegistrySchemeProvesCleanOnBothBackbones) {
+  struct Case {
+    const char* label;
+    SchemeRef ref;
+  };
+  const std::vector<Case> cases = {
+      {"fp32", SchemeRef::Fp32()},
+      {"qat8", SchemeRef::Qat(8)},
+      {"qat4", SchemeRef::Qat(4)},
+      {"dq8", SchemeRef::Dq(8)},
+      {"a2q", SchemeRef::A2q()},
+      {"mixq", SchemeRef::MixQ(0.1)},
+      {"mixq-dq", SchemeRef::MixQDq(0.1)},
+      {"fixed", SchemeRef::Fixed({{"gcn0/weight", 4}})},
+      {"random", SchemeRef::Random()},
+      {"random-int8", SchemeRef::RandomInt8()},
+  };
+  for (NodeModelKind backbone : {NodeModelKind::kGcn, NodeModelKind::kSage}) {
+    for (const Case& c : cases) {
+      SCOPED_TRACE(std::string(c.label) + "/" +
+                   (backbone == NodeModelKind::kGcn ? "gcn" : "sage"));
+      auto artifact = TrainArtifact(c.ref, backbone);
+      Result<CompiledModelPtr> model = CompileModel(*artifact);
+      // Schemes that only serve via pipeline replay (a2q) do not lower to
+      // a plan; there is nothing for the prover to accept or reject.
+      if (!model.ok() || model.ValueOrDie()->plan() == nullptr) continue;
+      const CompiledModelPtr& m = model.ValueOrDie();
+
+      Result<PlanRangeCertificate> cert = AnalyzePlanRanges(*m->plan());
+      ASSERT_TRUE(cert.ok()) << cert.status().ToString();
+      ASSERT_NE(m->range_certificate(), nullptr);
+
+      // The prover's per-step VNNI verdicts must be the flags dispatch
+      // consumes: FinalizeDerived computes them with the same arithmetic.
+      const auto& int_steps = m->plan()->int_steps();
+      for (const auto& gc : cert.ValueOrDie().gemms) {
+        ASSERT_LT(gc.step, int_steps.size());
+        EXPECT_EQ(int_steps[gc.step].vnni_safe, gc.vnni_safe)
+            << "int8 step " << gc.step;
+      }
+    }
+  }
+}
+
+// ---- VerifyBundleFile: the lint check chain --------------------------------
+
+TEST(PlanAnalysisTest, LintChainEndsWithRangesForModelsAndValuesForGraphs) {
+  auto artifact = TrainArtifact(SchemeRef::Qat(8), NodeModelKind::kGcn);
+  Result<CompiledModelPtr> model = CompileModel(*artifact);
+  ASSERT_TRUE(model.ok()) << model.status().ToString();
+
+  TempFile model_file("chain_model.mqb");
+  ASSERT_TRUE(SaveBundle(*model.ValueOrDie(), model_file.path()).ok());
+  std::vector<BundleCheck> checks = VerifyBundleFile(model_file.path());
+  ASSERT_FALSE(checks.empty());
+  for (const BundleCheck& c : checks) {
+    EXPECT_TRUE(c.status.ok()) << c.section << ": " << c.status.ToString();
+  }
+  EXPECT_EQ(checks.back().section, "ranges");
+
+  TempFile graph_file("chain_graph.mqb");
+  ASSERT_TRUE(
+      SaveGraph(artifact->features, artifact->op, graph_file.path()).ok());
+  checks = VerifyBundleFile(graph_file.path());
+  ASSERT_FALSE(checks.empty());
+  for (const BundleCheck& c : checks) {
+    EXPECT_TRUE(c.status.ok()) << c.section << ": " << c.status.ToString();
+  }
+  EXPECT_EQ(checks.back().section, "values");
+}
+
+TEST(PlanAnalysisTest, FormatCheckReportJsonEscapesAndFlagsClean) {
+  CheckReport report;
+  report.subject = "dir/\"quoted\"\n.mqb";
+  report.checks.push_back({"header", Status::OK()});
+  report.checks.push_back(
+      {"plan", Status::InvalidArgument("bad\tstep")});
+  const std::string json = FormatCheckReportJson(report);
+  EXPECT_NE(json.find("\"subject\": \"dir/\\\"quoted\\\"\\n.mqb\""),
+            std::string::npos)
+      << json;
+  EXPECT_NE(json.find("\"clean\": false"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"code\": \"invalid_argument\""), std::string::npos)
+      << json;
+  EXPECT_NE(json.find("bad\\tstep"), std::string::npos) << json;
+
+  report.checks.pop_back();
+  EXPECT_NE(FormatCheckReportJson(report).find("\"clean\": true"),
+            std::string::npos);
+}
+
+// ---- fuzz regression: lint verdict == load verdict -------------------------
+
+/// Recomputes and rewrites the stored checksum of `section` so a payload
+/// mutation survives the CRC gate.
+void RepairCrc(std::vector<uint8_t>* bytes, const BundleSection& section) {
+  const uint32_t crc =
+      Crc32(bytes->data() + section.offset, static_cast<size_t>(section.size));
+  for (int i = 0; i < 4; ++i) {
+    (*bytes)[static_cast<size_t>(section.offset) - 4 + static_cast<size_t>(i)] =
+        static_cast<uint8_t>(crc >> (8 * i));
+  }
+}
+
+TEST(PlanAnalysisTest, LintVerdictMatchesLoadOnCrcRepairedMutations) {
+  auto artifact = TrainArtifact(SchemeRef::Qat(8), NodeModelKind::kGcn);
+  Result<CompiledModelPtr> model = CompileModel(*artifact);
+  ASSERT_TRUE(model.ok()) << model.status().ToString();
+  TempFile file("lint_fuzz.mqb");
+  ASSERT_TRUE(SaveBundle(*model.ValueOrDie(), file.path()).ok());
+
+  std::vector<uint8_t> pristine;
+  ASSERT_TRUE(ReadFileBytes(file.path(), &pristine).ok());
+  BundleManifest manifest = InspectBundle(file.path()).MoveValueOrDie();
+
+  int clean_count = 0, dirty_count = 0;
+  for (const BundleSection& section : manifest.sections) {
+    if (section.tag != "PLAN" && section.tag != "IPLN") continue;
+    for (int trial = 0; trial < 96; ++trial) {
+      std::vector<uint8_t> mutated = pristine;
+      const size_t pos = static_cast<size_t>(section.offset) +
+                         (static_cast<size_t>(trial) * 2654435761u) %
+                             static_cast<size_t>(section.size);
+      mutated[pos] ^= static_cast<uint8_t>(1u << (trial % 8));
+      RepairCrc(&mutated, section);
+
+      TempFile mutated_file("lint_fuzz_mut.mqb");
+      ASSERT_TRUE(WriteFileAtomic(mutated_file.path(), mutated).ok());
+
+      std::vector<BundleCheck> checks = VerifyBundleFile(mutated_file.path());
+      ASSERT_FALSE(checks.empty());
+      // The chain stops at the first failure: everything before the last
+      // verdict must be OK, whatever the mutation did.
+      for (size_t i = 0; i + 1 < checks.size(); ++i) {
+        EXPECT_TRUE(checks[i].status.ok())
+            << section.tag << " trial " << trial << ": " << checks[i].section;
+      }
+      const bool clean = checks.back().status.ok();
+      (clean ? clean_count : dirty_count) += 1;
+
+      // mixq_lint's verdict and the serving loader must agree byte-for-byte:
+      // a bundle that lints clean loads, a bundle that doesn't is rejected.
+      Status load = LoadBundle(mutated_file.path()).status();
+      EXPECT_EQ(clean, load.ok())
+          << section.tag << " trial " << trial << ": lint "
+          << checks.back().status.ToString() << " vs load " << load.ToString();
+    }
+  }
+  // The sweep must exercise both outcomes, else it is vacuous.
+  EXPECT_GT(dirty_count, 0) << "no mutation was ever caught";
+  EXPECT_GT(clean_count, 0) << "no mutation ever linted clean";
+}
+
+}  // namespace
+}  // namespace mixq

@@ -545,9 +545,12 @@ TEST(PlanVerifierTest, RealLoweringsVerifyCleanOnBothBackbones) {
         EXPECT_TRUE(check.status.ok())
             << check.section << ": " << check.status.ToString();
       }
-      // The "plan" verdict (the verifier itself) must be present.
+      // The full verdict chain must be present: the structural verifier
+      // ("plan") followed by the value-range prover ("ranges").
       std::vector<BundleCheck> checks = VerifyBundleFile(file.path());
-      EXPECT_EQ(checks.back().section, "plan");
+      ASSERT_GE(checks.size(), 2u);
+      EXPECT_EQ(checks[checks.size() - 2].section, "plan");
+      EXPECT_EQ(checks.back().section, "ranges");
     }
   }
 }

@@ -6,10 +6,13 @@
 //
 // With --verify, additionally runs every check a load would — header parse,
 // per-section CRC, full semantic decode, and (model bundles) the static
-// plan verifier — printing a per-section verdict line and exiting non-zero
-// on the first violation.
+// plan verifier plus the value-range prover — printing a per-section verdict
+// line and exiting non-zero on the first violation. --json (requires
+// --verify) emits the same verdicts as a JSON array of check reports, one
+// object per path — the identical format mixq_lint --json produces, so CI
+// and external tooling parse one grammar.
 //
-//   mixq_inspect [--verify] bundle.mqb [more.mqb ...]
+//   mixq_inspect [--verify [--json]] bundle.mqb [more.mqb ...]
 #include <cstdio>
 #include <cstring>
 #include <string>
@@ -80,23 +83,47 @@ int Verify(const std::string& path) {
   return rc;
 }
 
+/// --verify --json: one CheckReport object per path (shared grammar with
+/// mixq_lint --json).
+int VerifyJson(const std::vector<std::string>& paths) {
+  int rc = 0;
+  std::printf("[");
+  for (size_t i = 0; i < paths.size(); ++i) {
+    CheckReport report;
+    report.subject = paths[i];
+    report.checks = VerifyBundleFile(paths[i]);
+    for (const BundleCheck& c : report.checks) {
+      if (!c.status.ok()) rc = 1;
+    }
+    std::printf("%s%s", i == 0 ? "" : ",\n ",
+                FormatCheckReportJson(report).c_str());
+  }
+  std::printf("]\n");
+  return rc;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   bool verify = false;
+  bool json = false;
   std::vector<std::string> paths;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--verify") == 0) {
       verify = true;
+    } else if (std::strcmp(argv[i], "--json") == 0) {
+      json = true;
     } else {
       paths.emplace_back(argv[i]);
     }
   }
-  if (paths.empty()) {
-    std::fprintf(stderr, "usage: %s [--verify] bundle.mqb [more.mqb ...]\n",
+  if (paths.empty() || (json && !verify)) {
+    std::fprintf(stderr,
+                 "usage: %s [--verify [--json]] bundle.mqb [more.mqb ...]\n",
                  argv[0]);
     return 2;
   }
+  if (json) return VerifyJson(paths);
   int rc = 0;
   for (size_t i = 0; i < paths.size(); ++i) {
     rc |= verify ? Verify(paths[i]) : Inspect(paths[i]);
