@@ -13,10 +13,16 @@
 // the JSON's "pruned" section. Pruned rows are spot-checked bitwise against
 // the full forward before timing.
 //
+// An "overload" section floods an fp32-only model with kAuto requests at a
+// rate the drains cannot serve and records the degradation ladder's typed
+// outcome mix (served / shed / rejected / expired) plus the served tail —
+// the JSON's "overload" section.
+//
 //   MIXQ_SERVE_THREADS  client threads for the QPS sections (default 8)
 //   MIXQ_FULL=1         full-size graph (2708 nodes) instead of quick (1000)
 //   MIXQ_PRUNED_NODES   node count of the pruned-serving scenario graph
 //                       (default 100000; CI smoke uses a tiny value)
+#include <algorithm>
 #include <atomic>
 #include <chrono>
 #include <cstdio>
@@ -281,6 +287,120 @@ int main() {
   const double pruned_b64_ratio = pruned_b64_qps / full_b64_qps;
   const engine::InferenceEngine::Stats pruned_stats = pruned_serving.GetStats();
 
+  // ---- overload: the degradation ladder under sustained pressure ----------
+  // An fp32-only model (kAuto has no int8 rung to degrade to, so past the
+  // shed threshold a drained kAuto batch fails fast with kUnavailable)
+  // behind a small admission queue, flooded faster than drains can serve
+  // for ~1 s with ~250 ms deadlines. Every outcome is typed — served, shed
+  // (kUnavailable), rejected at admission (kResourceExhausted), expired
+  // (kDeadlineExceeded) — and served requests keep a bounded tail, which is
+  // the point of shedding: fail the unpayable work fast instead of letting
+  // it rot everyone's latency.
+  ExperimentSpec overload_spec =
+      ExperimentSpec::NodeClassification(dataset, cfg, SchemeRef::Fp32());
+  overload_spec.keep_artifact = true;
+  Result<Experiment> overload_exp = Experiment::Create(std::move(overload_spec));
+  MIXQ_CHECK(overload_exp.ok()) << overload_exp.status().ToString();
+  Result<ExperimentReport> overload_report = overload_exp.ValueOrDie().Run();
+  MIXQ_CHECK(overload_report.ok()) << overload_report.status().ToString();
+  std::shared_ptr<ModelArtifact> fp_artifact = overload_report.ValueOrDie().artifact;
+  Result<engine::CompiledModelPtr> fp_compiled = engine::CompileModel(*fp_artifact);
+  MIXQ_CHECK(fp_compiled.ok()) << fp_compiled.status().ToString();
+  engine::CompiledModelPtr fp_model = fp_compiled.ValueOrDie();
+  MIXQ_CHECK(!fp_model->info().lowered_int8) << "overload model must be fp32-only";
+
+  engine::BatcherOptions overload_opts;
+  overload_opts.queue_capacity = 128;
+  overload_opts.enable_cache = false;   // every served request pays real work
+  overload_opts.enable_pruning = false; // so kAuto's only rung left is shed
+  overload_opts.degrade_batch_threshold = 16;
+  overload_opts.shed_batch_threshold = 32;
+  engine::InferenceEngine overload_engine(overload_opts);
+  MIXQ_CHECK(overload_engine.RegisterModel("fp32", fp_model).ok());
+  MIXQ_CHECK(
+      overload_engine.RegisterGraph("quick", fp_artifact->features, fp_artifact->op)
+          .ok());
+  const int64_t fp_n = fp_artifact->features.rows();
+
+  struct OverloadTally {
+    int64_t submitted = 0;
+    int64_t served = 0;
+    int64_t shed = 0;
+    int64_t rejected = 0;
+    int64_t expired = 0;
+    int64_t other = 0;
+    std::vector<double> served_us;
+  };
+  const double overload_secs = 1.0;
+  std::atomic<int64_t> overload_next{0};
+  std::vector<OverloadTally> tallies(static_cast<size_t>(threads));
+  std::vector<std::thread> producers;
+  const Clock::time_point overload_t0 = Clock::now();
+  for (int t = 0; t < threads; ++t) {
+    producers.emplace_back([&, t] {
+      OverloadTally& tally = tallies[static_cast<size_t>(t)];
+      std::vector<std::future<Result<engine::PredictResponse>>> futures;
+      const Clock::time_point start = Clock::now();
+      while (SecondsSince(start) < overload_secs) {
+        engine::PredictRequest request;
+        request.model = "fp32";
+        request.graph = "quick";
+        request.node_ids = {
+            overload_next.fetch_add(1, std::memory_order_relaxed) % fp_n};
+        request.precision = engine::Precision::kAuto;
+        request.deadline =
+            engine::ServingClock::now() + std::chrono::milliseconds(250);
+        futures.push_back(overload_engine.Submit(std::move(request)));
+        ++tally.submitted;
+        // Paced, not an unthrottled spin: ~20k submits/s per producer still
+        // far outruns full-forward drains, so the queue stays saturated.
+        std::this_thread::sleep_for(std::chrono::microseconds(50));
+      }
+      for (auto& future : futures) {
+        Result<engine::PredictResponse> response = future.get();
+        if (response.ok()) {
+          ++tally.served;
+          tally.served_us.push_back(response.ValueOrDie().total_us);
+          continue;
+        }
+        switch (response.status().code()) {
+          case StatusCode::kUnavailable: ++tally.shed; break;
+          case StatusCode::kResourceExhausted: ++tally.rejected; break;
+          case StatusCode::kDeadlineExceeded: ++tally.expired; break;
+          default: ++tally.other; break;
+        }
+      }
+    });
+  }
+  for (auto& p : producers) p.join();
+  const double overload_elapsed = SecondsSince(overload_t0);
+
+  OverloadTally overload;
+  for (const OverloadTally& tally : tallies) {
+    overload.submitted += tally.submitted;
+    overload.served += tally.served;
+    overload.shed += tally.shed;
+    overload.rejected += tally.rejected;
+    overload.expired += tally.expired;
+    overload.other += tally.other;
+    overload.served_us.insert(overload.served_us.end(), tally.served_us.begin(),
+                              tally.served_us.end());
+  }
+  MIXQ_CHECK(overload.served + overload.shed + overload.rejected +
+                 overload.expired + overload.other ==
+             overload.submitted)
+      << "overload futures lost";  // the every-future-resolves invariant
+  auto percentile = [](std::vector<double>* v, double p) {
+    if (v->empty()) return 0.0;
+    std::sort(v->begin(), v->end());
+    return (*v)[static_cast<size_t>(p * static_cast<double>(v->size() - 1))];
+  };
+  const double overload_p50_us = percentile(&overload.served_us, 0.50);
+  const double overload_p99_us = percentile(&overload.served_us, 0.99);
+  const double overload_served_qps =
+      static_cast<double>(overload.served) / overload_elapsed;
+  const engine::InferenceEngine::Stats overload_stats = overload_engine.GetStats();
+
   TablePrinter table({"Path", "Latency (us)", "Speedup", "QPS x" +
                                                              std::to_string(threads)});
   table.AddRow({"reference (pipeline replay)", FormatFloat(ref_us, 1), "1.00",
@@ -317,6 +437,24 @@ int main() {
   std::printf("  routing: %lld pruned forwards, %lld full forwards\n",
               static_cast<long long>(pruned_stats.batcher.pruned_forwards),
               static_cast<long long>(pruned_stats.batcher.full_forwards));
+
+  std::printf("\noverload (fp32-only kAuto flood, queue %lld, %.1f s, "
+              "250 ms deadlines):\n",
+              static_cast<long long>(overload_opts.queue_capacity),
+              overload_elapsed);
+  std::printf("  submitted %lld: served %lld (%.0f qps), shed %lld, "
+              "rejected %lld, expired %lld, other %lld\n",
+              static_cast<long long>(overload.submitted),
+              static_cast<long long>(overload.served), overload_served_qps,
+              static_cast<long long>(overload.shed),
+              static_cast<long long>(overload.rejected),
+              static_cast<long long>(overload.expired),
+              static_cast<long long>(overload.other));
+  std::printf("  served latency p50 %.0f us, p99 %.0f us; %lld forwards, "
+              "engine shed counter %lld\n",
+              overload_p50_us, overload_p99_us,
+              static_cast<long long>(overload_stats.batcher.forwards),
+              static_cast<long long>(overload_stats.batcher.shed));
 
   // ---- JSON for the perf trajectory ---------------------------------------
   const char* json_path = std::getenv("MIXQ_BENCH_JSON");
@@ -372,6 +510,25 @@ int main() {
        << "    \"pruned_forwards\": " << pruned_stats.batcher.pruned_forwards
        << ",\n"
        << "    \"full_forwards\": " << pruned_stats.batcher.full_forwards << "\n"
+       << "  },\n"
+       << "  \"overload\": {\n"
+       << "    \"threads\": " << threads << ",\n"
+       << "    \"duration_s\": " << overload_elapsed << ",\n"
+       << "    \"queue_capacity\": " << overload_opts.queue_capacity << ",\n"
+       << "    \"degrade_batch_threshold\": "
+       << overload_opts.degrade_batch_threshold << ",\n"
+       << "    \"shed_batch_threshold\": " << overload_opts.shed_batch_threshold
+       << ",\n"
+       << "    \"submitted\": " << overload.submitted << ",\n"
+       << "    \"served\": " << overload.served << ",\n"
+       << "    \"shed\": " << overload.shed << ",\n"
+       << "    \"rejected\": " << overload.rejected << ",\n"
+       << "    \"expired\": " << overload.expired << ",\n"
+       << "    \"served_qps\": " << overload_served_qps << ",\n"
+       << "    \"served_p50_us\": " << overload_p50_us << ",\n"
+       << "    \"served_p99_us\": " << overload_p99_us << ",\n"
+       << "    \"forwards\": " << overload_stats.batcher.forwards << ",\n"
+       << "    \"engine_shed\": " << overload_stats.batcher.shed << "\n"
        << "  }\n"
        << "}\n";
   std::printf("\nwrote %s\n", json_path != nullptr ? json_path : "BENCH_serving.json");

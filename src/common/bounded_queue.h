@@ -54,6 +54,27 @@ class BoundedQueue {
     return out;
   }
 
+  /// Removes and returns every queued item matching `pred`, preserving the
+  /// relative order of survivors. Lets a watchdog expire queued requests
+  /// (e.g. past-deadline waiters behind a stalled consumer) without racing
+  /// the consumer's drain: both run under the queue mutex, so an item is
+  /// handed to exactly one of them.
+  template <typename Pred>
+  std::vector<T> RemoveIf(Pred pred) {
+    std::vector<T> removed;
+    std::lock_guard<std::mutex> lock(mu_);
+    std::deque<T> kept;
+    for (T& item : items_) {
+      if (pred(item)) {
+        removed.push_back(std::move(item));
+      } else {
+        kept.push_back(std::move(item));
+      }
+    }
+    items_.swap(kept);
+    return removed;
+  }
+
   /// Rejects future pushes and wakes blocked consumers. Items already queued
   /// are still handed out by WaitDrain.
   void Close() {

@@ -1,0 +1,181 @@
+// Copyright 2026 MixQ-GNN Authors
+#include "common/fault_injection.h"
+
+#include <cstdlib>
+#include <map>
+#include <mutex>
+#include <thread>
+
+namespace mixq {
+namespace fault {
+namespace {
+
+// FNV-1a over the site name: folds the site identity into the decision seed
+// so distinct sites see independent fault streams under one global seed.
+std::uint64_t HashSite(const char* site) {
+  std::uint64_t h = 1469598103934665603ull;
+  for (const char* p = site; *p != '\0'; ++p) {
+    h ^= static_cast<unsigned char>(*p);
+    h *= 1099511628211ull;
+  }
+  return h;
+}
+
+// SplitMix64 finalizer: a full-avalanche mix so consecutive hit indices at
+// one site decorrelate. Maps the mixed value to [0, 1).
+double MixToUnit(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ull;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+  x = x ^ (x >> 31);
+  // 53 high bits -> double in [0,1).
+  return static_cast<double>(x >> 11) * 0x1.0p-53;
+}
+
+}  // namespace
+
+std::atomic<bool> FaultInjector::armed_{false};
+
+struct FaultInjector::Impl {
+  mutable std::mutex mu;
+  std::uint64_t seed = 0;
+  double global_rate = 0.0;
+  std::chrono::milliseconds delay{25};
+  std::map<std::string, SiteSchedule> site_schedules;
+  struct SiteState {
+    std::int64_t hits = 0;
+    std::int64_t fires = 0;
+  };
+  std::map<std::string, SiteState> sites;
+};
+
+FaultInjector::Impl& FaultInjector::impl() {
+  static Impl* impl = new Impl();  // leaked: outlives all static dtors
+  return *impl;
+}
+
+FaultInjector& FaultInjector::Global() {
+  static FaultInjector* injector = new FaultInjector();
+  return *injector;
+}
+
+void FaultInjector::Arm(std::uint64_t seed, double rate) {
+  Impl& im = impl();
+  {
+    std::lock_guard<std::mutex> lock(im.mu);
+    im.seed = seed;
+    im.global_rate = rate;
+    im.sites.clear();
+  }
+  armed_.store(true, std::memory_order_relaxed);
+}
+
+void FaultInjector::ArmSite(const std::string& site, SiteSchedule schedule) {
+  Impl& im = impl();
+  {
+    std::lock_guard<std::mutex> lock(im.mu);
+    im.site_schedules[site] = schedule;
+    im.sites.erase(site);
+  }
+  armed_.store(true, std::memory_order_relaxed);
+}
+
+void FaultInjector::Disarm() {
+  Impl& im = impl();
+  armed_.store(false, std::memory_order_relaxed);
+  std::lock_guard<std::mutex> lock(im.mu);
+  im.global_rate = 0.0;
+  im.site_schedules.clear();
+  im.sites.clear();
+}
+
+void FaultInjector::SetDelay(std::chrono::milliseconds delay) {
+  Impl& im = impl();
+  std::lock_guard<std::mutex> lock(im.mu);
+  im.delay = delay;
+}
+
+std::chrono::milliseconds FaultInjector::delay() const {
+  Impl& im = impl();
+  std::lock_guard<std::mutex> lock(im.mu);
+  return im.delay;
+}
+
+bool FaultInjector::Fire(const char* site) {
+  Impl& im = impl();
+  std::lock_guard<std::mutex> lock(im.mu);
+  auto sched_it = im.site_schedules.find(site);
+  const bool has_override = sched_it != im.site_schedules.end();
+  const SiteSchedule sched =
+      has_override ? sched_it->second
+                   : SiteSchedule{im.global_rate, -1, 0};
+  if (sched.rate <= 0.0) return false;
+
+  Impl::SiteState& state = im.sites[site];
+  const std::int64_t index = state.hits++;
+  if (index < sched.skip_first) return false;
+  if (sched.max_fires >= 0 && state.fires >= sched.max_fires) return false;
+
+  const double u = MixToUnit(im.seed ^ HashSite(site) ^
+                             static_cast<std::uint64_t>(index));
+  if (u >= sched.rate) return false;
+  ++state.fires;
+  return true;
+}
+
+std::int64_t FaultInjector::fires(const std::string& site) const {
+  Impl& im = impl();
+  std::lock_guard<std::mutex> lock(im.mu);
+  auto it = im.sites.find(site);
+  return it == im.sites.end() ? 0 : it->second.fires;
+}
+
+std::int64_t FaultInjector::total_fires() const {
+  Impl& im = impl();
+  std::lock_guard<std::mutex> lock(im.mu);
+  std::int64_t total = 0;
+  for (const auto& entry : im.sites) total += entry.second.fires;
+  return total;
+}
+
+void MaybeDelay(const char* site) {
+  if (!ShouldFail(site)) return;
+  std::this_thread::sleep_for(FaultInjector::Global().delay());
+}
+
+namespace {
+
+// Parse MIXQ_FAULTS=<seed>:<rate>[:<delay_ms>] at static-init time. mixq is
+// an OBJECT library, so this TU (and thus the registrar) is linked into
+// every binary — env-armed injection works without any code touching the
+// injector first.
+bool ArmFromEnv() {
+  const char* env = std::getenv("MIXQ_FAULTS");
+  if (env == nullptr || *env == '\0') return false;
+  std::uint64_t seed = 0;
+  double rate = 0.0;
+  long delay_ms = -1;
+  char* end = nullptr;
+  seed = std::strtoull(env, &end, 10);
+  if (end == env || *end != ':') return false;
+  const char* rate_str = end + 1;
+  rate = std::strtod(rate_str, &end);
+  if (end == rate_str) return false;
+  if (*end == ':') {
+    const char* delay_str = end + 1;
+    delay_ms = std::strtol(delay_str, &end, 10);
+    if (end == delay_str) return false;
+  }
+  if (rate < 0.0) rate = 0.0;
+  if (rate > 1.0) rate = 1.0;
+  FaultInjector& injector = FaultInjector::Global();
+  injector.Arm(seed, rate);
+  if (delay_ms >= 0) injector.SetDelay(std::chrono::milliseconds(delay_ms));
+  return true;
+}
+
+[[maybe_unused]] const bool fault_env_armed = ArmFromEnv();
+
+}  // namespace
+}  // namespace fault
+}  // namespace mixq

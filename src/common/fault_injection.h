@@ -1,0 +1,109 @@
+// Copyright 2026 MixQ-GNN Authors
+//
+// Deterministic, site-keyed fault injection for chaos testing the serving
+// stack. Every would-be failure point in the library names a *site* (a
+// string literal like "bundle.crc" or "plan.forward.throw") and asks the
+// global injector whether to fire. Decisions are a pure function of
+// (seed, site, per-site counter), so a given MIXQ_FAULTS=seed:rate schedule
+// replays the exact same fault sequence on every run — chaos tests are
+// reproducible, and a CI failure under seed 7 is debuggable locally with
+// seed 7.
+//
+// Cost when disabled: one relaxed atomic load per site (the inline Armed()
+// check below); no locks, no hashing, no allocation. The injector arms only
+// via the MIXQ_FAULTS environment variable or an explicit Arm()/ArmSite()
+// call from a test.
+//
+// Env format:   MIXQ_FAULTS=<seed>:<rate>[:<delay_ms>]
+//   seed      uint64 decision seed
+//   rate      global per-site-hit fire probability in [0,1]
+//   delay_ms  sleep length for delay sites (default 25)
+//
+// Programmatic schedules (tests): ArmSite("plan.forward.throw",
+// {.rate = 1.0, .max_fires = 1}) fires exactly once at one site and leaves
+// every other site clean.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+
+#include "common/status.h"
+
+namespace mixq {
+namespace fault {
+
+// Per-site firing schedule. rate is the probability that any given hit of
+// the site fires; max_fires (if >= 0) caps total fires at the site;
+// skip_first suppresses the first N hits entirely (lets a test arm a fault
+// that strikes the k-th forward, not the warm-up).
+struct SiteSchedule {
+  double rate = 0.0;
+  std::int64_t max_fires = -1;
+  std::int64_t skip_first = 0;
+};
+
+class FaultInjector {
+ public:
+  static FaultInjector& Global();
+
+  // True iff any schedule is active. Inline single relaxed load: this is
+  // the only cost injection adds to production builds with faults off.
+  static bool Armed() { return armed_.load(std::memory_order_relaxed); }
+
+  // Arm a global schedule: every site fires independently with `rate`.
+  void Arm(std::uint64_t seed, double rate);
+  // Arm (or override) one site. Arms the injector even if no global rate
+  // is set, so other sites stay clean.
+  void ArmSite(const std::string& site, SiteSchedule schedule);
+  // Clear all schedules and counters; Armed() becomes false.
+  void Disarm();
+  // Sleep length used by delay sites (MaybeDelay). Default 25ms.
+  void SetDelay(std::chrono::milliseconds delay);
+
+  // Decide whether the current hit of `site` fires. Deterministic in
+  // (seed, site, hit index). Only call when Armed().
+  bool Fire(const char* site);
+
+  std::chrono::milliseconds delay() const;
+  // Observability for tests: fires recorded at one site / across all sites.
+  std::int64_t fires(const std::string& site) const;
+  std::int64_t total_fires() const;
+
+ private:
+  FaultInjector() = default;
+  struct Impl;
+  static Impl& impl();
+
+  static std::atomic<bool> armed_;
+};
+
+// --- Hook helpers (the only API call sites use) ---------------------------
+
+// True iff the injector is armed and this hit of `site` fires.
+inline bool ShouldFail(const char* site) {
+  return FaultInjector::Armed() && FaultInjector::Global().Fire(site);
+}
+
+// Status-returning hook for Status/Result code paths.
+inline Status CheckPoint(const char* site) {
+  if (ShouldFail(site)) {
+    return Status::Internal(std::string("injected fault at '") + site + "'");
+  }
+  return Status::OK();
+}
+
+// Throwing hook for executor code paths (exercises containment).
+inline void MaybeThrow(const char* site) {
+  if (ShouldFail(site)) {
+    throw std::runtime_error(std::string("injected fault at '") + site + "'");
+  }
+}
+
+// Slow-kernel hook: sleeps for the configured delay when it fires.
+void MaybeDelay(const char* site);
+
+}  // namespace fault
+}  // namespace mixq

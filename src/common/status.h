@@ -20,6 +20,7 @@ enum class StatusCode {
   kNotFound,
   kResourceExhausted,  ///< admission control rejected (queue/capacity full)
   kDeadlineExceeded,   ///< request expired before it could be served
+  kUnavailable,        ///< circuit breaker open / load shed; retry later
 };
 
 /// Returns a short human-readable name for a StatusCode.
@@ -33,6 +34,7 @@ inline const char* StatusCodeName(StatusCode code) {
     case StatusCode::kNotFound: return "NotFound";
     case StatusCode::kResourceExhausted: return "ResourceExhausted";
     case StatusCode::kDeadlineExceeded: return "DeadlineExceeded";
+    case StatusCode::kUnavailable: return "Unavailable";
   }
   return "Unknown";
 }
@@ -66,6 +68,9 @@ class Status {
   }
   static Status DeadlineExceeded(std::string m) {
     return Status(StatusCode::kDeadlineExceeded, std::move(m));
+  }
+  static Status Unavailable(std::string m) {
+    return Status(StatusCode::kUnavailable, std::move(m));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

@@ -3,7 +3,10 @@
 
 #include <algorithm>
 #include <cstring>
+#include <exception>
 #include <utility>
+
+#include "common/fault_injection.h"
 
 namespace mixq {
 namespace engine {
@@ -143,10 +146,19 @@ Batcher::Batcher(Backend backend, BatcherOptions options)
     : backend_(std::move(backend)),
       options_(options),
       queue_(options.queue_capacity),
+      watchdog_(options.watchdog_poll.count() > 0
+                    ? std::thread([this] { WatchdogLoop(); })
+                    : std::thread()),
       dispatcher_([this] { DispatcherLoop(); }) {}
 
 Batcher::~Batcher() {
   queue_.Close();
+  {
+    std::lock_guard<std::mutex> lock(watchdog_mu_);
+    watchdog_stop_ = true;
+  }
+  watchdog_cv_.notify_all();
+  if (watchdog_.joinable()) watchdog_.join();
   if (dispatcher_.joinable()) dispatcher_.join();
 }
 
@@ -159,6 +171,14 @@ std::future<Result<PredictResponse>> Batcher::Submit(PredictRequest request) {
     backend_.count_failure();
     pending.promise.set_value(
         Status::DeadlineExceeded("request deadline passed before admission"));
+    return future;
+  }
+  // Chaos hook: an admission-path failure (e.g. the queue's allocator).
+  // Typed and fulfilled exactly like every other admission rejection.
+  if (fault::ShouldFail("batcher.admit")) {
+    backend_.count_failure();
+    pending.promise.set_value(
+        Status::Internal("injected fault at 'batcher.admit'"));
     return future;
   }
   pending.request = std::move(request);
@@ -186,6 +206,36 @@ void Batcher::DispatcherLoop() {
   }
 }
 
+void Batcher::WatchdogLoop() {
+  std::unique_lock<std::mutex> lock(watchdog_mu_);
+  for (;;) {
+    watchdog_cv_.wait_for(lock, options_.watchdog_poll,
+                          [this] { return watchdog_stop_; });
+    if (watchdog_stop_) return;
+    const int64_t start = forward_start_ticks_.load(std::memory_order_acquire);
+    if (start == 0) continue;  // dispatcher is not inside a forward
+    const ServingClock::time_point now = ServingClock::now();
+    const ServingClock::duration stalled =
+        now - ServingClock::time_point(ServingClock::duration(start));
+    if (stalled < options_.max_forward_stall) continue;
+    // The dispatcher has been wedged inside one forward past the stall
+    // budget: expire queued requests whose deadline already passed so their
+    // callers unblock now, not when (if) the forward returns. RemoveIf and
+    // the dispatcher's drain serialize on the queue mutex, so each request
+    // is fulfilled by exactly one of them.
+    std::vector<Pending> dead = queue_.RemoveIf(
+        [&](const Pending& pending) { return now > pending.request.deadline; });
+    for (Pending& pending : dead) {
+      expired_.fetch_add(1, std::memory_order_relaxed);
+      watchdog_expired_.fetch_add(1, std::memory_order_relaxed);
+      Fail(&pending,
+           Status::DeadlineExceeded("request expired while the dispatcher "
+                                    "stalled in a forward (watchdog)"),
+           nullptr);
+    }
+  }
+}
+
 void Batcher::Fail(Pending* pending, Status status,
                    const ModelCountersPtr& counters) {
   backend_.count_failure();
@@ -207,8 +257,22 @@ void Batcher::Dispatch(std::vector<Pending> batch) {
     ModelHandle handle;
     GraphContextPtr graph;
     Precision resolved = Precision::kFp32;
+    bool all_auto = true;  ///< every member asked kAuto (ladder-eligible)
     std::vector<Pending> members;
   };
+
+  // Overload rungs, decided once per drained batch: the drained size is the
+  // backlog one forward's latency accumulated, i.e. the live load signal.
+  // Thresholds are absolute request counts (not capacity fractions) so
+  // small-queue tests and deployments keep exact admission semantics.
+  const int64_t drained = static_cast<int64_t>(batch.size());
+  const bool degraded = options_.degrade_batch_threshold > 0 &&
+                        drained >= options_.degrade_batch_threshold;
+  const bool shedding = options_.shed_batch_threshold > 0 &&
+                        drained >= options_.shed_batch_threshold;
+  const double max_cost_fraction = degraded
+                                       ? options_.degraded_max_cost_fraction
+                                       : options_.pruned_max_cost_fraction;
   std::map<std::string, Group> groups;
   std::map<std::string, Result<ModelHandle>> model_lookups;
   std::map<std::string, Result<GraphContextPtr>> graph_lookups;
@@ -277,6 +341,8 @@ void Batcher::Dispatch(std::vector<Pending> batch) {
       group.graph = graph;
       group.resolved = resolved.ValueOrDie();
     }
+    group.all_auto =
+        group.all_auto && pending.request.precision == Precision::kAuto;
     group.members.push_back(std::move(pending));
   }
 
@@ -341,15 +407,67 @@ void Batcher::Dispatch(std::vector<Pending> batch) {
           program = group.handle.model->BuildFrontierProgram(
               group.graph->op, std::move(targets),
               group.resolved == Precision::kInt8,
-              group.graph->frontier_ws.get(), options_.pruned_max_cost_fraction);
+              group.graph->frontier_ws.get(), max_cost_fraction);
         }
       }
-      Result<Tensor> forward =
-          program != nullptr
-              ? group.handle.model->PredictPruned(group.graph->features,
-                                                  *program, &scratch_)
-              : ForwardFullGraph(*group.handle.model, *group.graph,
-                                 group.resolved, &scratch_);
+      // The shed rung: every cheaper mode was already tried for this group
+      // (cache missed, no pruned program, kAuto resolved to fp32 because
+      // there is no int8 lowering). Under shedding load the full fp32
+      // forward is the one cost that collapses everyone's latency, so kAuto
+      // groups give it up with a typed retry-later instead.
+      if (shedding && group.all_auto && program == nullptr &&
+          group.resolved == Precision::kFp32) {
+        shed_.fetch_add(static_cast<int64_t>(live.size()),
+                        std::memory_order_relaxed);
+        for (Pending& pending : live) {
+          Fail(&pending,
+               Status::Unavailable(
+                   "load shed: serving is overloaded and this kAuto request "
+                   "needs a full fp32 forward; retry later"),
+               group.handle.counters);
+        }
+        continue;
+      }
+      // Circuit breaker: consulted only when a real forward is about to run
+      // (cache hits and sheds never touch it), reported right after.
+      if (backend_.breaker_admit != nullptr) {
+        Status admit = backend_.breaker_admit(live.front().request.model,
+                                              live.front().request.graph);
+        if (!admit.ok()) {
+          for (Pending& pending : live) {
+            Fail(&pending, admit, group.handle.counters);
+          }
+          continue;
+        }
+      }
+      forward_start_ticks_.store(group_start.time_since_epoch().count(),
+                                 std::memory_order_release);
+      // Second containment boundary (the first wraps the executors inside
+      // CompiledModel): anything that still escapes a group forward fails
+      // this group's futures, never the dispatcher thread.
+      Result<Tensor> forward = [&]() -> Result<Tensor> {
+        try {
+          return program != nullptr
+                     ? group.handle.model->PredictPruned(group.graph->features,
+                                                         *program, &scratch_)
+                     : ForwardFullGraph(*group.handle.model, *group.graph,
+                                        group.resolved, &scratch_);
+        } catch (const std::exception& e) {
+          return Status::Internal(std::string("group forward threw: ") +
+                                  e.what());
+        } catch (...) {
+          return Status::Internal(
+              "group forward threw a non-standard exception");
+        }
+      }();
+      forward_start_ticks_.store(0, std::memory_order_release);
+      if (backend_.breaker_report != nullptr) {
+        backend_.breaker_report(live.front().request.model,
+                                live.front().request.graph, forward.ok());
+      }
+      if (!forward.ok() && forward.status().code() == StatusCode::kInternal) {
+        contained_faults_.fetch_add(1, std::memory_order_relaxed);
+      }
       forward_us = MicrosBetween(group_start, ServingClock::now());
       forwards_.fetch_add(1, std::memory_order_relaxed);
       (program != nullptr ? pruned_forwards_ : full_forwards_)
@@ -429,6 +547,9 @@ Batcher::Stats Batcher::GetStats() const {
   stats.pruned_forwards = pruned_forwards_.load(std::memory_order_relaxed);
   stats.full_forwards = full_forwards_.load(std::memory_order_relaxed);
   stats.cache_hits = cache_hits_.load(std::memory_order_relaxed);
+  stats.shed = shed_.load(std::memory_order_relaxed);
+  stats.contained_faults = contained_faults_.load(std::memory_order_relaxed);
+  stats.watchdog_expired = watchdog_expired_.load(std::memory_order_relaxed);
   stats.queue_depth = static_cast<int64_t>(queue_.size());
   stats.in_dispatch = in_dispatch_.load(std::memory_order_relaxed);
   return stats;

@@ -36,11 +36,13 @@
 
 #include <atomic>
 #include <chrono>
+#include <condition_variable>
 #include <cstdint>
 #include <functional>
 #include <future>
 #include <map>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <thread>
 #include <vector>
@@ -185,6 +187,42 @@ struct BatcherOptions {
   /// Row order RegisterGraph pins graphs in (see GraphReorder). Consumed by
   /// the engine's graph registry, not the batcher itself.
   GraphReorder graph_reorder = GraphReorder::kAuto;
+
+  // --- Overload degradation ladder -----------------------------------------
+  // kAuto already serves the cheapest correct mode when healthy: cache hit,
+  // else pruned, else int8, else full fp32. These two ABSOLUTE drained-batch
+  // thresholds add the overload rungs. At `degrade_batch_threshold` the
+  // pruned router's cost gate relaxes to `degraded_max_cost_fraction`, so
+  // more groups take the partial forward; at `shed_batch_threshold` kAuto
+  // groups that would still need a full fp32 forward (no cache entry, no
+  // pruned program, no int8 lowering) are shed with kUnavailable instead of
+  // collapsing latency for everyone behind them. Explicitly-requested
+  // precisions are never degraded or shed — the ladder only bends kAuto,
+  // which asked the engine to choose.
+  /// Drained-batch size at which the pruned cost gate relaxes. 0 disables.
+  int64_t degrade_batch_threshold = 256;
+  /// Relaxed pruned_max_cost_fraction while degraded (see above).
+  double degraded_max_cost_fraction = 0.5;
+  /// Drained-batch size at which unpayable kAuto fp32 groups shed. 0 disables.
+  int64_t shed_batch_threshold = 1024;
+
+  // --- Per-(model, graph) circuit breaker (InferenceEngine) ----------------
+  // Lives here so one options struct configures the whole serving stack; the
+  // batcher itself only sees the Backend breaker callbacks.
+  /// Consecutive forward failures that trip the breaker open; 0 disables.
+  int breaker_failure_threshold = 3;
+  /// How long a tripped breaker fast-fails (kUnavailable) before letting a
+  /// single half-open probe forward through.
+  std::chrono::milliseconds breaker_open_duration{250};
+
+  // --- Stalled-forward watchdog --------------------------------------------
+  /// Watchdog poll period; zero disables the watchdog thread entirely.
+  std::chrono::milliseconds watchdog_poll{20};
+  /// Once the dispatcher has been inside one forward for longer than this,
+  /// the watchdog starts expiring queued past-deadline requests on its
+  /// behalf (they would otherwise only be expired at the next drain, which
+  /// a wedged forward delays indefinitely).
+  std::chrono::milliseconds max_forward_stall{500};
 };
 
 /// Resolves the requested precision against what `model` can serve over
@@ -209,6 +247,17 @@ class Batcher {
     std::function<Result<ModelHandle>(const std::string&)> lookup_model;
     std::function<Result<GraphContextPtr>(const std::string&)> lookup_graph;
     std::function<void()> count_failure;
+    /// Circuit-breaker gate, consulted immediately before a group forward
+    /// (cache hits never ask). Non-OK (kUnavailable while the breaker is
+    /// open) fails the whole group without running the forward. Null = no
+    /// breaker.
+    std::function<Status(const std::string& model, const std::string& graph)>
+        breaker_admit;
+    /// Outcome report paired with every granted breaker_admit. Null = no
+    /// breaker.
+    std::function<void(const std::string& model, const std::string& graph,
+                       bool ok)>
+        breaker_report;
   };
 
   /// Monitoring counters; `queue_depth`/`in_dispatch` are racy snapshots.
@@ -220,6 +269,9 @@ class Batcher {
     int64_t pruned_forwards = 0;  ///< ... of which receptive-field-pruned
     int64_t full_forwards = 0;    ///< ... of which full-graph
     int64_t cache_hits = 0;  ///< requests served from cached logits
+    int64_t shed = 0;        ///< kUnavailable load sheds (degradation ladder)
+    int64_t contained_faults = 0;  ///< forwards that failed with kInternal
+    int64_t watchdog_expired = 0;  ///< queued requests the watchdog expired
     int64_t queue_depth = 0;     ///< requests currently queued
     int64_t in_dispatch = 0;     ///< requests currently being dispatched
   };
@@ -259,6 +311,7 @@ class Batcher {
   };
 
   void DispatcherLoop();
+  void WatchdogLoop();
   void Dispatch(std::vector<Pending> batch) MIXQ_REQUIRES(dispatcher_role_);
   void Fail(Pending* pending, Status status, const ModelCountersPtr& counters);
   /// Evicts cache entries whose model/graph was unregistered or replaced,
@@ -276,7 +329,22 @@ class Batcher {
   std::atomic<int64_t> pruned_forwards_{0};
   std::atomic<int64_t> full_forwards_{0};
   std::atomic<int64_t> cache_hits_{0};
+  std::atomic<int64_t> shed_{0};
+  std::atomic<int64_t> contained_faults_{0};
+  std::atomic<int64_t> watchdog_expired_{0};
   std::atomic<int64_t> in_dispatch_{0};
+
+  /// ServingClock tick count when the dispatcher entered its current group
+  /// forward; 0 = not in a forward. Written by the dispatcher around each
+  /// forward, read by the watchdog to detect a stall.
+  std::atomic<int64_t> forward_start_ticks_{0};
+
+  /// Watchdog shutdown handshake. Plain std::mutex (not the annotated
+  /// wrapper): the only guarded state is the stop flag, and the condvar
+  /// needs the std type.
+  std::mutex watchdog_mu_;
+  std::condition_variable watchdog_cv_;
+  bool watchdog_stop_ = false;
 
   /// Dispatcher-thread-private state (single consumer): the result cache and
   /// the reusable forward scratch. No lock — nothing else touches them; the
@@ -287,6 +355,7 @@ class Batcher {
   PredictScratch scratch_ MIXQ_GUARDED_BY(dispatcher_role_);
   int64_t cycles_since_sweep_ MIXQ_GUARDED_BY(dispatcher_role_) = 0;
 
+  std::thread watchdog_;    ///< empty when options.watchdog_poll is zero
   std::thread dispatcher_;  ///< last member: started once state is ready
 };
 

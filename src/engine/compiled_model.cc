@@ -2,6 +2,7 @@
 #include "engine/compiled_model.h"
 
 #include <cmath>
+#include <exception>
 
 #include "engine/plan_verifier.h"
 
@@ -14,6 +15,23 @@ int64_t CountParams(const std::vector<Tensor>& params) {
   int64_t total = 0;
   for (const auto& p : params) total += p.numel();
   return total;
+}
+
+// Containment boundary: the executors (and the pipeline-replay reference
+// path) are where serving runs arbitrary compute, so an exception escaping
+// them — a kernel bug, an allocation failure growing scratch, an injected
+// fault — must become a typed kInternal Status here instead of unwinding
+// into the dispatcher thread and killing the process.
+template <typename Fn>
+Result<Tensor> RunContained(const char* what, Fn&& fn) {
+  try {
+    return fn();
+  } catch (const std::exception& e) {
+    return Status::Internal(std::string(what) + " failed: " + e.what());
+  } catch (...) {
+    return Status::Internal(std::string(what) +
+                            " failed with a non-standard exception");
+  }
 }
 
 }  // namespace
@@ -146,10 +164,12 @@ Result<Tensor> CompiledModel::Predict(const Tensor& features,
   if (plan_ == nullptr) return PredictReference(features, op);
 
   // Lock-free hot path: the plan is immutable, the scratch is caller-owned.
-  Tensor logits = Tensor::Zeros(Shape(features.rows(), info_.out_dim));
-  plan_->Execute(features.data().data(), features.rows(), *op, &scratch->plan,
-                 logits.data().data());
-  return logits;
+  return RunContained("fp32 forward", [&]() -> Result<Tensor> {
+    Tensor logits = Tensor::Zeros(Shape(features.rows(), info_.out_dim));
+    plan_->Execute(features.data().data(), features.rows(), *op, &scratch->plan,
+                   logits.data().data());
+    return logits;
+  });
 }
 
 Result<Tensor> CompiledModel::PredictQuantized(const Tensor& features,
@@ -180,10 +200,12 @@ Result<Tensor> CompiledModel::PredictQuantized(const Tensor& features,
   Status paired =
       CheckGraphAgainstCertificate(*range_cert_, ComputeGraphRangeBounds(*op));
   if (!paired.ok()) return paired;
-  Tensor logits = Tensor::Zeros(Shape(features.rows(), info_.out_dim));
-  plan_->ExecuteInt8(features.data().data(), features.rows(), *op, &scratch->plan,
-                     logits.data().data());
-  return logits;
+  return RunContained("int8 forward", [&]() -> Result<Tensor> {
+    Tensor logits = Tensor::Zeros(Shape(features.rows(), info_.out_dim));
+    plan_->ExecuteInt8(features.data().data(), features.rows(), *op,
+                       &scratch->plan, logits.data().data());
+    return logits;
+  });
 }
 
 std::unique_ptr<FrontierProgram> CompiledModel::BuildFrontierProgram(
@@ -221,16 +243,18 @@ Result<Tensor> CompiledModel::PredictPruned(const Tensor& features,
                                   "' is not lowered; pruned serving needs the "
                                   "flat execution plan");
   }
-  Tensor logits = Tensor::Zeros(
-      Shape(static_cast<int64_t>(program.targets().size()), info_.out_dim));
-  if (program.int8()) {
-    plan_->ExecutePrunedInt8(features.data().data(), program, &scratch->plan,
-                             logits.data().data());
-  } else {
-    plan_->ExecutePruned(features.data().data(), program, &scratch->plan,
-                         logits.data().data());
-  }
-  return logits;
+  return RunContained("pruned forward", [&]() -> Result<Tensor> {
+    Tensor logits = Tensor::Zeros(
+        Shape(static_cast<int64_t>(program.targets().size()), info_.out_dim));
+    if (program.int8()) {
+      plan_->ExecutePrunedInt8(features.data().data(), program, &scratch->plan,
+                               logits.data().data());
+    } else {
+      plan_->ExecutePruned(features.data().data(), program, &scratch->plan,
+                           logits.data().data());
+    }
+    return logits;
+  });
 }
 
 Result<Tensor> CompiledModel::PredictReference(const Tensor& features,
@@ -249,12 +273,14 @@ Result<Tensor> CompiledModel::PredictReference(const Tensor& features,
   // (BeginStep(false) then a training=false forward), which is what makes
   // this path — and the lowered plan that must match it bitwise — reproduce
   // the experiment's eval logits.
-  std::lock_guard<std::mutex> lock(*forward_mu_);
-  scheme_->BeginStep(false);
-  if (model_kind_ == NodeModelKind::kGcn) {
-    return gcn_->Forward(features, op, scheme_.get(), nullptr);
-  }
-  return sage_->Forward(features, op, scheme_.get(), nullptr);
+  return RunContained("reference forward", [&]() -> Result<Tensor> {
+    std::lock_guard<std::mutex> lock(*forward_mu_);
+    scheme_->BeginStep(false);
+    if (model_kind_ == NodeModelKind::kGcn) {
+      return gcn_->Forward(features, op, scheme_.get(), nullptr);
+    }
+    return sage_->Forward(features, op, scheme_.get(), nullptr);
+  });
 }
 
 }  // namespace engine

@@ -7,8 +7,10 @@
 #include <cstdlib>
 #include <cstring>
 #include <limits>
+#include <new>
 #include <string>
 
+#include "common/fault_injection.h"
 #include "common/parallel.h"
 #include "engine/frontier_plan.h"
 #include "engine/plan_analysis.h"
@@ -32,6 +34,16 @@ constexpr int64_t kNarrowBlock = 256;
 
 // -1 = unresolved; 0/1 once MIXQ_FUSED or SetFusedEpilogues picked a side.
 std::atomic<int> g_fused_epilogues{-1};
+
+// Chaos hooks shared by every executor entry point: a slow kernel (exercises
+// the batcher watchdog), a throwing kernel (exercises containment), and a
+// scratch-growth allocation failure. One relaxed load when injection is off.
+void ForwardFaultHooks() {
+  if (!fault::FaultInjector::Armed()) return;
+  fault::MaybeDelay("plan.forward.delay");
+  fault::MaybeThrow("plan.forward.throw");
+  if (fault::ShouldFail("plan.alloc")) throw std::bad_alloc();
+}
 
 // Buffer-level fake quantization, mirroring FakeQuantOp (quant/fake_quant.cc)
 // value for value: multiply by the double reciprocal, round, clip,
@@ -725,6 +737,7 @@ std::unique_ptr<ExecutionPlan> ExecutionPlan::Lower(const SageNet& net,
 
 void ExecutionPlan::Execute(const float* x, int64_t n, const SparseOperator& op,
                             Scratch* scratch, float* out) const {
+  ForwardFaultHooks();
   scratch->f.resize(static_cast<size_t>(num_buffers_));
   auto ensure = [&](int id, int64_t cols) -> float* {
     std::vector<float>& buf = scratch->f[static_cast<size_t>(id)];
@@ -856,6 +869,7 @@ void ExecutionPlan::ExecutePruned(const float* x, const FrontierProgram& fp,
   MIXQ_CHECK(!fp.int8_) << "program was built for the int8 step list";
   MIXQ_CHECK_EQ(static_cast<int64_t>(fp.steps_.size()),
                 static_cast<int64_t>(steps_.size()));
+  ForwardFaultHooks();
   scratch->f.resize(static_cast<size_t>(num_buffers_));
   auto ensure = [&](int id, int64_t rows, int64_t cols) -> float* {
     std::vector<float>& buf = scratch->f[static_cast<size_t>(id)];
@@ -960,6 +974,7 @@ void ExecutionPlan::ExecutePruned(const float* x, const FrontierProgram& fp,
 void ExecutionPlan::ExecuteInt8(const float* x, int64_t n, const SparseOperator& op,
                                 Scratch* scratch, float* out) const {
   MIXQ_CHECK(has_int8_) << "plan has no int8 lowering";
+  ForwardFaultHooks();
   scratch->q.resize(static_cast<size_t>(num_buffers_));
   auto ensure = [&](int id, int64_t cols) -> int8_t* {
     std::vector<int8_t>& buf = scratch->q[static_cast<size_t>(id)];
@@ -1058,6 +1073,7 @@ void ExecutionPlan::ExecutePrunedInt8(const float* x, const FrontierProgram& fp,
   MIXQ_CHECK(fp.int8_) << "program was built for the float step list";
   MIXQ_CHECK_EQ(static_cast<int64_t>(fp.steps_.size()),
                 static_cast<int64_t>(int_steps_.size()));
+  ForwardFaultHooks();
   scratch->q.resize(static_cast<size_t>(num_buffers_));
   auto ensure = [&](int id, int64_t rows, int64_t cols) -> int8_t* {
     std::vector<int8_t>& buf = scratch->q[static_cast<size_t>(id)];

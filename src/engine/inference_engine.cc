@@ -60,7 +60,9 @@ Status ValidateGraph(const std::string& name, const Tensor& features,
 }  // namespace
 
 InferenceEngine::InferenceEngine(BatcherOptions options)
-    : graph_reorder_(ResolveGraphReorder(options.graph_reorder)) {
+    : breaker_failure_threshold_(options.breaker_failure_threshold),
+      breaker_open_duration_(options.breaker_open_duration),
+      graph_reorder_(ResolveGraphReorder(options.graph_reorder)) {
   Batcher::Backend backend;
   backend.lookup_model = [this](const std::string& name) {
     return LookupModel(name);
@@ -71,6 +73,16 @@ InferenceEngine::InferenceEngine(BatcherOptions options)
   backend.count_failure = [this] {
     failures_.fetch_add(1, std::memory_order_relaxed);
   };
+  if (options.breaker_failure_threshold > 0) {
+    backend.breaker_admit = [this](const std::string& model,
+                                   const std::string& graph) {
+      return BreakerAdmit(model, graph);
+    };
+    backend.breaker_report = [this](const std::string& model,
+                                    const std::string& graph, bool ok) {
+      BreakerReport(model, graph, ok);
+    };
+  }
   batcher_ = std::make_unique<Batcher>(std::move(backend), options);
 }
 
@@ -113,10 +125,13 @@ Status InferenceEngine::ReplaceModel(const std::string& name,
 }
 
 Status InferenceEngine::UnregisterModel(const std::string& name) {
-  WriterLock lock(&mu_);
-  if (models_.erase(name) == 0) {
-    return Status::NotFound("model '" + name + "' is not registered");
+  {
+    WriterLock lock(&mu_);
+    if (models_.erase(name) == 0) {
+      return Status::NotFound("model '" + name + "' is not registered");
+    }
   }
+  EraseBreakers(name, "");
   return Status::OK();
 }
 
@@ -245,10 +260,13 @@ Status InferenceEngine::ReplaceGraph(const std::string& name, Tensor features,
 }
 
 Status InferenceEngine::UnregisterGraph(const std::string& name) {
-  WriterLock lock(&mu_);
-  if (graphs_.erase(name) == 0) {
-    return Status::NotFound("graph '" + name + "' is not registered");
+  {
+    WriterLock lock(&mu_);
+    if (graphs_.erase(name) == 0) {
+      return Status::NotFound("graph '" + name + "' is not registered");
+    }
   }
+  EraseBreakers("", name);
   return Status::OK();
 }
 
@@ -317,6 +335,105 @@ Result<GraphContextPtr> InferenceEngine::LookupGraph(const std::string& name) co
   return it->second;
 }
 
+// ---- Circuit breaker -------------------------------------------------------
+
+namespace {
+
+std::string BreakerKey(const std::string& model, const std::string& graph) {
+  return model + '|' + graph;
+}
+
+const char* BreakerStateName(InferenceEngine::BreakerState state) {
+  switch (state) {
+    case InferenceEngine::BreakerState::kClosed: return "closed";
+    case InferenceEngine::BreakerState::kOpen: return "open";
+    case InferenceEngine::BreakerState::kHalfOpen: return "half_open";
+  }
+  return "unknown";
+}
+
+}  // namespace
+
+Status InferenceEngine::BreakerAdmit(const std::string& model,
+                                     const std::string& graph) {
+  MutexLock lock(&breaker_mu_);
+  auto it = breakers_.find(BreakerKey(model, graph));
+  if (it == breakers_.end()) return Status::OK();  // closed, never failed
+  BreakerEntry& entry = it->second;
+  switch (entry.state) {
+    case BreakerState::kClosed:
+      return Status::OK();
+    case BreakerState::kOpen: {
+      if (ServingClock::now() < entry.open_until) {
+        breaker_fast_fails_.fetch_add(1, std::memory_order_relaxed);
+        return Status::Unavailable("circuit breaker open for model '" + model +
+                                   "' on graph '" + graph +
+                                   "' after repeated forward failures; "
+                                   "retry later");
+      }
+      // Cooldown elapsed: half-open, let exactly one probe forward through.
+      entry.state = BreakerState::kHalfOpen;
+      entry.probe_in_flight = true;
+      breaker_probes_.fetch_add(1, std::memory_order_relaxed);
+      return Status::OK();
+    }
+    case BreakerState::kHalfOpen: {
+      if (entry.probe_in_flight) {
+        breaker_fast_fails_.fetch_add(1, std::memory_order_relaxed);
+        return Status::Unavailable("circuit breaker half-open for model '" +
+                                   model + "' on graph '" + graph +
+                                   "'; a probe is already in flight");
+      }
+      entry.probe_in_flight = true;
+      breaker_probes_.fetch_add(1, std::memory_order_relaxed);
+      return Status::OK();
+    }
+  }
+  return Status::OK();
+}
+
+void InferenceEngine::BreakerReport(const std::string& model,
+                                    const std::string& graph, bool ok) {
+  MutexLock lock(&breaker_mu_);
+  const std::string key = BreakerKey(model, graph);
+  auto it = breakers_.find(key);
+  if (ok) {
+    // Success closes from any state and resets the failure streak; a pair
+    // with no entry IS the closed state, so just drop it.
+    if (it == breakers_.end()) return;
+    if (it->second.state != BreakerState::kClosed) {
+      breaker_closes_.fetch_add(1, std::memory_order_relaxed);
+    }
+    breakers_.erase(it);
+    return;
+  }
+  BreakerEntry& entry =
+      it == breakers_.end() ? breakers_[key] : it->second;
+  entry.probe_in_flight = false;
+  ++entry.consecutive_failures;
+  // A failed half-open probe re-opens immediately; a closed breaker opens
+  // once the streak reaches the threshold.
+  if (entry.state == BreakerState::kHalfOpen ||
+      entry.consecutive_failures >= breaker_failure_threshold_) {
+    breaker_trips_.fetch_add(1, std::memory_order_relaxed);
+    entry.state = BreakerState::kOpen;
+    entry.open_until = ServingClock::now() + breaker_open_duration_;
+  }
+}
+
+void InferenceEngine::EraseBreakers(const std::string& model,
+                                    const std::string& graph) {
+  MutexLock lock(&breaker_mu_);
+  for (auto it = breakers_.begin(); it != breakers_.end();) {
+    const std::string& key = it->first;
+    const size_t sep = key.find('|');
+    const bool model_matches = model.empty() || key.compare(0, sep, model) == 0;
+    const bool graph_matches =
+        graph.empty() || key.compare(sep + 1, std::string::npos, graph) == 0;
+    it = model_matches && graph_matches ? breakers_.erase(it) : std::next(it);
+  }
+}
+
 // ---- Serving ---------------------------------------------------------------
 
 std::future<Result<PredictResponse>> InferenceEngine::Submit(
@@ -364,6 +481,17 @@ InferenceEngine::Stats InferenceEngine::GetStats() const {
   stats.requests = requests_.load(std::memory_order_relaxed);
   stats.failures = failures_.load(std::memory_order_relaxed);
   stats.batcher = batcher_->GetStats();
+  stats.breaker.trips = breaker_trips_.load(std::memory_order_relaxed);
+  stats.breaker.fast_fails =
+      breaker_fast_fails_.load(std::memory_order_relaxed);
+  stats.breaker.probes = breaker_probes_.load(std::memory_order_relaxed);
+  stats.breaker.closes = breaker_closes_.load(std::memory_order_relaxed);
+  {
+    MutexLock block(&breaker_mu_);
+    for (const auto& [key, entry] : breakers_) {
+      stats.breaker.state[key] = BreakerStateName(entry.state);
+    }
+  }
   ReaderLock lock(&mu_);
   for (const auto& [name, entry] : models_) {
     ModelStats& m = stats.per_model[name];

@@ -177,6 +177,21 @@ class InferenceEngine {
     double int8_forward_p99_us = 0.0;
   };
 
+  /// Circuit-breaker counters plus the current state of every tracked
+  /// (model, graph) pair, keyed "model|graph". A pair with no entry is
+  /// closed with zero consecutive failures (entries only exist after a
+  /// forward failure).
+  struct BreakerStats {
+    int64_t trips = 0;       ///< closed/half-open -> open transitions
+    int64_t fast_fails = 0;  ///< groups kUnavailable'd by an open breaker
+    int64_t probes = 0;      ///< half-open probe forwards let through
+    int64_t closes = 0;      ///< recoveries (any state -> closed on success)
+    std::map<std::string, std::string> state;  ///< "closed"|"open"|"half_open"
+  };
+
+  /// Breaker state machine (see BreakerAdmit below for the transitions).
+  enum class BreakerState { kClosed = 0, kOpen, kHalfOpen };
+
   /// Monitoring counters. Lock-free by design: a snapshot taken while
   /// requests are in flight may momentarily be inconsistent (a request is
   /// counted on entry, its outcome when it finishes). Per-model entries
@@ -188,6 +203,7 @@ class InferenceEngine {
     int64_t requests = 0;  ///< Submit + Predict calls
     int64_t failures = 0;  ///< requests that returned an error
     Batcher::Stats batcher;  ///< admission/coalescing/cache counters
+    BreakerStats breaker;    ///< circuit-breaker activity and states
     std::map<std::string, ModelStats> per_model;
   };
   Stats GetStats() const;
@@ -205,6 +221,26 @@ class InferenceEngine {
   Result<ModelHandle> LookupModel(const std::string& name) const;
   Result<GraphContextPtr> LookupGraph(const std::string& name) const;
 
+  /// Per-(model, graph) circuit breaker: `breaker_failure_threshold`
+  /// consecutive forward failures trip it open; while open, groups fast-fail
+  /// kUnavailable without running the forward; after `breaker_open_duration`
+  /// one half-open probe forward is let through — success closes the
+  /// breaker, failure re-opens it. The batcher calls BreakerAdmit
+  /// immediately before each group forward and BreakerReport right after
+  /// (cache hits and load sheds bypass both).
+  struct BreakerEntry {
+    int consecutive_failures = 0;
+    BreakerState state = BreakerState::kClosed;
+    ServingClock::time_point open_until{};
+    bool probe_in_flight = false;
+  };
+  Status BreakerAdmit(const std::string& model, const std::string& graph);
+  void BreakerReport(const std::string& model, const std::string& graph,
+                     bool ok);
+  /// Drops breaker entries referencing an unregistered model/graph name
+  /// (empty string = match any), so transient names don't accumulate state.
+  void EraseBreakers(const std::string& model, const std::string& graph);
+
   /// Readers-writer lock over both registries; annotated so clang's
   /// -Wthread-safety proves every map access holds it (common/
   /// thread_annotations.h).
@@ -218,6 +254,18 @@ class InferenceEngine {
 
   mutable std::atomic<int64_t> requests_{0};
   mutable std::atomic<int64_t> failures_{0};
+
+  /// Breaker configuration (from BatcherOptions) and state. Its own mutex,
+  /// not mu_: admit/report run on the dispatcher's forward path and must
+  /// never contend with registry writers.
+  const int breaker_failure_threshold_;
+  const ServingClock::duration breaker_open_duration_;
+  mutable Mutex breaker_mu_;
+  std::map<std::string, BreakerEntry> breakers_ MIXQ_GUARDED_BY(breaker_mu_);
+  std::atomic<int64_t> breaker_trips_{0};
+  std::atomic<int64_t> breaker_fast_fails_{0};
+  std::atomic<int64_t> breaker_probes_{0};
+  std::atomic<int64_t> breaker_closes_{0};
 
   /// Row order RegisterGraph pins graphs in, resolved once at construction
   /// (kAuto consults MIXQ_REORDER); never kAuto after that.

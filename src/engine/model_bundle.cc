@@ -9,6 +9,7 @@
 #include <utility>
 
 #include "common/binary_io.h"
+#include "common/fault_injection.h"
 #include "engine/plan_analysis.h"
 #include "engine/plan_verifier.h"
 #include "sparse/csr.h"
@@ -129,6 +130,12 @@ Result<ByteReader> OpenSection(const std::vector<uint8_t>& bytes,
     return Status::InvalidArgument("missing required section '" + tag + "'");
   }
   const uint8_t* payload = bytes.data() + found->offset;
+  // Chaos hook: simulate bit rot — take the same typed rejection path a
+  // genuinely corrupt section would.
+  if (fault::ShouldFail("bundle.crc")) {
+    return Status::InvalidArgument("checksum mismatch in section '" + tag +
+                                   "' (injected fault at 'bundle.crc')");
+  }
   const uint32_t actual = Crc32(payload, static_cast<size_t>(found->size));
   if (actual != found->crc32) {
     return Status::InvalidArgument(
@@ -520,6 +527,8 @@ Status OpenBundle(const std::string& path, BundleKind* kind, uint16_t* major,
                   uint16_t* minor, std::vector<uint8_t>* bytes,
                   std::vector<RawSection>* sections) {
   MIXQ_RETURN_NOT_OK(ReadFileBytes(path, bytes));
+  // Chaos hook: a bundle whose backing storage failed mid-read.
+  MIXQ_RETURN_NOT_OK(fault::CheckPoint("bundle.read"));
   ByteReader reader(bytes->data(), bytes->size());
   MIXQ_RETURN_NOT_OK(ParseFileHeader(&reader, path, major, minor, kind));
   return ScanSections(&reader, sections);
@@ -753,6 +762,7 @@ const char* StatusCodeJsonName(StatusCode code) {
     case StatusCode::kNotFound: return "not_found";
     case StatusCode::kResourceExhausted: return "resource_exhausted";
     case StatusCode::kDeadlineExceeded: return "deadline_exceeded";
+    case StatusCode::kUnavailable: return "unavailable";
   }
   return "unknown";
 }

@@ -703,6 +703,79 @@ TEST(SubmitTest, CacheNotServedAcrossUnregisterAndReregister) {
   EXPECT_EQ(after_graph.ValueOrDie().rows.data(), expected2.data());
 }
 
+// ReplaceGraph with a SMALLER graph: node ids valid on the old graph must be
+// rejected against the new one, and an empty-node_ids request must serve the
+// new graph's row count — never the stale cached logits of the larger graph.
+TEST(SubmitTest, ReplaceGraphShrinkServesNewGraphAndRejectsOldIds) {
+  auto artifact = TrainArtifact(SchemeRef::Qat(8));  // 160-node graph
+  CompiledModelPtr model = CompileModel(*artifact).ValueOrDie();
+
+  InferenceEngine engine;  // cache enabled by default
+  ASSERT_TRUE(engine.RegisterModel("m", model).ok());
+  ASSERT_TRUE(engine.RegisterGraph("g", artifact->features, artifact->op).ok());
+
+  // Warm the cache with full logits of the 160-node graph.
+  Result<PredictResponse> full = engine.Submit(MakeRequest("m", "g")).get();
+  ASSERT_TRUE(full.ok());
+  ASSERT_EQ(full.ValueOrDie().rows.rows(), artifact->features.rows());
+
+  // Shrink to an 80-node graph with the same feature width.
+  CitationConfig c;
+  c.name = "serving-shrunk";
+  c.num_nodes = 80;
+  c.num_classes = 3;
+  c.feature_dim = 20;
+  c.avg_degree = 3.0;
+  c.homophily = 0.85;
+  c.train_per_class = 8;
+  c.val_count = 10;
+  c.test_count = 20;
+  c.seed = 11;
+  NodeDataset small = GenerateCitation(c);
+  SparseOperatorPtr small_op =
+      MakeOperator(GcnNormalize(small.graph.Adjacency()));
+  ASSERT_TRUE(
+      engine.ReplaceGraph("g", small.graph.features, small_op).ok());
+
+  // An id that was valid on the old graph is out of range on the new one.
+  EXPECT_EQ(engine.Submit(MakeRequest("m", "g", {120})).get().status().code(),
+            StatusCode::kInvalidArgument);
+
+  // Empty node_ids means "all rows of the CURRENT graph": the 160-row cache
+  // entry must not serve; the response matches a direct predict on the new
+  // graph bitwise.
+  Result<PredictResponse> after = engine.Submit(MakeRequest("m", "g")).get();
+  ASSERT_TRUE(after.ok()) << after.status().ToString();
+  EXPECT_FALSE(after.ValueOrDie().cache_hit);
+  ASSERT_EQ(after.ValueOrDie().rows.rows(), small.graph.features.rows());
+  Tensor expected = model->Predict(small.graph.features, small_op).ValueOrDie();
+  EXPECT_EQ(after.ValueOrDie().rows.data(), expected.data());
+}
+
+// Submit against names that existed but were unregistered: typed kNotFound,
+// same as never-registered names, and counted as engine-level failures.
+TEST(SubmitTest, UnregisteredNamesFailTyped) {
+  auto artifact = TrainArtifact(SchemeRef::Qat(8));
+  CompiledModelPtr model = CompileModel(*artifact).ValueOrDie();
+
+  InferenceEngine engine;
+  ASSERT_TRUE(engine.RegisterModel("m", model).ok());
+  ASSERT_TRUE(engine.RegisterGraph("g", artifact->features, artifact->op).ok());
+  ASSERT_TRUE(engine.Submit(MakeRequest("m", "g", {0})).get().ok());
+
+  ASSERT_TRUE(engine.UnregisterModel("m").ok());
+  EXPECT_EQ(engine.Submit(MakeRequest("m", "g", {0})).get().status().code(),
+            StatusCode::kNotFound);
+
+  ASSERT_TRUE(engine.RegisterModel("m", model).ok());
+  ASSERT_TRUE(engine.UnregisterGraph("g").ok());
+  EXPECT_EQ(engine.Submit(MakeRequest("m", "g", {0})).get().status().code(),
+            StatusCode::kNotFound);
+
+  InferenceEngine::Stats stats = engine.GetStats();
+  EXPECT_EQ(stats.failures, 2);
+}
+
 TEST(SubmitTest, ConcurrentClientsSeeConsistentRows) {
   auto artifact = TrainArtifact(SchemeRef::Qat(8), NodeModelKind::kGcn, /*seed=*/9);
   CompiledModelPtr model = CompileModel(*artifact).ValueOrDie();
