@@ -18,6 +18,14 @@
 // outcome mix (served / shed / rejected / expired) plus the served tail —
 // the JSON's "overload" section.
 //
+// A "network" section puts the same paths behind the TCP front door
+// (net/server.h) on loopback: blocking round-trips for the wire's latency
+// tax, a pipelined load proving remote clients coalesce into shared forwards
+// (cache off, avg batch must exceed 1), and the overload flood replayed
+// through the wire with every outcome arriving as a typed kError frame. The
+// stats snapshot embedded there is the exact JSON the remote metrics
+// endpoint serves (engine/stats_json.h).
+//
 //   MIXQ_SERVE_THREADS  client threads for the QPS sections (default 8)
 //   MIXQ_FULL=1         full-size graph (2708 nodes) instead of quick (1000)
 //   MIXQ_PRUNED_NODES   node count of the pruned-serving scenario graph
@@ -33,6 +41,9 @@
 #include "bench/bench_util.h"
 #include "engine/inference_engine.h"
 #include "engine/model_bundle.h"
+#include "engine/stats_json.h"
+#include "net/client.h"
+#include "net/server.h"
 
 using namespace mixq;
 using namespace mixq::bench;
@@ -401,6 +412,208 @@ int main() {
       static_cast<double>(overload.served) / overload_elapsed;
   const engine::InferenceEngine::Stats overload_stats = overload_engine.GetStats();
 
+  // ---- network: the same serving paths behind the TCP front door -----------
+  // The qat8 model behind MixqServer on loopback, one connection per client
+  // thread. Cache and pruning off so the pipelined phase measures pure
+  // remote coalescing — the server submits each decoded frame immediately,
+  // so frames in flight from every connection share the admission queue and
+  // the dispatcher batches them like in-process Submit calls.
+  engine::BatcherOptions net_opts;
+  net_opts.enable_cache = false;
+  net_opts.enable_pruning = false;
+  engine::InferenceEngine net_engine(net_opts);
+  MIXQ_CHECK(net_engine.RegisterModel("tab3-qat8", model).ok());
+  MIXQ_CHECK(net_engine.RegisterGraph("tab3", x, op).ok());
+  net::ServerOptions net_server_opts;
+  net_server_opts.max_connections = 2 * threads + 4;
+  net::MixqServer net_server(&net_engine, net_server_opts);
+  MIXQ_CHECK(net_server.Start().ok());
+  const int net_port = net_server.port();
+
+  auto connect_client = [&](int port) {
+    Result<net::MixqClient> connected = net::MixqClient::Connect("127.0.0.1", port);
+    MIXQ_CHECK(connected.ok()) << connected.status().ToString();
+    return connected.MoveValueOrDie();
+  };
+  auto net_request = [&](int64_t node) {
+    net::RemoteRequest request;
+    request.model = "tab3-qat8";
+    request.graph = "tab3";
+    request.node_ids = {node};
+    request.precision = engine::Precision::kFp32;
+    return request;
+  };
+
+  // Blocking round trips: the per-request price of the wire.
+  std::atomic<int64_t> net_next{0};
+  std::vector<std::vector<double>> rtt_lists(static_cast<size_t>(threads));
+  {
+    std::vector<std::thread> workers;
+    for (int t = 0; t < threads; ++t) {
+      workers.emplace_back([&, t] {
+        net::MixqClient client = connect_client(net_port);
+        std::vector<double>& rtts = rtt_lists[static_cast<size_t>(t)];
+        const Clock::time_point start = Clock::now();
+        while (SecondsSince(start) < 0.5) {
+          const Clock::time_point t0 = Clock::now();
+          Result<net::RemoteResponse> response = client.Predict(
+              net_request(net_next.fetch_add(1, std::memory_order_relaxed) % n));
+          MIXQ_CHECK(response.ok()) << response.status().ToString();
+          rtts.push_back(SecondsSince(t0) * 1e6);
+        }
+        client.Close();
+      });
+    }
+    for (auto& w : workers) w.join();
+  }
+  std::vector<double> net_rtts;
+  for (const auto& list : rtt_lists) {
+    net_rtts.insert(net_rtts.end(), list.begin(), list.end());
+  }
+  const double net_blocking_qps = static_cast<double>(net_rtts.size()) / 0.5;
+  const double net_rtt_p50_us = percentile(&net_rtts, 0.50);
+  const double net_rtt_p99_us = percentile(&net_rtts, 0.99);
+
+  // Pipelined load: every window sits in the admission queue together, so
+  // the reported batch sizes show remote micro-batching directly.
+  constexpr int kNetWindow = 32;
+  struct NetTally {
+    int64_t served = 0;
+    int64_t coalesced = 0;
+    double batch_total = 0.0;
+  };
+  std::vector<NetTally> net_tallies(static_cast<size_t>(threads));
+  {
+    std::vector<std::thread> workers;
+    for (int t = 0; t < threads; ++t) {
+      workers.emplace_back([&, t] {
+        net::MixqClient client = connect_client(net_port);
+        NetTally& tally = net_tallies[static_cast<size_t>(t)];
+        const Clock::time_point start = Clock::now();
+        while (SecondsSince(start) < 0.5) {
+          for (int i = 0; i < kNetWindow; ++i) {
+            uint64_t id = 0;
+            Status sent = client.Send(
+                net_request(net_next.fetch_add(1, std::memory_order_relaxed) % n),
+                &id);
+            MIXQ_CHECK(sent.ok()) << sent.ToString();
+          }
+          for (int i = 0; i < kNetWindow; ++i) {
+            Result<net::RemoteReply> received = client.Receive();
+            MIXQ_CHECK(received.ok()) << received.status().ToString();
+            net::RemoteReply reply = received.MoveValueOrDie();
+            MIXQ_CHECK(reply.status.ok()) << reply.status.ToString();
+            ++tally.served;
+            tally.batch_total += static_cast<double>(reply.response.batch_size);
+            if (reply.response.batch_size > 1) ++tally.coalesced;
+          }
+        }
+        client.Close();
+      });
+    }
+    for (auto& w : workers) w.join();
+  }
+  int64_t net_served = 0, net_coalesced = 0;
+  double net_batch_total = 0.0;
+  for (const NetTally& tally : net_tallies) {
+    net_served += tally.served;
+    net_coalesced += tally.coalesced;
+    net_batch_total += tally.batch_total;
+  }
+  const double net_pipelined_qps = static_cast<double>(net_served) / 0.5;
+  const double net_avg_batch =
+      net_served > 0 ? net_batch_total / static_cast<double>(net_served) : 0.0;
+  MIXQ_CHECK(net_avg_batch > 1.0)
+      << "pipelined remote requests were never coalesced";
+  // The exact payload a remote kStatsRequest gets — engine stats in the
+  // shared grammar plus transport counters — captured before shutdown.
+  const std::string net_stats_json = net_server.StatsEndpointJson();
+  net_server.Shutdown();
+
+  // The overload flood, through the wire: same fp32-only engine recipe, a
+  // fresh server, and pipelined clients holding ~64 requests in flight each
+  // against a 128-slot queue with 250 ms deadlines. Every outcome is a
+  // typed frame on a connection that stays up.
+  engine::InferenceEngine net_overload_engine(overload_opts);
+  MIXQ_CHECK(net_overload_engine.RegisterModel("fp32", fp_model).ok());
+  MIXQ_CHECK(net_overload_engine
+                 .RegisterGraph("quick", fp_artifact->features, fp_artifact->op)
+                 .ok());
+  net::MixqServer net_overload_server(&net_overload_engine, net::ServerOptions());
+  MIXQ_CHECK(net_overload_server.Start().ok());
+  std::vector<OverloadTally> net_ov_tallies(static_cast<size_t>(threads));
+  const Clock::time_point net_ov_t0 = Clock::now();
+  {
+    std::vector<std::thread> producers;
+    for (int t = 0; t < threads; ++t) {
+      producers.emplace_back([&, t] {
+        net::MixqClient client = connect_client(net_overload_server.port());
+        OverloadTally& tally = net_ov_tallies[static_cast<size_t>(t)];
+        constexpr int kOvWindow = 64;
+        const Clock::time_point start = Clock::now();
+        while (SecondsSince(start) < overload_secs) {
+          for (int i = 0; i < kOvWindow; ++i) {
+            net::RemoteRequest request;
+            request.model = "fp32";
+            request.graph = "quick";
+            request.node_ids = {
+                overload_next.fetch_add(1, std::memory_order_relaxed) % fp_n};
+            request.precision = engine::Precision::kAuto;
+            request.deadline_us = 250000;
+            uint64_t id = 0;
+            Status sent = client.Send(request, &id);
+            MIXQ_CHECK(sent.ok()) << sent.ToString();
+            ++tally.submitted;
+          }
+          for (int i = 0; i < kOvWindow; ++i) {
+            Result<net::RemoteReply> received = client.Receive();
+            MIXQ_CHECK(received.ok()) << received.status().ToString();
+            net::RemoteReply reply = received.MoveValueOrDie();
+            if (reply.status.ok()) {
+              ++tally.served;
+              tally.served_us.push_back(reply.response.server_us);
+              continue;
+            }
+            switch (reply.status.code()) {
+              case StatusCode::kUnavailable: ++tally.shed; break;
+              case StatusCode::kResourceExhausted: ++tally.rejected; break;
+              case StatusCode::kDeadlineExceeded: ++tally.expired; break;
+              default: ++tally.other; break;
+            }
+          }
+        }
+        client.Close();
+      });
+    }
+    for (auto& p : producers) p.join();
+  }
+  const double net_ov_elapsed = SecondsSince(net_ov_t0);
+  OverloadTally net_overload;
+  for (const OverloadTally& tally : net_ov_tallies) {
+    net_overload.submitted += tally.submitted;
+    net_overload.served += tally.served;
+    net_overload.shed += tally.shed;
+    net_overload.rejected += tally.rejected;
+    net_overload.expired += tally.expired;
+    net_overload.other += tally.other;
+    net_overload.served_us.insert(net_overload.served_us.end(),
+                                  tally.served_us.begin(),
+                                  tally.served_us.end());
+  }
+  MIXQ_CHECK(net_overload.served + net_overload.shed + net_overload.rejected +
+                 net_overload.expired + net_overload.other ==
+             net_overload.submitted)
+      << "wire overload replies lost";  // every frame sent got a typed reply
+  const double net_ov_p50_us = percentile(&net_overload.served_us, 0.50);
+  const double net_ov_p99_us = percentile(&net_overload.served_us, 0.99);
+  const double net_ov_served_qps =
+      static_cast<double>(net_overload.served) / net_ov_elapsed;
+  // The shared Stats -> JSON serializer, applied directly (what the metrics
+  // endpoint wraps); embedded raw in the bench JSON below.
+  const std::string net_ov_engine_json =
+      engine::FormatStatsJson(net_overload_engine.GetStats());
+  net_overload_server.Shutdown();
+
   TablePrinter table({"Path", "Latency (us)", "Speedup", "QPS x" +
                                                              std::to_string(threads)});
   table.AddRow({"reference (pipeline replay)", FormatFloat(ref_us, 1), "1.00",
@@ -455,6 +668,27 @@ int main() {
               overload_p50_us, overload_p99_us,
               static_cast<long long>(overload_stats.batcher.forwards),
               static_cast<long long>(overload_stats.batcher.shed));
+
+  std::printf("\nnetwork front door on loopback (x%d connections, cache off):\n",
+              threads);
+  std::printf("  blocking  : %.0f qps, rtt p50 %.0f us, p99 %.0f us "
+              "(in-process lowered %.1f us)\n",
+              net_blocking_qps, net_rtt_p50_us, net_rtt_p99_us, lowered_us);
+  std::printf("  pipelined : %.0f qps at window %d, avg batch %.2f "
+              "(%lld of %lld coalesced)\n",
+              net_pipelined_qps, kNetWindow, net_avg_batch,
+              static_cast<long long>(net_coalesced),
+              static_cast<long long>(net_served));
+  std::printf("  overload  : %lld frames -> served %lld (%.0f qps, server p50 "
+              "%.0f us, p99 %.0f us), shed %lld, rejected %lld, expired %lld, "
+              "other %lld — all typed, no connection dropped\n",
+              static_cast<long long>(net_overload.submitted),
+              static_cast<long long>(net_overload.served), net_ov_served_qps,
+              net_ov_p50_us, net_ov_p99_us,
+              static_cast<long long>(net_overload.shed),
+              static_cast<long long>(net_overload.rejected),
+              static_cast<long long>(net_overload.expired),
+              static_cast<long long>(net_overload.other));
 
   // ---- JSON for the perf trajectory ---------------------------------------
   const char* json_path = std::getenv("MIXQ_BENCH_JSON");
@@ -529,6 +763,35 @@ int main() {
        << "    \"served_p99_us\": " << overload_p99_us << ",\n"
        << "    \"forwards\": " << overload_stats.batcher.forwards << ",\n"
        << "    \"engine_shed\": " << overload_stats.batcher.shed << "\n"
+       << "  },\n"
+       << "  \"network\": {\n"
+       << "    \"threads\": " << threads << ",\n"
+       << "    \"blocking\": {\n"
+       << "      \"qps\": " << net_blocking_qps << ",\n"
+       << "      \"rtt_p50_us\": " << net_rtt_p50_us << ",\n"
+       << "      \"rtt_p99_us\": " << net_rtt_p99_us << "\n"
+       << "    },\n"
+       << "    \"pipelined\": {\n"
+       << "      \"window\": " << kNetWindow << ",\n"
+       << "      \"qps\": " << net_pipelined_qps << ",\n"
+       << "      \"served\": " << net_served << ",\n"
+       << "      \"coalesced\": " << net_coalesced << ",\n"
+       << "      \"avg_batch_size\": " << net_avg_batch << "\n"
+       << "    },\n"
+       << "    \"overload\": {\n"
+       << "      \"duration_s\": " << net_ov_elapsed << ",\n"
+       << "      \"submitted\": " << net_overload.submitted << ",\n"
+       << "      \"served\": " << net_overload.served << ",\n"
+       << "      \"shed\": " << net_overload.shed << ",\n"
+       << "      \"rejected\": " << net_overload.rejected << ",\n"
+       << "      \"expired\": " << net_overload.expired << ",\n"
+       << "      \"other\": " << net_overload.other << ",\n"
+       << "      \"served_qps\": " << net_ov_served_qps << ",\n"
+       << "      \"server_p50_us\": " << net_ov_p50_us << ",\n"
+       << "      \"server_p99_us\": " << net_ov_p99_us << ",\n"
+       << "      \"engine_stats\": " << net_ov_engine_json << "\n"
+       << "    },\n"
+       << "    \"stats_endpoint\": " << net_stats_json << "\n"
        << "  }\n"
        << "}\n";
   std::printf("\nwrote %s\n", json_path != nullptr ? json_path : "BENCH_serving.json");

@@ -19,6 +19,7 @@
 
 #include "core/experiment.h"
 #include "engine/inference_engine.h"
+#include "engine/stats_json.h"
 
 using namespace mixq;
 
@@ -138,26 +139,11 @@ int main() {
   }
   std::printf("parity: every Submit row == full-forward row (bitwise)\n");
 
-  engine::InferenceEngine::Stats stats = serving.GetStats();
-  const engine::InferenceEngine::ModelStats& ms =
-      stats.per_model.at("citation-mixq");
-  std::printf("\nserved %lld requests (%lld failed): %lld coalesced forwards, "
-              "%lld cache hits\n",
-              static_cast<long long>(stats.requests),
-              static_cast<long long>(stats.failures),
-              static_cast<long long>(stats.batcher.forwards),
-              static_cast<long long>(stats.batcher.cache_hits));
-  std::printf("model 'citation-mixq': %lld ok / %lld failed, "
-              "p50 %.0f us, p99 %.0f us\n",
-              static_cast<long long>(ms.successes),
-              static_cast<long long>(ms.failures), ms.p50_us, ms.p99_us);
-  // Forward time split by resolved precision — the dashboard view that shows
-  // whether the int8 kernels actually beat fp32 on this deployment (cache
-  // hits record nothing, so these are pure kernel-path samples).
-  std::printf("forwards by precision: fp32 %lld (p50 %.0f us, p99 %.0f us), "
-              "int8 %lld (p50 %.0f us, p99 %.0f us)\n",
-              static_cast<long long>(ms.fp32_forwards), ms.fp32_forward_p50_us,
-              ms.fp32_forward_p99_us, static_cast<long long>(ms.int8_forwards),
-              ms.int8_forward_p50_us, ms.int8_forward_p99_us);
+  // The same JSON the network stats endpoint serves (engine/stats_json.h):
+  // engine-wide counters, batcher/breaker activity, and per-model latency
+  // percentiles with forward time split by resolved precision — one grammar
+  // for dashboards whether they scrape a process or a socket.
+  std::printf("\nstats: %s\n",
+              engine::FormatStatsJson(serving.GetStats()).c_str());
   return 0;
 }

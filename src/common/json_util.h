@@ -1,0 +1,72 @@
+// Copyright 2026 MixQ-GNN Authors
+// The one JSON grammar the project emits. Every machine-readable surface —
+// mixq_lint / mixq_inspect --verify check reports, the serving metrics
+// endpoint (engine/stats_json.h), BENCH_*.json fragments — goes through
+// these helpers so escaping rules and status-code spellings cannot drift
+// between producers. Emission only: nothing in this repo parses JSON.
+#pragma once
+
+#include <cmath>
+#include <cstdio>
+#include <string>
+
+#include "common/status.h"
+
+namespace mixq {
+namespace json {
+
+/// snake_case code names for JSON reports (StatusCodeName is CamelCase for
+/// logs; tooling keys want stable lowercase identifiers).
+inline const char* StatusCodeJsonName(StatusCode code) {
+  switch (code) {
+    case StatusCode::kOk: return "ok";
+    case StatusCode::kInvalidArgument: return "invalid_argument";
+    case StatusCode::kOutOfRange: return "out_of_range";
+    case StatusCode::kNotImplemented: return "not_implemented";
+    case StatusCode::kInternal: return "internal";
+    case StatusCode::kNotFound: return "not_found";
+    case StatusCode::kResourceExhausted: return "resource_exhausted";
+    case StatusCode::kDeadlineExceeded: return "deadline_exceeded";
+    case StatusCode::kUnavailable: return "unavailable";
+  }
+  return "unknown";
+}
+
+/// Appends `s` as a quoted, escaped JSON string.
+inline void AppendJsonString(const std::string& s, std::string* out) {
+  out->push_back('"');
+  for (char c : s) {
+    switch (c) {
+      case '"': *out += "\\\""; break;
+      case '\\': *out += "\\\\"; break;
+      case '\n': *out += "\\n"; break;
+      case '\r': *out += "\\r"; break;
+      case '\t': *out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          *out += buf;
+        } else {
+          out->push_back(c);
+        }
+    }
+  }
+  out->push_back('"');
+}
+
+/// Appends a double as a JSON number. JSON has no NaN/Inf literals, so
+/// non-finite values emit 0 (metrics consumers prefer a sentinel over a
+/// parse error).
+inline void AppendJsonNumber(double v, std::string* out) {
+  if (!std::isfinite(v)) {
+    *out += "0";
+    return;
+  }
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.6g", v);
+  *out += buf;
+}
+
+}  // namespace json
+}  // namespace mixq

@@ -10,6 +10,7 @@
 
 #include "common/binary_io.h"
 #include "common/fault_injection.h"
+#include "common/json_util.h"
 #include "engine/plan_analysis.h"
 #include "engine/plan_verifier.h"
 #include "sparse/csr.h"
@@ -748,50 +749,9 @@ std::vector<BundleCheck> VerifyBundleFile(const std::string& path) {
   return out;
 }
 
-namespace {
-
-/// snake_case code names for the JSON report (StatusCodeName is CamelCase
-/// for logs; tooling keys want stable lowercase identifiers).
-const char* StatusCodeJsonName(StatusCode code) {
-  switch (code) {
-    case StatusCode::kOk: return "ok";
-    case StatusCode::kInvalidArgument: return "invalid_argument";
-    case StatusCode::kOutOfRange: return "out_of_range";
-    case StatusCode::kNotImplemented: return "not_implemented";
-    case StatusCode::kInternal: return "internal";
-    case StatusCode::kNotFound: return "not_found";
-    case StatusCode::kResourceExhausted: return "resource_exhausted";
-    case StatusCode::kDeadlineExceeded: return "deadline_exceeded";
-    case StatusCode::kUnavailable: return "unavailable";
-  }
-  return "unknown";
-}
-
-void AppendJsonString(const std::string& s, std::string* out) {
-  out->push_back('"');
-  for (char c : s) {
-    switch (c) {
-      case '"': *out += "\\\""; break;
-      case '\\': *out += "\\\\"; break;
-      case '\n': *out += "\\n"; break;
-      case '\r': *out += "\\r"; break;
-      case '\t': *out += "\\t"; break;
-      default:
-        if (static_cast<unsigned char>(c) < 0x20) {
-          char buf[8];
-          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
-          *out += buf;
-        } else {
-          out->push_back(c);
-        }
-    }
-  }
-  out->push_back('"');
-}
-
-}  // namespace
-
 std::string FormatCheckReportJson(const CheckReport& report) {
+  using json::AppendJsonString;
+  using json::StatusCodeJsonName;
   bool clean = true;
   for (const BundleCheck& c : report.checks) clean = clean && c.status.ok();
   std::string out = "{\"subject\": ";

@@ -1,0 +1,95 @@
+// Copyright 2026 MixQ-GNN Authors
+#include "engine/stats_json.h"
+
+#include <cstdint>
+
+#include "common/json_util.h"
+
+namespace mixq {
+namespace engine {
+
+namespace {
+
+void AppendI64(const char* key, int64_t v, bool* first, std::string* out) {
+  if (!*first) *out += ", ";
+  *first = false;
+  json::AppendJsonString(key, out);
+  *out += ": ";
+  *out += std::to_string(v);
+}
+
+void AppendF64(const char* key, double v, bool* first, std::string* out) {
+  if (!*first) *out += ", ";
+  *first = false;
+  json::AppendJsonString(key, out);
+  *out += ": ";
+  json::AppendJsonNumber(v, out);
+}
+
+}  // namespace
+
+std::string FormatStatsJson(const InferenceEngine::Stats& stats) {
+  std::string out = "{";
+  bool first = true;
+  AppendI64("requests", stats.requests, &first, &out);
+  AppendI64("failures", stats.failures, &first, &out);
+
+  out += ", \"batcher\": {";
+  bool b = true;
+  AppendI64("submitted", stats.batcher.submitted, &b, &out);
+  AppendI64("rejected", stats.batcher.rejected, &b, &out);
+  AppendI64("expired", stats.batcher.expired, &b, &out);
+  AppendI64("forwards", stats.batcher.forwards, &b, &out);
+  AppendI64("pruned_forwards", stats.batcher.pruned_forwards, &b, &out);
+  AppendI64("full_forwards", stats.batcher.full_forwards, &b, &out);
+  AppendI64("cache_hits", stats.batcher.cache_hits, &b, &out);
+  AppendI64("shed", stats.batcher.shed, &b, &out);
+  AppendI64("contained_faults", stats.batcher.contained_faults, &b, &out);
+  AppendI64("watchdog_expired", stats.batcher.watchdog_expired, &b, &out);
+  AppendI64("queue_depth", stats.batcher.queue_depth, &b, &out);
+  AppendI64("in_dispatch", stats.batcher.in_dispatch, &b, &out);
+  out += "}";
+
+  out += ", \"breaker\": {";
+  bool k = true;
+  AppendI64("trips", stats.breaker.trips, &k, &out);
+  AppendI64("fast_fails", stats.breaker.fast_fails, &k, &out);
+  AppendI64("probes", stats.breaker.probes, &k, &out);
+  AppendI64("closes", stats.breaker.closes, &k, &out);
+  out += ", \"state\": {";
+  bool s = true;
+  for (const auto& [key, state] : stats.breaker.state) {
+    if (!s) out += ", ";
+    s = false;
+    json::AppendJsonString(key, &out);
+    out += ": ";
+    json::AppendJsonString(state, &out);
+  }
+  out += "}}";
+
+  out += ", \"per_model\": {";
+  bool m = true;
+  for (const auto& [name, ms] : stats.per_model) {
+    if (!m) out += ", ";
+    m = false;
+    json::AppendJsonString(name, &out);
+    out += ": {";
+    bool f = true;
+    AppendI64("successes", ms.successes, &f, &out);
+    AppendI64("failures", ms.failures, &f, &out);
+    AppendF64("p50_us", ms.p50_us, &f, &out);
+    AppendF64("p99_us", ms.p99_us, &f, &out);
+    AppendI64("fp32_forwards", ms.fp32_forwards, &f, &out);
+    AppendI64("int8_forwards", ms.int8_forwards, &f, &out);
+    AppendF64("fp32_forward_p50_us", ms.fp32_forward_p50_us, &f, &out);
+    AppendF64("fp32_forward_p99_us", ms.fp32_forward_p99_us, &f, &out);
+    AppendF64("int8_forward_p50_us", ms.int8_forward_p50_us, &f, &out);
+    AppendF64("int8_forward_p99_us", ms.int8_forward_p99_us, &f, &out);
+    out += "}";
+  }
+  out += "}}";
+  return out;
+}
+
+}  // namespace engine
+}  // namespace mixq

@@ -1,0 +1,40 @@
+// Copyright 2026 MixQ-GNN Authors
+// The ONE serialization of InferenceEngine::Stats — shared by the network
+// metrics endpoint (src/net/server.h answers kStatsRequest frames with it),
+// bench/serving_latency.cpp (embeds it into BENCH_serving.json), and
+// examples/serving.cpp (prints it instead of hand-rolled counters). Keeping
+// every consumer on this formatter means a new counter shows up everywhere
+// at once and the metrics grammar cannot drift between surfaces.
+//
+// Grammar: the common/json_util.h conventions (same as the CheckReport
+// format of mixq_lint / mixq_inspect --verify --json) — snake_case keys,
+// escaped strings, non-finite numbers emitted as 0. Consumers must tolerate
+// NEW keys appearing (the minor-version rule of every format in this repo);
+// existing keys are never renamed within a protocol major version.
+#pragma once
+
+#include <string>
+
+#include "engine/inference_engine.h"
+
+namespace mixq {
+namespace engine {
+
+/// Renders a Stats snapshot as one JSON object:
+///   {"requests": N, "failures": N,
+///    "batcher": {"submitted": N, "rejected": N, "expired": N,
+///                "forwards": N, "pruned_forwards": N, "full_forwards": N,
+///                "cache_hits": N, "shed": N, "contained_faults": N,
+///                "watchdog_expired": N, "queue_depth": N, "in_dispatch": N},
+///    "breaker": {"trips": N, "fast_fails": N, "probes": N, "closes": N,
+///                "state": {"model|graph": "open", ...}},
+///    "per_model": {"name": {"successes": N, "failures": N,
+///                           "p50_us": F, "p99_us": F,
+///                           "fp32_forwards": N, "int8_forwards": N,
+///                           "fp32_forward_p50_us": F, "fp32_forward_p99_us": F,
+///                           "int8_forward_p50_us": F, "int8_forward_p99_us": F},
+///                  ...}}
+std::string FormatStatsJson(const InferenceEngine::Stats& stats);
+
+}  // namespace engine
+}  // namespace mixq

@@ -1,0 +1,120 @@
+// Copyright 2026 MixQ-GNN Authors
+#include "net/bundle_watcher.h"
+
+#include <dirent.h>
+#include <sys/stat.h>
+
+#include <utility>
+#include <vector>
+
+#include "engine/model_bundle.h"
+
+namespace mixq {
+namespace net {
+
+namespace {
+
+bool HasMqbSuffix(const std::string& name) {
+  static const std::string kSuffix = ".mqb";
+  return name.size() > kSuffix.size() &&
+         name.compare(name.size() - kSuffix.size(), kSuffix.size(),
+                      kSuffix) == 0;
+}
+
+std::string Stem(const std::string& name) {
+  return name.substr(0, name.size() - 4);  // strip ".mqb"
+}
+
+}  // namespace
+
+BundleWatcher::BundleWatcher(engine::InferenceEngine* engine, std::string dir,
+                             std::chrono::milliseconds poll_interval)
+    : engine_(engine), dir_(std::move(dir)), poll_interval_(poll_interval) {}
+
+BundleWatcher::~BundleWatcher() { Stop(); }
+
+Status BundleWatcher::Start() {
+  DIR* probe = ::opendir(dir_.c_str());
+  if (probe == nullptr) {
+    return Status::NotFound("cannot open watch directory '" + dir_ + "'");
+  }
+  ::closedir(probe);
+  ScanOnce();
+  stop_.store(false, std::memory_order_relaxed);
+  thread_ = std::thread([this] { PollLoop(); });
+  return Status::OK();
+}
+
+void BundleWatcher::Stop() {
+  stop_.store(true, std::memory_order_relaxed);
+  if (thread_.joinable()) thread_.join();
+}
+
+void BundleWatcher::PollLoop() {
+  // Sleep in small slices so Stop() is responsive at long poll intervals.
+  const auto slice = std::chrono::milliseconds(50);
+  while (!stop_.load(std::memory_order_relaxed)) {
+    auto remaining = poll_interval_;
+    while (remaining.count() > 0 && !stop_.load(std::memory_order_relaxed)) {
+      const auto nap = remaining < slice ? remaining : slice;
+      std::this_thread::sleep_for(nap);
+      remaining -= nap;
+    }
+    if (stop_.load(std::memory_order_relaxed)) return;
+    ScanOnce();
+  }
+}
+
+void BundleWatcher::ScanOnce() {
+  DIR* dir = ::opendir(dir_.c_str());
+  if (dir == nullptr) return;  // transient: retry next poll
+  std::vector<std::string> names;
+  while (struct dirent* entry = ::readdir(dir)) {
+    const std::string name = entry->d_name;
+    if (HasMqbSuffix(name)) names.push_back(name);
+  }
+  ::closedir(dir);
+
+  for (const std::string& name : names) {
+    const std::string path = dir_ + "/" + name;
+    struct stat st;
+    if (::stat(path.c_str(), &st) != 0) continue;  // raced a rename
+    FileState now;
+    now.mtime_ns = static_cast<int64_t>(st.st_mtim.tv_sec) * 1000000000 +
+                   st.st_mtim.tv_nsec;
+    now.size = static_cast<int64_t>(st.st_size);
+    auto it = seen_.find(name);
+    if (it != seen_.end() && it->second.mtime_ns == now.mtime_ns &&
+        it->second.size == now.size) {
+      continue;  // unchanged
+    }
+    // Record the state before loading: a bundle that fails to load is not
+    // retried until the FILE changes again, so a bad artifact cannot spin
+    // the poll loop on load attempts.
+    seen_[name] = now;
+    if (LoadOne(Stem(name), path).ok()) {
+      loads_.fetch_add(1, std::memory_order_relaxed);
+    } else {
+      failures_.fetch_add(1, std::memory_order_relaxed);
+    }
+  }
+}
+
+Status BundleWatcher::LoadOne(const std::string& name,
+                              const std::string& path) {
+  auto manifest = engine::InspectBundle(path);
+  MIXQ_RETURN_NOT_OK(manifest.status());
+  if (manifest.ValueOrDie().kind == engine::BundleKind::kModel) {
+    auto model = engine::LoadBundle(path);
+    MIXQ_RETURN_NOT_OK(model.status());
+    return engine_->ReplaceModel(name, model.MoveValueOrDie());
+  }
+  auto graph = engine::LoadGraph(path);
+  MIXQ_RETURN_NOT_OK(graph.status());
+  engine::GraphBundle bundle = graph.MoveValueOrDie();
+  return engine_->ReplaceGraph(name, std::move(bundle.features),
+                               std::move(bundle.op));
+}
+
+}  // namespace net
+}  // namespace mixq

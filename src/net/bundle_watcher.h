@@ -1,0 +1,89 @@
+// Copyright 2026 MixQ-GNN Authors
+// BundleWatcher — zero-downtime rollout for a serving process.
+//
+// Watches one directory for `*.mqb` bundle files (engine/model_bundle.h) and
+// keeps the engine's registries in sync: a new or modified file is inspected
+// (InspectBundle reads only the header + metadata section), classified as a
+// model or graph bundle, loaded, and registered under its file stem via
+// ReplaceModel / ReplaceGraph — the atomic hot-swap path, so in-flight
+// requests finish on the version they resolved and the result cache
+// invalidates through the registry version bump. Dropping `tab3_qat8.mqb`
+// into the watched directory moves traffic to it at the next poll with no
+// restart and no dropped request.
+//
+// Change detection is (mtime, size) polling: bundles are written with
+// WriteFileAtomic (rename into place), so a file is never observed
+// half-written. A bundle that fails to load is counted and retried on the
+// next change to the file — a bad rollout never takes down serving, the old
+// version simply keeps serving. Deletions are deliberately ignored:
+// unregistering a live model on an operator's `rm` is a availability
+// hazard, not a rollout.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <map>
+#include <string>
+#include <thread>
+
+#include "common/status.h"
+#include "engine/inference_engine.h"
+
+namespace mixq {
+namespace net {
+
+class BundleWatcher {
+ public:
+  /// `engine` must outlive the watcher. Nothing starts until Start().
+  BundleWatcher(engine::InferenceEngine* engine, std::string dir,
+                std::chrono::milliseconds poll_interval);
+
+  /// Stops the poll thread; equivalent to Stop().
+  ~BundleWatcher();
+
+  BundleWatcher(const BundleWatcher&) = delete;
+  BundleWatcher& operator=(const BundleWatcher&) = delete;
+
+  /// Performs one synchronous scan (so bundles already present are served
+  /// before Start returns), then starts the poll thread. kNotFound when the
+  /// directory cannot be listed.
+  Status Start();
+
+  /// Joins the poll thread. Idempotent.
+  void Stop();
+
+  /// Runs one scan immediately on the caller's thread (also what the poll
+  /// thread calls). Safe concurrently with the poll thread only by accident
+  /// of timing — intended for tests and the pre-Start initial scan.
+  void ScanOnce();
+
+  int64_t loads() const { return loads_.load(std::memory_order_relaxed); }
+  int64_t failures() const {
+    return failures_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  struct FileState {
+    int64_t mtime_ns = 0;
+    int64_t size = 0;
+  };
+
+  void PollLoop();
+  /// Loads `path` (stem `name`) as whatever kind it inspects to and
+  /// hot-swaps it into the engine.
+  Status LoadOne(const std::string& name, const std::string& path);
+
+  engine::InferenceEngine* const engine_;
+  const std::string dir_;
+  const std::chrono::milliseconds poll_interval_;
+
+  std::map<std::string, FileState> seen_;  ///< poll thread only after Start
+  std::atomic<int64_t> loads_{0};
+  std::atomic<int64_t> failures_{0};
+  std::atomic<bool> stop_{false};
+  std::thread thread_;
+};
+
+}  // namespace net
+}  // namespace mixq

@@ -1,0 +1,148 @@
+// Copyright 2026 MixQ-GNN Authors
+// MixqClient — the client half of the network front door (DESIGN.md §8).
+//
+// Two usage shapes over one connection:
+//
+//   blocking:   auto r = client.Predict(request);          // send + wait
+//   pipelined:  for (...) ids.push_back(client.Send(req)); // all in flight
+//               for (...) auto reply = client.Receive();   // in-order
+//
+// Pipelining is what makes remote micro-batching work: every frame written
+// before the first Receive sits in the server's admission queue together, so
+// the dispatcher coalesces them into shared forwards exactly like concurrent
+// in-process Submit calls. Replies arrive in send order (the protocol
+// guarantees per-connection FIFO) and each echoes its request id.
+//
+// Every failure is typed. An application error travels back as a kError
+// frame and surfaces as the reply's Result status — kResourceExhausted queue
+// overflow, kDeadlineExceeded expiry, kUnavailable breaker/shed, kNotFound
+// unknown names — with the connection still healthy. A kGoodbye (server
+// shutdown, connection limit, protocol violation) or a transport failure
+// marks the client broken: the call that observed it and every later call
+// return the same typed status, never a hang or a crash.
+//
+// Not thread-safe: one MixqClient per thread (connections are cheap; the
+// server coalesces across them anyway).
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "engine/batcher.h"
+#include "net/socket.h"
+#include "net/wire.h"
+#include "tensor/tensor.h"
+
+namespace mixq {
+namespace net {
+
+struct ClientOptions {
+  std::chrono::milliseconds connect_timeout{5000};
+  /// Transfer pacing; `io.stall_timeout` bounds every Receive, so a wedged
+  /// server yields kDeadlineExceeded, never a hang.
+  IoOptions io;
+};
+
+/// A remote prediction request. `deadline_us` is the serving budget in
+/// microseconds, measured from SERVER receipt (relative on the wire — client
+/// and server clocks are never compared); <= 0 means no deadline.
+struct RemoteRequest {
+  std::string model;
+  std::string graph;
+  std::vector<int64_t> node_ids;
+  engine::Precision precision = engine::Precision::kAuto;
+  int64_t deadline_us = 0;
+};
+
+/// A successful remote prediction: the logit rows (bitwise identical to the
+/// in-process PredictResponse — the parity test holds the server to that)
+/// plus the serving metadata, and `server_us` for splitting network from
+/// serving time.
+struct RemoteResponse {
+  Tensor rows;  ///< [node_ids.size() (or all nodes), out_dim]
+  std::vector<int64_t> node_ids;
+  engine::Precision precision = engine::Precision::kFp32;
+  bool cache_hit = false;
+  bool pruned = false;
+  int64_t batch_size = 0;
+  int64_t frontier_rows = 0;
+  double queue_us = 0.0;
+  double forward_us = 0.0;
+  double total_us = 0.0;
+  double server_us = 0.0;
+};
+
+/// One pipelined reply: which request it answers and its typed outcome.
+struct RemoteReply {
+  uint64_t request_id = 0;
+  Status status;             ///< OK iff `response` holds the prediction
+  RemoteResponse response;   ///< valid only when status.ok()
+};
+
+class MixqClient {
+ public:
+  /// Connects and returns a ready client. kUnavailable when nothing listens,
+  /// kDeadlineExceeded on connect timeout.
+  static Result<MixqClient> Connect(const std::string& host, int port,
+                                    ClientOptions options = ClientOptions());
+
+  MixqClient(MixqClient&&) = default;
+  MixqClient& operator=(MixqClient&&) = default;
+
+  /// Sends a kGoodbye (best effort) and closes. Also the destructor's path.
+  void Close();
+  ~MixqClient() { Close(); }
+
+  // ---- blocking ------------------------------------------------------------
+
+  /// Send + Receive in one call. kInvalidArgument when pipelined requests
+  /// are still outstanding (their replies are owed first).
+  Result<RemoteResponse> Predict(const RemoteRequest& request);
+
+  /// Round-trips a kPing (liveness + version handshake in one frame).
+  Status Ping();
+
+  /// Fetches the server's metrics snapshot: {"engine": <engine stats JSON,
+  /// engine/stats_json.h grammar>, "server": {transport counters}}.
+  /// kInvalidArgument while pipelined requests are outstanding.
+  Result<std::string> StatsJson();
+
+  // ---- pipelined -----------------------------------------------------------
+
+  /// Writes one request frame and returns its request id WITHOUT waiting.
+  Status Send(const RemoteRequest& request, uint64_t* request_id);
+
+  /// Blocks for the next reply (send order). kInvalidArgument when nothing
+  /// is outstanding; kDeadlineExceeded when the server stalls past the
+  /// configured budget; the broken-connection status after a kGoodbye.
+  Result<RemoteReply> Receive();
+
+  /// Replies still owed by the server.
+  int64_t outstanding() const { return outstanding_; }
+
+  /// True once the connection failed or the server said kGoodbye; every
+  /// subsequent call returns `broken_status()`.
+  bool broken() const { return !broken_status_.ok(); }
+  const Status& broken_status() const { return broken_status_; }
+
+ private:
+  explicit MixqClient(TcpConnection conn) : conn_(std::move(conn)) {}
+
+  /// Marks the client broken with `status` and returns it.
+  Status Break(Status status);
+  /// Reads one validated frame (header + CRC-checked payload).
+  Status ReadFrame(FrameHeader* header, std::vector<uint8_t>* payload);
+  Status WriteFrame(const std::vector<uint8_t>& frame);
+
+  TcpConnection conn_;
+  uint64_t next_request_id_ = 1;
+  int64_t outstanding_ = 0;
+  Status broken_status_;  ///< OK while healthy
+  bool closed_ = false;
+};
+
+}  // namespace net
+}  // namespace mixq

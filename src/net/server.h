@@ -1,0 +1,182 @@
+// Copyright 2026 MixQ-GNN Authors
+// MixqServer — the network front door over an InferenceEngine.
+//
+// A TCP acceptor plus two threads per connection (reader, writer) map the
+// wire protocol (net/wire.h, DESIGN.md §8) onto the engine's asynchronous
+// Submit: the reader decodes each kPredictRequest frame and submits it
+// immediately — WITHOUT waiting for the result — so every in-flight request
+// from every connection sits in the same admission queue and the dispatcher's
+// micro-batcher coalesces concurrent remote clients exactly like in-process
+// ones. The writer completes each socket write when the matching future
+// resolves, in submission order per connection (pipelining with in-order
+// replies, the HTTP/1.1 shape — request ids are still echoed so clients
+// never match by position alone).
+//
+// Overload semantics end to end: the engine's typed rejections
+// (kResourceExhausted queue overflow, kDeadlineExceeded expiry, kUnavailable
+// breaker/shed) travel as cheap kError frames — a flooded server answers
+// every frame, it never drops connections. Connection-level limits behave
+// the same way: past `max_connections` an accepted socket gets a typed
+// kGoodbye(kResourceExhausted) and a clean close.
+//
+// A kStatsRequest frame answers with engine stats (engine/stats_json.h)
+// wrapped alongside the server's transport counters — the metrics endpoint
+// an operator dashboard polls.
+//
+// Zero-downtime rollout: StartWatching(dir) polls a bundle directory and
+// LoadBundle/ReplaceModel (or LoadGraph/ReplaceGraph) on any added or
+// modified *.mqb file — drop a new bundle into the directory and traffic
+// moves to it at the next poll, while in-flight requests finish on the old
+// version (registry versions make the swap atomic; see net/bundle_watcher.h).
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <future>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+
+#include "common/status.h"
+#include "engine/inference_engine.h"
+#include "net/bundle_watcher.h"
+#include "net/socket.h"
+#include "net/wire.h"
+
+namespace mixq {
+namespace net {
+
+struct ServerOptions {
+  std::string host = "127.0.0.1";
+  int port = 0;  ///< 0 = ephemeral; MixqServer::port() reports the bound one
+  /// Accepted connections beyond this answer kGoodbye(kResourceExhausted)
+  /// and close — a typed rejection, not a SYN backlog drop.
+  int max_connections = 64;
+  /// Acceptor poll slice (shutdown responsiveness).
+  std::chrono::milliseconds accept_poll{100};
+  /// Transfer pacing for every connection (see IoOptions). The stall budget
+  /// is what turns a wedged or trickling peer into a typed close instead of
+  /// a leaked thread.
+  IoOptions io;
+};
+
+class MixqServer {
+ public:
+  /// `engine` must outlive the server. Nothing starts until Start().
+  MixqServer(engine::InferenceEngine* engine, ServerOptions options);
+
+  /// Joins every thread; equivalent to Shutdown() if still running.
+  ~MixqServer();
+
+  MixqServer(const MixqServer&) = delete;
+  MixqServer& operator=(const MixqServer&) = delete;
+
+  /// Binds, listens, and starts the acceptor thread. kUnavailable when the
+  /// port is taken.
+  Status Start();
+
+  /// Stops accepting, stops reading new frames, finishes writing every
+  /// response already owed (their futures resolve — the engine guarantees
+  /// it), sends each surviving connection a terminal kGoodbye, joins all
+  /// threads. Idempotent.
+  void Shutdown();
+
+  /// Begins polling `dir` for bundle rollouts (see BundleWatcher). Call
+  /// after Start(); kInvalidArgument when already watching.
+  Status StartWatching(const std::string& dir,
+                       std::chrono::milliseconds poll_interval =
+                           std::chrono::milliseconds(1000));
+
+  /// Bound port (valid after Start()).
+  int port() const { return port_; }
+
+  /// Transport-level counters (the engine's serving counters live in
+  /// InferenceEngine::GetStats and are reported over the wire next to
+  /// these; see stats endpoint).
+  struct Stats {
+    int64_t connections_accepted = 0;
+    int64_t connections_rejected = 0;  ///< typed kGoodbye at the limit
+    int64_t connections_active = 0;
+    int64_t frames_read = 0;
+    int64_t frames_written = 0;
+    int64_t protocol_errors = 0;  ///< connection-fatal framing failures
+    int64_t predict_requests = 0;
+    int64_t stats_requests = 0;
+    int64_t watcher_loads = 0;     ///< successful bundle (re)registrations
+    int64_t watcher_failures = 0;  ///< bundle files that failed to load
+  };
+  Stats GetStats() const;
+
+  /// The stats-endpoint payload: {"engine": <FormatStatsJson>, "server":
+  /// {transport counters}}. Public so bench/examples can print the exact
+  /// JSON remote clients receive.
+  std::string StatsEndpointJson() const;
+
+ private:
+  /// One live connection: a reader thread decoding frames and submitting,
+  /// a writer thread completing responses as futures resolve.
+  struct Connection {
+    TcpConnection conn;
+    std::thread reader;
+    std::thread writer;
+    std::atomic<bool> stop{false};
+    std::atomic<bool> finished{false};
+
+    /// Reader -> writer handoff. `pending` holds responses owed, in order.
+    struct OutItem {
+      uint64_t request_id = 0;
+      bool is_predict = false;
+      std::future<Result<engine::PredictResponse>> future;  ///< predict only
+      std::vector<uint8_t> frame;  ///< pre-encoded for everything else
+      bool goodbye_after = false;  ///< close the connection after writing
+      std::chrono::steady_clock::time_point received;
+    };
+    std::mutex mu;
+    std::condition_variable cv;
+    std::deque<OutItem> out;
+    bool reader_done = false;
+  };
+
+  void AcceptorLoop();
+  void ReaderLoop(Connection* connection);
+  void WriterLoop(Connection* connection);
+  /// Decodes and dispatches one frame body; returns false when the
+  /// connection must close (protocol-fatal — a kGoodbye has been queued).
+  bool HandleFrame(Connection* connection, const FrameHeader& header,
+                   const std::vector<uint8_t>& payload);
+  void Enqueue(Connection* connection, Connection::OutItem item);
+  void QueueGoodbye(Connection* connection, const Status& status);
+  /// Joins finished connections; with `all`, joins every connection.
+  void Reap(bool all);
+
+  engine::InferenceEngine* const engine_;
+  const ServerOptions options_;
+  TcpListener listener_;
+  int port_ = 0;
+
+  std::atomic<bool> stop_{false};
+  std::atomic<bool> started_{false};
+
+  std::atomic<int64_t> connections_accepted_{0};
+  std::atomic<int64_t> connections_rejected_{0};
+  std::atomic<int64_t> connections_active_{0};
+  std::atomic<int64_t> frames_read_{0};
+  std::atomic<int64_t> frames_written_{0};
+  std::atomic<int64_t> protocol_errors_{0};
+  std::atomic<int64_t> predict_requests_{0};
+  std::atomic<int64_t> stats_requests_{0};
+
+  std::mutex connections_mu_;
+  std::list<std::unique_ptr<Connection>> connections_;
+
+  std::unique_ptr<BundleWatcher> watcher_;
+  std::thread acceptor_;
+};
+
+}  // namespace net
+}  // namespace mixq

@@ -1,0 +1,222 @@
+// Copyright 2026 MixQ-GNN Authors
+#include "net/wire.h"
+
+#include <cstring>
+
+namespace mixq {
+namespace net {
+
+namespace {
+
+constexpr char kMagic[4] = {'M', 'Q', 'R', 'F'};
+
+/// StatusCode <-> wire byte. The numbering is part of the protocol spec
+/// (DESIGN.md §8) and therefore pinned here rather than relying on the
+/// C++ enum's incidental values staying put.
+uint8_t StatusCodeToWire(StatusCode code) {
+  switch (code) {
+    case StatusCode::kOk: return 0;
+    case StatusCode::kInvalidArgument: return 1;
+    case StatusCode::kOutOfRange: return 2;
+    case StatusCode::kNotImplemented: return 3;
+    case StatusCode::kInternal: return 4;
+    case StatusCode::kNotFound: return 5;
+    case StatusCode::kResourceExhausted: return 6;
+    case StatusCode::kDeadlineExceeded: return 7;
+    case StatusCode::kUnavailable: return 8;
+  }
+  return 4;  // kInternal
+}
+
+bool WireToStatusCode(uint8_t wire, StatusCode* out) {
+  switch (wire) {
+    case 0: *out = StatusCode::kOk; return true;
+    case 1: *out = StatusCode::kInvalidArgument; return true;
+    case 2: *out = StatusCode::kOutOfRange; return true;
+    case 3: *out = StatusCode::kNotImplemented; return true;
+    case 4: *out = StatusCode::kInternal; return true;
+    case 5: *out = StatusCode::kNotFound; return true;
+    case 6: *out = StatusCode::kResourceExhausted; return true;
+    case 7: *out = StatusCode::kDeadlineExceeded; return true;
+    case 8: *out = StatusCode::kUnavailable; return true;
+    default: return false;
+  }
+}
+
+uint8_t PrecisionToWire(engine::Precision p) {
+  switch (p) {
+    case engine::Precision::kAuto: return 0;
+    case engine::Precision::kFp32: return 1;
+    case engine::Precision::kInt8: return 2;
+  }
+  return 0;
+}
+
+Status WireToPrecision(uint8_t wire, engine::Precision* out) {
+  switch (wire) {
+    case 0: *out = engine::Precision::kAuto; return Status::OK();
+    case 1: *out = engine::Precision::kFp32; return Status::OK();
+    case 2: *out = engine::Precision::kInt8; return Status::OK();
+    default:
+      return Status::InvalidArgument("unknown precision byte " +
+                                     std::to_string(wire));
+  }
+}
+
+}  // namespace
+
+std::vector<uint8_t> BuildFrame(FrameType type, uint64_t request_id,
+                                const ByteWriter& body) {
+  ByteWriter frame;
+  frame.PutBytes(kMagic, sizeof(kMagic));
+  frame.PutU8(kProtocolMajor);
+  frame.PutU8(kProtocolMinor);
+  frame.PutU8(static_cast<uint8_t>(type));
+  frame.PutU8(0);  // reserved
+  frame.PutU64(request_id);
+  frame.PutU32(static_cast<uint32_t>(body.size()));
+  frame.PutU32(Crc32(body.buffer().data(), body.size()));
+  frame.PutBytes(body.buffer().data(), body.size());
+  return frame.buffer();
+}
+
+Status DecodeFrameHeader(const uint8_t* bytes, FrameHeader* out) {
+  if (std::memcmp(bytes, kMagic, sizeof(kMagic)) != 0) {
+    return Status::InvalidArgument("bad frame magic");
+  }
+  ByteReader reader(bytes + sizeof(kMagic),
+                    kFrameHeaderBytes - sizeof(kMagic));
+  uint8_t reserved = 0;
+  MIXQ_RETURN_NOT_OK(reader.ReadU8(&out->major));
+  MIXQ_RETURN_NOT_OK(reader.ReadU8(&out->minor));
+  MIXQ_RETURN_NOT_OK(reader.ReadU8(&out->type));
+  MIXQ_RETURN_NOT_OK(reader.ReadU8(&reserved));
+  MIXQ_RETURN_NOT_OK(reader.ReadU64(&out->request_id));
+  MIXQ_RETURN_NOT_OK(reader.ReadU32(&out->payload_bytes));
+  MIXQ_RETURN_NOT_OK(reader.ReadU32(&out->payload_crc));
+  if (reserved != 0) {
+    return Status::InvalidArgument("nonzero reserved frame-header byte");
+  }
+  if (out->major > kProtocolMajor) {
+    return Status::NotImplemented(
+        "peer speaks protocol major " + std::to_string(out->major) +
+        "; this build speaks " + std::to_string(kProtocolMajor));
+  }
+  if (out->payload_bytes > kMaxFramePayload) {
+    return Status::InvalidArgument("frame payload of " +
+                                   std::to_string(out->payload_bytes) +
+                                   " bytes exceeds the protocol cap");
+  }
+  return Status::OK();
+}
+
+Status CheckFramePayload(const FrameHeader& header, const uint8_t* payload,
+                         size_t size) {
+  if (size != header.payload_bytes) {
+    return Status::Internal("payload size does not match header");
+  }
+  const uint32_t crc = Crc32(payload, size);
+  if (crc != header.payload_crc) {
+    return Status::InvalidArgument("frame payload CRC mismatch");
+  }
+  return Status::OK();
+}
+
+void EncodePredictRequest(const WirePredictRequest& request, ByteWriter* out) {
+  out->PutString(request.model);
+  out->PutString(request.graph);
+  out->PutPodVector(request.node_ids);
+  out->PutU8(PrecisionToWire(request.precision));
+  out->PutI64(request.deadline_us);
+}
+
+Status DecodePredictRequest(ByteReader* in, WirePredictRequest* out) {
+  MIXQ_RETURN_NOT_OK(in->ReadString(&out->model));
+  MIXQ_RETURN_NOT_OK(in->ReadString(&out->graph));
+  MIXQ_RETURN_NOT_OK(in->ReadPodVector(&out->node_ids));
+  uint8_t precision = 0;
+  MIXQ_RETURN_NOT_OK(in->ReadU8(&precision));
+  MIXQ_RETURN_NOT_OK(WireToPrecision(precision, &out->precision));
+  MIXQ_RETURN_NOT_OK(in->ReadI64(&out->deadline_us));
+  return Status::OK();
+}
+
+void EncodePredictResponse(const WirePredictResponse& response,
+                           ByteWriter* out) {
+  out->PutI64(response.rows);
+  out->PutI64(response.cols);
+  out->PutPodVector(response.data);
+  out->PutPodVector(response.node_ids);
+  out->PutU8(PrecisionToWire(response.precision));
+  uint8_t flags = 0;
+  if (response.cache_hit) flags |= 1u;
+  if (response.pruned) flags |= 2u;
+  out->PutU8(flags);
+  out->PutI64(response.batch_size);
+  out->PutI64(response.frontier_rows);
+  out->PutF64(response.queue_us);
+  out->PutF64(response.forward_us);
+  out->PutF64(response.total_us);
+  out->PutF64(response.server_us);
+}
+
+Status DecodePredictResponse(ByteReader* in, WirePredictResponse* out) {
+  MIXQ_RETURN_NOT_OK(in->ReadI64(&out->rows));
+  MIXQ_RETURN_NOT_OK(in->ReadI64(&out->cols));
+  MIXQ_RETURN_NOT_OK(in->ReadPodVector(&out->data));
+  MIXQ_RETURN_NOT_OK(in->ReadPodVector(&out->node_ids));
+  if (out->rows < 0 || out->cols < 0 ||
+      (out->rows != 0 &&
+       out->data.size() / static_cast<size_t>(out->rows) !=
+           static_cast<size_t>(out->cols)) ||
+      (out->rows == 0 && !out->data.empty())) {
+    return Status::InvalidArgument("response dims do not match data length");
+  }
+  uint8_t precision = 0;
+  uint8_t flags = 0;
+  MIXQ_RETURN_NOT_OK(in->ReadU8(&precision));
+  MIXQ_RETURN_NOT_OK(WireToPrecision(precision, &out->precision));
+  MIXQ_RETURN_NOT_OK(in->ReadU8(&flags));
+  out->cache_hit = (flags & 1u) != 0;
+  out->pruned = (flags & 2u) != 0;
+  MIXQ_RETURN_NOT_OK(in->ReadI64(&out->batch_size));
+  MIXQ_RETURN_NOT_OK(in->ReadI64(&out->frontier_rows));
+  MIXQ_RETURN_NOT_OK(in->ReadF64(&out->queue_us));
+  MIXQ_RETURN_NOT_OK(in->ReadF64(&out->forward_us));
+  MIXQ_RETURN_NOT_OK(in->ReadF64(&out->total_us));
+  MIXQ_RETURN_NOT_OK(in->ReadF64(&out->server_us));
+  return Status::OK();
+}
+
+void EncodeStatusBody(const Status& status, ByteWriter* out) {
+  out->PutU8(StatusCodeToWire(status.code()));
+  out->PutString(status.message());
+}
+
+Status DecodeStatusBody(ByteReader* in, Status* out) {
+  uint8_t wire = 0;
+  std::string message;
+  MIXQ_RETURN_NOT_OK(in->ReadU8(&wire));
+  MIXQ_RETURN_NOT_OK(in->ReadString(&message));
+  StatusCode code = StatusCode::kInternal;
+  if (!WireToStatusCode(wire, &code)) {
+    // A future minor added a code this build does not know: degrade to
+    // kInternal but keep the message — typed, never dropped.
+    *out = Status::Internal("unknown remote status code " +
+                            std::to_string(wire) + ": " + message);
+    return Status::OK();
+  }
+  *out = Status(code, std::move(message));
+  return Status::OK();
+}
+
+void EncodeStatsBody(const std::string& json, ByteWriter* out) {
+  out->PutString(json);
+}
+
+Status DecodeStatsBody(ByteReader* in, std::string* out) {
+  return in->ReadString(out);
+}
+
+}  // namespace net
+}  // namespace mixq

@@ -1,0 +1,147 @@
+// Copyright 2026 MixQ-GNN Authors
+// The mixq remote-serving wire protocol: length-prefixed, CRC-guarded binary
+// frames on the bounds-checked common/binary_io.h reader/writer — the same
+// primitives (and the same hardening posture) as the bundle format. DESIGN.md
+// §8 is the NORMATIVE spec; this header is its implementation.
+//
+// Frame layout (all integers little-endian):
+//
+//   frame  := header payload
+//   header := magic "MQRF" | u8 major | u8 minor | u8 type | u8 reserved(0)
+//             | u64 request_id | u32 payload_bytes | u32 crc32(payload)
+//
+// 24-byte fixed header; payload decoded per `type` with ByteReader, so a
+// corrupt or truncated body is a typed error, never UB. Versioning mirrors
+// the bundle rule: a peer rejects a MAJOR newer than its own
+// (kNotImplemented, connection-fatal), accepts any minor, and ignores
+// trailing payload bytes it does not understand — future minors may append
+// fields without breaking old peers. Unknown frame TYPES get a typed kError
+// reply (kNotImplemented) and the connection stays up.
+//
+// Error transport: application failures (kDeadlineExceeded expiry,
+// kResourceExhausted admission rejects, kUnavailable breaker/shed, kNotFound
+// unknown names, ...) travel as kError frames echoing the request id — the
+// overload semantics of the engine become cheap typed wire rejections, never
+// dropped connections. Connection-fatal conditions (bad magic, CRC mismatch,
+// oversize frame, version mismatch, server shutdown, connection limit) are
+// announced with a terminal kGoodbye frame carrying the typed status, then
+// the connection closes: once framing cannot be trusted, closing is the only
+// safe resync.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/binary_io.h"
+#include "common/status.h"
+#include "engine/batcher.h"
+
+namespace mixq {
+namespace net {
+
+/// Protocol version spoken by this build. Bump the major for incompatible
+/// frame-layout changes, the minor when only appending fields or types.
+constexpr uint8_t kProtocolMajor = 1;
+constexpr uint8_t kProtocolMinor = 0;
+
+/// Fixed frame-header size in bytes.
+constexpr size_t kFrameHeaderBytes = 24;
+
+/// Hard payload cap: a length prefix is attacker-chosen input, so it must
+/// never drive an unbounded allocation. 256 MiB comfortably holds full-graph
+/// logits for millions of nodes; anything larger is a protocol error.
+constexpr uint32_t kMaxFramePayload = 256u << 20;
+
+enum class FrameType : uint8_t {
+  kPredictRequest = 1,   ///< client -> server: one PredictRequest
+  kPredictResponse = 2,  ///< server -> client: logit rows (success only)
+  kStatsRequest = 3,     ///< client -> server: metrics snapshot request
+  kStatsResponse = 4,    ///< server -> client: engine + server stats JSON
+  kPing = 5,             ///< client -> server: liveness / version handshake
+  kPong = 6,             ///< server -> client: ping echo
+  kError = 7,            ///< server -> client: typed per-request failure
+  kGoodbye = 8,          ///< either -> peer: typed terminal frame, then close
+};
+
+/// Parsed frame header (magic validated, fields decoded, not yet
+/// CRC-checked — the payload has not been read at this point).
+struct FrameHeader {
+  uint8_t major = 0;
+  uint8_t minor = 0;
+  uint8_t type = 0;  ///< raw on purpose: unknown values must survive parsing
+  uint64_t request_id = 0;
+  uint32_t payload_bytes = 0;
+  uint32_t payload_crc = 0;
+};
+
+/// The request body as it crosses the wire. `deadline_us` is a RELATIVE
+/// budget in microseconds from server receipt (clocks are not shared across
+/// machines); <= 0 means no deadline.
+struct WirePredictRequest {
+  std::string model;
+  std::string graph;
+  std::vector<int64_t> node_ids;
+  engine::Precision precision = engine::Precision::kAuto;
+  int64_t deadline_us = 0;
+};
+
+/// The success-response body: the requested logit rows plus the serving
+/// metadata of engine::PredictResponse, and `server_us` — receipt-to-reply
+/// wall time on the server, so clients can split network from serving time.
+struct WirePredictResponse {
+  int64_t rows = 0;
+  int64_t cols = 0;
+  std::vector<float> data;  ///< row-major [rows x cols]
+  std::vector<int64_t> node_ids;
+  engine::Precision precision = engine::Precision::kFp32;
+  bool cache_hit = false;
+  bool pruned = false;
+  int64_t batch_size = 0;
+  int64_t frontier_rows = 0;
+  double queue_us = 0.0;
+  double forward_us = 0.0;
+  double total_us = 0.0;
+  double server_us = 0.0;
+};
+
+// ---- frames ---------------------------------------------------------------
+
+/// Builds one complete frame: header (with payload CRC) + body bytes.
+std::vector<uint8_t> BuildFrame(FrameType type, uint64_t request_id,
+                                const ByteWriter& body);
+
+/// Parses and validates a frame header from exactly kFrameHeaderBytes:
+/// magic, reserved byte, `major` not newer than ours, payload under
+/// kMaxFramePayload. All failures are connection-fatal by protocol
+/// (kInvalidArgument for structure, kNotImplemented for a future major).
+Status DecodeFrameHeader(const uint8_t* bytes, FrameHeader* out);
+
+/// Verifies the stored payload CRC; kInvalidArgument on mismatch
+/// (connection-fatal: the stream cannot be trusted after a corrupt frame).
+Status CheckFramePayload(const FrameHeader& header, const uint8_t* payload,
+                         size_t size);
+
+// ---- bodies ---------------------------------------------------------------
+// Every decoder is safe on arbitrary bytes and ignores trailing payload it
+// does not understand (minor-version forward compatibility).
+
+void EncodePredictRequest(const WirePredictRequest& request, ByteWriter* out);
+Status DecodePredictRequest(ByteReader* in, WirePredictRequest* out);
+
+void EncodePredictResponse(const WirePredictResponse& response,
+                           ByteWriter* out);
+Status DecodePredictResponse(ByteReader* in, WirePredictResponse* out);
+
+/// kError / kGoodbye body: u8 code | string message. Encoding an OK status
+/// is legal (a clean-shutdown kGoodbye carries kOk).
+void EncodeStatusBody(const Status& status, ByteWriter* out);
+Status DecodeStatusBody(ByteReader* in, Status* out);
+
+/// kStatsResponse body: one JSON string (engine/stats_json.h grammar,
+/// wrapped by the server with transport counters).
+void EncodeStatsBody(const std::string& json, ByteWriter* out);
+Status DecodeStatsBody(ByteReader* in, std::string* out);
+
+}  // namespace net
+}  // namespace mixq

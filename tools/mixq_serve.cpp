@@ -1,0 +1,164 @@
+// Copyright 2026 MixQ-GNN Authors
+// mixq_serve — the network front door as a process: an InferenceEngine
+// behind the DESIGN.md §8 wire protocol. Links ZERO training code — bundles
+// (tools/mixq_compile) are the only way models and graphs get in, the other
+// half of the train-once/serve-anywhere split.
+//
+//   mixq_serve --model tab3=out/model.mqb --graph cora=out/graph.mqb
+//   mixq_serve --port 7433 --watch out/bundles --watch-interval-ms 500
+//
+// Every --model/--graph flag is name=path.mqb, loaded before the socket
+// opens (a failed load is fatal at startup — better than serving a partial
+// registry). --watch names a directory polled for bundle rollouts: dropping
+// a new *.mqb in (or overwriting one) hot-swaps it under its file stem with
+// zero downtime. With --port 0 (default) the kernel picks the port; it is
+// printed either way as "listening on HOST:PORT" so scripts can scrape it.
+//
+// SIGINT/SIGTERM shut down cleanly: stop accepting, finish every response
+// owed, send each client a typed kGoodbye, print the final stats-endpoint
+// JSON to stdout, exit 0.
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "engine/inference_engine.h"
+#include "net/server.h"
+
+using namespace mixq;
+
+namespace {
+
+std::sig_atomic_t g_stop = 0;
+
+void HandleSignal(int) { g_stop = 1; }
+
+void Usage() {
+  std::fprintf(
+      stderr,
+      "usage: mixq_serve [--host H] [--port P] [--model name=path.mqb ...]\n"
+      "                  [--graph name=path.mqb ...] [--watch DIR]\n"
+      "                  [--watch-interval-ms N] [--queue-capacity N]\n"
+      "                  [--max-connections N] [--no-cache]\n");
+}
+
+/// Splits "name=path"; false when '=' is missing or either side is empty.
+bool SplitNameEqPath(const std::string& arg, std::string* name,
+                     std::string* path) {
+  const size_t eq = arg.find('=');
+  if (eq == std::string::npos || eq == 0 || eq + 1 == arg.size()) return false;
+  *name = arg.substr(0, eq);
+  *path = arg.substr(eq + 1);
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string host = "127.0.0.1";
+  int port = 0;
+  std::vector<std::pair<std::string, std::string>> models;
+  std::vector<std::pair<std::string, std::string>> graphs;
+  std::string watch_dir;
+  int watch_interval_ms = 1000;
+  engine::BatcherOptions batcher;
+  net::ServerOptions options;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const auto next = [&]() -> const char* {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "%s needs a value\n", arg.c_str());
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (arg == "--host") {
+      host = next();
+    } else if (arg == "--port") {
+      port = std::atoi(next());
+    } else if (arg == "--model" || arg == "--graph") {
+      std::string name, path;
+      if (!SplitNameEqPath(next(), &name, &path)) {
+        std::fprintf(stderr, "%s wants name=path.mqb\n", arg.c_str());
+        return 2;
+      }
+      (arg == "--model" ? models : graphs).emplace_back(name, path);
+    } else if (arg == "--watch") {
+      watch_dir = next();
+    } else if (arg == "--watch-interval-ms") {
+      watch_interval_ms = std::atoi(next());
+    } else if (arg == "--queue-capacity") {
+      batcher.queue_capacity = static_cast<size_t>(std::atoll(next()));
+    } else if (arg == "--max-connections") {
+      options.max_connections = std::atoi(next());
+    } else if (arg == "--no-cache") {
+      batcher.enable_cache = false;
+    } else if (arg == "--help" || arg == "-h") {
+      Usage();
+      return 0;
+    } else {
+      std::fprintf(stderr, "unknown flag %s\n", arg.c_str());
+      Usage();
+      return 2;
+    }
+  }
+
+  engine::InferenceEngine engine(batcher);
+  for (const auto& [name, path] : models) {
+    const Status status = engine.LoadModelFromFile(name, path);
+    if (!status.ok()) {
+      std::fprintf(stderr, "loading model %s from %s: %s\n", name.c_str(),
+                   path.c_str(), status.ToString().c_str());
+      return 1;
+    }
+    std::fprintf(stderr, "model %s <- %s\n", name.c_str(), path.c_str());
+  }
+  for (const auto& [name, path] : graphs) {
+    const Status status = engine.LoadGraphFromFile(name, path);
+    if (!status.ok()) {
+      std::fprintf(stderr, "loading graph %s from %s: %s\n", name.c_str(),
+                   path.c_str(), status.ToString().c_str());
+      return 1;
+    }
+    std::fprintf(stderr, "graph %s <- %s\n", name.c_str(), path.c_str());
+  }
+
+  options.host = host;
+  options.port = port;
+  net::MixqServer server(&engine, options);
+  Status status = server.Start();
+  if (!status.ok()) {
+    std::fprintf(stderr, "start: %s\n", status.ToString().c_str());
+    return 1;
+  }
+  if (!watch_dir.empty()) {
+    status = server.StartWatching(
+        watch_dir, std::chrono::milliseconds(watch_interval_ms));
+    if (!status.ok()) {
+      std::fprintf(stderr, "watch %s: %s\n", watch_dir.c_str(),
+                   status.ToString().c_str());
+      return 1;
+    }
+    std::fprintf(stderr, "watching %s every %d ms\n", watch_dir.c_str(),
+                 watch_interval_ms);
+  }
+  // stdout (not stderr) and flushed: scripts block on this line to learn
+  // the ephemeral port.
+  std::printf("listening on %s:%d\n", host.c_str(), server.port());
+  std::fflush(stdout);
+
+  std::signal(SIGINT, HandleSignal);
+  std::signal(SIGTERM, HandleSignal);
+  while (!g_stop) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(100));
+  }
+
+  std::fprintf(stderr, "shutting down\n");
+  server.Shutdown();
+  std::printf("%s\n", server.StatsEndpointJson().c_str());
+  return 0;
+}
